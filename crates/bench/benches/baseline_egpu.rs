@@ -1,0 +1,62 @@
+//! eGPU (771 MHz fp32) baseline vs this work (956 MHz integer): same
+//! kernels, same simulated clocks, wall-clock scaled by each design's
+//! restricted Fmax — the end-to-end speedup the §2.1 mode switch buys.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpga_fitter::{compile, CompileOptions, DesignVariant};
+use simt_bench::reference;
+use simt_kernels::workload::{int_vector, lowpass_taps, q15_signal};
+use simt_kernels::{fir, reduce, vector};
+
+fn print_comparison() {
+    let (cfg, dev) = reference();
+    let base = compile(
+        &cfg,
+        &dev,
+        &CompileOptions::unconstrained().with_variant(DesignVariant::egpu_baseline()),
+    )
+    .fmax_restricted();
+    let this = compile(&cfg, &dev, &CompileOptions::unconstrained()).fmax_restricted();
+    println!("\n[baseline] eGPU fp32 {base:.0} MHz vs this work {this:.0} MHz ({:.2}x clock)", this / base);
+
+    let x = int_vector(1024, 1);
+    let y = int_vector(1024, 2);
+    let taps = lowpass_taps(16);
+    let sig = q15_signal(512 + 15, 3);
+    let runs: Vec<(&str, u64)> = vec![
+        ("saxpy-1024", vector::saxpy(3, &x, &y).unwrap().1.stats.cycles),
+        ("dot-1024", reduce::dot_scaled(&x, &y).unwrap().1.stats.cycles),
+        ("fir16-512", fir::fir(&sig, &taps, 512).unwrap().1.stats.cycles),
+    ];
+    println!("[baseline] kernel        clocks     eGPU(us)   this(us)   speedup");
+    for (name, clk) in runs {
+        let t_base = clk as f64 / (base * 1e6) * 1e6;
+        let t_this = clk as f64 / (this * 1e6) * 1e6;
+        println!(
+            "[baseline] {name:<12} {clk:>7}   {t_base:>8.2}   {t_this:>8.2}   {:.2}x",
+            t_base / t_this
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_comparison();
+    let (cfg, dev) = reference();
+    let mut g = c.benchmark_group("baseline_compiles");
+    g.bench_function("egpu_fp32_compile", |b| {
+        b.iter(|| {
+            compile(
+                &cfg,
+                &dev,
+                &CompileOptions::unconstrained().with_variant(DesignVariant::egpu_baseline()),
+            )
+        })
+    });
+    g.bench_function("this_work_compile", |b| {
+        b.iter(|| compile(&cfg, &dev, &CompileOptions::unconstrained()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! §3.1 cycle model: the closed-form counter arithmetic vs the stepped
+//! counter hardware, across thread counts and instruction classes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simt_core::{InstructionTiming, PipelineControl};
+use simt_isa::CycleClass;
+
+fn print_anchors() {
+    println!("\n[cycles] 512 threads: op {} (paper 32), load {} (paper 128), store {} (paper 512)",
+        InstructionTiming::cycles(CycleClass::Operation, 512),
+        InstructionTiming::cycles(CycleClass::Load, 512),
+        InstructionTiming::cycles(CycleClass::Store, 512));
+}
+
+fn bench(c: &mut Criterion) {
+    print_anchors();
+    let mut g = c.benchmark_group("cycle_model");
+    for &threads in &[64usize, 512, 4096] {
+        g.bench_with_input(
+            BenchmarkId::new("closed_form_all_classes", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for class in [
+                        CycleClass::Operation,
+                        CycleClass::Load,
+                        CycleClass::Store,
+                        CycleClass::SingleCycle,
+                    ] {
+                        acc += InstructionTiming::cycles(class, std::hint::black_box(t));
+                    }
+                    acc
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("stepped_counters_store", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| PipelineControl::start(CycleClass::Store, std::hint::black_box(t)).run_to_end())
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! §5 Fmax results: unconstrained (984 logic / 956 restricted), 86 % and
+//! 93 % bounding boxes. Prints the measured values and benchmarks each
+//! compile flavour.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpga_fitter::{compile, CompileOptions};
+use simt_bench::{best_of_five, reference};
+
+fn print_results() {
+    let (cfg, dev) = reference();
+    let un = compile(&cfg, &dev, &CompileOptions::unconstrained());
+    println!("\n[fmax] unconstrained: logic {:.0} MHz (paper 984), restricted {:.0} MHz (paper 956), by {}",
+        un.fmax_logic(), un.fmax_restricted(), un.sta.restricted_by);
+    let c86 = best_of_five(&CompileOptions::constrained(0.86));
+    println!("[fmax] 86% box (best of 5): {:.0} MHz (paper: >950)", c86.fmax_restricted());
+    let c93 = best_of_five(&CompileOptions::constrained(0.93));
+    println!("[fmax] 93% box (best of 5): {:.0} MHz (paper: 927)", c93.fmax_restricted());
+}
+
+fn bench(c: &mut Criterion) {
+    print_results();
+    let (cfg, dev) = reference();
+    let mut g = c.benchmark_group("fmax_compiles");
+    g.bench_function("unconstrained", |b| {
+        b.iter(|| compile(&cfg, &dev, &CompileOptions::unconstrained()))
+    });
+    g.bench_function("constrained_86", |b| {
+        b.iter(|| compile(&cfg, &dev, &CompileOptions::constrained(0.86)))
+    });
+    g.bench_function("constrained_93", |b| {
+        b.iter(|| compile(&cfg, &dev, &CompileOptions::constrained(0.93)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

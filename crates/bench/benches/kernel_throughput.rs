@@ -1,0 +1,60 @@
+//! Kernel throughput on the simulator: simulated clocks per kernel, plus
+//! host-side simulation rate (simulated clocks per wall second).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simt_kernels::workload::{int_vector, lowpass_taps, q15_matrix, q15_signal};
+use simt_kernels::{fir, matmul, reduce, vector};
+
+fn print_simulated_costs() {
+    println!("\n[kernels] simulated clocks (and us at the 956 MHz restricted Fmax):");
+    let x = int_vector(1024, 1);
+    let y = int_vector(1024, 2);
+    let (_, r) = vector::saxpy(3, &x, &y).unwrap();
+    println!("[kernels] saxpy n=1024:    {:>7} clk = {:.2} us", r.stats.cycles, r.stats.seconds_at(956.0) * 1e6);
+    let (_, r) = reduce::dot_scaled(&x, &y).unwrap();
+    println!("[kernels] dot n=1024:      {:>7} clk = {:.2} us", r.stats.cycles, r.stats.seconds_at(956.0) * 1e6);
+    let taps = lowpass_taps(16);
+    let sig = q15_signal(512 + 15, 3);
+    let (_, r) = fir::fir(&sig, &taps, 512).unwrap();
+    println!("[kernels] fir16 n=512:     {:>7} clk = {:.2} us", r.stats.cycles, r.stats.seconds_at(956.0) * 1e6);
+    let a = q15_matrix(16, 16, 4);
+    let b = q15_matrix(16, 16, 5);
+    let (_, r) = matmul::matmul(&a, &b, 16, 16, 16).unwrap();
+    println!("[kernels] matmul 16^3:     {:>7} clk = {:.2} us", r.stats.cycles, r.stats.seconds_at(956.0) * 1e6);
+}
+
+fn bench(c: &mut Criterion) {
+    print_simulated_costs();
+    let mut g = c.benchmark_group("kernel_simulation");
+    g.sample_size(20);
+
+    for n in [256usize, 1024] {
+        let x = int_vector(n, 1);
+        let y = int_vector(n, 2);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("saxpy", n), &n, |b, _| {
+            b.iter(|| vector::saxpy(3, &x, &y).unwrap().0)
+        });
+        g.bench_with_input(BenchmarkId::new("dot_scaled", n), &n, |b, _| {
+            b.iter(|| reduce::dot_scaled(&x, &y).unwrap().0)
+        });
+    }
+
+    let taps = lowpass_taps(16);
+    let sig = q15_signal(256 + 15, 3);
+    g.throughput(Throughput::Elements(256));
+    g.bench_function("fir16_n256", |b| {
+        b.iter(|| fir::fir(&sig, &taps, 256).unwrap().0)
+    });
+
+    let a = q15_matrix(16, 16, 4);
+    let bm = q15_matrix(16, 16, 5);
+    g.throughput(Throughput::Elements(16 * 16));
+    g.bench_function("matmul_16", |b| {
+        b.iter(|| matmul::matmul(&a, &bm, 16, 16, 16).unwrap().0)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

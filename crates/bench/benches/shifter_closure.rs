@@ -1,0 +1,47 @@
+//! §4 shifter closure study: the barrel shifter closes timing standalone
+//! but breaks the assembled SM; the multiplicative shifter restores it.
+//! Prints the three STA outcomes and benchmarks the analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpga_fitter::{compile, CompileOptions, DesignVariant};
+use simt_bench::reference;
+
+fn print_closure() {
+    let (cfg, dev) = reference();
+    println!("\n[shifter] soft-logic Fmax by design variant:");
+    for (label, v) in [
+        ("barrel, standalone SP ", DesignVariant::with_barrel_shifter().standalone_sp()),
+        ("barrel, full 16-SP SM ", DesignVariant::with_barrel_shifter()),
+        ("multiplicative, SM    ", DesignVariant::this_work()),
+    ] {
+        let r = compile(&cfg, &dev, &CompileOptions::unconstrained().with_variant(v));
+        println!(
+            "[shifter] {label} {:>6.0} MHz   critical: {}",
+            r.fmax_logic(),
+            r.sta.critical.name
+        );
+    }
+    println!("[shifter] (paper: standalone closes 1 GHz; assembled SM drops below 850 MHz)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_closure();
+    let (cfg, dev) = reference();
+    let mut g = c.benchmark_group("shifter_closure_sta");
+    g.bench_function("barrel_sm_compile", |b| {
+        b.iter(|| {
+            compile(
+                &cfg,
+                &dev,
+                &CompileOptions::unconstrained().with_variant(DesignVariant::with_barrel_shifter()),
+            )
+        })
+    });
+    g.bench_function("multiplicative_sm_compile", |b| {
+        b.iter(|| compile(&cfg, &dev, &CompileOptions::unconstrained()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

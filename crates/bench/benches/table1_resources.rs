@@ -1,0 +1,34 @@
+//! Table 1: module resource counts. Prints the regenerated table and
+//! benchmarks the area model across configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpga_fitter::area_model;
+use simt_core::ProcessorConfig;
+
+fn print_table1() {
+    let a = area_model(&ProcessorConfig::default());
+    println!("\n[table1] module       ALMs   Regs  M20K  DSP   (paper)");
+    println!("[table1] GPGPU      {:>6} {:>6} {:>5} {:>4}   (7038/24534/99/32)", a.gpgpu.alms, a.gpgpu.regs, a.gpgpu.m20k, a.gpgpu.dsp);
+    println!("[table1] SP         {:>6} {:>6} {:>5} {:>4}   (371/1337/4/2)", a.sp.alms, a.sp.regs, a.sp.m20k, a.sp.dsp);
+    println!("[table1]  Mul+Sft   {:>6} {:>6} {:>5} {:>4}   (145/424/0/2)", a.mul_sft.alms, a.mul_sft.regs, a.mul_sft.m20k, a.mul_sft.dsp);
+    println!("[table1]  Logic     {:>6} {:>6} {:>5} {:>4}   (83/424/0/0)", a.logic.alms, a.logic.regs, a.logic.m20k, a.logic.dsp);
+    println!("[table1] Inst       {:>6} {:>6} {:>5} {:>4}   (275/651/3/0)", a.inst.alms, a.inst.regs, a.inst.m20k, a.inst.dsp);
+    println!("[table1] Shared     {:>6} {:>6} {:>5} {:>4}   (133/233/64*/0)", a.shared.alms, a.shared.regs, a.shared.m20k, a.shared.dsp);
+}
+
+fn bench(c: &mut Criterion) {
+    print_table1();
+    let mut g = c.benchmark_group("table1_area_model");
+    for threads in [256usize, 1024, 4096] {
+        let cfg = ProcessorConfig::default()
+            .with_threads(threads)
+            .with_regs_per_thread(16usize.min(65536 / threads));
+        g.bench_with_input(BenchmarkId::new("area_model", threads), &cfg, |b, cfg| {
+            b.iter(|| area_model(std::hint::black_box(cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

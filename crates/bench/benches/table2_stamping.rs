@@ -1,0 +1,43 @@
+//! Table 2: stamping. Prints best-of-5-seed Fmax for 1 and 3 stamps and
+//! benchmarks the full compile pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpga_fitter::{best_of, compile, seed_sweep, CompileOptions};
+use simt_bench::{reference, SEEDS};
+
+fn print_table2() {
+    let (cfg, dev) = reference();
+    println!("\n[table2] stamping, best of 5 seeds (paper: 1-stamp 927 MHz, 3-stamp 854 MHz)");
+    for stamps in [1usize, 3] {
+        let sweep = seed_sweep(&cfg, &dev, &CompileOptions::stamped(stamps, 0.93), &SEEDS);
+        let best = best_of(&sweep);
+        println!(
+            "[table2] {stamps}-stamp best compile: {:.0} MHz",
+            best.fmax_restricted()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table2();
+    let (cfg, dev) = reference();
+    let mut g = c.benchmark_group("table2_compiles");
+    for stamps in [1usize, 3] {
+        g.bench_with_input(BenchmarkId::new("compile_93pct", stamps), &stamps, |b, &s| {
+            b.iter(|| {
+                compile(
+                    std::hint::black_box(&cfg),
+                    &dev,
+                    &CompileOptions::stamped(s, 0.93),
+                )
+            })
+        });
+    }
+    g.bench_function("seed_sweep_5", |b| {
+        b.iter(|| seed_sweep(&cfg, &dev, &CompileOptions::stamped(3, 0.93), &SEEDS))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

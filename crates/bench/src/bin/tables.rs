@@ -1,0 +1,313 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run -p simt-bench --bin tables            # everything
+//! cargo run -p simt-bench --bin tables -- --table1
+//! cargo run -p simt-bench --bin tables -- --table2 --fig5
+//! ```
+//!
+//! Flags: `--table1 --table2 --fmax --registers --baseline --shifter
+//! --fig5 --fig6 --fig7 --cycles` (no flags = all).
+
+use fpga_fitter::{
+    compile, floorplan, CompileOptions, DesignVariant,
+};
+use simt_bench::{best_of_five, reference, row, SEEDS};
+use simt_core::{InstructionTiming, Processor, ProcessorConfig, RunOptions};
+use simt_datapath::{MultiplicativeShifter, ShiftKind};
+use simt_isa::CycleClass;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |f: &str| args.is_empty() || args.iter().any(|a| a == f);
+
+    if want("--table1") {
+        table1();
+    }
+    if want("--registers") {
+        registers();
+    }
+    if want("--fmax") {
+        fmax_results();
+    }
+    if want("--table2") {
+        table2();
+    }
+    if want("--baseline") {
+        baseline();
+    }
+    if want("--shifter") {
+        shifter();
+    }
+    if want("--fig5") {
+        fig5();
+    }
+    if want("--fig6") {
+        fig6();
+    }
+    if want("--fig7") {
+        fig7();
+    }
+    if want("--cycles") {
+        cycles();
+    }
+    if want("--routing") {
+        routing();
+    }
+    if want("--predicates") {
+        predicates();
+    }
+    if want("--scaling") {
+        scaling();
+    }
+    if want("--sweep") {
+        sweep();
+    }
+    if want("--isa") {
+        isa_reference();
+    }
+}
+
+fn sweep() {
+    println!("== utilization sweep (restricted Fmax vs bounding-box utilization) ==");
+    let (cfg, dev) = reference();
+    println!("{:>6} {:>10} {:>10}", "util%", "logic MHz", "restr MHz");
+    for pct in [62usize, 70, 78, 86, 90, 93, 96] {
+        let r = compile(&cfg, &dev, &CompileOptions::constrained(pct as f64 / 100.0));
+        println!(
+            "{:>6} {:>10.0} {:>10.0}",
+            pct,
+            r.fmax_logic(),
+            r.fmax_restricted()
+        );
+    }
+    println!("(the restricted clock saturates at the DSP ceiling until congestion");
+    println!(" pushes the control-enable path past it — the §5 story in one series)\n");
+}
+
+fn isa_reference() {
+    use simt_isa::Opcode;
+    println!("== ISA reference: the 61 instructions ==");
+    println!(
+        "{:<4} {:<10} {:<11} {:<12} semantics",
+        "op", "mnemonic", "class", "cycle class"
+    );
+    for &op in Opcode::ALL {
+        println!(
+            "{:<4} {:<10} {:<11} {:<12} {}{}",
+            op.as_u8(),
+            op.mnemonic(),
+            format!("{:?}", op.class()),
+            format!("{:?}", op.cycle_class()),
+            op.describe(),
+            if op.needs_predicates() { "  [predicate build]" } else { "" },
+        );
+    }
+    println!();
+}
+
+fn table1() {
+    println!("== Table 1: SIMT processor resources (16 SP, 16K regs, 16KB shared) ==");
+    let (cfg, dev) = reference();
+    let r = compile(&cfg, &dev, &CompileOptions::constrained(0.93));
+    let a = &r.area;
+    println!("{:<10} {:>3} {:>6} {:>6} {:>5} {:>4}", "Module", "No.", "ALMs", "Regs", "M20K", "DSP");
+    let pr = |name: &str, no: &str, m: fpga_fitter::ModuleArea| {
+        println!("{name:<10} {no:>3} {:>6} {:>6} {:>5} {:>4}", m.alms, m.regs, m.m20k, m.dsp);
+    };
+    pr("GPGPU", "-", a.gpgpu);
+    pr("SP", "16", a.sp);
+    pr(" Mul+Sft", "-", a.mul_sft);
+    pr(" Logic", "-", a.logic);
+    pr("Inst", "1", a.inst);
+    pr("Shared", "1", a.shared);
+    println!("\npaper:     GPGPU 7038/24534/99/32, SP 371/1337/4/2, Mul+Sft 145/424/0/2,");
+    println!("           Logic 83/424/0/0, Inst 275/651/3/0, Shared 133/233/64*/0");
+    println!("(*the paper's Shared M20K row is inconsistent with its own total;");
+    println!("  our 32-block replica model reproduces the 99-block device total — see EXPERIMENTS.md)\n");
+}
+
+fn registers() {
+    println!("== SP register composition (§5) ==");
+    let (cfg, dev) = reference();
+    let r = compile(&cfg, &dev, &CompileOptions::constrained(0.93));
+    let b = &r.area.sp_reg_budget;
+    println!("{}", row("primary registers", 763.0, b.primary as f64));
+    println!("{}", row("secondary registers", 154.0, b.secondary as f64));
+    println!("{}", row("hyper registers", 420.0, b.hyper as f64));
+    println!();
+}
+
+fn fmax_results() {
+    println!("== §5 Fmax results (paper vs measured, MHz) ==");
+    let (cfg, dev) = reference();
+    let un = compile(&cfg, &dev, &CompileOptions::unconstrained());
+    println!("{}", row("unconstrained (logic Fmax)", 984.0, un.fmax_logic()));
+    println!("{}", row("unconstrained (restricted Fmax)", 956.0, un.fmax_restricted()));
+    println!("  restricted by: {}", un.sta.restricted_by);
+    println!("  critical soft path: {}", un.sta.critical.name);
+    let c86 = best_of_five(&CompileOptions::constrained(0.86));
+    println!("{}", row("86% bounding box (>950 claimed)", 950.0, c86.fmax_restricted()));
+    let c93 = best_of_five(&CompileOptions::constrained(0.93));
+    println!("{}", row("93% bounding box", 927.0, c93.fmax_restricted()));
+    println!();
+}
+
+fn table2() {
+    println!("== Table 2: stamping (best of 5 seeds, 93% boxes, sector-separated) ==");
+    let (cfg, dev) = reference();
+    for (stamps, paper) in [(1usize, 927.0), (3usize, 854.0)] {
+        let sweep = fpga_fitter::seed_sweep(
+            &cfg,
+            &dev,
+            &CompileOptions::stamped(stamps, 0.93),
+            &SEEDS,
+        );
+        let best = fpga_fitter::best_of(&sweep);
+        println!(
+            "{}   seeds: [{}]",
+            row(&format!("{stamps}-stamp best compile"), paper, best.fmax_restricted()),
+            sweep
+                .iter()
+                .map(|r| format!("{:.0}", r.fmax_restricted()))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+    println!();
+}
+
+fn baseline() {
+    println!("== eGPU fp32 baseline vs this work (§2.1) ==");
+    let (cfg, dev) = reference();
+    let base = compile(
+        &cfg,
+        &dev,
+        &CompileOptions::unconstrained().with_variant(DesignVariant::egpu_baseline()),
+    );
+    let this = compile(&cfg, &dev, &CompileOptions::unconstrained());
+    println!("{}", row("eGPU baseline (fp32 DSP ceiling)", 771.0, base.fmax_restricted()));
+    println!("{}", row("this work (integer DSP modes)", 956.0, this.fmax_restricted()));
+    println!(
+        "speedup {:.2}x (paper: 956/771 = 1.24x)\n",
+        this.fmax_restricted() / base.fmax_restricted()
+    );
+}
+
+fn shifter() {
+    println!("== §4 shifter closure study ==");
+    let (cfg, dev) = reference();
+    let cases = [
+        ("barrel, standalone SP", DesignVariant::with_barrel_shifter().standalone_sp(), 1000.0),
+        ("barrel, full 16-SP SM", DesignVariant::with_barrel_shifter(), 850.0),
+        ("multiplicative, full SM", DesignVariant::this_work(), 984.0),
+    ];
+    for (label, variant, anchor) in cases {
+        let r = compile(&cfg, &dev, &CompileOptions::unconstrained().with_variant(variant));
+        println!(
+            "{}   critical: {}",
+            row(label, anchor, r.fmax_logic()),
+            r.sta.critical.name
+        );
+    }
+    println!("(paper: barrel closes standalone, drops the assembled SM below 850 MHz;");
+    println!(" the multiplicative shifter restores the near-GHz soft-logic Fmax)\n");
+}
+
+fn fig5() {
+    println!("== Figure 5: arithmetic shift right, 12-bit example ==");
+    let sh = MultiplicativeShifter::new(12);
+    let t = sh.shift_traced(ShiftKind::Asr, 0b1100_0110_1111, 5);
+    println!("input          {:012b}  (-913)", t.input);
+    println!("bit-reversed   {:012b}", t.reversed_input.unwrap());
+    println!("one-hot shift  {:012b}  (5 -> bit 5)", t.one_hot);
+    println!("product low    {:012b}", t.product_low);
+    println!("re-reversed    {:012b}", t.reversed_product.unwrap());
+    println!("unary OR mask  {:012b}  (five leading ones)", t.or_mask);
+    println!("result         {:012b}  ({})", t.result, (t.result as i32) - 4096);
+    assert_eq!((t.result as i32) - 4096, -29);
+    println!("(-913 >> 5 = -29, matching the paper's walk-through)\n");
+}
+
+fn fig6() {
+    println!("== Figure 6: unconstrained placement ==");
+    let (cfg, dev) = reference();
+    let r = compile(&cfg, &dev, &CompileOptions::unconstrained());
+    println!("{}", floorplan::render(&dev, &r.placement));
+}
+
+fn fig7() {
+    println!("== Figure 7: tightly constrained placement (93%) ==");
+    let (cfg, dev) = reference();
+    let r = compile(&cfg, &dev, &CompileOptions::constrained(0.93));
+    println!("{}", floorplan::render(&dev, &r.placement));
+}
+
+fn routing() {
+    println!("== §6 routing-driven analysis (barrel-shifter SM vs 1 GHz) ==");
+    let (cfg, dev) = reference();
+    let r = compile(
+        &cfg,
+        &dev,
+        &CompileOptions::unconstrained().with_variant(DesignVariant::with_barrel_shifter()),
+    );
+    let entries = fpga_fitter::routing_analysis(&r.sta, 1000.0, &fpga_fabric::TimingModel::default());
+    println!("{:<44} {:>10} {:>12}", "path", "slack(ps)", "route share");
+    for e in entries.iter().take(8) {
+        println!("{:<44} {:>10.0} {:>11.0}%", e.name, e.slack_ps, e.route_fraction * 100.0);
+    }
+    println!("(failing paths with a high routing share are the placement-fixable ones —");
+    println!(" the barrel 16-bit level fails on distance, cnot on logic depth)\n");
+}
+
+fn predicates() {
+    println!("== §2 predicate cost (optional configuration parameter) ==");
+    let base = fpga_fitter::area_model(&ProcessorConfig::default());
+    let pred = fpga_fitter::area_model(&ProcessorConfig::default().with_predicates(true));
+    println!(
+        "{}",
+        row("SP ALMs without predicates", 371.0, base.sp.alms as f64)
+    );
+    println!(
+        "{}",
+        row("SP ALMs with predicates (+50% claim)", 371.0 * 1.5, pred.sp.alms as f64)
+    );
+    println!(
+        "GPGPU total grows {:.0} -> {:.0} ALMs ({:+.0}%)\n",
+        base.gpgpu.alms as f64,
+        pred.gpgpu.alms as f64,
+        (pred.gpgpu.alms as f64 / base.gpgpu.alms as f64 - 1.0) * 100.0
+    );
+}
+
+fn scaling() {
+    println!("== §2 dynamic thread scaling ablation (1024-wide dot product) ==");
+    use simt_kernels::reduce::{dot_predicated, dot_scaled};
+    use simt_kernels::workload::int_vector;
+    let x = int_vector(1024, 11);
+    let y = int_vector(1024, 22);
+    let (_, scaled) = dot_scaled(&x, &y).unwrap();
+    let (_, masked) = dot_predicated(&x, &y).unwrap();
+    println!("scaled (.tk) tree:      {:>6} clocks ({} store clocks)", scaled.stats.cycles, scaled.stats.store_cycles);
+    println!("predicated (@p0) tree:  {:>6} clocks ({} store clocks)", masked.stats.cycles, masked.stats.store_cycles);
+    println!(
+        "speedup {:.2}x — plus the predicated build pays the +50% logic\n",
+        masked.stats.cycles as f64 / scaled.stats.cycles as f64
+    );
+}
+
+fn cycles() {
+    println!("== §3.1 cycle model (512 threads, 16 SPs) ==");
+    println!("{}", row("operation instruction clocks", 32.0, InstructionTiming::cycles(CycleClass::Operation, 512) as f64));
+    println!("{}", row("load instruction clocks (4 x 32)", 128.0, InstructionTiming::cycles(CycleClass::Load, 512) as f64));
+    println!("{}", row("store instruction clocks (16 x 32)", 512.0, InstructionTiming::cycles(CycleClass::Store, 512) as f64));
+    println!("{}", row("single-cycle instruction clocks", 1.0, InstructionTiming::cycles(CycleClass::SingleCycle, 512) as f64));
+
+    // End-to-end check on the simulator.
+    let mut cpu = Processor::new(ProcessorConfig::default().with_threads(512)).unwrap();
+    let p = simt_isa::assemble("  stid r1\n  add r2, r1, r1\n  lds r3, [r1+0]\n  sts [r1+0], r2\n  exit").unwrap();
+    cpu.load_program(&p).unwrap();
+    let s = cpu.run(RunOptions::default()).unwrap();
+    println!("  simulator roll-up: {} clocks (2 ops + load + store + exit + fill)", s.cycles);
+    println!();
+}

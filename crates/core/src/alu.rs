@@ -1,0 +1,262 @@
+//! Per-thread instruction semantics, routed through the bit-exact
+//! datapath models of `simt-datapath` — the simulator computes every
+//! multiply through the DSP-vector composition and every shift through
+//! the multiplicative shifter, so an RTL bug class (wrong vector
+//! arrangement, wrong carry, wrong mask) would surface as a wrong result
+//! here, not just as a wrong cycle count.
+
+use simt_datapath::{
+    logic::LogicOp, Int32Multiplier, LogicUnit, MultiplicativeShifter, PipelinedAdder32,
+    ShiftKind, Signedness,
+};
+use simt_isa::{Instruction, Opcode};
+
+/// The execution datapath of one SP (all SPs are identical; the
+/// simulator shares one instance since the models are stateless).
+#[derive(Debug, Clone, Default)]
+pub struct Datapath {
+    mult: Int32Multiplier,
+    shifter: MultiplicativeShifter,
+    adder: PipelinedAdder32,
+    logic: LogicUnit,
+}
+
+/// Operand bundle for one thread's lane.
+#[derive(Debug, Clone, Copy)]
+pub struct Operands {
+    /// `ra` value.
+    pub a: u32,
+    /// `rb` value (or 0 where dead).
+    pub b: u32,
+    /// `rc` value (or 0).
+    pub c: u32,
+    /// Thread id.
+    pub tid: u32,
+    /// Configured thread count (`sntid`).
+    pub ntid: u32,
+    /// Predicate source for `selp`.
+    pub sel_pred: bool,
+}
+
+impl Datapath {
+    /// New datapath.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluate a non-memory, non-control instruction for one lane.
+    /// Returns the value destined for `rd`.
+    ///
+    /// # Panics
+    /// If called with a memory, control or `setp` opcode (those are
+    /// handled by the SM loop).
+    pub fn eval(&self, instr: &Instruction, ops: Operands) -> u32 {
+        let Operands { a, b, c, .. } = ops;
+        let imm = instr.imm32();
+        let imm16 = instr.imm16();
+        match instr.opcode {
+            Opcode::Add => self.adder.add(a, b),
+            Opcode::Sub => self.adder.sub(a, b),
+            Opcode::Min => self.adder.min_s(a, b),
+            Opcode::Max => self.adder.max_s(a, b),
+            Opcode::Abs => self.adder.abs(a),
+            Opcode::Neg => self.adder.neg(a),
+            Opcode::Sad => self.adder.sad(a, b, c),
+            Opcode::Addi => self.adder.add(a, imm),
+            Opcode::Subi => self.adder.sub(a, imm),
+            Opcode::MulLo => self.mult.mul_lo(a, b, Signedness::Signed),
+            Opcode::MulHi => self.mult.mul_hi(a, b, Signedness::Signed),
+            Opcode::MuluHi => self.mult.mul_hi(a, b, Signedness::Unsigned),
+            Opcode::MadLo => self
+                .adder
+                .add(self.mult.mul_lo(a, b, Signedness::Signed), c),
+            Opcode::MadHi => self
+                .adder
+                .add(self.mult.mul_hi(a, b, Signedness::Signed), c),
+            Opcode::Muli => self.mult.mul_lo(a, imm, Signedness::Signed),
+            Opcode::And => self.logic.eval(LogicOp::And, a, b),
+            Opcode::Or => self.logic.eval(LogicOp::Or, a, b),
+            Opcode::Xor => self.logic.eval(LogicOp::Xor, a, b),
+            Opcode::Not => self.logic.eval(LogicOp::Not, a, 0),
+            Opcode::Cnot => self.logic.eval(LogicOp::Cnot, a, 0),
+            Opcode::Andi => self.logic.eval(LogicOp::And, a, imm),
+            Opcode::Ori => self.logic.eval(LogicOp::Or, a, imm),
+            Opcode::Xori => self.logic.eval(LogicOp::Xor, a, imm),
+            Opcode::Popc => self.logic.eval(LogicOp::Popc, a, 0),
+            Opcode::Clz => self.logic.eval(LogicOp::Clz, a, 0),
+            Opcode::Brev => self.logic.eval(LogicOp::Brev, a, 0),
+            Opcode::Shl => self.shifter.shift(ShiftKind::Lsl, a, b),
+            Opcode::Lsr => self.shifter.shift(ShiftKind::Lsr, a, b),
+            Opcode::Asr => self.shifter.shift(ShiftKind::Asr, a, b),
+            Opcode::Shli => self.shifter.shift(ShiftKind::Lsl, a, imm16),
+            Opcode::Lsri => self.shifter.shift(ShiftKind::Lsr, a, imm16),
+            Opcode::Asri => self.shifter.shift(ShiftKind::Asr, a, imm16),
+            Opcode::SatAdd => self.adder.sat_add(a, b),
+            Opcode::SatSub => self.adder.sat_sub(a, b),
+            Opcode::MulShr => {
+                // Fixed-point scaling: full 64-bit signed product,
+                // arithmetic shift right by imm (0..=63), low 32 bits.
+                let full = self.mult.mul_full(a, b, Signedness::Signed) as i64;
+                (full >> (imm16 & 63)) as u32
+            }
+            Opcode::ShAdd => {
+                // Address generation: (a << imm) + b.
+                self.adder
+                    .add(self.shifter.shift(ShiftKind::Lsl, a, imm16 & 31), b)
+            }
+            Opcode::Bfe => {
+                let pos = imm16 & 0x1F;
+                let len = (imm16 >> 5) & 0x3F;
+                let shifted = self.shifter.shift(ShiftKind::Lsr, a, pos);
+                if len >= 32 {
+                    shifted
+                } else {
+                    shifted & ((1u32 << len) - 1)
+                }
+            }
+            Opcode::Rotri => self.shifter.rotate_right(a, imm16),
+            Opcode::Selp => {
+                if ops.sel_pred {
+                    a
+                } else {
+                    b
+                }
+            }
+            Opcode::Mov => a,
+            Opcode::Movi => imm,
+            Opcode::Stid => ops.tid,
+            Opcode::Sntid => ops.ntid,
+            Opcode::SetpEq
+            | Opcode::SetpNe
+            | Opcode::SetpLt
+            | Opcode::SetpLe
+            | Opcode::SetpGt
+            | Opcode::SetpGe
+            | Opcode::SetpLtu
+            | Opcode::SetpGeu
+            | Opcode::Lds
+            | Opcode::Sts
+            | Opcode::Bra
+            | Opcode::Brp
+            | Opcode::Call
+            | Opcode::Ret
+            | Opcode::Loop
+            | Opcode::Exit
+            | Opcode::Nop
+            | Opcode::Bar => {
+                unreachable!("{:?} is not an ALU-value opcode", instr.opcode)
+            }
+        }
+    }
+
+    /// Evaluate a `setp.*` comparison; routed through the shared
+    /// subtractor's flags exactly as the hardware compares.
+    pub fn eval_setp(&self, opcode: Opcode, a: u32, b: u32) -> bool {
+        let (_, f) = self.adder.add_carry(a, !b, true);
+        let lt_signed = f.negative != f.overflow;
+        let eq = a == b;
+        let lt_unsigned = !f.carry; // borrow
+        match opcode {
+            Opcode::SetpEq => eq,
+            Opcode::SetpNe => !eq,
+            Opcode::SetpLt => lt_signed,
+            Opcode::SetpLe => lt_signed || eq,
+            Opcode::SetpGt => !(lt_signed || eq),
+            Opcode::SetpGe => !lt_signed,
+            Opcode::SetpLtu => lt_unsigned,
+            Opcode::SetpGeu => !lt_unsigned,
+            _ => unreachable!("{opcode:?} is not a setp opcode"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_isa::Instruction;
+
+    fn ops(a: u32, b: u32, c: u32) -> Operands {
+        Operands {
+            a,
+            b,
+            c,
+            tid: 3,
+            ntid: 64,
+            sel_pred: false,
+        }
+    }
+
+    #[test]
+    fn arithmetic_semantics() {
+        let dp = Datapath::new();
+        let i = |op| Instruction::new(op);
+        assert_eq!(dp.eval(&i(Opcode::Add), ops(2, 3, 0)), 5);
+        assert_eq!(dp.eval(&i(Opcode::Sub), ops(2, 3, 0)) as i32, -1);
+        assert_eq!(dp.eval(&i(Opcode::Sad), ops(2, 7, 10)), 15);
+        assert_eq!(dp.eval(&i(Opcode::MulLo), ops(-4i32 as u32, 3, 0)) as i32, -12);
+        assert_eq!(dp.eval(&i(Opcode::MadLo), ops(4, 3, 5)), 17);
+        assert_eq!(
+            dp.eval(&i(Opcode::MuluHi), ops(0xFFFF_FFFF, 2, 0)),
+            1 // 0xFFFFFFFF*2 = 0x1_FFFFFFFE
+        );
+    }
+
+    #[test]
+    fn mulshr_fixed_point_scaling() {
+        let dp = Datapath::new();
+        // Q15 multiply: 0.5 * 0.5 = 0.25 -> (16384 * 16384) >> 15 = 8192
+        let i = Instruction::new(Opcode::MulShr).imm(15);
+        assert_eq!(dp.eval(&i, ops(16384, 16384, 0)), 8192);
+        // negative operand keeps sign through the arithmetic shift
+        let r = dp.eval(&i, ops(-16384i32 as u32, 16384, 0));
+        assert_eq!(r as i32, -8192);
+    }
+
+    #[test]
+    fn shadd_and_bfe() {
+        let dp = Datapath::new();
+        let sh = Instruction::new(Opcode::ShAdd).imm(2);
+        assert_eq!(dp.eval(&sh, ops(5, 3, 0)), 23); // (5<<2)+3
+        let bfe = Instruction::new(Opcode::Bfe).imm(4 | (8 << 5));
+        assert_eq!(dp.eval(&bfe, ops(0xABCD_EF12, 0, 0)), 0xF1);
+    }
+
+    #[test]
+    fn selp_and_specials() {
+        let dp = Datapath::new();
+        let i = Instruction::new(Opcode::Selp);
+        let mut o = ops(11, 22, 0);
+        o.sel_pred = true;
+        assert_eq!(dp.eval(&i, o), 11);
+        o.sel_pred = false;
+        assert_eq!(dp.eval(&i, o), 22);
+        assert_eq!(dp.eval(&Instruction::new(Opcode::Stid), o), 3);
+        assert_eq!(dp.eval(&Instruction::new(Opcode::Sntid), o), 64);
+    }
+
+    #[test]
+    fn setp_all_conditions() {
+        let dp = Datapath::new();
+        let a = -5i32 as u32;
+        let b = 3u32;
+        assert!(!dp.eval_setp(Opcode::SetpEq, a, b));
+        assert!(dp.eval_setp(Opcode::SetpNe, a, b));
+        assert!(dp.eval_setp(Opcode::SetpLt, a, b)); // -5 < 3 signed
+        assert!(!dp.eval_setp(Opcode::SetpLtu, a, b)); // 0xFFFFFFFB > 3 unsigned
+        assert!(dp.eval_setp(Opcode::SetpGeu, a, b));
+        assert!(dp.eval_setp(Opcode::SetpLe, 3, 3));
+        assert!(!dp.eval_setp(Opcode::SetpGt, 3, 3));
+        assert!(dp.eval_setp(Opcode::SetpGe, 3, 3));
+    }
+
+    #[test]
+    fn shifts_by_register_value() {
+        let dp = Datapath::new();
+        assert_eq!(dp.eval(&Instruction::new(Opcode::Shl), ops(1, 4, 0)), 16);
+        assert_eq!(dp.eval(&Instruction::new(Opcode::Shl), ops(1, 32, 0)), 0); // out of range
+        assert_eq!(
+            dp.eval(&Instruction::new(Opcode::Asr), ops(0x8000_0000, 40, 0)),
+            0xFFFF_FFFF // negative, out of range -> -1
+        );
+    }
+}

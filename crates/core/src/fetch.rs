@@ -1,0 +1,324 @@
+//! Clock-granular model of the instruction fetch/decode pipeline
+//! (Fig. 2): the four stage registers between the PC and the issue
+//! point, taken-branch zeroing, and the zero-overhead loop buffer.
+//!
+//! The [`Processor`](crate::Processor) accounts clocks with closed-form
+//! arithmetic; this module re-derives the same totals *mechanically*, by
+//! replaying an execution trace through explicit stage registers:
+//!
+//! * instructions move `PC → IF (I-Mem read) → DE (decode) → DC (control
+//!   delay chain) → issue`, one stage per clock, stalling while the
+//!   issue unit's [`PipelineControl`] counters run;
+//! * a taken branch "zeroes out the following instructions in the
+//!   pipeline" (§3) — the wrong-path instructions in IF/DE/DC become
+//!   bubbles, which is exactly where the
+//!   [`FETCH_PIPELINE_DEPTH`]-clock flush
+//!   penalty comes from;
+//! * zero-overhead loop back-edges redirect the PC from the sequencer's
+//!   loop-end comparison *without* zeroing — the body instructions
+//!   re-enter fetch early enough to issue back-to-back (the
+//!   "single-cycle DSP processor-like loop instructions" of §3).
+//!
+//! A replay returns a [`ClockLog`] whose totals are asserted equal to
+//! the simulator's [`ExecStats`](crate::ExecStats) — the two independent
+//! derivations of the machine's timing must agree clock for clock.
+
+use crate::sequencer::{PipelineControl, FETCH_PIPELINE_DEPTH};
+use crate::sm::TraceEntry;
+use serde::{Deserialize, Serialize};
+use simt_isa::Program;
+
+/// What occupied the issue point on one clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClockEvent {
+    /// Filling: the stage registers hold no issuable instruction yet.
+    Fill,
+    /// The issue unit is streaming thread rows of the instruction at
+    /// `pc` (one event per clock it occupies the machine).
+    Busy {
+        /// Program counter of the in-flight instruction.
+        pc: usize,
+    },
+    /// A flush bubble from a taken branch (a zeroed wrong-path slot).
+    FlushBubble {
+        /// PC of the branch that caused the zeroing.
+        branch_pc: usize,
+    },
+}
+
+/// The clock-by-clock log of a replay.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClockLog {
+    /// One event per clock, in order.
+    pub events: Vec<ClockEvent>,
+    /// Instructions issued.
+    pub issued: u64,
+    /// Wrong-path instructions zeroed by taken branches.
+    pub zeroed_instructions: u64,
+    /// Loop back-edges taken without a flush.
+    pub loop_backedges: u64,
+}
+
+impl ClockLog {
+    /// Total clocks.
+    pub fn cycles(&self) -> u64 {
+        self.events.len() as u64
+    }
+
+    /// Clocks spent on fill bubbles.
+    pub fn fill_cycles(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ClockEvent::Fill))
+            .count() as u64
+    }
+
+    /// Clocks spent on flush bubbles.
+    pub fn flush_cycles(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ClockEvent::FlushBubble { .. }))
+            .count() as u64
+    }
+}
+
+/// The four fetch stages between the PC and the issue point.
+const STAGES: usize = FETCH_PIPELINE_DEPTH as usize;
+
+/// Stage registers: each slot holds the PC of an in-flight (not yet
+/// issued) instruction, or a bubble.
+#[derive(Debug, Clone)]
+struct StageRegs {
+    /// `slots[0]` is the oldest (next to issue, the DC output);
+    /// `slots[STAGES-1]` the youngest (just fetched).
+    slots: [Option<usize>; STAGES],
+}
+
+impl StageRegs {
+    fn empty() -> Self {
+        StageRegs {
+            slots: [None; STAGES],
+        }
+    }
+
+    /// Advance one clock: shift toward issue, fetching `fetch_pc` into
+    /// the youngest slot. Returns the instruction PC that reached the
+    /// issue point (if any).
+    fn shift_in(&mut self, fetch_pc: Option<usize>) -> Option<usize> {
+        let out = self.slots[0];
+        for i in 0..STAGES - 1 {
+            self.slots[i] = self.slots[i + 1];
+        }
+        self.slots[STAGES - 1] = fetch_pc;
+        out
+    }
+
+    /// Zero every in-flight instruction (taken branch, §3). Returns how
+    /// many real instructions were killed.
+    fn zero(&mut self) -> u64 {
+        let killed = self.slots.iter().filter(|s| s.is_some()).count() as u64;
+        self.slots = [None; STAGES];
+        killed
+    }
+
+    /// Pre-fill the stages with sequential PCs starting at `start` — the
+    /// zero-overhead loop buffer re-injecting the body.
+    fn prefill(&mut self, start: usize) {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            *slot = Some(start + i);
+        }
+    }
+}
+
+/// Replay a trace through the stage-register model.
+///
+/// `trace` must be the transcript of a completed run
+/// ([`Processor::run_traced`](crate::Processor::run_traced)); `program`
+/// the program it executed.
+///
+/// # Panics
+/// If the trace is inconsistent with the program (wrong PCs) — that
+/// would mean the simulator and this model disagree about the
+/// instruction stream itself.
+pub fn replay(program: &Program, trace: &[TraceEntry]) -> ClockLog {
+    let mut log = ClockLog {
+        events: Vec::new(),
+        issued: 0,
+        zeroed_instructions: 0,
+        loop_backedges: 0,
+    };
+    let mut stages = StageRegs::empty();
+    let mut fetch_pc = 0usize;
+    let mut idx = 0usize; // next trace entry to issue
+
+    while idx < trace.len() {
+        // Advance fetch one clock.
+        let arrived = stages.shift_in(Some(fetch_pc));
+        fetch_pc += 1;
+        match arrived {
+            None => {
+                log.events.push(ClockEvent::Fill);
+                continue;
+            }
+            Some(pc) => {
+                let entry = &trace[idx];
+                assert_eq!(
+                    pc, entry.pc,
+                    "stage model delivered pc {pc}, simulator issued {}",
+                    entry.pc
+                );
+                let instr = program.fetch(pc).expect("trace pc in program");
+                // The issue unit occupies the machine for the
+                // instruction's clocks; re-derive them from the counter
+                // hardware rather than trusting the trace.
+                let clocks = PipelineControl::start(
+                    instr.opcode.cycle_class(),
+                    entry.active,
+                )
+                .run_to_end();
+                assert_eq!(
+                    clocks, entry.clocks,
+                    "counter hardware disagrees with the simulator at pc {pc}"
+                );
+                for _ in 0..clocks {
+                    log.events.push(ClockEvent::Busy { pc });
+                }
+                log.issued += 1;
+                idx += 1;
+
+                // Where does fetch continue?
+                let next_pc = trace.get(idx).map(|e| e.pc);
+                match entry.jumped {
+                    Some(target) => {
+                        // Taken branch: zero the wrong path, pay the
+                        // refill as flush bubbles.
+                        log.zeroed_instructions += stages.zero();
+                        for _ in 0..FETCH_PIPELINE_DEPTH {
+                            log.events.push(ClockEvent::FlushBubble { branch_pc: pc });
+                        }
+                        stages.prefill(target);
+                        fetch_pc = target + STAGES;
+                        // The prefilled stages deliver `target` on the
+                        // next shift; drop the redundant shift clock by
+                        // consuming one slot now.
+                        continue;
+                    }
+                    None => {
+                        if let Some(np) = next_pc {
+                            if np != pc + 1 {
+                                // Zero-overhead loop back-edge: redirect
+                                // without zeroing — the loop buffer
+                                // replays the body.
+                                log.loop_backedges += 1;
+                                stages.prefill(np);
+                                fetch_pc = np + STAGES;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    log
+}
+
+/// Convenience: run a program traced and replay it, asserting the two
+/// derivations agree; returns (stats, log).
+pub fn run_and_replay(
+    cpu: &mut crate::Processor,
+    opts: crate::RunOptions,
+) -> Result<(crate::ExecStats, ClockLog), crate::ExecError> {
+    let program = cpu
+        .program()
+        .cloned()
+        .expect("no program loaded");
+    let (stats, trace) = cpu.run_traced(opts)?;
+    let log = replay(&program, &trace);
+    assert_eq!(
+        log.cycles(),
+        stats.cycles,
+        "stage-register replay and closed-form accounting disagree"
+    );
+    Ok((stats, log))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Processor, ProcessorConfig, RunOptions};
+    use simt_isa::assemble;
+
+    fn replay_src(src: &str) -> (crate::ExecStats, ClockLog) {
+        let mut cpu = Processor::new(ProcessorConfig::small()).unwrap();
+        let p = assemble(src).unwrap();
+        cpu.load_program(&p).unwrap();
+        run_and_replay(&mut cpu, RunOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn straight_line_replay_matches() {
+        let (stats, log) = replay_src(
+            "  stid r1\n  add r2, r1, r1\n  lds r3, [r1+0]\n  sts [r1+0], r2\n  exit",
+        );
+        assert_eq!(log.cycles(), stats.cycles);
+        assert_eq!(log.fill_cycles(), FETCH_PIPELINE_DEPTH);
+        assert_eq!(log.flush_cycles(), 0);
+        assert_eq!(log.issued, 5);
+        assert_eq!(log.zeroed_instructions, 0);
+    }
+
+    #[test]
+    fn taken_branch_zeroes_wrong_path() {
+        let (stats, log) = replay_src("  bra skip\n  nop\n  nop\nskip:\n  exit");
+        assert_eq!(log.cycles(), stats.cycles);
+        assert_eq!(log.flush_cycles(), FETCH_PIPELINE_DEPTH);
+        // The wrong-path nops (and more sequential fetches) were zeroed.
+        assert!(log.zeroed_instructions >= 2, "{}", log.zeroed_instructions);
+    }
+
+    #[test]
+    fn loop_backedge_has_no_bubbles() {
+        let (stats, log) = replay_src(
+            "  loop 8, done\n  addi r1, r1, 1\n  addi r2, r2, 1\ndone:\n  exit",
+        );
+        assert_eq!(log.cycles(), stats.cycles);
+        assert_eq!(log.flush_cycles(), 0, "zero-overhead means zero bubbles");
+        assert_eq!(log.loop_backedges, 7);
+        assert_eq!(log.issued, 1 + 8 * 2 + 1);
+    }
+
+    #[test]
+    fn call_ret_pays_two_flushes() {
+        let (stats, log) = replay_src(
+            "  call f\n  exit\nf:\n  addi r1, r1, 1\n  ret",
+        );
+        assert_eq!(log.cycles(), stats.cycles);
+        assert_eq!(log.flush_cycles(), 2 * FETCH_PIPELINE_DEPTH);
+    }
+
+    #[test]
+    fn busy_clocks_match_store_width() {
+        let (_, log) = replay_src("  stid r1\n  sts [r1+0], r1\n  exit");
+        // 64 threads -> 4 rows x 16 lanes = 64 busy clocks on the store.
+        let store_busy = log
+            .events
+            .iter()
+            .filter(|e| matches!(e, ClockEvent::Busy { pc: 1 }))
+            .count();
+        assert_eq!(store_busy, 64);
+    }
+
+    #[test]
+    fn predicated_branch_not_taken_is_free() {
+        let mut cpu = Processor::new(ProcessorConfig::small()).unwrap();
+        // p0 is false -> brp falls through: no flush.
+        let p = assemble(
+            "  movi r1, 1\n  movi r2, 2\n  setp.gt p0, r1, r2\n  @p0 brp back\nback:\n  exit",
+        )
+        .unwrap();
+        cpu.load_program(&p).unwrap();
+        let (stats, log) = run_and_replay(&mut cpu, RunOptions::default()).unwrap();
+        assert_eq!(log.cycles(), stats.cycles);
+        assert_eq!(log.flush_cycles(), 0);
+    }
+}

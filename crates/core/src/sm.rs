@@ -1,0 +1,676 @@
+//! The streaming multiprocessor: one SM of 16 SPs executing in lockstep
+//! (§2–§3). Two execution modes share one semantic core:
+//!
+//! * **Functional** — computes results per thread row and accounts clocks
+//!   with the closed-form counter arithmetic of
+//!   [`InstructionTiming`];
+//!   optionally lane-parallel via rayon for large thread counts.
+//! * **CycleAccurate** — additionally steps the
+//!   [`PipelineControl`] counter
+//!   hardware clock by clock for every instruction and cross-checks it
+//!   against the closed form (a property the tests also pin).
+//!
+//! Both modes produce identical results and identical [`ExecStats`].
+
+use crate::alu::{Datapath, Operands};
+use crate::config::ProcessorConfig;
+use crate::error::{ConfigError, ExecError, LoadError};
+use crate::regfile::RegisterFile;
+use crate::sequencer::{InstructionTiming, PipelineControl, FETCH_PIPELINE_DEPTH};
+use crate::shared::SharedMemory;
+use crate::stats::ExecStats;
+use rayon::prelude::*;
+use simt_isa::{CycleClass, Guard, Instruction, Opcode, Program};
+
+/// Execution mode selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Closed-form cycle accounting (fast).
+    Functional,
+    /// Clock-stepped counter hardware, cross-checked (slower, used by
+    /// verification tests and the cycle-model benches).
+    CycleAccurate,
+}
+
+/// Options for one run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Watchdog: abort after this many clocks.
+    pub max_cycles: u64,
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Execute thread lanes in parallel with rayon when the thread count
+    /// is large (results are bit-identical; stores stay in thread order).
+    pub parallel: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            max_cycles: 200_000_000,
+            mode: ExecMode::Functional,
+            parallel: false,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Cycle-accurate verification run.
+    pub fn cycle_accurate() -> Self {
+        RunOptions {
+            mode: ExecMode::CycleAccurate,
+            ..Default::default()
+        }
+    }
+
+    /// Lane-parallel functional run.
+    pub fn parallel() -> Self {
+        RunOptions {
+            parallel: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Thread count threshold above which the parallel option engages.
+const PARALLEL_THRESHOLD: usize = 256;
+
+/// One issued instruction in an execution trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Program counter of the instruction.
+    pub pc: usize,
+    /// Opcode issued.
+    pub opcode: Opcode,
+    /// Active threads after dynamic scaling.
+    pub active: usize,
+    /// Clocks the instruction occupied the machine.
+    pub clocks: u64,
+    /// Taken-branch target, if the instruction redirected the PC
+    /// (zero-overhead loop back-edges are not branches and appear as
+    /// `None`).
+    pub jumped: Option<usize>,
+}
+
+/// A full architectural checkpoint (serializable).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Snapshot {
+    /// Configuration the snapshot was taken under.
+    pub config: ProcessorConfig,
+    /// Register file contents, `[thread][reg]` row-major.
+    pub regs: Vec<u32>,
+    /// Predicate nibbles, one per thread.
+    pub preds: Vec<u8>,
+    /// Shared memory contents.
+    pub shared: Vec<u32>,
+    /// Loaded program, if any.
+    pub program: Option<Program>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LoopFrame {
+    start: usize,
+    end: usize,
+    remaining: u32,
+}
+
+/// One SIMT processor instance.
+#[derive(Debug, Clone)]
+pub struct Processor {
+    config: ProcessorConfig,
+    regfile: RegisterFile,
+    shared: SharedMemory,
+    datapath: Datapath,
+    program: Option<Program>,
+}
+
+impl Processor {
+    /// Build a processor for `config`.
+    pub fn new(config: ProcessorConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Processor {
+            regfile: RegisterFile::new(&config),
+            shared: SharedMemory::new(config.shared_words),
+            datapath: Datapath::new(),
+            program: None,
+            config,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ProcessorConfig {
+        &self.config
+    }
+
+    /// The loaded program, if any.
+    pub fn program(&self) -> Option<&Program> {
+        self.program.as_ref()
+    }
+
+    /// Host access to the register file.
+    pub fn regfile(&self) -> &RegisterFile {
+        &self.regfile
+    }
+
+    /// Mutable host access to the register file (data upload).
+    pub fn regfile_mut(&mut self) -> &mut RegisterFile {
+        &mut self.regfile
+    }
+
+    /// Host access to shared memory.
+    pub fn shared(&self) -> &SharedMemory {
+        &self.shared
+    }
+
+    /// Mutable host access to shared memory.
+    pub fn shared_mut(&mut self) -> &mut SharedMemory {
+        &mut self.shared
+    }
+
+    /// Validate a program against this build and load it into I-Mem
+    /// (the I-Mem is "externally re-loadable", Fig. 2).
+    pub fn load_program(&mut self, program: &Program) -> Result<(), LoadError> {
+        if program.len() > self.config.imem_capacity {
+            return Err(LoadError::TooLarge {
+                len: program.len(),
+                capacity: self.config.imem_capacity,
+            });
+        }
+        if !program.has_terminator() {
+            return Err(LoadError::NoTerminator);
+        }
+        for (pc, i) in program.instructions().iter().enumerate() {
+            if i.uses_predicates() && !self.config.predicates {
+                return Err(LoadError::PredicatesDisabled { pc });
+            }
+            let limit = self.config.regs_per_thread;
+            let check = |r: simt_isa::Reg| -> Result<(), LoadError> {
+                if r.index() >= limit {
+                    Err(LoadError::RegisterRange {
+                        pc,
+                        reg: r.0,
+                        limit,
+                    })
+                } else {
+                    Ok(())
+                }
+            };
+            // setp's rd field holds a predicate index, not a register.
+            let writes_gpr = i.opcode.writes_rd()
+                && !matches!(
+                    i.opcode,
+                    Opcode::SetpEq
+                        | Opcode::SetpNe
+                        | Opcode::SetpLt
+                        | Opcode::SetpLe
+                        | Opcode::SetpGt
+                        | Opcode::SetpGe
+                        | Opcode::SetpLtu
+                        | Opcode::SetpGeu
+                );
+            if writes_gpr {
+                check(i.rd)?;
+            }
+            if i.opcode.reg_reads() >= 1 {
+                check(i.ra)?;
+            }
+            if i.opcode.reg_reads() >= 2 && i.opcode.imm_form() != simt_isa::ImmForm::Imm32 {
+                check(i.rb)?;
+            }
+            if i.opcode.reads_rc() && i.opcode != Opcode::Selp {
+                check(i.rc)?;
+            }
+            match i.opcode {
+                Opcode::Bra | Opcode::Brp | Opcode::Call
+                    if i.target() >= program.len() => {
+                        return Err(LoadError::BadTarget {
+                            pc,
+                            target: i.target(),
+                        });
+                    }
+                Opcode::Loop
+                    if i.loop_end() >= program.len() => {
+                        return Err(LoadError::BadTarget {
+                            pc,
+                            target: i.loop_end(),
+                        });
+                    }
+                _ => {}
+            }
+        }
+        self.program = Some(program.clone());
+        Ok(())
+    }
+
+    /// Reset architectural state (registers, predicates, shared memory),
+    /// keeping the loaded program.
+    pub fn reset(&mut self) {
+        self.regfile = RegisterFile::new(&self.config);
+        self.shared = SharedMemory::new(self.config.shared_words);
+    }
+
+    /// Snapshot the full architectural state (registers, predicates,
+    /// shared memory, loaded program) — checkpointing for long
+    /// simulations and for A/B experiments from a common state.
+    pub fn snapshot(&self) -> Snapshot {
+        let (regs, preds) = self.regfile.raw();
+        Snapshot {
+            config: self.config.clone(),
+            regs: regs.to_vec(),
+            preds: preds.to_vec(),
+            shared: self.shared.as_slice().to_vec(),
+            program: self.program.clone(),
+        }
+    }
+
+    /// Restore a snapshot taken from a processor with the same
+    /// configuration.
+    ///
+    /// # Panics
+    /// If the snapshot's configuration differs from this processor's.
+    pub fn restore(&mut self, snap: &Snapshot) {
+        assert_eq!(
+            snap.config, self.config,
+            "snapshot is from a different configuration"
+        );
+        self.regfile.restore_raw(&snap.regs, &snap.preds);
+        self.shared = SharedMemory::new(self.config.shared_words);
+        self.shared
+            .load_words(0, &snap.shared)
+            .expect("snapshot memory fits by construction");
+        self.program = snap.program.clone();
+    }
+
+    /// Execute the loaded program to `exit`.
+    pub fn run(&mut self, opts: RunOptions) -> Result<ExecStats, ExecError> {
+        self.run_inner(opts, &mut None)
+    }
+
+    /// Execute with a per-instruction trace (issued PC, opcode, active
+    /// thread count, clocks, branch target) — the simulator's equivalent
+    /// of a logic-analyzer capture on the instruction block.
+    pub fn run_traced(&mut self, opts: RunOptions) -> Result<(ExecStats, Vec<TraceEntry>), ExecError> {
+        let mut trace = Some(Vec::new());
+        let stats = self.run_inner(opts, &mut trace)?;
+        Ok((stats, trace.unwrap()))
+    }
+
+    fn run_inner(
+        &mut self,
+        opts: RunOptions,
+        trace: &mut Option<Vec<TraceEntry>>,
+    ) -> Result<ExecStats, ExecError> {
+        let program = self
+            .program
+            .clone()
+            .expect("no program loaded — call load_program first");
+        self.shared.reset_stats();
+        let mut stats = ExecStats {
+            cycles: FETCH_PIPELINE_DEPTH,
+            fill_cycles: FETCH_PIPELINE_DEPTH,
+            ..Default::default()
+        };
+        let mut pc = 0usize;
+        let mut call_stack: Vec<usize> = Vec::with_capacity(self.config.call_stack_depth);
+        let mut loop_stack: Vec<LoopFrame> = Vec::with_capacity(self.config.loop_stack_depth);
+
+        loop {
+            if stats.cycles > opts.max_cycles {
+                return Err(ExecError::Watchdog {
+                    cycles: opts.max_cycles,
+                });
+            }
+            let instr = match program.fetch(pc) {
+                Some(i) => *i,
+                None => return Err(ExecError::PcOutOfRange { pc }),
+            };
+            let active = InstructionTiming::scaled_threads(self.config.threads, instr.scale);
+            let class = instr.opcode.cycle_class();
+
+            // ---- clock accounting (both modes agree; cycle-accurate
+            // additionally steps the counter hardware) ----
+            let clocks = match opts.mode {
+                ExecMode::Functional => InstructionTiming::cycles(class, active),
+                ExecMode::CycleAccurate => {
+                    let stepped = PipelineControl::start(class, active).run_to_end();
+                    debug_assert_eq!(stepped, InstructionTiming::cycles(class, active));
+                    stepped
+                }
+            };
+            stats.cycles += clocks;
+            stats.instructions += 1;
+            match class {
+                CycleClass::Operation => stats.op_cycles += clocks,
+                CycleClass::Load => stats.load_cycles += clocks,
+                CycleClass::Store => stats.store_cycles += clocks,
+                CycleClass::SingleCycle => stats.single_cycles += clocks,
+            }
+            if class != CycleClass::SingleCycle {
+                stats.thread_ops += active as u64;
+            }
+
+            // ---- semantics ----
+            let mut jumped: Option<usize> = None;
+            match instr.opcode {
+                Opcode::Bra => {
+                    jumped = Some(instr.target());
+                }
+                Opcode::Brp => {
+                    if self.control_condition(&instr) {
+                        jumped = Some(instr.target());
+                    }
+                }
+                Opcode::Call => {
+                    if self.control_condition(&instr) {
+                        if call_stack.len() == self.config.call_stack_depth {
+                            return Err(ExecError::CallStackOverflow {
+                                pc,
+                                depth: self.config.call_stack_depth,
+                            });
+                        }
+                        call_stack.push(pc + 1);
+                        jumped = Some(instr.target());
+                    }
+                }
+                Opcode::Ret => {
+                    if self.control_condition(&instr) {
+                        match call_stack.pop() {
+                            Some(ra) => jumped = Some(ra),
+                            None => return Err(ExecError::CallStackUnderflow { pc }),
+                        }
+                    }
+                }
+                Opcode::Loop => {
+                    let count = instr.loop_count();
+                    let end = instr.loop_end();
+                    if count == 0 || end < pc + 1 {
+                        // Empty or zero-trip loop: skip the body.
+                        jumped = Some(end.max(pc) + 1);
+                        // A skip is a taken branch; fall through to flush
+                        // accounting below.
+                    } else {
+                        if loop_stack.len() == self.config.loop_stack_depth {
+                            return Err(ExecError::LoopStackOverflow {
+                                pc,
+                                depth: self.config.loop_stack_depth,
+                            });
+                        }
+                        loop_stack.push(LoopFrame {
+                            start: pc + 1,
+                            end,
+                            remaining: count,
+                        });
+                    }
+                }
+                Opcode::Exit => {
+                    if let Some(t) = trace.as_mut() {
+                        t.push(TraceEntry {
+                            pc,
+                            opcode: instr.opcode,
+                            active,
+                            clocks,
+                            jumped: None,
+                        });
+                    }
+                    stats.mem = self.shared.stats();
+                    return Ok(stats);
+                }
+                Opcode::Nop | Opcode::Bar => {}
+                _ => {
+                    self.exec_data_instruction(&instr, pc, active, &opts)?;
+                }
+            }
+
+            if let Some(t) = trace.as_mut() {
+                t.push(TraceEntry {
+                    pc,
+                    opcode: instr.opcode,
+                    active,
+                    clocks,
+                    jumped,
+                });
+            }
+
+            // ---- PC update ----
+            match jumped {
+                Some(target) => {
+                    // "A branch taken zeroes out the following
+                    // instructions in the pipeline."
+                    stats.branches_taken += 1;
+                    stats.branch_flush_cycles += FETCH_PIPELINE_DEPTH;
+                    stats.cycles += FETCH_PIPELINE_DEPTH;
+                    pc = target;
+                }
+                None => {
+                    // Zero-overhead loop back-edges: the "next thread
+                    // block" / branch logic of Fig. 2 redirects without a
+                    // flush. Nested loops may share an end address — an
+                    // exhausted inner frame pops and the enclosing frame
+                    // gets its check in the same clock.
+                    let mut redirected = false;
+                    while let Some(top) = loop_stack.last_mut() {
+                        if top.end != pc {
+                            break;
+                        }
+                        if top.remaining > 1 {
+                            top.remaining -= 1;
+                            pc = top.start;
+                            stats.loop_backedges += 1;
+                            redirected = true;
+                            break;
+                        }
+                        loop_stack.pop();
+                    }
+                    if !redirected {
+                        pc += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Uniform control condition: thread 0's view of the instruction's
+    /// guard (branches are decided once, in the instruction block).
+    fn control_condition(&self, instr: &Instruction) -> bool {
+        match instr.guard {
+            Some(Guard { pred, negate }) => {
+                self.regfile.read_pred(0, pred.index()) != negate
+            }
+            None => true,
+        }
+    }
+
+    /// Execute a data instruction (operation / load / store) across the
+    /// active thread set.
+    fn exec_data_instruction(
+        &mut self,
+        instr: &Instruction,
+        pc: usize,
+        active: usize,
+        opts: &RunOptions,
+    ) -> Result<(), ExecError> {
+        let ntid = self.config.threads as u32;
+        let parallel = opts.parallel && active >= PARALLEL_THRESHOLD;
+        let datapath = &self.datapath;
+
+        match instr.opcode {
+            Opcode::Lds => {
+                let (lanes, depth) = InstructionTiming::block_shape(active);
+                for _ in 0..depth {
+                    self.shared.account_read_row(lanes);
+                }
+                let shared_size = self.shared.words();
+                let data = self.shared.as_slice();
+                let mut reads = 0u64;
+                let (regs, preds, rpt) = self.regfile.split_mut();
+                let body = |tid: usize,
+                            window: &mut [u32],
+                            pred: &u8|
+                 -> Result<u64, ExecError> {
+                    if !guard_pass(*pred, instr.guard) {
+                        return Ok(0);
+                    }
+                    let addr =
+                        window[instr.ra.index()].wrapping_add(instr.imm16()) as usize;
+                    match data.get(addr) {
+                        Some(&v) => {
+                            window[instr.rd.index()] = v;
+                            Ok(1)
+                        }
+                        None => Err(ExecError::SharedOutOfBounds {
+                            pc,
+                            thread: tid,
+                            addr,
+                            size: shared_size,
+                        }),
+                    }
+                };
+                if parallel {
+                    reads += regs
+                        .par_chunks_mut(rpt)
+                        .zip(preds.par_iter())
+                        .take(active)
+                        .enumerate()
+                        .map(|(tid, (window, pred))| body(tid, window, pred))
+                        .try_reduce(|| 0, |x, y| Ok(x + y))?;
+                } else {
+                    for (tid, (window, pred)) in
+                        regs.chunks_mut(rpt).zip(preds.iter()).take(active).enumerate()
+                    {
+                        reads += body(tid, window, pred)?;
+                    }
+                }
+                self.shared.bump_reads(reads);
+                Ok(())
+            }
+            Opcode::Sts => {
+                let (lanes, depth) = InstructionTiming::block_shape(active);
+                for _ in 0..depth {
+                    self.shared.account_write_row(lanes);
+                }
+                // Stores stream through the single write port in thread
+                // order; on address conflicts the highest thread id wins.
+                // Compute (addr, value) pairs first (parallel-safe), then
+                // apply in order.
+                let (regs, preds, rpt) = self.regfile.split_mut();
+                let gather = |(window, pred): (&[u32], &u8)| -> Option<(usize, u32)> {
+                    if !guard_pass(*pred, instr.guard) {
+                        return None;
+                    }
+                    let addr = window[instr.ra.index()].wrapping_add(instr.imm16()) as usize;
+                    Some((addr, window[instr.rb.index()]))
+                };
+                let pairs: Vec<Option<(usize, u32)>> = if parallel {
+                    regs.par_chunks(rpt)
+                        .zip(preds.par_iter())
+                        .take(active)
+                        .map(gather)
+                        .collect()
+                } else {
+                    regs.chunks(rpt)
+                        .zip(preds.iter())
+                        .take(active)
+                        .map(gather)
+                        .collect()
+                };
+                for (tid, pair) in pairs.into_iter().enumerate() {
+                    if let Some((addr, value)) = pair {
+                        self.shared.write(pc, tid, addr, value)?;
+                    }
+                }
+                Ok(())
+            }
+            Opcode::SetpEq
+            | Opcode::SetpNe
+            | Opcode::SetpLt
+            | Opcode::SetpLe
+            | Opcode::SetpGt
+            | Opcode::SetpGe
+            | Opcode::SetpLtu
+            | Opcode::SetpGeu => {
+                let (regs, preds, rpt) = self.regfile.split_mut();
+                let dst = instr.dst_pred().index();
+                let body = |window: &[u32], pred: &mut u8| {
+                    if !guard_pass(*pred, instr.guard) {
+                        return;
+                    }
+                    let a = window[instr.ra.index()];
+                    let b = window[instr.rb.index()];
+                    let v = datapath.eval_setp(instr.opcode, a, b);
+                    let bit = 1u8 << dst;
+                    if v {
+                        *pred |= bit;
+                    } else {
+                        *pred &= !bit;
+                    }
+                };
+                if parallel {
+                    regs.par_chunks(rpt)
+                        .zip(preds.par_iter_mut())
+                        .take(active)
+                        .for_each(|(w, p)| body(w, p));
+                } else {
+                    for (w, p) in regs.chunks(rpt).zip(preds.iter_mut()).take(active) {
+                        body(w, p);
+                    }
+                }
+                Ok(())
+            }
+            _ => {
+                // Generic ALU-value instruction writing rd.
+                let (regs, preds, rpt) = self.regfile.split_mut();
+                let reads = instr.opcode.reg_reads();
+                let has_rb =
+                    reads >= 2 && instr.opcode.imm_form() != simt_isa::ImmForm::Imm32;
+                let body = |tid: usize, window: &mut [u32], pred: &u8| {
+                    if !guard_pass(*pred, instr.guard) {
+                        return;
+                    }
+                    let ops = Operands {
+                        a: if reads >= 1 { window[instr.ra.index()] } else { 0 },
+                        b: if has_rb { window[instr.rb.index()] } else { 0 },
+                        c: if instr.opcode.reads_rc() {
+                            window[instr.rc.index()]
+                        } else {
+                            0
+                        },
+                        tid: tid as u32,
+                        ntid,
+                        sel_pred: if instr.opcode == Opcode::Selp {
+                            *pred >> instr.sel_pred().index() & 1 != 0
+                        } else {
+                            false
+                        },
+                    };
+                    let v = datapath.eval(instr, ops);
+                    if instr.opcode.writes_rd() {
+                        window[instr.rd.index()] = v;
+                    }
+                };
+                if parallel {
+                    regs.par_chunks_mut(rpt)
+                        .zip(preds.par_iter())
+                        .take(active)
+                        .enumerate()
+                        .for_each(|(tid, (w, p))| body(tid, w, p));
+                } else {
+                    for (tid, (w, p)) in
+                        regs.chunks_mut(rpt).zip(preds.iter()).take(active).enumerate()
+                    {
+                        body(tid, w, p);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Evaluate a predicate guard against a thread's predicate nibble.
+#[inline]
+fn guard_pass(pred_nibble: u8, guard: Option<Guard>) -> bool {
+    match guard {
+        Some(Guard { pred, negate }) => (pred_nibble >> pred.index() & 1 != 0) != negate,
+        None => true,
+    }
+}

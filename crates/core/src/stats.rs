@@ -1,0 +1,111 @@
+//! Execution statistics and derived performance figures.
+
+use crate::shared::SharedMemStats;
+use serde::{Deserialize, Serialize};
+
+/// Cycle-exact accounting of one program run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Total clocks, including pipeline fill and branch flushes.
+    pub cycles: u64,
+    /// Instructions issued (loop iterations re-issue body instructions).
+    pub instructions: u64,
+    /// Clocks spent filling the fetch pipeline at start.
+    pub fill_cycles: u64,
+    /// Clocks lost to taken-branch pipeline flushes.
+    pub branch_flush_cycles: u64,
+    /// Number of taken branches (bra / taken brp / call / ret).
+    pub branches_taken: u64,
+    /// Zero-overhead loop back-edges taken (no flush cost).
+    pub loop_backedges: u64,
+    /// Clocks in operation-class instructions.
+    pub op_cycles: u64,
+    /// Clocks in loads.
+    pub load_cycles: u64,
+    /// Clocks in stores.
+    pub store_cycles: u64,
+    /// Clocks in single-cycle instructions.
+    pub single_cycles: u64,
+    /// Shared-memory statistics.
+    pub mem: SharedMemStats,
+    /// Thread-operations retired (sum of active threads over operation
+    /// and memory instructions) — the numerator of GOPS.
+    pub thread_ops: u64,
+}
+
+impl ExecStats {
+    /// Instructions per clock.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean clocks per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Wall-clock seconds at a given clock frequency in MHz (e.g. the
+    /// 956 MHz restricted Fmax of §5).
+    pub fn seconds_at(&self, fmax_mhz: f64) -> f64 {
+        self.cycles as f64 / (fmax_mhz * 1e6)
+    }
+
+    /// Thread-operations per second at a clock frequency in MHz
+    /// (effective GOPS when divided by 1e9).
+    pub fn ops_per_second_at(&self, fmax_mhz: f64) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.thread_ops as f64 / self.seconds_at(fmax_mhz)
+        }
+    }
+
+    /// Consistency check: the per-class cycle buckets plus fill and
+    /// flushes account for every clock.
+    pub fn buckets_consistent(&self) -> bool {
+        self.fill_cycles
+            + self.branch_flush_cycles
+            + self.op_cycles
+            + self.load_cycles
+            + self.store_cycles
+            + self.single_cycles
+            == self.cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = ExecStats {
+            cycles: 1000,
+            instructions: 250,
+            thread_ops: 16000,
+            ..Default::default()
+        };
+        assert!((s.ipc() - 0.25).abs() < 1e-12);
+        assert!((s.cpi() - 4.0).abs() < 1e-12);
+        let secs = s.seconds_at(1000.0); // 1 GHz -> 1 ns/clk
+        assert!((secs - 1e-6).abs() < 1e-15);
+        assert!((s.ops_per_second_at(1000.0) - 16e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_safe() {
+        let s = ExecStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.cpi(), 0.0);
+        assert_eq!(s.ops_per_second_at(950.0), 0.0);
+        assert!(s.buckets_consistent());
+    }
+}

@@ -1,0 +1,61 @@
+//! Execution-trace tests: the trace is a faithful transcript of the
+//! instruction block's issue stream.
+
+use simt_core::{Processor, ProcessorConfig, RunOptions};
+use simt_isa::{assemble, Opcode};
+
+fn traced(src: &str) -> (simt_core::ExecStats, Vec<simt_core::TraceEntry>) {
+    let mut cpu = Processor::new(ProcessorConfig::small()).unwrap();
+    let p = assemble(src).unwrap();
+    cpu.load_program(&p).unwrap();
+    cpu.run_traced(RunOptions::default()).unwrap()
+}
+
+#[test]
+fn straight_line_trace() {
+    let (stats, trace) = traced("  stid r1\n  add r2, r1, r1\n  sts [r1+0], r2\n  exit");
+    assert_eq!(trace.len(), 4);
+    assert_eq!(trace[0].opcode, Opcode::Stid);
+    assert_eq!(trace[3].opcode, Opcode::Exit);
+    assert_eq!(trace.iter().map(|t| t.pc).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    assert_eq!(stats.instructions, trace.len() as u64);
+    // The traced clocks sum to the non-fill, non-flush cycle budget.
+    let sum: u64 = trace.iter().map(|t| t.clocks).sum();
+    assert_eq!(sum + stats.fill_cycles + stats.branch_flush_cycles, stats.cycles);
+}
+
+#[test]
+fn loop_iterations_reissue_body() {
+    let (_, trace) = traced(
+        "  loop 3, done\n  addi r1, r1, 1\ndone:\n  exit",
+    );
+    // loop + 3x addi + exit
+    let addis = trace.iter().filter(|t| t.opcode == Opcode::Addi).count();
+    assert_eq!(addis, 3);
+    assert!(trace.iter().filter(|t| t.opcode == Opcode::Addi).all(|t| t.jumped.is_none()));
+}
+
+#[test]
+fn branch_targets_recorded() {
+    let (_, trace) = traced("  bra skip\nskip:\n  exit");
+    assert_eq!(trace[0].jumped, Some(1));
+    assert_eq!(trace[1].opcode, Opcode::Exit);
+}
+
+#[test]
+fn dynamic_scale_visible_in_trace() {
+    let (_, trace) = traced("  stid r1\n  sts.t2 [r1+0], r1\n  exit");
+    let sts = trace.iter().find(|t| t.opcode == Opcode::Sts).unwrap();
+    assert_eq!(sts.active, 16); // 64 threads >> 2
+    assert_eq!(sts.clocks, 16); // one thread per clock through the write mux
+}
+
+#[test]
+fn traced_and_untraced_agree() {
+    let src = "  stid r1\n  muli r2, r1, 3\n  sts [r1+0], r2\n  exit";
+    let (stats_t, _) = traced(src);
+    let mut cpu = Processor::new(ProcessorConfig::small()).unwrap();
+    cpu.load_program(&assemble(src).unwrap()).unwrap();
+    let stats = cpu.run(RunOptions::default()).unwrap();
+    assert_eq!(stats, stats_t);
+}

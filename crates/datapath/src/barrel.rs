@@ -1,0 +1,167 @@
+//! The classic 5-level binary barrel shifter — the design the paper
+//! *rejected* after finding it limited the assembled SM below 850 MHz.
+//!
+//! "A 32-bit barrel shifter in soft logic is most commonly implemented as
+//! a 5-level binary shift ... The 16-bit shifts in particular introduce
+//! connections which travel a long way horizontally." We keep the
+//! structure (and its per-level routing distances) because the STA model
+//! in `fpga-fitter` uses it to reproduce the §4 finding: standalone it
+//! closes 1 GHz with one internal register stage, but inside a dense
+//! 16-SP SM the consecutive 8-bit and 16-bit levels cannot both place
+//! short, and the critical path lands here.
+
+use crate::shifter::ShiftKind;
+use serde::{Deserialize, Serialize};
+
+/// Per-level record of a barrel shift (for tests and for the STA model's
+/// routing-distance estimate).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BarrelLevel {
+    /// Shift distance of this level (1, 2, 4, 8, 16).
+    pub distance: u32,
+    /// Whether the level's mux selected the shifted path.
+    pub taken: bool,
+    /// Value after this level.
+    pub value: u32,
+}
+
+/// A 32-bit, 5-level binary barrel shifter with one internal pipeline
+/// register (the configuration that closes standalone, §4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BarrelShifter;
+
+/// Number of mux levels (log2 of the width).
+pub const BARREL_LEVELS: usize = 5;
+
+/// Index of the level after which the single internal register sits
+/// (between the 4-bit and 8-bit levels: 3 levels, register, 2 levels —
+/// keeping the long-routing 8/16-bit levels in the second stage is what
+/// makes them the critical path of an assembled SM).
+pub const BARREL_REGISTER_AFTER_LEVEL: usize = 3;
+
+impl BarrelShifter {
+    /// New shifter.
+    pub fn new() -> Self {
+        BarrelShifter
+    }
+
+    /// Shift with a per-level trace.
+    pub fn shift_traced(&self, kind: ShiftKind, value: u32, amount: u32) -> (u32, Vec<BarrelLevel>) {
+        let out_of_range = amount >= 32;
+        let s = amount & 31;
+        let neg = (value as i32) < 0;
+        let mut v = value;
+        let mut levels = Vec::with_capacity(BARREL_LEVELS);
+        for lvl in 0..BARREL_LEVELS as u32 {
+            let distance = 1u32 << lvl;
+            let taken = s & distance != 0;
+            if taken {
+                v = match kind {
+                    ShiftKind::Lsl => v << distance,
+                    ShiftKind::Lsr => v >> distance,
+                    ShiftKind::Asr => ((v as i32) >> distance) as u32,
+                };
+            }
+            levels.push(BarrelLevel {
+                distance,
+                taken,
+                value: v,
+            });
+        }
+        if out_of_range {
+            v = match kind {
+                ShiftKind::Lsl | ShiftKind::Lsr => 0,
+                ShiftKind::Asr => {
+                    if neg {
+                        u32::MAX
+                    } else {
+                        0
+                    }
+                }
+            };
+        }
+        (v, levels)
+    }
+
+    /// Shift, result only.
+    pub fn shift(&self, kind: ShiftKind, value: u32, amount: u32) -> u32 {
+        self.shift_traced(kind, value, amount).0
+    }
+
+    /// Approximate soft-logic cost: "A 32-bit shifter requires
+    /// approximately 50 ALMs, or 100 ALMs for a left and right shift
+    /// pair" (§4).
+    pub fn alms_single() -> usize {
+        50
+    }
+
+    /// ALM cost of a left+right pair.
+    pub fn alms_pair() -> usize {
+        100
+    }
+
+    /// Horizontal routing distance of each level in LAB columns — the
+    /// quantity that breaks timing in a large system: "the input to any
+    /// given ALM in this [16-bit] level will come from two different
+    /// LABs".
+    pub fn level_route_distance(level: usize) -> f64 {
+        // 1,2,4-bit shifts stay within a LAB; 8-bit spans a neighbour
+        // column; 16-bit spans two.
+        match level {
+            0..=2 => 0.25,
+            3 => 1.0,
+            4 => 2.0,
+            _ => panic!("barrel level {level} out of range"),
+        }
+    }
+
+    /// Pipeline depth (one internal register stage → two logic stages),
+    /// before depth-matching registers pad it to [`crate::ALU_LATENCY`].
+    pub fn latency(&self) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shifter::MultiplicativeShifter;
+
+    #[test]
+    fn barrel_equals_multiplicative_shifter() {
+        // The two implementations must agree everywhere — the paper's
+        // change was purely physical, not functional.
+        let barrel = BarrelShifter::new();
+        let mult = MultiplicativeShifter::new(32);
+        for &v in &[0u32, 1, 0x8000_0000, 0xFFFF_FFFF, 0x1234_5678] {
+            for s in 0..48 {
+                for kind in [ShiftKind::Lsl, ShiftKind::Lsr, ShiftKind::Asr] {
+                    assert_eq!(
+                        barrel.shift(kind, v, s),
+                        mult.shift(kind, v, s),
+                        "{kind:?} v={v:#x} s={s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn levels_compose_binary_decomposition() {
+        let barrel = BarrelShifter::new();
+        let (v, levels) = barrel.shift_traced(ShiftKind::Lsr, 0xFFFF_0000, 21);
+        assert_eq!(v, 0xFFFF_0000 >> 21);
+        // 21 = 16 + 4 + 1
+        let taken: Vec<u32> = levels.iter().filter(|l| l.taken).map(|l| l.distance).collect();
+        assert_eq!(taken, vec![1, 4, 16]);
+    }
+
+    #[test]
+    fn route_distances_grow_with_level() {
+        let d: Vec<f64> = (0..BARREL_LEVELS).map(BarrelShifter::level_route_distance).collect();
+        for w in d.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert_eq!(d[4], 2.0); // the 16-bit level spans two LAB columns
+    }
+}

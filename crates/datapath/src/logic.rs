@@ -1,0 +1,123 @@
+//! The soft-logic bitwise ALU (§4).
+//!
+//! "The standard bitwise logic functions (such as AND, OR, XOR) will be
+//! able to achieve 1 GHz in a single level of logic. Somewhat more
+//! complex bitwise functions, such as cNOT, will likely not ... but as
+//! there are a large number of pipeline levels to use (the soft logic ALU
+//! is depth matched to the DSP Block datapath) there is considerable
+//! flexibility available."
+//!
+//! Each function therefore also reports its *logic depth* in LUT levels;
+//! `fpga-fitter` consumes those depths when computing path delays.
+
+use serde::{Deserialize, Serialize};
+
+/// A bitwise / count operation of the logic unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LogicOp {
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise NOT (unary).
+    Not,
+    /// PTX `cnot`: `d = (a == 0) ? 1 : 0` — a 32-input reduction.
+    Cnot,
+    /// Population count.
+    Popc,
+    /// Count leading zeros.
+    Clz,
+    /// Bit reverse (pure wires — zero logic levels).
+    Brev,
+}
+
+/// The logic unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogicUnit;
+
+impl LogicUnit {
+    /// New unit.
+    pub fn new() -> Self {
+        LogicUnit
+    }
+
+    /// Evaluate a binary op (`b` ignored for unary ops).
+    pub fn eval(&self, op: LogicOp, a: u32, b: u32) -> u32 {
+        match op {
+            LogicOp::And => a & b,
+            LogicOp::Or => a | b,
+            LogicOp::Xor => a ^ b,
+            LogicOp::Not => !a,
+            LogicOp::Cnot => (a == 0) as u32,
+            LogicOp::Popc => a.count_ones(),
+            LogicOp::Clz => a.leading_zeros(),
+            LogicOp::Brev => a.reverse_bits(),
+        }
+    }
+
+    /// Logic depth in 6-LUT levels, used by the STA model. A 6-LUT takes
+    /// 6 inputs, so a 32-input AND/OR reduction needs ⌈log6(32)⌉ = 2
+    /// levels; popcount/clz compress through adder trees in 3.
+    pub fn depth(&self, op: LogicOp) -> usize {
+        match op {
+            LogicOp::And | LogicOp::Or | LogicOp::Xor | LogicOp::Not => 1,
+            LogicOp::Brev => 0,
+            LogicOp::Cnot => 2,
+            LogicOp::Popc | LogicOp::Clz => 3,
+        }
+    }
+
+    /// Pipeline depth after depth-matching to the DSP datapath.
+    pub fn latency(&self) -> usize {
+        crate::ALU_LATENCY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn semantics() {
+        let u = LogicUnit::new();
+        assert_eq!(u.eval(LogicOp::And, 0xF0F0, 0xFF00), 0xF000);
+        assert_eq!(u.eval(LogicOp::Or, 0xF0F0, 0x0F0F), 0xFFFF);
+        assert_eq!(u.eval(LogicOp::Xor, 0xFFFF, 0x00FF), 0xFF00);
+        assert_eq!(u.eval(LogicOp::Not, 0, 0), u32::MAX);
+        assert_eq!(u.eval(LogicOp::Cnot, 0, 99), 1);
+        assert_eq!(u.eval(LogicOp::Cnot, 5, 99), 0);
+        assert_eq!(u.eval(LogicOp::Popc, 0xFF, 0), 8);
+        assert_eq!(u.eval(LogicOp::Clz, 1, 0), 31);
+        assert_eq!(u.eval(LogicOp::Clz, 0, 0), 32);
+        assert_eq!(u.eval(LogicOp::Brev, 1, 0), 0x8000_0000);
+    }
+
+    #[test]
+    fn depths_single_level_for_simple_ops() {
+        let u = LogicUnit::new();
+        for op in [LogicOp::And, LogicOp::Or, LogicOp::Xor, LogicOp::Not] {
+            assert_eq!(u.depth(op), 1);
+        }
+        assert!(u.depth(LogicOp::Cnot) > 1); // "will likely not ... single level"
+        assert_eq!(u.depth(LogicOp::Brev), 0); // wires are free
+    }
+
+    #[test]
+    fn depth_fits_pipeline() {
+        let u = LogicUnit::new();
+        for op in [
+            LogicOp::And,
+            LogicOp::Or,
+            LogicOp::Xor,
+            LogicOp::Not,
+            LogicOp::Cnot,
+            LogicOp::Popc,
+            LogicOp::Clz,
+            LogicOp::Brev,
+        ] {
+            assert!(u.depth(op) <= u.latency());
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! The multiplier datapath as a *clocked pipeline* — one operand pair in
+//! per clock, one 64-bit product out per clock, latency
+//! [`ALU_LATENCY`].
+//!
+//! This is what lets the SM stream a 16-thread row every clock (§3's
+//! "512 threads would require 32 clocks per operation instruction"): the
+//! DSP blocks and the composition adder are fully pipelined, so
+//! consecutive rows occupy consecutive stages. The stage contents mirror
+//! the physical structure:
+//!
+//! ```text
+//! S0: operand registration + half-split/sign-extension
+//! S1: four 18x19 partial products (DSP internal stage)
+//! S2: DSP output registers: vectors A, B, C
+//! S3: 66-bit segment sums + {g,p} bits (first adder stage)
+//! S4: registered-carry insertion (second adder stage)
+//! S5: writeback select (hi/lo)
+//! ```
+
+use crate::adder::SegmentAdder66;
+use crate::mult::{Int32Multiplier, MulVectors, Signedness};
+use crate::ALU_LATENCY;
+
+/// A transaction in flight, carrying the signals present at its stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Txn {
+    a: u32,
+    b: u32,
+    mode: Signedness,
+    /// Populated at S2 (DSP outputs).
+    vectors: Option<MulVectors>,
+    /// Populated at S4 (composed 66-bit sum).
+    sum: Option<u128>,
+}
+
+/// The clocked multiplier pipeline.
+#[derive(Debug, Clone)]
+pub struct MultiplierPipeline {
+    unit: Int32Multiplier,
+    adder: SegmentAdder66,
+    stages: [Option<Txn>; ALU_LATENCY],
+    accepted: u64,
+    produced: u64,
+}
+
+impl Default for MultiplierPipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MultiplierPipeline {
+    /// An empty pipeline.
+    pub fn new() -> Self {
+        MultiplierPipeline {
+            unit: Int32Multiplier::new(),
+            adder: SegmentAdder66::new(),
+            stages: [None; ALU_LATENCY],
+            accepted: 0,
+            produced: 0,
+        }
+    }
+
+    /// Advance one clock: optionally accept a new operand pair, and
+    /// return the product completing this clock (if any). The pipeline
+    /// never stalls — it accepts one input per clock indefinitely.
+    pub fn clock(&mut self, input: Option<(u32, u32, Signedness)>) -> Option<u64> {
+        // Shift every stage toward retirement, transforming the signals
+        // each stage is responsible for; S5 is the output register, read
+        // the same clock its transaction arrives.
+        for i in (1..ALU_LATENCY).rev() {
+            let mut t = self.stages[i - 1].take();
+            if let Some(txn) = t.as_mut() {
+                match i {
+                    // entering S2: the DSP block's output registers.
+                    2 => txn.vectors = Some(self.unit.vectors(txn.a, txn.b, txn.mode)),
+                    // entering S4: segment sums + carries have resolved.
+                    4 => {
+                        let v = txn.vectors.expect("vectors from S2");
+                        txn.sum = Some(self.adder.add(v.v1, v.v2));
+                    }
+                    _ => {}
+                }
+            }
+            self.stages[i] = t;
+        }
+        self.stages[0] = input.map(|(a, b, mode)| {
+            self.accepted += 1;
+            Txn {
+                a,
+                b,
+                mode,
+                vectors: None,
+                sum: None,
+            }
+        });
+        self.stages[ALU_LATENCY - 1].take().map(|t| {
+            self.produced += 1;
+            (t.sum.expect("sum computed by S4") & (u64::MAX as u128)) as u64
+        })
+    }
+
+    /// Operand pairs accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Products retired so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// Whether any transaction is in flight.
+    pub fn busy(&self) -> bool {
+        self.stages.iter().any(|s| s.is_some())
+    }
+
+    /// Drain the pipeline, returning remaining products in order.
+    pub fn drain(&mut self) -> Vec<u64> {
+        let mut out = Vec::new();
+        while self.busy() {
+            if let Some(v) = self.clock(None) {
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(a: u32, b: u32, mode: Signedness) -> u64 {
+        match mode {
+            Signedness::Unsigned => (a as u64).wrapping_mul(b as u64),
+            Signedness::Signed => ((a as i32 as i64).wrapping_mul(b as i32 as i64)) as u64,
+        }
+    }
+
+    #[test]
+    fn latency_is_alu_latency() {
+        let mut p = MultiplierPipeline::new();
+        let mut clocks = 0;
+        let mut got = p.clock(Some((7, 9, Signedness::Unsigned)));
+        clocks += 1;
+        while got.is_none() {
+            got = p.clock(None);
+            clocks += 1;
+            assert!(clocks <= 2 * ALU_LATENCY, "product never emerged");
+        }
+        assert_eq!(clocks, ALU_LATENCY);
+        assert_eq!(got, Some(63));
+    }
+
+    #[test]
+    fn full_throughput_one_per_clock() {
+        // Stream 64 operand pairs back to back: products emerge one per
+        // clock after the fill, in order.
+        let inputs: Vec<(u32, u32)> = (0..64u32)
+            .map(|i| (i.wrapping_mul(2654435761), !i))
+            .collect();
+        let mut p = MultiplierPipeline::new();
+        let mut outputs = Vec::new();
+        for &(a, b) in &inputs {
+            if let Some(v) = p.clock(Some((a, b, Signedness::Signed))) {
+                outputs.push(v);
+            }
+        }
+        outputs.extend(p.drain());
+        assert_eq!(outputs.len(), inputs.len());
+        for (&(a, b), &got) in inputs.iter().zip(&outputs) {
+            assert_eq!(got, reference(a, b, Signedness::Signed));
+        }
+        assert_eq!(p.accepted(), 64);
+        assert_eq!(p.produced(), 64);
+    }
+
+    #[test]
+    fn interleaved_modes_stay_independent() {
+        let mut p = MultiplierPipeline::new();
+        let mut outs = Vec::new();
+        let cases = [
+            (0xFFFF_FFFFu32, 2u32, Signedness::Unsigned),
+            (0xFFFF_FFFF, 2, Signedness::Signed),
+            (0x8000_0000, 0x8000_0000, Signedness::Unsigned),
+            (0x8000_0000, 0x8000_0000, Signedness::Signed),
+        ];
+        for &(a, b, m) in &cases {
+            if let Some(v) = p.clock(Some((a, b, m))) {
+                outs.push(v);
+            }
+        }
+        outs.extend(p.drain());
+        let want: Vec<u64> = cases.iter().map(|&(a, b, m)| reference(a, b, m)).collect();
+        assert_eq!(outs, want);
+    }
+
+    #[test]
+    fn bubbles_propagate() {
+        let mut p = MultiplierPipeline::new();
+        // in, gap, in
+        assert!(p.clock(Some((3, 4, Signedness::Unsigned))).is_none());
+        assert!(p.clock(None).is_none());
+        assert!(p.clock(Some((5, 6, Signedness::Unsigned))).is_none());
+        let mut outs = Vec::new();
+        for _ in 0..ALU_LATENCY {
+            if let Some(v) = p.clock(None) {
+                outs.push(v);
+            }
+        }
+        assert_eq!(outs, vec![12, 30]);
+        assert!(!p.busy());
+    }
+}

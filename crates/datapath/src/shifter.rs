@@ -1,0 +1,318 @@
+//! The integrated multiplicative shifter of §4.2.
+//!
+//! The 5-level logic barrel shifter could not hold 1 GHz inside a full
+//! 16-SP SM (its 8-bit and 16-bit levels route too far horizontally), so
+//! the paper folds shifting into the multiplier datapath:
+//!
+//! * the shift value is converted to **one-hot** in a single logic level;
+//!   a value ≥ the data width becomes all-zeroes ("the multiplicative
+//!   shift result is 0 ... the equivalent of having the data value
+//!   shifted out of range");
+//! * **left** shifts are the product `AA × one_hot`;
+//! * **right logical** shifts bit-reverse `AA` into the multiplier and
+//!   bit-reverse the lower result half back out (bit reversal is free in
+//!   hardware);
+//! * **right arithmetic** shifts (essential on a fixed-point processor
+//!   for scaling/normalisation) additionally convert the shift value to a
+//!   **unary** number, bit-reverse it into a leading-ones mask, and OR it
+//!   into the reversed product when the input's MSB is 1.
+//!
+//! The model is width-generic (2..=32 bits) so the paper's Figure 5
+//! 12-bit walk-through is reproduced verbatim in the tests and in the
+//! `tables --fig5` harness.
+
+use serde::{Deserialize, Serialize};
+
+/// Shift operation selector (the `asr/lsr/lsl` select of Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShiftKind {
+    /// Logical shift left.
+    Lsl,
+    /// Logical shift right.
+    Lsr,
+    /// Arithmetic shift right (sign-preserving).
+    Asr,
+}
+
+/// Step-by-step trace of a shift through the multiplier datapath,
+/// mirroring Figure 5's rows.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShiftTrace {
+    /// Data input (masked to the width).
+    pub input: u32,
+    /// Requested shift amount (full 32-bit value, before range check).
+    pub amount: u32,
+    /// One-hot multiplicand (0 when out of range).
+    pub one_hot: u32,
+    /// Bit-reversed input (right shifts only).
+    pub reversed_input: Option<u32>,
+    /// Low `width` bits of the multiplier product.
+    pub product_low: u32,
+    /// Bit-reversed product (right shifts only).
+    pub reversed_product: Option<u32>,
+    /// Reversed-unary leading-ones mask (asr of a negative value only).
+    pub or_mask: u32,
+    /// Final result (masked to the width).
+    pub result: u32,
+}
+
+/// Width-generic multiplicative shifter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiplicativeShifter {
+    width: u32,
+}
+
+impl Default for MultiplicativeShifter {
+    fn default() -> Self {
+        Self::new(32)
+    }
+}
+
+impl MultiplicativeShifter {
+    /// A shifter for `width`-bit data, 2..=32.
+    ///
+    /// # Panics
+    /// If `width` is outside 2..=32.
+    pub fn new(width: u32) -> Self {
+        assert!((2..=32).contains(&width), "width {width} out of 2..=32");
+        MultiplicativeShifter { width }
+    }
+
+    /// Data width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn mask(&self) -> u32 {
+        if self.width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.width) - 1
+        }
+    }
+
+    /// Bit-reverse within the data width ("a free operation in hardware").
+    pub fn bit_reverse(&self, v: u32) -> u32 {
+        (v & self.mask()).reverse_bits() >> (32 - self.width)
+    }
+
+    /// One-hot conversion of the shift value: `1 << s`, or 0 when the
+    /// value is out of range (≥ width). "A shift by zero would result in
+    /// a one-hot value of '1'".
+    pub fn one_hot(&self, amount: u32) -> u32 {
+        if amount >= self.width {
+            0
+        } else {
+            1u32 << amount
+        }
+    }
+
+    /// Unary conversion used by the arithmetic-right path: `s` ones in the
+    /// LSBs; out-of-range gives all ones (the out-of-range flag is
+    /// forwarded with the 5-bit value so a negative number saturates to
+    /// −1, matching two's-complement `>>`).
+    pub fn unary(&self, amount: u32) -> u32 {
+        if amount >= self.width {
+            self.mask()
+        } else if amount == 0 {
+            0
+        } else {
+            (1u32 << amount) - 1
+        }
+    }
+
+    /// Perform a shift through the multiplier datapath, returning the
+    /// full signal trace (Figure 5).
+    pub fn shift_traced(&self, kind: ShiftKind, value: u32, amount: u32) -> ShiftTrace {
+        let mask = self.mask();
+        let input = value & mask;
+        let one_hot = self.one_hot(amount);
+        match kind {
+            ShiftKind::Lsl => {
+                // Left shift: straight multiply, take the low half.
+                let product_low = input.wrapping_mul(one_hot) & mask;
+                ShiftTrace {
+                    input,
+                    amount,
+                    one_hot,
+                    reversed_input: None,
+                    product_low,
+                    reversed_product: None,
+                    or_mask: 0,
+                    result: product_low,
+                }
+            }
+            ShiftKind::Lsr | ShiftKind::Asr => {
+                let reversed = self.bit_reverse(input);
+                let product_low = reversed.wrapping_mul(one_hot) & mask;
+                let reversed_product = self.bit_reverse(product_low);
+                let negative = input >> (self.width - 1) != 0;
+                let or_mask = if kind == ShiftKind::Asr && negative {
+                    // reversed unary = leading ones
+                    self.bit_reverse(self.unary(amount))
+                } else {
+                    0
+                };
+                let result = (reversed_product | or_mask) & mask;
+                ShiftTrace {
+                    input,
+                    amount,
+                    one_hot,
+                    reversed_input: Some(reversed),
+                    product_low,
+                    reversed_product: Some(reversed_product),
+                    or_mask,
+                    result,
+                }
+            }
+        }
+    }
+
+    /// Perform a shift, result only.
+    pub fn shift(&self, kind: ShiftKind, value: u32, amount: u32) -> u32 {
+        self.shift_traced(kind, value, amount).result
+    }
+
+    /// Rotate right, composed from the two logical shift paths (two
+    /// passes of the multiplier datapath OR-ed; used by `rotri`).
+    pub fn rotate_right(&self, value: u32, amount: u32) -> u32 {
+        let s = amount % self.width;
+        if s == 0 {
+            return value & self.mask();
+        }
+        self.shift(ShiftKind::Lsr, value, s) | self.shift(ShiftKind::Lsl, value, self.width - s)
+    }
+
+    /// Pipeline depth: rides the multiplier datapath.
+    pub fn latency(&self) -> usize {
+        crate::ALU_LATENCY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference semantics shared with the ISA: shifts ≥ width give 0
+    /// (lsl/lsr) or all-sign (asr).
+    fn reference(kind: ShiftKind, width: u32, v: u32, s: u32) -> u32 {
+        let mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+        let v = v & mask;
+        match kind {
+            ShiftKind::Lsl => {
+                if s >= width {
+                    0
+                } else {
+                    (v << s) & mask
+                }
+            }
+            ShiftKind::Lsr => {
+                if s >= width {
+                    0
+                } else {
+                    v >> s
+                }
+            }
+            ShiftKind::Asr => {
+                let neg = v >> (width - 1) != 0;
+                if s >= width {
+                    if neg {
+                        mask
+                    } else {
+                        0
+                    }
+                } else {
+                    let logical = v >> s;
+                    if neg {
+                        (logical | (mask & !(mask >> s))) & mask
+                    } else {
+                        logical
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure5_walkthrough_12bit() {
+        // Paper Figure 5: -913 (110001101111) >> 5 arithmetic, 12-bit.
+        let sh = MultiplicativeShifter::new(12);
+        let input = 0b1100_0110_1111; // -913 in 12-bit two's complement
+        assert_eq!(input as i32 - 4096, -913);
+        let t = sh.shift_traced(ShiftKind::Asr, input, 5);
+        assert_eq!(t.reversed_input, Some(0b1111_0110_0011)); // "111101100011"
+        assert_eq!(t.one_hot, 0b0000_0010_0000); // "000000100000"
+        assert_eq!(t.or_mask, 0b1111_1000_0000); // five leading ones
+        // -913 >> 5 = -29 = 111111100011 in 12 bits.
+        assert_eq!(t.result, 0b1111_1110_0011);
+        assert_eq!(t.result as i32 - 4096, -29);
+    }
+
+    #[test]
+    fn one_hot_edges() {
+        let sh = MultiplicativeShifter::new(32);
+        assert_eq!(sh.one_hot(0), 1); // "A shift by zero ... one-hot value of 1"
+        assert_eq!(sh.one_hot(31), 1 << 31);
+        assert_eq!(sh.one_hot(32), 0); // out of range -> all zeroes
+        assert_eq!(sh.one_hot(u32::MAX), 0);
+    }
+
+    #[test]
+    fn all_kinds_all_amounts_32bit() {
+        let sh = MultiplicativeShifter::new(32);
+        let values = [0u32, 1, 0x8000_0000, 0xFFFF_FFFF, 0xDEAD_BEEF, 0x0F0F_0F0F];
+        for &v in &values {
+            for s in 0..40 {
+                for kind in [ShiftKind::Lsl, ShiftKind::Lsr, ShiftKind::Asr] {
+                    assert_eq!(
+                        sh.shift(kind, v, s),
+                        reference(kind, 32, v, s),
+                        "{kind:?} v={v:#x} s={s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_widths_match_reference() {
+        for width in [2u32, 5, 8, 12, 16, 24, 31] {
+            let sh = MultiplicativeShifter::new(width);
+            for v in [0u32, 1, (1 << (width - 1)), (1 << width) - 1, 0xA5A5_A5A5] {
+                for s in 0..width + 3 {
+                    for kind in [ShiftKind::Lsl, ShiftKind::Lsr, ShiftKind::Asr] {
+                        assert_eq!(
+                            sh.shift(kind, v, s),
+                            reference(kind, width, v, s),
+                            "w={width} {kind:?} v={v:#x} s={s}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rotate_right_matches() {
+        let sh = MultiplicativeShifter::new(32);
+        for &v in &[0x8000_0001u32, 0xDEAD_BEEF, 1] {
+            for s in 0..64 {
+                assert_eq!(sh.rotate_right(v, s), v.rotate_right(s % 32), "v={v:#x} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn bit_reverse_involution() {
+        let sh = MultiplicativeShifter::new(12);
+        for v in 0..(1u32 << 12) {
+            assert_eq!(sh.bit_reverse(sh.bit_reverse(v)), v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 2..=32")]
+    fn width_validation() {
+        let _ = MultiplicativeShifter::new(33);
+    }
+}

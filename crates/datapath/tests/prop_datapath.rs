@@ -1,0 +1,139 @@
+//! Property tests: the paper's structural datapaths are *identities* —
+//! the DSP-decomposed multiplier equals a widening multiply, the
+//! multiplicative shifter equals ordinary shifts, the segmented adder
+//! equals a 66-bit add — over the whole operand space.
+
+use proptest::prelude::*;
+use simt_datapath::{
+    BarrelShifter, Int32Multiplier, MultiplicativeShifter, PipelinedAdder32, SegmentAdder66,
+    ShiftKind, Signedness,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    #[test]
+    fn multiplier_unsigned_identity(a in any::<u32>(), b in any::<u32>()) {
+        let m = Int32Multiplier::new();
+        prop_assert_eq!(m.mul_full(a, b, Signedness::Unsigned), (a as u64).wrapping_mul(b as u64));
+    }
+
+    #[test]
+    fn multiplier_signed_identity(a in any::<u32>(), b in any::<u32>()) {
+        let m = Int32Multiplier::new();
+        let want = (a as i32 as i64).wrapping_mul(b as i32 as i64) as u64;
+        prop_assert_eq!(m.mul_full(a, b, Signedness::Signed), want);
+    }
+
+    #[test]
+    fn mul_lo_is_mode_independent(a in any::<u32>(), b in any::<u32>()) {
+        // The low 32 bits of signed and unsigned products agree — the
+        // reason the ISA has one `mul.lo` but two `*.hi` forms.
+        let m = Int32Multiplier::new();
+        prop_assert_eq!(
+            m.mul_lo(a, b, Signedness::Signed),
+            m.mul_lo(a, b, Signedness::Unsigned)
+        );
+    }
+
+    #[test]
+    fn composition_vectors_sum_to_product(a in any::<u32>(), b in any::<u32>()) {
+        let m = Int32Multiplier::new();
+        for mode in [Signedness::Signed, Signedness::Unsigned] {
+            let v = m.vectors(a, b, mode);
+            let want = match mode {
+                Signedness::Unsigned => (a as u64).wrapping_mul(b as u64),
+                Signedness::Signed => (a as i32 as i64).wrapping_mul(b as i32 as i64) as u64,
+            };
+            prop_assert_eq!(((v.v1 + v.v2) & u64::MAX as u128) as u64, want);
+        }
+    }
+
+    #[test]
+    fn segment_adder_identity(x in any::<u128>(), y in any::<u128>()) {
+        let m66 = (1u128 << 66) - 1;
+        let s = SegmentAdder66::new();
+        prop_assert_eq!(s.add(x & m66, y & m66), ((x & m66) + (y & m66)) & m66);
+    }
+
+    #[test]
+    fn pipelined_adder_identity(a in any::<u32>(), b in any::<u32>(), c in any::<bool>()) {
+        let add = PipelinedAdder32::new();
+        let (sum, flags) = add.add_carry(a, b, c);
+        let wide = a as u64 + b as u64 + c as u64;
+        prop_assert_eq!(sum, wide as u32);
+        prop_assert_eq!(flags.carry, wide >> 32 != 0);
+        prop_assert_eq!(flags.zero, sum == 0);
+        prop_assert_eq!(flags.negative, (sum as i32) < 0);
+        // overflow definition
+        let so = (a as i32).checked_add(b as i32)
+            .and_then(|t| t.checked_add(c as i32)).is_none();
+        prop_assert_eq!(flags.overflow, so);
+    }
+
+    #[test]
+    fn saturating_ops(a in any::<u32>(), b in any::<u32>()) {
+        let add = PipelinedAdder32::new();
+        prop_assert_eq!(add.sat_add(a, b) as i32, (a as i32).saturating_add(b as i32));
+        prop_assert_eq!(add.sat_sub(a, b) as i32, (a as i32).saturating_sub(b as i32));
+        prop_assert_eq!(add.min_s(a, b) as i32, (a as i32).min(b as i32));
+        prop_assert_eq!(add.max_s(a, b) as i32, (a as i32).max(b as i32));
+    }
+
+    #[test]
+    fn shifter_identities_32(v in any::<u32>(), s in 0u32..64) {
+        let sh = MultiplicativeShifter::new(32);
+        let lsl = if s >= 32 { 0 } else { v << s };
+        let lsr = if s >= 32 { 0 } else { v >> s };
+        let asr = if s >= 32 {
+            ((v as i32) >> 31) as u32
+        } else {
+            ((v as i32) >> s) as u32
+        };
+        prop_assert_eq!(sh.shift(ShiftKind::Lsl, v, s), lsl);
+        prop_assert_eq!(sh.shift(ShiftKind::Lsr, v, s), lsr);
+        prop_assert_eq!(sh.shift(ShiftKind::Asr, v, s), asr);
+    }
+
+    #[test]
+    fn shifter_identities_generic(width in 2u32..=32, v in any::<u32>(), s in 0u32..40) {
+        let sh = MultiplicativeShifter::new(width);
+        let mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+        let vm = v & mask;
+        let neg = vm >> (width - 1) != 0;
+        let want_asr = if s >= width {
+            if neg { mask } else { 0 }
+        } else {
+            let logical = vm >> s;
+            if neg && s > 0 { (logical | (mask & !(mask >> s))) & mask } else { logical }
+        };
+        prop_assert_eq!(sh.shift(ShiftKind::Asr, v, s), want_asr);
+    }
+
+    #[test]
+    fn barrel_and_multiplicative_agree(v in any::<u32>(), s in 0u32..64) {
+        let b = BarrelShifter::new();
+        let m = MultiplicativeShifter::new(32);
+        for kind in [ShiftKind::Lsl, ShiftKind::Lsr, ShiftKind::Asr] {
+            prop_assert_eq!(b.shift(kind, v, s), m.shift(kind, v, s));
+        }
+    }
+
+    #[test]
+    fn rotate_identity(v in any::<u32>(), s in 0u32..96) {
+        let m = MultiplicativeShifter::new(32);
+        prop_assert_eq!(m.rotate_right(v, s), v.rotate_right(s % 32));
+    }
+
+    #[test]
+    fn shift_trace_is_consistent(v in any::<u32>(), s in 0u32..40) {
+        // The trace's intermediate signals recompose into the result.
+        let sh = MultiplicativeShifter::new(32);
+        let t = sh.shift_traced(ShiftKind::Asr, v, s);
+        let rp = t.reversed_product.unwrap();
+        prop_assert_eq!(t.result, rp | t.or_mask);
+        if let Some(ri) = t.reversed_input {
+            prop_assert_eq!(sh.bit_reverse(ri), t.input);
+        }
+    }
+}

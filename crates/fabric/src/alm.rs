@@ -1,0 +1,201 @@
+//! The Adaptive Logic Module and Logic Array Block (§2.2, §4).
+
+use serde::{Deserialize, Serialize};
+
+/// ALMs per LAB: "The LAB is a group of 10 ALMs, which share a common
+/// local routing network" (§4).
+pub const ALMS_PER_LAB: usize = 10;
+
+/// Width of the LAB-local carry chain: "The 20-bit adder in the LAB
+/// easily meets the 1 GHz performance target" (§4).
+pub const LAB_ADDER_BITS: usize = 20;
+
+/// Registers physically present in one ALM (§2.2: "the fracturable 6 LUT
+/// is combined with four registers").
+pub const REGS_PER_ALM: usize = 4;
+
+/// Register classes available to a design mapped onto Agilex (§5):
+/// primary/secondary ALM registers plus the routing-segment
+/// hyper-registers that exist "where possible, registers are specified
+/// without a reset".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegisterClass {
+    /// The register paired with a LUT output (2 per ALM usable after the
+    /// two fractured 4-LUTs).
+    Primary,
+    /// The two additional ALM registers reachable from outside the ALM
+    /// ("a balancing or delay register", §2.2).
+    Secondary,
+    /// Hyper-registers in the routing fabric — usable only by reset-less
+    /// registers (§5).
+    Hyper,
+}
+
+/// One Adaptive Logic Module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Alm {
+    /// LUT inputs used (≤ 6; ≤ 4 per half when fractured).
+    pub lut_inputs: u8,
+    /// Whether the ALM is fractured into two 4-LUTs (§2.2).
+    pub fractured: bool,
+    /// Whether the 2-bit adder segment is in use.
+    pub arithmetic: bool,
+    /// Primary registers used (0..=2).
+    pub primary_regs: u8,
+    /// Secondary (balancing/delay) registers used (0..=2).
+    pub secondary_regs: u8,
+}
+
+impl Alm {
+    /// A pure-logic ALM: one 6-LUT plus an output register.
+    pub fn logic6() -> Self {
+        Alm {
+            lut_inputs: 6,
+            fractured: false,
+            arithmetic: false,
+            primary_regs: 1,
+            secondary_regs: 0,
+        }
+    }
+
+    /// A fractured ALM: two 4-LUTs, each followed by a register (§2.2:
+    /// "each of the resultant two logic functions can be followed by a
+    /// register").
+    pub fn fractured4x2() -> Self {
+        Alm {
+            lut_inputs: 4,
+            fractured: true,
+            arithmetic: false,
+            primary_regs: 2,
+            secondary_regs: 0,
+        }
+    }
+
+    /// A 2-bit adder segment ALM.
+    pub fn adder2() -> Self {
+        Alm {
+            lut_inputs: 4,
+            fractured: true,
+            arithmetic: true,
+            primary_regs: 2,
+            secondary_regs: 0,
+        }
+    }
+
+    /// A pure delay ALM: registers only, no logic function — "delays can
+    /// easily be added wherever desired, i.e. independently of a logic
+    /// function" (§2.2).
+    pub fn delay() -> Self {
+        Alm {
+            lut_inputs: 0,
+            fractured: false,
+            arithmetic: false,
+            primary_regs: 0,
+            secondary_regs: 2,
+        }
+    }
+
+    /// Total registers this ALM configuration consumes.
+    pub fn regs(&self) -> usize {
+        (self.primary_regs + self.secondary_regs) as usize
+    }
+
+    /// Whether the configuration is physically realisable.
+    pub fn is_valid(&self) -> bool {
+        let lut_ok = if self.fractured {
+            self.lut_inputs <= 4
+        } else {
+            self.lut_inputs <= 6
+        };
+        lut_ok && self.primary_regs <= 2 && self.secondary_regs <= 2
+    }
+}
+
+/// A Logic Array Block: 10 ALMs + shared local routing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lab {
+    /// The ALMs in this LAB (≤ 10 configured).
+    pub alms: Vec<Alm>,
+}
+
+impl Lab {
+    /// An empty LAB.
+    pub fn new() -> Self {
+        Lab { alms: Vec::new() }
+    }
+
+    /// Place an ALM; returns false when full.
+    pub fn place(&mut self, alm: Alm) -> bool {
+        if self.alms.len() < ALMS_PER_LAB {
+            self.alms.push(alm);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Adder bits available if the whole LAB carries one chain.
+    pub fn adder_capacity_bits(&self) -> usize {
+        LAB_ADDER_BITS
+    }
+
+    /// ALMs free.
+    pub fn free(&self) -> usize {
+        ALMS_PER_LAB - self.alms.len()
+    }
+}
+
+impl Default for Lab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alm_configs_valid() {
+        for a in [Alm::logic6(), Alm::fractured4x2(), Alm::adder2(), Alm::delay()] {
+            assert!(a.is_valid(), "{a:?}");
+        }
+        let bad = Alm {
+            lut_inputs: 6,
+            fractured: true,
+            arithmetic: false,
+            primary_regs: 1,
+            secondary_regs: 0,
+        };
+        assert!(!bad.is_valid(), "fractured ALM cannot take 6 inputs per half");
+    }
+
+    #[test]
+    fn lab_capacity() {
+        let mut lab = Lab::new();
+        for _ in 0..ALMS_PER_LAB {
+            assert!(lab.place(Alm::logic6()));
+        }
+        assert!(!lab.place(Alm::logic6()));
+        assert_eq!(lab.free(), 0);
+        assert_eq!(lab.adder_capacity_bits(), 20);
+    }
+
+    #[test]
+    fn a_16bit_adder_half_fits_one_lab() {
+        // §4.1: each 16-bit segment of the two-stage adder maps "into a
+        // subset of a Logic Array Block" — 8 adder2 ALMs.
+        let mut lab = Lab::new();
+        for _ in 0..8 {
+            assert!(lab.place(Alm::adder2()));
+        }
+        assert_eq!(lab.free(), 2);
+    }
+
+    #[test]
+    fn delay_alm_has_no_logic() {
+        let d = Alm::delay();
+        assert_eq!(d.lut_inputs, 0);
+        assert_eq!(d.regs(), 2);
+    }
+}

@@ -1,0 +1,172 @@
+//! Device catalogue and global coordinates.
+
+use crate::sector::{ColumnKind, Sector, SectorGeometry};
+use serde::{Deserialize, Serialize};
+
+/// Supported device models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// The paper's compile target, Agilex AGFD019R24C21V (§5): one DSP
+    /// column per sector.
+    Agfd019,
+    /// A large hypothetical part built from the paper's representative
+    /// sector (4 DSP columns / sector).
+    Representative,
+}
+
+/// A device: a grid of identical sectors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Device {
+    /// Device model.
+    pub kind: DeviceKind,
+    /// Sectors horizontally.
+    pub sectors_x: usize,
+    /// Sectors vertically.
+    pub sectors_y: usize,
+    /// Per-sector geometry.
+    pub geometry: SectorGeometry,
+}
+
+impl Device {
+    /// The AGFD019R24C21V model: 4 × 2 sectors of the single-DSP-column
+    /// geometry (a modelled subset of the real die, sized so the paper's
+    /// experiments — single cores, constrained boxes, and 3-stamp systems
+    /// with sector separation — all fit).
+    pub fn agfd019() -> Self {
+        Device {
+            kind: DeviceKind::Agfd019,
+            sectors_x: 4,
+            sectors_y: 2,
+            geometry: SectorGeometry::agfd019(),
+        }
+    }
+
+    /// A large device from representative sectors.
+    pub fn representative(sectors_x: usize, sectors_y: usize) -> Self {
+        Device {
+            kind: DeviceKind::Representative,
+            sectors_x,
+            sectors_y,
+            geometry: SectorGeometry::representative(),
+        }
+    }
+
+    /// Global grid width in columns.
+    pub fn cols(&self) -> usize {
+        self.sectors_x * self.geometry.cols()
+    }
+
+    /// Global grid height in rows.
+    pub fn rows(&self) -> usize {
+        self.sectors_y * self.geometry.rows
+    }
+
+    /// Total ALMs.
+    pub fn alms(&self) -> usize {
+        self.sectors_x * self.sectors_y * self.geometry.alms()
+    }
+
+    /// Total M20Ks.
+    pub fn m20ks(&self) -> usize {
+        self.sectors_x * self.sectors_y * self.geometry.m20ks()
+    }
+
+    /// Total DSP blocks.
+    pub fn dsps(&self) -> usize {
+        self.sectors_x * self.sectors_y * self.geometry.dsps()
+    }
+
+    /// Column kind at a global column index.
+    pub fn column_kind(&self, col: usize) -> ColumnKind {
+        let within = col % self.geometry.cols();
+        self.geometry.columns[within]
+    }
+
+    /// The sector containing a global (col, row).
+    pub fn sector_at(&self, col: usize, row: usize) -> Sector {
+        Sector {
+            sx: col / self.geometry.cols(),
+            sy: row / self.geometry.rows,
+            geometry: self.geometry.clone(),
+        }
+    }
+
+    /// True when two points lie in different sectors (different clock
+    /// regions — crossing costs "the additional pipeline stage needed to
+    /// maintain performance at the near 1 GHz level across the sector
+    /// boundary", §6).
+    pub fn crosses_sector(&self, a: (usize, usize), b: (usize, usize)) -> bool {
+        let sa = (a.0 / self.geometry.cols(), a.1 / self.geometry.rows);
+        let sb = (b.0 / self.geometry.cols(), b.1 / self.geometry.rows);
+        sa != sb
+    }
+
+    /// Manhattan distance in grid units between two (col, row) points —
+    /// the quantity routing delay grows with.
+    pub fn manhattan(a: (usize, usize), b: (usize, usize)) -> usize {
+        a.0.abs_diff(b.0) + a.1.abs_diff(b.1)
+    }
+
+    /// Global column indices of DSP columns.
+    pub fn dsp_columns(&self) -> Vec<usize> {
+        let per = self.geometry.columns_of(ColumnKind::Dsp);
+        (0..self.sectors_x)
+            .flat_map(|s| {
+                let base = s * self.geometry.cols();
+                per.iter().map(move |&c| base + c)
+            })
+            .collect()
+    }
+
+    /// Global column indices of M20K columns.
+    pub fn m20k_columns(&self) -> Vec<usize> {
+        let per = self.geometry.columns_of(ColumnKind::M20k);
+        (0..self.sectors_x)
+            .flat_map(|s| {
+                let base = s * self.geometry.cols();
+                per.iter().map(move |&c| base + c)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agfd019_capacities() {
+        let d = Device::agfd019();
+        assert_eq!(d.dsps(), 8 * 40); // 1 column x 40 rows x 8 sectors
+        assert_eq!(d.m20ks(), 8 * 240);
+        assert!(d.alms() > 100_000);
+        assert_eq!(d.dsp_columns().len(), 4); // one per sector column
+    }
+
+    #[test]
+    fn sector_lookup_and_crossing() {
+        let d = Device::agfd019();
+        let w = d.geometry.cols();
+        assert!(!d.crosses_sector((0, 0), (w - 1, 39)));
+        assert!(d.crosses_sector((0, 0), (w, 0)));
+        assert!(d.crosses_sector((0, 0), (0, 40)));
+        let s = d.sector_at(w + 3, 41);
+        assert_eq!((s.sx, s.sy), (1, 1));
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(Device::manhattan((0, 0), (3, 4)), 7);
+        assert_eq!(Device::manhattan((5, 5), (5, 5)), 0);
+        assert_eq!(Device::manhattan((10, 2), (4, 9)), 13);
+    }
+
+    #[test]
+    fn column_kinds_tile_across_sectors() {
+        let d = Device::agfd019();
+        let w = d.geometry.cols();
+        for c in 0..w {
+            assert_eq!(d.column_kind(c), d.column_kind(c + w));
+        }
+    }
+}

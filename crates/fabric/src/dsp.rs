@@ -1,0 +1,125 @@
+//! The Agilex-7 Variable-Precision DSP Block (§2.1, §4).
+
+use serde::{Deserialize, Serialize};
+
+/// DSP block operating mode. The mode determines the hard Fmax ceiling —
+/// the fact that drives the paper's central architecture decision:
+/// "the architecture must be switched to an integer-only design (the DSP
+/// Block runs up to 958 MHz in some of the integer modes)" while the
+/// floating-point mode "has a maximum operating frequency of 771 MHz,
+/// which in turn limits the performance of the soft SIMT Processor".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DspMode {
+    /// Two independent 18×19 multipliers (used for `A = AH·BH`,
+    /// `C = AL·BL` in §4.1).
+    TwoIndependent18x19,
+    /// Sum of two 18×19 multipliers (used for `B = AH·BL + AL·BH`).
+    SumOfTwo18x19,
+    /// One 27×27 multiplier (would serve the PTX 24-bit multiply).
+    One27x27,
+    /// fp32 multiply-add — the eGPU baseline's mode.
+    Fp32,
+}
+
+impl DspMode {
+    /// Hard Fmax ceiling of the mode, MHz.
+    pub fn fmax_mhz(self) -> f64 {
+        match self {
+            // "The DSP Block has a maximum speed of 958 MHz" (§4) in the
+            // integer modes used here.
+            DspMode::TwoIndependent18x19 | DspMode::SumOfTwo18x19 | DspMode::One27x27 => 958.0,
+            // "configured in floating point mode has a maximum operating
+            // frequency of 771 MHz" (§2.1).
+            DspMode::Fp32 => 771.0,
+        }
+    }
+
+    /// True for the integer modes.
+    pub fn is_integer(self) -> bool {
+        !matches!(self, DspMode::Fp32)
+    }
+
+    /// Independent 18×19 products the mode provides.
+    pub fn multipliers(self) -> usize {
+        match self {
+            DspMode::TwoIndependent18x19 | DspMode::SumOfTwo18x19 => 2,
+            DspMode::One27x27 | DspMode::Fp32 => 1,
+        }
+    }
+}
+
+/// One DSP block instance with its pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DspBlock {
+    /// Operating mode.
+    pub mode: DspMode,
+    /// Pipeline stages enabled (§4: "The DSP Block itself has three
+    /// pipeline stages here: one input and output stage ... and an
+    /// internal stage"). Fewer stages lowers the achievable clock.
+    pub pipeline_stages: usize,
+}
+
+impl DspBlock {
+    /// The paper's configuration: full 3-stage pipeline, integer mode.
+    pub fn int_full_pipeline(mode: DspMode) -> Self {
+        debug_assert!(mode.is_integer());
+        DspBlock {
+            mode,
+            pipeline_stages: 3,
+        }
+    }
+
+    /// Effective Fmax: the mode ceiling, derated when the pipeline is
+    /// shallower than 3 stages (each missing stage folds an extra signal
+    /// leg into one clock).
+    pub fn fmax_mhz(&self) -> f64 {
+        let ceiling = self.mode.fmax_mhz();
+        match self.pipeline_stages {
+            n if n >= 3 => ceiling,
+            2 => ceiling * 0.72,
+            1 => ceiling * 0.52,
+            _ => ceiling * 0.35,
+        }
+    }
+
+    /// The 32×32 multiplier of §4.1 needs two DSP blocks per SP.
+    pub fn blocks_per_int32_multiplier() -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_ceilings_match_paper() {
+        assert_eq!(DspMode::SumOfTwo18x19.fmax_mhz(), 958.0);
+        assert_eq!(DspMode::TwoIndependent18x19.fmax_mhz(), 958.0);
+        assert_eq!(DspMode::Fp32.fmax_mhz(), 771.0);
+        assert!(DspMode::SumOfTwo18x19.is_integer());
+        assert!(!DspMode::Fp32.is_integer());
+    }
+
+    #[test]
+    fn full_pipeline_reaches_ceiling() {
+        let d = DspBlock::int_full_pipeline(DspMode::SumOfTwo18x19);
+        assert_eq!(d.fmax_mhz(), 958.0);
+        assert_eq!(d.pipeline_stages, 3);
+    }
+
+    #[test]
+    fn shallow_pipeline_derates() {
+        let mut d = DspBlock::int_full_pipeline(DspMode::One27x27);
+        d.pipeline_stages = 1;
+        assert!(d.fmax_mhz() < 958.0 * 0.6);
+        d.pipeline_stages = 2;
+        assert!(d.fmax_mhz() < 958.0 && d.fmax_mhz() > 600.0);
+    }
+
+    #[test]
+    fn two_blocks_per_multiplier() {
+        // §5: "the processor requires two DSP Blocks per SP".
+        assert_eq!(DspBlock::blocks_per_int32_multiplier(), 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! The M20K block memory and the ALM-memory-mode (MLAB) trap (§5).
+
+use serde::{Deserialize, Serialize};
+
+/// M20K capacity in bits.
+pub const M20K_BITS: usize = 20 * 1024;
+
+/// M20K port aspect ratios (depth × width).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum M20kMode {
+    /// 512 × 40 — the widest, fastest mode; used for the register file,
+    /// I-Mem and shared memory at near-GHz clocks.
+    D512W40,
+    /// 1024 × 20.
+    D1024W20,
+    /// 2048 × 10.
+    D2048W10,
+}
+
+impl M20kMode {
+    /// Depth in words.
+    pub fn depth(self) -> usize {
+        match self {
+            M20kMode::D512W40 => 512,
+            M20kMode::D1024W20 => 1024,
+            M20kMode::D2048W10 => 2048,
+        }
+    }
+
+    /// Width in bits.
+    pub fn width(self) -> usize {
+        match self {
+            M20kMode::D512W40 => 40,
+            M20kMode::D1024W20 => 20,
+            M20kMode::D2048W10 => 10,
+        }
+    }
+
+    /// Fmax ceiling, MHz. The M20K itself supports the 1 GHz fabric
+    /// ceiling in its fast modes; deeper aspect ratios pay a small
+    /// decode penalty.
+    pub fn fmax_mhz(self) -> f64 {
+        match self {
+            M20kMode::D512W40 => 1000.0,
+            M20kMode::D1024W20 => 980.0,
+            M20kMode::D2048W10 => 950.0,
+        }
+    }
+
+    /// M20Ks needed for a memory of `words` × `bits` in this mode
+    /// (simple-dual-port, one read + one write).
+    pub fn blocks_for(self, words: usize, bits: usize) -> usize {
+        words.div_ceil(self.depth()) * bits.div_ceil(self.width())
+    }
+}
+
+/// The ALM-in-memory-mode (MLAB) clock ceiling: "Replacing discrete
+/// registers with an ALM in memory mode is more area efficient, but
+/// impacts our processor as the ALM clock rate is only 850 MHz when
+/// configured in this mode" (§5) — the reason
+/// auto-shift-register-replacement is turned OFF.
+pub const MLAB_FMAX_MHZ: f64 = 850.0;
+
+/// One M20K instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct M20k {
+    /// Configured aspect ratio.
+    pub mode: M20kMode,
+    /// Output register enabled (required at near-GHz).
+    pub output_registered: bool,
+}
+
+impl M20k {
+    /// Fast configuration used throughout the processor.
+    pub fn fast() -> Self {
+        M20k {
+            mode: M20kMode::D512W40,
+            output_registered: true,
+        }
+    }
+
+    /// Effective Fmax: unregistered outputs halve the achievable clock.
+    pub fn fmax_mhz(&self) -> f64 {
+        if self.output_registered {
+            self.mode.fmax_mhz()
+        } else {
+            self.mode.fmax_mhz() * 0.55
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_math() {
+        assert_eq!(M20kMode::D512W40.depth() * M20kMode::D512W40.width(), M20K_BITS);
+        assert_eq!(M20kMode::D1024W20.depth() * M20kMode::D1024W20.width(), M20K_BITS);
+        assert_eq!(M20kMode::D2048W10.depth() * M20kMode::D2048W10.width(), M20K_BITS);
+    }
+
+    #[test]
+    fn blocks_for_typical_memories() {
+        // 64-bit-wide I-Mem, 512 deep: 2 blocks in fast mode.
+        assert_eq!(M20kMode::D512W40.blocks_for(512, 64), 2);
+        // One SP register bank: 1024 regs x 32 bits -> 2 deep-units x 1.
+        assert_eq!(M20kMode::D512W40.blocks_for(1024, 32), 2);
+        // 16 KB shared memory: 4096 words x 32 bits -> 8 per replica.
+        assert_eq!(M20kMode::D512W40.blocks_for(4096, 32), 8);
+    }
+
+    #[test]
+    fn mlab_mode_is_the_slow_trap() {
+        let mlab = MLAB_FMAX_MHZ;
+        assert!(mlab < 900.0);
+        assert!(M20k::fast().fmax_mhz() >= 1000.0);
+    }
+
+    #[test]
+    fn unregistered_output_is_slow() {
+        let mut m = M20k::fast();
+        m.output_registered = false;
+        assert!(m.fmax_mhz() < 600.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Sector geometry (§2.2).
+//!
+//! "Agilex devices are comprised of sectors, which encompass a single
+//! clock region. Components in the sector have a fixed spatial
+//! relationship; ideally the design should be structured to reflect the
+//! resources in both count and distances between them."
+//!
+//! The model is a grid of columns × rows: a column is LAB, M20K or DSP
+//! flavoured, and each column contributes one cell per row (a LAB cell is
+//! 10 ALMs). The paper's representative sector has 16 640 ALMs, 240 M20K
+//! and 160 DSP blocks; the AGFD019 target has "only one DSP column per
+//! sector".
+
+use serde::{Deserialize, Serialize};
+
+/// Column flavour within a sector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColumnKind {
+    /// Logic column: one LAB (10 ALMs) per row.
+    Lab,
+    /// Memory column: one M20K per row.
+    M20k,
+    /// DSP column: one DSP block per row.
+    Dsp,
+}
+
+/// Fixed geometry of one sector kind.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SectorGeometry {
+    /// Rows of cells (LAB rows).
+    pub rows: usize,
+    /// Column flavours, left to right.
+    pub columns: Vec<ColumnKind>,
+}
+
+impl SectorGeometry {
+    /// The paper's representative large-device sector: 16 640 ALMs,
+    /// 240 M20K, 160 DSP (§2.2). 40 rows; 4 DSP columns; 6 M20K columns;
+    /// 41.6 LAB columns rounds to 42 (16 800 ALMs, within 1 % of the
+    /// quoted figure — edge cells absorb the rest on silicon).
+    pub fn representative() -> Self {
+        Self::build(40, 42, 6, 4)
+    }
+
+    /// An AGFD019 sector: same row count and memory mix but a single DSP
+    /// column (§5), with the logic columns topped up so the sector stays
+    /// the same width.
+    pub fn agfd019() -> Self {
+        Self::build(40, 45, 6, 1)
+    }
+
+    /// Build a geometry: DSP column(s) form a centre spine, M20K columns
+    /// spread evenly, LABs fill the rest — the arrangement behind Fig. 6
+    /// ("the 16 SPs straddling the spine of DSP Blocks down the center",
+    /// §5).
+    pub fn build(rows: usize, lab_cols: usize, m20k_cols: usize, dsp_cols: usize) -> Self {
+        let total = lab_cols + m20k_cols + dsp_cols;
+        let mut columns = vec![ColumnKind::Lab; total];
+        // DSP spine at the centre.
+        let centre = total / 2;
+        let dsp_start = centre - dsp_cols / 2;
+        for c in columns.iter_mut().skip(dsp_start).take(dsp_cols) {
+            *c = ColumnKind::Dsp;
+        }
+        // M20K columns at even spacing, skipping occupied slots.
+        let mut placed = 0;
+        let stride = total / (m20k_cols + 1);
+        let mut idx = stride.max(1);
+        while placed < m20k_cols && idx < total {
+            if columns[idx] == ColumnKind::Lab {
+                columns[idx] = ColumnKind::M20k;
+                placed += 1;
+                idx += stride.max(1);
+            } else {
+                idx += 1;
+            }
+        }
+        // Any remainder goes to the leftmost free LAB columns.
+        let mut i = 0;
+        while placed < m20k_cols {
+            if columns[i] == ColumnKind::Lab {
+                columns[i] = ColumnKind::M20k;
+                placed += 1;
+            }
+            i += 1;
+        }
+        SectorGeometry { rows, columns }
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Count of columns of a kind.
+    pub fn count_cols(&self, kind: ColumnKind) -> usize {
+        self.columns.iter().filter(|&&k| k == kind).count()
+    }
+
+    /// Total ALMs in the sector.
+    pub fn alms(&self) -> usize {
+        self.count_cols(ColumnKind::Lab) * self.rows * crate::alm::ALMS_PER_LAB
+    }
+
+    /// Total M20K blocks.
+    pub fn m20ks(&self) -> usize {
+        self.count_cols(ColumnKind::M20k) * self.rows
+    }
+
+    /// Total DSP blocks.
+    pub fn dsps(&self) -> usize {
+        self.count_cols(ColumnKind::Dsp) * self.rows
+    }
+
+    /// Column indices of a kind, left to right.
+    pub fn columns_of(&self, kind: ColumnKind) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| k == kind)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// One sector instance at a grid position in the device.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sector {
+    /// Sector grid x (column of sectors).
+    pub sx: usize,
+    /// Sector grid y (row of sectors).
+    pub sy: usize,
+    /// Geometry (shared by all sectors of a device kind).
+    pub geometry: SectorGeometry,
+}
+
+impl Sector {
+    /// Global column of this sector's left edge.
+    pub fn col_origin(&self) -> usize {
+        self.sx * self.geometry.cols()
+    }
+
+    /// Global row of this sector's bottom edge.
+    pub fn row_origin(&self) -> usize {
+        self.sy * self.geometry.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representative_sector_matches_paper() {
+        let g = SectorGeometry::representative();
+        assert_eq!(g.m20ks(), 240, "240 M20K memory blocks");
+        assert_eq!(g.dsps(), 160, "160 DSP Blocks");
+        let alms = g.alms();
+        assert!(
+            (alms as f64 - 16640.0).abs() / 16640.0 < 0.01,
+            "ALMs {alms} within 1% of 16640"
+        );
+    }
+
+    #[test]
+    fn agfd019_sector_has_one_dsp_column() {
+        let g = SectorGeometry::agfd019();
+        assert_eq!(g.count_cols(ColumnKind::Dsp), 1);
+        assert_eq!(g.dsps(), 40);
+        // At least 32 DSP rows so a 16-SP core (2 DSP each) fits one
+        // column: "placement of the cores is always forced into a 32 row
+        // height" (§5).
+        assert!(g.rows >= 32);
+    }
+
+    #[test]
+    fn dsp_spine_is_central() {
+        let g = SectorGeometry::agfd019();
+        let spine = g.columns_of(ColumnKind::Dsp)[0];
+        let total = g.cols();
+        assert!(spine > total / 3 && spine < 2 * total / 3);
+    }
+
+    #[test]
+    fn m20k_columns_are_spread() {
+        let g = SectorGeometry::agfd019();
+        let cols = g.columns_of(ColumnKind::M20k);
+        assert_eq!(cols.len(), 6);
+        // No two adjacent.
+        for w in cols.windows(2) {
+            assert!(w[1] - w[0] >= 2, "memory columns bunched: {cols:?}");
+        }
+    }
+
+    #[test]
+    fn sector_origins() {
+        let s = Sector {
+            sx: 2,
+            sy: 1,
+            geometry: SectorGeometry::agfd019(),
+        };
+        assert_eq!(s.col_origin(), 2 * 52);
+        assert_eq!(s.row_origin(), 40);
+    }
+}

@@ -1,0 +1,130 @@
+//! Element-delay constants and the base timing model.
+//!
+//! The STA in `fpga-fitter` composes path delays from these primitives:
+//!
+//! ```text
+//! path = t_clk_q + Σ levels (t_lut + t_local) + t_route(distance) + t_su
+//! ```
+//!
+//! The constants are calibrated against the paper's anchors:
+//! a single logic level closes 1 GHz comfortably ("the standard bitwise
+//! logic functions ... will be able to achieve 1 GHz in a single level of
+//! logic", §4); two levels with short routing are marginal; and long
+//! horizontal routes (the barrel shifter's 8/16-bit levels) push a
+//! two-level path past the 1 GHz budget in a crowded placement (§4).
+
+use serde::{Deserialize, Serialize};
+
+/// Picoseconds per second.
+pub const PS_PER_SECOND: f64 = 1e12;
+
+/// The element-level timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingModel {
+    /// Register clock-to-out, ps.
+    pub t_clk_q: f64,
+    /// Register setup, ps.
+    pub t_su: f64,
+    /// One 6-LUT evaluation, ps.
+    pub t_lut: f64,
+    /// LAB-local routing hop (within the shared local network), ps.
+    pub t_local: f64,
+    /// Routing delay per column/row of Manhattan distance, ps.
+    pub t_route_per_unit: f64,
+    /// Fixed routing overhead of any inter-LAB connection, ps.
+    pub t_route_base: f64,
+    /// Delay absorbed per hyper-register available on a route (§5:
+    /// reset-less registers retime into the routing fabric).
+    pub hyper_absorb_ps: f64,
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel {
+            t_clk_q: 80.0,
+            t_su: 60.0,
+            t_lut: 170.0,
+            t_local: 130.0,
+            t_route_per_unit: 260.0,
+            t_route_base: 100.0,
+            hyper_absorb_ps: 150.0,
+        }
+    }
+}
+
+impl TimingModel {
+    /// Delay of a register→register path with `levels` LUT levels and a
+    /// route of `distance` grid units, ps. `hyper_regs` is the number of
+    /// hyper-registers Quartus could retime onto the route.
+    pub fn path_ps(&self, levels: usize, distance: f64, hyper_regs: usize) -> f64 {
+        let logic = levels as f64 * (self.t_lut + self.t_local);
+        let route = if distance > 0.0 {
+            self.t_route_base + distance * self.t_route_per_unit
+        } else {
+            0.0
+        };
+        let absorbed = (hyper_regs as f64 * self.hyper_absorb_ps).min(route * 0.5);
+        (self.t_clk_q + logic + route + self.t_su - absorbed).max(self.t_clk_q + self.t_su)
+    }
+
+    /// Fmax (MHz) of a path.
+    pub fn path_fmax_mhz(&self, levels: usize, distance: f64, hyper_regs: usize) -> f64 {
+        crate::ps_to_mhz(self.path_ps(levels, distance, hyper_regs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_level_short_route_beats_1ghz() {
+        // §4: simple bitwise functions reach 1 GHz in a single level.
+        let t = TimingModel::default();
+        let f = t.path_fmax_mhz(1, 0.5, 0);
+        assert!(f > 1000.0, "single level = {f:.0} MHz");
+    }
+
+    #[test]
+    fn two_levels_short_route_is_marginal() {
+        let t = TimingModel::default();
+        let f = t.path_fmax_mhz(2, 0.5, 0);
+        assert!(f > 900.0 && f < 1100.0, "two levels = {f:.0} MHz");
+    }
+
+    #[test]
+    fn long_horizontal_route_breaks_1ghz() {
+        // The barrel shifter's 16-bit level routes ~2 columns; with its
+        // mux level the path cannot close 1 GHz (§4).
+        let t = TimingModel::default();
+        let f = t.path_fmax_mhz(1, 2.0, 0);
+        assert!(f < 1000.0, "long route = {f:.0} MHz");
+    }
+
+    #[test]
+    fn hyper_registers_claw_back_routing() {
+        let t = TimingModel::default();
+        let without = t.path_fmax_mhz(1, 3.0, 0);
+        let with = t.path_fmax_mhz(1, 3.0, 2);
+        assert!(with > without);
+        // But absorption is capped at half the route delay.
+        let saturated = t.path_fmax_mhz(1, 3.0, 100);
+        assert!(saturated >= with);
+        let cap = t.path_ps(1, 3.0, 100);
+        let floor = t.t_clk_q + (t.t_lut + t.t_local) + (t.t_route_base + 3.0 * t.t_route_per_unit) * 0.5 + t.t_su;
+        assert!((cap - floor).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_distance_has_no_route_term() {
+        let t = TimingModel::default();
+        let p = t.path_ps(1, 0.0, 0);
+        assert!((p - (t.t_clk_q + t.t_lut + t.t_local + t.t_su)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_floor_is_reg_to_reg() {
+        let t = TimingModel::default();
+        assert!(t.path_ps(0, 0.0, 5) >= t.t_clk_q + t.t_su);
+    }
+}

@@ -1,0 +1,168 @@
+//! Floorplan rendering — the textual equivalent of the paper's Figures
+//! 6 (unconstrained placement) and 7 (tightly constrained placement).
+//!
+//! One character per device cell, bottom row printed last:
+//! `0-9a-f` = SP 0..15, `s` = shared-memory cluster, `i` = instruction
+//! block, `|` = DSP spine column, `:` = M20K column (unused), `.` = empty
+//! logic, `#` = region border.
+
+use crate::place::{CorePlacement, Placement};
+use fpga_fabric::{ColumnKind, Device};
+use std::fmt::Write;
+
+/// Render the placement onto a window of the device grid.
+pub fn render(device: &Device, placement: &Placement) -> String {
+    // Window: union of core regions plus a margin.
+    let margin = 2usize;
+    let col0 = placement
+        .cores
+        .iter()
+        .map(|c| c.region.col0)
+        .min()
+        .unwrap_or(0)
+        .saturating_sub(margin);
+    let col1 = (placement
+        .cores
+        .iter()
+        .map(|c| c.region.col1)
+        .max()
+        .unwrap_or(1)
+        + margin)
+        .min(device.cols());
+    let row0 = placement
+        .cores
+        .iter()
+        .map(|c| c.region.row0)
+        .min()
+        .unwrap_or(0)
+        .saturating_sub(margin);
+    let row1 = (placement
+        .cores
+        .iter()
+        .map(|c| c.region.row1)
+        .max()
+        .unwrap_or(1)
+        + margin)
+        .min(device.rows());
+
+    let width = col1 - col0;
+    let height = row1 - row0;
+    let mut grid = vec![vec!['.'; width]; height];
+
+    // Column backgrounds.
+    for (x, col) in (col0..col1).enumerate() {
+        let ch = match device.column_kind(col) {
+            ColumnKind::Dsp => '|',
+            ColumnKind::M20k => ':',
+            ColumnKind::Lab => '.',
+        };
+        for row in grid.iter_mut() {
+            row[x] = ch;
+        }
+    }
+
+    for core in &placement.cores {
+        paint_core(&mut grid, core, col0, row0, col1, row1);
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "cols {col0}..{col1}, rows {row0}..{row1} (util {:.0}%, quality {:.3})",
+        placement.utilization * 100.0,
+        placement.quality
+    );
+    // Top row first for a conventional floorplan orientation.
+    for row in grid.iter().rev() {
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out
+}
+
+fn paint_core(
+    grid: &mut [Vec<char>],
+    core: &CorePlacement,
+    col0: usize,
+    row0: usize,
+    col1: usize,
+    row1: usize,
+) {
+    let mut set = |col: usize, row: usize, ch: char, keep_bg: bool| {
+        if col >= col0 && col < col1 && row >= row0 && row < row1 {
+            let cell = &mut grid[row - row0][col - col0];
+            if !(keep_bg && (*cell == '|' || *cell == ':')) {
+                *cell = ch;
+            }
+        }
+    };
+
+    // Modules.
+    for m in &core.modules {
+        let ch = if let Some(idx) = m.name.strip_prefix("sp") {
+            let i: usize = idx.parse().unwrap_or(0);
+            char::from_digit(i as u32, 16).unwrap_or('?')
+        } else if m.name == "shared" {
+            's'
+        } else {
+            'i'
+        };
+        for row in m.rect.row0..m.rect.row1 {
+            for col in m.rect.col0..m.rect.col1 {
+                // SPs straddle the DSP spine: keep the spine glyph.
+                set(col, row, ch, true);
+            }
+        }
+    }
+    // Region border.
+    let r = core.region;
+    for col in r.col0.saturating_sub(1)..=r.col1 {
+        set(col, r.row0.wrapping_sub(1), '#', false);
+        set(col, r.row1, '#', false);
+    }
+    for row in r.row0.saturating_sub(1)..=r.row1 {
+        set(r.col0.wrapping_sub(1), row, '#', false);
+        set(r.col1, row, '#', false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::area::area_model;
+    use crate::place::{place, Constraint};
+    use simt_core::ProcessorConfig;
+
+    fn render_for(constraint: Constraint, stamps: usize) -> String {
+        let device = Device::agfd019();
+        let area = area_model(&ProcessorConfig::default());
+        let p = place(&device, &area, constraint, stamps);
+        render(&device, &p)
+    }
+
+    #[test]
+    fn unconstrained_floorplan_shows_spine_and_cluster() {
+        let s = render_for(Constraint::Unconstrained, 1);
+        assert!(s.contains('s'), "shared cluster painted:\n{s}");
+        assert!(s.contains('0') && s.contains('f'), "all SPs painted:\n{s}");
+        assert!(s.contains('|'), "DSP spine visible:\n{s}");
+        assert!(s.contains('i'), "inst block painted:\n{s}");
+    }
+
+    #[test]
+    fn constrained_floorplan_is_narrower() {
+        let loose = render_for(Constraint::Unconstrained, 1);
+        let tight = render_for(Constraint::BoundingBox { utilization: 0.93 }, 1);
+        let w = |s: &str| s.lines().nth(1).map(|l| l.len()).unwrap_or(0);
+        assert!(w(&tight) < w(&loose), "tight {} loose {}", w(&tight), w(&loose));
+    }
+
+    #[test]
+    fn three_stamps_render_three_regions() {
+        let s = render_for(Constraint::BoundingBox { utilization: 0.93 }, 3);
+        // Each stamp paints its own sp0; count '0' clusters by rows
+        // containing '0'.
+        let zero_rows = s.lines().filter(|l| l.contains('0')).count();
+        assert!(zero_rows >= 3, "{s}");
+    }
+}

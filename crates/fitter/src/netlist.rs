@@ -1,0 +1,251 @@
+//! The structural netlist: the timing arcs of the assembled processor.
+//!
+//! An *arc* is a register→register leg the STA must close: either a soft
+//! path (LUT levels + a route of some nominal distance) or a hard-block
+//! ceiling. The arc set changes with the design variant — the whole §4
+//! shifter story is the swap of two barrel-shifter arcs for the
+//! multiplier-datapath arcs.
+
+use crate::calib;
+use fpga_fabric::dsp::DspMode;
+use fpga_fabric::m20k::M20kMode;
+use serde::{Deserialize, Serialize};
+
+/// Which shifter implementation the SP datapath uses (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShifterImpl {
+    /// The paper's integrated multiplicative shifter — shifts ride the
+    /// DSP multiplier datapath; no long soft routes.
+    Multiplicative,
+    /// The classic 5-level binary barrel shifter — the rejected design
+    /// whose 8/16-bit levels route long horizontally.
+    Barrel,
+}
+
+/// Compilation context for the shifter experiment (§4): a single SP
+/// compiles with full placement freedom; the assembled 16-SP SM crowds
+/// long routes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DesignContext {
+    /// One SP compiled standalone.
+    SingleSp,
+    /// The full 16-SP streaming multiprocessor.
+    FullSm,
+}
+
+/// One timing arc.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingArc {
+    /// Human-readable path name (appears in critical-path reports).
+    pub name: String,
+    /// Arc flavour.
+    pub kind: ArcKind,
+}
+
+/// Arc flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArcKind {
+    /// Soft-logic path: LUT levels plus a route.
+    Soft {
+        /// LUT levels between registers.
+        levels: usize,
+        /// Nominal route distance in LAB columns (before placement
+        /// quality scaling).
+        distance: f64,
+        /// Hyper-registers Quartus can retime onto the route.
+        hyper_regs: usize,
+        /// Long horizontal route — crowds in a full-SM context (§4).
+        long_route: bool,
+    },
+    /// DSP-block internal ceiling.
+    HardDsp {
+        /// Operating mode (integer 958 MHz / fp32 771 MHz).
+        mode: DspMode,
+    },
+    /// M20K ceiling.
+    HardM20k {
+        /// Aspect ratio in use.
+        mode: M20kMode,
+    },
+    /// ALM-in-memory-mode ceiling (auto-shift-register-replacement trap).
+    HardMlab,
+}
+
+/// Design variant knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignVariant {
+    /// Shifter implementation.
+    pub shifter: ShifterImpl,
+    /// DSP mode: integer (this work) or fp32 (eGPU baseline).
+    pub dsp_mode: DspMode,
+    /// Compilation context.
+    pub context: DesignContext,
+    /// Leave Quartus' auto shift-register replacement ON — the §5 trap
+    /// that caps the clock at the 850 MHz MLAB ceiling. The paper turns
+    /// it OFF; default false.
+    pub auto_shift_register_replacement: bool,
+}
+
+impl Default for DesignVariant {
+    fn default() -> Self {
+        DesignVariant {
+            shifter: ShifterImpl::Multiplicative,
+            dsp_mode: DspMode::SumOfTwo18x19,
+            context: DesignContext::FullSm,
+            auto_shift_register_replacement: false,
+        }
+    }
+}
+
+impl DesignVariant {
+    /// The published 950 MHz design.
+    pub fn this_work() -> Self {
+        Self::default()
+    }
+
+    /// The eGPU baseline: fp32 DSP mode (771 MHz ceiling), original
+    /// multiplicative-shifter-free datapath is immaterial — the DSP
+    /// ceiling dominates.
+    pub fn egpu_baseline() -> Self {
+        DesignVariant {
+            dsp_mode: DspMode::Fp32,
+            ..Self::default()
+        }
+    }
+
+    /// The barrel-shifter design of the §4 post-mortem.
+    pub fn with_barrel_shifter() -> Self {
+        DesignVariant {
+            shifter: ShifterImpl::Barrel,
+            ..Self::default()
+        }
+    }
+
+    /// Single-SP compile of this variant.
+    pub fn standalone_sp(mut self) -> Self {
+        self.context = DesignContext::SingleSp;
+        self
+    }
+}
+
+/// Build the arc list for a design variant.
+pub fn timing_arcs(variant: &DesignVariant) -> Vec<TimingArc> {
+    let soft = |name: &str, levels: usize, distance: f64, hyper: usize, long: bool| TimingArc {
+        name: name.to_string(),
+        kind: ArcKind::Soft {
+            levels,
+            distance,
+            hyper_regs: hyper,
+            long_route: long,
+        },
+    };
+    let mut arcs = vec![
+        // Hard blocks.
+        TimingArc {
+            name: "dsp: multiplier internal".to_string(),
+            kind: ArcKind::HardDsp {
+                mode: variant.dsp_mode,
+            },
+        },
+        TimingArc {
+            name: "m20k: register file / shared / i-mem".to_string(),
+            kind: ArcKind::HardM20k {
+                mode: M20kMode::D512W40,
+            },
+        },
+        // The fetch/decode block (§3): the registered pipeline-advance
+        // enable fans out to every SP's lane-control — "likely the
+        // single most critical path in the entire processor".
+        soft(
+            "seq: pipeline control enable fan-out",
+            1,
+            calib::CONTROL_ENABLE_DISTANCE,
+            0,
+            false,
+        ),
+        soft("seq: branch zero / PC mux", 2, 0.35, 0, false),
+        soft("seq: single-cycle trap decode", 1, 0.45, 0, false),
+        // SP datapath soft paths (§4.1).
+        soft("mul: 66-bit segment adder", 1, 0.60, 0, false),
+        soft("mul: {g,p} carry insertion", 1, 0.50, 0, false),
+        soft("mul: one-hot shift decode", 1, 0.50, 0, false),
+        soft("alu: bitwise single level", 1, 0.40, 0, false),
+        soft("alu: cnot reduction", 2, 0.40, 0, false),
+        soft("alu: two-stage adder half", 1, 0.30, 0, false),
+        // Register file and memory plumbing.
+        soft("regfile: bank address generation", 2, 0.40, 0, false),
+        soft("shared: 16:4 read-address mux", 2, 0.40, 0, false),
+        // The shared-to-SP bus crosses the placement; its route is long
+        // but reset-less registers retime into hyper-registers (§5).
+        soft("shared: cross-placement data bus", 0, 2.50, 3, false),
+    ];
+    if variant.shifter == ShifterImpl::Barrel {
+        // §4: "a 32-bit, 5-level shifter is comprised of 1-bit, 2-bit,
+        // 4-bit, 8-bit, and 16-bit shifts. The 16-bit shifts in
+        // particular introduce connections which travel a long way
+        // horizontally" — and the previous 8-bit level is also long.
+        arcs.push(soft("shifter: barrel 8-bit level", 1, 0.80, 0, true));
+        arcs.push(soft("shifter: barrel 16-bit level", 1, 1.20, 0, true));
+    }
+    if variant.auto_shift_register_replacement {
+        arcs.push(TimingArc {
+            name: "mlab: auto shift-register replacement".to_string(),
+            kind: ArcKind::HardMlab,
+        });
+    }
+    if variant.context == DesignContext::SingleSp {
+        // A standalone-SP compile contains only the SP datapath — no
+        // sequencer fan-out, no shared-memory plumbing (§4 compiles the
+        // shifter "as part of a complete SP" before assembling the SM).
+        arcs.retain(|a| {
+            ["mul:", "alu:", "shifter:", "dsp:", "m20k:", "regfile:", "mlab:"]
+                .iter()
+                .any(|p| a.name.starts_with(p))
+        });
+    }
+    arcs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_design_has_no_barrel_or_mlab_arcs() {
+        let arcs = timing_arcs(&DesignVariant::this_work());
+        assert!(!arcs.iter().any(|a| a.name.contains("barrel")));
+        assert!(!arcs.iter().any(|a| a.name.contains("mlab")));
+        assert!(arcs.iter().any(|a| a.name.contains("control enable")));
+    }
+
+    #[test]
+    fn barrel_variant_adds_long_route_arcs() {
+        let arcs = timing_arcs(&DesignVariant::with_barrel_shifter());
+        let longs: Vec<_> = arcs
+            .iter()
+            .filter(|a| matches!(a.kind, ArcKind::Soft { long_route: true, .. }))
+            .collect();
+        assert_eq!(longs.len(), 2);
+    }
+
+    #[test]
+    fn shift_register_trap_adds_mlab_ceiling() {
+        let mut v = DesignVariant::this_work();
+        v.auto_shift_register_replacement = true;
+        let arcs = timing_arcs(&v);
+        assert!(arcs.iter().any(|a| matches!(a.kind, ArcKind::HardMlab)));
+    }
+
+    #[test]
+    fn baseline_uses_fp_mode() {
+        let arcs = timing_arcs(&DesignVariant::egpu_baseline());
+        let dsp = arcs
+            .iter()
+            .find_map(|a| match a.kind {
+                ArcKind::HardDsp { mode } => Some(mode),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(dsp, DspMode::Fp32);
+    }
+}

@@ -1,0 +1,345 @@
+//! Placement: assigning the processor's modules to device cells.
+//!
+//! The placer is geometric and deterministic (the per-seed variation is
+//! applied by the STA's quality jitter, not by re-placing): SPs stack in
+//! pairs of rows along the DSP spine ("the 16 SPs straddling the spine of
+//! DSP Blocks down the center", §5), the shared memory forms a cluster at
+//! the M20K columns on the left, and the instruction block sits beyond it
+//! (its delay chain lets it place independently, §3).
+
+use crate::area::AreaReport;
+use crate::calib;
+use fpga_fabric::{ColumnKind, Device};
+use serde::{Deserialize, Serialize};
+use simt_isa::SP_COUNT;
+
+/// Placement constraint (§5's experiments, plus the §6 future-work
+/// exploration).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Constraint {
+    /// Quartus default placement.
+    Unconstrained,
+    /// Rectangular bounding box sized for a target logic utilization
+    /// (0 < utilization < 1).
+    BoundingBox {
+        /// Target logic utilization inside the box (0.86 and 0.93 in §5).
+        utilization: f64,
+    },
+    /// §6 future work #1: component-level constraints — "aligning
+    /// individual SPs to individual rows or regions (encompassing the
+    /// minimum required number of M20Ks and DSP Blocks for that
+    /// instance)". Each SP is pinned to its two DSP rows with its logic
+    /// pre-partitioned, which removes most congestion-induced detours:
+    /// the model recovers [`COMPONENT_ALIGN_RECOVERY`] of the congestion
+    /// penalty at the same utilization.
+    ComponentAligned {
+        /// Target logic utilization inside the box.
+        utilization: f64,
+    },
+}
+
+/// Fraction of the congestion quality penalty that SP-level row
+/// alignment removes (§6's hypothesis, explored with this model: the
+/// router no longer trades SP-internal locality against global slack).
+pub const COMPONENT_ALIGN_RECOVERY: f64 = 0.6;
+
+/// A rectangle of device cells, half-open on both axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Left column.
+    pub col0: usize,
+    /// Bottom row.
+    pub row0: usize,
+    /// One past the right column.
+    pub col1: usize,
+    /// One past the top row.
+    pub row1: usize,
+}
+
+impl Rect {
+    /// Width in columns.
+    pub fn width(&self) -> usize {
+        self.col1 - self.col0
+    }
+
+    /// Height in rows.
+    pub fn height(&self) -> usize {
+        self.row1 - self.row0
+    }
+
+    /// Centre point.
+    pub fn centre(&self) -> (f64, f64) {
+        (
+            (self.col0 + self.col1) as f64 / 2.0,
+            (self.row0 + self.row1) as f64 / 2.0,
+        )
+    }
+
+    /// Whether a cell is inside.
+    pub fn contains(&self, col: usize, row: usize) -> bool {
+        col >= self.col0 && col < self.col1 && row >= self.row0 && row < self.row1
+    }
+}
+
+/// A placed module.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacedModule {
+    /// Module name ("sp0".."sp15", "shared", "inst").
+    pub name: String,
+    /// Footprint.
+    pub rect: Rect,
+}
+
+/// One core's placement (a stamp).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorePlacement {
+    /// Stamp index.
+    pub stamp: usize,
+    /// Overall region of this core.
+    pub region: Rect,
+    /// Module footprints.
+    pub modules: Vec<PlacedModule>,
+}
+
+/// The full placement result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Constraint used.
+    pub constraint: Constraint,
+    /// Per-stamp core placements.
+    pub cores: Vec<CorePlacement>,
+    /// Achieved logic utilization inside the (per-core) region.
+    pub utilization: f64,
+    /// Routing-quality multiplier from congestion (≥ 1.0; applied to
+    /// every soft route by the STA).
+    pub quality: f64,
+}
+
+/// Rows one core occupies: 16 SPs × 2 DSP blocks, one DSP per row in the
+/// AGFD019's single DSP column — "placement of the cores is always
+/// forced into a 32 row height" (§5).
+pub const CORE_ROWS: usize = 2 * SP_COUNT;
+
+/// Congestion quality factor for a logic utilization (≥ 1.0).
+pub fn quality_for_utilization(u: f64) -> f64 {
+    1.0 + calib::CONGESTION_CUBIC * (u - calib::CONGESTION_KNEE).max(0.0).powi(3)
+}
+
+/// Place `stamps` cores of the given area on a device.
+///
+/// # Panics
+/// If the device cannot host the requested stamps (not enough sectors /
+/// DSP rows) or the utilization is not in (0, 1).
+pub fn place(
+    device: &Device,
+    area: &AreaReport,
+    constraint: Constraint,
+    stamps: usize,
+) -> Placement {
+    assert!(stamps >= 1, "at least one stamp");
+    let sector_cols = device.geometry.cols();
+    let dsp_col_local = device.geometry.columns_of(ColumnKind::Dsp)[0];
+    assert!(
+        stamps <= device.sectors_x * device.sectors_y,
+        "device has {} sectors, cannot separate {} stamps",
+        device.sectors_x * device.sectors_y,
+        stamps
+    );
+
+    // LAB columns the core's logic needs at the target utilization.
+    let alm_cols_needed = |u: f64| -> usize {
+        ((area.gpgpu.alms as f64) / (CORE_ROWS as f64 * 10.0 * u)).ceil() as usize
+    };
+    let (utilization, lab_cols, align_recovery) = match constraint {
+        Constraint::Unconstrained => {
+            let cols = alm_cols_needed(calib::UNCONSTRAINED_UTILIZATION);
+            (calib::UNCONSTRAINED_UTILIZATION, cols, 0.0)
+        }
+        Constraint::BoundingBox { utilization } => {
+            assert!(
+                utilization > 0.0 && utilization < 1.0,
+                "utilization {utilization} out of (0,1)"
+            );
+            (utilization, alm_cols_needed(utilization), 0.0)
+        }
+        Constraint::ComponentAligned { utilization } => {
+            assert!(
+                utilization > 0.0 && utilization < 1.0,
+                "utilization {utilization} out of (0,1)"
+            );
+            (
+                utilization,
+                alm_cols_needed(utilization),
+                COMPONENT_ALIGN_RECOVERY,
+            )
+        }
+    };
+
+    let raw_quality = quality_for_utilization(utilization);
+    let quality = 1.0 + (raw_quality - 1.0) * (1.0 - align_recovery);
+    let mut cores = Vec::with_capacity(stamps);
+    for stamp in 0..stamps {
+        // One sector per stamp, walking the sector grid row-major —
+        // "3 cores in a group, separated by a sector boundary" (§5.1).
+        let sx = stamp % device.sectors_x;
+        let sy = stamp / device.sectors_x;
+        let col_base = sx * sector_cols;
+        let row_base = sy * device.geometry.rows;
+        let spine = col_base + dsp_col_local;
+
+        // Split the LAB columns around the spine.
+        let left_cols = lab_cols / 2;
+        let right_cols = lab_cols - left_cols;
+        let region = Rect {
+            col0: spine.saturating_sub(left_cols + 2), // +2: M20K cols for shared
+            row0: row_base,
+            col1: (spine + right_cols + 1).min(col_base + sector_cols),
+            row1: row_base + CORE_ROWS,
+        };
+
+        let mut modules = Vec::with_capacity(SP_COUNT + 2);
+        // SPs: two DSP rows each, ALMs straddling the spine.
+        for i in 0..SP_COUNT {
+            modules.push(PlacedModule {
+                name: format!("sp{i}"),
+                rect: Rect {
+                    col0: spine - left_cols,
+                    row0: row_base + 2 * i,
+                    col1: spine + right_cols + 1,
+                    row1: row_base + 2 * i + 2,
+                },
+            });
+        }
+        // Shared memory: a cluster on the left ("The shared memory ...
+        // forms a cluster to the left side of the placement", §5).
+        modules.push(PlacedModule {
+            name: "shared".to_string(),
+            rect: Rect {
+                col0: region.col0,
+                row0: row_base,
+                col1: spine - left_cols,
+                row1: row_base + CORE_ROWS,
+            },
+        });
+        // Instruction block: bottom-left corner; the control delay chain
+        // lets it place "elsewhere on the device where convenient" (§3).
+        modules.push(PlacedModule {
+            name: "inst".to_string(),
+            rect: Rect {
+                col0: region.col0,
+                row0: row_base,
+                col1: region.col0 + 3,
+                row1: row_base + 6,
+            },
+        });
+        cores.push(CorePlacement {
+            stamp,
+            region,
+            modules,
+        });
+    }
+
+    Placement {
+        constraint,
+        cores,
+        utilization,
+        quality,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::area::area_model;
+    use simt_core::ProcessorConfig;
+
+    fn setup(constraint: Constraint, stamps: usize) -> Placement {
+        let device = Device::agfd019();
+        let area = area_model(&ProcessorConfig::default());
+        place(&device, &area, constraint, stamps)
+    }
+
+    #[test]
+    fn single_core_is_32_rows() {
+        let p = setup(Constraint::Unconstrained, 1);
+        assert_eq!(p.cores.len(), 1);
+        assert_eq!(p.cores[0].region.height(), 32);
+        for i in 0..16 {
+            let sp = &p.cores[0].modules[i];
+            assert_eq!(sp.rect.height(), 2, "{}", sp.name);
+        }
+    }
+
+    #[test]
+    fn unconstrained_quality_is_nominal() {
+        let p = setup(Constraint::Unconstrained, 1);
+        assert_eq!(p.quality, 1.0);
+        assert!(p.utilization < 0.6);
+    }
+
+    #[test]
+    fn tighter_box_is_narrower_and_worse_quality() {
+        let loose = setup(
+            Constraint::BoundingBox { utilization: 0.86 },
+            1,
+        );
+        let tight = setup(
+            Constraint::BoundingBox { utilization: 0.93 },
+            1,
+        );
+        assert!(tight.cores[0].region.width() <= loose.cores[0].region.width());
+        assert!(tight.quality > loose.quality);
+        assert!(loose.quality > 1.0);
+    }
+
+    #[test]
+    fn stamps_land_in_distinct_sectors() {
+        let p = setup(Constraint::BoundingBox { utilization: 0.93 }, 3);
+        assert_eq!(p.cores.len(), 3);
+        let device = Device::agfd019();
+        for pair in p.cores.windows(2) {
+            let a = pair[0].region;
+            let b = pair[1].region;
+            assert!(device.crosses_sector(
+                (a.col0, a.row0),
+                (b.col0, b.row0)
+            ));
+        }
+    }
+
+    #[test]
+    fn shared_cluster_is_left_of_sps() {
+        let p = setup(Constraint::Unconstrained, 1);
+        let shared = p.cores[0]
+            .modules
+            .iter()
+            .find(|m| m.name == "shared")
+            .unwrap();
+        let sp0 = &p.cores[0].modules[0];
+        assert!(shared.rect.col1 <= sp0.rect.col0 + 1);
+    }
+
+    #[test]
+    fn component_alignment_recovers_quality() {
+        // §6 future work: SP-level row alignment should pack denser at
+        // the same clock — here, the same 93% box with most of the
+        // congestion penalty removed.
+        let boxed = setup(Constraint::BoundingBox { utilization: 0.93 }, 1);
+        let aligned = setup(Constraint::ComponentAligned { utilization: 0.93 }, 1);
+        assert!(aligned.quality < boxed.quality);
+        assert!(aligned.quality > 1.0);
+        assert_eq!(aligned.utilization, boxed.utilization);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot separate")]
+    fn too_many_stamps_panics() {
+        setup(Constraint::Unconstrained, 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0,1)")]
+    fn bad_utilization_panics() {
+        setup(Constraint::BoundingBox { utilization: 1.5 }, 1);
+    }
+}

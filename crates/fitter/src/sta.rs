@@ -1,0 +1,324 @@
+//! Static timing analysis: compose arc delays into Fmax.
+//!
+//! Matches the paper's reporting convention: the **logic Fmax** is the
+//! soft-path STA alone (the unconstrained compile "achieved 984 MHz"),
+//! while the **restricted Fmax** additionally honours hard-block ceilings
+//! ("with a restricted Fmax of 956 MHz, which was limited by the DSP
+//! Blocks", §5).
+
+use crate::calib;
+use crate::netlist::{ArcKind, DesignContext, DesignVariant, TimingArc};
+use fpga_fabric::m20k::MLAB_FMAX_MHZ;
+use fpga_fabric::{mhz_to_ps, ps_to_mhz, TimingModel};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// One analysed path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathReport {
+    /// Arc name.
+    pub name: String,
+    /// Total delay, ps.
+    pub delay_ps: f64,
+    /// Fmax of this path alone, MHz.
+    pub fmax_mhz: f64,
+    /// LUT levels (0 for hard blocks).
+    pub levels: usize,
+    /// Effective routed distance after quality scaling (0 for hard
+    /// blocks).
+    pub distance: f64,
+    /// Whether this is a hard-block ceiling.
+    pub hard: bool,
+}
+
+/// STA result for one compile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StaReport {
+    /// Soft-logic Fmax (MHz).
+    pub fmax_logic_mhz: f64,
+    /// Restricted Fmax including hard-block ceilings (MHz).
+    pub fmax_restricted_mhz: f64,
+    /// The critical soft path.
+    pub critical: PathReport,
+    /// What restricts the clock ("dsp: ..." when the DSP ceiling binds).
+    pub restricted_by: String,
+    /// Every analysed path, slowest first.
+    pub paths: Vec<PathReport>,
+}
+
+/// Per-seed lognormal jitter factor for one arc.
+fn seed_jitter(seed: u64, arc_index: usize, sigma: f64) -> f64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (arc_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    // Box-Muller from two uniforms.
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (sigma * z).exp()
+}
+
+/// Analyse the arc set under a placement quality factor and seed.
+///
+/// `stamps` models the worst-slack attention division of §5.1: the
+/// router optimizes the union of all stamps' paths, so route quality
+/// degrades by `1 + STAMP_COUPLING·ln(N)`.
+pub fn analyze(
+    arcs: &[TimingArc],
+    variant: &DesignVariant,
+    quality: f64,
+    stamps: usize,
+    seed: u64,
+    timing: &TimingModel,
+) -> StaReport {
+    assert!(stamps >= 1);
+    let stamp_factor = 1.0 + calib::STAMP_COUPLING * (stamps as f64).ln();
+    let crowding = match variant.context {
+        DesignContext::SingleSp => 1.0,
+        DesignContext::FullSm => calib::SM_CROWDING,
+    };
+
+    let mut paths: Vec<PathReport> = Vec::with_capacity(arcs.len());
+    for (idx, arc) in arcs.iter().enumerate() {
+        let p = match arc.kind {
+            ArcKind::Soft {
+                levels,
+                distance,
+                hyper_regs,
+                long_route,
+            } => {
+                let mut d = distance * quality * stamp_factor;
+                if long_route {
+                    d *= crowding;
+                }
+                d *= seed_jitter(seed, idx, calib::SEED_SIGMA);
+                let delay = timing.path_ps(levels, d, hyper_regs);
+                PathReport {
+                    name: arc.name.clone(),
+                    delay_ps: delay,
+                    fmax_mhz: ps_to_mhz(delay),
+                    levels,
+                    distance: d,
+                    hard: false,
+                }
+            }
+            ArcKind::HardDsp { mode } => {
+                // Interface margin derates the ceiling slightly
+                // (958 -> ~956, "limited by the DSP Blocks").
+                let f = mode.fmax_mhz() * (1.0 - calib::DSP_INTERFACE_DERATE);
+                PathReport {
+                    name: arc.name.clone(),
+                    delay_ps: mhz_to_ps(f),
+                    fmax_mhz: f,
+                    levels: 0,
+                    distance: 0.0,
+                    hard: true,
+                }
+            }
+            ArcKind::HardM20k { mode } => {
+                let f = mode.fmax_mhz();
+                PathReport {
+                    name: arc.name.clone(),
+                    delay_ps: mhz_to_ps(f),
+                    fmax_mhz: f,
+                    levels: 0,
+                    distance: 0.0,
+                    hard: true,
+                }
+            }
+            ArcKind::HardMlab => PathReport {
+                name: arc.name.clone(),
+                delay_ps: mhz_to_ps(MLAB_FMAX_MHZ),
+                fmax_mhz: MLAB_FMAX_MHZ,
+                levels: 0,
+                distance: 0.0,
+                hard: true,
+            },
+        };
+        paths.push(p);
+    }
+    paths.sort_by(|a, b| b.delay_ps.total_cmp(&a.delay_ps));
+
+    let critical = paths
+        .iter()
+        .filter(|p| !p.hard)
+        .max_by(|a, b| a.delay_ps.total_cmp(&b.delay_ps))
+        .expect("netlist has no soft paths")
+        .clone();
+    let fmax_logic = critical.fmax_mhz;
+    let worst_any = &paths[0];
+    let fmax_restricted = worst_any.fmax_mhz;
+    StaReport {
+        fmax_logic_mhz: fmax_logic,
+        fmax_restricted_mhz: fmax_restricted,
+        restricted_by: worst_any.name.clone(),
+        critical,
+        paths,
+    }
+}
+
+/// One arc's slack against a clock target — the raw material of §6's
+/// "routing driven placement method (or at least analysis)".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlackEntry {
+    /// Arc name.
+    pub name: String,
+    /// Slack in ps against the target period (negative = failing).
+    pub slack_ps: f64,
+    /// Fraction of the path delay spent in routing (0 for hard blocks).
+    pub route_fraction: f64,
+}
+
+/// Routing-driven analysis of an STA report (§6 future work #3:
+/// "the relationship between the many 32-bit busses required by the
+/// processor and the hierarchical routing architecture ... needs to be
+/// evaluated"). Returns per-arc slack against `target_mhz`, sorted worst
+/// first, with each path's routing share — the paths that fail *because
+/// of distance* (high `route_fraction`) are the ones placement changes
+/// can fix; the ones failing on logic depth need pipeline restructuring.
+pub fn routing_analysis(
+    report: &StaReport,
+    target_mhz: f64,
+    timing: &TimingModel,
+) -> Vec<SlackEntry> {
+    let period = mhz_to_ps(target_mhz);
+    let mut entries: Vec<SlackEntry> = report
+        .paths
+        .iter()
+        .map(|p| {
+            let logic_ps =
+                timing.t_clk_q + timing.t_su + p.levels as f64 * (timing.t_lut + timing.t_local);
+            let route_fraction = if p.hard {
+                0.0
+            } else {
+                ((p.delay_ps - logic_ps) / p.delay_ps).max(0.0)
+            };
+            SlackEntry {
+                name: p.name.clone(),
+                slack_ps: period - p.delay_ps,
+                route_fraction,
+            }
+        })
+        .collect();
+    entries.sort_by(|a, b| a.slack_ps.total_cmp(&b.slack_ps));
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{timing_arcs, DesignVariant};
+
+    fn run(variant: DesignVariant, quality: f64, stamps: usize, seed: u64) -> StaReport {
+        let arcs = timing_arcs(&variant);
+        analyze(
+            &arcs,
+            &variant,
+            quality,
+            stamps,
+            seed,
+            &TimingModel::default(),
+        )
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_small() {
+        let a = seed_jitter(1, 0, 0.015);
+        let b = seed_jitter(1, 0, 0.015);
+        assert_eq!(a, b);
+        assert!(a > 0.9 && a < 1.1);
+        assert_ne!(seed_jitter(1, 0, 0.015), seed_jitter(2, 0, 0.015));
+    }
+
+    #[test]
+    fn control_enable_is_the_critical_soft_path() {
+        // §3: "the pipeline control enable paths ... will likely be the
+        // single most critical path in the entire processor".
+        let r = run(DesignVariant::this_work(), 1.0, 1, 0);
+        assert!(
+            r.critical.name.contains("control enable"),
+            "critical = {}",
+            r.critical.name
+        );
+    }
+
+    #[test]
+    fn restricted_by_dsp_in_the_integer_design() {
+        let r = run(DesignVariant::this_work(), 1.0, 1, 0);
+        assert!(r.restricted_by.contains("dsp"), "{}", r.restricted_by);
+        assert!(r.fmax_restricted_mhz < 958.0 && r.fmax_restricted_mhz > 950.0);
+        assert!(r.fmax_logic_mhz > r.fmax_restricted_mhz);
+    }
+
+    #[test]
+    fn fp_baseline_capped_at_771() {
+        let r = run(DesignVariant::egpu_baseline(), 1.0, 1, 0);
+        assert!((r.fmax_restricted_mhz - 771.0).abs() / 771.0 < 0.01);
+        assert!(r.restricted_by.contains("dsp"));
+    }
+
+    #[test]
+    fn barrel_shifter_breaks_the_assembled_sm() {
+        // §4: closes standalone, fails below 850 MHz in the full SM.
+        let standalone = run(
+            DesignVariant::with_barrel_shifter().standalone_sp(),
+            1.0,
+            1,
+            0,
+        );
+        assert!(standalone.fmax_logic_mhz > 1000.0, "{}", standalone.fmax_logic_mhz);
+        let sm = run(DesignVariant::with_barrel_shifter(), 1.0, 1, 0);
+        assert!(sm.fmax_logic_mhz < 850.0, "{}", sm.fmax_logic_mhz);
+        assert!(sm.critical.name.contains("16-bit"), "{}", sm.critical.name);
+    }
+
+    #[test]
+    fn mlab_trap_caps_at_850() {
+        let mut v = DesignVariant::this_work();
+        v.auto_shift_register_replacement = true;
+        let r = run(v, 1.0, 1, 0);
+        assert_eq!(r.fmax_restricted_mhz, 850.0);
+        assert!(r.restricted_by.contains("mlab"));
+    }
+
+    #[test]
+    fn stamping_degrades_quality() {
+        let one = run(DesignVariant::this_work(), 1.144, 1, 7);
+        let three = run(DesignVariant::this_work(), 1.144, 3, 7);
+        assert!(three.fmax_logic_mhz < one.fmax_logic_mhz);
+    }
+
+    #[test]
+    fn routing_analysis_explains_the_barrel_failure() {
+        // §6: "the logic based shifters could not maintain 1 GHz in a
+        // larger system setting, largely because of routing distance" —
+        // the analysis must show the failing barrel arc is
+        // routing-dominated, not logic-dominated.
+        let r = run(DesignVariant::with_barrel_shifter(), 1.0, 1, 0);
+        let entries = routing_analysis(&r, 1000.0, &TimingModel::default());
+        let worst_soft = entries
+            .iter()
+            .find(|e| e.name.contains("16-bit"))
+            .expect("barrel arc present");
+        assert!(worst_soft.slack_ps < 0.0, "fails 1 GHz");
+        assert!(
+            worst_soft.route_fraction > 0.5,
+            "routing share {:.2}",
+            worst_soft.route_fraction
+        );
+        // The cnot reduction fails (if at all) on logic, not routing.
+        let cnot = entries.iter().find(|e| e.name.contains("cnot")).unwrap();
+        assert!(cnot.route_fraction < 0.5);
+        // Sorted worst-first.
+        for w in entries.windows(2) {
+            assert!(w[0].slack_ps <= w[1].slack_ps);
+        }
+    }
+
+    #[test]
+    fn paths_sorted_slowest_first() {
+        let r = run(DesignVariant::this_work(), 1.0, 1, 0);
+        for w in r.paths.windows(2) {
+            assert!(w[0].delay_ps >= w[1].delay_ps);
+        }
+    }
+}

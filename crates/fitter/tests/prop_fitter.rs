@@ -1,0 +1,158 @@
+//! Property tests on the virtual-Quartus pipeline: physical invariants
+//! that must hold for *every* seed, utilization and stamp count — not
+//! just the paper's anchor points.
+
+use fpga_fabric::Device;
+use fpga_fitter::{
+    area_model, compile, place, quality_for_utilization, CompileOptions, Constraint,
+    DesignVariant,
+};
+use proptest::prelude::*;
+use simt_core::ProcessorConfig;
+
+fn device() -> Device {
+    Device::agfd019()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn restricted_never_exceeds_logic_or_ceilings(
+        seed in 0u64..1000,
+        u in 0.61f64..0.97,
+        stamps in 1usize..=6,
+    ) {
+        let opts = CompileOptions::stamped(stamps, u).with_seed(seed);
+        let r = compile(&ProcessorConfig::default(), &device(), &opts);
+        prop_assert!(r.fmax_restricted() <= r.fmax_logic() + 1e-9);
+        // Integer DSP ceiling with interface derate.
+        prop_assert!(r.fmax_restricted() <= 958.0);
+        prop_assert!(r.fmax_restricted() > 0.0);
+    }
+
+    #[test]
+    fn fp_mode_never_exceeds_771(seed in 0u64..500) {
+        let opts = CompileOptions::unconstrained()
+            .with_seed(seed)
+            .with_variant(DesignVariant::egpu_baseline());
+        let r = compile(&ProcessorConfig::default(), &device(), &opts);
+        prop_assert!(r.fmax_restricted() <= 771.0);
+    }
+
+    #[test]
+    fn quality_monotone_in_utilization(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(quality_for_utilization(lo) <= quality_for_utilization(hi));
+        prop_assert!(quality_for_utilization(lo) >= 1.0);
+    }
+
+    #[test]
+    fn more_stamps_never_faster(seed in 0u64..200, u in 0.7f64..0.95) {
+        let dev = device();
+        let cfg = ProcessorConfig::default();
+        let mut last = f64::INFINITY;
+        for stamps in [1usize, 2, 3, 4] {
+            let r = compile(&cfg, &dev, &CompileOptions::stamped(stamps, u).with_seed(seed));
+            // Soft-logic fmax degrades monotonically with stamp count
+            // (the worst-slack coupling); the restricted value can
+            // plateau at the DSP ceiling.
+            prop_assert!(r.fmax_logic() <= last + 1e-9, "stamps={stamps}");
+            last = r.fmax_logic();
+        }
+    }
+
+    #[test]
+    fn compiles_are_deterministic(seed in 0u64..500, u in 0.65f64..0.95) {
+        let dev = device();
+        let cfg = ProcessorConfig::default();
+        let opts = CompileOptions::constrained(u).with_seed(seed);
+        let a = compile(&cfg, &dev, &opts);
+        let b = compile(&cfg, &dev, &opts);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn placement_geometry_invariants(u in 0.62f64..0.97, stamps in 1usize..=6) {
+        let dev = device();
+        let area = area_model(&ProcessorConfig::default());
+        let p = place(&dev, &area, Constraint::BoundingBox { utilization: u }, stamps);
+        prop_assert_eq!(p.cores.len(), stamps);
+        for core in &p.cores {
+            prop_assert_eq!(core.region.height(), 32, "32-row core");
+            // All modules inside the device.
+            for m in &core.modules {
+                prop_assert!(m.rect.col1 <= dev.cols(), "{} col {}", m.name, m.rect.col1);
+                prop_assert!(m.rect.row1 <= dev.rows(), "{} row {}", m.name, m.rect.row1);
+                prop_assert!(m.rect.width() > 0 && m.rect.height() > 0);
+            }
+            // SPs occupy disjoint row pairs.
+            for i in 0..16 {
+                for j in (i + 1)..16 {
+                    let a = core.modules[i].rect;
+                    let b = core.modules[j].rect;
+                    prop_assert!(a.row1 <= b.row0 || b.row1 <= a.row0, "sp{i} vs sp{j}");
+                }
+            }
+        }
+        // Distinct stamps occupy distinct sectors.
+        for i in 0..stamps {
+            for j in (i + 1)..stamps {
+                let a = p.cores[i].region;
+                let b = p.cores[j].region;
+                prop_assert!(dev.crosses_sector((a.col0, a.row0), (b.col0, b.row0)));
+            }
+        }
+    }
+
+    #[test]
+    fn area_model_monotone(threads_kb in 1usize..=4, shared_kb in 1usize..=8) {
+        let small = area_model(
+            &ProcessorConfig::default()
+                .with_threads(256 * threads_kb)
+                .with_shared_words(512 * shared_kb),
+        );
+        let bigger = area_model(
+            &ProcessorConfig::default()
+                .with_threads(256 * threads_kb)
+                .with_shared_words(512 * shared_kb * 2),
+        );
+        prop_assert!(bigger.shared.m20k >= small.shared.m20k);
+        prop_assert!(bigger.gpgpu.alms >= small.gpgpu.alms);
+    }
+
+    #[test]
+    fn reports_serialize_roundtrip(seed in 0u64..100) {
+        let r = compile(
+            &ProcessorConfig::default(),
+            &device(),
+            &CompileOptions::constrained(0.9).with_seed(seed),
+        );
+        let json = serde_json::to_string(&r).unwrap();
+        let back: fpga_fitter::CompileReport = serde_json::from_str(&json).unwrap();
+        // Discrete structure is exact; floats round-trip within an ULP
+        // of the decimal encoding.
+        prop_assert_eq!(&r.options, &back.options);
+        prop_assert_eq!(&r.area, &back.area);
+        prop_assert_eq!(&r.placement.cores, &back.placement.cores);
+        prop_assert!((r.fmax_logic() - back.fmax_logic()).abs() < 1e-9);
+        prop_assert!((r.fmax_restricted() - back.fmax_restricted()).abs() < 1e-9);
+        prop_assert_eq!(&r.sta.critical.name, &back.sta.critical.name);
+        prop_assert_eq!(r.sta.paths.len(), back.sta.paths.len());
+    }
+
+    #[test]
+    fn component_alignment_always_helps(u in 0.7f64..0.97, seed in 0u64..100) {
+        let dev = device();
+        let cfg = ProcessorConfig::default();
+        let boxed = compile(
+            &cfg, &dev,
+            &CompileOptions { constraint: Constraint::BoundingBox { utilization: u }, ..CompileOptions::default() }.with_seed(seed),
+        );
+        let aligned = compile(
+            &cfg, &dev,
+            &CompileOptions { constraint: Constraint::ComponentAligned { utilization: u }, ..CompileOptions::default() }.with_seed(seed),
+        );
+        prop_assert!(aligned.fmax_logic() >= boxed.fmax_logic() - 1e-9);
+    }
+}

@@ -1,0 +1,568 @@
+//! Two-pass textual assembler.
+//!
+//! Syntax (one instruction per line; `;`, `//` and `#` start comments):
+//!
+//! ```text
+//! top:                       ; label
+//!     movi  r1, 42           ; 32-bit immediate (decimal / 0x hex / negative)
+//!     add   r2, r1, r1
+//!     mad.lo r3, r2, r2, r1
+//!     setp.lt p0, r1, r2     ; predicate write
+//!     @p0  add r2, r2, r1    ; guarded execution
+//!     @!p1 sub r2, r2, r1
+//!     sts.t2 [r4+0], r2      ; `.t2` = dynamic thread scale: nthreads >> 2
+//!     lds  r5, [r4+16]
+//!     shadd r6, r4, r5, 2    ; r6 = (r4 << 2) + r5
+//!     bfe  r7, r6, 4, 8      ; extract bits [11:4]
+//!     loop 10, done          ; repeat body 10 times, zero overhead
+//!     add  r8, r8, r1
+//! done:
+//!     brp  top               ; uniform predicated branch (thread 0's p0)
+//!     exit
+//! ```
+//!
+//! `loop COUNT, LABEL` takes `LABEL` as the first instruction *after* the
+//! loop body (like a closing brace); the encoder stores the address of the
+//! last body instruction as the hardware loop-end.
+
+use crate::error::IsaError;
+use crate::instr::Instruction;
+use crate::opcode::{OpClass, Opcode};
+use crate::program::Program;
+use std::collections::HashMap;
+
+/// Assemble source text into a [`Program`].
+pub fn assemble(src: &str) -> Result<Program, IsaError> {
+    Assembler::new().assemble(src)
+}
+
+/// The assembler; holds symbol state between passes.
+#[derive(Debug, Default)]
+pub struct Assembler {
+    labels: HashMap<String, usize>,
+}
+
+/// A tokenized source line (pass 1 output).
+struct Line<'a> {
+    number: usize,
+    guard: Option<(u8, bool)>,
+    mnemonic: &'a str,
+    scale: Option<u8>,
+    operands: Vec<&'a str>,
+}
+
+impl Assembler {
+    /// New assembler with an empty symbol table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run both passes over `src`.
+    pub fn assemble(&mut self, src: &str) -> Result<Program, IsaError> {
+        self.labels.clear();
+        let mut lines: Vec<Line<'_>> = Vec::new();
+        let mut addr = 0usize;
+        let mut pending_labels: Vec<(String, usize, usize)> = Vec::new();
+
+        for (idx, raw) in src.lines().enumerate() {
+            let number = idx + 1;
+            let mut text = raw;
+            for marker in [";", "//", "#"] {
+                if let Some(pos) = text.find(marker) {
+                    text = &text[..pos];
+                }
+            }
+            let mut text = text.trim();
+            // Labels: possibly several on one line, each `name:`.
+            while let Some(colon) = text.find(':') {
+                let (name, rest) = text.split_at(colon);
+                let name = name.trim();
+                if name.is_empty() || !is_ident(name) {
+                    return Err(IsaError::Syntax {
+                        line: number,
+                        detail: format!("bad label `{name}`"),
+                    });
+                }
+                if self.labels.insert(name.to_string(), addr).is_some() {
+                    return Err(IsaError::DuplicateLabel {
+                        line: number,
+                        label: name.to_string(),
+                    });
+                }
+                pending_labels.push((name.to_string(), addr, number));
+                text = rest[1..].trim();
+            }
+            if text.is_empty() {
+                continue;
+            }
+            lines.push(tokenize(number, text)?);
+            addr += 1;
+        }
+
+        let mut instrs = Vec::with_capacity(lines.len());
+        for line in &lines {
+            instrs.push(self.encode_line(line)?);
+        }
+        let mut program = Program::from_instructions(instrs);
+        for (name, a, _line) in pending_labels {
+            program.add_label(name, a);
+        }
+        Ok(program)
+    }
+
+    fn lookup_target(&self, line: usize, token: &str) -> Result<usize, IsaError> {
+        if let Ok(v) = parse_int(token) {
+            if v < 0 {
+                return Err(IsaError::TargetRange {
+                    line,
+                    target: usize::MAX,
+                });
+            }
+            return Ok(v as usize);
+        }
+        self.labels
+            .get(token)
+            .copied()
+            .ok_or_else(|| IsaError::UndefinedLabel {
+                line,
+                label: token.to_string(),
+            })
+    }
+
+    fn encode_line(&self, line: &Line<'_>) -> Result<Instruction, IsaError> {
+        let opcode =
+            Opcode::from_mnemonic(line.mnemonic).ok_or_else(|| IsaError::UnknownMnemonic {
+                line: line.number,
+                mnemonic: line.mnemonic.to_string(),
+            })?;
+        let n = line.number;
+        let ops = &line.operands;
+        let mut instr = Instruction::new(opcode);
+        if let Some((p, neg)) = line.guard {
+            instr = instr.guarded(p, neg);
+        }
+        if let Some(k) = line.scale {
+            instr = instr.scaled(k);
+        }
+
+        let expect = |want: usize, desc: &str| -> Result<(), IsaError> {
+            if ops.len() != want {
+                Err(IsaError::OperandCount {
+                    line: n,
+                    mnemonic: line.mnemonic.to_string(),
+                    expected: desc.to_string(),
+                    got: ops.len(),
+                })
+            } else {
+                Ok(())
+            }
+        };
+
+        use Opcode::*;
+        match opcode {
+            // rd, ra, rb
+            Add | Sub | Min | Max | Sad | MulLo | MulHi | MuluHi | MadLo | MadHi | And | Or
+            | Xor | SatAdd | SatSub | Shl | Lsr | Asr => {
+                if opcode.reads_rc() {
+                    expect(4, "4 (rd, ra, rb, rc)")?;
+                    instr = instr
+                        .rd(parse_reg(n, ops[0])?)
+                        .ra(parse_reg(n, ops[1])?)
+                        .rb(parse_reg(n, ops[2])?)
+                        .rc(parse_reg(n, ops[3])?);
+                } else {
+                    expect(3, "3 (rd, ra, rb)")?;
+                    instr = instr
+                        .rd(parse_reg(n, ops[0])?)
+                        .ra(parse_reg(n, ops[1])?)
+                        .rb(parse_reg(n, ops[2])?);
+                }
+            }
+            // rd, ra
+            Abs | Neg | Not | Cnot | Popc | Clz | Brev | Mov => {
+                expect(2, "2 (rd, ra)")?;
+                instr = instr.rd(parse_reg(n, ops[0])?).ra(parse_reg(n, ops[1])?);
+            }
+            // rd, ra, imm32
+            Addi | Subi | Muli | Andi | Ori | Xori => {
+                expect(3, "3 (rd, ra, imm)")?;
+                instr = instr
+                    .rd(parse_reg(n, ops[0])?)
+                    .ra(parse_reg(n, ops[1])?)
+                    .imm(parse_imm32(n, ops[2])?);
+            }
+            // rd, ra, imm16
+            Shli | Lsri | Asri | Rotri => {
+                expect(3, "3 (rd, ra, imm)")?;
+                instr = instr
+                    .rd(parse_reg(n, ops[0])?)
+                    .ra(parse_reg(n, ops[1])?)
+                    .imm(parse_imm16(n, ops[2])?);
+            }
+            // rd, ra, rb, imm16
+            MulShr | ShAdd => {
+                expect(4, "4 (rd, ra, rb, imm)")?;
+                instr = instr
+                    .rd(parse_reg(n, ops[0])?)
+                    .ra(parse_reg(n, ops[1])?)
+                    .rb(parse_reg(n, ops[2])?)
+                    .imm(parse_imm16(n, ops[3])?);
+            }
+            // rd, ra, pos, len
+            Bfe => {
+                expect(4, "4 (rd, ra, pos, len)")?;
+                let pos = parse_imm_range(n, ops[2], 0, 31)?;
+                let len = parse_imm_range(n, ops[3], 1, 32)?;
+                instr = instr
+                    .rd(parse_reg(n, ops[0])?)
+                    .ra(parse_reg(n, ops[1])?)
+                    .imm(pos | (len << 5));
+            }
+            // pd, ra, rb
+            SetpEq | SetpNe | SetpLt | SetpLe | SetpGt | SetpGe | SetpLtu | SetpGeu => {
+                expect(3, "3 (pd, ra, rb)")?;
+                instr = instr
+                    .rd(parse_pred(n, ops[0])?)
+                    .ra(parse_reg(n, ops[1])?)
+                    .rb(parse_reg(n, ops[2])?);
+            }
+            // rd, ra, rb, pN
+            Selp => {
+                expect(4, "4 (rd, ra, rb, pN)")?;
+                instr = instr
+                    .rd(parse_reg(n, ops[0])?)
+                    .ra(parse_reg(n, ops[1])?)
+                    .rb(parse_reg(n, ops[2])?)
+                    .rc(parse_pred(n, ops[3])?);
+            }
+            Movi => {
+                expect(2, "2 (rd, imm)")?;
+                instr = instr.rd(parse_reg(n, ops[0])?).imm(parse_imm32(n, ops[1])?);
+            }
+            Stid | Sntid => {
+                expect(1, "1 (rd)")?;
+                instr = instr.rd(parse_reg(n, ops[0])?);
+            }
+            Lds => {
+                expect(2, "2 (rd, [ra+off])")?;
+                let (base, off) = parse_mem(n, ops[1])?;
+                instr = instr.rd(parse_reg(n, ops[0])?).ra(base).imm(off);
+            }
+            Sts => {
+                expect(2, "2 ([ra+off], rb)")?;
+                let (base, off) = parse_mem(n, ops[0])?;
+                instr = instr.ra(base).rb(parse_reg(n, ops[1])?).imm(off);
+            }
+            Bra | Brp | Call => {
+                expect(1, "1 (target)")?;
+                let t = self.lookup_target(n, ops[0])?;
+                if t > u32::MAX as usize {
+                    return Err(IsaError::TargetRange { line: n, target: t });
+                }
+                instr = instr.imm(t as u32);
+            }
+            Loop => {
+                expect(2, "2 (count, end_label)")?;
+                let count = parse_imm_range(n, ops[0], 1, 0xFFFF)?;
+                let after = self.lookup_target(n, ops[1])?;
+                if after == 0 || after - 1 > 0xFFFF {
+                    return Err(IsaError::TargetRange {
+                        line: n,
+                        target: after,
+                    });
+                }
+                // Hardware stores the address of the LAST body instruction.
+                instr = instr.imm(count | (((after - 1) as u32) << 16));
+            }
+            Ret | Exit | Nop | Bar => {
+                expect(0, "0")?;
+            }
+        }
+        if instr.scale.is_some() && opcode.class() == OpClass::Control {
+            return Err(IsaError::Syntax {
+                line: n,
+                detail: "dynamic thread scale is meaningless on control instructions".to_string(),
+            });
+        }
+        Ok(instr)
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+fn tokenize(number: usize, text: &str) -> Result<Line<'_>, IsaError> {
+    let mut rest = text.trim();
+    let mut guard = None;
+    if let Some(stripped) = rest.strip_prefix('@') {
+        let (g, r) = stripped.split_once(char::is_whitespace).ok_or_else(|| {
+            IsaError::Syntax {
+                line: number,
+                detail: "guard must be followed by an instruction".to_string(),
+            }
+        })?;
+        let (neg, pname) = match g.strip_prefix('!') {
+            Some(p) => (true, p),
+            None => (false, g),
+        };
+        let p = parse_pred_name(number, pname)?;
+        guard = Some((p, neg));
+        rest = r.trim();
+    }
+    let (mnemonic_tok, operand_text) = match rest.split_once(char::is_whitespace) {
+        Some((m, o)) => (m, o.trim()),
+        None => (rest, ""),
+    };
+    // Dynamic-thread-scale suffix `.t<k>`.
+    let (mnemonic, scale) = match mnemonic_tok.rfind(".t") {
+        Some(pos) if mnemonic_tok[pos + 2..].chars().all(|c| c.is_ascii_digit())
+            && !mnemonic_tok[pos + 2..].is_empty() =>
+        {
+            let k: u32 = mnemonic_tok[pos + 2..].parse().map_err(|_| IsaError::Syntax {
+                line: number,
+                detail: "bad thread-scale suffix".to_string(),
+            })?;
+            if k > 7 {
+                return Err(IsaError::Syntax {
+                    line: number,
+                    detail: format!("thread scale .t{k} exceeds .t7"),
+                });
+            }
+            (&mnemonic_tok[..pos], Some(k as u8))
+        }
+        _ => (mnemonic_tok, None),
+    };
+    let operands: Vec<&str> = if operand_text.is_empty() {
+        Vec::new()
+    } else {
+        operand_text.split(',').map(str::trim).collect()
+    };
+    Ok(Line {
+        number,
+        guard,
+        mnemonic,
+        scale,
+        operands,
+    })
+}
+
+fn parse_reg(line: usize, s: &str) -> Result<u8, IsaError> {
+    let body = s.strip_prefix('r').ok_or_else(|| IsaError::BadOperand {
+        line,
+        detail: format!("expected register, got `{s}`"),
+    })?;
+    let idx: u32 = body.parse().map_err(|_| IsaError::BadOperand {
+        line,
+        detail: format!("expected register, got `{s}`"),
+    })?;
+    if idx > 255 {
+        return Err(IsaError::RegisterRange { line, index: idx });
+    }
+    Ok(idx as u8)
+}
+
+fn parse_pred_name(line: usize, s: &str) -> Result<u8, IsaError> {
+    let body = s.strip_prefix('p').ok_or_else(|| IsaError::BadOperand {
+        line,
+        detail: format!("expected predicate register, got `{s}`"),
+    })?;
+    let idx: u32 = body.parse().map_err(|_| IsaError::BadOperand {
+        line,
+        detail: format!("expected predicate register, got `{s}`"),
+    })?;
+    if idx > 3 {
+        return Err(IsaError::BadOperand {
+            line,
+            detail: format!("predicate registers are p0..p3, got `{s}`"),
+        });
+    }
+    Ok(idx as u8)
+}
+
+fn parse_pred(line: usize, s: &str) -> Result<u8, IsaError> {
+    parse_pred_name(line, s)
+}
+
+fn parse_int(s: &str) -> Result<i64, ()> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).map_err(|_| ())?
+    } else {
+        body.parse::<i64>().map_err(|_| ())?
+    };
+    Ok(if neg { -v } else { v })
+}
+
+fn parse_imm32(line: usize, s: &str) -> Result<u32, IsaError> {
+    let v = parse_int(s).map_err(|_| IsaError::BadOperand {
+        line,
+        detail: format!("expected immediate, got `{s}`"),
+    })?;
+    if v < i32::MIN as i64 || v > u32::MAX as i64 {
+        return Err(IsaError::ImmediateRange {
+            line,
+            value: v,
+            bits: 32,
+        });
+    }
+    Ok(v as u32)
+}
+
+fn parse_imm16(line: usize, s: &str) -> Result<u32, IsaError> {
+    let v = parse_int(s).map_err(|_| IsaError::BadOperand {
+        line,
+        detail: format!("expected immediate, got `{s}`"),
+    })?;
+    if !(0..=0xFFFF).contains(&v) {
+        return Err(IsaError::ImmediateRange {
+            line,
+            value: v,
+            bits: 16,
+        });
+    }
+    Ok(v as u32)
+}
+
+fn parse_imm_range(line: usize, s: &str, lo: i64, hi: i64) -> Result<u32, IsaError> {
+    let v = parse_int(s).map_err(|_| IsaError::BadOperand {
+        line,
+        detail: format!("expected immediate, got `{s}`"),
+    })?;
+    if v < lo || v > hi {
+        return Err(IsaError::ImmediateRange {
+            line,
+            value: v,
+            bits: 16,
+        });
+    }
+    Ok(v as u32)
+}
+
+/// Parse `[rN]`, `[rN+off]` memory operands (word offsets, 0..65535).
+fn parse_mem(line: usize, s: &str) -> Result<(u8, u32), IsaError> {
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| IsaError::BadOperand {
+            line,
+            detail: format!("expected memory operand `[rN+off]`, got `{s}`"),
+        })?
+        .trim();
+    match inner.split_once('+') {
+        Some((base, off)) => Ok((
+            parse_reg(line, base.trim())?,
+            parse_imm16(line, off.trim())?,
+        )),
+        None => Ok((parse_reg(line, inner)?, 0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::Opcode;
+
+    #[test]
+    fn simple_program() {
+        let p = assemble(
+            "start:\n  movi r1, 5\n  add r2, r1, r1 ; double\n  exit\n",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.instructions()[0].opcode, Opcode::Movi);
+        assert_eq!(p.instructions()[0].imm32(), 5);
+        assert_eq!(p.label_at(0), Some("start"));
+    }
+
+    #[test]
+    fn guards_and_scales() {
+        let p = assemble("@!p1 add r1, r2, r3\n sts.t3 [r4+8], r1\n exit").unwrap();
+        let g = p.instructions()[0].guard.unwrap();
+        assert!(g.negate);
+        assert_eq!(g.pred.index(), 1);
+        assert_eq!(p.instructions()[1].scale, Some(3));
+        assert_eq!(p.instructions()[1].imm16(), 8);
+    }
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let src = "  bra fwd\nback:\n  nop\nfwd:\n  bra back\n  exit";
+        let p = assemble(src).unwrap();
+        assert_eq!(p.instructions()[0].target(), 2);
+        assert_eq!(p.instructions()[2].target(), 1);
+    }
+
+    #[test]
+    fn loop_end_is_last_body_instr() {
+        let src = "  loop 4, done\n  add r1, r1, r2\n  add r1, r1, r2\ndone:\n  exit";
+        let p = assemble(src).unwrap();
+        let l = &p.instructions()[0];
+        assert_eq!(l.loop_count(), 4);
+        assert_eq!(l.loop_end(), 2); // address of the second add
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        assert!(matches!(
+            assemble("  bogus r1, r2"),
+            Err(IsaError::UnknownMnemonic { line: 1, .. })
+        ));
+        assert!(matches!(
+            assemble("  add r1, r2"),
+            Err(IsaError::OperandCount { .. })
+        ));
+        assert!(matches!(
+            assemble("  bra nowhere"),
+            Err(IsaError::UndefinedLabel { .. })
+        ));
+        assert!(matches!(
+            assemble("x:\nx:\n  nop"),
+            Err(IsaError::DuplicateLabel { line: 2, .. })
+        ));
+        assert!(matches!(
+            assemble("  movi r999, 1"),
+            Err(IsaError::RegisterRange { .. })
+        ));
+        assert!(matches!(
+            assemble("  lds r1, [r2+99999]"),
+            Err(IsaError::ImmediateRange { .. })
+        ));
+        assert!(matches!(
+            assemble("  setp.lt p9, r1, r2"),
+            Err(IsaError::BadOperand { .. })
+        ));
+        assert!(matches!(
+            assemble("  bra.t2 somewhere"),
+            Err(IsaError::Syntax { .. }) | Err(IsaError::UndefinedLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let p = assemble("  movi r1, 0xFF00\n  addi r2, r1, -1\n  exit").unwrap();
+        assert_eq!(p.instructions()[0].imm32(), 0xFF00);
+        assert_eq!(p.instructions()[1].imm32() as i32, -1);
+    }
+
+    #[test]
+    fn memory_operand_forms() {
+        let p = assemble("  lds r1, [r2]\n  sts [r3+4], r1\n  exit").unwrap();
+        assert_eq!(p.instructions()[0].imm16(), 0);
+        assert_eq!(p.instructions()[1].ra.0, 3);
+        assert_eq!(p.instructions()[1].rb.0, 1);
+    }
+
+    #[test]
+    fn bfe_packs_pos_len() {
+        let p = assemble("  bfe r1, r2, 4, 8\n  exit").unwrap();
+        let i = &p.instructions()[0];
+        assert_eq!(i.imm16() & 0x1F, 4);
+        assert_eq!((i.imm16() >> 5) & 0x3F, 8);
+    }
+}

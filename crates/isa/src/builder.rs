@@ -1,0 +1,399 @@
+//! Programmatic kernel construction — a typed alternative to text
+//! assembly, with register allocation and structured loops.
+//!
+//! ```
+//! use simt_isa::builder::KernelBuilder;
+//!
+//! let mut k = KernelBuilder::new();
+//! let tid = k.stid();
+//! let x = k.lds(tid, 0);          // x = shared[tid]
+//! let x3 = k.muli(x, 3);
+//! let y = k.addi(x3, 7);
+//! k.sts(tid, 64, y);              // shared[tid + 64] = 3*x + 7
+//! k.exit();
+//! let program = k.build().unwrap();
+//! assert_eq!(program.len(), 6);
+//! ```
+
+use crate::error::IsaError;
+use crate::instr::Instruction;
+use crate::opcode::Opcode;
+use crate::program::Program;
+
+/// A value held in an allocated register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Val(u8);
+
+impl Val {
+    /// The underlying register index.
+    pub fn reg(self) -> u8 {
+        self.0
+    }
+}
+
+/// A forward-referenced position (label) in the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// An open zero-overhead loop (returned by
+/// [`KernelBuilder::begin_loop`], closed by [`KernelBuilder::end_loop`]).
+#[derive(Debug)]
+#[must_use = "an open loop must be closed with end_loop"]
+pub struct OpenLoop {
+    /// Index of the `loop` instruction to patch.
+    at: usize,
+    /// Trip count.
+    count: u32,
+}
+
+/// Builds a [`Program`] instruction by instruction.
+#[derive(Debug, Default)]
+pub struct KernelBuilder {
+    instrs: Vec<Instruction>,
+    next_reg: u8,
+    /// (instruction index, label) pairs to patch at build.
+    fixups: Vec<(usize, Label)>,
+    labels: Vec<Option<usize>>,
+    /// Dynamic thread scale applied to the next emitted instruction.
+    pending_scale: Option<u8>,
+    /// Guard applied to the next emitted instruction.
+    pending_guard: Option<(u8, bool)>,
+}
+
+impl KernelBuilder {
+    /// A new builder; r0 is reserved for the user (never allocated).
+    pub fn new() -> Self {
+        KernelBuilder {
+            next_reg: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Allocate a fresh register.
+    pub fn alloc(&mut self) -> Val {
+        let r = self.next_reg;
+        assert!(r < 255, "register allocator exhausted");
+        self.next_reg += 1;
+        Val(r)
+    }
+
+    /// Highest register index the kernel uses (for configuring
+    /// `regs_per_thread`).
+    pub fn registers_used(&self) -> usize {
+        self.next_reg as usize
+    }
+
+    /// Apply a dynamic thread scale (`active = nthreads >> k`) to the
+    /// *next* instruction.
+    pub fn scale_next(&mut self, k: u8) -> &mut Self {
+        self.pending_scale = Some(k);
+        self
+    }
+
+    /// Guard the *next* instruction on predicate `p` (negated if `neg`).
+    pub fn guard_next(&mut self, p: u8, neg: bool) -> &mut Self {
+        self.pending_guard = Some((p, neg));
+        self
+    }
+
+    fn emit(&mut self, mut i: Instruction) -> usize {
+        if let Some(k) = self.pending_scale.take() {
+            i = i.scaled(k);
+        }
+        if let Some((p, n)) = self.pending_guard.take() {
+            i = i.guarded(p, n);
+        }
+        self.instrs.push(i);
+        self.instrs.len() - 1
+    }
+
+    fn three(&mut self, op: Opcode, a: Val, b: Val) -> Val {
+        let d = self.alloc();
+        self.emit(Instruction::new(op).rd(d.0).ra(a.0).rb(b.0));
+        d
+    }
+
+    fn two_imm(&mut self, op: Opcode, a: Val, imm: u32) -> Val {
+        let d = self.alloc();
+        self.emit(Instruction::new(op).rd(d.0).ra(a.0).imm(imm));
+        d
+    }
+
+    fn unary(&mut self, op: Opcode, a: Val) -> Val {
+        let d = self.alloc();
+        self.emit(Instruction::new(op).rd(d.0).ra(a.0));
+        d
+    }
+
+    // ---- values --------------------------------------------------------
+
+    /// `d = imm`.
+    pub fn movi(&mut self, imm: i32) -> Val {
+        let d = self.alloc();
+        self.emit(Instruction::new(Opcode::Movi).rd(d.0).imm(imm as u32));
+        d
+    }
+
+    /// `d = thread id`.
+    pub fn stid(&mut self) -> Val {
+        let d = self.alloc();
+        self.emit(Instruction::new(Opcode::Stid).rd(d.0));
+        d
+    }
+
+    /// `d = thread count`.
+    pub fn sntid(&mut self) -> Val {
+        let d = self.alloc();
+        self.emit(Instruction::new(Opcode::Sntid).rd(d.0));
+        d
+    }
+
+    /// `d = a` (register copy).
+    pub fn mov(&mut self, a: Val) -> Val {
+        self.unary(Opcode::Mov, a)
+    }
+
+    // ---- arithmetic -----------------------------------------------------
+
+    /// `d = a + b`.
+    pub fn add(&mut self, a: Val, b: Val) -> Val {
+        self.three(Opcode::Add, a, b)
+    }
+    /// `d = a - b`.
+    pub fn sub(&mut self, a: Val, b: Val) -> Val {
+        self.three(Opcode::Sub, a, b)
+    }
+    /// `d = a + imm`.
+    pub fn addi(&mut self, a: Val, imm: i32) -> Val {
+        self.two_imm(Opcode::Addi, a, imm as u32)
+    }
+    /// `d = a * imm` (low 32).
+    pub fn muli(&mut self, a: Val, imm: i32) -> Val {
+        self.two_imm(Opcode::Muli, a, imm as u32)
+    }
+    /// `d = a * b` (low 32).
+    pub fn mul_lo(&mut self, a: Val, b: Val) -> Val {
+        self.three(Opcode::MulLo, a, b)
+    }
+    /// `d = a * b + c` (low 32).
+    pub fn mad_lo(&mut self, a: Val, b: Val, c: Val) -> Val {
+        let d = self.alloc();
+        self.emit(Instruction::new(Opcode::MadLo).rd(d.0).ra(a.0).rb(b.0).rc(c.0));
+        d
+    }
+    /// `d = (a·b) >> s` (fixed-point scaling multiply).
+    pub fn mulshr(&mut self, a: Val, b: Val, s: u32) -> Val {
+        let d = self.alloc();
+        self.emit(Instruction::new(Opcode::MulShr).rd(d.0).ra(a.0).rb(b.0).imm(s & 63));
+        d
+    }
+    /// `d = (a << s) + b` (address generation).
+    pub fn shadd(&mut self, a: Val, s: u32, b: Val) -> Val {
+        let d = self.alloc();
+        self.emit(Instruction::new(Opcode::ShAdd).rd(d.0).ra(a.0).rb(b.0).imm(s & 31));
+        d
+    }
+    /// `d = |a|`.
+    pub fn abs(&mut self, a: Val) -> Val {
+        self.unary(Opcode::Abs, a)
+    }
+    /// `d = a & imm`.
+    pub fn andi(&mut self, a: Val, imm: u32) -> Val {
+        self.two_imm(Opcode::Andi, a, imm)
+    }
+    /// `d = a >> s` logical.
+    pub fn lsri(&mut self, a: Val, s: u32) -> Val {
+        self.two_imm(Opcode::Lsri, a, s & 0xFFFF)
+    }
+    /// `d = a >> s` arithmetic.
+    pub fn asri(&mut self, a: Val, s: u32) -> Val {
+        self.two_imm(Opcode::Asri, a, s & 0xFFFF)
+    }
+    /// `d = a << s`.
+    pub fn shli(&mut self, a: Val, s: u32) -> Val {
+        self.two_imm(Opcode::Shli, a, s & 0xFFFF)
+    }
+
+    // ---- predicates -----------------------------------------------------
+
+    /// `pN = a < b` (signed); returns the predicate index used.
+    pub fn setp_lt(&mut self, p: u8, a: Val, b: Val) -> u8 {
+        self.emit(Instruction::new(Opcode::SetpLt).rd(p & 3).ra(a.0).rb(b.0));
+        p & 3
+    }
+    /// `pN = a >= b` (signed).
+    pub fn setp_ge(&mut self, p: u8, a: Val, b: Val) -> u8 {
+        self.emit(Instruction::new(Opcode::SetpGe).rd(p & 3).ra(a.0).rb(b.0));
+        p & 3
+    }
+    /// `d = p ? a : b`.
+    pub fn selp(&mut self, a: Val, b: Val, p: u8) -> Val {
+        let d = self.alloc();
+        self.emit(Instruction::new(Opcode::Selp).rd(d.0).ra(a.0).rb(b.0).rc(p & 3));
+        d
+    }
+
+    // ---- memory -----------------------------------------------------------
+
+    /// `d = shared[base + off]`.
+    pub fn lds(&mut self, base: Val, off: u32) -> Val {
+        let d = self.alloc();
+        self.emit(Instruction::new(Opcode::Lds).rd(d.0).ra(base.0).imm(off & 0xFFFF));
+        d
+    }
+
+    /// `shared[base + off] = v`.
+    pub fn sts(&mut self, base: Val, off: u32, v: Val) {
+        self.emit(Instruction::new(Opcode::Sts).ra(base.0).rb(v.0).imm(off & 0xFFFF));
+    }
+
+    // ---- control ------------------------------------------------------------
+
+    /// Create a label to be placed later.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Place a label at the current position.
+    pub fn place(&mut self, l: Label) {
+        assert!(self.labels[l.0].is_none(), "label placed twice");
+        self.labels[l.0] = Some(self.instrs.len());
+    }
+
+    /// Unconditional branch to a label.
+    pub fn bra(&mut self, l: Label) {
+        let at = self.emit(Instruction::new(Opcode::Bra));
+        self.fixups.push((at, l));
+    }
+
+    /// Predicated uniform branch (pair with
+    /// [`KernelBuilder::guard_next`]).
+    pub fn brp(&mut self, l: Label) {
+        let at = self.emit(Instruction::new(Opcode::Brp));
+        self.fixups.push((at, l));
+    }
+
+    /// Open a zero-overhead loop repeating `count` times.
+    pub fn begin_loop(&mut self, count: u32) -> OpenLoop {
+        let at = self.emit(Instruction::new(Opcode::Loop).imm(count & 0xFFFF));
+        OpenLoop {
+            at,
+            count: count & 0xFFFF,
+        }
+    }
+
+    /// Close a loop: the body is everything emitted since `begin_loop`.
+    pub fn end_loop(&mut self, open: OpenLoop) {
+        let end = self.instrs.len().checked_sub(1).expect("empty program");
+        assert!(end > open.at, "loop body is empty");
+        assert!(end <= 0xFFFF, "loop end beyond the 16-bit field");
+        self.instrs[open.at].imm = open.count | ((end as u32) << 16);
+    }
+
+    /// Terminate the program.
+    pub fn exit(&mut self) {
+        self.emit(Instruction::new(Opcode::Exit));
+    }
+
+    /// Finalize: patch label fixups and validate.
+    pub fn build(mut self) -> Result<Program, IsaError> {
+        for (at, l) in &self.fixups {
+            let target = self.labels[l.0].ok_or_else(|| IsaError::UndefinedLabel {
+                line: 0,
+                label: format!("label#{}", l.0),
+            })?;
+            self.instrs[*at].imm = target as u32;
+        }
+        Ok(Program::from_instructions(self.instrs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_example_builds() {
+        let mut k = KernelBuilder::new();
+        let tid = k.stid();
+        let x = k.lds(tid, 0);
+        let x3 = k.muli(x, 3);
+        let y = k.addi(x3, 7);
+        k.sts(tid, 64, y);
+        k.exit();
+        let p = k.build().unwrap();
+        assert_eq!(p.len(), 6);
+        assert!(p.has_terminator());
+    }
+
+    #[test]
+    fn loop_patching() {
+        let mut k = KernelBuilder::new();
+        let acc = k.movi(0);
+        let one = k.movi(1);
+        let l = k.begin_loop(5);
+        let _ = k.add(acc, one);
+        k.end_loop(l);
+        k.exit();
+        let p = k.build().unwrap();
+        let loop_instr = &p.instructions()[2];
+        assert_eq!(loop_instr.loop_count(), 5);
+        assert_eq!(loop_instr.loop_end(), 3); // the add
+    }
+
+    #[test]
+    fn labels_and_branches() {
+        let mut k = KernelBuilder::new();
+        let skip = k.new_label();
+        k.bra(skip);
+        let _ = k.movi(99);
+        k.place(skip);
+        k.exit();
+        let p = k.build().unwrap();
+        assert_eq!(p.instructions()[0].target(), 2);
+    }
+
+    #[test]
+    fn unplaced_label_is_an_error() {
+        let mut k = KernelBuilder::new();
+        let l = k.new_label();
+        k.bra(l);
+        k.exit();
+        assert!(matches!(k.build(), Err(IsaError::UndefinedLabel { .. })));
+    }
+
+    #[test]
+    fn scale_and_guard_apply_to_next_only() {
+        let mut k = KernelBuilder::new();
+        let tid = k.stid();
+        k.scale_next(2);
+        k.sts(tid, 0, tid);
+        k.sts(tid, 1, tid);
+        k.guard_next(1, true);
+        let _ = k.add(tid, tid);
+        k.exit();
+        let p = k.build().unwrap();
+        assert_eq!(p.instructions()[1].scale, Some(2));
+        assert_eq!(p.instructions()[2].scale, None);
+        assert!(p.instructions()[3].guard.is_some());
+    }
+
+    #[test]
+    fn register_allocation_is_linear_from_r1() {
+        let mut k = KernelBuilder::new();
+        let a = k.movi(1);
+        let b = k.movi(2);
+        let c = k.add(a, b);
+        assert_eq!((a.reg(), b.reg(), c.reg()), (1, 2, 3));
+        assert_eq!(k.registers_used(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "loop body is empty")]
+    fn empty_loop_body_panics() {
+        let mut k = KernelBuilder::new();
+        let l = k.begin_loop(3);
+        k.end_loop(l);
+    }
+}

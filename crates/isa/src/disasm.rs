@@ -1,0 +1,105 @@
+//! Disassembler: renders instructions back to assembler syntax that
+//! re-assembles to the identical program (round-trip pinned by tests).
+
+use crate::instr::Instruction;
+use crate::opcode::Opcode;
+use crate::program::Program;
+use std::fmt::Write;
+
+/// Render a whole program, with label lines re-inserted.
+pub fn disassemble(p: &Program) -> String {
+    let mut out = String::new();
+    for (addr, instr) in p.instructions().iter().enumerate() {
+        if let Some(label) = p.label_at(addr) {
+            let _ = writeln!(out, "{label}:");
+        }
+        let _ = writeln!(out, "    {}", format_instruction(instr));
+    }
+    // Trailing labels (e.g. a loop-end label after the last instruction).
+    if let Some(label) = p.label_at(p.len()) {
+        let _ = writeln!(out, "{label}:");
+    }
+    out
+}
+
+/// Render one instruction in assembler syntax (no label).
+pub fn format_instruction(i: &Instruction) -> String {
+    let mut s = String::new();
+    if let Some(g) = i.guard {
+        let _ = write!(s, "{g} ");
+    }
+    let _ = write!(s, "{}", i.opcode.mnemonic());
+    if let Some(k) = i.scale {
+        let _ = write!(s, ".t{k}");
+    }
+    use Opcode::*;
+    let tail = match i.opcode {
+        Add | Sub | Min | Max | MulLo | MulHi | MuluHi | And | Or | Xor | SatAdd | SatSub
+        | Shl | Lsr | Asr => format!(" {}, {}, {}", i.rd, i.ra, i.rb),
+        MadLo | MadHi | Sad => format!(" {}, {}, {}, {}", i.rd, i.ra, i.rb, i.rc),
+        Abs | Neg | Not | Cnot | Popc | Clz | Brev | Mov => format!(" {}, {}", i.rd, i.ra),
+        Addi | Subi | Muli | Andi | Ori | Xori => {
+            format!(" {}, {}, {}", i.rd, i.ra, i.imm32() as i32)
+        }
+        Shli | Lsri | Asri | Rotri => format!(" {}, {}, {}", i.rd, i.ra, i.imm16()),
+        MulShr | ShAdd => format!(" {}, {}, {}, {}", i.rd, i.ra, i.rb, i.imm16()),
+        Bfe => format!(
+            " {}, {}, {}, {}",
+            i.rd,
+            i.ra,
+            i.imm16() & 0x1F,
+            (i.imm16() >> 5) & 0x3F
+        ),
+        SetpEq | SetpNe | SetpLt | SetpLe | SetpGt | SetpGe | SetpLtu | SetpGeu => {
+            format!(" {}, {}, {}", i.dst_pred(), i.ra, i.rb)
+        }
+        Selp => format!(" {}, {}, {}, {}", i.rd, i.ra, i.rb, i.sel_pred()),
+        Movi => format!(" {}, {}", i.rd, i.imm32() as i32),
+        Stid | Sntid => format!(" {}", i.rd),
+        Lds => format!(" {}, [{}+{}]", i.rd, i.ra, i.imm16()),
+        Sts => format!(" [{}+{}], {}", i.ra, i.imm16(), i.rb),
+        Bra | Brp | Call => format!(" {}", i.target()),
+        Loop => format!(" {}, {}", i.loop_count(), i.loop_end() + 1),
+        Ret | Exit | Nop | Bar => String::new(),
+    };
+    s + &tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn roundtrip_through_disassembly() {
+        let src = r"
+top:
+    movi r1, -7
+    stid r2
+    sntid r3
+    mad.lo r4, r1, r2, r3
+    setp.ge p1, r4, r1
+    @p1 selp r5, r1, r2, p1
+    lds r6, [r5+12]
+    sts.t1 [r5+0], r6
+    mulshr r7, r6, r6, 15
+    bfe r8, r7, 3, 5
+    loop 2, after
+    add r9, r9, r1
+after:
+    brp top
+    exit
+";
+        let p1 = assemble(src).unwrap();
+        let text = disassemble(&p1);
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p1.instructions(), p2.instructions(), "\n{text}");
+    }
+
+    #[test]
+    fn formats_are_readable() {
+        let p = assemble("  add r1, r2, r3\n  exit").unwrap();
+        assert_eq!(format_instruction(&p.instructions()[0]), "add r1, r2, r3");
+        assert_eq!(format_instruction(&p.instructions()[1]), "exit");
+    }
+}

@@ -1,0 +1,151 @@
+//! 64-bit instruction word encoding.
+//!
+//! The instruction memory is built from M20K blocks running in their
+//! fastest 512 × 40 mode (the `Inst` module of Table 1 uses three M20Ks:
+//! two hold this 64-bit word — with 16 spare bits for parity/ECC — and
+//! the third holds the call/loop stack and branch history of Fig. 2).
+//!
+//! ```text
+//!  63      56 55   54    53..52 51    50..48 47..40 39..32 31..24 23..16 15..0
+//! +----------+-----+-----+------+-----+------+------+------+------+------+-----+
+//! | opcode   |p_en |p_neg| preg |s_en |scale | rd   | ra   | rb   | rc   |imm16|
+//! +----------+-----+-----+------+-----+------+------+------+------+------+-----+
+//! ```
+//!
+//! * `Imm32` forms reuse the `rb/rc/imm16` span (bits 31..0) as one
+//!   32-bit immediate; those opcodes read at most `ra`.
+//! * `Imm16` forms keep `rb` live and use bits 15..0.
+//! * The `loop` form packs `{end_addr[15:0], trip_count[15:0]}` in
+//!   bits 31..0.
+
+use crate::error::IsaError;
+use crate::instr::{Guard, Instruction, PredReg, Reg};
+use crate::opcode::{ImmForm, Opcode};
+
+const PRED_EN: u64 = 1 << 55;
+const PRED_NEG: u64 = 1 << 54;
+const SCALE_EN: u64 = 1 << 51;
+
+/// Encode a decoded [`Instruction`] into its 64-bit word.
+pub fn encode_word(i: &Instruction) -> u64 {
+    let mut w = (i.opcode.as_u8() as u64) << 56;
+    if let Some(Guard { pred, negate }) = i.guard {
+        w |= PRED_EN;
+        if negate {
+            w |= PRED_NEG;
+        }
+        w |= ((pred.0 & 0x3) as u64) << 52;
+    }
+    if let Some(k) = i.scale {
+        w |= SCALE_EN;
+        w |= ((k & 0x7) as u64) << 48;
+    }
+    w |= (i.rd.0 as u64) << 40;
+    w |= (i.ra.0 as u64) << 32;
+    match i.opcode.imm_form() {
+        ImmForm::None => {
+            w |= (i.rb.0 as u64) << 24;
+            w |= (i.rc.0 as u64) << 16;
+        }
+        ImmForm::Imm32 | ImmForm::Loop => {
+            w |= i.imm as u64;
+        }
+        ImmForm::Imm16 => {
+            w |= (i.rb.0 as u64) << 24;
+            w |= (i.imm & 0xFFFF) as u64;
+        }
+    }
+    w
+}
+
+/// Decode a 64-bit instruction word back into an [`Instruction`].
+pub fn decode_word(w: u64) -> Result<Instruction, IsaError> {
+    let op_byte = (w >> 56) as u8;
+    let opcode = Opcode::from_u8(op_byte).ok_or(IsaError::BadOpcode(op_byte))?;
+    let guard = if w & PRED_EN != 0 {
+        Some(Guard {
+            pred: PredReg(((w >> 52) & 0x3) as u8),
+            negate: w & PRED_NEG != 0,
+        })
+    } else {
+        None
+    };
+    let scale = if w & SCALE_EN != 0 {
+        Some(((w >> 48) & 0x7) as u8)
+    } else {
+        None
+    };
+    let rd = Reg(((w >> 40) & 0xFF) as u8);
+    let ra = Reg(((w >> 32) & 0xFF) as u8);
+    let (rb, rc, imm) = match opcode.imm_form() {
+        ImmForm::None => (
+            Reg(((w >> 24) & 0xFF) as u8),
+            Reg(((w >> 16) & 0xFF) as u8),
+            0,
+        ),
+        ImmForm::Imm32 | ImmForm::Loop => (Reg(0), Reg(0), w as u32),
+        ImmForm::Imm16 => (Reg(((w >> 24) & 0xFF) as u8), Reg(0), (w & 0xFFFF) as u32),
+    };
+    Ok(Instruction {
+        opcode,
+        guard,
+        scale,
+        rd,
+        ra,
+        rb,
+        rc,
+        imm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_representative_forms() {
+        let cases = vec![
+            Instruction::new(Opcode::Add).rd(1).ra(2).rb(3),
+            Instruction::new(Opcode::MadLo).rd(1).ra(2).rb(3).rc(4),
+            Instruction::new(Opcode::Movi).rd(9).imm(0xDEAD_BEEF),
+            Instruction::new(Opcode::Lds).rd(4).ra(5).imm(0x1234),
+            Instruction::new(Opcode::Sts).ra(5).rb(6).imm(0xFFFF),
+            Instruction::new(Opcode::Bra).imm(0x0001_0000),
+            Instruction::new(Opcode::Loop).imm(0x0040_0003),
+            Instruction::new(Opcode::Add).rd(1).ra(2).rb(3).guarded(3, true),
+            Instruction::new(Opcode::Sts).ra(1).rb(2).scaled(5),
+            Instruction::new(Opcode::Exit),
+        ];
+        for i in cases {
+            let w = encode_word(&i);
+            let back = decode_word(w).unwrap();
+            assert_eq!(i, back, "word 0x{w:016x}");
+        }
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let w = (200u64) << 56;
+        assert_eq!(decode_word(w), Err(IsaError::BadOpcode(200)));
+    }
+
+    #[test]
+    fn imm16_preserves_rb() {
+        let i = Instruction::new(Opcode::MulShr).rd(1).ra(2).rb(3).imm(31);
+        let back = decode_word(encode_word(&i)).unwrap();
+        assert_eq!(back.rb, Reg(3));
+        assert_eq!(back.imm16(), 31);
+    }
+
+    #[test]
+    fn encoding_is_stable() {
+        // Pin the bit layout: changing it silently would corrupt saved
+        // program images.
+        let i = Instruction::new(Opcode::Add).rd(0x11).ra(0x22).rb(0x33);
+        assert_eq!(encode_word(&i), 0x0000_1122_3300_0000);
+        let i = Instruction::new(Opcode::Movi).rd(1).imm(0xAABB_CCDD);
+        let w = encode_word(&i);
+        assert_eq!(w & 0xFFFF_FFFF, 0xAABB_CCDD);
+        assert_eq!((w >> 40) & 0xFF, 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error types for ISA encoding, decoding and assembly.
+
+use std::fmt;
+
+/// Errors raised by the assembler, encoder or decoder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// Unknown opcode byte in a 64-bit instruction word.
+    BadOpcode(u8),
+    /// Unknown mnemonic in assembly text.
+    UnknownMnemonic { line: usize, mnemonic: String },
+    /// Malformed operand.
+    BadOperand { line: usize, detail: String },
+    /// Wrong operand count for an opcode.
+    OperandCount {
+        line: usize,
+        mnemonic: String,
+        expected: String,
+        got: usize,
+    },
+    /// Label used but never defined.
+    UndefinedLabel { line: usize, label: String },
+    /// Label defined twice.
+    DuplicateLabel { line: usize, label: String },
+    /// Register index exceeds the 8-bit encoding field.
+    RegisterRange { line: usize, index: u32 },
+    /// Immediate does not fit its field.
+    ImmediateRange {
+        line: usize,
+        value: i64,
+        bits: u32,
+    },
+    /// Branch target beyond the 16-bit loop-end field or program space.
+    TargetRange { line: usize, target: usize },
+    /// Generic syntax error.
+    Syntax { line: usize, detail: String },
+    /// Program exceeds the instruction-memory capacity.
+    ProgramTooLarge { len: usize, capacity: usize },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::BadOpcode(b) => write!(f, "invalid opcode byte 0x{b:02x}"),
+            IsaError::UnknownMnemonic { line, mnemonic } => {
+                write!(f, "line {line}: unknown mnemonic `{mnemonic}`")
+            }
+            IsaError::BadOperand { line, detail } => {
+                write!(f, "line {line}: bad operand: {detail}")
+            }
+            IsaError::OperandCount {
+                line,
+                mnemonic,
+                expected,
+                got,
+            } => write!(
+                f,
+                "line {line}: `{mnemonic}` expects {expected} operands, got {got}"
+            ),
+            IsaError::UndefinedLabel { line, label } => {
+                write!(f, "line {line}: undefined label `{label}`")
+            }
+            IsaError::DuplicateLabel { line, label } => {
+                write!(f, "line {line}: duplicate label `{label}`")
+            }
+            IsaError::RegisterRange { line, index } => {
+                write!(f, "line {line}: register index {index} exceeds r255")
+            }
+            IsaError::ImmediateRange { line, value, bits } => {
+                write!(f, "line {line}: immediate {value} does not fit {bits} bits")
+            }
+            IsaError::TargetRange { line, target } => {
+                write!(f, "line {line}: branch/loop target {target} out of range")
+            }
+            IsaError::Syntax { line, detail } => write!(f, "line {line}: {detail}"),
+            IsaError::ProgramTooLarge { len, capacity } => {
+                write!(f, "program of {len} instructions exceeds I-Mem capacity {capacity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}

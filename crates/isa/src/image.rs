@@ -1,0 +1,137 @@
+//! Binary I-Mem images.
+//!
+//! The instruction memory "is also externally re-loadable" (Fig. 2) —
+//! the host writes a program image into the M20K pair at runtime. This
+//! module defines that image format:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "SIMT"
+//! 4       2     format version (1)
+//! 6       2     flags: bit 0 = program uses predicates
+//! 8       4     instruction count N
+//! 12      8·N   64-bit instruction words, little endian
+//! 12+8N   4     checksum: XOR-fold of all words (detects truncation)
+//! ```
+
+use crate::error::IsaError;
+use crate::program::Program;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Image magic.
+pub const MAGIC: &[u8; 4] = b"SIMT";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+fn checksum(words: &[u64]) -> u32 {
+    words
+        .iter()
+        .fold(0u32, |acc, &w| acc ^ (w as u32) ^ ((w >> 32) as u32))
+}
+
+/// Serialize a program into an I-Mem image.
+pub fn to_image(program: &Program) -> Bytes {
+    let words = program.words();
+    let mut buf = BytesMut::with_capacity(16 + 8 * words.len());
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u16_le(program.uses_predicates() as u16);
+    buf.put_u32_le(words.len() as u32);
+    for &w in &words {
+        buf.put_u64_le(w);
+    }
+    buf.put_u32_le(checksum(&words));
+    buf.freeze()
+}
+
+/// Deserialize an I-Mem image back into a program.
+pub fn from_image(mut data: &[u8]) -> Result<Program, IsaError> {
+    let err = |detail: &str| IsaError::Syntax {
+        line: 0,
+        detail: format!("bad image: {detail}"),
+    };
+    if data.len() < 16 {
+        return Err(err("truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(err("wrong magic"));
+    }
+    let version = data.get_u16_le();
+    if version != VERSION {
+        return Err(err(&format!("unsupported version {version}")));
+    }
+    let _flags = data.get_u16_le();
+    let count = data.get_u32_le() as usize;
+    if data.remaining() != 8 * count + 4 {
+        return Err(err(&format!(
+            "length mismatch: {} bytes for {count} instructions",
+            data.remaining()
+        )));
+    }
+    let mut words = Vec::with_capacity(count);
+    for _ in 0..count {
+        words.push(data.get_u64_le());
+    }
+    let stored = data.get_u32_le();
+    if stored != checksum(&words) {
+        return Err(err("checksum mismatch"));
+    }
+    Program::from_words(&words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn sample() -> Program {
+        assemble(
+            "  stid r1\n  mul.lo r2, r1, r1\n  sts [r1+0], r2\n  loop 3, e\n  addi r2, r2, 1\ne:\n  exit",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = sample();
+        let img = to_image(&p);
+        let q = from_image(&img).unwrap();
+        assert_eq!(p.instructions(), q.instructions());
+    }
+
+    #[test]
+    fn header_fields() {
+        let img = to_image(&sample());
+        assert_eq!(&img[0..4], b"SIMT");
+        assert_eq!(u16::from_le_bytes([img[4], img[5]]), VERSION);
+        assert_eq!(u32::from_le_bytes([img[8], img[9], img[10], img[11]]), 6);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let img = to_image(&sample()).to_vec();
+        // Flip a payload bit.
+        let mut bad = img.clone();
+        bad[20] ^= 1;
+        assert!(from_image(&bad).is_err(), "checksum must catch bit flips");
+        // Truncate.
+        assert!(from_image(&img[..img.len() - 5]).is_err());
+        // Wrong magic.
+        let mut bad = img.clone();
+        bad[0] = b'X';
+        assert!(from_image(&bad).is_err());
+        // Wrong version.
+        let mut bad = img;
+        bad[4] = 9;
+        assert!(from_image(&bad).is_err());
+    }
+
+    #[test]
+    fn empty_program_image() {
+        let p = Program::default();
+        let q = from_image(&to_image(&p)).unwrap();
+        assert!(q.is_empty());
+    }
+}

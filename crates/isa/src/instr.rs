@@ -1,0 +1,262 @@
+//! Decoded instruction representation.
+
+use crate::opcode::{ImmForm, Opcode};
+use serde::{Deserialize, Serialize};
+
+/// A general-purpose register index within a thread's register window.
+///
+/// The encoding field is 8 bits wide, allowing up to 256 registers per
+/// thread; the processor configuration further limits
+/// `threads x regs_per_thread` to the 64K total of the paper's abstract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Register r0, conventionally zero-initialised but writable.
+    pub const R0: Reg = Reg(0);
+
+    /// Index as usize.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One of the four per-thread predicate registers p0..p3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PredReg(pub u8);
+
+impl PredReg {
+    /// Index as usize (0..4).
+    pub fn index(self) -> usize {
+        (self.0 & 0x3) as usize
+    }
+}
+
+impl std::fmt::Display for PredReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0 & 0x3)
+    }
+}
+
+/// Predicate guard: `@p1` executes a lane only where p1 is set,
+/// `@!p1` only where it is clear (the GPU IF/THEN/ELSE of §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Guard {
+    /// Guarding predicate register.
+    pub pred: PredReg,
+    /// Invert the predicate (`@!pN`).
+    pub negate: bool,
+}
+
+impl std::fmt::Display for Guard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.negate {
+            write!(f, "@!{}", self.pred)
+        } else {
+            write!(f, "@{}", self.pred)
+        }
+    }
+}
+
+/// A fully decoded instruction.
+///
+/// Field liveness depends on [`Opcode::imm_form`] and
+/// [`Opcode::reg_reads`]; dead fields are zero. The dynamic thread scale
+/// (`scale`) implements §2's instruction-by-instruction thread-space
+/// change: when `Some(k)`, the instruction runs on
+/// `max(1, nthreads >> k)` threads instead of the full program thread
+/// count — the mechanism that "can significantly reduce the number of
+/// clocks required for the STO (store) instruction" during reductions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instruction {
+    /// Operation.
+    pub opcode: Opcode,
+    /// Optional predicate guard (requires a predicate-enabled build).
+    pub guard: Option<Guard>,
+    /// Optional dynamic thread scale: active threads = nthreads >> k.
+    pub scale: Option<u8>,
+    /// Destination register.
+    pub rd: Reg,
+    /// First source register.
+    pub ra: Reg,
+    /// Second source register.
+    pub rb: Reg,
+    /// Third source register (`mad`, `sad`) — doubles as the `selp`
+    /// predicate-source selector via [`Instruction::sel_pred`].
+    pub rc: Reg,
+    /// Immediate payload; interpretation depends on [`ImmForm`].
+    pub imm: u32,
+}
+
+impl Instruction {
+    /// A new instruction with all optional parts absent and all operand
+    /// fields zeroed; builder-style setters fill the live fields.
+    pub fn new(opcode: Opcode) -> Self {
+        Instruction {
+            opcode,
+            guard: None,
+            scale: None,
+            rd: Reg(0),
+            ra: Reg(0),
+            rb: Reg(0),
+            rc: Reg(0),
+            imm: 0,
+        }
+    }
+
+    /// Set destination register.
+    pub fn rd(mut self, r: u8) -> Self {
+        self.rd = Reg(r);
+        self
+    }
+
+    /// Set first source register.
+    pub fn ra(mut self, r: u8) -> Self {
+        self.ra = Reg(r);
+        self
+    }
+
+    /// Set second source register.
+    pub fn rb(mut self, r: u8) -> Self {
+        self.rb = Reg(r);
+        self
+    }
+
+    /// Set third source register.
+    pub fn rc(mut self, r: u8) -> Self {
+        self.rc = Reg(r);
+        self
+    }
+
+    /// Set the immediate payload.
+    pub fn imm(mut self, v: u32) -> Self {
+        self.imm = v;
+        self
+    }
+
+    /// Attach a predicate guard.
+    pub fn guarded(mut self, pred: u8, negate: bool) -> Self {
+        self.guard = Some(Guard {
+            pred: PredReg(pred & 0x3),
+            negate,
+        });
+        self
+    }
+
+    /// Attach a dynamic thread scale (active threads = nthreads >> k).
+    pub fn scaled(mut self, k: u8) -> Self {
+        self.scale = Some(k & 0x7);
+        self
+    }
+
+    /// The full 32-bit immediate (Imm32 forms).
+    pub fn imm32(&self) -> u32 {
+        self.imm
+    }
+
+    /// The 16-bit immediate (Imm16 forms), zero-extended.
+    pub fn imm16(&self) -> u32 {
+        self.imm & 0xFFFF
+    }
+
+    /// Zero-overhead loop trip count (Loop form, low 16 bits).
+    pub fn loop_count(&self) -> u32 {
+        self.imm & 0xFFFF
+    }
+
+    /// Zero-overhead loop end address (Loop form, high 16 bits): the
+    /// address of the last instruction of the loop body.
+    pub fn loop_end(&self) -> usize {
+        (self.imm >> 16) as usize
+    }
+
+    /// Branch / call target address (Imm32 control forms).
+    pub fn target(&self) -> usize {
+        self.imm as usize
+    }
+
+    /// For `selp`: the predicate register that steers the select, carried
+    /// in the low bits of the `rc` field.
+    pub fn sel_pred(&self) -> PredReg {
+        PredReg(self.rc.0 & 0x3)
+    }
+
+    /// For `setp.*`: the destination predicate register, carried in the
+    /// low bits of the `rd` field.
+    pub fn dst_pred(&self) -> PredReg {
+        PredReg(self.rd.0 & 0x3)
+    }
+
+    /// True if this instruction touches the predicate machinery and hence
+    /// requires a predicate-enabled processor build (guard or opcode).
+    pub fn uses_predicates(&self) -> bool {
+        self.guard.is_some() || self.opcode.needs_predicates()
+    }
+
+    /// Immediate layout for this instruction.
+    pub fn imm_form(&self) -> ImmForm {
+        self.opcode.imm_form()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let i = Instruction::new(Opcode::MadLo)
+            .rd(1)
+            .ra(2)
+            .rb(3)
+            .rc(4)
+            .scaled(2)
+            .guarded(1, true);
+        assert_eq!(i.rd, Reg(1));
+        assert_eq!(i.ra, Reg(2));
+        assert_eq!(i.rb, Reg(3));
+        assert_eq!(i.rc, Reg(4));
+        assert_eq!(i.scale, Some(2));
+        assert_eq!(
+            i.guard,
+            Some(Guard {
+                pred: PredReg(1),
+                negate: true
+            })
+        );
+        assert!(i.uses_predicates());
+    }
+
+    #[test]
+    fn loop_field_packing() {
+        let i = Instruction::new(Opcode::Loop).imm(0x0030_0005);
+        assert_eq!(i.loop_count(), 5);
+        assert_eq!(i.loop_end(), 0x30);
+    }
+
+    #[test]
+    fn guard_display() {
+        let g = Guard {
+            pred: PredReg(2),
+            negate: false,
+        };
+        assert_eq!(g.to_string(), "@p2");
+        let g = Guard {
+            pred: PredReg(0),
+            negate: true,
+        };
+        assert_eq!(g.to_string(), "@!p0");
+    }
+
+    #[test]
+    fn scale_masks_to_three_bits() {
+        let i = Instruction::new(Opcode::Sts).scaled(0xFF);
+        assert_eq!(i.scale, Some(7));
+    }
+}

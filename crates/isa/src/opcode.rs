@@ -1,0 +1,374 @@
+//! The 61-instruction opcode set.
+//!
+//! The paper fixes the ISA size ("a subset of 61 instructions", §2) and its
+//! flavour (PTX-inspired, 32-bit fixed point, optional predicates). The
+//! concrete selection below covers every datapath the paper describes:
+//! the DSP-decomposed multiplier (§4.1) serves `mul`/`mad`/`mulshr` and —
+//! through the integrated multiplicative shifter (§4.2) — every shift and
+//! rotate; the two-stage pipelined adder serves add/sub/abs/sad/saturating
+//! forms; the soft-logic ALU serves the bitwise group; and the
+//! fetch/decode block (§3) implements the uniform control-flow group
+//! including zero-overhead loops.
+
+use serde::{Deserialize, Serialize};
+
+/// Functional class of an opcode. Determines which execution unit of the
+/// SP services it and which operand fields are live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Two-stage pipelined adder + soft-logic ALU (add/sub/min/max/...).
+    IntArith,
+    /// Bitwise soft-logic unit.
+    Logic,
+    /// The multiplier datapath (DSP blocks), including integrated shifter.
+    MulShift,
+    /// Fixed-point / address-generation helpers.
+    FixedPoint,
+    /// Predicate-producing compares and predicated select.
+    Compare,
+    /// Register moves, immediates, special-register reads.
+    Move,
+    /// Shared-memory access.
+    Memory,
+    /// Uniform control flow, executed in the instruction block.
+    Control,
+}
+
+/// How the sequencer's pipeline-advance control (Fig. 3) counts the
+/// instruction's clocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CycleClass {
+    /// "Operation instructions (e.g multiply, add, AND, etc.) are counted
+    /// by thread block depth only" — one 16-thread row per clock.
+    Operation,
+    /// Load instructions count width × depth; the 4R read mux passes a
+    /// 16-thread row in 4 clocks (width counter counts modulo 4).
+    Load,
+    /// Store instructions count width × depth; the 1W write mux passes a
+    /// 16-thread row in 16 clocks.
+    Store,
+    /// Single-cycle instructions (branches, zero-overhead loops, ...)
+    /// trapped a pipeline stage early by the decoder (§3.1).
+    SingleCycle,
+}
+
+/// Immediate-field layout used by an opcode (see [`crate::encode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ImmForm {
+    /// No immediate; `rd/ra/rb/rc` register fields only.
+    None,
+    /// 32-bit immediate occupying the `rb`/`rc`/`imm16` span.
+    Imm32,
+    /// 16-bit immediate; `rb` remains available.
+    Imm16,
+    /// Zero-overhead loop: 16-bit trip count + 16-bit end address.
+    Loop,
+}
+
+macro_rules! opcodes {
+    ($(($variant:ident, $mnemonic:literal, $class:expr, $cycle:expr, $imm:expr, $reads:expr, $writes_rd:expr)),+ $(,)?) => {
+        /// One of the 61 supported instructions.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+        #[repr(u8)]
+        pub enum Opcode {
+            $($variant),+
+        }
+
+        impl Opcode {
+            /// Every opcode, in encoding order.
+            pub const ALL: &'static [Opcode] = &[$(Opcode::$variant),+];
+
+            /// Assembler mnemonic.
+            pub fn mnemonic(self) -> &'static str {
+                match self { $(Opcode::$variant => $mnemonic),+ }
+            }
+
+            /// Functional class (execution unit).
+            pub fn class(self) -> OpClass {
+                match self { $(Opcode::$variant => $class),+ }
+            }
+
+            /// Sequencer cycle-counting class (Fig. 3).
+            pub fn cycle_class(self) -> CycleClass {
+                match self { $(Opcode::$variant => $cycle),+ }
+            }
+
+            /// Immediate layout.
+            pub fn imm_form(self) -> ImmForm {
+                match self { $(Opcode::$variant => $imm),+ }
+            }
+
+            /// Number of register *source* operands (`ra`, `rb`, `rc`).
+            pub fn reg_reads(self) -> usize {
+                match self { $(Opcode::$variant => $reads),+ }
+            }
+
+            /// Whether the instruction writes the destination register `rd`.
+            pub fn writes_rd(self) -> bool {
+                match self { $(Opcode::$variant => $writes_rd),+ }
+            }
+
+            /// Look an opcode up by assembler mnemonic.
+            pub fn from_mnemonic(m: &str) -> ::std::option::Option<Opcode> {
+                match m {
+                    $($mnemonic => ::std::option::Option::Some(Opcode::$variant),)+
+                    _ => ::std::option::Option::None,
+                }
+            }
+
+            /// Decode from the 8-bit opcode field.
+            pub fn from_u8(v: u8) -> Option<Opcode> {
+                Self::ALL.get(v as usize).copied()
+            }
+        }
+    };
+}
+
+use CycleClass::*;
+use ImmForm::*;
+use OpClass::*;
+
+opcodes! {
+    // ---- integer arithmetic (adder datapath) -------------------------
+    (Add,     "add",      IntArith,  Operation,   None,  2, true),
+    (Sub,     "sub",      IntArith,  Operation,   None,  2, true),
+    (Min,     "min",      IntArith,  Operation,   None,  2, true),
+    (Max,     "max",      IntArith,  Operation,   None,  2, true),
+    (Abs,     "abs",      IntArith,  Operation,   None,  1, true),
+    (Neg,     "neg",      IntArith,  Operation,   None,  1, true),
+    (Sad,     "sad",      IntArith,  Operation,   None,  3, true),
+    (Addi,    "addi",     IntArith,  Operation,   Imm32, 1, true),
+    (Subi,    "subi",     IntArith,  Operation,   Imm32, 1, true),
+    // ---- multiplier datapath (two DSP blocks, §4.1) -------------------
+    (MulLo,   "mul.lo",   MulShift,  Operation,   None,  2, true),
+    (MulHi,   "mul.hi",   MulShift,  Operation,   None,  2, true),
+    (MuluHi,  "mulu.hi",  MulShift,  Operation,   None,  2, true),
+    (MadLo,   "mad.lo",   MulShift,  Operation,   None,  3, true),
+    (MadHi,   "mad.hi",   MulShift,  Operation,   None,  3, true),
+    (Muli,    "muli",     MulShift,  Operation,   Imm32, 1, true),
+    // ---- bitwise logic (soft-logic ALU) --------------------------------
+    (And,     "and",      Logic,     Operation,   None,  2, true),
+    (Or,      "or",       Logic,     Operation,   None,  2, true),
+    (Xor,     "xor",      Logic,     Operation,   None,  2, true),
+    (Not,     "not",      Logic,     Operation,   None,  1, true),
+    (Cnot,    "cnot",     Logic,     Operation,   None,  1, true),
+    (Andi,    "andi",     Logic,     Operation,   Imm32, 1, true),
+    (Ori,     "ori",      Logic,     Operation,   Imm32, 1, true),
+    (Xori,    "xori",     Logic,     Operation,   Imm32, 1, true),
+    (Popc,    "popc",     Logic,     Operation,   None,  1, true),
+    (Clz,     "clz",      Logic,     Operation,   None,  1, true),
+    (Brev,    "brev",     Logic,     Operation,   None,  1, true),
+    // ---- shifts (integrated multiplicative shifter, §4.2) --------------
+    (Shl,     "shl",      MulShift,  Operation,   None,  2, true),
+    (Lsr,     "lsr",      MulShift,  Operation,   None,  2, true),
+    (Asr,     "asr",      MulShift,  Operation,   None,  2, true),
+    (Shli,    "shli",     MulShift,  Operation,   Imm16, 1, true),
+    (Lsri,    "lsri",     MulShift,  Operation,   Imm16, 1, true),
+    (Asri,    "asri",     MulShift,  Operation,   Imm16, 1, true),
+    // ---- fixed-point / address helpers ---------------------------------
+    (SatAdd,  "satadd",   FixedPoint, Operation,  None,  2, true),
+    (SatSub,  "satsub",   FixedPoint, Operation,  None,  2, true),
+    (MulShr,  "mulshr",   FixedPoint, Operation,  Imm16, 2, true),
+    (ShAdd,   "shadd",    FixedPoint, Operation,  Imm16, 2, true),
+    (Bfe,     "bfe",      FixedPoint, Operation,  Imm16, 1, true),
+    (Rotri,   "rotri",    FixedPoint, Operation,  Imm16, 1, true),
+    // ---- compares and predicated select ---------------------------------
+    (SetpEq,  "setp.eq",  Compare,   Operation,   None,  2, false),
+    (SetpNe,  "setp.ne",  Compare,   Operation,   None,  2, false),
+    (SetpLt,  "setp.lt",  Compare,   Operation,   None,  2, false),
+    (SetpLe,  "setp.le",  Compare,   Operation,   None,  2, false),
+    (SetpGt,  "setp.gt",  Compare,   Operation,   None,  2, false),
+    (SetpGe,  "setp.ge",  Compare,   Operation,   None,  2, false),
+    (SetpLtu, "setp.ltu", Compare,   Operation,   None,  2, false),
+    (SetpGeu, "setp.geu", Compare,   Operation,   None,  2, false),
+    (Selp,    "selp",     Compare,   Operation,   None,  2, true),
+    // ---- data movement ---------------------------------------------------
+    (Mov,     "mov",      Move,      Operation,   None,  1, true),
+    (Movi,    "movi",     Move,      Operation,   Imm32, 0, true),
+    (Stid,    "stid",     Move,      Operation,   None,  0, true),
+    (Sntid,   "sntid",    Move,      Operation,   None,  0, true),
+    // ---- shared memory ----------------------------------------------------
+    (Lds,     "lds",      Memory,    Load,        Imm16, 1, true),
+    (Sts,     "sts",      Memory,    Store,       Imm16, 2, false),
+    // ---- uniform control flow (instruction block) --------------------------
+    (Bra,     "bra",      Control,   SingleCycle, Imm32, 0, false),
+    (Brp,     "brp",      Control,   SingleCycle, Imm32, 0, false),
+    (Call,    "call",     Control,   SingleCycle, Imm32, 0, false),
+    (Ret,     "ret",      Control,   SingleCycle, None,  0, false),
+    (Loop,    "loop",     Control,   SingleCycle, Loop,  0, false),
+    (Exit,    "exit",     Control,   SingleCycle, None,  0, false),
+    (Nop,     "nop",      Control,   SingleCycle, None,  0, false),
+    (Bar,     "bar",      Control,   SingleCycle, None,  0, false),
+}
+
+impl Opcode {
+    /// Encoding value of the opcode (the index in [`Opcode::ALL`]).
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// One-line semantics, for the generated ISA reference.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Opcode::Add => "rd = ra + rb",
+            Opcode::Sub => "rd = ra - rb",
+            Opcode::Min => "rd = min(ra, rb) signed",
+            Opcode::Max => "rd = max(ra, rb) signed",
+            Opcode::Abs => "rd = |ra|",
+            Opcode::Neg => "rd = -ra",
+            Opcode::Sad => "rd = rc + |ra - rb|",
+            Opcode::Addi => "rd = ra + imm32",
+            Opcode::Subi => "rd = ra - imm32",
+            Opcode::MulLo => "rd = (ra * rb)[31:0]",
+            Opcode::MulHi => "rd = (ra * rb)[63:32] signed",
+            Opcode::MuluHi => "rd = (ra * rb)[63:32] unsigned",
+            Opcode::MadLo => "rd = (ra * rb)[31:0] + rc",
+            Opcode::MadHi => "rd = (ra * rb)[63:32] + rc",
+            Opcode::Muli => "rd = (ra * imm32)[31:0]",
+            Opcode::And => "rd = ra & rb",
+            Opcode::Or => "rd = ra | rb",
+            Opcode::Xor => "rd = ra ^ rb",
+            Opcode::Not => "rd = ~ra",
+            Opcode::Cnot => "rd = (ra == 0) ? 1 : 0",
+            Opcode::Andi => "rd = ra & imm32",
+            Opcode::Ori => "rd = ra | imm32",
+            Opcode::Xori => "rd = ra ^ imm32",
+            Opcode::Popc => "rd = popcount(ra)",
+            Opcode::Clz => "rd = leading zeros of ra",
+            Opcode::Brev => "rd = bit-reverse(ra)",
+            Opcode::Shl => "rd = ra << rb (0 if rb > 31)",
+            Opcode::Lsr => "rd = ra >> rb logical (0 if rb > 31)",
+            Opcode::Asr => "rd = ra >> rb arithmetic (sign if rb > 31)",
+            Opcode::Shli => "rd = ra << imm",
+            Opcode::Lsri => "rd = ra >> imm logical",
+            Opcode::Asri => "rd = ra >> imm arithmetic",
+            Opcode::SatAdd => "rd = saturate(ra + rb)",
+            Opcode::SatSub => "rd = saturate(ra - rb)",
+            Opcode::MulShr => "rd = (ra * rb) >> imm, 64-bit product",
+            Opcode::ShAdd => "rd = (ra << imm) + rb",
+            Opcode::Bfe => "rd = ra[pos+len-1 : pos]",
+            Opcode::Rotri => "rd = rotate-right(ra, imm)",
+            Opcode::SetpEq => "pd = (ra == rb)",
+            Opcode::SetpNe => "pd = (ra != rb)",
+            Opcode::SetpLt => "pd = (ra < rb) signed",
+            Opcode::SetpLe => "pd = (ra <= rb) signed",
+            Opcode::SetpGt => "pd = (ra > rb) signed",
+            Opcode::SetpGe => "pd = (ra >= rb) signed",
+            Opcode::SetpLtu => "pd = (ra < rb) unsigned",
+            Opcode::SetpGeu => "pd = (ra >= rb) unsigned",
+            Opcode::Selp => "rd = pN ? ra : rb",
+            Opcode::Mov => "rd = ra",
+            Opcode::Movi => "rd = imm32",
+            Opcode::Stid => "rd = thread id",
+            Opcode::Sntid => "rd = thread count",
+            Opcode::Lds => "rd = shared[ra + imm]",
+            Opcode::Sts => "shared[ra + imm] = rb",
+            Opcode::Bra => "PC = target",
+            Opcode::Brp => "PC = target if guard (thread 0)",
+            Opcode::Call => "push PC+1; PC = target",
+            Opcode::Ret => "PC = pop",
+            Opcode::Loop => "repeat body count times, zero overhead",
+            Opcode::Exit => "halt",
+            Opcode::Nop => "no operation",
+            Opcode::Bar => "barrier (no-op: lockstep)",
+        }
+    }
+
+    /// True for instructions that only exist when the processor is built
+    /// with predicate support (the optional configuration parameter of
+    /// §2 that costs ~50 % extra logic).
+    pub fn needs_predicates(self) -> bool {
+        matches!(
+            self,
+            Opcode::SetpEq
+                | Opcode::SetpNe
+                | Opcode::SetpLt
+                | Opcode::SetpLe
+                | Opcode::SetpGt
+                | Opcode::SetpGe
+                | Opcode::SetpLtu
+                | Opcode::SetpGeu
+                | Opcode::Selp
+                | Opcode::Brp
+        )
+    }
+
+    /// True for control-flow opcodes that may redirect the PC (and hence
+    /// zero out the already-decoded instructions behind them, §3).
+    pub fn is_branch(self) -> bool {
+        matches!(
+            self,
+            Opcode::Bra | Opcode::Brp | Opcode::Call | Opcode::Ret | Opcode::Loop | Opcode::Exit
+        )
+    }
+
+    /// True if the `rc` register field is read (3-operand forms).
+    pub fn reads_rc(self) -> bool {
+        matches!(self, Opcode::MadLo | Opcode::MadHi | Opcode::Sad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_61_instructions() {
+        // Paper §2: "a subset of 61 instructions supported".
+        assert_eq!(Opcode::ALL.len(), 61);
+    }
+
+    #[test]
+    fn opcode_roundtrip_u8() {
+        for (i, &op) in Opcode::ALL.iter().enumerate() {
+            assert_eq!(op.as_u8() as usize, i);
+            assert_eq!(Opcode::from_u8(op.as_u8()), Some(op));
+        }
+        assert_eq!(Opcode::from_u8(61), Option::<Opcode>::None);
+        assert_eq!(Opcode::from_u8(255), Option::<Opcode>::None);
+    }
+
+    #[test]
+    fn mnemonics_unique_and_roundtrip() {
+        let mut seen = std::collections::HashSet::new();
+        for &op in Opcode::ALL {
+            assert!(seen.insert(op.mnemonic()), "duplicate {}", op.mnemonic());
+            assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(Opcode::from_mnemonic("fmul"), Option::<Opcode>::None);
+    }
+
+    #[test]
+    fn cycle_classes_match_paper() {
+        // §3.1: loads count width (4 clocks) x depth, stores similar with
+        // the 16:1 write mux, operations by depth only.
+        assert_eq!(Opcode::Lds.cycle_class(), CycleClass::Load);
+        assert_eq!(Opcode::Sts.cycle_class(), CycleClass::Store);
+        assert_eq!(Opcode::Add.cycle_class(), CycleClass::Operation);
+        assert_eq!(Opcode::MulLo.cycle_class(), CycleClass::Operation);
+        for &op in Opcode::ALL {
+            if op.class() == OpClass::Control {
+                assert_eq!(op.cycle_class(), CycleClass::SingleCycle);
+            }
+        }
+    }
+
+    #[test]
+    fn predicate_gated_opcodes() {
+        assert!(Opcode::SetpEq.needs_predicates());
+        assert!(Opcode::Selp.needs_predicates());
+        assert!(Opcode::Brp.needs_predicates());
+        assert!(!Opcode::Add.needs_predicates());
+        assert_eq!(
+            Opcode::ALL.iter().filter(|o| o.needs_predicates()).count(),
+            10
+        );
+    }
+
+    #[test]
+    fn three_operand_forms() {
+        for &op in Opcode::ALL {
+            assert_eq!(op.reads_rc(), op.reg_reads() == 3, "{:?}", op);
+        }
+    }
+}

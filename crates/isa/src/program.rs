@@ -1,0 +1,172 @@
+//! Program container — the image loaded into the (externally re-loadable)
+//! instruction memory of Fig. 2.
+
+use crate::encode::{decode_word, encode_word};
+use crate::error::IsaError;
+use crate::instr::Instruction;
+use crate::opcode::Opcode;
+use serde::{Deserialize, Serialize};
+
+/// Default I-Mem capacity in instructions: one M20K pair at 512 deep
+/// covers small embedded kernels; the assembler enforces the configured
+/// capacity at load, not at assembly.
+pub const DEFAULT_IMEM_CAPACITY: usize = 512;
+
+/// An assembled program: the instruction sequence plus source labels
+/// (kept for disassembly and error reporting).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    instrs: Vec<Instruction>,
+    /// Label name -> instruction address.
+    labels: Vec<(String, usize)>,
+}
+
+impl Program {
+    /// Build a program from decoded instructions.
+    pub fn from_instructions(instrs: Vec<Instruction>) -> Self {
+        Program {
+            instrs,
+            labels: Vec::new(),
+        }
+    }
+
+    /// Build a program from raw 64-bit instruction words (an I-Mem image).
+    pub fn from_words(words: &[u64]) -> Result<Self, IsaError> {
+        let instrs = words
+            .iter()
+            .map(|&w| decode_word(w))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::from_instructions(instrs))
+    }
+
+    /// Instruction sequence.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instrs
+    }
+
+    /// Instruction at address `pc`, if in range.
+    pub fn fetch(&self, pc: usize) -> Option<&Instruction> {
+        self.instrs.get(pc)
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True when the program holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Raw 64-bit words, ready to load into I-Mem.
+    pub fn words(&self) -> Vec<u64> {
+        self.instrs.iter().map(encode_word).collect()
+    }
+
+    /// Attach a label (assembler bookkeeping).
+    pub(crate) fn add_label(&mut self, name: String, addr: usize) {
+        self.labels.push((name, addr));
+    }
+
+    /// Labels, as (name, address) pairs sorted by address.
+    pub fn labels(&self) -> &[(String, usize)] {
+        &self.labels
+    }
+
+    /// Label at an address, if any (first match).
+    pub fn label_at(&self, addr: usize) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(_, a)| *a == addr)
+            .map(|(n, _)| n.as_str())
+    }
+
+    /// True if any instruction needs a predicate-enabled processor build.
+    pub fn uses_predicates(&self) -> bool {
+        self.instrs.iter().any(|i| i.uses_predicates())
+    }
+
+    /// True if the program terminates with an explicit `exit` on every
+    /// straight-line path end (conservative check: last instruction is a
+    /// terminator).
+    pub fn has_terminator(&self) -> bool {
+        matches!(
+            self.instrs.last().map(|i| i.opcode),
+            Some(Opcode::Exit) | Some(Opcode::Bra) | Some(Opcode::Ret)
+        )
+    }
+
+    /// Highest register index referenced by any instruction (for register
+    /// file sizing checks at load time).
+    pub fn max_register(&self) -> u8 {
+        self.instrs
+            .iter()
+            .flat_map(|i| {
+                let reads = i.opcode.reg_reads();
+                let mut v = Vec::with_capacity(4);
+                if i.opcode.writes_rd() {
+                    v.push(i.rd.0);
+                }
+                if reads >= 1 {
+                    v.push(i.ra.0);
+                }
+                if reads >= 2 && i.opcode.imm_form() != crate::opcode::ImmForm::Imm32 {
+                    v.push(i.rb.0);
+                }
+                if i.opcode.reads_rc() {
+                    v.push(i.rc.0);
+                }
+                v
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instruction;
+
+    #[test]
+    fn words_roundtrip() {
+        let p = Program::from_instructions(vec![
+            Instruction::new(Opcode::Movi).rd(1).imm(7),
+            Instruction::new(Opcode::Add).rd(2).ra(1).rb(1),
+            Instruction::new(Opcode::Exit),
+        ]);
+        let q = Program::from_words(&p.words()).unwrap();
+        assert_eq!(p.instructions(), q.instructions());
+    }
+
+    #[test]
+    fn max_register_scan() {
+        let p = Program::from_instructions(vec![
+            Instruction::new(Opcode::Movi).rd(9).imm(7),
+            Instruction::new(Opcode::MadLo).rd(2).ra(1).rb(14).rc(3),
+            Instruction::new(Opcode::Exit),
+        ]);
+        assert_eq!(p.max_register(), 14);
+    }
+
+    #[test]
+    fn terminator_detection() {
+        let mut v = vec![Instruction::new(Opcode::Nop)];
+        assert!(!Program::from_instructions(v.clone()).has_terminator());
+        v.push(Instruction::new(Opcode::Exit));
+        assert!(Program::from_instructions(v).has_terminator());
+    }
+
+    #[test]
+    fn predicate_scan() {
+        let p = Program::from_instructions(vec![Instruction::new(Opcode::Add)
+            .rd(1)
+            .ra(1)
+            .rb(1)
+            .guarded(0, false)]);
+        assert!(p.uses_predicates());
+        let q = Program::from_instructions(vec![Instruction::new(Opcode::Add).rd(1).ra(1).rb(1)]);
+        assert!(!q.uses_predicates());
+    }
+}

@@ -1,0 +1,50 @@
+//! Fuzz-style robustness tests: the assembler and image loader must
+//! reject arbitrary garbage with a typed error — never panic.
+
+use proptest::prelude::*;
+use simt_isa::{assemble, from_image};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    #[test]
+    fn assembler_never_panics_on_arbitrary_text(src in ".{0,400}") {
+        let _ = assemble(&src);
+    }
+
+    #[test]
+    fn assembler_never_panics_on_asmish_text(
+        lines in proptest::collection::vec(
+            (
+                proptest::sample::select(vec![
+                    "add", "mov", "movi", "lds", "sts", "bra", "loop", "setp.lt",
+                    "mad.lo", "exit", "shadd", "bfe", "selp", "frob",
+                ]),
+                proptest::collection::vec("[-r@!\\[\\]+,p0-9xa-f]{0,8}", 0..4),
+            ),
+            0..20,
+        ),
+    ) {
+        let src: String = lines
+            .iter()
+            .map(|(m, ops)| format!("  {} {}\n", m, ops.join(", ")))
+            .collect();
+        let _ = assemble(&src);
+    }
+
+    #[test]
+    fn image_loader_never_panics(data in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let _ = from_image(&data);
+    }
+
+    #[test]
+    fn image_loader_rejects_or_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..600)) {
+        if let Ok(p) = from_image(&data) {
+            // Anything accepted must re-serialize to an accepted image
+            // describing the same program.
+            let img = simt_isa::to_image(&p);
+            let q = from_image(&img).unwrap();
+            prop_assert_eq!(p.instructions(), q.instructions());
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests: every well-formed instruction survives
+//! encode -> decode and disassemble -> assemble unchanged.
+
+use proptest::prelude::*;
+use simt_isa::{
+    assemble, decode_word, disasm::format_instruction, encode_word, Instruction, Opcode, Program,
+};
+
+/// Strategy producing a well-formed random instruction: operand fields are
+/// drawn only where the opcode defines them, immediates respect their
+/// field widths, loop targets are non-degenerate.
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    (0..Opcode::ALL.len(), any::<[u8; 4]>(), any::<u32>(), any::<u8>()).prop_map(
+        |(op_idx, regs, imm, flags)| {
+            let opcode = Opcode::ALL[op_idx];
+            let mut i = Instruction::new(opcode);
+            use simt_isa::ImmForm;
+            if opcode.writes_rd() {
+                i = i.rd(regs[0]);
+            }
+            if opcode.reg_reads() >= 1 {
+                i = i.ra(regs[1]);
+            }
+            match opcode.imm_form() {
+                ImmForm::None => {
+                    if opcode.reg_reads() >= 2 {
+                        i = i.rb(regs[2]);
+                    }
+                    if opcode.reads_rc() {
+                        i = i.rc(regs[3]);
+                    }
+                }
+                ImmForm::Imm32 => {
+                    i = i.imm(imm);
+                }
+                ImmForm::Imm16 => {
+                    if opcode.reg_reads() >= 2 {
+                        i = i.rb(regs[2]);
+                    }
+                    if opcode == Opcode::Bfe {
+                        // pos 0..=31, len 1..=32 — the assembler's accepted range
+                        let pos = imm & 0x1F;
+                        let len = (imm >> 5) % 32 + 1;
+                        i = i.imm(pos | (len << 5));
+                    } else {
+                        i = i.imm(imm & 0xFFFF);
+                    }
+                }
+                ImmForm::Loop => {
+                    // count >= 1, end >= 0
+                    i = i.imm((imm | 1) & 0xFFFF | (imm & 0xFFFF_0000));
+                }
+            }
+            // setp writes a predicate (rd field low bits), selp reads one
+            // (rc field low bits); mask so disassembly round-trips.
+            if matches!(
+                opcode,
+                Opcode::SetpEq
+                    | Opcode::SetpNe
+                    | Opcode::SetpLt
+                    | Opcode::SetpLe
+                    | Opcode::SetpGt
+                    | Opcode::SetpGe
+                    | Opcode::SetpLtu
+                    | Opcode::SetpGeu
+            ) {
+                i = i.rd(regs[0] & 0x3);
+            }
+            if opcode == Opcode::Selp {
+                i = i.rc(regs[3] & 0x3);
+            }
+            if flags & 1 != 0 && opcode.class() != simt_isa::OpClass::Control {
+                i = i.scaled((flags >> 1) & 0x7);
+            }
+            if flags & 0x10 != 0 {
+                i = i.guarded((flags >> 5) & 0x3, flags & 0x80 != 0);
+            }
+            i
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn encode_decode_roundtrip(i in arb_instruction()) {
+        let w = encode_word(&i);
+        let back = decode_word(w).unwrap();
+        prop_assert_eq!(i, back);
+    }
+
+    #[test]
+    fn disasm_asm_roundtrip(instrs in proptest::collection::vec(arb_instruction(), 1..40)) {
+        // Branch/call/loop targets must stay inside the program for the
+        // assembler to accept numeric targets; clamp them.
+        let len = instrs.len();
+        let fixed: Vec<Instruction> = instrs
+            .into_iter()
+            .map(|mut i| {
+                match i.opcode {
+                    Opcode::Bra | Opcode::Brp | Opcode::Call => {
+                        i.imm %= len as u32;
+                    }
+                    Opcode::Loop => {
+                        let count = (i.imm & 0xFFFF).max(1);
+                        let end = (i.imm >> 16) % len as u32;
+                        i.imm = count | (end << 16);
+                    }
+                    _ => {}
+                }
+                i
+            })
+            .collect();
+        let p1 = Program::from_instructions(fixed);
+        let text = simt_isa::disassemble(&p1);
+        let p2 = assemble(&text).unwrap();
+        prop_assert_eq!(p1.instructions(), p2.instructions(), "source:\n{}", text);
+    }
+
+    #[test]
+    fn decode_rejects_or_accepts_total(w in any::<u64>()) {
+        // decode never panics; it errors exactly when the opcode byte is
+        // out of range.
+        let op = (w >> 56) as u8;
+        match decode_word(w) {
+            Ok(i) => {
+                prop_assert!((op as usize) < Opcode::ALL.len());
+                // Re-encoding may canonicalise dead fields but must decode
+                // to the same instruction again (idempotence).
+                let again = decode_word(encode_word(&i)).unwrap();
+                prop_assert_eq!(i, again);
+            }
+            Err(_) => prop_assert!((op as usize) >= Opcode::ALL.len()),
+        }
+    }
+
+    #[test]
+    fn formatter_never_panics(i in arb_instruction()) {
+        let _ = format_instruction(&i);
+    }
+}

@@ -1,0 +1,125 @@
+//! Q15 FIR filter — the signal-processing workload class the paper's
+//! fixed-point design targets (§2.1).
+//!
+//! One thread per output sample: `y[i] = Σ_j (h[j]·x[i+j]) >> 15`, taps
+//! broadcast from shared memory (the multi-port memory serves the same
+//! address to all read ports without banking conflicts — the §2 design
+//! point).
+
+use crate::harness::{run_kernel, KernelError, KernelResult};
+use crate::qformat::{as_i32, as_words, q15_mac};
+use simt_core::{ProcessorConfig, RunOptions};
+use std::fmt::Write;
+
+/// Input samples offset (n + taps − 1 words).
+pub const X_OFF: usize = 0;
+/// Tap offset.
+pub const H_OFF: usize = 2048;
+/// Output offset.
+pub const Y_OFF: usize = 4096;
+
+/// Generate the unrolled FIR source for `taps` coefficients.
+pub fn fir_asm(taps: usize) -> String {
+    assert!((1..=64).contains(&taps), "taps {taps} out of 1..=64");
+    let mut s = String::from(
+        "  stid r1
+           movi r5, 0
+           movi r4, 0\n",
+    );
+    for j in 0..taps {
+        let _ = write!(
+            s,
+            "  lds r2, [r1+{xj}]
+           lds r3, [r5+{hj}]
+           mulshr r2, r2, r3, 15
+           add r4, r4, r2\n",
+            xj = X_OFF + j,
+            hj = H_OFF + j,
+        );
+    }
+    s.push_str(&format!("  sts [r1+{Y_OFF}], r4\n  exit\n"));
+    s
+}
+
+/// Run the FIR over `x` (length n + taps − 1) producing n outputs.
+pub fn fir(x: &[i32], taps: &[i32], n: usize) -> Result<(Vec<i32>, KernelResult), KernelError> {
+    assert_eq!(x.len(), n + taps.len() - 1, "x must have n + taps - 1 samples");
+    assert!(n <= 1024);
+    let cfg = ProcessorConfig::default()
+        .with_threads(n)
+        .with_shared_words(8192);
+    let r = run_kernel(
+        cfg,
+        &fir_asm(taps.len()),
+        &[(X_OFF, &as_words(x)), (H_OFF, &as_words(taps))],
+        Y_OFF,
+        n,
+        RunOptions::default(),
+    )?;
+    Ok((as_i32(&r.output), r))
+}
+
+/// Host reference with identical fixed-point semantics.
+pub fn fir_ref(x: &[i32], taps: &[i32], n: usize) -> Vec<i32> {
+    (0..n)
+        .map(|i| {
+            taps.iter()
+                .enumerate()
+                .fold(0i32, |acc, (j, &h)| q15_mac(acc, x[i + j], h))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qformat::{from_q15, to_q15};
+    use crate::workload::{lowpass_taps, q15_signal};
+
+    #[test]
+    fn fir_matches_reference() {
+        let n = 256;
+        let taps = lowpass_taps(16);
+        let x = q15_signal(n + taps.len() - 1, 42);
+        let (got, _) = fir(&x, &taps, n).unwrap();
+        assert_eq!(got, fir_ref(&x, &taps, n));
+    }
+
+    #[test]
+    fn single_tap_is_scaling() {
+        let n = 64;
+        let taps = vec![to_q15(0.5)];
+        let x = q15_signal(n, 7);
+        let (got, _) = fir(&x, &taps, n).unwrap();
+        for (g, xi) in got.iter().zip(&x) {
+            assert_eq!(*g, (xi * taps[0]) >> 15);
+        }
+    }
+
+    #[test]
+    fn lowpass_attenuates_oscillation() {
+        // A ±0.5 alternating signal through a 16-tap low-pass should come
+        // out close to zero.
+        let n = 128;
+        let taps = lowpass_taps(16);
+        let x: Vec<i32> = (0..n + 15)
+            .map(|i| to_q15(if i % 2 == 0 { 0.5 } else { -0.5 }))
+            .collect();
+        let (got, _) = fir(&x, &taps, n).unwrap();
+        for &g in &got[8..] {
+            assert!(from_q15(g).abs() < 0.08, "residual {}", from_q15(g));
+        }
+    }
+
+    #[test]
+    fn cycle_cost_scales_with_taps() {
+        let n = 128;
+        let t8 = lowpass_taps(8);
+        let t32 = lowpass_taps(32);
+        let x8 = q15_signal(n + 7, 1);
+        let x32 = q15_signal(n + 31, 1);
+        let (_, r8) = fir(&x8, &t8, n).unwrap();
+        let (_, r32) = fir(&x32, &t32, n).unwrap();
+        assert!(r32.stats.cycles > 3 * r8.stats.cycles);
+    }
+}

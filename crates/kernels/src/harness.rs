@@ -1,0 +1,133 @@
+//! Kernel launch harness: assemble, load memory, run, read back.
+
+use simt_core::{ExecError, ExecStats, LoadError, Processor, ProcessorConfig, RunOptions};
+use simt_isa::IsaError;
+use std::fmt;
+
+/// Anything that can go wrong launching a kernel.
+#[derive(Debug)]
+pub enum KernelError {
+    /// Assembly failed.
+    Asm(IsaError),
+    /// Configuration rejected.
+    Config(simt_core::ConfigError),
+    /// Program rejected at load.
+    Load(LoadError),
+    /// Runtime trap.
+    Exec(ExecError),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::Asm(e) => write!(f, "assembly: {e}"),
+            KernelError::Config(e) => write!(f, "config: {e}"),
+            KernelError::Load(e) => write!(f, "load: {e}"),
+            KernelError::Exec(e) => write!(f, "exec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl From<IsaError> for KernelError {
+    fn from(e: IsaError) -> Self {
+        KernelError::Asm(e)
+    }
+}
+impl From<simt_core::ConfigError> for KernelError {
+    fn from(e: simt_core::ConfigError) -> Self {
+        KernelError::Config(e)
+    }
+}
+impl From<LoadError> for KernelError {
+    fn from(e: LoadError) -> Self {
+        KernelError::Load(e)
+    }
+}
+impl From<ExecError> for KernelError {
+    fn from(e: ExecError) -> Self {
+        KernelError::Exec(e)
+    }
+}
+
+/// Result of a kernel launch.
+#[derive(Debug, Clone)]
+pub struct KernelResult {
+    /// Execution statistics (cycle-exact).
+    pub stats: ExecStats,
+    /// The requested output window of shared memory.
+    pub output: Vec<u32>,
+    /// Full shared-memory image (diagnostics).
+    pub memory: Vec<u32>,
+}
+
+/// Assemble `asm`, place `(offset, words)` blocks into shared memory,
+/// run to `exit`, and read `out_len` words from `out_off`.
+pub fn run_kernel(
+    config: ProcessorConfig,
+    asm: &str,
+    mem_init: &[(usize, &[u32])],
+    out_off: usize,
+    out_len: usize,
+    opts: RunOptions,
+) -> Result<KernelResult, KernelError> {
+    let program = simt_isa::assemble(asm)?;
+    let mut cpu = Processor::new(config)?;
+    for (off, words) in mem_init {
+        cpu.shared_mut().load_words(*off, words)?;
+    }
+    cpu.load_program(&program)?;
+    let stats = cpu.run(opts)?;
+    let output = cpu.shared().read_words(out_off, out_len)?;
+    Ok(KernelResult {
+        stats,
+        output,
+        memory: cpu.shared().as_slice().to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_a_trivial_kernel() {
+        let r = run_kernel(
+            ProcessorConfig::small(),
+            "  stid r1\n  sts [r1+0], r1\n  exit",
+            &[],
+            0,
+            64,
+            RunOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(r.output[10], 10);
+        assert!(r.stats.cycles > 0);
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        let e = run_kernel(
+            ProcessorConfig::small(),
+            "  bogus r1",
+            &[],
+            0,
+            1,
+            RunOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(e, KernelError::Asm(_)), "{e}");
+
+        let e = run_kernel(
+            ProcessorConfig::small(),
+            "  stid r1\n  lds r2, [r1+60000]\n  exit",
+            &[],
+            0,
+            1,
+            RunOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(e, KernelError::Exec(_)), "{e}");
+    }
+}

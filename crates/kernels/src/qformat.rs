@@ -1,0 +1,72 @@
+//! Q-format fixed-point helpers (host side).
+//!
+//! The processor is 32-bit fixed point; signal kernels use Q15 (1 sign
+//! bit, 15 fraction bits in the low half) so products fit comfortably and
+//! `mulshr` rescales in one instruction.
+
+/// One in Q15.
+pub const Q15_ONE: i32 = 1 << 15;
+
+/// Convert a float to Q15 with saturation.
+pub fn to_q15(x: f64) -> i32 {
+    let v = (x * Q15_ONE as f64).round();
+    v.clamp(-(1i64 << 31) as f64, ((1i64 << 31) - 1) as f64) as i32
+}
+
+/// Convert Q15 to float.
+pub fn from_q15(x: i32) -> f64 {
+    x as f64 / Q15_ONE as f64
+}
+
+/// Q15 multiply with the same semantics as the kernel's `mulshr ..., 15`:
+/// full 64-bit product, arithmetic shift right by 15, low 32 bits.
+pub fn q15_mul(a: i32, b: i32) -> i32 {
+    (((a as i64) * (b as i64)) >> 15) as i32
+}
+
+/// Q15 multiply-accumulate.
+pub fn q15_mac(acc: i32, a: i32, b: i32) -> i32 {
+    acc.wrapping_add(q15_mul(a, b))
+}
+
+/// Reinterpret an i32 slice as the u32 words the simulator stores.
+pub fn as_words(xs: &[i32]) -> Vec<u32> {
+    xs.iter().map(|&x| x as u32).collect()
+}
+
+/// Reinterpret simulator words as i32.
+pub fn as_i32(xs: &[u32]) -> Vec<i32> {
+    xs.iter().map(|&x| x as i32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for x in [-0.99, -0.5, 0.0, 0.25, 0.5, 0.999] {
+            let q = to_q15(x);
+            assert!((from_q15(q) - x).abs() < 1.0 / Q15_ONE as f64);
+        }
+    }
+
+    #[test]
+    fn q15_mul_halves() {
+        assert_eq!(q15_mul(Q15_ONE / 2, Q15_ONE / 2), Q15_ONE / 4);
+        assert_eq!(q15_mul(-Q15_ONE / 2, Q15_ONE / 2), -Q15_ONE / 4);
+        assert_eq!(q15_mul(Q15_ONE, 12345), 12345);
+    }
+
+    #[test]
+    fn mac_accumulates() {
+        let acc = q15_mac(100, Q15_ONE, 50);
+        assert_eq!(acc, 150);
+    }
+
+    #[test]
+    fn word_views() {
+        let xs = vec![-1i32, 0, 7];
+        assert_eq!(as_i32(&as_words(&xs)), xs);
+    }
+}

@@ -1,0 +1,242 @@
+//! Tree reductions built on **dynamic thread scaling** (§2).
+//!
+//! "The memory bandwidth reduction is partially offset by dynamic thread
+//! scaling ... writing back only a subset of the threads (this may happen
+//! during vector reductions), can significantly reduce the number of
+//! clocks required for the STO (store) instruction."
+//!
+//! Two functionally identical dot-product kernels are provided:
+//!
+//! * [`dot_asm_scaled`] — each halving step runs with a `.tk` dynamic
+//!   thread scale, so its loads/stores stream only the active threads;
+//! * [`dot_asm_predicated`] — the same tree masked with predicates
+//!   instead: every step still pays full-width store clocks (and the
+//!   processor must be built with the +50 % predicate logic).
+//!
+//! The cycle gap between them is the paper's motivating ablation for the
+//! feature; `simt-bench` measures it.
+
+use crate::harness::{run_kernel, KernelError, KernelResult};
+use crate::qformat::{as_i32, as_words};
+use simt_core::{ProcessorConfig, RunOptions};
+
+/// x vector offset.
+pub const X_OFF: usize = 0;
+/// y vector offset.
+pub const Y_OFF: usize = 1024;
+/// Reduction scratch offset.
+pub const SCRATCH: usize = 2048;
+
+fn check_n(n: usize) {
+    assert!(n.is_power_of_two() && (2..=1024).contains(&n), "n={n} must be a power of two in 2..=1024");
+}
+
+/// Scaled-tree dot product source for `n` threads (power of two).
+pub fn dot_asm_scaled(n: usize) -> String {
+    check_n(n);
+    let mut s = format!(
+        "  stid r1
+           lds r2, [r1+{X_OFF}]
+           lds r3, [r1+{Y_OFF}]
+           mul.lo r4, r2, r3
+           sts [r1+{SCRATCH}], r4\n"
+    );
+    let mut stride = n / 2;
+    let mut k = 1u32;
+    while stride >= 1 {
+        // Active threads = n >> k = stride.
+        s.push_str(&format!(
+            "  lds.t{k} r2, [r1+{SCRATCH}]
+           lds.t{k} r3, [r1+{off}]
+           add.t{k} r2, r2, r3
+           sts.t{k} [r1+{SCRATCH}], r2\n",
+            off = SCRATCH + stride,
+        ));
+        stride /= 2;
+        // The scale field is 3 bits: k caps at 7 (active = n >> 7). The
+        // surplus threads of the deepest steps only write scratch
+        // indices >= stride, which no later valid read touches (loads
+        // complete before stores within each lockstep instruction), so
+        // the tree stays exact.
+        k = (k + 1).min(7);
+    }
+    s.push_str("  exit\n");
+    s
+}
+
+/// Predicate-masked dot product source (no dynamic scaling).
+pub fn dot_asm_predicated(n: usize) -> String {
+    check_n(n);
+    let mut s = format!(
+        "  stid r1
+           lds r2, [r1+{X_OFF}]
+           lds r3, [r1+{Y_OFF}]
+           mul.lo r4, r2, r3
+           sts [r1+{SCRATCH}], r4\n"
+    );
+    let mut stride = n / 2;
+    while stride >= 1 {
+        s.push_str(&format!(
+            "  movi r5, {stride}
+           setp.lt p0, r1, r5
+           @p0 lds r2, [r1+{SCRATCH}]
+           @p0 lds r3, [r1+{off}]
+           @p0 add r2, r2, r3
+           @p0 sts [r1+{SCRATCH}], r2\n",
+            off = SCRATCH + stride,
+        ));
+        stride /= 2;
+    }
+    s.push_str("  exit\n");
+    s
+}
+
+fn config(n: usize, predicates: bool) -> ProcessorConfig {
+    ProcessorConfig::default()
+        .with_threads(n)
+        .with_shared_words(4096)
+        .with_predicates(predicates)
+}
+
+/// Run the scaled-tree dot product; returns (result, run data).
+pub fn dot_scaled(x: &[i32], y: &[i32]) -> Result<(i32, KernelResult), KernelError> {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let r = run_kernel(
+        config(n, false),
+        &dot_asm_scaled(n),
+        &[(X_OFF, &as_words(x)), (Y_OFF, &as_words(y))],
+        SCRATCH,
+        1,
+        RunOptions::default(),
+    )?;
+    Ok((r.output[0] as i32, r))
+}
+
+/// Run the predicate-masked dot product.
+pub fn dot_predicated(x: &[i32], y: &[i32]) -> Result<(i32, KernelResult), KernelError> {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let r = run_kernel(
+        config(n, true),
+        &dot_asm_predicated(n),
+        &[(X_OFF, &as_words(x)), (Y_OFF, &as_words(y))],
+        SCRATCH,
+        1,
+        RunOptions::default(),
+    )?;
+    Ok((r.output[0] as i32, r))
+}
+
+/// Host reference (wrapping i32 accumulation, matching `mul.lo`/`add`).
+pub fn dot_ref(x: &[i32], y: &[i32]) -> i32 {
+    x.iter()
+        .zip(y)
+        .fold(0i32, |acc, (&a, &b)| acc.wrapping_add(a.wrapping_mul(b)))
+}
+
+/// Sum reduction over n (power-of-two) values with dynamic scaling.
+pub fn sum_asm_scaled(n: usize) -> String {
+    check_n(n);
+    let mut s = format!(
+        "  stid r1
+           lds r4, [r1+{X_OFF}]
+           sts [r1+{SCRATCH}], r4\n"
+    );
+    let mut stride = n / 2;
+    let mut k = 1u32;
+    while stride >= 1 {
+        s.push_str(&format!(
+            "  lds.t{k} r2, [r1+{SCRATCH}]
+           lds.t{k} r3, [r1+{off}]
+           add.t{k} r2, r2, r3
+           sts.t{k} [r1+{SCRATCH}], r2\n",
+            off = SCRATCH + stride,
+        ));
+        stride /= 2;
+        k = (k + 1).min(7); // 3-bit scale field; see dot_asm_scaled
+    }
+    s.push_str("  exit\n");
+    s
+}
+
+/// Run the sum reduction.
+pub fn sum_scaled(x: &[i32]) -> Result<(i32, KernelResult), KernelError> {
+    let n = x.len();
+    let r = run_kernel(
+        config(n, false),
+        &sum_asm_scaled(n),
+        &[(X_OFF, &as_words(x))],
+        SCRATCH,
+        1,
+        RunOptions::default(),
+    )?;
+    Ok((r.output[0] as i32, r))
+}
+
+/// Host sum reference.
+pub fn sum_ref(x: &[i32]) -> i32 {
+    x.iter().fold(0i32, |a, &b| a.wrapping_add(b))
+}
+
+/// Partial sums left in scratch after the tree (diagnostics helper).
+pub fn scratch_view(r: &KernelResult, n: usize) -> Vec<i32> {
+    as_i32(&r.memory[SCRATCH..SCRATCH + n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::int_vector;
+
+    #[test]
+    fn dot_scaled_matches_reference() {
+        for n in [2usize, 4, 16, 64, 256, 1024] {
+            let x = int_vector(n, 10 + n as u64);
+            let y = int_vector(n, 20 + n as u64);
+            let (got, _) = dot_scaled(&x, &y).unwrap();
+            assert_eq!(got, dot_ref(&x, &y), "n={n}");
+        }
+    }
+
+    #[test]
+    fn predicated_variant_agrees() {
+        let n = 256;
+        let x = int_vector(n, 1);
+        let y = int_vector(n, 2);
+        let (a, _) = dot_scaled(&x, &y).unwrap();
+        let (b, _) = dot_predicated(&x, &y).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dynamic_scaling_saves_cycles() {
+        // The paper's motivation: scaled stores stream only the active
+        // subset. The predicated tree pays full width every step.
+        let n = 1024;
+        let x = int_vector(n, 3);
+        let y = int_vector(n, 4);
+        let (_, scaled) = dot_scaled(&x, &y).unwrap();
+        let (_, masked) = dot_predicated(&x, &y).unwrap();
+        assert!(
+            scaled.stats.cycles * 2 < masked.stats.cycles,
+            "scaled {} vs predicated {}",
+            scaled.stats.cycles,
+            masked.stats.cycles
+        );
+        assert!(scaled.stats.store_cycles < masked.stats.store_cycles);
+    }
+
+    #[test]
+    fn sum_matches() {
+        let x = int_vector(128, 5);
+        let (got, _) = sum_scaled(&x).unwrap();
+        assert_eq!(got, sum_ref(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        dot_asm_scaled(48);
+    }
+}

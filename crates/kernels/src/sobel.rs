@@ -1,0 +1,174 @@
+//! Sobel edge magnitude — a 2-D embedded-vision kernel using the
+//! address-generation helpers (`shadd`) and the adder's `abs`.
+//!
+//! The image is stored with a one-pixel halo: interior width `IW` is a
+//! power of two (so row/column extraction is a shift and a mask), stride
+//! `IW + 2`. One thread per interior pixel; all eight neighbourhood
+//! loads use non-negative offsets from the window's top-left corner.
+
+use crate::harness::{run_kernel, KernelError, KernelResult};
+use crate::qformat::{as_i32, as_words};
+use simt_core::{ProcessorConfig, RunOptions};
+
+/// Image offset (with halo).
+pub const IMG_OFF: usize = 0;
+/// Output offset (interior only, row-major IW × IH).
+pub const OUT_OFF: usize = 4096;
+
+/// Generate the Sobel kernel for an interior of `iw × ih` (iw a power of
+/// two, `iw·ih ≤ 1024`).
+pub fn sobel_asm(iw: usize, ih: usize) -> String {
+    assert!(iw.is_power_of_two() && iw >= 2, "iw={iw}");
+    assert!(iw * ih <= 1024, "too many pixels");
+    let stride = iw + 2;
+    let log2w = iw.trailing_zeros();
+    // Window top-left = iy·stride + ix ; neighbour offsets:
+    // p00 0, p01 1, p02 2, p10 s, p12 s+2, p20 2s, p21 2s+1, p22 2s+2.
+    format!(
+        "  stid r1
+           lsri r2, r1, {log2w}   ; iy
+           andi r3, r1, {mask}    ; ix
+           muli r4, r2, {stride}  ; window top-left
+           add r4, r4, r3
+           ; Gx = (p02 + 2 p12 + p22) - (p00 + 2 p10 + p20)
+           lds r8, [r4+{p02}]
+           lds r9, [r4+{p12}]
+           shadd r5, r9, r8, 1    ; p02 + 2 p12
+           lds r8, [r4+{p22}]
+           add r5, r5, r8
+           lds r8, [r4+{p00}]
+           lds r9, [r4+{p10}]
+           shadd r6, r9, r8, 1
+           lds r8, [r4+{p20}]
+           add r6, r6, r8
+           sub r5, r5, r6
+           abs r5, r5             ; |Gx|
+           ; Gy = (p20 + 2 p21 + p22) - (p00 + 2 p01 + p02)
+           lds r8, [r4+{p20}]
+           lds r9, [r4+{p21}]
+           shadd r6, r9, r8, 1
+           lds r8, [r4+{p22}]
+           add r6, r6, r8
+           lds r8, [r4+{p00}]
+           lds r9, [r4+{p01}]
+           shadd r7, r9, r8, 1
+           lds r8, [r4+{p02}]
+           add r7, r7, r8
+           sub r6, r6, r7
+           abs r6, r6             ; |Gy|
+           satadd r5, r5, r6      ; magnitude, saturating
+           sts [r1+{OUT_OFF}], r5
+           exit",
+        mask = iw - 1,
+        p00 = IMG_OFF,
+        p01 = IMG_OFF + 1,
+        p02 = IMG_OFF + 2,
+        p10 = IMG_OFF + stride,
+        p12 = IMG_OFF + stride + 2,
+        p20 = IMG_OFF + 2 * stride,
+        p21 = IMG_OFF + 2 * stride + 1,
+        p22 = IMG_OFF + 2 * stride + 2,
+    )
+}
+
+/// Run Sobel over a haloed image of `(iw+2) × (ih+2)` pixels.
+pub fn sobel(img: &[i32], iw: usize, ih: usize) -> Result<(Vec<i32>, KernelResult), KernelError> {
+    assert_eq!(img.len(), (iw + 2) * (ih + 2), "image must include the halo");
+    let cfg = ProcessorConfig::default()
+        .with_threads(iw * ih)
+        .with_shared_words(8192);
+    let r = run_kernel(
+        cfg,
+        &sobel_asm(iw, ih),
+        &[(IMG_OFF, &as_words(img))],
+        OUT_OFF,
+        iw * ih,
+        RunOptions::default(),
+    )?;
+    Ok((as_i32(&r.output), r))
+}
+
+/// Host reference with identical (wrapping + saturating-add) semantics.
+pub fn sobel_ref(img: &[i32], iw: usize, ih: usize) -> Vec<i32> {
+    let s = iw + 2;
+    let px = |r: usize, c: usize| img[r * s + c];
+    let mut out = Vec::with_capacity(iw * ih);
+    for iy in 0..ih {
+        for ix in 0..iw {
+            let (r, c) = (iy, ix); // window top-left
+            let gx = px(r, c + 2)
+                .wrapping_add(px(r + 1, c + 2).wrapping_mul(2))
+                .wrapping_add(px(r + 2, c + 2))
+                .wrapping_sub(px(r, c))
+                .wrapping_sub(px(r + 1, c).wrapping_mul(2))
+                .wrapping_sub(px(r + 2, c));
+            let gy = px(r + 2, c)
+                .wrapping_add(px(r + 2, c + 1).wrapping_mul(2))
+                .wrapping_add(px(r + 2, c + 2))
+                .wrapping_sub(px(r, c))
+                .wrapping_sub(px(r, c + 1).wrapping_mul(2))
+                .wrapping_sub(px(r, c + 2));
+            out.push(gx.wrapping_abs().saturating_add(gy.wrapping_abs()));
+        }
+    }
+    out
+}
+
+/// A synthetic test card: a bright square on a dark background (haloed).
+pub fn test_card(iw: usize, ih: usize) -> Vec<i32> {
+    let s = iw + 2;
+    let mut img = vec![0i32; s * (ih + 2)];
+    for y in 0..ih + 2 {
+        for x in 0..s {
+            let inside = x > s / 4 && x < 3 * s / 4 && y > (ih + 2) / 4 && y < 3 * (ih + 2) / 4;
+            img[y * s + x] = if inside { 1000 } else { 100 };
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sobel_matches_reference() {
+        for (iw, ih) in [(8usize, 8usize), (16, 16), (32, 32), (16, 8)] {
+            let img = test_card(iw, ih);
+            let (got, _) = sobel(&img, iw, ih).unwrap();
+            assert_eq!(got, sobel_ref(&img, iw, ih), "{iw}x{ih}");
+        }
+    }
+
+    #[test]
+    fn flat_image_has_zero_gradient() {
+        let iw = 16;
+        let ih = 16;
+        let img = vec![777i32; (iw + 2) * (ih + 2)];
+        let (got, _) = sobel(&img, iw, ih).unwrap();
+        assert!(got.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn edges_light_up() {
+        let (iw, ih) = (16usize, 16usize);
+        let img = test_card(iw, ih);
+        let got = sobel_ref(&img, iw, ih);
+        let max = got.iter().max().unwrap();
+        assert!(*max > 2000, "edge magnitude {max}");
+        // Centre of the bright square is flat.
+        assert_eq!(got[(ih / 2) * iw + iw / 2], 0);
+    }
+
+    #[test]
+    fn random_images_agree() {
+        use crate::workload::int_vector;
+        let (iw, ih) = (16usize, 16usize);
+        let img: Vec<i32> = int_vector((iw + 2) * (ih + 2), 77)
+            .iter()
+            .map(|v| v % 10_000)
+            .collect();
+        let (got, _) = sobel(&img, iw, ih).unwrap();
+        assert_eq!(got, sobel_ref(&img, iw, ih));
+    }
+}

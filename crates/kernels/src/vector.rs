@@ -1,0 +1,174 @@
+//! Elementwise vector kernels: saxpy, arithmetic scaling, saturating clip.
+//!
+//! One thread per element; memory layout `x` at [`X_OFF`], `y` at
+//! [`Y_OFF`], result at [`Z_OFF`] (offsets in words, n ≤ 1024).
+
+use crate::harness::{run_kernel, KernelError, KernelResult};
+use simt_core::{ProcessorConfig, RunOptions};
+
+/// Offset of the x vector.
+pub const X_OFF: usize = 0;
+/// Offset of the y vector.
+pub const Y_OFF: usize = 1024;
+/// Offset of the result vector.
+pub const Z_OFF: usize = 2048;
+
+fn config(n: usize) -> ProcessorConfig {
+    ProcessorConfig::default()
+        .with_threads(n)
+        .with_shared_words(4096)
+}
+
+/// `z[i] = a*x[i] + y[i]` (integer saxpy).
+pub fn saxpy_asm(a: i32) -> String {
+    format!(
+        "  stid r1
+           lds r2, [r1+{X_OFF}]
+           lds r3, [r1+{Y_OFF}]
+           muli r2, r2, {a}
+           add r4, r2, r3
+           sts [r1+{Z_OFF}], r4
+           exit"
+    )
+}
+
+/// Run saxpy on the simulator.
+pub fn saxpy(a: i32, x: &[i32], y: &[i32]) -> Result<(Vec<i32>, KernelResult), KernelError> {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let xw = crate::qformat::as_words(x);
+    let yw = crate::qformat::as_words(y);
+    let r = run_kernel(
+        config(n),
+        &saxpy_asm(a),
+        &[(X_OFF, &xw), (Y_OFF, &yw)],
+        Z_OFF,
+        n,
+        RunOptions::default(),
+    )?;
+    Ok((crate::qformat::as_i32(&r.output), r))
+}
+
+/// Host reference for saxpy.
+pub fn saxpy_ref(a: i32, x: &[i32], y: &[i32]) -> Vec<i32> {
+    x.iter()
+        .zip(y)
+        .map(|(&xi, &yi)| a.wrapping_mul(xi).wrapping_add(yi))
+        .collect()
+}
+
+/// `z[i] = x[i] >> s` arithmetic — the fixed-point normalisation §4.2
+/// motivates ("scaling and normalization (to prevent overflow and
+/// control wordgrowth) will need arithmetic ... right shifts").
+pub fn scale_asm(shift: u32) -> String {
+    format!(
+        "  stid r1
+           lds r2, [r1+{X_OFF}]
+           asri r3, r2, {shift}
+           sts [r1+{Z_OFF}], r3
+           exit"
+    )
+}
+
+/// Run the arithmetic scaling kernel.
+pub fn scale(shift: u32, x: &[i32]) -> Result<(Vec<i32>, KernelResult), KernelError> {
+    let n = x.len();
+    let xw = crate::qformat::as_words(x);
+    let r = run_kernel(
+        config(n),
+        &scale_asm(shift),
+        &[(X_OFF, &xw)],
+        Z_OFF,
+        n,
+        RunOptions::default(),
+    )?;
+    Ok((crate::qformat::as_i32(&r.output), r))
+}
+
+/// Host reference for the scaling kernel (hardware semantics: shift ≥ 32
+/// saturates to the sign).
+pub fn scale_ref(shift: u32, x: &[i32]) -> Vec<i32> {
+    x.iter()
+        .map(|&v| if shift >= 32 { v >> 31 } else { v >> shift })
+        .collect()
+}
+
+/// `z[i] = clamp(x[i] + y[i])` with saturating arithmetic.
+pub fn sat_add_asm() -> String {
+    format!(
+        "  stid r1
+           lds r2, [r1+{X_OFF}]
+           lds r3, [r1+{Y_OFF}]
+           satadd r4, r2, r3
+           sts [r1+{Z_OFF}], r4
+           exit"
+    )
+}
+
+/// Run the saturating add kernel.
+pub fn sat_add(x: &[i32], y: &[i32]) -> Result<(Vec<i32>, KernelResult), KernelError> {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let xw = crate::qformat::as_words(x);
+    let yw = crate::qformat::as_words(y);
+    let r = run_kernel(
+        config(n),
+        &sat_add_asm(),
+        &[(X_OFF, &xw), (Y_OFF, &yw)],
+        Z_OFF,
+        n,
+        RunOptions::default(),
+    )?;
+    Ok((crate::qformat::as_i32(&r.output), r))
+}
+
+/// Host reference for saturating add.
+pub fn sat_add_ref(x: &[i32], y: &[i32]) -> Vec<i32> {
+    x.iter().zip(y).map(|(&a, &b)| a.saturating_add(b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::int_vector;
+
+    #[test]
+    fn saxpy_matches_reference() {
+        let x = int_vector(64, 1);
+        let y = int_vector(64, 2);
+        let (got, _) = saxpy(3, &x, &y).unwrap();
+        assert_eq!(got, saxpy_ref(3, &x, &y));
+    }
+
+    #[test]
+    fn saxpy_negative_coefficient() {
+        let x = int_vector(128, 3);
+        let y = int_vector(128, 4);
+        let (got, _) = saxpy(-7, &x, &y).unwrap();
+        assert_eq!(got, saxpy_ref(-7, &x, &y));
+    }
+
+    #[test]
+    fn scaling_preserves_sign() {
+        let x: Vec<i32> = vec![-1024, -1, 0, 1, 1024, i32::MIN, i32::MAX];
+        let mut padded = x.clone();
+        padded.resize(16, 0);
+        let (got, _) = scale(5, &padded).unwrap();
+        assert_eq!(got, scale_ref(5, &padded));
+        assert_eq!(got[0], -32);
+    }
+
+    #[test]
+    fn saturating_add_clamps() {
+        let x = vec![i32::MAX, i32::MIN, 100, -100];
+        let y = vec![1000, -1000, 23, -23];
+        let mut xp = x.clone();
+        let mut yp = y.clone();
+        xp.resize(16, 0);
+        yp.resize(16, 0);
+        let (got, _) = sat_add(&xp, &yp).unwrap();
+        assert_eq!(got, sat_add_ref(&xp, &yp));
+        assert_eq!(got[0], i32::MAX);
+        assert_eq!(got[1], i32::MIN);
+    }
+}

@@ -1,0 +1,76 @@
+//! Deterministic workload generators (seeded — benches and tests get
+//! reproducible inputs).
+
+use crate::qformat::to_q15;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A vector of small-ish integers (|v| < 2^20, so integer kernels avoid
+/// uninteresting wraparound unless they ask for it).
+pub fn int_vector(n: usize, seed: u64) -> Vec<i32> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-(1 << 20)..(1 << 20))).collect()
+}
+
+/// A full-range integer vector (exercises wraparound).
+pub fn wide_int_vector(n: usize, seed: u64) -> Vec<i32> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// A Q15 signal: sum of two sines plus uniform noise, amplitude < 1.
+pub fn q15_signal(n: usize, seed: u64) -> Vec<i32> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            let s = 0.45 * (t * 0.05).sin() + 0.25 * (t * 0.31).sin()
+                + 0.15 * rng.gen_range(-1.0..1.0);
+            to_q15(s)
+        })
+        .collect()
+}
+
+/// Low-pass FIR taps in Q15 (simple windowed average, sums to ≈ 1.0).
+pub fn lowpass_taps(t: usize) -> Vec<i32> {
+    let w: Vec<f64> = (0..t)
+        .map(|i| {
+            let x = (i as f64 + 0.5) / t as f64 * std::f64::consts::PI;
+            x.sin()
+        })
+        .collect();
+    let sum: f64 = w.iter().sum();
+    w.iter().map(|&v| to_q15(v / sum)).collect()
+}
+
+/// A Q15 matrix in row-major order with entries in (−0.5, 0.5).
+pub fn q15_matrix(rows: usize, cols: usize, seed: u64) -> Vec<i32> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..rows * cols).map(|_| to_q15(rng.gen_range(-0.5..0.5))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(int_vector(32, 7), int_vector(32, 7));
+        assert_ne!(int_vector(32, 7), int_vector(32, 8));
+        assert_eq!(q15_signal(16, 1), q15_signal(16, 1));
+    }
+
+    #[test]
+    fn taps_normalised() {
+        let taps = lowpass_taps(16);
+        let sum: i64 = taps.iter().map(|&t| t as i64).sum();
+        assert!((sum - (1 << 15)).abs() < 64, "tap sum {sum}");
+    }
+
+    #[test]
+    fn signal_in_q15_range() {
+        for &v in &q15_signal(256, 3) {
+            assert!(v.abs() < (1 << 15));
+        }
+    }
+}

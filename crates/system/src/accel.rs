@@ -1,0 +1,202 @@
+//! Accelerator management — the paper's §1 motivation: the soft GPGPU
+//! has "the ability to act as both an accelerator and a controller (i.e.
+//! managing other, more traditional FPGA accelerator cores)".
+//!
+//! An [`Accelerator`] is a fixed-function datapath block sharing the
+//! device with the SIMT cores (the "system" of §5.1 that targets
+//! 850 MHz). The controller core talks to it through a shared-memory
+//! **mailbox**: the kernel prepares inputs and a descriptor, the host
+//! (standing in for the command fabric) kicks the accelerator, and the
+//! accelerator writes results and cycle cost back.
+
+use serde::{Deserialize, Serialize};
+use simt_core::{ExecError, Processor};
+
+/// A fixed-function accelerator block.
+pub trait Accelerator {
+    /// Block name (for reports).
+    fn name(&self) -> &str;
+    /// Process `input`, returning the output words.
+    fn process(&mut self, input: &[u32]) -> Vec<u32>;
+    /// Clocks the block needs for `len` input words (its own pipeline
+    /// rate, usually 1 word/clock plus a fixed startup).
+    fn cycles(&self, len: usize) -> u64;
+}
+
+/// Mailbox layout in the controller's shared memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mailbox {
+    /// Descriptor word: input offset.
+    pub in_off: usize,
+    /// Descriptor word: input length.
+    pub len_off: usize,
+    /// Output region offset.
+    pub out_off: usize,
+    /// Status word (0 = idle, 1 = done) the kernel can poll.
+    pub status_off: usize,
+}
+
+impl Default for Mailbox {
+    fn default() -> Self {
+        Mailbox {
+            in_off: 0,
+            len_off: 1,
+            out_off: 2,
+            status_off: 3,
+        }
+    }
+}
+
+/// Dispatch one accelerator job described by the mailbox: reads the
+/// descriptor the kernel wrote, runs the block, writes results + status,
+/// and returns the accelerator clocks consumed.
+pub fn dispatch(
+    core: &mut Processor,
+    mailbox: Mailbox,
+    accel: &mut dyn Accelerator,
+) -> Result<u64, ExecError> {
+    let desc = core.shared().read_words(mailbox.in_off, 2)?;
+    let (in_off, len) = (desc[0] as usize, core.shared().read_words(mailbox.len_off, 1)?[0] as usize);
+    let input = core.shared().read_words(in_off, len)?;
+    let output = accel.process(&input);
+    let out_off = core.shared().read_words(mailbox.out_off, 1)?[0] as usize;
+    core.shared_mut().load_words(out_off, &output)?;
+    core.shared_mut().load_words(mailbox.status_off, &[1])?;
+    Ok(accel.cycles(len))
+}
+
+/// A sample accelerator: a streaming Q15 multiply-accumulate (the
+/// "traditional FPGA accelerator" archetype) computing a running MAC of
+/// input pairs at one pair per clock after an 8-clock startup.
+#[derive(Debug, Default)]
+pub struct MacAccelerator {
+    jobs: u64,
+}
+
+impl MacAccelerator {
+    /// New block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Jobs processed.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+}
+
+impl Accelerator for MacAccelerator {
+    fn name(&self) -> &str {
+        "q15-mac"
+    }
+
+    fn process(&mut self, input: &[u32]) -> Vec<u32> {
+        self.jobs += 1;
+        // Pairs (a, b) -> running sum of (a*b)>>15.
+        let mut acc = 0i64;
+        let mut out = Vec::with_capacity(input.len() / 2);
+        for pair in input.chunks_exact(2) {
+            let a = pair[0] as i32 as i64;
+            let b = pair[1] as i32 as i64;
+            acc += (a * b) >> 15;
+            out.push(acc as u32);
+        }
+        out
+    }
+
+    fn cycles(&self, len: usize) -> u64 {
+        8 + (len as u64).div_ceil(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_core::{ProcessorConfig, RunOptions};
+    use simt_isa::assemble;
+
+    #[test]
+    fn controller_kernel_drives_the_accelerator() {
+        // The SIMT core *prepares* the job (computes inputs, writes the
+        // descriptor), the accelerator crunches it, and a second kernel
+        // *consumes* the result — the controller role of §1.
+        let mut core = Processor::new(ProcessorConfig::small().with_threads(32)).unwrap();
+        let mb = Mailbox::default();
+
+        // Phase 1: kernel writes pairs (tid, 2*tid in Q15-ish scale) and
+        // the descriptor.
+        let prep = assemble(
+            "  stid r1
+               shli r2, r1, 12          ; a = tid << 12
+               shli r3, r1, 13          ; b = tid << 13
+               shadd r4, r1, r1, 1      ; r4 = 3*tid (pair base stride 2 -> use 2*tid)
+               add r4, r1, r1           ; r4 = 2*tid
+               sts [r4+16], r2          ; pairs start at word 16
+               addi r5, r4, 1
+               sts [r5+16], r3
+               movi r6, 16
+               movi r7, 0
+               sts [r7+0], r6           ; mailbox.in_off = 16
+               movi r6, 64
+               sts [r7+1], r6           ; len = 64 words (32 pairs)
+               movi r6, 128
+               sts [r7+2], r6           ; out_off = 128
+               exit",
+        )
+        .unwrap();
+        core.load_program(&prep).unwrap();
+        core.run(RunOptions::default()).unwrap();
+
+        // Dispatch.
+        let mut accel = MacAccelerator::new();
+        let clocks = dispatch(&mut core, mb, &mut accel).unwrap();
+        assert_eq!(clocks, 8 + 32);
+        assert_eq!(accel.jobs(), 1);
+        assert_eq!(core.shared().as_slice()[mb.status_off], 1);
+
+        // Host check of the accelerator's math.
+        let mut acc = 0i64;
+        for t in 0..32i64 {
+            acc += ((t << 12) * (t << 13)) >> 15;
+            assert_eq!(
+                core.shared().as_slice()[128 + t as usize] as i32 as i64,
+                acc,
+                "pair {t}"
+            );
+        }
+
+        // Phase 2: a consumer kernel reads the accelerator output.
+        let consume = assemble(
+            "  stid r1
+               lds r2, [r1+128]
+               shli r3, r2, 1
+               sts [r1+192], r3
+               exit",
+        )
+        .unwrap();
+        core.load_program(&consume).unwrap();
+        core.run(RunOptions::default()).unwrap();
+        assert_eq!(
+            core.shared().as_slice()[192],
+            core.shared().as_slice()[128].wrapping_mul(2)
+        );
+    }
+
+    #[test]
+    fn dispatch_validates_descriptors() {
+        let mut core = Processor::new(ProcessorConfig::small()).unwrap();
+        // Descriptor points out of bounds.
+        core.shared_mut().load_words(0, &[4000, 4000, 0, 0]).unwrap();
+        let mut accel = MacAccelerator::new();
+        assert!(dispatch(&mut core, Mailbox::default(), &mut accel).is_err());
+    }
+
+    #[test]
+    fn mac_cycles_scale_with_length() {
+        let a = MacAccelerator::new();
+        assert_eq!(a.cycles(0), 8);
+        assert_eq!(a.cycles(2), 9);
+        assert_eq!(a.cycles(64), 40);
+        assert!(a.cycles(128) > a.cycles(64));
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests on the multi-core system: partition/merge identities
+//! and interconnect accounting invariants.
+
+use proptest::prelude::*;
+use simt_core::{ProcessorConfig, RunOptions};
+use simt_isa::assemble;
+use simt_system::{System, SystemConfig};
+
+fn small(cores: usize, link_width: usize) -> System {
+    System::new(SystemConfig {
+        cores,
+        core: ProcessorConfig::small(),
+        link_width_words: link_width,
+        link_latency: 12,
+    })
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn transfer_preserves_data(
+        cores in 2usize..=4,
+        src in 0usize..4,
+        len in 1usize..=64,
+        payload in proptest::collection::vec(any::<u32>(), 64),
+    ) {
+        let src = src % cores;
+        let dst = (src + 1) % cores;
+        let mut sys = small(cores, 1);
+        sys.core_mut(src).shared_mut().load_words(0, &payload[..len]).unwrap();
+        let clocks = sys.transfer(src, 0, dst, 128, len).unwrap();
+        prop_assert_eq!(
+            &sys.core(dst).shared().as_slice()[128..128 + len],
+            &payload[..len]
+        );
+        prop_assert_eq!(clocks, 12 + len as u64);
+        prop_assert_eq!(sys.stats().words_moved, len as u64);
+    }
+
+    #[test]
+    fn wider_links_never_slower(len in 1usize..=128, w1 in 1usize..=4, w2 in 1usize..=4) {
+        let (narrow, wide) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+        let mut a = small(2, narrow);
+        let mut b = small(2, wide);
+        let ca = a.transfer(0, 0, 1, 0, len).unwrap();
+        let cb = b.transfer(0, 0, 1, 0, len).unwrap();
+        prop_assert!(cb <= ca);
+    }
+
+    #[test]
+    fn phase_cost_is_max_of_cores(trip_counts in proptest::collection::vec(1u32..40, 2..=4)) {
+        let cores = trip_counts.len();
+        let mut sys = small(cores, 1);
+        let programs: Vec<_> = trip_counts
+            .iter()
+            .map(|&n| {
+                assemble(&format!("  loop {n}, e\n  addi r1, r1, 1\ne:\n  exit")).unwrap()
+            })
+            .collect();
+        sys.load_each(&programs).unwrap();
+        let phase = sys.run_phase(RunOptions::default()).unwrap().to_vec();
+        let max = phase.iter().map(|s| s.cycles).max().unwrap();
+        prop_assert_eq!(sys.stats().cycles, max);
+        prop_assert_eq!(sys.stats().compute_cycles, max);
+        // Core cycle counts track their trip counts monotonically.
+        for (i, a) in trip_counts.iter().enumerate() {
+            for (j, b) in trip_counts.iter().enumerate() {
+                if a < b {
+                    prop_assert!(phase[i].cycles <= phase[j].cycles, "{i} vs {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_sum_equals_whole(seed in 0u64..200, cores in 2usize..=4) {
+        // Split a 128-element sum across cores; partial sums combined on
+        // the host must equal the single-core result.
+        use simt_kernels::reduce::{sum_asm_scaled, sum_ref, SCRATCH, X_OFF};
+        use simt_kernels::workload::wide_int_vector;
+        let total = 128usize;
+        let per = total / cores;
+        // per must be a power of two for the tree: use 32 (cores=4) or 64.
+        prop_assume!(per.is_power_of_two());
+        let x = wide_int_vector(total, seed);
+        let mut sys = System::new(SystemConfig {
+            cores,
+            core: ProcessorConfig::default().with_threads(per).with_shared_words(4096),
+            ..Default::default()
+        })
+        .unwrap();
+        for c in 0..cores {
+            let words: Vec<u32> = x[c * per..(c + 1) * per].iter().map(|&v| v as u32).collect();
+            sys.core_mut(c).shared_mut().load_words(X_OFF, &words).unwrap();
+        }
+        let p = assemble(&sum_asm_scaled(per)).unwrap();
+        sys.load_all(&p).unwrap();
+        sys.run_phase(RunOptions::default()).unwrap();
+        let mut acc = 0i32;
+        for c in 0..cores {
+            acc = acc.wrapping_add(sys.core(c).shared().as_slice()[SCRATCH] as i32);
+        }
+        prop_assert_eq!(acc, sum_ref(&x));
+    }
+}

@@ -1,0 +1,79 @@
+//! The paper's §6 future-work system: three SIMT cores (the Table 2
+//! 3-stamp configuration) plus an interconnect, running a partitioned
+//! dot product. The system clock is derived from the stamped compile —
+//! "a system performance ... of 850 MHz is a reasonable target" (§5.1).
+//!
+//! ```sh
+//! cargo run --example multicore_system
+//! ```
+
+use fpga_fabric::Device;
+use simt_core::RunOptions;
+use simt_isa::assemble;
+use simt_kernels::reduce::{dot_asm_scaled, dot_ref, SCRATCH, X_OFF, Y_OFF};
+use simt_kernels::workload::int_vector;
+use simt_system::{System, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cores = 3;
+    let per_core = 1024;
+    let n = cores * per_core;
+
+    // One long dot product, split across the cores.
+    let x = int_vector(n, 1);
+    let y = int_vector(n, 2);
+
+    let mut sys = System::new(SystemConfig {
+        cores,
+        core: simt_core::ProcessorConfig::default()
+            .with_threads(per_core)
+            .with_shared_words(4096),
+        link_width_words: 1,
+        link_latency: 12,
+    })?;
+
+    // Phase 1: each core reduces its slice locally.
+    for c in 0..cores {
+        let xs: Vec<u32> = x[c * per_core..(c + 1) * per_core].iter().map(|&v| v as u32).collect();
+        let ys: Vec<u32> = y[c * per_core..(c + 1) * per_core].iter().map(|&v| v as u32).collect();
+        sys.core_mut(c).shared_mut().load_words(X_OFF, &xs)?;
+        sys.core_mut(c).shared_mut().load_words(Y_OFF, &ys)?;
+    }
+    let program = assemble(&dot_asm_scaled(per_core))?;
+    sys.load_all(&program)?;
+    sys.run_phase(RunOptions::default())?;
+
+    // Phase 2: gather partials to core 0 over the interconnect.
+    for c in 1..cores {
+        sys.transfer(c, SCRATCH, 0, SCRATCH + c, 1)?;
+    }
+
+    // Phase 3: core 0 folds the partials (3 words -> tiny final program).
+    let finale = assemble(&format!(
+        "  movi r1, 0
+           lds.t7 r2, [r1+{SCRATCH}]
+           lds.t7 r3, [r1+{s1}]
+           add.t7 r2, r2, r3
+           lds.t7 r3, [r1+{s2}]
+           add.t7 r2, r2, r3
+           sts.t7 [r1+{SCRATCH}], r2
+           exit",
+        s1 = SCRATCH + 1,
+        s2 = SCRATCH + 2,
+    ))?;
+    sys.core_mut(0).load_program(&finale)?;
+    let stats = sys.core_mut(0).run(RunOptions::default())?;
+    let total_cycles = sys.stats().cycles + stats.cycles;
+
+    let result = sys.core(0).shared().as_slice()[SCRATCH] as i32;
+    let want = dot_ref(&x, &y);
+    assert_eq!(result, want);
+    println!("3-core dot product of {n} elements = {result} (host reference {want})");
+
+    let fmax = sys.derive_system_fmax(&Device::agfd019());
+    println!("\nsystem clocks: {total_cycles} (compute {} + interconnect {})",
+        sys.stats().compute_cycles + stats.cycles, sys.stats().transfer_cycles);
+    println!("stamped system Fmax (Table 2, 3 cores): {fmax:.0} MHz");
+    println!("wall clock: {:.2} us", total_cycles as f64 / (fmax * 1e6) * 1e6);
+    Ok(())
+}

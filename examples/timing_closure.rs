@@ -1,0 +1,73 @@
+//! The paper's §5 evaluation in one run: unconstrained and constrained
+//! compiles, the seed-swept stamping experiment, and the floorplans of
+//! Figures 6 and 7 — on the virtual Quartus pipeline.
+//!
+//! ```sh
+//! cargo run --example timing_closure
+//! ```
+
+use fpga_fabric::Device;
+use fpga_fitter::{
+    best_of, compile, floorplan, seed_sweep, CompileOptions, DesignVariant,
+};
+use simt_core::ProcessorConfig;
+
+fn main() {
+    let cfg = ProcessorConfig::default(); // Table 1 instance
+    let dev = Device::agfd019();
+
+    // ---- unconstrained (Fig. 6, §5 text) ----
+    let un = compile(&cfg, &dev, &CompileOptions::unconstrained());
+    println!("== unconstrained compile ==");
+    println!(
+        "  logic Fmax {:.0} MHz, restricted {:.0} MHz (limited by {})",
+        un.fmax_logic(),
+        un.fmax_restricted(),
+        un.sta.restricted_by
+    );
+    println!("  critical soft path: {}", un.sta.critical.name);
+    println!("\nFigure 6 (unconstrained placement):");
+    println!("{}", floorplan::render(&dev, &un.placement));
+
+    // ---- constrained boxes ----
+    for u in [0.86, 0.93] {
+        let r = compile(&cfg, &dev, &CompileOptions::constrained(u));
+        println!(
+            "== {:.0}% bounding box: restricted Fmax {:.0} MHz ==",
+            u * 100.0,
+            r.fmax_restricted()
+        );
+        if (u - 0.93).abs() < 1e-9 {
+            println!("\nFigure 7 (tightly constrained placement):");
+            println!("{}", floorplan::render(&dev, &r.placement));
+        }
+    }
+
+    // ---- Table 2: stamping, 5 seeds ----
+    let seeds = [0u64, 1, 2, 3, 4];
+    println!("== Table 2: stamping (best of 5 seeds) ==");
+    for stamps in [1usize, 3] {
+        let sweep = seed_sweep(&cfg, &dev, &CompileOptions::stamped(stamps, 0.93), &seeds);
+        let best = best_of(&sweep);
+        println!(
+            "  {stamps}-stamp: best {:.0} MHz (seeds: {})",
+            best.fmax_restricted(),
+            sweep
+                .iter()
+                .map(|r| format!("{:.0}", r.fmax_restricted()))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+
+    // ---- the eGPU fp baseline ----
+    let base = compile(
+        &cfg,
+        &dev,
+        &CompileOptions::unconstrained().with_variant(DesignVariant::egpu_baseline()),
+    );
+    println!(
+        "\neGPU fp32 baseline: restricted Fmax {:.0} MHz (the 771 MHz ceiling of §2.1)",
+        base.fmax_restricted()
+    );
+}

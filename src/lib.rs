@@ -1,0 +1,23 @@
+//! Umbrella crate for the 950 MHz SIMT soft-processor reproduction.
+//!
+//! This crate exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`). All functionality lives
+//! in the member crates, re-exported here for convenience:
+//!
+//! * [`simt_isa`] — the PTX-inspired 61-instruction ISA, assembler and
+//!   disassembler.
+//! * [`simt_datapath`] — bit-exact models of the paper's ALU datapaths
+//!   (DSP-decomposed 32×32 multiplier, multiplicative shifter, segmented
+//!   prefix adder).
+//! * [`simt_core`] — the cycle-accurate SIMT processor simulator.
+//! * [`fpga_fabric`] — the Agilex-7 device model.
+//! * [`fpga_fitter`] — the "virtual Quartus" synthesis / placement / STA
+//!   pipeline that regenerates the paper's timing-closure results.
+//! * [`simt_kernels`] — fixed-point kernels and host references.
+
+pub use fpga_fabric;
+pub use fpga_fitter;
+pub use simt_core;
+pub use simt_datapath;
+pub use simt_isa;
+pub use simt_kernels;

@@ -1,0 +1,106 @@
+//! The typed KernelBuilder used end-to-end: build programs without text
+//! assembly, run them, verify against the text-assembled equivalents.
+
+use simt_core::{Processor, ProcessorConfig, RunOptions};
+use simt_isa::{assemble, disassemble, KernelBuilder};
+
+#[test]
+fn builder_program_equals_text_program() {
+    let mut k = KernelBuilder::new();
+    let tid = k.stid();
+    let x = k.lds(tid, 0);
+    let x3 = k.muli(x, 3);
+    let y = k.addi(x3, 7);
+    k.sts(tid, 64, y);
+    k.exit();
+    let built = k.build().unwrap();
+
+    let texted = assemble(
+        "  stid r1
+           lds r2, [r1+0]
+           muli r3, r2, 3
+           addi r4, r3, 7
+           sts [r1+64], r4
+           exit",
+    )
+    .unwrap();
+    assert_eq!(built.instructions(), texted.instructions());
+    // And the built program disassembles to re-assemblable text.
+    let p2 = assemble(&disassemble(&built)).unwrap();
+    assert_eq!(built.instructions(), p2.instructions());
+}
+
+#[test]
+fn builder_loop_runs_correctly() {
+    let mut k = KernelBuilder::new();
+    let acc = k.movi(0);
+    let step = k.movi(3);
+    let l = k.begin_loop(7);
+    let s = k.add(acc, step);
+    // accumulate in place: copy back (the builder is SSA-ish; mov lands
+    // in a fresh register, so store the running value each iteration).
+    k.sts(acc, 0, s);
+    k.end_loop(l);
+    k.exit();
+    let p = k.build().unwrap();
+
+    let mut cpu = Processor::new(ProcessorConfig::small()).unwrap();
+    cpu.load_program(&p).unwrap();
+    let stats = cpu.run(RunOptions::default()).unwrap();
+    // Each iteration stores acc+step = 3 to shared[0] (acc register is
+    // immutable); the point is the loop ran 7 times with no flushes.
+    assert_eq!(cpu.shared().as_slice()[0], 3);
+    assert_eq!(stats.loop_backedges, 6);
+    assert_eq!(stats.branches_taken, 0);
+}
+
+#[test]
+fn builder_guarded_kernel() {
+    let mut k = KernelBuilder::new();
+    let tid = k.stid();
+    let threshold = k.movi(32);
+    let p = k.setp_lt(0, tid, threshold);
+    let a = k.movi(222);
+    let b = k.movi(111);
+    let v = k.selp(a, b, p);
+    k.sts(tid, 0, v);
+    k.exit();
+    let program = k.build().unwrap();
+
+    let mut cpu = Processor::new(ProcessorConfig::small().with_predicates(true)).unwrap();
+    cpu.load_program(&program).unwrap();
+    cpu.run(RunOptions::default()).unwrap();
+    let mem = cpu.shared().as_slice();
+    for (t, &v) in mem.iter().enumerate().take(64) {
+        assert_eq!(v, if t < 32 { 222 } else { 111 });
+    }
+}
+
+#[test]
+fn builder_scaled_reduction_step() {
+    // One halving step of a reduction, built programmatically with a
+    // dynamic thread scale.
+    let n = 64usize;
+    let mut k = KernelBuilder::new();
+    let tid = k.stid();
+    k.sts(tid, 0, tid); // scratch[tid] = tid
+    k.scale_next(1);
+    let a = k.lds(tid, 0);
+    k.scale_next(1);
+    let b = k.lds(tid, n as u32 / 2);
+    k.scale_next(1);
+    let s = k.add(a, b);
+    k.scale_next(1);
+    k.sts(tid, 0, s);
+    k.exit();
+    let program = k.build().unwrap();
+
+    let mut cpu = Processor::new(ProcessorConfig::small().with_threads(n)).unwrap();
+    cpu.load_program(&program).unwrap();
+    let stats = cpu.run(RunOptions::default()).unwrap();
+    for t in 0..n / 2 {
+        assert_eq!(cpu.shared().as_slice()[t] as usize, t + (t + n / 2));
+    }
+    // The scaled store streamed 32 threads, the full store 64.
+    assert_eq!(stats.store_cycles, 64 + 32);
+}

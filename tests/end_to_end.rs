@@ -1,0 +1,135 @@
+//! Cross-crate end-to-end tests: kernels assembled from `simt-kernels`
+//! sources, run on `simt-core`, verified against host references, and
+//! wall-clock-projected at the Fmax the `fpga-fitter` compile produces.
+
+use fpga_fabric::Device;
+use fpga_fitter::{compile, CompileOptions, DesignVariant};
+use simt_core::ProcessorConfig;
+use simt_kernels::workload::{int_vector, lowpass_taps, q15_matrix, q15_signal};
+use simt_kernels::{fir, matmul, reduce, vector};
+
+#[test]
+fn full_stack_fir() {
+    let n = 256;
+    let taps = lowpass_taps(16);
+    let x = q15_signal(n + taps.len() - 1, 99);
+    let (y, run) = fir::fir(&x, &taps, n).unwrap();
+    assert_eq!(y, fir::fir_ref(&x, &taps, n));
+
+    // Project onto the compiled clock.
+    let r = compile(
+        &ProcessorConfig::default(),
+        &Device::agfd019(),
+        &CompileOptions::unconstrained(),
+    );
+    let us = run.stats.seconds_at(r.fmax_restricted()) * 1e6;
+    assert!(us > 0.0 && us < 100.0, "unreasonable projection {us}");
+}
+
+#[test]
+fn kernels_agree_across_thread_counts() {
+    for n in [16usize, 64, 128, 512, 1024] {
+        let x = int_vector(n, n as u64);
+        let y = int_vector(n, 2 * n as u64);
+        let (z, _) = vector::saxpy(-3, &x, &y).unwrap();
+        assert_eq!(z, vector::saxpy_ref(-3, &x, &y), "saxpy n={n}");
+    }
+}
+
+#[test]
+fn reduction_speedup_grows_with_n() {
+    // The dynamic-scaling advantage compounds with thread count: the
+    // predicated tree pays full-width stores every level.
+    let mut last_ratio = 0.0;
+    for n in [64usize, 256, 1024] {
+        let x = int_vector(n, 5);
+        let y = int_vector(n, 6);
+        let (_, s) = reduce::dot_scaled(&x, &y).unwrap();
+        let (_, m) = reduce::dot_predicated(&x, &y).unwrap();
+        let ratio = m.stats.cycles as f64 / s.stats.cycles as f64;
+        assert!(ratio > last_ratio, "n={n}: ratio {ratio:.2} <= {last_ratio:.2}");
+        last_ratio = ratio;
+    }
+    assert!(last_ratio > 4.0, "1024-wide speedup only {last_ratio:.2}x");
+}
+
+#[test]
+fn matmul_various_shapes() {
+    for (m, k, n) in [(2usize, 2usize, 2usize), (4, 8, 4), (16, 4, 32), (32, 32, 16)] {
+        let a = q15_matrix(m, k, 1);
+        let b = q15_matrix(k, n, 2);
+        let (c, _) = matmul::matmul(&a, &b, m, k, n).unwrap();
+        assert_eq!(c, matmul::matmul_ref(&a, &b, m, k, n), "{m}x{k}x{n}");
+    }
+}
+
+#[test]
+fn egpu_vs_this_work_wall_clock() {
+    // Same program, same clocks; the integer-mode clock uplift is the
+    // §2.1 speedup.
+    let dev = Device::agfd019();
+    let cfg = ProcessorConfig::default();
+    let base = compile(
+        &cfg,
+        &dev,
+        &CompileOptions::unconstrained().with_variant(DesignVariant::egpu_baseline()),
+    )
+    .fmax_restricted();
+    let this = compile(&cfg, &dev, &CompileOptions::unconstrained()).fmax_restricted();
+
+    let x = int_vector(1024, 1);
+    let y = int_vector(1024, 2);
+    let (_, run) = reduce::dot_scaled(&x, &y).unwrap();
+    let t_base = run.stats.seconds_at(base);
+    let t_this = run.stats.seconds_at(this);
+    let speedup = t_base / t_this;
+    assert!(
+        (speedup - 956.0 / 771.0).abs() < 0.02,
+        "speedup {speedup:.3} should track the clock ratio"
+    );
+}
+
+#[test]
+fn predicate_free_build_rejects_predicated_reduction() {
+    // The §2 configuration economy: a predicate-free build cannot load
+    // the predicated kernel at all.
+    let n = 64;
+    let src = reduce::dot_asm_predicated(n);
+    let program = simt_isa::assemble(&src).unwrap();
+    let mut cpu = simt_core::Processor::new(
+        ProcessorConfig::default()
+            .with_threads(n)
+            .with_predicates(false),
+    )
+    .unwrap();
+    assert!(matches!(
+        cpu.load_program(&program),
+        Err(simt_core::LoadError::PredicatesDisabled { .. })
+    ));
+}
+
+#[test]
+fn datapath_identity_inside_the_simulator() {
+    // The multiplier's DSP-vector composition is exercised by the
+    // simulator on live data: mul.hi of large operands.
+    let n = 64;
+    let x = simt_kernels::workload::wide_int_vector(n, 31);
+    let xw: Vec<u32> = x.iter().map(|&v| v as u32).collect();
+    let r = simt_kernels::run_kernel(
+        ProcessorConfig::default().with_threads(n),
+        "  stid r1
+           lds r2, [r1+0]
+           mul.hi r3, r2, r2
+           sts [r1+128], r3
+           exit",
+        &[(0, &xw)],
+        128,
+        n,
+        simt_core::RunOptions::default(),
+    )
+    .unwrap();
+    for (i, &got) in r.output.iter().enumerate() {
+        let want = (((x[i] as i64) * (x[i] as i64)) >> 32) as u32;
+        assert_eq!(got, want, "thread {i}");
+    }
+}
