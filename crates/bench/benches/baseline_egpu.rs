@@ -17,16 +17,28 @@ fn print_comparison() {
     )
     .fmax_restricted();
     let this = compile(&cfg, &dev, &CompileOptions::unconstrained()).fmax_restricted();
-    println!("\n[baseline] eGPU fp32 {base:.0} MHz vs this work {this:.0} MHz ({:.2}x clock)", this / base);
+    println!(
+        "\n[baseline] eGPU fp32 {base:.0} MHz vs this work {this:.0} MHz ({:.2}x clock)",
+        this / base
+    );
 
     let x = int_vector(1024, 1);
     let y = int_vector(1024, 2);
     let taps = lowpass_taps(16);
     let sig = q15_signal(512 + 15, 3);
     let runs: Vec<(&str, u64)> = vec![
-        ("saxpy-1024", vector::saxpy(3, &x, &y).unwrap().1.stats.cycles),
-        ("dot-1024", reduce::dot_scaled(&x, &y).unwrap().1.stats.cycles),
-        ("fir16-512", fir::fir(&sig, &taps, 512).unwrap().1.stats.cycles),
+        (
+            "saxpy-1024",
+            vector::saxpy(3, &x, &y).unwrap().1.stats.cycles,
+        ),
+        (
+            "dot-1024",
+            reduce::dot_scaled(&x, &y).unwrap().1.stats.cycles,
+        ),
+        (
+            "fir16-512",
+            fir::fir(&sig, &taps, 512).unwrap().1.stats.cycles,
+        ),
     ];
     println!("[baseline] kernel        clocks     eGPU(us)   this(us)   speedup");
     for (name, clk) in runs {

@@ -6,10 +6,12 @@ use simt_core::{InstructionTiming, PipelineControl};
 use simt_isa::CycleClass;
 
 fn print_anchors() {
-    println!("\n[cycles] 512 threads: op {} (paper 32), load {} (paper 128), store {} (paper 512)",
+    println!(
+        "\n[cycles] 512 threads: op {} (paper 32), load {} (paper 128), store {} (paper 512)",
         InstructionTiming::cycles(CycleClass::Operation, 512),
         InstructionTiming::cycles(CycleClass::Load, 512),
-        InstructionTiming::cycles(CycleClass::Store, 512));
+        InstructionTiming::cycles(CycleClass::Store, 512)
+    );
 }
 
 fn bench(c: &mut Criterion) {
@@ -38,7 +40,9 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("stepped_counters_store", threads),
             &threads,
             |b, &t| {
-                b.iter(|| PipelineControl::start(CycleClass::Store, std::hint::black_box(t)).run_to_end())
+                b.iter(|| {
+                    PipelineControl::start(CycleClass::Store, std::hint::black_box(t)).run_to_end()
+                })
             },
         );
     }

@@ -10,8 +10,14 @@ fn print_fig5() {
     let sh = MultiplicativeShifter::new(12);
     let t = sh.shift_traced(ShiftKind::Asr, 0b1100_0110_1111, 5);
     println!("\n[fig5] -913 >> 5 (12-bit, arithmetic):");
-    println!("[fig5] reversed input {:012b}, one-hot {:012b}, mask {:012b}, result {:012b} = {}",
-        t.reversed_input.unwrap(), t.one_hot, t.or_mask, t.result, (t.result as i32) - 4096);
+    println!(
+        "[fig5] reversed input {:012b}, one-hot {:012b}, mask {:012b}, result {:012b} = {}",
+        t.reversed_input.unwrap(),
+        t.one_hot,
+        t.or_mask,
+        t.result,
+        (t.result as i32) - 4096
+    );
     assert_eq!((t.result as i32) - 4096, -29);
 }
 
@@ -19,7 +25,9 @@ fn bench(c: &mut Criterion) {
     print_fig5();
     let mult = MultiplicativeShifter::new(32);
     let barrel = BarrelShifter::new();
-    let inputs: Vec<(u32, u32)> = (0..1024u32).map(|i| (i.wrapping_mul(2654435761), i % 40)).collect();
+    let inputs: Vec<(u32, u32)> = (0..1024u32)
+        .map(|i| (i.wrapping_mul(2654435761), i % 40))
+        .collect();
 
     let mut g = c.benchmark_group("shifter_models");
     g.throughput(Throughput::Elements(inputs.len() as u64));

@@ -12,9 +12,15 @@ fn print_results() {
     println!("\n[fmax] unconstrained: logic {:.0} MHz (paper 984), restricted {:.0} MHz (paper 956), by {}",
         un.fmax_logic(), un.fmax_restricted(), un.sta.restricted_by);
     let c86 = best_of_five(&CompileOptions::constrained(0.86));
-    println!("[fmax] 86% box (best of 5): {:.0} MHz (paper: >950)", c86.fmax_restricted());
+    println!(
+        "[fmax] 86% box (best of 5): {:.0} MHz (paper: >950)",
+        c86.fmax_restricted()
+    );
     let c93 = best_of_five(&CompileOptions::constrained(0.93));
-    println!("[fmax] 93% box (best of 5): {:.0} MHz (paper: 927)", c93.fmax_restricted());
+    println!(
+        "[fmax] 93% box (best of 5): {:.0} MHz (paper: 927)",
+        c93.fmax_restricted()
+    );
 }
 
 fn bench(c: &mut Criterion) {

@@ -10,17 +10,33 @@ fn print_simulated_costs() {
     let x = int_vector(1024, 1);
     let y = int_vector(1024, 2);
     let (_, r) = vector::saxpy(3, &x, &y).unwrap();
-    println!("[kernels] saxpy n=1024:    {:>7} clk = {:.2} us", r.stats.cycles, r.stats.seconds_at(956.0) * 1e6);
+    println!(
+        "[kernels] saxpy n=1024:    {:>7} clk = {:.2} us",
+        r.stats.cycles,
+        r.stats.seconds_at(956.0) * 1e6
+    );
     let (_, r) = reduce::dot_scaled(&x, &y).unwrap();
-    println!("[kernels] dot n=1024:      {:>7} clk = {:.2} us", r.stats.cycles, r.stats.seconds_at(956.0) * 1e6);
+    println!(
+        "[kernels] dot n=1024:      {:>7} clk = {:.2} us",
+        r.stats.cycles,
+        r.stats.seconds_at(956.0) * 1e6
+    );
     let taps = lowpass_taps(16);
     let sig = q15_signal(512 + 15, 3);
     let (_, r) = fir::fir(&sig, &taps, 512).unwrap();
-    println!("[kernels] fir16 n=512:     {:>7} clk = {:.2} us", r.stats.cycles, r.stats.seconds_at(956.0) * 1e6);
+    println!(
+        "[kernels] fir16 n=512:     {:>7} clk = {:.2} us",
+        r.stats.cycles,
+        r.stats.seconds_at(956.0) * 1e6
+    );
     let a = q15_matrix(16, 16, 4);
     let b = q15_matrix(16, 16, 5);
     let (_, r) = matmul::matmul(&a, &b, 16, 16, 16).unwrap();
-    println!("[kernels] matmul 16^3:     {:>7} clk = {:.2} us", r.stats.cycles, r.stats.seconds_at(956.0) * 1e6);
+    println!(
+        "[kernels] matmul 16^3:     {:>7} clk = {:.2} us",
+        r.stats.cycles,
+        r.stats.seconds_at(956.0) * 1e6
+    );
 }
 
 fn bench(c: &mut Criterion) {

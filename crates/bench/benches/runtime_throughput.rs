@@ -1,0 +1,69 @@
+//! Runtime throughput: launches/second through the stream scheduler and
+//! modeled device occupancy as the stream count grows on a 2-device
+//! pool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simt_kernels::workload::int_vector;
+use simt_kernels::LaunchSpec;
+use simt_runtime::{Runtime, RuntimeConfig};
+
+const JOBS: usize = 16;
+
+/// Enqueue `JOBS` saxpy jobs (with explicit copies) over `streams`
+/// streams, synchronize, and return the runtime's stats.
+fn pump(streams: usize) -> simt_runtime::RuntimeStats {
+    let rt = Runtime::new(RuntimeConfig::default());
+    let handles: Vec<_> = (0..streams).map(|_| rt.stream()).collect();
+    for i in 0..JOBS {
+        let s = &handles[i % streams];
+        let x = int_vector(1024, i as u64);
+        let y = int_vector(1024, 100 + i as u64);
+        let (spec, inputs) = LaunchSpec::saxpy(3, &x, &y).detach_inputs();
+        for (off, words) in &inputs {
+            s.copy_in(*off, words);
+        }
+        let (off, len) = (spec.out_off, spec.out_len);
+        s.launch(spec);
+        let _ = s.copy_out(off, len);
+    }
+    rt.synchronize().unwrap();
+    rt.stats()
+}
+
+fn print_modeled_scaling() {
+    println!(
+        "\n[runtime] modeled makespan and occupancy vs stream count (2-device pool, {JOBS} jobs):"
+    );
+    let mut serial = 0u64;
+    for streams in [1usize, 2, 4, 8] {
+        let stats = pump(streams);
+        if streams == 1 {
+            serial = stats.makespan_cycles;
+        }
+        println!(
+            "[runtime] {streams} stream(s): {:>7} clk = {:>7.2} us modeled, occupancy {:>3.0}%, speedup {:.2}x",
+            stats.makespan_cycles,
+            stats.modeled_seconds() * 1e6,
+            stats.modeled_occupancy() * 100.0,
+            serial as f64 / stats.makespan_cycles as f64,
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_modeled_scaling();
+    let mut g = c.benchmark_group("runtime_throughput");
+    g.sample_size(10);
+    for streams in [1usize, 2, 4, 8] {
+        g.throughput(Throughput::Elements(JOBS as u64));
+        g.bench_with_input(
+            BenchmarkId::new("launches", streams),
+            &streams,
+            |b, &streams| b.iter(|| pump(streams).launches()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

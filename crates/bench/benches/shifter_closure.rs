@@ -10,8 +10,14 @@ fn print_closure() {
     let (cfg, dev) = reference();
     println!("\n[shifter] soft-logic Fmax by design variant:");
     for (label, v) in [
-        ("barrel, standalone SP ", DesignVariant::with_barrel_shifter().standalone_sp()),
-        ("barrel, full 16-SP SM ", DesignVariant::with_barrel_shifter()),
+        (
+            "barrel, standalone SP ",
+            DesignVariant::with_barrel_shifter().standalone_sp(),
+        ),
+        (
+            "barrel, full 16-SP SM ",
+            DesignVariant::with_barrel_shifter(),
+        ),
         ("multiplicative, SM    ", DesignVariant::this_work()),
     ] {
         let r = compile(&cfg, &dev, &CompileOptions::unconstrained().with_variant(v));

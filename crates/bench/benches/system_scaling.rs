@@ -28,8 +28,14 @@ fn run_on_cores(cores: usize) -> (u64, f64) {
     })
     .unwrap();
     for c in 0..cores {
-        let xs: Vec<u32> = x[c * per_core..(c + 1) * per_core].iter().map(|&v| v as u32).collect();
-        let ys: Vec<u32> = y[c * per_core..(c + 1) * per_core].iter().map(|&v| v as u32).collect();
+        let xs: Vec<u32> = x[c * per_core..(c + 1) * per_core]
+            .iter()
+            .map(|&v| v as u32)
+            .collect();
+        let ys: Vec<u32> = y[c * per_core..(c + 1) * per_core]
+            .iter()
+            .map(|&v| v as u32)
+            .collect();
         sys.core_mut(c).shared_mut().load_words(X_OFF, &xs).unwrap();
         sys.core_mut(c).shared_mut().load_words(Y_OFF, &ys).unwrap();
     }

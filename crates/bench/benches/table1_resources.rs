@@ -8,12 +8,30 @@ use simt_core::ProcessorConfig;
 fn print_table1() {
     let a = area_model(&ProcessorConfig::default());
     println!("\n[table1] module       ALMs   Regs  M20K  DSP   (paper)");
-    println!("[table1] GPGPU      {:>6} {:>6} {:>5} {:>4}   (7038/24534/99/32)", a.gpgpu.alms, a.gpgpu.regs, a.gpgpu.m20k, a.gpgpu.dsp);
-    println!("[table1] SP         {:>6} {:>6} {:>5} {:>4}   (371/1337/4/2)", a.sp.alms, a.sp.regs, a.sp.m20k, a.sp.dsp);
-    println!("[table1]  Mul+Sft   {:>6} {:>6} {:>5} {:>4}   (145/424/0/2)", a.mul_sft.alms, a.mul_sft.regs, a.mul_sft.m20k, a.mul_sft.dsp);
-    println!("[table1]  Logic     {:>6} {:>6} {:>5} {:>4}   (83/424/0/0)", a.logic.alms, a.logic.regs, a.logic.m20k, a.logic.dsp);
-    println!("[table1] Inst       {:>6} {:>6} {:>5} {:>4}   (275/651/3/0)", a.inst.alms, a.inst.regs, a.inst.m20k, a.inst.dsp);
-    println!("[table1] Shared     {:>6} {:>6} {:>5} {:>4}   (133/233/64*/0)", a.shared.alms, a.shared.regs, a.shared.m20k, a.shared.dsp);
+    println!(
+        "[table1] GPGPU      {:>6} {:>6} {:>5} {:>4}   (7038/24534/99/32)",
+        a.gpgpu.alms, a.gpgpu.regs, a.gpgpu.m20k, a.gpgpu.dsp
+    );
+    println!(
+        "[table1] SP         {:>6} {:>6} {:>5} {:>4}   (371/1337/4/2)",
+        a.sp.alms, a.sp.regs, a.sp.m20k, a.sp.dsp
+    );
+    println!(
+        "[table1]  Mul+Sft   {:>6} {:>6} {:>5} {:>4}   (145/424/0/2)",
+        a.mul_sft.alms, a.mul_sft.regs, a.mul_sft.m20k, a.mul_sft.dsp
+    );
+    println!(
+        "[table1]  Logic     {:>6} {:>6} {:>5} {:>4}   (83/424/0/0)",
+        a.logic.alms, a.logic.regs, a.logic.m20k, a.logic.dsp
+    );
+    println!(
+        "[table1] Inst       {:>6} {:>6} {:>5} {:>4}   (275/651/3/0)",
+        a.inst.alms, a.inst.regs, a.inst.m20k, a.inst.dsp
+    );
+    println!(
+        "[table1] Shared     {:>6} {:>6} {:>5} {:>4}   (133/233/64*/0)",
+        a.shared.alms, a.shared.regs, a.shared.m20k, a.shared.dsp
+    );
 }
 
 fn bench(c: &mut Criterion) {

@@ -23,15 +23,19 @@ fn bench(c: &mut Criterion) {
     let (cfg, dev) = reference();
     let mut g = c.benchmark_group("table2_compiles");
     for stamps in [1usize, 3] {
-        g.bench_with_input(BenchmarkId::new("compile_93pct", stamps), &stamps, |b, &s| {
-            b.iter(|| {
-                compile(
-                    std::hint::black_box(&cfg),
-                    &dev,
-                    &CompileOptions::stamped(s, 0.93),
-                )
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("compile_93pct", stamps),
+            &stamps,
+            |b, &s| {
+                b.iter(|| {
+                    compile(
+                        std::hint::black_box(&cfg),
+                        &dev,
+                        &CompileOptions::stamped(s, 0.93),
+                    )
+                })
+            },
+        );
     }
     g.bench_function("seed_sweep_5", |b| {
         b.iter(|| seed_sweep(&cfg, &dev, &CompileOptions::stamped(3, 0.93), &SEEDS))

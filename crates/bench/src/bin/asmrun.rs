@@ -123,7 +123,8 @@ fn report(stats: &simt_core::ExecStats, cpu: &Processor, dump: Option<(usize, us
             Ok(words) => {
                 for (i, chunk) in words.chunks(8).enumerate() {
                     let addr = a + i * 8;
-                    let row: Vec<String> = chunk.iter().map(|w| format!("{:>10}", *w as i32)).collect();
+                    let row: Vec<String> =
+                        chunk.iter().map(|w| format!("{:>10}", *w as i32)).collect();
                     println!("[{addr:>5}] {}", row.join(" "));
                 }
             }

@@ -7,11 +7,15 @@
 //! ```
 //!
 //! Flags: `--table1 --table2 --fmax --registers --baseline --shifter
-//! --fig5 --fig6 --fig7 --cycles` (no flags = all).
+//! --fig5 --fig6 --fig7 --cycles --runtime` (no flags = all).
+//!
+//! The `--runtime` section also writes `BENCH_runtime.json` — a
+//! machine-readable snapshot of the runtime scheduler's scaling numbers
+//! and the headline clock results, so future changes can be tracked
+//! against it.
 
-use fpga_fitter::{
-    compile, floorplan, CompileOptions, DesignVariant,
-};
+use fpga_fitter::{compile, floorplan, CompileOptions, DesignVariant};
+use serde::Serialize;
 use simt_bench::{best_of_five, reference, row, SEEDS};
 use simt_core::{InstructionTiming, Processor, ProcessorConfig, RunOptions};
 use simt_datapath::{MultiplicativeShifter, ShiftKind};
@@ -66,6 +70,108 @@ fn main() {
     if want("--isa") {
         isa_reference();
     }
+    if want("--runtime") {
+        runtime();
+    }
+}
+
+/// One row of the stream-count sweep.
+#[derive(Debug, Clone, Serialize)]
+struct RuntimeSweepRow {
+    streams: usize,
+    makespan_cycles: u64,
+    modeled_us: f64,
+    occupancy: f64,
+    speedup_vs_serial: f64,
+    launches: u64,
+    copy_words: u64,
+}
+
+/// The machine-readable snapshot written to `BENCH_runtime.json`.
+#[derive(Debug, Clone, Serialize)]
+struct RuntimeBenchReport {
+    schema_version: u32,
+    devices: usize,
+    jobs: usize,
+    device_fmax_mhz: f64,
+    sweep: Vec<RuntimeSweepRow>,
+    unconstrained_restricted_mhz: f64,
+    stamped3_best_mhz: f64,
+}
+
+fn runtime() {
+    use simt_kernels::workload::int_vector;
+    use simt_kernels::LaunchSpec;
+    use simt_runtime::{Runtime, RuntimeConfig};
+
+    println!("== simt-runtime: stream scaling on the 2-device pool ==");
+    const JOBS: usize = 16;
+    let pump = |streams: usize| {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let handles: Vec<_> = (0..streams).map(|_| rt.stream()).collect();
+        for i in 0..JOBS {
+            let s = &handles[i % streams];
+            let x = int_vector(1024, i as u64);
+            let y = int_vector(1024, 100 + i as u64);
+            let (spec, inputs) = LaunchSpec::saxpy(3, &x, &y).detach_inputs();
+            for (off, words) in &inputs {
+                s.copy_in(*off, words);
+            }
+            let (off, len) = (spec.out_off, spec.out_len);
+            s.launch(spec);
+            let _ = s.copy_out(off, len);
+        }
+        rt.synchronize().unwrap();
+        rt.stats()
+    };
+
+    let mut sweep = Vec::new();
+    let mut serial = 0u64;
+    println!(
+        "{:>8} {:>12} {:>12} {:>11} {:>9}",
+        "streams", "makespan clk", "modeled us", "occupancy%", "speedup"
+    );
+    for streams in [1usize, 2, 4, 8] {
+        let stats = pump(streams);
+        if streams == 1 {
+            serial = stats.makespan_cycles;
+        }
+        let row = RuntimeSweepRow {
+            streams,
+            makespan_cycles: stats.makespan_cycles,
+            modeled_us: stats.modeled_seconds() * 1e6,
+            occupancy: stats.modeled_occupancy(),
+            speedup_vs_serial: serial as f64 / stats.makespan_cycles as f64,
+            launches: stats.launches(),
+            copy_words: stats.streams.iter().map(|s| s.copy_words).sum(),
+        };
+        println!(
+            "{:>8} {:>12} {:>12.2} {:>11.0} {:>8.2}x",
+            row.streams,
+            row.makespan_cycles,
+            row.modeled_us,
+            row.occupancy * 100.0,
+            row.speedup_vs_serial
+        );
+        sweep.push(row);
+    }
+
+    // Headline clocks, so one JSON tracks the whole perf trajectory.
+    let (cfg, dev) = reference();
+    let un = compile(&cfg, &dev, &CompileOptions::unconstrained());
+    let stamped = best_of_five(&CompileOptions::stamped(3, 0.93));
+    let report = RuntimeBenchReport {
+        schema_version: 1,
+        devices: simt_runtime::RuntimeConfig::default().devices,
+        jobs: JOBS,
+        device_fmax_mhz: simt_runtime::DeviceConfig::default().fmax_mhz,
+        sweep,
+        unconstrained_restricted_mhz: un.fmax_restricted(),
+        stamped3_best_mhz: stamped.fmax_restricted(),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
+    println!("(wrote BENCH_runtime.json)\n");
 }
 
 fn sweep() {
@@ -100,7 +206,11 @@ fn isa_reference() {
             format!("{:?}", op.class()),
             format!("{:?}", op.cycle_class()),
             op.describe(),
-            if op.needs_predicates() { "  [predicate build]" } else { "" },
+            if op.needs_predicates() {
+                "  [predicate build]"
+            } else {
+                ""
+            },
         );
     }
     println!();
@@ -111,9 +221,15 @@ fn table1() {
     let (cfg, dev) = reference();
     let r = compile(&cfg, &dev, &CompileOptions::constrained(0.93));
     let a = &r.area;
-    println!("{:<10} {:>3} {:>6} {:>6} {:>5} {:>4}", "Module", "No.", "ALMs", "Regs", "M20K", "DSP");
+    println!(
+        "{:<10} {:>3} {:>6} {:>6} {:>5} {:>4}",
+        "Module", "No.", "ALMs", "Regs", "M20K", "DSP"
+    );
     let pr = |name: &str, no: &str, m: fpga_fitter::ModuleArea| {
-        println!("{name:<10} {no:>3} {:>6} {:>6} {:>5} {:>4}", m.alms, m.regs, m.m20k, m.dsp);
+        println!(
+            "{name:<10} {no:>3} {:>6} {:>6} {:>5} {:>4}",
+            m.alms, m.regs, m.m20k, m.dsp
+        );
     };
     pr("GPGPU", "-", a.gpgpu);
     pr("SP", "16", a.sp);
@@ -124,7 +240,9 @@ fn table1() {
     println!("\npaper:     GPGPU 7038/24534/99/32, SP 371/1337/4/2, Mul+Sft 145/424/0/2,");
     println!("           Logic 83/424/0/0, Inst 275/651/3/0, Shared 133/233/64*/0");
     println!("(*the paper's Shared M20K row is inconsistent with its own total;");
-    println!("  our 32-block replica model reproduces the 99-block device total — see EXPERIMENTS.md)\n");
+    println!(
+        "  our 32-block replica model reproduces the 99-block device total — see EXPERIMENTS.md)\n"
+    );
 }
 
 fn registers() {
@@ -142,12 +260,29 @@ fn fmax_results() {
     println!("== §5 Fmax results (paper vs measured, MHz) ==");
     let (cfg, dev) = reference();
     let un = compile(&cfg, &dev, &CompileOptions::unconstrained());
-    println!("{}", row("unconstrained (logic Fmax)", 984.0, un.fmax_logic()));
-    println!("{}", row("unconstrained (restricted Fmax)", 956.0, un.fmax_restricted()));
+    println!(
+        "{}",
+        row("unconstrained (logic Fmax)", 984.0, un.fmax_logic())
+    );
+    println!(
+        "{}",
+        row(
+            "unconstrained (restricted Fmax)",
+            956.0,
+            un.fmax_restricted()
+        )
+    );
     println!("  restricted by: {}", un.sta.restricted_by);
     println!("  critical soft path: {}", un.sta.critical.name);
     let c86 = best_of_five(&CompileOptions::constrained(0.86));
-    println!("{}", row("86% bounding box (>950 claimed)", 950.0, c86.fmax_restricted()));
+    println!(
+        "{}",
+        row(
+            "86% bounding box (>950 claimed)",
+            950.0,
+            c86.fmax_restricted()
+        )
+    );
     let c93 = best_of_five(&CompileOptions::constrained(0.93));
     println!("{}", row("93% bounding box", 927.0, c93.fmax_restricted()));
     println!();
@@ -157,16 +292,16 @@ fn table2() {
     println!("== Table 2: stamping (best of 5 seeds, 93% boxes, sector-separated) ==");
     let (cfg, dev) = reference();
     for (stamps, paper) in [(1usize, 927.0), (3usize, 854.0)] {
-        let sweep = fpga_fitter::seed_sweep(
-            &cfg,
-            &dev,
-            &CompileOptions::stamped(stamps, 0.93),
-            &SEEDS,
-        );
+        let sweep =
+            fpga_fitter::seed_sweep(&cfg, &dev, &CompileOptions::stamped(stamps, 0.93), &SEEDS);
         let best = fpga_fitter::best_of(&sweep);
         println!(
             "{}   seeds: [{}]",
-            row(&format!("{stamps}-stamp best compile"), paper, best.fmax_restricted()),
+            row(
+                &format!("{stamps}-stamp best compile"),
+                paper,
+                best.fmax_restricted()
+            ),
             sweep
                 .iter()
                 .map(|r| format!("{:.0}", r.fmax_restricted()))
@@ -186,8 +321,22 @@ fn baseline() {
         &CompileOptions::unconstrained().with_variant(DesignVariant::egpu_baseline()),
     );
     let this = compile(&cfg, &dev, &CompileOptions::unconstrained());
-    println!("{}", row("eGPU baseline (fp32 DSP ceiling)", 771.0, base.fmax_restricted()));
-    println!("{}", row("this work (integer DSP modes)", 956.0, this.fmax_restricted()));
+    println!(
+        "{}",
+        row(
+            "eGPU baseline (fp32 DSP ceiling)",
+            771.0,
+            base.fmax_restricted()
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "this work (integer DSP modes)",
+            956.0,
+            this.fmax_restricted()
+        )
+    );
     println!(
         "speedup {:.2}x (paper: 956/771 = 1.24x)\n",
         this.fmax_restricted() / base.fmax_restricted()
@@ -198,12 +347,24 @@ fn shifter() {
     println!("== §4 shifter closure study ==");
     let (cfg, dev) = reference();
     let cases = [
-        ("barrel, standalone SP", DesignVariant::with_barrel_shifter().standalone_sp(), 1000.0),
-        ("barrel, full 16-SP SM", DesignVariant::with_barrel_shifter(), 850.0),
+        (
+            "barrel, standalone SP",
+            DesignVariant::with_barrel_shifter().standalone_sp(),
+            1000.0,
+        ),
+        (
+            "barrel, full 16-SP SM",
+            DesignVariant::with_barrel_shifter(),
+            850.0,
+        ),
         ("multiplicative, full SM", DesignVariant::this_work(), 984.0),
     ];
     for (label, variant, anchor) in cases {
-        let r = compile(&cfg, &dev, &CompileOptions::unconstrained().with_variant(variant));
+        let r = compile(
+            &cfg,
+            &dev,
+            &CompileOptions::unconstrained().with_variant(variant),
+        );
         println!(
             "{}   critical: {}",
             row(label, anchor, r.fmax_logic()),
@@ -224,7 +385,11 @@ fn fig5() {
     println!("product low    {:012b}", t.product_low);
     println!("re-reversed    {:012b}", t.reversed_product.unwrap());
     println!("unary OR mask  {:012b}  (five leading ones)", t.or_mask);
-    println!("result         {:012b}  ({})", t.result, (t.result as i32) - 4096);
+    println!(
+        "result         {:012b}  ({})",
+        t.result,
+        (t.result as i32) - 4096
+    );
     assert_eq!((t.result as i32) - 4096, -29);
     println!("(-913 >> 5 = -29, matching the paper's walk-through)\n");
 }
@@ -251,10 +416,16 @@ fn routing() {
         &dev,
         &CompileOptions::unconstrained().with_variant(DesignVariant::with_barrel_shifter()),
     );
-    let entries = fpga_fitter::routing_analysis(&r.sta, 1000.0, &fpga_fabric::TimingModel::default());
+    let entries =
+        fpga_fitter::routing_analysis(&r.sta, 1000.0, &fpga_fabric::TimingModel::default());
     println!("{:<44} {:>10} {:>12}", "path", "slack(ps)", "route share");
     for e in entries.iter().take(8) {
-        println!("{:<44} {:>10.0} {:>11.0}%", e.name, e.slack_ps, e.route_fraction * 100.0);
+        println!(
+            "{:<44} {:>10.0} {:>11.0}%",
+            e.name,
+            e.slack_ps,
+            e.route_fraction * 100.0
+        );
     }
     println!("(failing paths with a high routing share are the placement-fixable ones —");
     println!(" the barrel 16-bit level fails on distance, cnot on logic depth)\n");
@@ -270,7 +441,11 @@ fn predicates() {
     );
     println!(
         "{}",
-        row("SP ALMs with predicates (+50% claim)", 371.0 * 1.5, pred.sp.alms as f64)
+        row(
+            "SP ALMs with predicates (+50% claim)",
+            371.0 * 1.5,
+            pred.sp.alms as f64
+        )
     );
     println!(
         "GPGPU total grows {:.0} -> {:.0} ALMs ({:+.0}%)\n",
@@ -288,8 +463,14 @@ fn scaling() {
     let y = int_vector(1024, 22);
     let (_, scaled) = dot_scaled(&x, &y).unwrap();
     let (_, masked) = dot_predicated(&x, &y).unwrap();
-    println!("scaled (.tk) tree:      {:>6} clocks ({} store clocks)", scaled.stats.cycles, scaled.stats.store_cycles);
-    println!("predicated (@p0) tree:  {:>6} clocks ({} store clocks)", masked.stats.cycles, masked.stats.store_cycles);
+    println!(
+        "scaled (.tk) tree:      {:>6} clocks ({} store clocks)",
+        scaled.stats.cycles, scaled.stats.store_cycles
+    );
+    println!(
+        "predicated (@p0) tree:  {:>6} clocks ({} store clocks)",
+        masked.stats.cycles, masked.stats.store_cycles
+    );
     println!(
         "speedup {:.2}x — plus the predicated build pays the +50% logic\n",
         masked.stats.cycles as f64 / scaled.stats.cycles as f64
@@ -298,16 +479,50 @@ fn scaling() {
 
 fn cycles() {
     println!("== §3.1 cycle model (512 threads, 16 SPs) ==");
-    println!("{}", row("operation instruction clocks", 32.0, InstructionTiming::cycles(CycleClass::Operation, 512) as f64));
-    println!("{}", row("load instruction clocks (4 x 32)", 128.0, InstructionTiming::cycles(CycleClass::Load, 512) as f64));
-    println!("{}", row("store instruction clocks (16 x 32)", 512.0, InstructionTiming::cycles(CycleClass::Store, 512) as f64));
-    println!("{}", row("single-cycle instruction clocks", 1.0, InstructionTiming::cycles(CycleClass::SingleCycle, 512) as f64));
+    println!(
+        "{}",
+        row(
+            "operation instruction clocks",
+            32.0,
+            InstructionTiming::cycles(CycleClass::Operation, 512) as f64
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "load instruction clocks (4 x 32)",
+            128.0,
+            InstructionTiming::cycles(CycleClass::Load, 512) as f64
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "store instruction clocks (16 x 32)",
+            512.0,
+            InstructionTiming::cycles(CycleClass::Store, 512) as f64
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "single-cycle instruction clocks",
+            1.0,
+            InstructionTiming::cycles(CycleClass::SingleCycle, 512) as f64
+        )
+    );
 
     // End-to-end check on the simulator.
     let mut cpu = Processor::new(ProcessorConfig::default().with_threads(512)).unwrap();
-    let p = simt_isa::assemble("  stid r1\n  add r2, r1, r1\n  lds r3, [r1+0]\n  sts [r1+0], r2\n  exit").unwrap();
+    let p = simt_isa::assemble(
+        "  stid r1\n  add r2, r1, r1\n  lds r3, [r1+0]\n  sts [r1+0], r2\n  exit",
+    )
+    .unwrap();
     cpu.load_program(&p).unwrap();
     let s = cpu.run(RunOptions::default()).unwrap();
-    println!("  simulator roll-up: {} clocks (2 ops + load + store + exit + fill)", s.cycles);
+    println!(
+        "  simulator roll-up: {} clocks (2 ops + load + store + exit + fill)",
+        s.cycles
+    );
     println!();
 }

@@ -6,8 +6,8 @@
 //! here, not just as a wrong cycle count.
 
 use simt_datapath::{
-    logic::LogicOp, Int32Multiplier, LogicUnit, MultiplicativeShifter, PipelinedAdder32,
-    ShiftKind, Signedness,
+    logic::LogicOp, Int32Multiplier, LogicUnit, MultiplicativeShifter, PipelinedAdder32, ShiftKind,
+    Signedness,
 };
 use simt_isa::{Instruction, Opcode};
 
@@ -193,7 +193,10 @@ mod tests {
         assert_eq!(dp.eval(&i(Opcode::Add), ops(2, 3, 0)), 5);
         assert_eq!(dp.eval(&i(Opcode::Sub), ops(2, 3, 0)) as i32, -1);
         assert_eq!(dp.eval(&i(Opcode::Sad), ops(2, 7, 10)), 15);
-        assert_eq!(dp.eval(&i(Opcode::MulLo), ops(-4i32 as u32, 3, 0)) as i32, -12);
+        assert_eq!(
+            dp.eval(&i(Opcode::MulLo), ops(-4i32 as u32, 3, 0)) as i32,
+            -12
+        );
         assert_eq!(dp.eval(&i(Opcode::MadLo), ops(4, 3, 5)), 17);
         assert_eq!(
             dp.eval(&i(Opcode::MuluHi), ops(0xFFFF_FFFF, 2, 0)),

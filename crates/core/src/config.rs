@@ -179,9 +179,18 @@ mod tests {
 
     #[test]
     fn limits_enforced() {
-        assert!(ProcessorConfig::default().with_threads(0).validate().is_err());
-        assert!(ProcessorConfig::default().with_threads(4096).validate().is_ok());
-        assert!(ProcessorConfig::default().with_threads(4097).validate().is_err());
+        assert!(ProcessorConfig::default()
+            .with_threads(0)
+            .validate()
+            .is_err());
+        assert!(ProcessorConfig::default()
+            .with_threads(4096)
+            .validate()
+            .is_ok());
+        assert!(ProcessorConfig::default()
+            .with_threads(4097)
+            .validate()
+            .is_err());
         // 4096 threads x 32 regs = 128K > 64K
         assert!(ProcessorConfig::default()
             .with_threads(4096)
@@ -194,7 +203,10 @@ mod tests {
             .with_regs_per_thread(16)
             .validate()
             .is_ok());
-        assert!(ProcessorConfig::default().with_shared_words(0).validate().is_err());
+        assert!(ProcessorConfig::default()
+            .with_shared_words(0)
+            .validate()
+            .is_err());
     }
 
     #[test]
@@ -202,6 +214,9 @@ mod tests {
         assert_eq!(ProcessorConfig::default().with_threads(17).block_depth(), 2);
         assert_eq!(ProcessorConfig::default().with_threads(16).block_depth(), 1);
         assert_eq!(ProcessorConfig::default().with_threads(1).block_depth(), 1);
-        assert_eq!(ProcessorConfig::default().with_threads(512).block_depth(), 32);
+        assert_eq!(
+            ProcessorConfig::default().with_threads(512).block_depth(),
+            32
+        );
     }
 }

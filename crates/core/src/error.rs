@@ -63,7 +63,10 @@ impl fmt::Display for LoadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LoadError::TooLarge { len, capacity } => {
-                write!(f, "program of {len} words exceeds I-Mem capacity {capacity}")
+                write!(
+                    f,
+                    "program of {len} words exceeds I-Mem capacity {capacity}"
+                )
             }
             LoadError::PredicatesDisabled { pc } => write!(
                 f,
@@ -75,7 +78,10 @@ impl fmt::Display for LoadError {
             ),
             LoadError::NoTerminator => write!(f, "program does not end in exit/bra/ret"),
             LoadError::BadTarget { pc, target } => {
-                write!(f, "instruction at {pc} targets {target}, outside the program")
+                write!(
+                    f,
+                    "instruction at {pc} targets {target}, outside the program"
+                )
             }
         }
     }

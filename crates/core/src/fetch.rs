@@ -171,11 +171,8 @@ pub fn replay(program: &Program, trace: &[TraceEntry]) -> ClockLog {
                 // The issue unit occupies the machine for the
                 // instruction's clocks; re-derive them from the counter
                 // hardware rather than trusting the trace.
-                let clocks = PipelineControl::start(
-                    instr.opcode.cycle_class(),
-                    entry.active,
-                )
-                .run_to_end();
+                let clocks =
+                    PipelineControl::start(instr.opcode.cycle_class(), entry.active).run_to_end();
                 assert_eq!(
                     clocks, entry.clocks,
                     "counter hardware disagrees with the simulator at pc {pc}"
@@ -228,10 +225,7 @@ pub fn run_and_replay(
     cpu: &mut crate::Processor,
     opts: crate::RunOptions,
 ) -> Result<(crate::ExecStats, ClockLog), crate::ExecError> {
-    let program = cpu
-        .program()
-        .cloned()
-        .expect("no program loaded");
+    let program = cpu.program().cloned().expect("no program loaded");
     let (stats, trace) = cpu.run_traced(opts)?;
     let log = replay(&program, &trace);
     assert_eq!(
@@ -257,9 +251,8 @@ mod tests {
 
     #[test]
     fn straight_line_replay_matches() {
-        let (stats, log) = replay_src(
-            "  stid r1\n  add r2, r1, r1\n  lds r3, [r1+0]\n  sts [r1+0], r2\n  exit",
-        );
+        let (stats, log) =
+            replay_src("  stid r1\n  add r2, r1, r1\n  lds r3, [r1+0]\n  sts [r1+0], r2\n  exit");
         assert_eq!(log.cycles(), stats.cycles);
         assert_eq!(log.fill_cycles(), FETCH_PIPELINE_DEPTH);
         assert_eq!(log.flush_cycles(), 0);
@@ -278,9 +271,8 @@ mod tests {
 
     #[test]
     fn loop_backedge_has_no_bubbles() {
-        let (stats, log) = replay_src(
-            "  loop 8, done\n  addi r1, r1, 1\n  addi r2, r2, 1\ndone:\n  exit",
-        );
+        let (stats, log) =
+            replay_src("  loop 8, done\n  addi r1, r1, 1\n  addi r2, r2, 1\ndone:\n  exit");
         assert_eq!(log.cycles(), stats.cycles);
         assert_eq!(log.flush_cycles(), 0, "zero-overhead means zero bubbles");
         assert_eq!(log.loop_backedges, 7);
@@ -289,9 +281,7 @@ mod tests {
 
     #[test]
     fn call_ret_pays_two_flushes() {
-        let (stats, log) = replay_src(
-            "  call f\n  exit\nf:\n  addi r1, r1, 1\n  ret",
-        );
+        let (stats, log) = replay_src("  call f\n  exit\nf:\n  addi r1, r1, 1\n  ret");
         assert_eq!(log.cycles(), stats.cycles);
         assert_eq!(log.flush_cycles(), 2 * FETCH_PIPELINE_DEPTH);
     }

@@ -95,7 +95,11 @@ impl PipelineControl {
         let (lanes, depth) = InstructionTiming::block_shape(active);
         let (width_limit, depth_limit, single) = match class {
             CycleClass::Operation => (1, depth as u32, depth == 1),
-            CycleClass::Load => (lanes.div_ceil(SHARED_READ_PORTS) as u32, depth as u32, false),
+            CycleClass::Load => (
+                lanes.div_ceil(SHARED_READ_PORTS) as u32,
+                depth as u32,
+                false,
+            ),
             CycleClass::Store => (lanes as u32, depth as u32, false),
             CycleClass::SingleCycle => (1, 1, true),
         };
@@ -126,8 +130,8 @@ impl PipelineControl {
         }
         // Comparators look at the *current* counts — the combination one
         // cycle before the end — then the result is registered.
-        let last_width = self.width_count == self.width_limit.saturating_sub(2)
-            || self.width_limit == 1;
+        let last_width =
+            self.width_count == self.width_limit.saturating_sub(2) || self.width_limit == 1;
         let last_depth = self.depth_count
             == if self.width_limit == 1 {
                 self.depth_limit.saturating_sub(2)

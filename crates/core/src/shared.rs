@@ -107,7 +107,13 @@ impl SharedMemory {
 
     /// Single-word write through the write port.
     #[inline]
-    pub fn write(&mut self, pc: usize, thread: usize, addr: usize, value: u32) -> Result<(), ExecError> {
+    pub fn write(
+        &mut self,
+        pc: usize,
+        thread: usize,
+        addr: usize,
+        value: u32,
+    ) -> Result<(), ExecError> {
         let size = self.data.len();
         match self.data.get_mut(addr) {
             Some(slot) => {

@@ -221,20 +221,18 @@ impl Processor {
                 check(i.rc)?;
             }
             match i.opcode {
-                Opcode::Bra | Opcode::Brp | Opcode::Call
-                    if i.target() >= program.len() => {
-                        return Err(LoadError::BadTarget {
-                            pc,
-                            target: i.target(),
-                        });
-                    }
-                Opcode::Loop
-                    if i.loop_end() >= program.len() => {
-                        return Err(LoadError::BadTarget {
-                            pc,
-                            target: i.loop_end(),
-                        });
-                    }
+                Opcode::Bra | Opcode::Brp | Opcode::Call if i.target() >= program.len() => {
+                    return Err(LoadError::BadTarget {
+                        pc,
+                        target: i.target(),
+                    });
+                }
+                Opcode::Loop if i.loop_end() >= program.len() => {
+                    return Err(LoadError::BadTarget {
+                        pc,
+                        target: i.loop_end(),
+                    });
+                }
                 _ => {}
             }
         }
@@ -289,7 +287,10 @@ impl Processor {
     /// Execute with a per-instruction trace (issued PC, opcode, active
     /// thread count, clocks, branch target) — the simulator's equivalent
     /// of a logic-analyzer capture on the instruction block.
-    pub fn run_traced(&mut self, opts: RunOptions) -> Result<(ExecStats, Vec<TraceEntry>), ExecError> {
+    pub fn run_traced(
+        &mut self,
+        opts: RunOptions,
+    ) -> Result<(ExecStats, Vec<TraceEntry>), ExecError> {
         let mut trace = Some(Vec::new());
         let stats = self.run_inner(opts, &mut trace)?;
         Ok((stats, trace.unwrap()))
@@ -473,9 +474,7 @@ impl Processor {
     /// guard (branches are decided once, in the instruction block).
     fn control_condition(&self, instr: &Instruction) -> bool {
         match instr.guard {
-            Some(Guard { pred, negate }) => {
-                self.regfile.read_pred(0, pred.index()) != negate
-            }
+            Some(Guard { pred, negate }) => self.regfile.read_pred(0, pred.index()) != negate,
             None => true,
         }
     }
@@ -503,15 +502,11 @@ impl Processor {
                 let data = self.shared.as_slice();
                 let mut reads = 0u64;
                 let (regs, preds, rpt) = self.regfile.split_mut();
-                let body = |tid: usize,
-                            window: &mut [u32],
-                            pred: &u8|
-                 -> Result<u64, ExecError> {
+                let body = |tid: usize, window: &mut [u32], pred: &u8| -> Result<u64, ExecError> {
                     if !guard_pass(*pred, instr.guard) {
                         return Ok(0);
                     }
-                    let addr =
-                        window[instr.ra.index()].wrapping_add(instr.imm16()) as usize;
+                    let addr = window[instr.ra.index()].wrapping_add(instr.imm16()) as usize;
                     match data.get(addr) {
                         Some(&v) => {
                             window[instr.rd.index()] = v;
@@ -534,8 +529,11 @@ impl Processor {
                         .map(|(tid, (window, pred))| body(tid, window, pred))
                         .try_reduce(|| 0, |x, y| Ok(x + y))?;
                 } else {
-                    for (tid, (window, pred)) in
-                        regs.chunks_mut(rpt).zip(preds.iter()).take(active).enumerate()
+                    for (tid, (window, pred)) in regs
+                        .chunks_mut(rpt)
+                        .zip(preds.iter())
+                        .take(active)
+                        .enumerate()
                     {
                         reads += body(tid, window, pred)?;
                     }
@@ -620,14 +618,17 @@ impl Processor {
                 // Generic ALU-value instruction writing rd.
                 let (regs, preds, rpt) = self.regfile.split_mut();
                 let reads = instr.opcode.reg_reads();
-                let has_rb =
-                    reads >= 2 && instr.opcode.imm_form() != simt_isa::ImmForm::Imm32;
+                let has_rb = reads >= 2 && instr.opcode.imm_form() != simt_isa::ImmForm::Imm32;
                 let body = |tid: usize, window: &mut [u32], pred: &u8| {
                     if !guard_pass(*pred, instr.guard) {
                         return;
                     }
                     let ops = Operands {
-                        a: if reads >= 1 { window[instr.ra.index()] } else { 0 },
+                        a: if reads >= 1 {
+                            window[instr.ra.index()]
+                        } else {
+                            0
+                        },
                         b: if has_rb { window[instr.rb.index()] } else { 0 },
                         c: if instr.opcode.reads_rc() {
                             window[instr.rc.index()]
@@ -654,8 +655,11 @@ impl Processor {
                         .enumerate()
                         .for_each(|(tid, (w, p))| body(tid, w, p));
                 } else {
-                    for (tid, (w, p)) in
-                        regs.chunks_mut(rpt).zip(preds.iter()).take(active).enumerate()
+                    for (tid, (w, p)) in regs
+                        .chunks_mut(rpt)
+                        .zip(preds.iter())
+                        .take(active)
+                        .enumerate()
                     {
                         body(tid, w, p);
                     }

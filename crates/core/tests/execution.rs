@@ -270,7 +270,10 @@ fn parallel_and_serial_agree() {
         )
         .unwrap();
         cpu.shared_mut()
-            .load_words(0, &(0u32..1024).map(|i| i.wrapping_mul(7)).collect::<Vec<_>>())
+            .load_words(
+                0,
+                &(0u32..1024).map(|i| i.wrapping_mul(7)).collect::<Vec<_>>(),
+            )
             .unwrap();
         let p = assemble(src).unwrap();
         cpu.load_program(&p).unwrap();
@@ -308,7 +311,10 @@ fn oob_store_traps() {
     let p = assemble("  stid r1\n  sts [r1+2000], r1\n  exit").unwrap();
     cpu.load_program(&p).unwrap();
     let err = cpu.run(RunOptions::default()).unwrap_err();
-    assert!(matches!(err, ExecError::SharedOutOfBounds { pc: 1, .. }), "{err}");
+    assert!(
+        matches!(err, ExecError::SharedOutOfBounds { pc: 1, .. }),
+        "{err}"
+    );
 }
 
 #[test]
@@ -379,7 +385,11 @@ fn register_range_checked_at_load() {
     let p = assemble("  movi r12, 1\n  exit").unwrap();
     assert!(matches!(
         cpu.load_program(&p).unwrap_err(),
-        LoadError::RegisterRange { pc: 0, reg: 12, limit: 8 }
+        LoadError::RegisterRange {
+            pc: 0,
+            reg: 12,
+            limit: 8
+        }
     ));
 }
 

@@ -61,7 +61,11 @@ fn check<F: Fn(usize, u32, u32, u32) -> u32>(line: &str, f: F) {
     let got = run_line(line, &inp);
     for t in 0..N {
         let want = f(t, inp.a[t], inp.b[t], inp.c[t]);
-        assert_eq!(got[t], want, "`{line}` thread {t}: a={:#x} b={:#x} c={:#x}", inp.a[t], inp.b[t], inp.c[t]);
+        assert_eq!(
+            got[t], want,
+            "`{line}` thread {t}: a={:#x} b={:#x} c={:#x}",
+            inp.a[t], inp.b[t], inp.c[t]
+        );
     }
 }
 
@@ -69,15 +73,21 @@ fn check<F: Fn(usize, u32, u32, u32) -> u32>(line: &str, f: F) {
 fn arithmetic_group() {
     check("add r7, r1, r2", |_, a, b, _| a.wrapping_add(b));
     check("sub r7, r1, r2", |_, a, b, _| a.wrapping_sub(b));
-    check("min r7, r1, r2", |_, a, b, _| (a as i32).min(b as i32) as u32);
-    check("max r7, r1, r2", |_, a, b, _| (a as i32).max(b as i32) as u32);
+    check("min r7, r1, r2", |_, a, b, _| {
+        (a as i32).min(b as i32) as u32
+    });
+    check("max r7, r1, r2", |_, a, b, _| {
+        (a as i32).max(b as i32) as u32
+    });
     check("abs r7, r1", |_, a, _, _| (a as i32).wrapping_abs() as u32);
     check("neg r7, r1", |_, a, _, _| (a as i32).wrapping_neg() as u32);
     check("sad r7, r1, r2, r3", |_, a, b, c| {
         let d = (a as i32 as i64 - b as i32 as i64).unsigned_abs() as u32;
         c.wrapping_add(d)
     });
-    check("addi r7, r1, -77", |_, a, _, _| a.wrapping_add(-77i32 as u32));
+    check("addi r7, r1, -77", |_, a, _, _| {
+        a.wrapping_add(-77i32 as u32)
+    });
     check("subi r7, r1, 0x1234", |_, a, _, _| a.wrapping_sub(0x1234));
 }
 
@@ -126,9 +136,15 @@ fn shift_group() {
             ((a as i32) >> s) as u32
         }
     };
-    check("shl r7, r1, r6", move |t, a, _, _| sem_shl((t % 36) as u32, a));
-    check("lsr r7, r1, r6", move |t, a, _, _| sem_lsr((t % 36) as u32, a));
-    check("asr r7, r1, r6", move |t, a, _, _| sem_asr((t % 36) as u32, a));
+    check("shl r7, r1, r6", move |t, a, _, _| {
+        sem_shl((t % 36) as u32, a)
+    });
+    check("lsr r7, r1, r6", move |t, a, _, _| {
+        sem_lsr((t % 36) as u32, a)
+    });
+    check("asr r7, r1, r6", move |t, a, _, _| {
+        sem_asr((t % 36) as u32, a)
+    });
     check("shli r7, r1, 7", move |_, a, _, _| sem_shl(7, a));
     check("lsri r7, r1, 31", move |_, a, _, _| sem_lsr(31, a));
     check("asri r7, r1, 13", move |_, a, _, _| sem_asr(13, a));
@@ -154,7 +170,10 @@ fn fixed_point_group() {
 fn compare_and_select_group() {
     // setp writes p0; read it back through selp(1, 0).
     for (cc, f) in [
-        ("eq", Box::new(|a: i32, b: i32| a == b) as Box<dyn Fn(i32, i32) -> bool>),
+        (
+            "eq",
+            Box::new(|a: i32, b: i32| a == b) as Box<dyn Fn(i32, i32) -> bool>,
+        ),
         ("ne", Box::new(|a, b| a != b)),
         ("lt", Box::new(|a, b| a < b)),
         ("le", Box::new(|a, b| a <= b)),
@@ -249,7 +268,9 @@ fn control_group() {
           ret";
     let program = assemble(src).unwrap();
     let mut cpu = Processor::new(
-        ProcessorConfig::small().with_threads(N).with_predicates(true),
+        ProcessorConfig::small()
+            .with_threads(N)
+            .with_predicates(true),
     )
     .unwrap();
     cpu.load_program(&program).unwrap();
@@ -265,32 +286,75 @@ fn every_opcode_is_covered_by_this_matrix() {
     // Meta-test: the groups above must collectively touch all 61.
     let covered: std::collections::HashSet<Opcode> = [
         // arithmetic
-        Opcode::Add, Opcode::Sub, Opcode::Min, Opcode::Max, Opcode::Abs,
-        Opcode::Neg, Opcode::Sad, Opcode::Addi, Opcode::Subi,
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Min,
+        Opcode::Max,
+        Opcode::Abs,
+        Opcode::Neg,
+        Opcode::Sad,
+        Opcode::Addi,
+        Opcode::Subi,
         // multiplier
-        Opcode::MulLo, Opcode::MulHi, Opcode::MuluHi, Opcode::MadLo,
-        Opcode::MadHi, Opcode::Muli,
+        Opcode::MulLo,
+        Opcode::MulHi,
+        Opcode::MuluHi,
+        Opcode::MadLo,
+        Opcode::MadHi,
+        Opcode::Muli,
         // logic
-        Opcode::And, Opcode::Or, Opcode::Xor, Opcode::Not, Opcode::Cnot,
-        Opcode::Andi, Opcode::Ori, Opcode::Xori, Opcode::Popc, Opcode::Clz,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Not,
+        Opcode::Cnot,
+        Opcode::Andi,
+        Opcode::Ori,
+        Opcode::Xori,
+        Opcode::Popc,
+        Opcode::Clz,
         Opcode::Brev,
         // shifts
-        Opcode::Shl, Opcode::Lsr, Opcode::Asr, Opcode::Shli, Opcode::Lsri,
+        Opcode::Shl,
+        Opcode::Lsr,
+        Opcode::Asr,
+        Opcode::Shli,
+        Opcode::Lsri,
         Opcode::Asri,
         // fixed point
-        Opcode::SatAdd, Opcode::SatSub, Opcode::MulShr, Opcode::ShAdd,
-        Opcode::Bfe, Opcode::Rotri,
+        Opcode::SatAdd,
+        Opcode::SatSub,
+        Opcode::MulShr,
+        Opcode::ShAdd,
+        Opcode::Bfe,
+        Opcode::Rotri,
         // compare/select
-        Opcode::SetpEq, Opcode::SetpNe, Opcode::SetpLt, Opcode::SetpLe,
-        Opcode::SetpGt, Opcode::SetpGe, Opcode::SetpLtu, Opcode::SetpGeu,
+        Opcode::SetpEq,
+        Opcode::SetpNe,
+        Opcode::SetpLt,
+        Opcode::SetpLe,
+        Opcode::SetpGt,
+        Opcode::SetpGe,
+        Opcode::SetpLtu,
+        Opcode::SetpGeu,
         Opcode::Selp,
         // moves
-        Opcode::Mov, Opcode::Movi, Opcode::Stid, Opcode::Sntid,
+        Opcode::Mov,
+        Opcode::Movi,
+        Opcode::Stid,
+        Opcode::Sntid,
         // memory
-        Opcode::Lds, Opcode::Sts,
+        Opcode::Lds,
+        Opcode::Sts,
         // control
-        Opcode::Bra, Opcode::Brp, Opcode::Call, Opcode::Ret, Opcode::Loop,
-        Opcode::Exit, Opcode::Nop, Opcode::Bar,
+        Opcode::Bra,
+        Opcode::Brp,
+        Opcode::Call,
+        Opcode::Ret,
+        Opcode::Loop,
+        Opcode::Exit,
+        Opcode::Nop,
+        Opcode::Bar,
     ]
     .into_iter()
     .collect();

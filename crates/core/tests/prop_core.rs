@@ -101,7 +101,9 @@ fn run_with(
         .with_regs_per_thread(REGS as usize)
         .with_shared_words(MEM_WORDS);
     let mut cpu = Processor::new(cfg).unwrap();
-    let seed_mem: Vec<u32> = (0..MEM_WORDS as u32).map(|i| i.wrapping_mul(2654435761)).collect();
+    let seed_mem: Vec<u32> = (0..MEM_WORDS as u32)
+        .map(|i| i.wrapping_mul(2654435761))
+        .collect();
     cpu.shared_mut().load_words(0, &seed_mem).unwrap();
     cpu.load_program(program).unwrap();
     let stats = cpu.run(opts).unwrap();

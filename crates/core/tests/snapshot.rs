@@ -35,14 +35,18 @@ fn ab_experiment_from_common_checkpoint() {
     cpu.run(RunOptions::default()).unwrap();
     let snap = cpu.snapshot();
 
-    let double = assemble("  stid r1\n  lds r2, [r1+0]\n  shli r2, r2, 1\n  sts [r1+0], r2\n  exit").unwrap();
+    let double =
+        assemble("  stid r1\n  lds r2, [r1+0]\n  shli r2, r2, 1\n  sts [r1+0], r2\n  exit")
+            .unwrap();
     cpu.load_program(&double).unwrap();
     cpu.run(RunOptions::default()).unwrap();
     let doubled = cpu.shared().as_slice()[7];
 
     let mut cpu2 = Processor::new(ProcessorConfig::small()).unwrap();
     cpu2.restore(&snap);
-    let triple = assemble("  stid r1\n  lds r2, [r1+0]\n  muli r2, r2, 3\n  sts [r1+0], r2\n  exit").unwrap();
+    let triple =
+        assemble("  stid r1\n  lds r2, [r1+0]\n  muli r2, r2, 3\n  sts [r1+0], r2\n  exit")
+            .unwrap();
     cpu2.load_program(&triple).unwrap();
     cpu2.run(RunOptions::default()).unwrap();
     let tripled = cpu2.shared().as_slice()[7];

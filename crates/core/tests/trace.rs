@@ -17,22 +17,29 @@ fn straight_line_trace() {
     assert_eq!(trace.len(), 4);
     assert_eq!(trace[0].opcode, Opcode::Stid);
     assert_eq!(trace[3].opcode, Opcode::Exit);
-    assert_eq!(trace.iter().map(|t| t.pc).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    assert_eq!(
+        trace.iter().map(|t| t.pc).collect::<Vec<_>>(),
+        vec![0, 1, 2, 3]
+    );
     assert_eq!(stats.instructions, trace.len() as u64);
     // The traced clocks sum to the non-fill, non-flush cycle budget.
     let sum: u64 = trace.iter().map(|t| t.clocks).sum();
-    assert_eq!(sum + stats.fill_cycles + stats.branch_flush_cycles, stats.cycles);
+    assert_eq!(
+        sum + stats.fill_cycles + stats.branch_flush_cycles,
+        stats.cycles
+    );
 }
 
 #[test]
 fn loop_iterations_reissue_body() {
-    let (_, trace) = traced(
-        "  loop 3, done\n  addi r1, r1, 1\ndone:\n  exit",
-    );
+    let (_, trace) = traced("  loop 3, done\n  addi r1, r1, 1\ndone:\n  exit");
     // loop + 3x addi + exit
     let addis = trace.iter().filter(|t| t.opcode == Opcode::Addi).count();
     assert_eq!(addis, 3);
-    assert!(trace.iter().filter(|t| t.opcode == Opcode::Addi).all(|t| t.jumped.is_none()));
+    assert!(trace
+        .iter()
+        .filter(|t| t.opcode == Opcode::Addi)
+        .all(|t| t.jumped.is_none()));
 }
 
 #[test]

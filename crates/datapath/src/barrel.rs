@@ -46,7 +46,12 @@ impl BarrelShifter {
     }
 
     /// Shift with a per-level trace.
-    pub fn shift_traced(&self, kind: ShiftKind, value: u32, amount: u32) -> (u32, Vec<BarrelLevel>) {
+    pub fn shift_traced(
+        &self,
+        kind: ShiftKind,
+        value: u32,
+        amount: u32,
+    ) -> (u32, Vec<BarrelLevel>) {
         let out_of_range = amount >= 32;
         let s = amount & 31;
         let neg = (value as i32) < 0;
@@ -152,13 +157,19 @@ mod tests {
         let (v, levels) = barrel.shift_traced(ShiftKind::Lsr, 0xFFFF_0000, 21);
         assert_eq!(v, 0xFFFF_0000 >> 21);
         // 21 = 16 + 4 + 1
-        let taken: Vec<u32> = levels.iter().filter(|l| l.taken).map(|l| l.distance).collect();
+        let taken: Vec<u32> = levels
+            .iter()
+            .filter(|l| l.taken)
+            .map(|l| l.distance)
+            .collect();
         assert_eq!(taken, vec![1, 4, 16]);
     }
 
     #[test]
     fn route_distances_grow_with_level() {
-        let d: Vec<f64> = (0..BARREL_LEVELS).map(BarrelShifter::level_route_distance).collect();
+        let d: Vec<f64> = (0..BARREL_LEVELS)
+            .map(BarrelShifter::level_route_distance)
+            .collect();
         for w in d.windows(2) {
             assert!(w[1] >= w[0]);
         }

@@ -193,10 +193,7 @@ mod tests {
             m.mul_hi(0xFFFF_FFFF, 0xFFFF_FFFF, Signedness::Unsigned),
             0xFFFF_FFFE
         );
-        assert_eq!(
-            m.mul_lo(0xFFFF_FFFF, 0xFFFF_FFFF, Signedness::Unsigned),
-            1
-        );
+        assert_eq!(m.mul_lo(0xFFFF_FFFF, 0xFFFF_FFFF, Signedness::Unsigned), 1);
     }
 
     #[test]

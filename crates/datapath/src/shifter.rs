@@ -196,7 +196,11 @@ mod tests {
     /// Reference semantics shared with the ISA: shifts ≥ width give 0
     /// (lsl/lsr) or all-sign (asr).
     fn reference(kind: ShiftKind, width: u32, v: u32, s: u32) -> u32 {
-        let mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+        let mask = if width == 32 {
+            u32::MAX
+        } else {
+            (1 << width) - 1
+        };
         let v = v & mask;
         match kind {
             ShiftKind::Lsl => {
@@ -243,7 +247,7 @@ mod tests {
         assert_eq!(t.reversed_input, Some(0b1111_0110_0011)); // "111101100011"
         assert_eq!(t.one_hot, 0b0000_0010_0000); // "000000100000"
         assert_eq!(t.or_mask, 0b1111_1000_0000); // five leading ones
-        // -913 >> 5 = -29 = 111111100011 in 12 bits.
+                                                 // -913 >> 5 = -29 = 111111100011 in 12 bits.
         assert_eq!(t.result, 0b1111_1110_0011);
         assert_eq!(t.result as i32 - 4096, -29);
     }
@@ -297,7 +301,11 @@ mod tests {
         let sh = MultiplicativeShifter::new(32);
         for &v in &[0x8000_0001u32, 0xDEAD_BEEF, 1] {
             for s in 0..64 {
-                assert_eq!(sh.rotate_right(v, s), v.rotate_right(s % 32), "v={v:#x} s={s}");
+                assert_eq!(
+                    sh.rotate_right(v, s),
+                    v.rotate_right(s % 32),
+                    "v={v:#x} s={s}"
+                );
             }
         }
     }

@@ -157,7 +157,12 @@ mod tests {
 
     #[test]
     fn alm_configs_valid() {
-        for a in [Alm::logic6(), Alm::fractured4x2(), Alm::adder2(), Alm::delay()] {
+        for a in [
+            Alm::logic6(),
+            Alm::fractured4x2(),
+            Alm::adder2(),
+            Alm::delay(),
+        ] {
             assert!(a.is_valid(), "{a:?}");
         }
         let bad = Alm {
@@ -167,7 +172,10 @@ mod tests {
             primary_regs: 1,
             secondary_regs: 0,
         };
-        assert!(!bad.is_valid(), "fractured ALM cannot take 6 inputs per half");
+        assert!(
+            !bad.is_valid(),
+            "fractured ALM cannot take 6 inputs per half"
+        );
     }
 
     #[test]

@@ -95,9 +95,18 @@ mod tests {
 
     #[test]
     fn capacity_math() {
-        assert_eq!(M20kMode::D512W40.depth() * M20kMode::D512W40.width(), M20K_BITS);
-        assert_eq!(M20kMode::D1024W20.depth() * M20kMode::D1024W20.width(), M20K_BITS);
-        assert_eq!(M20kMode::D2048W10.depth() * M20kMode::D2048W10.width(), M20K_BITS);
+        assert_eq!(
+            M20kMode::D512W40.depth() * M20kMode::D512W40.width(),
+            M20K_BITS
+        );
+        assert_eq!(
+            M20kMode::D1024W20.depth() * M20kMode::D1024W20.width(),
+            M20K_BITS
+        );
+        assert_eq!(
+            M20kMode::D2048W10.depth() * M20kMode::D2048W10.width(),
+            M20K_BITS
+        );
     }
 
     #[test]

@@ -111,7 +111,10 @@ mod tests {
         let saturated = t.path_fmax_mhz(1, 3.0, 100);
         assert!(saturated >= with);
         let cap = t.path_ps(1, 3.0, 100);
-        let floor = t.t_clk_q + (t.t_lut + t.t_local) + (t.t_route_base + 3.0 * t.t_route_per_unit) * 0.5 + t.t_su;
+        let floor = t.t_clk_q
+            + (t.t_lut + t.t_local)
+            + (t.t_route_base + 3.0 * t.t_route_per_unit) * 0.5
+            + t.t_su;
         assert!((cap - floor).abs() < 1e-9);
     }
 

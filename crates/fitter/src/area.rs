@@ -108,10 +108,8 @@ pub fn area_model(cfg: &ProcessorConfig) -> AreaReport {
 
     let module_sum = sp.times(SP_COUNT).plus(inst).plus(shared);
     let gpgpu = ModuleArea {
-        alms: module_sum.alms
-            + (module_sum.alms as f64 * calib::TOP_ALM_OVERHEAD).round() as usize,
-        regs: module_sum.regs
-            + (module_sum.regs as f64 * calib::TOP_REG_OVERHEAD).round() as usize,
+        alms: module_sum.alms + (module_sum.alms as f64 * calib::TOP_ALM_OVERHEAD).round() as usize,
+        regs: module_sum.regs + (module_sum.regs as f64 * calib::TOP_REG_OVERHEAD).round() as usize,
         m20k: module_sum.m20k,
         dsp: module_sum.dsp,
     };

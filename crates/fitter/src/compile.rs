@@ -108,7 +108,10 @@ impl CompileReport {
         let c = match self.options.constraint {
             crate::place::Constraint::Unconstrained => "unconstrained".to_string(),
             crate::place::Constraint::BoundingBox { utilization } => {
-                format!("bounding box @ {:.0}% logic utilization", utilization * 100.0)
+                format!(
+                    "bounding box @ {:.0}% logic utilization",
+                    utilization * 100.0
+                )
             }
             crate::place::Constraint::ComponentAligned { utilization } => {
                 format!("component-aligned @ {:.0}%", utilization * 100.0)
@@ -222,7 +225,11 @@ mod tests {
         let (cfg, dev) = setup();
         let sweep = seed_sweep(&cfg, &dev, &CompileOptions::constrained(0.86), &[0, 1, 2]);
         let best = best_of(&sweep);
-        assert!(best.fmax_restricted() > 950.0, "{:.1}", best.fmax_restricted());
+        assert!(
+            best.fmax_restricted() > 950.0,
+            "{:.1}",
+            best.fmax_restricted()
+        );
     }
 
     #[test]

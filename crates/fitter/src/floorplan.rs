@@ -154,7 +154,12 @@ mod tests {
         let loose = render_for(Constraint::Unconstrained, 1);
         let tight = render_for(Constraint::BoundingBox { utilization: 0.93 }, 1);
         let w = |s: &str| s.lines().nth(1).map(|l| l.len()).unwrap_or(0);
-        assert!(w(&tight) < w(&loose), "tight {} loose {}", w(&tight), w(&loose));
+        assert!(
+            w(&tight) < w(&loose),
+            "tight {} loose {}",
+            w(&tight),
+            w(&loose)
+        );
     }
 
     #[test]

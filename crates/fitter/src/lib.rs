@@ -48,5 +48,8 @@ pub use area::{area_model, AreaReport, ModuleArea, RegisterBudget};
 pub use compile::{best_of, compile, seed_sweep, CompileOptions, CompileReport};
 pub use floorplan::render;
 pub use netlist::{timing_arcs, DesignContext, DesignVariant, ShifterImpl, TimingArc};
-pub use place::{place, quality_for_utilization, Constraint, CorePlacement, PlacedModule, Placement, Rect, COMPONENT_ALIGN_RECOVERY, CORE_ROWS};
+pub use place::{
+    place, quality_for_utilization, Constraint, CorePlacement, PlacedModule, Placement, Rect,
+    COMPONENT_ALIGN_RECOVERY, CORE_ROWS,
+};
 pub use sta::{analyze, routing_analysis, PathReport, SlackEntry, StaReport};

@@ -198,9 +198,11 @@ pub fn timing_arcs(variant: &DesignVariant) -> Vec<TimingArc> {
         // sequencer fan-out, no shared-memory plumbing (§4 compiles the
         // shifter "as part of a complete SP" before assembling the SM).
         arcs.retain(|a| {
-            ["mul:", "alu:", "shifter:", "dsp:", "m20k:", "regfile:", "mlab:"]
-                .iter()
-                .any(|p| a.name.starts_with(p))
+            [
+                "mul:", "alu:", "shifter:", "dsp:", "m20k:", "regfile:", "mlab:",
+            ]
+            .iter()
+            .any(|p| a.name.starts_with(p))
         });
     }
     arcs
@@ -223,7 +225,15 @@ mod tests {
         let arcs = timing_arcs(&DesignVariant::with_barrel_shifter());
         let longs: Vec<_> = arcs
             .iter()
-            .filter(|a| matches!(a.kind, ArcKind::Soft { long_route: true, .. }))
+            .filter(|a| {
+                matches!(
+                    a.kind,
+                    ArcKind::Soft {
+                        long_route: true,
+                        ..
+                    }
+                )
+            })
             .collect();
         assert_eq!(longs.len(), 2);
     }

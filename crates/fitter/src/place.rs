@@ -279,14 +279,8 @@ mod tests {
 
     #[test]
     fn tighter_box_is_narrower_and_worse_quality() {
-        let loose = setup(
-            Constraint::BoundingBox { utilization: 0.86 },
-            1,
-        );
-        let tight = setup(
-            Constraint::BoundingBox { utilization: 0.93 },
-            1,
-        );
+        let loose = setup(Constraint::BoundingBox { utilization: 0.86 }, 1);
+        let tight = setup(Constraint::BoundingBox { utilization: 0.93 }, 1);
         assert!(tight.cores[0].region.width() <= loose.cores[0].region.width());
         assert!(tight.quality > loose.quality);
         assert!(loose.quality > 1.0);
@@ -300,10 +294,7 @@ mod tests {
         for pair in p.cores.windows(2) {
             let a = pair[0].region;
             let b = pair[1].region;
-            assert!(device.crosses_sector(
-                (a.col0, a.row0),
-                (b.col0, b.row0)
-            ));
+            assert!(device.crosses_sector((a.col0, a.row0), (b.col0, b.row0)));
         }
     }
 

@@ -49,7 +49,8 @@ pub struct StaReport {
 
 /// Per-seed lognormal jitter factor for one arc.
 fn seed_jitter(seed: u64, arc_index: usize, sigma: f64) -> f64 {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (arc_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut rng =
+        ChaCha8Rng::seed_from_u64(seed ^ (arc_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     // Box-Muller from two uniforms.
     let u1: f64 = rng.gen_range(1e-12..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
@@ -265,7 +266,11 @@ mod tests {
             1,
             0,
         );
-        assert!(standalone.fmax_logic_mhz > 1000.0, "{}", standalone.fmax_logic_mhz);
+        assert!(
+            standalone.fmax_logic_mhz > 1000.0,
+            "{}",
+            standalone.fmax_logic_mhz
+        );
         let sm = run(DesignVariant::with_barrel_shifter(), 1.0, 1, 0);
         assert!(sm.fmax_logic_mhz < 850.0, "{}", sm.fmax_logic_mhz);
         assert!(sm.critical.name.contains("16-bit"), "{}", sm.critical.name);

@@ -4,8 +4,7 @@
 
 use fpga_fabric::Device;
 use fpga_fitter::{
-    area_model, compile, place, quality_for_utilization, CompileOptions, Constraint,
-    DesignVariant,
+    area_model, compile, place, quality_for_utilization, CompileOptions, Constraint, DesignVariant,
 };
 use proptest::prelude::*;
 use simt_core::ProcessorConfig;

@@ -298,12 +298,12 @@ fn tokenize(number: usize, text: &str) -> Result<Line<'_>, IsaError> {
     let mut rest = text.trim();
     let mut guard = None;
     if let Some(stripped) = rest.strip_prefix('@') {
-        let (g, r) = stripped.split_once(char::is_whitespace).ok_or_else(|| {
-            IsaError::Syntax {
+        let (g, r) = stripped
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| IsaError::Syntax {
                 line: number,
                 detail: "guard must be followed by an instruction".to_string(),
-            }
-        })?;
+            })?;
         let (neg, pname) = match g.strip_prefix('!') {
             Some(p) => (true, p),
             None => (false, g),
@@ -318,13 +318,16 @@ fn tokenize(number: usize, text: &str) -> Result<Line<'_>, IsaError> {
     };
     // Dynamic-thread-scale suffix `.t<k>`.
     let (mnemonic, scale) = match mnemonic_tok.rfind(".t") {
-        Some(pos) if mnemonic_tok[pos + 2..].chars().all(|c| c.is_ascii_digit())
-            && !mnemonic_tok[pos + 2..].is_empty() =>
+        Some(pos)
+            if mnemonic_tok[pos + 2..].chars().all(|c| c.is_ascii_digit())
+                && !mnemonic_tok[pos + 2..].is_empty() =>
         {
-            let k: u32 = mnemonic_tok[pos + 2..].parse().map_err(|_| IsaError::Syntax {
-                line: number,
-                detail: "bad thread-scale suffix".to_string(),
-            })?;
+            let k: u32 = mnemonic_tok[pos + 2..]
+                .parse()
+                .map_err(|_| IsaError::Syntax {
+                    line: number,
+                    detail: "bad thread-scale suffix".to_string(),
+                })?;
             if k > 7 {
                 return Err(IsaError::Syntax {
                     line: number,
@@ -470,10 +473,7 @@ mod tests {
 
     #[test]
     fn simple_program() {
-        let p = assemble(
-            "start:\n  movi r1, 5\n  add r2, r1, r1 ; double\n  exit\n",
-        )
-        .unwrap();
+        let p = assemble("start:\n  movi r1, 5\n  add r2, r1, r1 ; double\n  exit\n").unwrap();
         assert_eq!(p.len(), 3);
         assert_eq!(p.instructions()[0].opcode, Opcode::Movi);
         assert_eq!(p.instructions()[0].imm32(), 5);

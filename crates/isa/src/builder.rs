@@ -178,19 +178,37 @@ impl KernelBuilder {
     /// `d = a * b + c` (low 32).
     pub fn mad_lo(&mut self, a: Val, b: Val, c: Val) -> Val {
         let d = self.alloc();
-        self.emit(Instruction::new(Opcode::MadLo).rd(d.0).ra(a.0).rb(b.0).rc(c.0));
+        self.emit(
+            Instruction::new(Opcode::MadLo)
+                .rd(d.0)
+                .ra(a.0)
+                .rb(b.0)
+                .rc(c.0),
+        );
         d
     }
     /// `d = (a·b) >> s` (fixed-point scaling multiply).
     pub fn mulshr(&mut self, a: Val, b: Val, s: u32) -> Val {
         let d = self.alloc();
-        self.emit(Instruction::new(Opcode::MulShr).rd(d.0).ra(a.0).rb(b.0).imm(s & 63));
+        self.emit(
+            Instruction::new(Opcode::MulShr)
+                .rd(d.0)
+                .ra(a.0)
+                .rb(b.0)
+                .imm(s & 63),
+        );
         d
     }
     /// `d = (a << s) + b` (address generation).
     pub fn shadd(&mut self, a: Val, s: u32, b: Val) -> Val {
         let d = self.alloc();
-        self.emit(Instruction::new(Opcode::ShAdd).rd(d.0).ra(a.0).rb(b.0).imm(s & 31));
+        self.emit(
+            Instruction::new(Opcode::ShAdd)
+                .rd(d.0)
+                .ra(a.0)
+                .rb(b.0)
+                .imm(s & 31),
+        );
         d
     }
     /// `d = |a|`.
@@ -229,7 +247,13 @@ impl KernelBuilder {
     /// `d = p ? a : b`.
     pub fn selp(&mut self, a: Val, b: Val, p: u8) -> Val {
         let d = self.alloc();
-        self.emit(Instruction::new(Opcode::Selp).rd(d.0).ra(a.0).rb(b.0).rc(p & 3));
+        self.emit(
+            Instruction::new(Opcode::Selp)
+                .rd(d.0)
+                .ra(a.0)
+                .rb(b.0)
+                .rc(p & 3),
+        );
         d
     }
 
@@ -238,13 +262,23 @@ impl KernelBuilder {
     /// `d = shared[base + off]`.
     pub fn lds(&mut self, base: Val, off: u32) -> Val {
         let d = self.alloc();
-        self.emit(Instruction::new(Opcode::Lds).rd(d.0).ra(base.0).imm(off & 0xFFFF));
+        self.emit(
+            Instruction::new(Opcode::Lds)
+                .rd(d.0)
+                .ra(base.0)
+                .imm(off & 0xFFFF),
+        );
         d
     }
 
     /// `shared[base + off] = v`.
     pub fn sts(&mut self, base: Val, off: u32, v: Val) {
-        self.emit(Instruction::new(Opcode::Sts).ra(base.0).rb(v.0).imm(off & 0xFFFF));
+        self.emit(
+            Instruction::new(Opcode::Sts)
+                .ra(base.0)
+                .rb(v.0)
+                .imm(off & 0xFFFF),
+        );
     }
 
     // ---- control ------------------------------------------------------------

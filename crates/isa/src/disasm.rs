@@ -34,8 +34,8 @@ pub fn format_instruction(i: &Instruction) -> String {
     }
     use Opcode::*;
     let tail = match i.opcode {
-        Add | Sub | Min | Max | MulLo | MulHi | MuluHi | And | Or | Xor | SatAdd | SatSub
-        | Shl | Lsr | Asr => format!(" {}, {}, {}", i.rd, i.ra, i.rb),
+        Add | Sub | Min | Max | MulLo | MulHi | MuluHi | And | Or | Xor | SatAdd | SatSub | Shl
+        | Lsr | Asr => format!(" {}, {}, {}", i.rd, i.ra, i.rb),
         MadLo | MadHi | Sad => format!(" {}, {}, {}, {}", i.rd, i.ra, i.rb, i.rc),
         Abs | Neg | Not | Cnot | Popc | Clz | Brev | Mov => format!(" {}, {}", i.rd, i.ra),
         Addi | Subi | Muli | Andi | Ori | Xori => {

@@ -112,7 +112,11 @@ mod tests {
             Instruction::new(Opcode::Sts).ra(5).rb(6).imm(0xFFFF),
             Instruction::new(Opcode::Bra).imm(0x0001_0000),
             Instruction::new(Opcode::Loop).imm(0x0040_0003),
-            Instruction::new(Opcode::Add).rd(1).ra(2).rb(3).guarded(3, true),
+            Instruction::new(Opcode::Add)
+                .rd(1)
+                .ra(2)
+                .rb(3)
+                .guarded(3, true),
             Instruction::new(Opcode::Sts).ra(1).rb(2).scaled(5),
             Instruction::new(Opcode::Exit),
         ];

@@ -25,11 +25,7 @@ pub enum IsaError {
     /// Register index exceeds the 8-bit encoding field.
     RegisterRange { line: usize, index: u32 },
     /// Immediate does not fit its field.
-    ImmediateRange {
-        line: usize,
-        value: i64,
-        bits: u32,
-    },
+    ImmediateRange { line: usize, value: i64, bits: u32 },
     /// Branch target beyond the 16-bit loop-end field or program space.
     TargetRange { line: usize, target: usize },
     /// Generic syntax error.
@@ -74,7 +70,10 @@ impl fmt::Display for IsaError {
             }
             IsaError::Syntax { line, detail } => write!(f, "line {line}: {detail}"),
             IsaError::ProgramTooLarge { len, capacity } => {
-                write!(f, "program of {len} instructions exceeds I-Mem capacity {capacity}")
+                write!(
+                    f,
+                    "program of {len} instructions exceeds I-Mem capacity {capacity}"
+                )
             }
         }
     }

@@ -36,8 +36,8 @@ pub mod asm;
 pub mod builder;
 pub mod disasm;
 pub mod encode;
-pub mod image;
 pub mod error;
+pub mod image;
 pub mod instr;
 pub mod opcode;
 pub mod program;

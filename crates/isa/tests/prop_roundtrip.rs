@@ -10,8 +10,13 @@ use simt_isa::{
 /// drawn only where the opcode defines them, immediates respect their
 /// field widths, loop targets are non-degenerate.
 fn arb_instruction() -> impl Strategy<Value = Instruction> {
-    (0..Opcode::ALL.len(), any::<[u8; 4]>(), any::<u32>(), any::<u8>()).prop_map(
-        |(op_idx, regs, imm, flags)| {
+    (
+        0..Opcode::ALL.len(),
+        any::<[u8; 4]>(),
+        any::<u32>(),
+        any::<u8>(),
+    )
+        .prop_map(|(op_idx, regs, imm, flags)| {
             let opcode = Opcode::ALL[op_idx];
             let mut i = Instruction::new(opcode);
             use simt_isa::ImmForm;
@@ -76,8 +81,7 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
                 i = i.guarded((flags >> 5) & 0x3, flags & 0x80 != 0);
             }
             i
-        },
-    )
+        })
 }
 
 proptest! {

@@ -43,7 +43,11 @@ pub fn fir_asm(taps: usize) -> String {
 
 /// Run the FIR over `x` (length n + taps − 1) producing n outputs.
 pub fn fir(x: &[i32], taps: &[i32], n: usize) -> Result<(Vec<i32>, KernelResult), KernelError> {
-    assert_eq!(x.len(), n + taps.len() - 1, "x must have n + taps - 1 samples");
+    assert_eq!(
+        x.len(),
+        n + taps.len() - 1,
+        "x must have n + taps - 1 samples"
+    );
     assert!(n <= 1024);
     let cfg = ProcessorConfig::default()
         .with_threads(n)

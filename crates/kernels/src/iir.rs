@@ -87,7 +87,12 @@ pub fn iir_asm(n: usize, m: usize, q: Biquad) -> String {
 }
 
 /// Run the biquad bank: `x` is channel-interleaved, length `n·m`.
-pub fn iir(x: &[i32], n: usize, m: usize, q: Biquad) -> Result<(Vec<i32>, KernelResult), KernelError> {
+pub fn iir(
+    x: &[i32],
+    n: usize,
+    m: usize,
+    q: Biquad,
+) -> Result<(Vec<i32>, KernelResult), KernelError> {
     assert_eq!(x.len(), n * m);
     let cfg = ProcessorConfig::default()
         .with_threads(n)

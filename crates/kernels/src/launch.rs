@@ -1,0 +1,267 @@
+//! Runtime-launchable kernel descriptions.
+//!
+//! A [`LaunchSpec`] packages everything a host runtime needs to run one
+//! kernel on one simulated device — processor configuration, assembled
+//! source, input placement, output window — plus the bit-exact host
+//! reference output, so schedulers can verify results no matter which
+//! device, stream, or batch executed the launch.
+//!
+//! Every kernel family in this crate has a constructor here; the specs
+//! are what `simt-runtime` streams enqueue.
+
+use crate::harness::{run_kernel, KernelError, KernelResult};
+use crate::qformat::as_words;
+use crate::{fir, iir, matmul, reduce, scan, sobel, vector};
+use simt_core::{ProcessorConfig, RunOptions};
+
+/// A self-contained, runtime-launchable kernel instance.
+#[derive(Debug, Clone)]
+pub struct LaunchSpec {
+    /// Human-readable kernel name (`saxpy`, `fir16`, …).
+    pub name: String,
+    /// Processor build the kernel needs (threads, shared words, predicates).
+    pub config: ProcessorConfig,
+    /// Assembly source, ready to assemble.
+    pub asm: String,
+    /// Inline inputs: `(offset, words)` blocks placed into shared memory
+    /// before the run. May be detached (see [`LaunchSpec::detach_inputs`])
+    /// when the host wants to model the copies explicitly.
+    pub inputs: Vec<(usize, Vec<u32>)>,
+    /// Output window offset in shared-memory words.
+    pub out_off: usize,
+    /// Output window length in words.
+    pub out_len: usize,
+    /// Host-reference output for the same inputs — the bit-exact oracle.
+    pub expected: Vec<u32>,
+}
+
+impl LaunchSpec {
+    /// Integer saxpy `z = a*x + y` over `x.len()` threads.
+    pub fn saxpy(a: i32, x: &[i32], y: &[i32]) -> Self {
+        assert_eq!(x.len(), y.len());
+        LaunchSpec {
+            name: format!("saxpy{}", x.len()),
+            config: ProcessorConfig::default()
+                .with_threads(x.len())
+                .with_shared_words(4096),
+            asm: vector::saxpy_asm(a),
+            inputs: vec![(vector::X_OFF, as_words(x)), (vector::Y_OFF, as_words(y))],
+            out_off: vector::Z_OFF,
+            out_len: x.len(),
+            expected: as_words(&vector::saxpy_ref(a, x, y)),
+        }
+    }
+
+    /// Saturating elementwise add.
+    pub fn sat_add(x: &[i32], y: &[i32]) -> Self {
+        assert_eq!(x.len(), y.len());
+        LaunchSpec {
+            name: format!("satadd{}", x.len()),
+            config: ProcessorConfig::default()
+                .with_threads(x.len())
+                .with_shared_words(4096),
+            asm: vector::sat_add_asm(),
+            inputs: vec![(vector::X_OFF, as_words(x)), (vector::Y_OFF, as_words(y))],
+            out_off: vector::Z_OFF,
+            out_len: x.len(),
+            expected: as_words(&vector::sat_add_ref(x, y)),
+        }
+    }
+
+    /// Scaled-tree dot product (dynamic thread scaling).
+    pub fn dot(x: &[i32], y: &[i32]) -> Self {
+        assert_eq!(x.len(), y.len());
+        let n = x.len();
+        LaunchSpec {
+            name: format!("dot{n}"),
+            config: ProcessorConfig::default()
+                .with_threads(n)
+                .with_shared_words(4096),
+            asm: reduce::dot_asm_scaled(n),
+            inputs: vec![(reduce::X_OFF, as_words(x)), (reduce::Y_OFF, as_words(y))],
+            out_off: reduce::SCRATCH,
+            out_len: 1,
+            expected: vec![reduce::dot_ref(x, y) as u32],
+        }
+    }
+
+    /// Scaled-tree sum reduction.
+    pub fn sum(x: &[i32]) -> Self {
+        let n = x.len();
+        LaunchSpec {
+            name: format!("sum{n}"),
+            config: ProcessorConfig::default()
+                .with_threads(n)
+                .with_shared_words(4096),
+            asm: reduce::sum_asm_scaled(n),
+            inputs: vec![(reduce::X_OFF, as_words(x))],
+            out_off: reduce::SCRATCH,
+            out_len: 1,
+            expected: vec![reduce::sum_ref(x) as u32],
+        }
+    }
+
+    /// Q15 FIR filter: `x` has `n + taps.len() − 1` samples, `n` outputs.
+    pub fn fir(x: &[i32], taps: &[i32], n: usize) -> Self {
+        assert_eq!(x.len(), n + taps.len() - 1);
+        LaunchSpec {
+            name: format!("fir{}x{n}", taps.len()),
+            config: ProcessorConfig::default()
+                .with_threads(n)
+                .with_shared_words(8192),
+            asm: fir::fir_asm(taps.len()),
+            inputs: vec![(fir::X_OFF, as_words(x)), (fir::H_OFF, as_words(taps))],
+            out_off: fir::Y_OFF,
+            out_len: n,
+            expected: as_words(&fir::fir_ref(x, taps, n)),
+        }
+    }
+
+    /// Q15 matrix multiply `m×k · k×n`.
+    pub fn matmul(a: &[i32], b: &[i32], m: usize, k: usize, n: usize) -> Self {
+        assert_eq!(a.len(), m * k);
+        assert_eq!(b.len(), k * n);
+        LaunchSpec {
+            name: format!("matmul{m}x{k}x{n}"),
+            config: ProcessorConfig::default()
+                .with_threads(m * n)
+                .with_shared_words(8192),
+            asm: matmul::matmul_asm(m, k, n),
+            inputs: vec![(matmul::A_OFF, as_words(a)), (matmul::B_OFF, as_words(b))],
+            out_off: matmul::C_OFF,
+            out_len: m * n,
+            expected: as_words(&matmul::matmul_ref(a, b, m, k, n)),
+        }
+    }
+
+    /// Q15 biquad bank: `n` channels × `m` samples, channel-interleaved.
+    pub fn iir(x: &[i32], n: usize, m: usize, q: iir::Biquad) -> Self {
+        assert_eq!(x.len(), n * m);
+        LaunchSpec {
+            name: format!("iir{n}x{m}"),
+            config: ProcessorConfig::default()
+                .with_threads(n)
+                .with_shared_words(8192),
+            asm: iir::iir_asm(n, m, q),
+            inputs: vec![(iir::X_OFF, as_words(x))],
+            out_off: iir::Y_OFF,
+            out_len: n * m,
+            expected: as_words(&iir::iir_ref(x, n, m, q)),
+        }
+    }
+
+    /// Inclusive Hillis–Steele prefix sum (predicate build).
+    pub fn scan(x: &[i32]) -> Self {
+        let n = x.len();
+        LaunchSpec {
+            name: format!("scan{n}"),
+            config: ProcessorConfig::default()
+                .with_threads(n)
+                .with_shared_words(4096)
+                .with_predicates(true),
+            asm: scan::scan_asm(n),
+            inputs: vec![(scan::X_OFF, as_words(x))],
+            out_off: scan::S_OFF,
+            out_len: n,
+            expected: as_words(&scan::scan_ref(x)),
+        }
+    }
+
+    /// Sobel edge magnitude over a haloed `(iw+2)×(ih+2)` image.
+    pub fn sobel(img: &[i32], iw: usize, ih: usize) -> Self {
+        assert_eq!(img.len(), (iw + 2) * (ih + 2));
+        LaunchSpec {
+            name: format!("sobel{iw}x{ih}"),
+            config: ProcessorConfig::default()
+                .with_threads(iw * ih)
+                .with_shared_words(8192),
+            asm: sobel::sobel_asm(iw, ih),
+            inputs: vec![(sobel::IMG_OFF, as_words(img))],
+            out_off: sobel::OUT_OFF,
+            out_len: iw * ih,
+            expected: as_words(&sobel::sobel_ref(img, iw, ih)),
+        }
+    }
+
+    /// Total words of inline input the launch carries.
+    pub fn input_words(&self) -> usize {
+        self.inputs.iter().map(|(_, w)| w.len()).sum()
+    }
+
+    /// Split the inline inputs off, so a host can model the copies as
+    /// explicit stream commands: the returned spec runs against whatever
+    /// the device buffer already holds at the input offsets.
+    pub fn detach_inputs(mut self) -> (LaunchSpec, Vec<(usize, Vec<u32>)>) {
+        let inputs = std::mem::take(&mut self.inputs);
+        (self, inputs)
+    }
+
+    /// Run the spec to completion on a freshly built single core — the
+    /// reference execution path (identical semantics to
+    /// [`run_kernel`]).
+    pub fn run_local(&self) -> Result<KernelResult, KernelError> {
+        let borrows: Vec<(usize, &[u32])> = self
+            .inputs
+            .iter()
+            .map(|(off, words)| (*off, words.as_slice()))
+            .collect();
+        run_kernel(
+            self.config.clone(),
+            &self.asm,
+            &borrows,
+            self.out_off,
+            self.out_len,
+            RunOptions::default(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{int_vector, lowpass_taps, q15_matrix, q15_signal};
+
+    fn all_specs() -> Vec<LaunchSpec> {
+        let x = int_vector(256, 1);
+        let y = int_vector(256, 2);
+        let sig = q15_signal(128 + 15, 3);
+        let taps = lowpass_taps(16);
+        let a = q15_matrix(8, 8, 4);
+        let b = q15_matrix(8, 8, 5);
+        let img = sobel::test_card(16, 12);
+        vec![
+            LaunchSpec::saxpy(3, &x, &y),
+            LaunchSpec::sat_add(&x, &y),
+            LaunchSpec::dot(&x, &y),
+            LaunchSpec::sum(&x),
+            LaunchSpec::fir(&sig, &taps, 128),
+            LaunchSpec::matmul(&a, &b, 8, 8, 8),
+            LaunchSpec::iir(&q15_signal(16 * 8, 6), 16, 8, iir::Biquad::lowpass()),
+            LaunchSpec::scan(&int_vector(64, 7)),
+            LaunchSpec::sobel(&img, 16, 12),
+        ]
+    }
+
+    #[test]
+    fn every_spec_matches_its_reference_locally() {
+        for spec in all_specs() {
+            let r = spec.run_local().unwrap_or_else(|e| {
+                panic!("{} failed: {e}", spec.name);
+            });
+            assert_eq!(r.output, spec.expected, "{} output mismatch", spec.name);
+            assert!(r.stats.cycles > 0, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn detach_inputs_keeps_geometry() {
+        let x = int_vector(64, 1);
+        let y = int_vector(64, 2);
+        let spec = LaunchSpec::saxpy(2, &x, &y);
+        let words = spec.input_words();
+        let (bare, inputs) = spec.detach_inputs();
+        assert!(bare.inputs.is_empty());
+        assert_eq!(inputs.iter().map(|(_, w)| w.len()).sum::<usize>(), words);
+        assert_eq!(bare.out_len, 64);
+    }
+}

@@ -18,6 +18,9 @@
 //!   loops of §3;
 //! * [`iir`] — Q15 biquad banks (sequential per-channel recursion on the
 //!   hardware loop);
+//! * [`launch`] — [`LaunchSpec`]: self-contained, runtime-launchable
+//!   kernel instances with bit-exact host-reference outputs, consumed by
+//!   `simt-runtime` streams;
 //! * [`scan`] — Hillis–Steele prefix sum on the predicate machinery;
 //! * [`sobel`] — 2-D edge magnitude using `shadd` address generation;
 //! * [`workload`] — deterministic input generators.
@@ -28,6 +31,7 @@
 pub mod fir;
 pub mod harness;
 pub mod iir;
+pub mod launch;
 pub mod matmul;
 pub mod qformat;
 pub mod reduce;
@@ -37,3 +41,4 @@ pub mod vector;
 pub mod workload;
 
 pub use harness::{run_kernel, KernelError, KernelResult};
+pub use launch::LaunchSpec;

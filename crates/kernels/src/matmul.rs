@@ -92,7 +92,12 @@ mod tests {
 
     #[test]
     fn matmul_matches_reference() {
-        for (m, k, n) in [(4usize, 4usize, 4usize), (8, 16, 8), (16, 16, 16), (32, 8, 32)] {
+        for (m, k, n) in [
+            (4usize, 4usize, 4usize),
+            (8, 16, 8),
+            (16, 16, 16),
+            (32, 8, 32),
+        ] {
             let a = q15_matrix(m, k, 100 + m as u64);
             let b = q15_matrix(k, n, 200 + n as u64);
             let (got, _) = matmul(&a, &b, m, k, n).unwrap();

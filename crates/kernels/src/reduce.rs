@@ -28,7 +28,10 @@ pub const Y_OFF: usize = 1024;
 pub const SCRATCH: usize = 2048;
 
 fn check_n(n: usize) {
-    assert!(n.is_power_of_two() && (2..=1024).contains(&n), "n={n} must be a power of two in 2..=1024");
+    assert!(
+        n.is_power_of_two() && (2..=1024).contains(&n),
+        "n={n} must be a power of two in 2..=1024"
+    );
 }
 
 /// Scaled-tree dot product source for `n` threads (power of two).

@@ -73,7 +73,11 @@ pub fn sobel_asm(iw: usize, ih: usize) -> String {
 
 /// Run Sobel over a haloed image of `(iw+2) × (ih+2)` pixels.
 pub fn sobel(img: &[i32], iw: usize, ih: usize) -> Result<(Vec<i32>, KernelResult), KernelError> {
-    assert_eq!(img.len(), (iw + 2) * (ih + 2), "image must include the halo");
+    assert_eq!(
+        img.len(),
+        (iw + 2) * (ih + 2),
+        "image must include the halo"
+    );
     let cfg = ProcessorConfig::default()
         .with_threads(iw * ih)
         .with_shared_words(8192);

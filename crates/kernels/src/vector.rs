@@ -124,7 +124,10 @@ pub fn sat_add(x: &[i32], y: &[i32]) -> Result<(Vec<i32>, KernelResult), KernelE
 
 /// Host reference for saturating add.
 pub fn sat_add_ref(x: &[i32], y: &[i32]) -> Vec<i32> {
-    x.iter().zip(y).map(|(&a, &b)| a.saturating_add(b)).collect()
+    x.iter()
+        .zip(y)
+        .map(|(&a, &b)| a.saturating_add(b))
+        .collect()
 }
 
 #[cfg(test)]

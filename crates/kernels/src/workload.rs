@@ -9,7 +9,9 @@ use rand_chacha::ChaCha8Rng;
 /// uninteresting wraparound unless they ask for it).
 pub fn int_vector(n: usize, seed: u64) -> Vec<i32> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(-(1 << 20)..(1 << 20))).collect()
+    (0..n)
+        .map(|_| rng.gen_range(-(1 << 20)..(1 << 20)))
+        .collect()
 }
 
 /// A full-range integer vector (exercises wraparound).
@@ -24,8 +26,8 @@ pub fn q15_signal(n: usize, seed: u64) -> Vec<i32> {
     (0..n)
         .map(|i| {
             let t = i as f64;
-            let s = 0.45 * (t * 0.05).sin() + 0.25 * (t * 0.31).sin()
-                + 0.15 * rng.gen_range(-1.0..1.0);
+            let s =
+                0.45 * (t * 0.05).sin() + 0.25 * (t * 0.31).sin() + 0.15 * rng.gen_range(-1.0..1.0);
             to_q15(s)
         })
         .collect()
@@ -46,7 +48,9 @@ pub fn lowpass_taps(t: usize) -> Vec<i32> {
 /// A Q15 matrix in row-major order with entries in (−0.5, 0.5).
 pub fn q15_matrix(rows: usize, cols: usize, seed: u64) -> Vec<i32> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    (0..rows * cols).map(|_| to_q15(rng.gen_range(-0.5..0.5))).collect()
+    (0..rows * cols)
+        .map(|_| to_q15(rng.gen_range(-0.5..0.5)))
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,359 @@
+//! # simt-runtime — a stream-oriented host runtime for simulated SIMT
+//! devices
+//!
+//! The silicon side of this reproduction (the `simt-core` processor,
+//! `simt-system`'s stamped multi-core, `fpga-fitter`'s timing closure)
+//! answers *how fast one device clocks*. This crate answers the next
+//! question the paper's §6 poses: how a host keeps a *pool* of such
+//! devices saturated under real, concurrent, mixed-kernel traffic.
+//!
+//! The model is the CUDA host runtime, re-grounded on simulated
+//! devices:
+//!
+//! * a [`Runtime`] owns a pool of devices (one scheduler worker thread
+//!   each) and hands out [`Stream`]s — ordered command queues bound
+//!   round-robin to pool devices;
+//! * streams enqueue **asynchronous** host→device copies, kernel
+//!   [`LaunchSpec`](simt_kernels::LaunchSpec) launches, and
+//!   device→host copies; copies are modeled at interconnect cost
+//!   (setup latency + words/width, the `simt-system` link model);
+//! * [`Event`]s order commands *across* streams and let the host block
+//!   on a point in a stream;
+//! * the scheduler drains ready commands in batches, reusing cached
+//!   processor builds for compatible back-to-back launches, and
+//!   maintains a discrete-event **virtual timeline** (per-device
+//!   compute + copy engines) whose makespan is the modeled wall-clock
+//!   of the submitted job graph;
+//! * per-stream and per-device cycle and wall-clock accounting builds
+//!   on the core's [`ExecStats`](simt_core::ExecStats) machinery
+//!   ([`RuntimeStats`]).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use simt_runtime::{Runtime, RuntimeConfig};
+//! use simt_kernels::LaunchSpec;
+//! use simt_kernels::workload::int_vector;
+//!
+//! let rt = Runtime::new(RuntimeConfig::default()); // 2 devices
+//! let s = rt.stream();
+//! let x = int_vector(256, 1);
+//! let y = int_vector(256, 2);
+//! let h = s.launch(LaunchSpec::saxpy(3, &x, &y));
+//! let out = s.copy_out(simt_kernels::vector::Z_OFF, 256);
+//! rt.synchronize().unwrap();
+//! assert!(h.wait().unwrap().cycles > 0);
+//! assert_eq!(out.wait().unwrap(), LaunchSpec::saxpy(3, &x, &y).expected);
+//! ```
+
+pub mod event;
+pub mod pool;
+pub mod scheduler;
+pub mod stats;
+pub mod stream;
+
+use scheduler::{worker_loop, Shared};
+use std::fmt;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+pub use event::Event;
+pub use pool::{DeviceConfig, RuntimeConfig};
+pub use stats::{CommandKind, CompletionRecord, DeviceStats, RuntimeStats, StreamStats};
+pub use stream::{CopyHandle, LaunchHandle, Stream};
+
+/// Anything that can go wrong inside the runtime. Cloneable (sticky
+/// stream errors fan out to every queued handle), so inner errors are
+/// carried as rendered messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// Kernel assembly failed.
+    Asm(String),
+    /// Processor configuration rejected.
+    Config(String),
+    /// Program rejected at load.
+    Load(String),
+    /// Device-side trap during execution.
+    Exec(String),
+    /// A copy fell outside the stream's device buffer.
+    CopyOutOfBounds {
+        /// Requested word offset.
+        offset: usize,
+        /// Requested length in words.
+        len: usize,
+        /// Buffer capacity in words.
+        memory_words: usize,
+    },
+    /// The runtime was dropped with this command still queued.
+    Shutdown,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Asm(e) => write!(f, "assembly: {e}"),
+            RuntimeError::Config(e) => write!(f, "config: {e}"),
+            RuntimeError::Load(e) => write!(f, "load: {e}"),
+            RuntimeError::Exec(e) => write!(f, "exec: {e}"),
+            RuntimeError::CopyOutOfBounds {
+                offset,
+                len,
+                memory_words,
+            } => write!(
+                f,
+                "copy [{offset}, {offset}+{len}) outside device buffer of {memory_words} words"
+            ),
+            RuntimeError::Shutdown => write!(f, "runtime dropped with the command still queued"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// The host runtime: a pool of simulated devices behind stream queues.
+pub struct Runtime {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Spin up the pool: one scheduler worker (and simulated device) per
+    /// configured device.
+    ///
+    /// # Panics
+    /// If the configuration asks for zero devices or zero-sized batches.
+    pub fn new(cfg: RuntimeConfig) -> Self {
+        assert!(cfg.devices >= 1, "a pool needs at least one device");
+        assert!(cfg.max_batch >= 1, "batches need at least one command");
+        let shared = Arc::new(Shared::new(cfg.clone()));
+        let workers = (0..cfg.devices)
+            .map(|d| {
+                let shared = Arc::clone(&shared);
+                let device = pool::Device::new(d, cfg.device.clone());
+                std::thread::Builder::new()
+                    .name(format!("simt-dev{d}"))
+                    .spawn(move || worker_loop(shared, device))
+                    .expect("spawn device worker")
+            })
+            .collect();
+        Runtime { shared, workers }
+    }
+
+    /// The pool configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.shared.cfg
+    }
+
+    /// Create a stream, bound round-robin to a pool device.
+    pub fn stream(&self) -> Stream {
+        let (id, device) = self.shared.add_stream();
+        Stream {
+            id,
+            device,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Create an event (unsignaled).
+    pub fn event(&self) -> Event {
+        Event::new()
+    }
+
+    /// Block until every enqueued command on every stream has completed;
+    /// returns the first error the runtime hit, if any (sticky).
+    pub fn synchronize(&self) -> Result<(), RuntimeError> {
+        self.shared.synchronize()
+    }
+
+    /// Snapshot the per-stream / per-device accounting.
+    pub fn stats(&self) -> RuntimeStats {
+        self.shared.stats()
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        // Wake sleeping workers so they observe the flag.
+        self.shared.wake_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Fail anything still queued so handles held past the runtime's
+        // lifetime resolve (with `RuntimeError::Shutdown`) instead of
+        // hanging their waiters.
+        self.shared.drain_after_shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_kernels::workload::int_vector;
+    use simt_kernels::LaunchSpec;
+
+    #[test]
+    fn single_launch_roundtrip() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let s = rt.stream();
+        let x = int_vector(128, 1);
+        let spec = LaunchSpec::sum(&x);
+        let expected = spec.expected.clone();
+        let (off, len) = (spec.out_off, spec.out_len);
+        let h = s.launch(spec);
+        let out = s.copy_out(off, len);
+        rt.synchronize().unwrap();
+        assert!(h.wait().unwrap().cycles > 0);
+        assert_eq!(out.wait().unwrap(), expected);
+        let stats = rt.stats();
+        assert_eq!(stats.launches(), 1);
+        assert!(stats.makespan_cycles > 0);
+        assert!(stats.per_stream_ordering_holds());
+    }
+
+    #[test]
+    fn detached_inputs_flow_through_copies() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let s = rt.stream();
+        let x = int_vector(256, 3);
+        let y = int_vector(256, 4);
+        let (spec, inputs) = LaunchSpec::saxpy(-7, &x, &y).detach_inputs();
+        for (off, words) in &inputs {
+            s.copy_in(*off, words);
+        }
+        let expected = spec.expected.clone();
+        let (off, len) = (spec.out_off, spec.out_len);
+        s.launch(spec);
+        let out = s.copy_out(off, len);
+        rt.synchronize().unwrap();
+        assert_eq!(out.wait().unwrap(), expected);
+        let stats = rt.stats();
+        assert_eq!(stats.streams[0].copies, 3);
+        assert!(stats.streams[0].copy_cycles > 0);
+    }
+
+    #[test]
+    fn events_order_across_streams() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let producer = rt.stream();
+        let consumer = rt.stream();
+        assert_ne!(producer.device(), consumer.device(), "round-robin pool");
+
+        // Producer computes a prefix sum and signals completion; the
+        // consumer (a different device) holds until the event fires.
+        let x = int_vector(64, 9);
+        let spec = LaunchSpec::scan(&x);
+        let expected = spec.expected.clone();
+        let (off, len) = (spec.out_off, spec.out_len);
+        let done = rt.event();
+        producer.launch(spec);
+        producer.record_event(&done);
+        consumer.wait_event(&done);
+        rt.synchronize().unwrap();
+        assert!(done.is_signaled());
+        // The record carries the producer's virtual completion time.
+        assert!(done.signal_time().unwrap() > 0);
+        // Producer's buffer still holds the result.
+        let out = producer.copy_out(off, len);
+        rt.synchronize().unwrap();
+        assert_eq!(out.wait().unwrap(), expected);
+    }
+
+    #[test]
+    fn stream_errors_are_sticky_and_reported() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let s = rt.stream();
+        let mut bad = LaunchSpec::sum(&int_vector(16, 1));
+        bad.asm = "  frob r1\n  exit".into();
+        let h = s.launch(bad);
+        let after = s.copy_out(0, 4);
+        assert!(matches!(h.wait(), Err(RuntimeError::Asm(_))));
+        assert!(after.wait().is_err(), "stream is poisoned after an error");
+        assert!(rt.synchronize().is_err());
+        // Other streams are unaffected.
+        let ok = rt.stream();
+        let spec = LaunchSpec::sum(&int_vector(32, 2));
+        let expected = spec.expected.clone();
+        let (off, len) = (spec.out_off, spec.out_len);
+        ok.launch(spec);
+        let out = ok.copy_out(off, len);
+        ok.synchronize();
+        assert_eq!(out.wait().unwrap(), expected);
+    }
+
+    #[test]
+    fn copy_bounds_are_enforced() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let s = rt.stream();
+        let words = rt.config().device.memory_words;
+        let out = s.copy_out(words - 1, 2);
+        assert!(matches!(
+            out.wait(),
+            Err(RuntimeError::CopyOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn copy_offset_overflow_is_an_error_not_a_panic() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let s = rt.stream();
+        s.copy_in(usize::MAX, &[1, 2]);
+        assert!(matches!(
+            rt.synchronize(),
+            Err(RuntimeError::CopyOutOfBounds { .. })
+        ));
+        // The worker survived; a fresh stream still executes.
+        let ok = rt.stream();
+        let spec = LaunchSpec::sum(&int_vector(16, 3));
+        let expected = spec.expected.clone();
+        let (off, len) = (spec.out_off, spec.out_len);
+        ok.launch(spec);
+        let out = ok.copy_out(off, len);
+        ok.synchronize();
+        assert_eq!(out.wait().unwrap(), expected);
+    }
+
+    #[test]
+    fn waiting_on_a_never_recorded_event_is_a_noop() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let s = rt.stream();
+        let orphan = rt.event();
+        s.wait_event(&orphan); // recorded nowhere: must not deadlock
+        let spec = LaunchSpec::sum(&int_vector(32, 4));
+        let h = s.launch(spec);
+        rt.synchronize().unwrap();
+        assert!(h.wait().is_ok());
+        assert!(!orphan.is_signaled());
+    }
+
+    #[test]
+    fn dropping_the_runtime_resolves_outstanding_handles() {
+        let handles: Vec<LaunchHandle> = {
+            let rt = Runtime::new(RuntimeConfig::default());
+            let s = rt.stream();
+            (0..50)
+                .map(|i| s.launch(LaunchSpec::sum(&int_vector(256, i))))
+                .collect()
+            // rt dropped here with most launches still queued
+        };
+        for h in handles {
+            // Every handle resolves — completed work with Ok, the
+            // abandoned backlog with Shutdown — instead of hanging.
+            match h.wait() {
+                Ok(stats) => assert!(stats.cycles > 0),
+                Err(e) => assert_eq!(e, RuntimeError::Shutdown),
+            }
+        }
+    }
+
+    #[test]
+    fn stream_synchronize_is_a_fence() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let s = rt.stream();
+        let spec = LaunchSpec::dot(&int_vector(256, 5), &int_vector(256, 6));
+        let h = s.launch(spec);
+        s.synchronize();
+        assert!(h.try_stats().is_some(), "fence implies completion");
+    }
+}

@@ -1,0 +1,204 @@
+//! The device pool: simulated devices a scheduler can execute launches
+//! and copies on.
+//!
+//! Each device is a single SIMT core slot (a `simt_core::Processor`
+//! built on demand per kernel configuration) with a modeled host link.
+//! A small cache of processor builds makes back-to-back launches with
+//! compatible configurations reuse the same instance — the scheduler's
+//! "batch compatible launches onto the same device" fast path.
+
+use crate::RuntimeError;
+use simt_core::{ExecStats, Processor, ProcessorConfig, RunOptions};
+use simt_kernels::LaunchSpec;
+
+/// Per-device model parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceConfig {
+    /// Stream device-buffer size in 32-bit words.
+    pub memory_words: usize,
+    /// Host-link setup latency in device clocks (arbitration plus the
+    /// sector-crossing stages of §6 — same model as the system
+    /// interconnect).
+    pub link_latency: u64,
+    /// Host-link payload width in words per device clock.
+    pub link_width_words: usize,
+    /// Modeled device clock in MHz (the §5.1 system target by default),
+    /// used to convert cycle accounting into modeled wall-clock.
+    pub fmax_mhz: f64,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig {
+            memory_words: 16384,
+            link_latency: 12,
+            link_width_words: 4,
+            fmax_mhz: 854.0,
+        }
+    }
+}
+
+/// Pool-level configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeConfig {
+    /// Number of simulated devices (worker threads).
+    pub devices: usize,
+    /// Maximum commands one scheduler wake-up drains for a device.
+    pub max_batch: usize,
+    /// Per-device parameters.
+    pub device: DeviceConfig,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            devices: 2,
+            max_batch: 8,
+            device: DeviceConfig::default(),
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// A pool of `devices` default devices.
+    pub fn with_devices(devices: usize) -> Self {
+        RuntimeConfig {
+            devices,
+            ..Default::default()
+        }
+    }
+}
+
+/// Cached processor builds per device (compatible-launch reuse).
+const PROCESSOR_CACHE: usize = 8;
+
+/// Outcome of one launch on a device.
+#[derive(Debug)]
+pub(crate) struct LaunchOutcome {
+    /// Execution statistics of the run.
+    pub stats: ExecStats,
+    /// Whether a cached processor build was reused.
+    pub cache_hit: bool,
+}
+
+/// One simulated device.
+pub(crate) struct Device {
+    /// Pool index.
+    pub id: usize,
+    cfg: DeviceConfig,
+    cache: Vec<(ProcessorConfig, Processor)>,
+}
+
+impl Device {
+    pub(crate) fn new(id: usize, cfg: DeviceConfig) -> Self {
+        Device {
+            id,
+            cfg,
+            cache: Vec::new(),
+        }
+    }
+
+    /// Modeled clocks for moving `words` over the host link.
+    pub(crate) fn copy_cycles(&self, words: usize) -> u64 {
+        self.cfg.link_latency + words.div_ceil(self.cfg.link_width_words) as u64
+    }
+
+    /// Fetch a processor for `config`, reusing a cached build when the
+    /// configuration matches (reset to power-on state either way).
+    fn processor(&mut self, config: &ProcessorConfig) -> Result<(Processor, bool), RuntimeError> {
+        if let Some(i) = self.cache.iter().position(|(c, _)| c == config) {
+            let (_, mut p) = self.cache.remove(i);
+            p.reset();
+            return Ok((p, true));
+        }
+        let p = Processor::new(config.clone()).map_err(|e| RuntimeError::Config(e.to_string()))?;
+        Ok((p, false))
+    }
+
+    fn retire(&mut self, config: ProcessorConfig, p: Processor) {
+        self.cache.insert(0, (config, p));
+        self.cache.truncate(PROCESSOR_CACHE);
+    }
+
+    /// Execute one launch against the stream's device buffer: the
+    /// processor's shared memory is seeded from the buffer, inline spec
+    /// inputs are applied on top, the kernel runs to `exit`, and the
+    /// shared image is written back so later copies and launches see it.
+    pub(crate) fn run_launch(
+        &mut self,
+        spec: &LaunchSpec,
+        buffer: &mut [u32],
+    ) -> Result<LaunchOutcome, RuntimeError> {
+        let program =
+            simt_isa::assemble(&spec.asm).map_err(|e| RuntimeError::Asm(e.to_string()))?;
+        let (mut proc, cache_hit) = self.processor(&spec.config)?;
+        let shared_words = spec.config.shared_words.min(buffer.len());
+        proc.shared_mut()
+            .load_words(0, &buffer[..shared_words])
+            .map_err(|e| RuntimeError::Exec(e.to_string()))?;
+        for (off, words) in &spec.inputs {
+            proc.shared_mut()
+                .load_words(*off, words)
+                .map_err(|e| RuntimeError::Exec(e.to_string()))?;
+        }
+        proc.load_program(&program)
+            .map_err(|e| RuntimeError::Load(e.to_string()))?;
+        let stats = proc
+            .run(RunOptions::default())
+            .map_err(|e| RuntimeError::Exec(e.to_string()))?;
+        buffer[..shared_words].copy_from_slice(&proc.shared().as_slice()[..shared_words]);
+        self.retire(spec.config.clone(), proc);
+        Ok(LaunchOutcome { stats, cache_hit })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_kernels::workload::int_vector;
+
+    #[test]
+    fn copy_cost_matches_link_model() {
+        let d = Device::new(0, DeviceConfig::default());
+        assert_eq!(d.copy_cycles(0), 12);
+        assert_eq!(d.copy_cycles(1), 13);
+        assert_eq!(d.copy_cycles(64), 12 + 16);
+    }
+
+    #[test]
+    fn launch_reads_and_writes_the_buffer() {
+        let mut d = Device::new(0, DeviceConfig::default());
+        let x = int_vector(64, 1);
+        let y = int_vector(64, 2);
+        // Detached inputs: place them in the buffer, not the spec.
+        let (spec, inputs) = LaunchSpec::saxpy(3, &x, &y).detach_inputs();
+        let mut buffer = vec![0u32; 16384];
+        for (off, words) in &inputs {
+            buffer[*off..*off + words.len()].copy_from_slice(words);
+        }
+        let out = d.run_launch(&spec, &mut buffer).unwrap();
+        assert!(out.stats.cycles > 0);
+        assert!(!out.cache_hit);
+        assert_eq!(
+            &buffer[spec.out_off..spec.out_off + spec.out_len],
+            spec.expected.as_slice()
+        );
+        // Same config again: cached build.
+        let again = d.run_launch(&spec, &mut buffer).unwrap();
+        assert!(again.cache_hit);
+        assert_eq!(again.stats.cycles, out.stats.cycles);
+    }
+
+    #[test]
+    fn launch_errors_are_typed() {
+        let mut d = Device::new(0, DeviceConfig::default());
+        let x = int_vector(16, 1);
+        let mut spec = LaunchSpec::sum(&x);
+        spec.asm = "  bogus r1".into();
+        let mut buffer = vec![0u32; 16384];
+        match d.run_launch(&spec, &mut buffer) {
+            Err(RuntimeError::Asm(_)) => {}
+            other => panic!("expected Asm error, got {other:?}"),
+        }
+    }
+}

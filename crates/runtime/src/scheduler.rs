@@ -1,0 +1,595 @@
+//! The multi-device scheduler.
+//!
+//! One worker thread per pool device drains ready commands from the
+//! streams bound to that device (spawned on the vendored rayon shim's
+//! `std::thread` substrate). A wake-up claims a *batch*: consecutive
+//! ready commands of one stream, up to `max_batch`, stopping after a
+//! launch so co-resident streams interleave — that is what lets one
+//! stream's copies overlap another stream's compute on the same device.
+//!
+//! Besides real host execution, the scheduler maintains a
+//! discrete-event **virtual timeline** in device clocks: every device
+//! has a compute engine and a copy engine (DMA), every stream chains its
+//! commands, and events propagate timestamps across streams. The
+//! resulting makespan is the modeled wall-clock of the whole job graph
+//! on the pool — the metric the throughput bench and the overlap
+//! example report, and one that is exact regardless of how many host
+//! cores the simulation itself got.
+
+use crate::pool::{Device, RuntimeConfig};
+use crate::stats::{
+    accumulate, CommandKind, CompletionRecord, DeviceStats, RuntimeStats, StreamStats,
+};
+use crate::stream::Command;
+use crate::RuntimeError;
+use simt_core::ExecStats;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Scheduler-side state of one stream.
+pub(crate) struct StreamState {
+    device: usize,
+    queue: VecDeque<(u64, Command)>,
+    next_seq: u64,
+    /// The stream's device buffer; taken by a worker while a batch runs.
+    buffer: Option<Vec<u32>>,
+    busy: bool,
+    poisoned: Option<RuntimeError>,
+    /// Virtual time at which the stream's last completed command ended.
+    vdone: u64,
+}
+
+/// Completion-trace cap: the trace is a diagnostic; past this many
+/// records, completions still count in the stats but are no longer
+/// appended (a long-running runtime must not grow without bound).
+const COMPLETION_TRACE_CAP: usize = 1 << 16;
+
+/// Everything behind the scheduler mutex.
+pub(crate) struct SchedState {
+    streams: Vec<StreamState>,
+    stream_stats: Vec<StreamStats>,
+    device_stats: Vec<DeviceStats>,
+    completions: Vec<CompletionRecord>,
+    /// Completions not recorded because the trace hit its cap.
+    completions_dropped: u64,
+    /// Queued plus in-flight commands.
+    outstanding: usize,
+    first_error: Option<RuntimeError>,
+    /// Per-device compute-engine clock (virtual cycles).
+    vcompute: Vec<u64>,
+    /// Per-device copy-engine clock (virtual cycles).
+    vcopy: Vec<u64>,
+    /// Per-device rotating scan offset (batch-level round-robin).
+    scan_from: Vec<usize>,
+}
+
+impl SchedState {
+    fn record_completion(&mut self, rec: CompletionRecord) {
+        if self.completions.len() < COMPLETION_TRACE_CAP {
+            self.completions.push(rec);
+        } else {
+            self.completions_dropped += 1;
+        }
+    }
+}
+
+/// Shared scheduler handle.
+pub(crate) struct Shared {
+    pub(crate) cfg: RuntimeConfig,
+    state: Mutex<SchedState>,
+    /// Workers wait here for runnable commands.
+    work: Condvar,
+    /// `synchronize` waits here for quiescence.
+    idle: Condvar,
+    pub(crate) shutdown: AtomicBool,
+    started: Instant,
+}
+
+/// A `CopyOut` completion cell plus the words to deliver into it.
+type CopyDelivery = (
+    Arc<crate::stream::Slot<Result<Vec<u32>, RuntimeError>>>,
+    Vec<u32>,
+);
+
+/// One executed command, ready to publish.
+enum Done {
+    Copy {
+        seq: u64,
+        kind: CommandKind,
+        words: u64,
+        cycles: u64,
+        wall: Duration,
+        /// `CopyOut` payload to resolve at publish time.
+        sink: Option<CopyDelivery>,
+    },
+    Launch {
+        seq: u64,
+        stats: ExecStats,
+        cache_hit: bool,
+        wall: Duration,
+        sink: Arc<crate::stream::Slot<Result<ExecStats, RuntimeError>>>,
+    },
+    Failed {
+        seq: u64,
+        kind: CommandKind,
+        error: RuntimeError,
+        cmd: Command,
+    },
+}
+
+impl Shared {
+    pub(crate) fn new(cfg: RuntimeConfig) -> Self {
+        let d = cfg.devices;
+        Shared {
+            cfg,
+            state: Mutex::new(SchedState {
+                streams: Vec::new(),
+                stream_stats: Vec::new(),
+                device_stats: vec![DeviceStats::default(); d],
+                completions: Vec::new(),
+                completions_dropped: 0,
+                outstanding: 0,
+                first_error: None,
+                vcompute: vec![0; d],
+                vcopy: vec![0; d],
+                scan_from: vec![0; d],
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+        }
+    }
+
+    /// Wake every sleeping worker and waiter (shutdown path).
+    pub(crate) fn wake_all(&self) {
+        let _guard = self.state.lock().unwrap();
+        self.work.notify_all();
+        self.idle.notify_all();
+    }
+
+    /// Register a stream, round-robin over the pool.
+    pub(crate) fn add_stream(&self) -> (usize, usize) {
+        let mut state = self.state.lock().unwrap();
+        let id = state.streams.len();
+        let device = id % self.cfg.devices;
+        state.streams.push(StreamState {
+            device,
+            queue: VecDeque::new(),
+            next_seq: 0,
+            buffer: Some(vec![0u32; self.cfg.device.memory_words]),
+            busy: false,
+            poisoned: None,
+            vdone: 0,
+        });
+        state.stream_stats.push(StreamStats::default());
+        (id, device)
+    }
+
+    /// Enqueue a command onto a stream.
+    pub(crate) fn enqueue(&self, stream: usize, cmd: Command) {
+        let mut state = self.state.lock().unwrap();
+        let st = &mut state.streams[stream];
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        if let Some(poison) = st.poisoned.clone() {
+            // Poisoned streams fail everything immediately (the CUDA
+            // sticky-error model), still in order.
+            let vdone = st.vdone;
+            let device = st.device;
+            cmd.resolve_err(&poison, vdone);
+            state.stream_stats[stream].commands += 1;
+            state.record_completion(CompletionRecord {
+                stream,
+                seq,
+                device,
+                kind: cmd.kind(),
+            });
+            self.idle.notify_all();
+            return;
+        }
+        st.queue.push_back((seq, cmd));
+        state.outstanding += 1;
+        self.work.notify_all();
+    }
+
+    /// Block until no command is queued or in flight; surfaces the first
+    /// error the runtime hit (sticky).
+    pub(crate) fn synchronize(&self) -> Result<(), RuntimeError> {
+        let mut state = self.state.lock().unwrap();
+        while state.outstanding > 0 {
+            state = self.idle.wait(state).unwrap();
+        }
+        match &state.first_error {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Snapshot the accounting.
+    pub(crate) fn stats(&self) -> RuntimeStats {
+        let state = self.state.lock().unwrap();
+        let makespan = state
+            .streams
+            .iter()
+            .map(|s| s.vdone)
+            .chain(state.vcompute.iter().copied())
+            .chain(state.vcopy.iter().copied())
+            .max()
+            .unwrap_or(0);
+        RuntimeStats {
+            streams: state.stream_stats.clone(),
+            devices: state.device_stats.clone(),
+            completions: state.completions.clone(),
+            completions_dropped: state.completions_dropped,
+            wall: self.started.elapsed(),
+            makespan_cycles: makespan,
+            fmax_mhz: self.cfg.device.fmax_mhz,
+        }
+    }
+
+    /// Fail every still-queued command after shutdown, so handles held
+    /// past the runtime's lifetime resolve instead of hanging.
+    pub(crate) fn drain_after_shutdown(&self) {
+        let mut state = self.state.lock().unwrap();
+        for sid in 0..state.streams.len() {
+            let device = state.streams[sid].device;
+            let vdone = state.streams[sid].vdone;
+            if state.streams[sid].poisoned.is_none() {
+                state.streams[sid].poisoned = Some(RuntimeError::Shutdown);
+            }
+            while let Some((seq, cmd)) = state.streams[sid].queue.pop_front() {
+                let kind = cmd.kind();
+                cmd.resolve_err(&RuntimeError::Shutdown, vdone);
+                state.stream_stats[sid].commands += 1;
+                state.record_completion(CompletionRecord {
+                    stream: sid,
+                    seq,
+                    device,
+                    kind,
+                });
+                state.outstanding -= 1;
+            }
+        }
+        self.idle.notify_all();
+    }
+
+    /// Resolve any event commands at the head of device `d`'s idle
+    /// streams and pop a batch of executable commands if one is ready.
+    /// Runs under the scheduler lock.
+    fn claim(&self, state: &mut SchedState, d: usize) -> Option<(usize, Vec<(u64, Command)>)> {
+        let n = state.streams.len();
+        loop {
+            let mut progress = false;
+            let start = state.scan_from[d] % n.max(1);
+            for k in 0..n {
+                let sid = (start + k) % n;
+                if state.streams[sid].device != d || state.streams[sid].busy {
+                    continue;
+                }
+                // Resolve leading event commands inline.
+                loop {
+                    let resolved = {
+                        let st = &mut state.streams[sid];
+                        match st.queue.front() {
+                            Some((_, Command::RecordEvent(e))) => {
+                                e.signal(st.vdone);
+                                true
+                            }
+                            Some((_, Command::WaitEvent(e))) => match e.signal_time() {
+                                Some(t) => {
+                                    st.vdone = st.vdone.max(t);
+                                    true
+                                }
+                                // Never recorded anywhere: the wait is a
+                                // no-op (CUDA contract), not a deadlock.
+                                None => !e.is_recorded(),
+                            },
+                            _ => false,
+                        }
+                    };
+                    if !resolved {
+                        break;
+                    }
+                    let st = &mut state.streams[sid];
+                    let (seq, cmd) = st.queue.pop_front().unwrap();
+                    let kind = cmd.kind();
+                    state.stream_stats[sid].commands += 1;
+                    state.record_completion(CompletionRecord {
+                        stream: sid,
+                        seq,
+                        device: d,
+                        kind,
+                    });
+                    state.outstanding -= 1;
+                    progress = true;
+                }
+                // Batch consecutive executable commands, stopping after a
+                // launch so co-resident streams interleave.
+                let st = &mut state.streams[sid];
+                if matches!(
+                    st.queue.front(),
+                    Some((_, Command::CopyIn { .. }))
+                        | Some((_, Command::CopyOut { .. }))
+                        | Some((_, Command::Launch { .. }))
+                ) {
+                    let mut batch = Vec::new();
+                    while batch.len() < self.cfg.max_batch {
+                        let is_launch = match st.queue.front() {
+                            Some((_, Command::Launch { .. })) => true,
+                            Some((_, Command::CopyIn { .. }))
+                            | Some((_, Command::CopyOut { .. })) => false,
+                            _ => break,
+                        };
+                        batch.push(st.queue.pop_front().unwrap());
+                        if is_launch {
+                            break;
+                        }
+                    }
+                    st.busy = true;
+                    state.scan_from[d] = sid + 1;
+                    if progress {
+                        self.work.notify_all();
+                        self.idle.notify_all();
+                    }
+                    return Some((sid, batch));
+                }
+            }
+            if !progress {
+                return None;
+            }
+            // Inline event resolution may have unblocked streams on other
+            // devices; let their workers rescan, then rescan ours.
+            self.work.notify_all();
+            self.idle.notify_all();
+        }
+    }
+
+    /// Publish a finished batch: advance the virtual timeline in
+    /// completion order, merge stats, resolve sinks, drain the stream if
+    /// it was poisoned.
+    fn publish(&self, sid: usize, d: usize, done: Vec<Done>, buffer: Vec<u32>) {
+        let mut state = self.state.lock().unwrap();
+        let count = done.len();
+        for item in done {
+            match item {
+                Done::Copy {
+                    seq,
+                    kind,
+                    words,
+                    cycles,
+                    wall,
+                    sink,
+                } => {
+                    let start = state.vcopy[d].max(state.streams[sid].vdone);
+                    let end = start + cycles;
+                    state.vcopy[d] = end;
+                    state.streams[sid].vdone = end;
+                    let ss = &mut state.stream_stats[sid];
+                    ss.commands += 1;
+                    ss.copies += 1;
+                    ss.copy_words += words;
+                    ss.copy_cycles += cycles;
+                    ss.busy_wall += wall;
+                    let ds = &mut state.device_stats[d];
+                    ds.copies += 1;
+                    ds.batched_commands += 1;
+                    ds.busy_cycles += cycles;
+                    ds.busy_wall += wall;
+                    state.record_completion(CompletionRecord {
+                        stream: sid,
+                        seq,
+                        device: d,
+                        kind,
+                    });
+                    if let Some((slot, data)) = sink {
+                        slot.set(Ok(data));
+                    }
+                }
+                Done::Launch {
+                    seq,
+                    stats,
+                    cache_hit,
+                    wall,
+                    sink,
+                } => {
+                    let cycles = stats.cycles;
+                    let start = state.vcompute[d].max(state.streams[sid].vdone);
+                    let end = start + cycles;
+                    state.vcompute[d] = end;
+                    state.streams[sid].vdone = end;
+                    let ss = &mut state.stream_stats[sid];
+                    ss.commands += 1;
+                    ss.launches += 1;
+                    accumulate(&mut ss.compute, &stats);
+                    ss.busy_wall += wall;
+                    let ds = &mut state.device_stats[d];
+                    ds.launches += 1;
+                    ds.batched_commands += 1;
+                    if cache_hit {
+                        ds.cache_hits += 1;
+                    } else {
+                        ds.cache_misses += 1;
+                    }
+                    ds.busy_cycles += cycles;
+                    accumulate(&mut ds.compute, &stats);
+                    ds.busy_wall += wall;
+                    state.record_completion(CompletionRecord {
+                        stream: sid,
+                        seq,
+                        device: d,
+                        kind: CommandKind::Launch,
+                    });
+                    sink.set(Ok(stats));
+                }
+                Done::Failed {
+                    seq,
+                    kind,
+                    error,
+                    cmd,
+                } => {
+                    let vdone = state.streams[sid].vdone;
+                    cmd.resolve_err(&error, vdone);
+                    state.streams[sid].poisoned = Some(error.clone());
+                    if state.first_error.is_none() {
+                        state.first_error = Some(error);
+                    }
+                    state.stream_stats[sid].commands += 1;
+                    state.record_completion(CompletionRecord {
+                        stream: sid,
+                        seq,
+                        device: d,
+                        kind,
+                    });
+                }
+            }
+        }
+        state.outstanding -= count;
+        state.device_stats[d].batches += 1;
+        // Poisoned streams fail their entire backlog immediately.
+        if let Some(poison) = state.streams[sid].poisoned.clone() {
+            let vdone = state.streams[sid].vdone;
+            while let Some((seq, cmd)) = state.streams[sid].queue.pop_front() {
+                let kind = cmd.kind();
+                cmd.resolve_err(&poison, vdone);
+                state.stream_stats[sid].commands += 1;
+                state.record_completion(CompletionRecord {
+                    stream: sid,
+                    seq,
+                    device: d,
+                    kind,
+                });
+                state.outstanding -= 1;
+            }
+        }
+        state.streams[sid].buffer = Some(buffer);
+        state.streams[sid].busy = false;
+        self.work.notify_all();
+        self.idle.notify_all();
+    }
+}
+
+/// Body of one device worker thread.
+pub(crate) fn worker_loop(shared: Arc<Shared>, mut device: Device) {
+    let d = device.id;
+    loop {
+        // Claim a batch (or sleep until there is one).
+        let (sid, batch, mut buffer) = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some((sid, batch)) = shared.claim(&mut state, d) {
+                    let buffer = state.streams[sid]
+                        .buffer
+                        .take()
+                        .expect("idle stream owns its buffer");
+                    break (sid, batch, buffer);
+                }
+                state = shared.work.wait(state).unwrap();
+            }
+        };
+
+        // Execute outside the lock.
+        let mut done = Vec::with_capacity(batch.len());
+        let mut poison: Option<RuntimeError> = None;
+        for (seq, cmd) in batch {
+            if let Some(p) = &poison {
+                done.push(Done::Failed {
+                    seq,
+                    kind: cmd.kind(),
+                    error: p.clone(),
+                    cmd,
+                });
+                continue;
+            }
+            let t0 = Instant::now();
+            match cmd {
+                Command::CopyIn { dst, data } => {
+                    if dst
+                        .checked_add(data.len())
+                        .is_none_or(|end| end > buffer.len())
+                    {
+                        let e = RuntimeError::CopyOutOfBounds {
+                            offset: dst,
+                            len: data.len(),
+                            memory_words: buffer.len(),
+                        };
+                        poison = Some(e.clone());
+                        done.push(Done::Failed {
+                            seq,
+                            kind: CommandKind::CopyIn,
+                            error: e,
+                            cmd: Command::CopyIn {
+                                dst,
+                                data: Vec::new(),
+                            },
+                        });
+                        continue;
+                    }
+                    buffer[dst..dst + data.len()].copy_from_slice(&data);
+                    done.push(Done::Copy {
+                        seq,
+                        kind: CommandKind::CopyIn,
+                        words: data.len() as u64,
+                        cycles: device.copy_cycles(data.len()),
+                        wall: t0.elapsed(),
+                        sink: None,
+                    });
+                }
+                Command::CopyOut { src, len, sink } => {
+                    if src.checked_add(len).is_none_or(|end| end > buffer.len()) {
+                        let e = RuntimeError::CopyOutOfBounds {
+                            offset: src,
+                            len,
+                            memory_words: buffer.len(),
+                        };
+                        poison = Some(e.clone());
+                        done.push(Done::Failed {
+                            seq,
+                            kind: CommandKind::CopyOut,
+                            error: e,
+                            cmd: Command::CopyOut { src, len, sink },
+                        });
+                        continue;
+                    }
+                    let data = buffer[src..src + len].to_vec();
+                    done.push(Done::Copy {
+                        seq,
+                        kind: CommandKind::CopyOut,
+                        words: len as u64,
+                        cycles: device.copy_cycles(len),
+                        wall: t0.elapsed(),
+                        sink: Some((sink, data)),
+                    });
+                }
+                Command::Launch { spec, sink } => match device.run_launch(&spec, &mut buffer) {
+                    Ok(outcome) => done.push(Done::Launch {
+                        seq,
+                        stats: outcome.stats,
+                        cache_hit: outcome.cache_hit,
+                        wall: t0.elapsed(),
+                        sink,
+                    }),
+                    Err(e) => {
+                        poison = Some(e.clone());
+                        done.push(Done::Failed {
+                            seq,
+                            kind: CommandKind::Launch,
+                            error: e,
+                            cmd: Command::Launch { spec, sink },
+                        });
+                    }
+                },
+                Command::RecordEvent(_) | Command::WaitEvent(_) => {
+                    unreachable!("event commands are resolved inline by claim()")
+                }
+            }
+        }
+
+        shared.publish(sid, d, done, buffer);
+    }
+}

@@ -1,0 +1,246 @@
+//! Runtime accounting: per-stream and per-device cycle and wall-clock
+//! statistics, built on the core's [`ExecStats`] machinery.
+
+use serde::{Deserialize, Serialize};
+use simt_core::ExecStats;
+use std::time::Duration;
+
+/// Field-wise accumulate one run's [`ExecStats`] into an aggregate.
+pub fn accumulate(dst: &mut ExecStats, src: &ExecStats) {
+    dst.cycles += src.cycles;
+    dst.instructions += src.instructions;
+    dst.fill_cycles += src.fill_cycles;
+    dst.branch_flush_cycles += src.branch_flush_cycles;
+    dst.branches_taken += src.branches_taken;
+    dst.loop_backedges += src.loop_backedges;
+    dst.op_cycles += src.op_cycles;
+    dst.load_cycles += src.load_cycles;
+    dst.store_cycles += src.store_cycles;
+    dst.single_cycles += src.single_cycles;
+    dst.thread_ops += src.thread_ops;
+    dst.mem.reads += src.mem.reads;
+    dst.mem.writes += src.mem.writes;
+    dst.mem.read_cycles += src.mem.read_cycles;
+    dst.mem.write_cycles += src.mem.write_cycles;
+}
+
+/// What kind of command a completion record refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommandKind {
+    /// Host→device copy.
+    CopyIn,
+    /// Device→host copy.
+    CopyOut,
+    /// Kernel launch.
+    Launch,
+    /// Event record.
+    EventRecord,
+    /// Event wait.
+    EventWait,
+}
+
+/// One completed command, in global completion order — the scheduler's
+/// observable trace (ordering assertions in tests key off this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletionRecord {
+    /// Stream the command belonged to.
+    pub stream: usize,
+    /// Sequence number of the command within its stream (0-based).
+    pub seq: u64,
+    /// Device that executed it (the stream's device).
+    pub device: usize,
+    /// Command kind.
+    pub kind: CommandKind,
+}
+
+/// Per-stream accounting.
+#[derive(Debug, Clone, Default)]
+pub struct StreamStats {
+    /// Commands completed.
+    pub commands: u64,
+    /// Kernel launches completed.
+    pub launches: u64,
+    /// Copies completed (either direction).
+    pub copies: u64,
+    /// Words moved by copies.
+    pub copy_words: u64,
+    /// Modeled device clocks spent in copies.
+    pub copy_cycles: u64,
+    /// Aggregated execution statistics of every launch (cycle-exact).
+    pub compute: ExecStats,
+    /// Host wall-clock spent executing this stream's commands.
+    pub busy_wall: Duration,
+}
+
+/// Per-device accounting.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceStats {
+    /// Kernel launches executed.
+    pub launches: u64,
+    /// Copies executed.
+    pub copies: u64,
+    /// Scheduler batches executed (one wake-up may drain several ready
+    /// commands).
+    pub batches: u64,
+    /// Commands executed across all batches.
+    pub batched_commands: u64,
+    /// Launches that reused a cached processor build (compatible-config
+    /// batching).
+    pub cache_hits: u64,
+    /// Launches that needed a fresh processor build.
+    pub cache_misses: u64,
+    /// Modeled device clocks the device was busy (compute + copies).
+    pub busy_cycles: u64,
+    /// Aggregated execution statistics of every launch.
+    pub compute: ExecStats,
+    /// Host wall-clock the device worker spent executing.
+    pub busy_wall: Duration,
+}
+
+/// A snapshot of the runtime's accounting.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeStats {
+    /// Per-stream statistics, indexed by stream id.
+    pub streams: Vec<StreamStats>,
+    /// Per-device statistics, indexed by device id.
+    pub devices: Vec<DeviceStats>,
+    /// Completion trace, in global completion order. Capped: a
+    /// long-running runtime stops appending after the first 2^16
+    /// records (`completions_dropped` counts the rest).
+    pub completions: Vec<CompletionRecord>,
+    /// Completions that happened after the trace hit its cap.
+    pub completions_dropped: u64,
+    /// Wall-clock elapsed since the runtime was built.
+    pub wall: Duration,
+    /// Modeled completion time of the whole submitted job graph in
+    /// device clocks: the discrete-event makespan over every device's
+    /// compute and copy engines and every stream's dependency chain.
+    pub makespan_cycles: u64,
+    /// Modeled device clock in MHz (from the pool configuration).
+    pub fmax_mhz: f64,
+}
+
+impl RuntimeStats {
+    /// Total launches completed.
+    pub fn launches(&self) -> u64 {
+        self.streams.iter().map(|s| s.launches).sum()
+    }
+
+    /// Total commands completed.
+    pub fn commands(&self) -> u64 {
+        self.streams.iter().map(|s| s.commands).sum()
+    }
+
+    /// Launches per wall-clock second since runtime construction.
+    pub fn launches_per_second(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.launches() as f64 / secs
+        }
+    }
+
+    /// Fraction of wall-clock a device spent executing (0..=1).
+    pub fn device_occupancy(&self, device: usize) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall == 0.0 {
+            0.0
+        } else {
+            (self.devices[device].busy_wall.as_secs_f64() / wall).min(1.0)
+        }
+    }
+
+    /// Mean device occupancy across the pool.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.devices.is_empty() {
+            0.0
+        } else {
+            (0..self.devices.len())
+                .map(|d| self.device_occupancy(d))
+                .sum::<f64>()
+                / self.devices.len() as f64
+        }
+    }
+
+    /// Total modeled device clocks across the pool (compute + copies).
+    pub fn device_cycles(&self) -> u64 {
+        self.devices.iter().map(|d| d.busy_cycles).sum()
+    }
+
+    /// Modeled wall-clock of the submitted job graph: the virtual-time
+    /// makespan at the configured device clock. Independent of how many
+    /// host cores the simulation itself got.
+    pub fn modeled_seconds(&self) -> f64 {
+        self.makespan_cycles as f64 / (self.fmax_mhz * 1e6)
+    }
+
+    /// Modeled device-pool *compute* occupancy in virtual time: kernel
+    /// clocks over `devices × makespan` (0..=1; copies run on the DMA
+    /// engine and are excluded).
+    pub fn modeled_occupancy(&self) -> f64 {
+        if self.makespan_cycles == 0 || self.devices.is_empty() {
+            0.0
+        } else {
+            let compute: u64 = self.devices.iter().map(|d| d.compute.cycles).sum();
+            compute as f64 / (self.makespan_cycles as f64 * self.devices.len() as f64)
+        }
+    }
+
+    /// Check per-stream completion ordering: within every stream,
+    /// completions appear in strictly increasing sequence order.
+    pub fn per_stream_ordering_holds(&self) -> bool {
+        let mut next = vec![0u64; self.streams.len()];
+        for c in &self.completions {
+            if c.seq != next[c.stream] {
+                return false;
+            }
+            next[c.stream] += 1;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_is_fieldwise() {
+        let mut a = ExecStats {
+            cycles: 10,
+            instructions: 2,
+            ..Default::default()
+        };
+        let b = ExecStats {
+            cycles: 5,
+            instructions: 3,
+            thread_ops: 7,
+            ..Default::default()
+        };
+        accumulate(&mut a, &b);
+        assert_eq!(a.cycles, 15);
+        assert_eq!(a.instructions, 5);
+        assert_eq!(a.thread_ops, 7);
+    }
+
+    #[test]
+    fn ordering_check_catches_reorder() {
+        let rec = |stream, seq| CompletionRecord {
+            stream,
+            seq,
+            device: 0,
+            kind: CommandKind::Launch,
+        };
+        let mut s = RuntimeStats {
+            streams: vec![StreamStats::default(), StreamStats::default()],
+            completions: vec![rec(0, 0), rec(1, 0), rec(0, 1), rec(1, 1)],
+            ..Default::default()
+        };
+        assert!(s.per_stream_ordering_holds());
+        s.completions.swap(2, 3);
+        assert!(s.per_stream_ordering_holds());
+        s.completions.swap(0, 2);
+        assert!(!s.per_stream_ordering_holds());
+    }
+}

@@ -1,0 +1,228 @@
+//! Streams: ordered command queues, the unit of host→runtime work
+//! submission.
+//!
+//! Commands within a stream execute in enqueue order; commands in
+//! different streams are unordered unless [`Event`]s impose an order.
+//! Every stream owns a device buffer resident on its (round-robin
+//! assigned) device; copies move host data in and out of that buffer at
+//! modeled link cost, and launches read/write it.
+
+use crate::event::Event;
+use crate::scheduler::Shared;
+use crate::stats::CommandKind;
+use crate::RuntimeError;
+use simt_core::ExecStats;
+use simt_kernels::LaunchSpec;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A write-once completion cell shared between a handle and the worker
+/// that resolves it.
+#[derive(Debug)]
+pub(crate) struct Slot<T> {
+    value: Mutex<Option<T>>,
+    cond: Condvar,
+}
+
+impl<T: Clone> Slot<T> {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Slot {
+            value: Mutex::new(None),
+            cond: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn set(&self, v: T) {
+        let mut g = self.value.lock().unwrap();
+        if g.is_none() {
+            *g = Some(v);
+        }
+        self.cond.notify_all();
+    }
+
+    fn wait(&self) -> T {
+        let mut g = self.value.lock().unwrap();
+        while g.is_none() {
+            g = self.cond.wait(g).unwrap();
+        }
+        g.as_ref().unwrap().clone()
+    }
+
+    fn try_get(&self) -> Option<T> {
+        self.value.lock().unwrap().clone()
+    }
+}
+
+/// Handle to an asynchronous kernel launch.
+#[derive(Debug, Clone)]
+pub struct LaunchHandle {
+    pub(crate) slot: Arc<Slot<Result<ExecStats, RuntimeError>>>,
+}
+
+impl LaunchHandle {
+    /// Block until the launch completes; returns its execution stats.
+    pub fn wait(&self) -> Result<ExecStats, RuntimeError> {
+        self.slot.wait()
+    }
+
+    /// Non-blocking poll.
+    pub fn try_stats(&self) -> Option<Result<ExecStats, RuntimeError>> {
+        self.slot.try_get()
+    }
+}
+
+/// Handle to an asynchronous device→host copy.
+#[derive(Debug, Clone)]
+pub struct CopyHandle {
+    pub(crate) slot: Arc<Slot<Result<Vec<u32>, RuntimeError>>>,
+}
+
+impl CopyHandle {
+    /// Block until the copy completes; returns the words read.
+    pub fn wait(&self) -> Result<Vec<u32>, RuntimeError> {
+        self.slot.wait()
+    }
+
+    /// Non-blocking poll.
+    pub fn try_data(&self) -> Option<Result<Vec<u32>, RuntimeError>> {
+        self.slot.try_get()
+    }
+}
+
+/// One queued stream command.
+pub(crate) enum Command {
+    /// Host→device copy into the stream buffer.
+    CopyIn {
+        /// Destination offset in words.
+        dst: usize,
+        /// Payload.
+        data: Vec<u32>,
+    },
+    /// Device→host copy out of the stream buffer.
+    CopyOut {
+        /// Source offset in words.
+        src: usize,
+        /// Length in words.
+        len: usize,
+        /// Completion cell.
+        sink: Arc<Slot<Result<Vec<u32>, RuntimeError>>>,
+    },
+    /// Kernel launch.
+    Launch {
+        /// The kernel to run.
+        spec: Box<LaunchSpec>,
+        /// Completion cell.
+        sink: Arc<Slot<Result<ExecStats, RuntimeError>>>,
+    },
+    /// Signal an event once all prior commands of the stream completed.
+    RecordEvent(Event),
+    /// Hold the stream until the event signals.
+    WaitEvent(Event),
+}
+
+impl Command {
+    pub(crate) fn kind(&self) -> CommandKind {
+        match self {
+            Command::CopyIn { .. } => CommandKind::CopyIn,
+            Command::CopyOut { .. } => CommandKind::CopyOut,
+            Command::Launch { .. } => CommandKind::Launch,
+            Command::RecordEvent(_) => CommandKind::EventRecord,
+            Command::WaitEvent(_) => CommandKind::EventWait,
+        }
+    }
+
+    /// Resolve the command's completion cell with an error (stream
+    /// poisoning / shutdown paths). Events are signaled so dependent
+    /// streams do not deadlock; the error is carried by the sinks.
+    pub(crate) fn resolve_err(&self, e: &RuntimeError, vtime: u64) {
+        match self {
+            Command::CopyOut { sink, .. } => sink.set(Err(e.clone())),
+            Command::Launch { sink, .. } => sink.set(Err(e.clone())),
+            Command::RecordEvent(ev) => ev.signal(vtime),
+            _ => {}
+        }
+    }
+}
+
+/// An ordered command queue bound to one pool device.
+#[derive(Clone)]
+pub struct Stream {
+    pub(crate) id: usize,
+    pub(crate) device: usize,
+    pub(crate) shared: Arc<Shared>,
+}
+
+impl Stream {
+    /// Stream id within the runtime.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The pool device this stream is bound to.
+    pub fn device(&self) -> usize {
+        self.device
+    }
+
+    /// Enqueue a host→device copy of `data` to word offset `dst` of the
+    /// stream buffer.
+    pub fn copy_in(&self, dst: usize, data: &[u32]) {
+        self.shared.enqueue(
+            self.id,
+            Command::CopyIn {
+                dst,
+                data: data.to_vec(),
+            },
+        );
+    }
+
+    /// Enqueue an asynchronous kernel launch.
+    pub fn launch(&self, spec: LaunchSpec) -> LaunchHandle {
+        let slot = Slot::new();
+        self.shared.enqueue(
+            self.id,
+            Command::Launch {
+                spec: Box::new(spec),
+                sink: slot.clone(),
+            },
+        );
+        LaunchHandle { slot }
+    }
+
+    /// Enqueue a device→host copy of `len` words from offset `src`.
+    pub fn copy_out(&self, src: usize, len: usize) -> CopyHandle {
+        let slot = Slot::new();
+        self.shared.enqueue(
+            self.id,
+            Command::CopyOut {
+                src,
+                len,
+                sink: slot.clone(),
+            },
+        );
+        CopyHandle { slot }
+    }
+
+    /// Enqueue an event record: `event` signals once everything enqueued
+    /// on this stream so far has completed.
+    pub fn record_event(&self, event: &Event) {
+        event.mark_recorded();
+        self.shared
+            .enqueue(self.id, Command::RecordEvent(event.clone()));
+    }
+
+    /// Enqueue an event wait: commands enqueued on this stream after
+    /// this call do not start until `event` signals. Waiting on an event
+    /// that was never recorded anywhere is a no-op (the CUDA contract),
+    /// not a deadlock.
+    pub fn wait_event(&self, event: &Event) {
+        self.shared
+            .enqueue(self.id, Command::WaitEvent(event.clone()));
+    }
+
+    /// Block the host until everything enqueued on this stream so far
+    /// has completed.
+    pub fn synchronize(&self) {
+        let fence = Event::new();
+        self.record_event(&fence);
+        fence.wait();
+    }
+}

@@ -56,7 +56,10 @@ pub fn dispatch(
     accel: &mut dyn Accelerator,
 ) -> Result<u64, ExecError> {
     let desc = core.shared().read_words(mailbox.in_off, 2)?;
-    let (in_off, len) = (desc[0] as usize, core.shared().read_words(mailbox.len_off, 1)?[0] as usize);
+    let (in_off, len) = (
+        desc[0] as usize,
+        core.shared().read_words(mailbox.len_off, 1)?[0] as usize,
+    );
     let input = core.shared().read_words(in_off, len)?;
     let output = accel.process(&input);
     let out_off = core.shared().read_words(mailbox.out_off, 1)?[0] as usize;
@@ -186,7 +189,9 @@ mod tests {
     fn dispatch_validates_descriptors() {
         let mut core = Processor::new(ProcessorConfig::small()).unwrap();
         // Descriptor points out of bounds.
-        core.shared_mut().load_words(0, &[4000, 4000, 0, 0]).unwrap();
+        core.shared_mut()
+            .load_words(0, &[4000, 4000, 0, 0])
+            .unwrap();
         let mut accel = MacAccelerator::new();
         assert!(dispatch(&mut core, Mailbox::default(), &mut accel).is_err());
     }

@@ -27,7 +27,9 @@ use fpga_fabric::Device;
 use fpga_fitter::{best_of, seed_sweep, CompileOptions};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use simt_core::{ConfigError, ExecError, ExecStats, LoadError, Processor, ProcessorConfig, RunOptions};
+use simt_core::{
+    ConfigError, ExecError, ExecStats, LoadError, Processor, ProcessorConfig, RunOptions,
+};
 use simt_isa::Program;
 
 pub use accel::{dispatch, Accelerator, MacAccelerator, Mailbox};
@@ -151,26 +153,69 @@ impl System {
         Ok(())
     }
 
-    /// Run one bulk-synchronous compute phase: every core executes its
-    /// loaded program to `exit` (in parallel on the host); the phase
-    /// costs the *slowest* core's clocks — the hardware barrier
-    /// semantics of a stamped system on one clock network.
-    pub fn run_phase(&mut self, opts: RunOptions) -> Result<&[ExecStats], ExecError> {
-        let results: Vec<Result<ExecStats, ExecError>> = self
-            .cores
-            .par_iter_mut()
-            .map(|c| c.run(opts))
-            .collect();
-        let mut phase: Vec<ExecStats> = Vec::with_capacity(results.len());
-        for r in results {
-            phase.push(r?);
-        }
+    /// Run *one core* of the system to `exit` — the single-core entry
+    /// point the phase machinery (and external schedulers such as
+    /// `simt-runtime`) build on. Does **not** advance the system clock:
+    /// callers compose the returned stats into a phase via
+    /// [`System::account_phase`] or use [`System::run_phase`] /
+    /// [`System::run_phase_subset`], which do both.
+    pub fn run_core(&mut self, i: usize, opts: RunOptions) -> Result<ExecStats, ExecError> {
+        self.cores[i].run(opts)
+    }
+
+    /// Account one completed bulk-synchronous phase from per-core stats:
+    /// the phase costs the *slowest* participating core's clocks — the
+    /// hardware barrier semantics of a stamped system on one clock
+    /// network.
+    pub fn account_phase(&mut self, phase: Vec<ExecStats>) -> &[ExecStats] {
         let slowest = phase.iter().map(|s| s.cycles).max().unwrap_or(0);
         self.stats.compute_cycles += slowest;
         self.stats.cycles += slowest;
         self.stats.phases += 1;
         self.stats.last_phase = phase;
-        Ok(&self.stats.last_phase)
+        &self.stats.last_phase
+    }
+
+    /// Run one bulk-synchronous compute phase over every core.
+    pub fn run_phase(&mut self, opts: RunOptions) -> Result<&[ExecStats], ExecError> {
+        let all: Vec<usize> = (0..self.cores.len()).collect();
+        self.run_phase_subset(&all, opts)
+    }
+
+    /// Run one bulk-synchronous compute phase over a subset of cores
+    /// (the idle cores neither execute nor contribute to the barrier) —
+    /// the reusable single-phase entry point for hosts that keep parts
+    /// of the pool busy with other work.
+    ///
+    /// # Panics
+    /// If `cores` is empty or contains an out-of-range or duplicate
+    /// index.
+    pub fn run_phase_subset(
+        &mut self,
+        cores: &[usize],
+        opts: RunOptions,
+    ) -> Result<&[ExecStats], ExecError> {
+        assert!(!cores.is_empty(), "a phase needs at least one core");
+        let mut seen = vec![false; self.cores.len()];
+        for &i in cores {
+            assert!(i < self.cores.len(), "core index {i} out of range");
+            assert!(!seen[i], "duplicate core index {i}");
+            seen[i] = true;
+        }
+        let selected: Vec<&mut Processor> = self
+            .cores
+            .iter_mut()
+            .enumerate()
+            .filter(|(i, _)| seen[*i])
+            .map(|(_, c)| c)
+            .collect();
+        let results: Vec<Result<ExecStats, ExecError>> =
+            selected.into_par_iter().map(|c| c.run(opts)).collect();
+        let mut phase: Vec<ExecStats> = Vec::with_capacity(results.len());
+        for r in results {
+            phase.push(r?);
+        }
+        Ok(self.account_phase(phase))
     }
 
     /// Move `len` words from `src` core's shared memory at `src_off` to
@@ -184,12 +229,14 @@ impl System {
         dst_off: usize,
         len: usize,
     ) -> Result<u64, ExecError> {
-        assert!(src < self.cores.len() && dst < self.cores.len(), "core index");
+        assert!(
+            src < self.cores.len() && dst < self.cores.len(),
+            "core index"
+        );
         assert_ne!(src, dst, "transfer endpoints must differ");
         let words = self.cores[src].shared().read_words(src_off, len)?;
         self.cores[dst].shared_mut().load_words(dst_off, &words)?;
-        let clocks =
-            self.config.link_latency + (len.div_ceil(self.config.link_width_words)) as u64;
+        let clocks = self.config.link_latency + (len.div_ceil(self.config.link_width_words)) as u64;
         self.stats.transfer_cycles += clocks;
         self.stats.cycles += clocks;
         self.stats.transfers += 1;
@@ -253,6 +300,47 @@ mod tests {
     }
 
     #[test]
+    fn subset_phase_runs_only_selected_cores() {
+        let mut sys = small_system(3);
+        let p = assemble("  stid r1\n  muli r2, r1, 3\n  sts [r1+0], r2\n  exit").unwrap();
+        sys.load_all(&p).unwrap();
+        let phase = sys
+            .run_phase_subset(&[0, 2], RunOptions::default())
+            .unwrap();
+        assert_eq!(phase.len(), 2);
+        assert_eq!(sys.core(0).shared().as_slice()[5], 15);
+        assert_eq!(sys.core(2).shared().as_slice()[5], 15);
+        // Core 1 never ran: its shared memory is untouched.
+        assert_eq!(sys.core(1).shared().as_slice()[5], 0);
+        assert_eq!(sys.stats().phases, 1);
+    }
+
+    #[test]
+    fn run_core_composes_into_a_phase() {
+        let mut sys = small_system(2);
+        let fast = assemble("  exit").unwrap();
+        let slow = assemble("  loop 50, e\n  addi r1, r1, 1\ne:\n  exit").unwrap();
+        sys.load_each(&[fast, slow]).unwrap();
+        let a = sys.run_core(0, RunOptions::default()).unwrap();
+        let b = sys.run_core(1, RunOptions::default()).unwrap();
+        assert!(b.cycles > a.cycles);
+        // run_core does not advance the system clock; account_phase does.
+        assert_eq!(sys.stats().cycles, 0);
+        sys.account_phase(vec![a, b]);
+        assert_eq!(sys.stats().cycles, b.cycles);
+        assert_eq!(sys.stats().phases, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate core index")]
+    fn subset_phase_rejects_duplicates() {
+        let mut sys = small_system(2);
+        let p = assemble("  exit").unwrap();
+        sys.load_all(&p).unwrap();
+        let _ = sys.run_phase_subset(&[1, 1], RunOptions::default());
+    }
+
+    #[test]
     fn transfers_move_data_and_cost_clocks() {
         let mut sys = small_system(2);
         sys.core_mut(0)
@@ -290,8 +378,15 @@ mod tests {
             link_latency: 12,
         })
         .unwrap();
-        narrow.core_mut(0).shared_mut().load_words(0, &[0; 64]).unwrap();
-        wide.core_mut(0).shared_mut().load_words(0, &[0; 64]).unwrap();
+        narrow
+            .core_mut(0)
+            .shared_mut()
+            .load_words(0, &[0; 64])
+            .unwrap();
+        wide.core_mut(0)
+            .shared_mut()
+            .load_words(0, &[0; 64])
+            .unwrap();
         let n = narrow.transfer(0, 0, 1, 0, 64).unwrap();
         let w = wide.transfer(0, 0, 1, 0, 64).unwrap();
         assert_eq!(n, 12 + 64);

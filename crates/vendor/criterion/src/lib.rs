@@ -1,0 +1,228 @@
+//! Vendored offline shim of `criterion`.
+//!
+//! Provides the macro/entry API this workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `Throughput`, `black_box`)
+//! with a simple measurement loop: warm up once, then time batches
+//! until a fixed budget elapses and report mean wall time per
+//! iteration (plus element throughput when declared). Under
+//! `cargo test` (or with `--test` in the args) every bench runs exactly
+//! one iteration as a smoke test, mirroring upstream behaviour.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement budget per benchmark in quick/full mode.
+const FULL_BUDGET: Duration = Duration::from_millis(300);
+
+/// Top-level harness state.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("CRITERION_TEST_MODE").is_some();
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let test_mode = self.test_mode;
+        println!("\nbench group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+            test_mode,
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        run_benchmark(id, self.test_mode, None, |b| f(b));
+    }
+}
+
+/// Identifier of one benchmark within a group (`name/param`).
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// Declared work per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's budget is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's budget is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{id}", self.name);
+        run_benchmark(&label, self.test_mode, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Benchmark a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.full);
+        run_benchmark(&label, self.test_mode, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op beyond the upstream-shaped API).
+    pub fn finish(&mut self) {}
+}
+
+/// The per-benchmark timing handle.
+pub struct Bencher {
+    test_mode: bool,
+    /// (iterations, elapsed) accumulated by `iter`.
+    measured: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Measure a closure: warm-up, then timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up / smoke iteration
+        if self.test_mode {
+            self.measured = Some((1, Duration::from_nanos(1)));
+            return;
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < FULL_BUDGET {
+            black_box(f());
+            iters += 1;
+        }
+        self.measured = Some((iters.max(1), start.elapsed()));
+    }
+}
+
+fn run_benchmark(
+    label: &str,
+    test_mode: bool,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        test_mode,
+        measured: None,
+    };
+    f(&mut b);
+    match b.measured {
+        None => println!("  {label:<44} (no iter() call)"),
+        Some((_, _)) if test_mode => println!("  {label:<44} ok (test mode)"),
+        Some((iters, elapsed)) => {
+            let per = elapsed.as_secs_f64() / iters as f64;
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  {:>12.0} elem/s", n as f64 / per)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  {:>12.0} B/s", n as f64 / per)
+                }
+                None => String::new(),
+            };
+            println!("  {label:<44} {:>12.3} us/iter{rate}", per * 1e6);
+        }
+    }
+}
+
+/// Group benchmark functions into a runnable set.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("sum", |b| b.iter(|| (0u64..4).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("scale", 3), &3u64, |b, &k| {
+            b.iter(|| k * 7)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs_in_test_mode() {
+        std::env::set_var("CRITERION_TEST_MODE", "1");
+        criterion_group!(benches, sample_bench);
+        benches();
+    }
+}

@@ -1,0 +1,138 @@
+//! Vendored offline shim of the `rand` crate: `RngCore`, `SeedableRng`,
+//! `Rng::{gen, gen_range}` for the integer/float types this workspace
+//! draws. Deterministic given a seed — the property every consumer here
+//! (workload generators, STA seed jitter) actually relies on. The build
+//! environment has no crates.io access, so this lives in-tree under
+//! `crates/vendor/`.
+
+use std::ops::Range;
+
+/// Core random source: a stream of `u64`s.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from seed material.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (the only constructor this
+    /// workspace uses).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible by [`Rng::gen`] (the upstream `Standard`
+/// distribution).
+pub trait Standard: Sized {
+    /// Draw one value from the full domain.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! std_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+std_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types usable as `gen_range` bounds.
+pub trait SampleUniform: Sized {
+    /// Draw uniformly from `[lo, hi)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        let unit = f64::draw(rng);
+        lo + unit * (hi - lo)
+    }
+}
+
+/// Convenience draws on any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draw from the type's full domain.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Draw uniformly from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Counter(7);
+        for _ in 0..1000 {
+            let v: i32 = r.gen_range(-5..17);
+            assert!((-5..17).contains(&v));
+            let f: f64 = r.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn standard_draws_cover_types() {
+        let mut r = Counter(3);
+        let _: (u32, i32, u128, bool, f64) = (r.gen(), r.gen(), r.gen(), r.gen(), r.gen());
+        let f: f64 = r.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

@@ -1,0 +1,241 @@
+//! Vendored offline shim of `rayon`: the parallel-iterator surface this
+//! workspace uses, plus a real scoped thread spawner.
+//!
+//! The iterator adapters (`par_iter`, `par_chunks_mut`, `zip`, `map`,
+//! `collect`, `try_reduce`, …) preserve rayon's *ordering semantics* but
+//! execute sequentially — every consumer in this repo is bit-exact under
+//! either execution order, and the simulator's own tests pin that.
+//! Genuine host parallelism is provided by [`scope`], which maps to
+//! `std::thread::scope`; `simt-runtime`'s device workers and the
+//! system-level phase runner build on it.
+
+use std::thread;
+
+/// Everything a `use rayon::prelude::*` consumer expects.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, ParallelChunks, ParallelChunksMut, ParallelIterExt, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+/// Number of worker threads a parallel region may use (forwarded to
+/// consumers that want to size their own pools).
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Scoped fork-join parallelism — genuinely parallel, via
+/// `std::thread::scope`.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// A fork-join scope handed to [`scope`] callbacks.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a task that may borrow from the enclosing scope; joined when
+    /// the scope ends.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.inner.spawn(f);
+    }
+}
+
+/// The adapter chain: a thin wrapper over a std iterator. Ordering and
+/// results match rayon's indexed parallel iterators.
+pub struct Par<I>(I);
+
+/// `.par_iter()` on slices.
+pub trait ParallelSlice<T> {
+    /// Sequential stand-in for rayon's borrowing parallel iterator.
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>> {
+        Par(self.iter())
+    }
+}
+
+impl<T> ParallelSlice<T> for Vec<T> {
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>> {
+        Par(self.iter())
+    }
+}
+
+/// `.par_iter_mut()` on slices.
+pub trait ParallelSliceMut<T> {
+    /// Sequential stand-in for rayon's mutably-borrowing parallel
+    /// iterator.
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>> {
+        Par(self.iter_mut())
+    }
+}
+
+impl<T> ParallelSliceMut<T> for Vec<T> {
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>> {
+        Par(self.iter_mut())
+    }
+}
+
+/// `.par_chunks(n)` on slices.
+pub trait ParallelChunks<T> {
+    /// Fixed-size chunk iterator, rayon-shaped.
+    fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelChunks<T> for [T] {
+    fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par(self.chunks(size))
+    }
+}
+
+/// `.par_chunks_mut(n)` on slices.
+pub trait ParallelChunksMut<T> {
+    /// Fixed-size mutable chunk iterator, rayon-shaped.
+    fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelChunksMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(size))
+    }
+}
+
+/// `.into_par_iter()` on owning collections.
+pub trait IntoParallelIterator {
+    /// The underlying std iterator.
+    type Iter: Iterator;
+    /// Convert into the adapter chain.
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+impl<T: Copy> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator,
+{
+    type Iter = std::ops::Range<T>;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self)
+    }
+}
+
+/// Marker so `use rayon::prelude::*` consumers can name the adapter's
+/// combinators via a trait if they want to be generic (the workspace
+/// calls them on `Par` directly).
+pub trait ParallelIterExt {}
+
+impl<I: Iterator> Par<I> {
+    /// Pair with another adapter chain, element-wise.
+    pub fn zip<J: Iterator>(self, other: Par<J>) -> Par<std::iter::Zip<I, J>> {
+        Par(self.0.zip(other.0))
+    }
+
+    /// First `n` elements.
+    pub fn take(self, n: usize) -> Par<std::iter::Take<I>> {
+        Par(self.0.take(n))
+    }
+
+    /// Index each element.
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    /// Transform each element.
+    pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    /// Consume with a side-effecting closure.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Materialize, in input order.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Fallible reduction over `Result` items: first error wins,
+    /// otherwise fold with `op` from `identity()`.
+    pub fn try_reduce<T, E, ID, OP>(self, identity: ID, op: OP) -> Result<T, E>
+    where
+        I: Iterator<Item = Result<T, E>>,
+        ID: Fn() -> T,
+        OP: Fn(T, T) -> Result<T, E>,
+    {
+        let mut acc = identity();
+        for item in self.0 {
+            acc = op(acc, item?)?;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn chains_match_sequential_semantics() {
+        let xs = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8, 10, 12, 14, 16]);
+
+        let mut ys = [1u32; 6];
+        ys.par_chunks_mut(2)
+            .zip(xs.par_iter())
+            .take(2)
+            .enumerate()
+            .for_each(|(i, (chunk, &x))| chunk[0] = i as u32 + x as u32);
+        assert_eq!(ys, [1, 1, 3, 1, 1, 1]);
+    }
+
+    #[test]
+    fn try_reduce_short_circuits() {
+        let ok: Result<u64, ()> = [1u64, 2, 3]
+            .par_iter()
+            .map(|&x| Ok(x))
+            .try_reduce(|| 0, |a, b| Ok(a + b));
+        assert_eq!(ok, Ok(6));
+        let err: Result<u64, &str> = [1u64, 2, 3]
+            .par_iter()
+            .map(|&x| if x == 2 { Err("boom") } else { Ok(x) })
+            .try_reduce(|| 0, |a, b| Ok(a + b));
+        assert_eq!(err, Err("boom"));
+    }
+
+    #[test]
+    fn scope_actually_runs_spawns() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+}

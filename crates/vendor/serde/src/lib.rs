@@ -1,0 +1,370 @@
+//! Vendored offline shim of `serde`.
+//!
+//! The real serde pivots on zero-copy `Serializer`/`Deserializer`
+//! visitors; this workspace only ever derives the traits and round-trips
+//! through `serde_json`, so the shim uses the simplest model that
+//! supports that: every `Serialize` type renders to an owned [`Value`]
+//! tree and every `Deserialize` type parses back out of one. The derive
+//! macros (re-exported from the sibling `serde_derive` shim, exactly as
+//! upstream does) generate those two conversions per type.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A self-describing data tree — the shim's entire data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (kept separate so `u64::MAX` survives).
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Value>),
+    /// Ordered string-keyed map (field order = declaration order).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Kind name for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// Look up a struct field in a `Map` value.
+    pub fn get_field(&self, name: &str) -> Result<&Value, DeError> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError(format!("missing field `{name}`"))),
+            other => Err(DeError(format!(
+                "expected map with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// View a `Seq` value of exactly `n` elements.
+    pub fn get_seq(&self, n: usize) -> Result<&[Value], DeError> {
+        match self {
+            Value::Seq(items) if items.len() == n => Ok(items),
+            Value::Seq(items) => Err(DeError(format!(
+                "expected sequence of {n}, found {}",
+                items.len()
+            ))),
+            other => Err(DeError(format!(
+                "expected sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialize: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Render to the shim data model.
+pub trait Serialize {
+    /// Convert to a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild from the shim data model.
+pub trait Deserialize: Sized {
+    /// Convert back from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! int_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                #[allow(unused_comparisons)]
+                if *self < 0 {
+                    Value::I64(*self as i64)
+                } else {
+                    Value::U64(*self as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide: i128 = match v {
+                    Value::I64(x) => *x as i128,
+                    Value::U64(x) => *x as i128,
+                    other => {
+                        return Err(DeError(format!(
+                            "expected integer, found {}", other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+int_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! int128_impl {
+    ($($t:ty),*) => {$(
+        // JSON numbers cannot hold 128-bit values losslessly; encode as
+        // decimal strings (accepting plain integers on the way in).
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Str(self.to_string())
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Str(s) => s
+                        .parse::<$t>()
+                        .map_err(|_| DeError(format!("bad 128-bit integer `{s}`"))),
+                    Value::I64(x) => Ok(*x as $t),
+                    Value::U64(x) => Ok(*x as $t),
+                    other => Err(DeError(format!(
+                        "expected 128-bit integer, found {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+int128_impl!(u128, i128);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::I64(x) => Ok(*x as f64),
+            Value::U64(x) => Ok(*x as f64),
+            other => Err(DeError(format!("expected number, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError(format!("expected char, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError(format!(
+                "expected sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v.get_seq(N)?;
+        let parsed: Result<Vec<T>, DeError> = items.iter().map(T::from_value).collect();
+        parsed.map(|v| <[T; N]>::try_from(v).expect("length checked by get_seq"))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! tuple_impl {
+    ($n:expr => $($t:ident . $idx:tt),*) => {
+        impl<$($t: Serialize),*> Serialize for ($($t,)*) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),*])
+            }
+        }
+        impl<$($t: Deserialize),*> Deserialize for ($($t,)*) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let s = v.get_seq($n)?;
+                Ok(($($t::from_value(&s[$idx])?,)*))
+            }
+        }
+    };
+}
+tuple_impl!(2 => A.0, B.1);
+tuple_impl!(3 => A.0, B.1, C.2);
+tuple_impl!(4 => A.0, B.1, C.2, D.3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&0.93f64.to_value()).unwrap(), 0.93);
+        assert_eq!(
+            Option::<u8>::from_value(&None::<u8>.to_value()).unwrap(),
+            None
+        );
+        assert_eq!(
+            Vec::<u32>::from_value(&vec![1u32, 2, 3].to_value()).unwrap(),
+            vec![1, 2, 3]
+        );
+        let arr: [i32; 3] = Deserialize::from_value(&[1i32, 2, 3].to_value()).unwrap();
+        assert_eq!(arr, [1, 2, 3]);
+    }
+
+    #[test]
+    fn range_errors_are_typed() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(bool::from_value(&Value::U64(1)).is_err());
+        assert!(Value::Null.get_field("x").is_err());
+    }
+}

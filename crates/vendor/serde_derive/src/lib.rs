@@ -1,0 +1,405 @@
+//! Vendored offline `serde_derive` shim.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls for the
+//! shapes this workspace actually derives: non-generic structs (named,
+//! tuple, unit) and enums (unit, tuple and struct variants, with
+//! optional discriminants). Implemented directly on `proc_macro` token
+//! trees — the environment has no crates.io access, so `syn`/`quote`
+//! are unavailable.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+use std::iter::Peekable;
+
+/// Field layout of a struct or enum variant.
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Parsed derive input.
+enum Item {
+    Struct(String, Fields),
+    Enum(String, Vec<(String, Fields)>),
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn err(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip `#[...]` attributes and visibility qualifiers.
+fn skip_attrs_and_vis(it: &mut Tokens) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                it.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                // `pub(crate)` and friends.
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Split a token stream at top-level commas, honouring `<...>` nesting
+/// (groups nest automatically as single trees).
+fn count_top_level_segments(ts: TokenStream) -> usize {
+    let mut segments = 0usize;
+    let mut seg_has_tokens = false;
+    let mut angle_depth = 0i32;
+    for tt in ts {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if seg_has_tokens {
+                    segments += 1;
+                }
+                seg_has_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        seg_has_tokens = true;
+    }
+    if seg_has_tokens {
+        segments += 1;
+    }
+    segments
+}
+
+/// Parse `{ field: Type, ... }` contents into field names.
+fn parse_named_fields(ts: TokenStream) -> Result<Vec<String>, String> {
+    let mut it: Tokens = ts.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        names.push(name.trim_start_matches("r#").to_string());
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        for tt in it.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(names)
+}
+
+/// Parse `{ Variant, Variant(T), Variant { f: T }, Variant = 3, ... }`.
+fn parse_variants(ts: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut it: Tokens = ts.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected variant name, found `{other}`")),
+        };
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_top_level_segments(g.stream());
+                it.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream())?;
+                it.next();
+                Fields::Named(named)
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name.trim_start_matches("r#").to_string(), fields));
+        // Skip an optional `= discriminant`, then the separating comma.
+        let mut angle_depth = 0i32;
+        for tt in it.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut it: Tokens = input.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        match it.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = match it.next() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => return Err(format!("expected struct name, found {other:?}")),
+                };
+                return match it.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => Err(format!(
+                        "generic struct `{name}` unsupported by the serde shim"
+                    )),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(
+                        Item::Struct(name, Fields::Named(parse_named_fields(g.stream())?)),
+                    ),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(
+                        Item::Struct(name, Fields::Tuple(count_top_level_segments(g.stream()))),
+                    ),
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                        Ok(Item::Struct(name, Fields::Unit))
+                    }
+                    other => Err(format!("unsupported struct body: {other:?}")),
+                };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = match it.next() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => return Err(format!("expected enum name, found {other:?}")),
+                };
+                return match it.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => Err(format!(
+                        "generic enum `{name}` unsupported by the serde shim"
+                    )),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Ok(Item::Enum(name, parse_variants(g.stream())?))
+                    }
+                    other => Err(format!("unsupported enum body: {other:?}")),
+                };
+            }
+            Some(_) => continue,
+            None => return Err("no struct or enum found in derive input".into()),
+        }
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct(name, fields) => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Named(names) => {
+                    let mut entries = String::new();
+                    for f in names {
+                        let _ = write!(
+                            entries,
+                            "(::std::string::String::from({f:?}), \
+                             ::serde::Serialize::to_value(&self.{f})),"
+                        );
+                    }
+                    format!("::serde::Value::Map(vec![{entries}])")
+                }
+                Fields::Tuple(n) => {
+                    let mut items = String::new();
+                    for i in 0..*n {
+                        let _ = write!(items, "::serde::Serialize::to_value(&self.{i}),");
+                    }
+                    format!("::serde::Value::Seq(vec![{items}])")
+                }
+            };
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\
+                   fn to_value(&self) -> ::serde::Value {{ {body} }}\
+                 }}"
+            );
+        }
+        Item::Enum(name, variants) => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from({vname:?})),"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let mut items = String::new();
+                        for b in &binds {
+                            let _ = write!(items, "::serde::Serialize::to_value({b}),");
+                        }
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}({}) => ::serde::Value::Map(vec![(\
+                               ::std::string::String::from({vname:?}), \
+                               ::serde::Value::Seq(vec![{items}]))]),",
+                            binds.join(",")
+                        );
+                    }
+                    Fields::Named(names) => {
+                        let mut entries = String::new();
+                        for f in names {
+                            let _ = write!(
+                                entries,
+                                "(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_value({f})),"
+                            );
+                        }
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Map(vec![(\
+                               ::std::string::String::from({vname:?}), \
+                               ::serde::Value::Map(vec![{entries}]))]),",
+                            names.join(",")
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\
+                   fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\
+                 }}"
+            );
+        }
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct(name, fields) => {
+            let body = match fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+                Fields::Named(names) => {
+                    let mut inits = String::new();
+                    for f in names {
+                        let _ = write!(
+                            inits,
+                            "{f}: ::serde::Deserialize::from_value(__v.get_field({f:?})?)?,"
+                        );
+                    }
+                    format!("::std::result::Result::Ok({name} {{ {inits} }})")
+                }
+                Fields::Tuple(n) => {
+                    let mut items = String::new();
+                    for i in 0..*n {
+                        let _ = write!(items, "::serde::Deserialize::from_value(&__s[{i}])?,");
+                    }
+                    format!(
+                        "{{ let __s = __v.get_seq({n})?; \
+                           ::std::result::Result::Ok({name}({items})) }}"
+                    )
+                }
+            };
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\
+                   fn from_value(__v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\
+                 }}"
+            );
+        }
+        Item::Enum(name, variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}),"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let mut items = String::new();
+                        for i in 0..*n {
+                            let _ = write!(items, "::serde::Deserialize::from_value(&__s[{i}])?,");
+                        }
+                        let _ = write!(
+                            data_arms,
+                            "{vname:?} => {{ let __s = __inner.get_seq({n})?; \
+                               ::std::result::Result::Ok({name}::{vname}({items})) }}"
+                        );
+                    }
+                    Fields::Named(names) => {
+                        let mut inits = String::new();
+                        for f in names {
+                            let _ = write!(
+                                inits,
+                                "{f}: ::serde::Deserialize::from_value(\
+                                   __inner.get_field({f:?})?)?,"
+                            );
+                        }
+                        let _ = write!(
+                            data_arms,
+                            "{vname:?} => ::std::result::Result::Ok(\
+                               {name}::{vname} {{ {inits} }}),"
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\
+                   fn from_value(__v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::DeError> {{\
+                     match __v {{\
+                       ::serde::Value::Str(__s) => match __s.as_str() {{\
+                         {unit_arms}\
+                         __other => ::std::result::Result::Err(::serde::DeError(\
+                           format!(\"unknown variant `{{__other}}` of {name}\"))),\
+                       }},\
+                       ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\
+                         let (__k, __inner) = &__entries[0];\
+                         match __k.as_str() {{\
+                           {data_arms}\
+                           __other => ::std::result::Result::Err(::serde::DeError(\
+                             format!(\"unknown variant `{{__other}}` of {name}\"))),\
+                         }}\
+                       }},\
+                       __other => ::std::result::Result::Err(::serde::DeError(\
+                         format!(\"expected {name} variant, found {{}}\", __other.kind()))),\
+                     }}\
+                   }}\
+                 }}"
+            );
+        }
+    }
+    out
+}
+
+/// Derive `serde::Serialize` (shim data model).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(e) => err(&e),
+    }
+}
+
+/// Derive `serde::Deserialize` (shim data model).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(e) => err(&e),
+    }
+}

@@ -22,11 +22,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("first outputs: {:?}", &y[..6]);
     println!(
         "as floats:     {:?}",
-        y[..6].iter().map(|&v| (from_q15(v) * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+        y[..6]
+            .iter()
+            .map(|&v| (from_q15(v) * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
     );
 
     let s = &run.stats;
-    println!("\nclocks: {} (ops {}, loads {}, stores {})", s.cycles, s.op_cycles, s.load_cycles, s.store_cycles);
+    println!(
+        "\nclocks: {} (ops {}, loads {}, stores {})",
+        s.cycles, s.op_cycles, s.load_cycles, s.store_cycles
+    );
     for fmax in [771.0, 956.0] {
         println!(
             "  at {fmax:.0} MHz: {:.2} us, {:.2} Gops/s",

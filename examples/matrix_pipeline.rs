@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Stage 3: energy of the scaled matrix = dot(scaled, scaled).
     let (energy, r3) = dot_scaled(&scaled, &scaled)?;
     assert_eq!(energy, dot_ref(&scaled, &scaled));
-    println!("dot reduction: {} clocks, energy = {energy}", r3.stats.cycles);
+    println!(
+        "dot reduction: {} clocks, energy = {energy}",
+        r3.stats.cycles
+    );
 
     let total = r1.stats.cycles + r2.stats.cycles + r3.stats.cycles;
     println!(

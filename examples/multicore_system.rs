@@ -34,8 +34,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Phase 1: each core reduces its slice locally.
     for c in 0..cores {
-        let xs: Vec<u32> = x[c * per_core..(c + 1) * per_core].iter().map(|&v| v as u32).collect();
-        let ys: Vec<u32> = y[c * per_core..(c + 1) * per_core].iter().map(|&v| v as u32).collect();
+        let xs: Vec<u32> = x[c * per_core..(c + 1) * per_core]
+            .iter()
+            .map(|&v| v as u32)
+            .collect();
+        let ys: Vec<u32> = y[c * per_core..(c + 1) * per_core]
+            .iter()
+            .map(|&v| v as u32)
+            .collect();
         sys.core_mut(c).shared_mut().load_words(X_OFF, &xs)?;
         sys.core_mut(c).shared_mut().load_words(Y_OFF, &ys)?;
     }
@@ -71,9 +77,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("3-core dot product of {n} elements = {result} (host reference {want})");
 
     let fmax = sys.derive_system_fmax(&Device::agfd019());
-    println!("\nsystem clocks: {total_cycles} (compute {} + interconnect {})",
-        sys.stats().compute_cycles + stats.cycles, sys.stats().transfer_cycles);
+    println!(
+        "\nsystem clocks: {total_cycles} (compute {} + interconnect {})",
+        sys.stats().compute_cycles + stats.cycles,
+        sys.stats().transfer_cycles
+    );
     println!("stamped system Fmax (Table 2, 3 cores): {fmax:.0} MHz");
-    println!("wall clock: {:.2} us", total_cycles as f64 / (fmax * 1e6) * 1e6);
+    println!(
+        "wall clock: {:.2} us",
+        total_cycles as f64 / (fmax * 1e6) * 1e6
+    );
     Ok(())
 }

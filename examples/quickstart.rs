@@ -37,7 +37,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "\n{} instructions in {} clocks ({:.2} CPI)",
-        stats.instructions, stats.cycles, stats.cpi()
+        stats.instructions,
+        stats.cycles,
+        stats.cpi()
     );
     println!(
         "at the paper's 956 MHz restricted Fmax: {:.2} us",

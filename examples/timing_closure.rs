@@ -7,9 +7,7 @@
 //! ```
 
 use fpga_fabric::Device;
-use fpga_fitter::{
-    best_of, compile, floorplan, seed_sweep, CompileOptions, DesignVariant,
-};
+use fpga_fitter::{best_of, compile, floorplan, seed_sweep, CompileOptions, DesignVariant};
 use simt_core::ProcessorConfig;
 
 fn main() {

@@ -1,11 +1,23 @@
 //! Umbrella crate for the 950 MHz SIMT soft-processor reproduction.
 //!
-//! This crate exists to host the workspace-level integration tests
-//! (`tests/`) and runnable examples (`examples/`). All functionality lives
-//! in the member crates, re-exported here for convenience:
+//! This crate hosts the workspace-level integration tests (`tests/`)
+//! and runnable examples (`examples/`). All functionality lives in the
+//! member crates, re-exported here for convenience.
+//!
+//! ## The crate graph, silicon to host
+//!
+//! ```text
+//!   simt-isa ──────► simt-core ──────► simt-kernels
+//!      │                 │  │              │
+//!      │                 │  └──────► simt-system ─┐
+//!      │                 ▼                        ▼
+//!      │   fpga-fabric ► fpga-fitter      simt-runtime
+//!      │                     ▲            (streams, events,
+//!      └─────────────────────┘             multi-device scheduler)
+//! ```
 //!
 //! * [`simt_isa`] — the PTX-inspired 61-instruction ISA, assembler and
-//!   disassembler.
+//!   disassembler, binary I-Mem images.
 //! * [`simt_datapath`] — bit-exact models of the paper's ALU datapaths
 //!   (DSP-decomposed 32×32 multiplier, multiplicative shifter, segmented
 //!   prefix adder).
@@ -13,7 +25,36 @@
 //! * [`fpga_fabric`] — the Agilex-7 device model.
 //! * [`fpga_fitter`] — the "virtual Quartus" synthesis / placement / STA
 //!   pipeline that regenerates the paper's timing-closure results.
-//! * [`simt_kernels`] — fixed-point kernels and host references.
+//! * [`simt_kernels`] — fixed-point kernels, host references, and the
+//!   [`simt_kernels::LaunchSpec`] descriptions the runtime launches.
+//! * [`simt_system`] — stamped multi-core systems with a word-serial
+//!   interconnect and bulk-synchronous phases.
+//! * [`simt_runtime`] — the stream-oriented host runtime: CUDA-style
+//!   streams, events, async launches and modeled copies over a pool of
+//!   simulated devices, with a discrete-event virtual timeline.
+//!
+//! ## Stream-API quickstart
+//!
+//! ```
+//! use simt_repro::simt_kernels::{workload::int_vector, LaunchSpec};
+//! use simt_repro::simt_runtime::{Runtime, RuntimeConfig};
+//!
+//! let rt = Runtime::new(RuntimeConfig::default()); // 2-device pool
+//! let stream = rt.stream();
+//! let x = int_vector(256, 1);
+//! let y = int_vector(256, 2);
+//! let (spec, inputs) = LaunchSpec::saxpy(3, &x, &y).detach_inputs();
+//! for (off, words) in &inputs {
+//!     stream.copy_in(*off, words); // host→device at modeled link cost
+//! }
+//! let (off, len) = (spec.out_off, spec.out_len);
+//! let expected = spec.expected.clone();
+//! let launch = stream.launch(spec); // asynchronous
+//! let out = stream.copy_out(off, len);
+//! rt.synchronize().unwrap();
+//! assert_eq!(out.wait().unwrap(), expected);
+//! assert!(launch.wait().unwrap().cycles > 0);
+//! ```
 
 pub use fpga_fabric;
 pub use fpga_fitter;
@@ -21,3 +62,5 @@ pub use simt_core;
 pub use simt_datapath;
 pub use simt_isa;
 pub use simt_kernels;
+pub use simt_runtime;
+pub use simt_system;

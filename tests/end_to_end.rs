@@ -47,7 +47,10 @@ fn reduction_speedup_grows_with_n() {
         let (_, s) = reduce::dot_scaled(&x, &y).unwrap();
         let (_, m) = reduce::dot_predicated(&x, &y).unwrap();
         let ratio = m.stats.cycles as f64 / s.stats.cycles as f64;
-        assert!(ratio > last_ratio, "n={n}: ratio {ratio:.2} <= {last_ratio:.2}");
+        assert!(
+            ratio > last_ratio,
+            "n={n}: ratio {ratio:.2} <= {last_ratio:.2}"
+        );
         last_ratio = ratio;
     }
     assert!(last_ratio > 4.0, "1024-wide speedup only {last_ratio:.2}x");
@@ -55,7 +58,12 @@ fn reduction_speedup_grows_with_n() {
 
 #[test]
 fn matmul_various_shapes() {
-    for (m, k, n) in [(2usize, 2usize, 2usize), (4, 8, 4), (16, 4, 32), (32, 32, 16)] {
+    for (m, k, n) in [
+        (2usize, 2usize, 2usize),
+        (4, 8, 4),
+        (16, 4, 32),
+        (32, 32, 16),
+    ] {
         let a = q15_matrix(m, k, 1);
         let b = q15_matrix(k, n, 2);
         let (c, _) = matmul::matmul(&a, &b, m, k, n).unwrap();

@@ -2,9 +2,7 @@
 //! asserted end-to-end through the public APIs.
 
 use fpga_fabric::Device;
-use fpga_fitter::{
-    best_of, compile, seed_sweep, CompileOptions, DesignVariant,
-};
+use fpga_fitter::{best_of, compile, seed_sweep, CompileOptions, DesignVariant};
 use simt_core::{InstructionTiming, ProcessorConfig};
 use simt_datapath::{MultiplicativeShifter, ShiftKind};
 use simt_isa::CycleClass;
@@ -21,8 +19,14 @@ fn reference() -> (ProcessorConfig, Device) {
 fn t1_resource_rows() {
     let (cfg, dev) = reference();
     let a = compile(&cfg, &dev, &CompileOptions::constrained(0.93)).area;
-    assert_eq!((a.sp.alms, a.sp.regs, a.sp.m20k, a.sp.dsp), (371, 1337, 4, 2));
-    assert_eq!((a.mul_sft.alms, a.mul_sft.regs, a.mul_sft.dsp), (145, 424, 2));
+    assert_eq!(
+        (a.sp.alms, a.sp.regs, a.sp.m20k, a.sp.dsp),
+        (371, 1337, 4, 2)
+    );
+    assert_eq!(
+        (a.mul_sft.alms, a.mul_sft.regs, a.mul_sft.dsp),
+        (145, 424, 2)
+    );
     assert_eq!((a.logic.alms, a.logic.regs), (83, 424));
     assert_eq!((a.inst.alms, a.inst.regs, a.inst.m20k), (275, 651, 3));
     assert_eq!((a.shared.alms, a.shared.regs), (133, 233));
@@ -55,9 +59,21 @@ fn t2_stamping_best_of_five() {
 fn r1_unconstrained_fmax() {
     let (cfg, dev) = reference();
     let r = compile(&cfg, &dev, &CompileOptions::unconstrained());
-    assert!((r.fmax_logic() - 984.0).abs() / 984.0 < 0.03, "logic {:.1}", r.fmax_logic());
-    assert!((r.fmax_restricted() - 956.0).abs() / 956.0 < 0.005, "restricted {:.1}", r.fmax_restricted());
-    assert!(r.sta.restricted_by.starts_with("dsp"), "{}", r.sta.restricted_by);
+    assert!(
+        (r.fmax_logic() - 984.0).abs() / 984.0 < 0.03,
+        "logic {:.1}",
+        r.fmax_logic()
+    );
+    assert!(
+        (r.fmax_restricted() - 956.0).abs() / 956.0 < 0.005,
+        "restricted {:.1}",
+        r.fmax_restricted()
+    );
+    assert!(
+        r.sta.restricted_by.starts_with("dsp"),
+        "{}",
+        r.sta.restricted_by
+    );
 }
 
 #[test]
@@ -88,7 +104,11 @@ fn r4_egpu_baseline_771() {
         &dev,
         &CompileOptions::unconstrained().with_variant(DesignVariant::egpu_baseline()),
     );
-    assert!((r.fmax_restricted() - 771.0).abs() / 771.0 < 0.01, "{:.1}", r.fmax_restricted());
+    assert!(
+        (r.fmax_restricted() - 771.0).abs() / 771.0 < 0.01,
+        "{:.1}",
+        r.fmax_restricted()
+    );
 }
 
 // ---- R5: shifter closure ----------------------------------------------------
@@ -102,7 +122,11 @@ fn r5_barrel_vs_multiplicative() {
         &CompileOptions::unconstrained()
             .with_variant(DesignVariant::with_barrel_shifter().standalone_sp()),
     );
-    assert!(standalone.fmax_logic() >= 1000.0, "{:.1}", standalone.fmax_logic());
+    assert!(
+        standalone.fmax_logic() >= 1000.0,
+        "{:.1}",
+        standalone.fmax_logic()
+    );
 
     let sm = compile(
         &cfg,
