@@ -1,0 +1,75 @@
+//! Compiler throughput: how fast the IR pipeline turns kernels into
+//! programs, and what the content-addressed cache saves on repeats.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simt_compiler::{compile, CompileCache, Kernel, OptLevel};
+use simt_core::ProcessorConfig;
+use simt_kernels::{fir, reduce, vector};
+
+fn subjects() -> Vec<(&'static str, Kernel, ProcessorConfig)> {
+    vec![
+        (
+            "saxpy",
+            vector::saxpy_ir(3),
+            ProcessorConfig::default()
+                .with_threads(1024)
+                .with_shared_words(4096),
+        ),
+        (
+            "dot1024",
+            reduce::dot_ir(1024),
+            ProcessorConfig::default()
+                .with_threads(1024)
+                .with_shared_words(4096),
+        ),
+        (
+            "fir16",
+            fir::fir_ir(16),
+            ProcessorConfig::default()
+                .with_threads(1024)
+                .with_shared_words(8192),
+        ),
+    ]
+}
+
+fn print_pipeline_summary() {
+    println!("\n[compiler] pipeline effect per kernel (naive -> optimized instructions):");
+    for (name, kernel, cfg) in subjects() {
+        let naive = compile(&kernel, &cfg, OptLevel::None).unwrap();
+        let full = compile(&kernel, &cfg, OptLevel::Full).unwrap();
+        println!(
+            "[compiler] {name:<8} {:>3} -> {:>3}  ({:.0}% IR reduction, {} regs)",
+            naive.program.len(),
+            full.program.len(),
+            full.report.reduction() * 100.0,
+            full.regs_used,
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_pipeline_summary();
+    let mut g = c.benchmark_group("compiler_throughput");
+    for (name, kernel, cfg) in subjects() {
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(
+            BenchmarkId::new("compile_full", name),
+            &(&kernel, &cfg),
+            |b, (kernel, cfg)| b.iter(|| compile(kernel, cfg, OptLevel::Full).unwrap().program),
+        );
+        // The cached path a repeated runtime launch takes.
+        let cache = CompileCache::new();
+        cache.get_or_compile(&kernel, &cfg, OptLevel::Full).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("cache_hit", name),
+            &(&kernel, &cfg),
+            |b, (kernel, cfg)| {
+                b.iter(|| cache.get_or_compile(kernel, cfg, OptLevel::Full).unwrap())
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

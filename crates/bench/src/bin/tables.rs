@@ -7,12 +7,14 @@
 //! ```
 //!
 //! Flags: `--table1 --table2 --fmax --registers --baseline --shifter
-//! --fig5 --fig6 --fig7 --cycles --runtime` (no flags = all).
+//! --fig5 --fig6 --fig7 --cycles --runtime --compiler` (no flags = all).
 //!
 //! The `--runtime` section also writes `BENCH_runtime.json` — a
 //! machine-readable snapshot of the runtime scheduler's scaling numbers
-//! and the headline clock results, so future changes can be tracked
-//! against it.
+//! and the headline clock results — and `--compiler` writes
+//! `BENCH_compiler.json` (compile times, pass-pipeline instruction
+//! reductions, compile-cache hit rates), so future changes can be
+//! tracked against them.
 
 use fpga_fitter::{compile, floorplan, CompileOptions, DesignVariant};
 use serde::Serialize;
@@ -73,6 +75,167 @@ fn main() {
     if want("--runtime") {
         runtime();
     }
+    if want("--compiler") {
+        compiler();
+    }
+}
+
+/// One kernel family through the IR pipeline.
+#[derive(Debug, Clone, Serialize)]
+struct CompilerKernelRow {
+    name: String,
+    ir_insts: usize,
+    ir_insts_optimized: usize,
+    naive_len: usize,
+    optimized_len: usize,
+    handwritten_len: usize,
+    reduction_pct: f64,
+    regs_used: usize,
+    compile_us: f64,
+}
+
+/// Compile-cache behaviour under repeated runtime launches.
+#[derive(Debug, Clone, Serialize)]
+struct CompileCacheStats {
+    launches: u64,
+    hits: u64,
+    misses: u64,
+    hit_rate: f64,
+}
+
+/// The machine-readable snapshot written to `BENCH_compiler.json`.
+#[derive(Debug, Clone, Serialize)]
+struct CompilerBenchReport {
+    schema_version: u32,
+    kernels: Vec<CompilerKernelRow>,
+    cache: CompileCacheStats,
+}
+
+fn compiler() {
+    use simt_compiler::{compile, OptLevel};
+    use simt_kernels::workload::{int_vector, lowpass_taps, q15_signal};
+    use simt_kernels::{fir, reduce, vector, LaunchSpec};
+    use simt_runtime::{Runtime, RuntimeConfig};
+    use std::time::Instant;
+
+    println!("== simt-compiler: pass pipeline and compile cache ==");
+    let subjects: Vec<(String, simt_compiler::Kernel, ProcessorConfig, String)> = vec![
+        (
+            "saxpy".into(),
+            vector::saxpy_ir(3),
+            ProcessorConfig::default()
+                .with_threads(1024)
+                .with_shared_words(4096),
+            vector::saxpy_asm(3),
+        ),
+        (
+            "dot1024".into(),
+            reduce::dot_ir(1024),
+            ProcessorConfig::default()
+                .with_threads(1024)
+                .with_shared_words(4096),
+            reduce::dot_asm_scaled(1024),
+        ),
+        (
+            "sum256".into(),
+            reduce::sum_ir(256),
+            ProcessorConfig::default()
+                .with_threads(256)
+                .with_shared_words(4096),
+            reduce::sum_asm_scaled(256),
+        ),
+        (
+            "fir16".into(),
+            fir::fir_ir(16),
+            ProcessorConfig::default()
+                .with_threads(1024)
+                .with_shared_words(8192),
+            fir::fir_asm(16),
+        ),
+    ];
+
+    println!(
+        "{:<10} {:>6} {:>6} {:>7} {:>7} {:>6} {:>6} {:>10}",
+        "kernel", "IR", "IR opt", "naive", "opt", "hand", "regs", "compile us"
+    );
+    let mut rows = Vec::new();
+    for (name, kernel, cfg, hand_asm) in subjects {
+        let naive = compile(&kernel, &cfg, OptLevel::None).expect("naive lowering");
+        let full = compile(&kernel, &cfg, OptLevel::Full).expect("optimized lowering");
+        let hand = simt_isa::assemble(&hand_asm).expect("handwritten kernel");
+        // Mean wall time of a cold full compile.
+        const REPS: u32 = 200;
+        let t0 = Instant::now();
+        for _ in 0..REPS {
+            let _ = compile(&kernel, &cfg, OptLevel::Full).unwrap();
+        }
+        let compile_us = t0.elapsed().as_secs_f64() * 1e6 / REPS as f64;
+        let row = CompilerKernelRow {
+            name: name.clone(),
+            ir_insts: full.report.insts_before,
+            ir_insts_optimized: full.report.insts_after,
+            naive_len: naive.program.len(),
+            optimized_len: full.program.len(),
+            handwritten_len: hand.len(),
+            reduction_pct: full.report.reduction() * 100.0,
+            regs_used: full.regs_used,
+            compile_us,
+        };
+        println!(
+            "{:<10} {:>6} {:>6} {:>7} {:>7} {:>6} {:>6} {:>10.1}",
+            row.name,
+            row.ir_insts,
+            row.ir_insts_optimized,
+            row.naive_len,
+            row.optimized_len,
+            row.handwritten_len,
+            row.regs_used,
+            row.compile_us
+        );
+        assert!(
+            row.optimized_len <= row.naive_len,
+            "{name}: pipeline grew the program"
+        );
+        rows.push(row);
+    }
+
+    // Repeated launches through a single-device runtime: the compile
+    // cache takes every repeat.
+    let rt = Runtime::new(RuntimeConfig::with_devices(1));
+    let s = rt.stream();
+    let x = int_vector(256, 1);
+    let y = int_vector(256, 2);
+    let sig = q15_signal(128 + 15, 3);
+    let taps = lowpass_taps(16);
+    for _ in 0..8 {
+        s.launch(LaunchSpec::saxpy_ir(3, &x, &y));
+        s.launch(LaunchSpec::dot_ir(&x, &y));
+        s.launch(LaunchSpec::fir_ir(&sig, &taps, 128));
+    }
+    rt.synchronize().expect("cache workload runs clean");
+    let stats = rt.stats();
+    let cache = CompileCacheStats {
+        launches: stats.launches(),
+        hits: stats.compile_hits(),
+        misses: stats.compile_misses(),
+        hit_rate: stats.compile_hit_rate(),
+    };
+    println!(
+        "\ncompile cache over {} repeated launches: {} misses, {} hits ({:.0}% hit rate)",
+        cache.launches,
+        cache.misses,
+        cache.hits,
+        cache.hit_rate * 100.0
+    );
+
+    let report = CompilerBenchReport {
+        schema_version: 1,
+        kernels: rows,
+        cache,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_compiler.json", &json).expect("write BENCH_compiler.json");
+    println!("(wrote BENCH_compiler.json)\n");
 }
 
 /// One row of the stream-count sweep.

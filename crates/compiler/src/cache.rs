@@ -1,0 +1,378 @@
+//! Content-addressed compile cache.
+//!
+//! Keys are deterministic 64-bit content hashes of (source, processor
+//! configuration, opt level) — the wasmtime/cranelift artifact-cache
+//! shape: identical kernels compiled for identical targets share one
+//! [`Program`] no matter which stream, device or process-lifetime
+//! launch asked first. Both frontends are covered: IR kernels (hashed
+//! over a canonical renumbering, see [`Kernel::content_hash`]) and text
+//! assembly (hashed over the source bytes).
+//!
+//! The cache is thread-safe and cheap to share (`Arc<CompileCache>`
+//! across a device pool); hit/miss counters feed the runtime's
+//! statistics. A hit compares the stored source material against the
+//! request, so a 64-bit key collision degrades to a one-off compile
+//! instead of returning the wrong program, and the map lock is never
+//! held across a compile (per-key pending tracking serializes only
+//! same-key callers).
+
+use crate::error::CompileError;
+use crate::ir::{hash_config, Fnv, Kernel};
+use crate::lower::{compile, OptLevel};
+use simt_core::ProcessorConfig;
+use simt_isa::{IsaError, Program};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What a cache entry was compiled from. Kept alongside the program so
+/// a 64-bit key collision is *detected* (the material is compared on
+/// every hit) instead of silently handing back the wrong kernel. IR
+/// material is the same canonical form the hash covers
+/// ([`Kernel::canonical_bytes`]: dense-renumbered, reachable-only,
+/// config included), so content-identical kernels that differ in name
+/// or arena garbage still hit.
+#[derive(Debug, PartialEq)]
+enum SourceMaterial {
+    /// Canonical IR + config bytes, plus the opt level.
+    Ir { canon: Vec<u8>, opt_full: bool },
+    /// Assembly source text.
+    Asm(String),
+}
+
+#[derive(Debug)]
+struct Entry {
+    material: SourceMaterial,
+    config: ProcessorConfig,
+    program: Arc<Program>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<u64, Entry>,
+    /// Keys currently being compiled by some thread; others wait on
+    /// the condvar instead of compiling the same kernel in parallel —
+    /// and instead of holding the map lock across a compile, which
+    /// would serialize unrelated compilations pool-wide.
+    pending: HashSet<u64>,
+}
+
+/// A shared, content-addressed map from compiled-artifact keys to
+/// programs.
+#[derive(Debug, Default)]
+pub struct CompileCache {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Outcome of claiming a key under the lock.
+enum Claim {
+    Hit(Arc<Program>),
+    /// This thread owns the compile for the key.
+    Owned,
+    /// The key is resident but the material differs (hash collision):
+    /// compile without caching.
+    Collision,
+}
+
+impl CompileCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Claim `key` under the lock: hit, collision, or take ownership of
+    /// the compile (waiting out any other thread already compiling it).
+    fn claim(&self, key: u64, material: &SourceMaterial, config: &ProcessorConfig) -> Claim {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(e) = inner.map.get(&key) {
+                if e.material == *material && e.config == *config {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Claim::Hit(Arc::clone(&e.program));
+                }
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return Claim::Collision;
+            }
+            if inner.pending.insert(key) {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return Claim::Owned;
+            }
+            inner = self.ready.wait(inner).unwrap();
+        }
+    }
+
+    /// Publish (or on failure abandon) an owned compile and wake
+    /// waiters.
+    fn settle(&self, key: u64, entry: Option<Entry>) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.pending.remove(&key);
+        if let Some(e) = entry {
+            inner.map.insert(key, e);
+        }
+        self.ready.notify_all();
+    }
+
+    /// Compile an IR kernel (or return the cached artifact, flagged
+    /// `true`). Concurrent launches of the same kernel compile exactly
+    /// once — later callers wait for the first, and unrelated keys
+    /// compile in parallel (the map lock is not held across a compile).
+    pub fn get_or_compile(
+        &self,
+        kernel: &Kernel,
+        config: &ProcessorConfig,
+        opt: OptLevel,
+    ) -> Result<(Arc<Program>, bool), CompileError> {
+        // Validate before hashing: the canonical serialization assumes
+        // well-formed regions, and a malformed kernel must surface the
+        // same typed error here as on the direct compile() path.
+        kernel.validate()?;
+        let canon = kernel.canonical_bytes(config);
+        let mut h = Fnv::new();
+        h.write_u8(0x1A); // IR namespace
+        h.write_u8(matches!(opt, OptLevel::Full) as u8);
+        h.write_bytes(&canon);
+        let key = h.finish();
+        let material = SourceMaterial::Ir {
+            canon,
+            opt_full: matches!(opt, OptLevel::Full),
+        };
+        match self.claim(key, &material, config) {
+            Claim::Hit(p) => Ok((p, true)),
+            Claim::Collision => {
+                // Keyspace collision: serve a correct one-off compile,
+                // leave the resident entry alone.
+                Ok((Arc::new(compile(kernel, config, opt)?.program), false))
+            }
+            Claim::Owned => match compile(kernel, config, opt) {
+                Ok(compiled) => {
+                    let p = Arc::new(compiled.program);
+                    self.settle(
+                        key,
+                        Some(Entry {
+                            material,
+                            config: config.clone(),
+                            program: Arc::clone(&p),
+                        }),
+                    );
+                    Ok((p, false))
+                }
+                Err(e) => {
+                    self.settle(key, None);
+                    Err(e)
+                }
+            },
+        }
+    }
+
+    /// Assemble a text kernel (or return the cached artifact, flagged
+    /// `true`), keyed by the source bytes and configuration.
+    pub fn get_or_assemble(
+        &self,
+        asm: &str,
+        config: &ProcessorConfig,
+    ) -> Result<(Arc<Program>, bool), IsaError> {
+        let mut h = Fnv::new();
+        h.write_u8(0x2B); // asm namespace
+        h.write_bytes(asm.as_bytes());
+        hash_config(&mut h, config);
+        let key = h.finish();
+        let material = SourceMaterial::Asm(asm.to_string());
+        match self.claim(key, &material, config) {
+            Claim::Hit(p) => Ok((p, true)),
+            Claim::Collision => Ok((Arc::new(simt_isa::assemble(asm)?), false)),
+            Claim::Owned => match simt_isa::assemble(asm) {
+                Ok(program) => {
+                    let p = Arc::new(program);
+                    self.settle(
+                        key,
+                        Some(Entry {
+                            material,
+                            config: config.clone(),
+                            program: Arc::clone(&p),
+                        }),
+                    );
+                    Ok((p, false))
+                }
+                Err(e) => {
+                    self.settle(key, None);
+                    Err(e)
+                }
+            },
+        }
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (compilations) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Cached artifacts.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// True when nothing has been cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hits over total lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let total = h + self.misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            h / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::IrBuilder;
+
+    fn kernel(mul: i32) -> Kernel {
+        let mut b = IrBuilder::new("k");
+        let tid = b.tid();
+        let x = b.load(tid, 0);
+        let c = b.iconst(mul);
+        let y = b.mul(x, c);
+        b.store(tid, 64, y);
+        b.finish()
+    }
+
+    #[test]
+    fn repeated_compiles_hit() {
+        let cache = CompileCache::new();
+        let cfg = ProcessorConfig::small();
+        let k = kernel(3);
+        let (p1, hit1) = cache.get_or_compile(&k, &cfg, OptLevel::Full).unwrap();
+        let (p2, hit2) = cache.get_or_compile(&k, &cfg, OptLevel::Full).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert!(!hit1);
+        assert!(hit2);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.hit_rate() > 0.49);
+    }
+
+    #[test]
+    fn distinct_kernels_configs_and_levels_miss() {
+        let cache = CompileCache::new();
+        let cfg = ProcessorConfig::small();
+        let k = kernel(3);
+        cache.get_or_compile(&k, &cfg, OptLevel::Full).unwrap();
+        cache
+            .get_or_compile(&kernel(4), &cfg, OptLevel::Full)
+            .unwrap();
+        cache
+            .get_or_compile(&k, &cfg.clone().with_threads(32), OptLevel::Full)
+            .unwrap();
+        cache.get_or_compile(&k, &cfg, OptLevel::None).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 4));
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn assembly_is_cached_by_source_and_config() {
+        let cache = CompileCache::new();
+        let cfg = ProcessorConfig::small();
+        let src = "  stid r1\n  sts [r1+0], r1\n  exit";
+        let (p1, hit1) = cache.get_or_assemble(src, &cfg).unwrap();
+        let (p2, hit2) = cache.get_or_assemble(src, &cfg).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert!(!hit1);
+        assert!(hit2);
+        let _ = cache
+            .get_or_assemble(src, &cfg.clone().with_threads(32))
+            .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+    }
+
+    #[test]
+    fn arena_garbage_does_not_defeat_the_cache() {
+        // Content-identical kernels that differ only in unreachable
+        // arena entries share one hash AND one canonical material, so
+        // the second lookup is a true hit (not a false collision).
+        let cache = CompileCache::new();
+        let cfg = ProcessorConfig::small();
+        let k1 = kernel(3);
+        let mut k2 = kernel(3);
+        let garbage = k2.append_inst(crate::ir::Op::Const(99), vec![]);
+        let _ = garbage; // never placed in a region
+        let (_, hit1) = cache.get_or_compile(&k1, &cfg, OptLevel::Full).unwrap();
+        let (_, hit2) = cache.get_or_compile(&k2, &cfg, OptLevel::Full).unwrap();
+        assert!(!hit1);
+        assert!(hit2, "garbage-only difference must still hit");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn malformed_kernels_error_instead_of_panicking() {
+        // A kernel whose store references a value from another
+        // builder's arena: the cache path must return the same typed
+        // Malformed error as compile(), not panic inside the hasher
+        // (a panic here would kill a runtime device worker and hang
+        // synchronize()).
+        let mut other = IrBuilder::new("other");
+        for _ in 0..8 {
+            let _ = other.iconst(1);
+        }
+        let foreign = other.tid(); // ValueId(8), out of range below
+        let mut b = IrBuilder::new("bad");
+        let tid = b.tid();
+        b.store(tid, 0, foreign);
+        let bad = b.finish();
+        let cache = CompileCache::new();
+        let cfg = ProcessorConfig::small();
+        match cache.get_or_compile(&bad, &cfg, OptLevel::Full) {
+            Err(CompileError::Malformed { .. }) => {}
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn failed_compiles_are_not_cached() {
+        let cache = CompileCache::new();
+        let cfg = ProcessorConfig::small().with_regs_per_thread(2);
+        let k = kernel(3);
+        assert!(cache.get_or_compile(&k, &cfg, OptLevel::Full).is_err());
+        assert!(cache.is_empty());
+        assert!(cache.get_or_assemble("  frob r1", &cfg).is_err());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let cache = Arc::new(CompileCache::new());
+        let cfg = ProcessorConfig::small();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let cfg = cfg.clone();
+                std::thread::spawn(move || {
+                    cache
+                        .get_or_compile(&kernel(7), &cfg, OptLevel::Full)
+                        .unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // The miss path compiles under the lock: exactly one compile.
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 3);
+    }
+}

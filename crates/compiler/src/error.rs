@@ -1,0 +1,91 @@
+//! Typed compilation errors.
+
+use simt_core::ConfigError;
+use simt_isa::IsaError;
+use std::fmt;
+
+/// Anything that can go wrong turning a [`crate::Kernel`] into a
+/// [`simt_isa::Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The IR is structurally invalid (arity, types, dominance, ranges).
+    Malformed {
+        /// Offending value id.
+        value: u32,
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// The kernel needs more general-purpose registers than the
+    /// configured register file provides. Spilling is not an option on
+    /// this machine — the register file is a fixed M20K structure — so
+    /// exhaustion is a hard, typed failure.
+    OutOfRegisters {
+        /// Registers the allocator needed at the high-water mark.
+        needed: usize,
+        /// Registers the configuration provides (r0 is reserved).
+        available: usize,
+    },
+    /// More than the four architectural predicate registers are live at
+    /// once.
+    OutOfPredicates {
+        /// Predicates live at the high-water mark.
+        needed: usize,
+    },
+    /// The kernel uses predicates but the processor configuration was
+    /// built without the (≈ +50 % logic) predicate option.
+    PredicatesDisabled,
+    /// The compiled program exceeds the configured I-Mem capacity.
+    ProgramTooLarge {
+        /// Compiled length in instructions.
+        len: usize,
+        /// Configured capacity.
+        capacity: usize,
+    },
+    /// The processor configuration itself is invalid.
+    Config(String),
+    /// The ISA layer rejected the emitted program.
+    Isa(IsaError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Malformed { value, detail } => {
+                write!(f, "malformed IR at v{value}: {detail}")
+            }
+            CompileError::OutOfRegisters { needed, available } => write!(
+                f,
+                "register allocation needs {needed} registers, \
+                 configuration provides {available} (no spilling on a fixed register file)"
+            ),
+            CompileError::OutOfPredicates { needed } => write!(
+                f,
+                "{needed} predicate values live at once, hardware has 4 (p0..p3)"
+            ),
+            CompileError::PredicatesDisabled => write!(
+                f,
+                "kernel uses predicates but the processor is configured without predicate support"
+            ),
+            CompileError::ProgramTooLarge { len, capacity } => write!(
+                f,
+                "compiled program of {len} instructions exceeds I-Mem capacity {capacity}"
+            ),
+            CompileError::Config(e) => write!(f, "configuration: {e}"),
+            CompileError::Isa(e) => write!(f, "isa: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<IsaError> for CompileError {
+    fn from(e: IsaError) -> Self {
+        CompileError::Isa(e)
+    }
+}
+
+impl From<ConfigError> for CompileError {
+    fn from(e: ConfigError) -> Self {
+        CompileError::Config(e.to_string())
+    }
+}

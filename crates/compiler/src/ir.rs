@@ -1,0 +1,897 @@
+//! The SSA kernel IR.
+//!
+//! A [`Kernel`] is an arena of single-assignment instructions organised
+//! into nested regions: the root region is straight-line code, and a
+//! [`Op::Loop`] instruction owns a child region that maps one-to-one
+//! onto the ISA's zero-overhead hardware loop (§3 of the paper — a trip
+//! count and an end address, no loop-carried registers). Values defined
+//! inside a loop body are scoped to that body; state that must survive
+//! an iteration flows through shared memory, exactly as it does on the
+//! lockstep machine.
+//!
+//! Each instruction may carry the two per-instruction attributes the
+//! ISA exposes: a **dynamic thread scale** (`active = nthreads >> k`,
+//! the §2 reduction feature) and a **predicate guard** referencing an
+//! SSA predicate value produced by [`Op::Cmp`].
+//!
+//! ```
+//! use simt_compiler::ir::IrBuilder;
+//!
+//! let mut b = IrBuilder::new("scale_bias");
+//! let tid = b.tid();
+//! let x = b.load(tid, 0);             // x = shared[tid]
+//! let c = b.iconst(3);
+//! let x3 = b.mul(x, c);               // muli after lowering
+//! let c7 = b.iconst(7);
+//! let y = b.add(x3, c7);
+//! b.store(tid, 64, y);                // shared[tid + 64] = 3*x + 7
+//! let kernel = b.finish();
+//! assert!(kernel.validate().is_ok());
+//! ```
+
+use crate::error::CompileError;
+use simt_core::{DspMode, ProcessorConfig};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An SSA value: the result of one instruction in the kernel arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub(crate) u32);
+
+impl ValueId {
+    /// Arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Type of an SSA value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// 32-bit machine word (the only data type of the integer datapath).
+    Word,
+    /// A predicate bit (lives in p0..p3 after allocation).
+    Pred,
+    /// No value (stores, loops).
+    Void,
+}
+
+/// Two-operand word ops, mapping onto the adder / multiplier / shifter /
+/// soft-logic datapaths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping add.
+    Add,
+    /// Wrapping subtract.
+    Sub,
+    /// Low 32 bits of the signed product.
+    Mul,
+    /// High 32 bits of the signed product.
+    MulHi,
+    /// High 32 bits of the unsigned product.
+    MulUHi,
+    /// Signed minimum.
+    Min,
+    /// Signed maximum.
+    Max,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift (0 for shifts ≥ 32).
+    Shl,
+    /// Logical right shift (0 for shifts ≥ 32).
+    Lsr,
+    /// Arithmetic right shift (sign for shifts ≥ 32).
+    Asr,
+    /// Saturating add.
+    SatAdd,
+    /// Saturating subtract.
+    SatSub,
+}
+
+/// One-operand word ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Absolute value (wrapping at `i32::MIN`).
+    Abs,
+    /// Wrapping negate.
+    Neg,
+    /// Bitwise not.
+    Not,
+    /// Logical not: 1 if zero, else 0.
+    Cnot,
+    /// Population count.
+    Popc,
+    /// Count leading zeros.
+    Clz,
+    /// Bit reverse.
+    Brev,
+}
+
+/// Predicate-producing comparisons (`setp.*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+/// Operation of one IR instruction. Operand arity and types are fixed
+/// per variant (checked by [`Kernel::validate`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Word constant.
+    Const(i32),
+    /// Thread id (`stid`).
+    Tid,
+    /// Thread count (`sntid`).
+    Ntid,
+    /// Binary word op; args `[a, b]`.
+    Bin(BinOp),
+    /// Unary word op; args `[a]`.
+    Un(UnOp),
+    /// Fused multiply-add `a*b + c` (low 32); args `[a, b, c]`.
+    Mad,
+    /// Fixed-point scaling multiply `(a*b) >> s` over the full 64-bit
+    /// product; args `[a, b]`.
+    MulShr(u32),
+    /// Address generation `(a << s) + b`; args `[a, b]`.
+    ShAdd(u32),
+    /// Rotate right by an immediate; args `[a]`.
+    Rotr(u32),
+    /// Comparison producing a predicate; args `[a, b]`.
+    Cmp(CmpOp),
+    /// Predicated select `p ? a : b`; args `[a, b, p]`.
+    Select,
+    /// Shared-memory load `shared[base + off]`; args `[base]`.
+    Load(u32),
+    /// Shared-memory store `shared[base + off] = v`; args `[base, v]`.
+    Store(u32),
+    /// Zero-overhead hardware loop repeating its body region `count`
+    /// times; no args, body region attached to the instruction.
+    Loop(u32),
+}
+
+impl Op {
+    /// Result type.
+    pub fn ty(&self) -> Ty {
+        match self {
+            Op::Cmp(_) => Ty::Pred,
+            Op::Store(_) | Op::Loop(_) => Ty::Void,
+            _ => Ty::Word,
+        }
+    }
+
+    /// Expected operand count.
+    pub fn arity(&self) -> usize {
+        match self {
+            Op::Const(_) | Op::Tid | Op::Ntid | Op::Loop(_) => 0,
+            Op::Un(_) | Op::Rotr(_) | Op::Load(_) => 1,
+            Op::Bin(_) | Op::MulShr(_) | Op::ShAdd(_) | Op::Cmp(_) | Op::Store(_) => 2,
+            Op::Mad | Op::Select => 3,
+        }
+    }
+
+    /// True for ops with no side effects (eligible for CSE / DCE).
+    pub fn is_pure(&self) -> bool {
+        !matches!(self, Op::Load(_) | Op::Store(_) | Op::Loop(_))
+    }
+
+    /// A small stable tag for content hashing.
+    fn tag(&self) -> u32 {
+        match self {
+            Op::Const(_) => 0,
+            Op::Tid => 1,
+            Op::Ntid => 2,
+            Op::Bin(b) => 3 + *b as u32,
+            Op::Un(u) => 32 + *u as u32,
+            Op::Mad => 48,
+            Op::MulShr(_) => 49,
+            Op::ShAdd(_) => 50,
+            Op::Rotr(_) => 51,
+            Op::Cmp(c) => 52 + *c as u32,
+            Op::Select => 63,
+            Op::Load(_) => 64,
+            Op::Store(_) => 65,
+            Op::Loop(_) => 66,
+        }
+    }
+
+    /// Immediate payload for content hashing.
+    fn payload(&self) -> u32 {
+        match self {
+            Op::Const(c) => *c as u32,
+            Op::MulShr(s) | Op::ShAdd(s) | Op::Rotr(s) => *s,
+            Op::Load(o) | Op::Store(o) => *o,
+            Op::Loop(c) => *c,
+            _ => 0,
+        }
+    }
+}
+
+/// A predicate guard on an instruction: execute (write) only the lanes
+/// where `pred` holds (negated if `negate`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IrGuard {
+    /// Guarding predicate value (must have type [`Ty::Pred`]).
+    pub pred: ValueId,
+    /// Invert the predicate.
+    pub negate: bool,
+}
+
+/// One instruction in the kernel arena.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inst {
+    /// Operation.
+    pub op: Op,
+    /// Operand values (arity per [`Op::arity`]).
+    pub args: Vec<ValueId>,
+    /// Optional dynamic thread scale (`active = nthreads >> k`, k ≤ 7).
+    pub scale: Option<u8>,
+    /// Optional predicate guard.
+    pub guard: Option<IrGuard>,
+    /// Body region (loops only).
+    pub body: Option<Vec<ValueId>>,
+}
+
+impl Inst {
+    fn new(op: Op, args: Vec<ValueId>) -> Self {
+        Inst {
+            op,
+            args,
+            scale: None,
+            guard: None,
+            body: None,
+        }
+    }
+}
+
+/// An SSA kernel: the instruction arena plus the root region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Kernel name (not part of the content hash).
+    pub name: String,
+    pub(crate) insts: Vec<Inst>,
+    pub(crate) body: Vec<ValueId>,
+}
+
+impl Kernel {
+    /// The instruction behind a value.
+    pub fn inst(&self, v: ValueId) -> &Inst {
+        &self.insts[v.index()]
+    }
+
+    pub(crate) fn inst_mut(&mut self, v: ValueId) -> &mut Inst {
+        &mut self.insts[v.index()]
+    }
+
+    /// Append a fresh instruction to the arena (the caller places it
+    /// into a region).
+    pub(crate) fn append_inst(&mut self, op: Op, args: Vec<ValueId>) -> ValueId {
+        let v = ValueId(self.insts.len() as u32);
+        self.insts.push(Inst::new(op, args));
+        v
+    }
+
+    /// Result type of a value.
+    pub fn ty(&self, v: ValueId) -> Ty {
+        self.inst(v).op.ty()
+    }
+
+    /// The root region.
+    pub fn body(&self) -> &[ValueId] {
+        &self.body
+    }
+
+    /// The constant behind a value, if it is an [`Op::Const`].
+    pub fn as_const(&self, v: ValueId) -> Option<i32> {
+        match self.inst(v).op {
+            Op::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Number of instructions reachable from the root region (the
+    /// figure the pass pipeline reports).
+    pub fn live_insts(&self) -> usize {
+        fn count(k: &Kernel, region: &[ValueId]) -> usize {
+            region
+                .iter()
+                .map(|&v| match &k.inst(v).body {
+                    Some(b) => 1 + count(k, b),
+                    None => 1,
+                })
+                .sum()
+        }
+        count(self, &self.body)
+    }
+
+    /// Pre-order traversal of every region, outermost first.
+    pub fn for_each_inst(&self, mut f: impl FnMut(ValueId, &Inst)) {
+        fn walk(k: &Kernel, region: &[ValueId], f: &mut impl FnMut(ValueId, &Inst)) {
+            for &v in region {
+                f(v, k.inst(v));
+                if let Some(body) = k.inst(v).body.clone() {
+                    walk(k, &body, f);
+                }
+            }
+        }
+        walk(self, &self.body.clone(), &mut f);
+    }
+
+    /// Structural validation: arity, operand types, attribute ranges,
+    /// and SSA dominance (every use is preceded by its definition in the
+    /// same or an enclosing region).
+    pub fn validate(&self) -> Result<(), CompileError> {
+        fn bad(v: ValueId, detail: String) -> CompileError {
+            CompileError::Malformed { value: v.0, detail }
+        }
+        fn walk(
+            k: &Kernel,
+            region: &[ValueId],
+            visible: &mut Vec<ValueId>,
+        ) -> Result<(), CompileError> {
+            let scope_base = visible.len();
+            for &v in region {
+                let inst = k.inst(v);
+                if inst.args.len() != inst.op.arity() {
+                    return Err(bad(
+                        v,
+                        format!(
+                            "{:?} expects {} operands, has {}",
+                            inst.op,
+                            inst.op.arity(),
+                            inst.args.len()
+                        ),
+                    ));
+                }
+                for (i, &a) in inst.args.iter().enumerate() {
+                    if !visible.contains(&a) {
+                        return Err(bad(v, format!("operand {a} does not dominate this use")));
+                    }
+                    let want = match (&inst.op, i) {
+                        (Op::Select, 2) => Ty::Pred,
+                        _ => Ty::Word,
+                    };
+                    if k.ty(a) != want {
+                        return Err(bad(v, format!("operand {i} ({a}) is not {want:?}")));
+                    }
+                }
+                if let Some(g) = inst.guard {
+                    if !visible.contains(&g.pred) {
+                        return Err(bad(v, format!("guard {} does not dominate", g.pred)));
+                    }
+                    if k.ty(g.pred) != Ty::Pred {
+                        return Err(bad(v, format!("guard {} is not a predicate", g.pred)));
+                    }
+                }
+                if let Some(s) = inst.scale {
+                    if s > 7 {
+                        return Err(bad(v, format!("thread scale {s} exceeds the 3-bit field")));
+                    }
+                }
+                match inst.op {
+                    Op::Load(off) | Op::Store(off) if off > 0xFFFF => {
+                        return Err(bad(v, format!("memory offset {off} exceeds imm16")));
+                    }
+                    Op::Loop(count) => {
+                        if count == 0 || count > 0xFFFF {
+                            return Err(bad(v, format!("loop count {count} outside 1..=65535")));
+                        }
+                        // The hardware loop is uniform control flow
+                        // (§3): per-lane masks on it have no ISA
+                        // encoding and would be silently dropped.
+                        if inst.guard.is_some() || inst.scale.is_some() {
+                            return Err(bad(
+                                v,
+                                "loops are uniform control flow and cannot carry a \
+                                 guard or thread scale"
+                                    .into(),
+                            ));
+                        }
+                        let body = inst
+                            .body
+                            .as_ref()
+                            .ok_or_else(|| bad(v, "loop instruction has no body region".into()))?;
+                        if body.is_empty() {
+                            return Err(bad(v, "loop body is empty".into()));
+                        }
+                        walk(k, body, visible)?;
+                    }
+                    _ => {
+                        if inst.body.is_some() {
+                            return Err(bad(v, "only loops carry a body region".into()));
+                        }
+                    }
+                }
+                visible.push(v);
+            }
+            // Values defined in this region go out of scope with it (a
+            // loop body's definitions are invisible after the loop).
+            visible.truncate(scope_base);
+            Ok(())
+        }
+        let mut visible = Vec::new();
+        walk(self, &self.body, &mut visible)
+    }
+
+    /// Canonical byte serialization of the kernel plus the processor
+    /// configuration it will be compiled for: a dense renumbering in
+    /// traversal order, independent of the kernel name and of arena
+    /// garbage left behind by passes. Two kernels are
+    /// compilation-equivalent exactly when their canonical bytes are
+    /// equal — [`Kernel::content_hash`] hashes these bytes, and the
+    /// [`crate::CompileCache`] compares them on every hit so a 64-bit
+    /// key collision can never return the wrong program.
+    pub fn canonical_bytes(&self, config: &ProcessorConfig) -> Vec<u8> {
+        fn put(out: &mut Vec<u8>, v: u32) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut out = Vec::new();
+        let mut dense: HashMap<ValueId, u32> = HashMap::new();
+        fn walk(
+            k: &Kernel,
+            region: &[ValueId],
+            dense: &mut HashMap<ValueId, u32>,
+            out: &mut Vec<u8>,
+        ) {
+            put(out, 0xBE61_0000); // region open
+            for &v in region {
+                let n = dense.len() as u32;
+                dense.insert(v, n);
+                let inst = k.inst(v);
+                put(out, inst.op.tag());
+                put(out, inst.op.payload());
+                for a in &inst.args {
+                    put(out, dense[a]);
+                }
+                put(
+                    out,
+                    match inst.scale {
+                        Some(s) => 0x100 | s as u32,
+                        None => 0,
+                    },
+                );
+                match inst.guard {
+                    Some(g) => {
+                        put(out, 0x200 | g.negate as u32);
+                        put(out, dense[&g.pred]);
+                    }
+                    None => put(out, 0),
+                }
+                if let Some(body) = &inst.body {
+                    walk(k, body, dense, out);
+                }
+            }
+            put(out, 0xBE61_FFFF); // region close
+        }
+        walk(self, &self.body, &mut dense, &mut out);
+        put(&mut out, config.threads as u32);
+        put(&mut out, config.regs_per_thread as u32);
+        put(&mut out, config.shared_words as u32);
+        out.push(config.predicates as u8);
+        put(&mut out, config.call_stack_depth as u32);
+        put(&mut out, config.loop_stack_depth as u32);
+        put(&mut out, config.imem_capacity as u32);
+        out.push(match config.dsp_mode {
+            DspMode::Integer => 0,
+            DspMode::FloatingPoint => 1,
+        });
+        out
+    }
+
+    /// Content hash of the kernel + configuration — the
+    /// [`crate::CompileCache`] key. Deterministic across processes
+    /// (FNV-1a over [`Kernel::canonical_bytes`]).
+    pub fn content_hash(&self, config: &ProcessorConfig) -> u64 {
+        let mut h = Fnv::new();
+        h.write_bytes(&self.canonical_bytes(config));
+        h.finish()
+    }
+}
+
+impl fmt::Display for Kernel {
+    /// Human-readable IR listing (debugging aid, not a parseable form).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn render(
+            k: &Kernel,
+            region: &[ValueId],
+            indent: usize,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            for &v in region {
+                let inst = k.inst(v);
+                write!(f, "{:indent$}", "", indent = indent)?;
+                if inst.op.ty() != Ty::Void {
+                    write!(f, "{v} = ")?;
+                }
+                write!(f, "{:?}", inst.op)?;
+                for a in &inst.args {
+                    write!(f, " {a}")?;
+                }
+                if let Some(s) = inst.scale {
+                    write!(f, " .t{s}")?;
+                }
+                if let Some(g) = inst.guard {
+                    write!(f, " @{}{}", if g.negate { "!" } else { "" }, g.pred)?;
+                }
+                writeln!(f)?;
+                if let Some(body) = &inst.body {
+                    render(k, body, indent + 2, f)?;
+                }
+            }
+            Ok(())
+        }
+        writeln!(f, "kernel {} {{", self.name)?;
+        render(self, &self.body, 2, f)?;
+        write!(f, "}}")
+    }
+}
+
+/// Builds a [`Kernel`] instruction by instruction, with a region stack
+/// for hardware loops. Structural misuse (unbalanced loops) panics, as
+/// in [`simt_isa::KernelBuilder`]; semantic problems surface as typed
+/// errors from [`Kernel::validate`] at compile time.
+#[derive(Debug)]
+pub struct IrBuilder {
+    name: String,
+    insts: Vec<Inst>,
+    /// Region stack: `regions[0]` is the root, the top receives pushes.
+    regions: Vec<Vec<ValueId>>,
+    /// Loop instructions owning the open regions above the root.
+    open_loops: Vec<ValueId>,
+    pending_scale: Option<u8>,
+    pending_guard: Option<IrGuard>,
+}
+
+impl IrBuilder {
+    /// A new, empty kernel.
+    pub fn new(name: impl Into<String>) -> Self {
+        IrBuilder {
+            name: name.into(),
+            insts: Vec::new(),
+            regions: vec![Vec::new()],
+            open_loops: Vec::new(),
+            pending_scale: None,
+            pending_guard: None,
+        }
+    }
+
+    fn push(&mut self, op: Op, args: Vec<ValueId>) -> ValueId {
+        let mut inst = Inst::new(op, args);
+        inst.scale = self.pending_scale.take();
+        inst.guard = self.pending_guard.take();
+        let v = ValueId(self.insts.len() as u32);
+        self.insts.push(inst);
+        self.regions.last_mut().expect("region stack").push(v);
+        v
+    }
+
+    /// Apply a dynamic thread scale to the *next* instruction.
+    pub fn scale_next(&mut self, k: u8) -> &mut Self {
+        self.pending_scale = Some(k & 0x7);
+        self
+    }
+
+    /// Guard the *next* instruction on predicate `pred`.
+    pub fn guard_next(&mut self, pred: ValueId, negate: bool) -> &mut Self {
+        self.pending_guard = Some(IrGuard { pred, negate });
+        self
+    }
+
+    /// Word constant.
+    pub fn iconst(&mut self, v: i32) -> ValueId {
+        self.push(Op::Const(v), vec![])
+    }
+
+    /// Thread id.
+    pub fn tid(&mut self) -> ValueId {
+        self.push(Op::Tid, vec![])
+    }
+
+    /// Thread count.
+    pub fn ntid(&mut self) -> ValueId {
+        self.push(Op::Ntid, vec![])
+    }
+
+    /// Generic binary op.
+    pub fn bin(&mut self, op: BinOp, a: ValueId, b: ValueId) -> ValueId {
+        self.push(Op::Bin(op), vec![a, b])
+    }
+
+    /// `a + b` (wrapping).
+    pub fn add(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.bin(BinOp::Add, a, b)
+    }
+
+    /// `a - b` (wrapping).
+    pub fn sub(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.bin(BinOp::Sub, a, b)
+    }
+
+    /// `a * b` (low 32 bits).
+    pub fn mul(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.bin(BinOp::Mul, a, b)
+    }
+
+    /// Generic unary op.
+    pub fn un(&mut self, op: UnOp, a: ValueId) -> ValueId {
+        self.push(Op::Un(op), vec![a])
+    }
+
+    /// `a*b + c` (low 32 bits).
+    pub fn mad(&mut self, a: ValueId, b: ValueId, c: ValueId) -> ValueId {
+        self.push(Op::Mad, vec![a, b, c])
+    }
+
+    /// `(a*b) >> s` over the 64-bit product (fixed-point scaling).
+    pub fn mulshr(&mut self, a: ValueId, b: ValueId, s: u32) -> ValueId {
+        self.push(Op::MulShr(s & 63), vec![a, b])
+    }
+
+    /// `(a << s) + b` (address generation).
+    pub fn shadd(&mut self, a: ValueId, s: u32, b: ValueId) -> ValueId {
+        self.push(Op::ShAdd(s & 31), vec![a, b])
+    }
+
+    /// Rotate right by an immediate.
+    pub fn rotr(&mut self, a: ValueId, s: u32) -> ValueId {
+        self.push(Op::Rotr(s), vec![a])
+    }
+
+    /// Comparison producing a predicate value.
+    pub fn cmp(&mut self, op: CmpOp, a: ValueId, b: ValueId) -> ValueId {
+        self.push(Op::Cmp(op), vec![a, b])
+    }
+
+    /// `p ? a : b`.
+    pub fn select(&mut self, a: ValueId, b: ValueId, p: ValueId) -> ValueId {
+        self.push(Op::Select, vec![a, b, p])
+    }
+
+    /// `shared[base + off]`.
+    pub fn load(&mut self, base: ValueId, off: u32) -> ValueId {
+        self.push(Op::Load(off), vec![base])
+    }
+
+    /// `shared[base + off] = v`.
+    pub fn store(&mut self, base: ValueId, off: u32, v: ValueId) {
+        self.push(Op::Store(off), vec![base, v]);
+    }
+
+    /// Open a zero-overhead hardware loop repeating `count` times.
+    ///
+    /// # Panics
+    /// If a scale or guard is pending: the hardware loop is uniform
+    /// control flow and cannot be masked per lane.
+    pub fn begin_loop(&mut self, count: u32) {
+        assert!(
+            self.pending_scale.is_none() && self.pending_guard.is_none(),
+            "loops are uniform control flow and cannot carry a guard or thread scale"
+        );
+        let v = self.push(Op::Loop(count & 0xFFFF), vec![]);
+        self.open_loops.push(v);
+        self.regions.push(Vec::new());
+    }
+
+    /// Close the innermost open loop.
+    ///
+    /// # Panics
+    /// If no loop is open.
+    pub fn end_loop(&mut self) {
+        let v = self.open_loops.pop().expect("end_loop without begin_loop");
+        let body = self.regions.pop().expect("loop body region");
+        self.insts[v.index()].body = Some(body);
+    }
+
+    /// Finish the kernel.
+    ///
+    /// # Panics
+    /// If a loop is still open.
+    pub fn finish(mut self) -> Kernel {
+        assert!(
+            self.open_loops.is_empty(),
+            "{} loop(s) left open",
+            self.open_loops.len()
+        );
+        Kernel {
+            name: self.name,
+            insts: self.insts,
+            body: self.regions.pop().expect("root region"),
+        }
+    }
+}
+
+/// FNV-1a, 64-bit: a tiny deterministic hasher so cache keys are stable
+/// across processes (std's `DefaultHasher` is randomly seeded).
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn write_u8(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+
+    pub(crate) fn write_u32(&mut self, v: u32) {
+        for b in v.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    pub(crate) fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Hash every configuration field that affects the compiled artifact.
+pub(crate) fn hash_config(h: &mut Fnv, cfg: &ProcessorConfig) {
+    h.write_u32(cfg.threads as u32);
+    h.write_u32(cfg.regs_per_thread as u32);
+    h.write_u32(cfg.shared_words as u32);
+    h.write_u8(cfg.predicates as u8);
+    h.write_u32(cfg.call_stack_depth as u32);
+    h.write_u32(cfg.loop_stack_depth as u32);
+    h.write_u32(cfg.imem_capacity as u32);
+    h.write_u8(match cfg.dsp_mode {
+        DspMode::Integer => 0,
+        DspMode::FloatingPoint => 1,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_ssa() {
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        let x = b.load(tid, 0);
+        let c = b.iconst(3);
+        let y = b.mul(x, c);
+        b.store(tid, 64, y);
+        let k = b.finish();
+        assert!(k.validate().is_ok());
+        assert_eq!(k.live_insts(), 5);
+        assert_eq!(k.ty(y), Ty::Word);
+    }
+
+    #[test]
+    fn loop_scoping_is_enforced() {
+        // A value defined inside a loop body must not be used after it.
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        b.begin_loop(4);
+        let inner = b.load(tid, 0);
+        let one = b.iconst(1);
+        let bumped = b.add(inner, one);
+        b.store(tid, 0, bumped);
+        b.end_loop();
+        let mut k = b.finish();
+        assert!(k.validate().is_ok());
+        // Force a use-after-scope: store the loop-local value at root.
+        let escape = ValueId(k.insts.len() as u32);
+        k.insts.push(Inst::new(Op::Store(0), vec![tid, bumped]));
+        k.body.push(escape);
+        assert!(matches!(k.validate(), Err(CompileError::Malformed { .. })));
+    }
+
+    #[test]
+    fn type_errors_are_caught() {
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        let p = b.cmp(CmpOp::Lt, tid, tid);
+        // Predicate used where a word is required.
+        let bad = b.add(p, tid);
+        b.store(tid, 0, bad);
+        let k = b.finish();
+        assert!(matches!(k.validate(), Err(CompileError::Malformed { .. })));
+    }
+
+    #[test]
+    fn content_hash_ignores_name_and_garbage() {
+        let build = |name: &str| {
+            let mut b = IrBuilder::new(name);
+            let tid = b.tid();
+            let x = b.load(tid, 0);
+            b.store(tid, 16, x);
+            b.finish()
+        };
+        let cfg = ProcessorConfig::default();
+        let a = build("a");
+        let mut b2 = build("b");
+        assert_eq!(a.content_hash(&cfg), b2.content_hash(&cfg));
+        // Arena garbage (an unreferenced instruction) must not matter.
+        b2.insts.push(Inst::new(Op::Const(99), vec![]));
+        assert_eq!(a.content_hash(&cfg), b2.content_hash(&cfg));
+        // A different config must.
+        assert_ne!(
+            a.content_hash(&cfg),
+            a.content_hash(&cfg.clone().with_threads(64))
+        );
+        // A different offset must.
+        let mut c = build("c");
+        if let Op::Store(off) = &mut c.inst_mut(c.body[2]).op {
+            *off = 17;
+        }
+        assert_ne!(a.content_hash(&cfg), c.content_hash(&cfg));
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform control flow")]
+    fn masked_loops_are_rejected_by_the_builder() {
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        let zero = b.iconst(0);
+        let p = b.cmp(CmpOp::Lt, tid, zero);
+        b.guard_next(p, false);
+        b.begin_loop(3);
+    }
+
+    #[test]
+    fn masked_loops_are_rejected_by_validation() {
+        // Construct the degenerate form directly (bypassing the
+        // builder): a guard on a loop has no ISA encoding and must be
+        // a typed error, never silently dropped at emission.
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        let zero = b.iconst(0);
+        let p = b.cmp(CmpOp::Lt, tid, zero);
+        b.begin_loop(3);
+        b.store(tid, 0, tid);
+        b.end_loop();
+        let mut k = b.finish();
+        let loop_id = *k.body.last().unwrap();
+        k.inst_mut(loop_id).guard = Some(IrGuard {
+            pred: p,
+            negate: false,
+        });
+        assert!(matches!(k.validate(), Err(CompileError::Malformed { .. })));
+    }
+
+    #[test]
+    fn display_renders_regions() {
+        let mut b = IrBuilder::new("show");
+        let tid = b.tid();
+        b.begin_loop(3);
+        let x = b.load(tid, 0);
+        b.store(tid, 1, x);
+        b.end_loop();
+        let k = b.finish();
+        let s = k.to_string();
+        assert!(s.contains("Loop(3)"), "{s}");
+        assert!(s.contains("Store(1)"), "{s}");
+    }
+}

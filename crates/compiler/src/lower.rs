@@ -1,0 +1,503 @@
+//! Lowering: instruction selection and emission of a
+//! [`simt_isa::Program`] through the existing [`KernelBuilder`].
+//!
+//! Selection folds constant operands into the ISA's immediate forms
+//! (`addi`, `muli`, `shli`, …) so constants that only feed immediate
+//! positions never materialize; everything else gets a register from
+//! the linear-scan allocator and a register-register instruction.
+//! Hardware-loop regions lower onto [`KernelBuilder::begin_loop`] /
+//! [`KernelBuilder::end_loop`], which patch the zero-overhead `loop`
+//! instruction's end address.
+
+use crate::error::CompileError;
+use crate::ir::{BinOp, Inst, Kernel, Op, Ty, UnOp, ValueId};
+use crate::passes::{optimize, PipelineReport};
+use crate::regalloc::{allocate, linearize, Allocation};
+use simt_core::ProcessorConfig;
+use simt_isa::{Instruction, KernelBuilder, Opcode, Program};
+use std::collections::HashSet;
+
+/// How hard to optimize before emission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptLevel {
+    /// Straight lowering of the IR as written (the baseline the pass
+    /// pipeline is measured against).
+    None,
+    /// The full pipeline: constant folding, strength reduction, CSE,
+    /// DCE, iterated to a fixpoint.
+    Full,
+}
+
+/// A compiled kernel: the program plus what the pipeline did to get it.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    /// The emitted program, ready to load into I-Mem.
+    pub program: Program,
+    /// Per-pass instruction-count statistics (empty at
+    /// [`OptLevel::None`]).
+    pub report: PipelineReport,
+    /// General-purpose registers the kernel occupies (including the
+    /// reserved r0) — the floor for `regs_per_thread`.
+    pub regs_used: usize,
+}
+
+/// Compile an IR kernel for a processor configuration.
+pub fn compile(
+    kernel: &Kernel,
+    config: &ProcessorConfig,
+    opt: OptLevel,
+) -> Result<CompiledKernel, CompileError> {
+    config.validate()?;
+    kernel.validate()?;
+    let mut k = kernel.clone();
+    let report = match opt {
+        OptLevel::Full => optimize(&mut k),
+        OptLevel::None => PipelineReport {
+            insts_before: k.live_insts(),
+            insts_after: k.live_insts(),
+            ..Default::default()
+        },
+    };
+    debug_assert!(k.validate().is_ok(), "passes broke the IR:\n{k}");
+
+    let materialized = select_materialized(&k);
+    let lin = linearize(&k);
+    let alloc = allocate(
+        &k,
+        &lin,
+        &materialized,
+        config.regs_per_thread,
+        config.predicates,
+    )?;
+
+    let mut b = KernelBuilder::new();
+    emit_region(&k, k.body(), &mut b, &alloc, &materialized)?;
+    b.exit();
+    let program = b.build()?;
+    if program.len() > config.imem_capacity {
+        return Err(CompileError::ProgramTooLarge {
+            len: program.len(),
+            capacity: config.imem_capacity,
+        });
+    }
+    Ok(CompiledKernel {
+        program,
+        report,
+        regs_used: alloc.regs_used.max(1),
+    })
+}
+
+/// Which operand (if a constant) folds into the instruction's immediate
+/// field. Commutative ops accept the constant on either side; shifts
+/// only on the right, and only when the amount fits the 16-bit field.
+fn inline_slot(k: &Kernel, inst: &Inst) -> Option<usize> {
+    let Op::Bin(b) = inst.op else { return None };
+    let c0 = k.as_const(inst.args[0]);
+    let c1 = k.as_const(inst.args[1]);
+    match b {
+        BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor => {
+            if c1.is_some() {
+                Some(1)
+            } else if c0.is_some() {
+                Some(0)
+            } else {
+                None
+            }
+        }
+        BinOp::Sub => c1.map(|_| 1),
+        BinOp::Shl | BinOp::Lsr | BinOp::Asr => match c1 {
+            Some(c) if (0..=0xFFFF).contains(&(c as i64)) => Some(1),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Constants that must be materialized with `movi` (some use is not an
+/// immediate position), plus every non-constant word value.
+fn select_materialized(k: &Kernel) -> HashSet<ValueId> {
+    let mut mat = HashSet::new();
+    k.for_each_inst(|v, inst| {
+        if inst.op.ty() == Ty::Word && !matches!(inst.op, Op::Const(_)) {
+            mat.insert(v);
+        }
+        let slot = inline_slot(k, inst);
+        for (i, &a) in inst.args.iter().enumerate() {
+            if k.as_const(a).is_some() && slot != Some(i) {
+                mat.insert(a);
+            }
+        }
+    });
+    mat
+}
+
+/// True if lowering the region would emit at least one instruction
+/// (loops around nothing are skipped — the builder rejects empty loop
+/// bodies, and the hardware has nothing to repeat).
+fn region_emits(k: &Kernel, region: &[ValueId], mat: &HashSet<ValueId>) -> bool {
+    region.iter().any(|&v| {
+        let inst = k.inst(v);
+        match &inst.op {
+            Op::Const(_) => mat.contains(&v),
+            Op::Loop(_) => inst
+                .body
+                .as_ref()
+                .is_some_and(|body| region_emits(k, body, mat)),
+            _ => true,
+        }
+    })
+}
+
+fn emit_region(
+    k: &Kernel,
+    region: &[ValueId],
+    b: &mut KernelBuilder,
+    alloc: &Allocation,
+    mat: &HashSet<ValueId>,
+) -> Result<(), CompileError> {
+    for &v in region {
+        let inst = k.inst(v);
+        if let Op::Loop(count) = inst.op {
+            let body = inst.body.as_ref().expect("validated loop body");
+            if !region_emits(k, body, mat) {
+                continue;
+            }
+            let open = b.begin_loop(count);
+            emit_region(k, body, b, alloc, mat)?;
+            b.end_loop(open);
+            continue;
+        }
+        if let Some(mi) = build_instruction(k, v, alloc, mat)? {
+            b.emit_instruction(mi);
+        }
+    }
+    Ok(())
+}
+
+fn reg(alloc: &Allocation, v: ValueId) -> Result<u8, CompileError> {
+    alloc.reg.get(&v).copied().ok_or(CompileError::Malformed {
+        value: v.index() as u32,
+        detail: "value reached emission without a register".into(),
+    })
+}
+
+fn pred(alloc: &Allocation, v: ValueId) -> Result<u8, CompileError> {
+    alloc.pred.get(&v).copied().ok_or(CompileError::Malformed {
+        value: v.index() as u32,
+        detail: "predicate reached emission without a register".into(),
+    })
+}
+
+fn bin_opcode(b: BinOp) -> Opcode {
+    match b {
+        BinOp::Add => Opcode::Add,
+        BinOp::Sub => Opcode::Sub,
+        BinOp::Mul => Opcode::MulLo,
+        BinOp::MulHi => Opcode::MulHi,
+        BinOp::MulUHi => Opcode::MuluHi,
+        BinOp::Min => Opcode::Min,
+        BinOp::Max => Opcode::Max,
+        BinOp::And => Opcode::And,
+        BinOp::Or => Opcode::Or,
+        BinOp::Xor => Opcode::Xor,
+        BinOp::Shl => Opcode::Shl,
+        BinOp::Lsr => Opcode::Lsr,
+        BinOp::Asr => Opcode::Asr,
+        BinOp::SatAdd => Opcode::SatAdd,
+        BinOp::SatSub => Opcode::SatSub,
+    }
+}
+
+fn bin_imm_opcode(b: BinOp) -> Opcode {
+    match b {
+        BinOp::Add => Opcode::Addi,
+        BinOp::Sub => Opcode::Subi,
+        BinOp::Mul => Opcode::Muli,
+        BinOp::And => Opcode::Andi,
+        BinOp::Or => Opcode::Ori,
+        BinOp::Xor => Opcode::Xori,
+        BinOp::Shl => Opcode::Shli,
+        BinOp::Lsr => Opcode::Lsri,
+        BinOp::Asr => Opcode::Asri,
+        _ => unreachable!("{b:?} has no immediate form"),
+    }
+}
+
+fn un_opcode(u: UnOp) -> Opcode {
+    match u {
+        UnOp::Abs => Opcode::Abs,
+        UnOp::Neg => Opcode::Neg,
+        UnOp::Not => Opcode::Not,
+        UnOp::Cnot => Opcode::Cnot,
+        UnOp::Popc => Opcode::Popc,
+        UnOp::Clz => Opcode::Clz,
+        UnOp::Brev => Opcode::Brev,
+    }
+}
+
+fn cmp_opcode(c: crate::ir::CmpOp) -> Opcode {
+    use crate::ir::CmpOp::*;
+    match c {
+        Eq => Opcode::SetpEq,
+        Ne => Opcode::SetpNe,
+        Lt => Opcode::SetpLt,
+        Le => Opcode::SetpLe,
+        Gt => Opcode::SetpGt,
+        Ge => Opcode::SetpGe,
+        Ltu => Opcode::SetpLtu,
+        Geu => Opcode::SetpGeu,
+    }
+}
+
+/// Select and build the machine instruction for one IR instruction
+/// (`None` for constants that live purely in immediate fields).
+fn build_instruction(
+    k: &Kernel,
+    v: ValueId,
+    alloc: &Allocation,
+    mat: &HashSet<ValueId>,
+) -> Result<Option<Instruction>, CompileError> {
+    let inst = k.inst(v);
+    let args = &inst.args;
+    let mut mi = match &inst.op {
+        Op::Const(c) => {
+            if !mat.contains(&v) {
+                return Ok(None);
+            }
+            Instruction::new(Opcode::Movi)
+                .rd(reg(alloc, v)?)
+                .imm(*c as u32)
+        }
+        Op::Tid => Instruction::new(Opcode::Stid).rd(reg(alloc, v)?),
+        Op::Ntid => Instruction::new(Opcode::Sntid).rd(reg(alloc, v)?),
+        Op::Bin(b) => match inline_slot(k, inst) {
+            Some(slot) => {
+                let c = k.as_const(args[slot]).expect("inline slot is a constant");
+                let other = args[1 - slot];
+                Instruction::new(bin_imm_opcode(*b))
+                    .rd(reg(alloc, v)?)
+                    .ra(reg(alloc, other)?)
+                    .imm(c as u32)
+            }
+            None => Instruction::new(bin_opcode(*b))
+                .rd(reg(alloc, v)?)
+                .ra(reg(alloc, args[0])?)
+                .rb(reg(alloc, args[1])?),
+        },
+        Op::Un(u) => Instruction::new(un_opcode(*u))
+            .rd(reg(alloc, v)?)
+            .ra(reg(alloc, args[0])?),
+        Op::Mad => Instruction::new(Opcode::MadLo)
+            .rd(reg(alloc, v)?)
+            .ra(reg(alloc, args[0])?)
+            .rb(reg(alloc, args[1])?)
+            .rc(reg(alloc, args[2])?),
+        Op::MulShr(s) => Instruction::new(Opcode::MulShr)
+            .rd(reg(alloc, v)?)
+            .ra(reg(alloc, args[0])?)
+            .rb(reg(alloc, args[1])?)
+            .imm(s & 63),
+        Op::ShAdd(s) => Instruction::new(Opcode::ShAdd)
+            .rd(reg(alloc, v)?)
+            .ra(reg(alloc, args[0])?)
+            .rb(reg(alloc, args[1])?)
+            .imm(s & 31),
+        Op::Rotr(s) => Instruction::new(Opcode::Rotri)
+            .rd(reg(alloc, v)?)
+            .ra(reg(alloc, args[0])?)
+            .imm(s & 0xFFFF),
+        Op::Cmp(c) => Instruction::new(cmp_opcode(*c))
+            .rd(pred(alloc, v)?)
+            .ra(reg(alloc, args[0])?)
+            .rb(reg(alloc, args[1])?),
+        Op::Select => Instruction::new(Opcode::Selp)
+            .rd(reg(alloc, v)?)
+            .ra(reg(alloc, args[0])?)
+            .rb(reg(alloc, args[1])?)
+            .rc(pred(alloc, args[2])?),
+        Op::Load(off) => Instruction::new(Opcode::Lds)
+            .rd(reg(alloc, v)?)
+            .ra(reg(alloc, args[0])?)
+            .imm(off & 0xFFFF),
+        Op::Store(off) => Instruction::new(Opcode::Sts)
+            .ra(reg(alloc, args[0])?)
+            .rb(reg(alloc, args[1])?)
+            .imm(off & 0xFFFF),
+        Op::Loop(_) => unreachable!("loops are emitted by emit_region"),
+    };
+    if let Some(s) = inst.scale {
+        mi = mi.scaled(s);
+    }
+    if let Some(g) = inst.guard {
+        mi = mi.guarded(pred(alloc, g.pred)?, g.negate);
+    }
+    Ok(Some(mi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::IrBuilder;
+    use simt_isa::disassemble;
+
+    fn cfg() -> ProcessorConfig {
+        ProcessorConfig::default()
+            .with_threads(64)
+            .with_shared_words(1024)
+    }
+
+    /// The doc-example kernel: shared[tid+64] = 3*shared[tid] + 7.
+    fn scale_bias() -> Kernel {
+        let mut b = IrBuilder::new("scale_bias");
+        let tid = b.tid();
+        let x = b.load(tid, 0);
+        let c3 = b.iconst(3);
+        let x3 = b.mul(x, c3);
+        let c7 = b.iconst(7);
+        let y = b.add(x3, c7);
+        b.store(tid, 64, y);
+        b.finish()
+    }
+
+    #[test]
+    fn lowering_reproduces_the_handwritten_program() {
+        // Same shape as the hand-written kernel, except the allocator
+        // reuses the load's register once its range ends (r2 for the
+        // final sum instead of a fresh r4).
+        let out = compile(&scale_bias(), &cfg(), OptLevel::Full).unwrap();
+        let expected = simt_isa::assemble(
+            "  stid r1
+               lds r2, [r1+0]
+               muli r3, r2, 3
+               addi r2, r3, 7
+               sts [r1+64], r2
+               exit",
+        )
+        .unwrap();
+        assert_eq!(
+            out.program.instructions(),
+            expected.instructions(),
+            "\n{}",
+            disassemble(&out.program)
+        );
+        assert_eq!(out.regs_used, 4);
+    }
+
+    #[test]
+    fn optimized_is_never_larger_than_naive() {
+        let k = scale_bias();
+        let naive = compile(&k, &cfg(), OptLevel::None).unwrap();
+        let full = compile(&k, &cfg(), OptLevel::Full).unwrap();
+        assert!(full.program.len() <= naive.program.len());
+    }
+
+    #[test]
+    fn strength_reduced_mul_emits_shli() {
+        let mut b = IrBuilder::new("by16");
+        let tid = b.tid();
+        let x = b.load(tid, 0);
+        let c = b.iconst(16);
+        let y = b.mul(x, c);
+        b.store(tid, 64, y);
+        let k = b.finish();
+        let full = compile(&k, &cfg(), OptLevel::Full).unwrap();
+        let ops: Vec<Opcode> = full
+            .program
+            .instructions()
+            .iter()
+            .map(|i| i.opcode)
+            .collect();
+        assert!(ops.contains(&Opcode::Shli), "{ops:?}");
+        assert!(!ops.contains(&Opcode::Muli), "{ops:?}");
+        // The naive build multiplies.
+        let naive = compile(&k, &cfg(), OptLevel::None).unwrap();
+        let nops: Vec<Opcode> = naive
+            .program
+            .instructions()
+            .iter()
+            .map(|i| i.opcode)
+            .collect();
+        assert!(nops.contains(&Opcode::Muli), "{nops:?}");
+    }
+
+    #[test]
+    fn loops_lower_to_hardware_loops() {
+        let mut b = IrBuilder::new("looped");
+        let tid = b.tid();
+        b.begin_loop(6);
+        let x = b.load(tid, 0);
+        let one = b.iconst(1);
+        let y = b.add(x, one);
+        b.store(tid, 0, y);
+        b.end_loop();
+        let k = b.finish();
+        let out = compile(&k, &cfg(), OptLevel::Full).unwrap();
+        let loops: Vec<&Instruction> = out
+            .program
+            .instructions()
+            .iter()
+            .filter(|i| i.opcode == Opcode::Loop)
+            .collect();
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].loop_count(), 6);
+        assert!(loops[0].loop_end() > 0);
+    }
+
+    #[test]
+    fn predicates_require_a_predicate_build() {
+        let mut b = IrBuilder::new("clamp");
+        let tid = b.tid();
+        let x = b.load(tid, 0);
+        let c = b.iconst(100);
+        let p = b.cmp(crate::ir::CmpOp::Lt, x, c);
+        let y = b.select(x, c, p);
+        b.store(tid, 64, y);
+        let k = b.finish();
+        assert_eq!(
+            compile(&k, &cfg(), OptLevel::Full).unwrap_err(),
+            CompileError::PredicatesDisabled
+        );
+        let out = compile(&k, &cfg().with_predicates(true), OptLevel::Full).unwrap();
+        assert!(out
+            .program
+            .instructions()
+            .iter()
+            .any(|i| i.opcode == Opcode::Selp));
+    }
+
+    #[test]
+    fn register_pressure_errors_are_typed() {
+        let mut b = IrBuilder::new("wide");
+        let tid = b.tid();
+        let vals: Vec<_> = (0..30).map(|i| b.load(tid, i)).collect();
+        let mut acc = vals[0];
+        for &v in &vals[1..] {
+            acc = b.add(acc, v);
+        }
+        b.store(tid, 0, acc);
+        let k = b.finish();
+        let tight = cfg().with_regs_per_thread(8);
+        match compile(&k, &tight, OptLevel::Full) {
+            Err(CompileError::OutOfRegisters { available, .. }) => assert_eq!(available, 7),
+            other => panic!("expected OutOfRegisters, got {other:?}"),
+        }
+        // A roomier file compiles the same kernel.
+        assert!(compile(&k, &cfg().with_regs_per_thread(64), OptLevel::Full).is_ok());
+    }
+
+    #[test]
+    fn imem_capacity_is_enforced() {
+        let mut b = IrBuilder::new("big");
+        let tid = b.tid();
+        let mut v = b.load(tid, 0);
+        for _ in 0..600 {
+            v = b.add(v, tid);
+            b.store(tid, 0, v);
+        }
+        let k = b.finish();
+        match compile(&k, &cfg(), OptLevel::Full) {
+            Err(CompileError::ProgramTooLarge { capacity, .. }) => assert_eq!(capacity, 512),
+            other => panic!("expected ProgramTooLarge, got {other:?}"),
+        }
+    }
+}

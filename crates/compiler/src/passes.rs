@@ -1,0 +1,665 @@
+//! The optimization pipeline: constant folding, strength reduction,
+//! common-subexpression elimination and dead-code elimination, with
+//! per-pass before/after instruction counts.
+//!
+//! Frontends are encouraged to emit clear, mechanical IR (explicit
+//! address arithmetic, one constant per use); these passes recover the
+//! hand-scheduled form. Constant evaluation reproduces the datapath
+//! semantics bit-for-bit (wrapping adds, the shifter's ≥32 behaviour,
+//! saturation), so folding can never change a kernel's output.
+
+use crate::ir::{BinOp, Kernel, Op, UnOp, ValueId};
+use std::collections::HashMap;
+
+/// Before/after instruction counts of one pass invocation.
+#[derive(Debug, Clone)]
+pub struct PassStats {
+    /// Pass name.
+    pub pass: &'static str,
+    /// Live IR instructions before the pass ran.
+    pub insts_before: usize,
+    /// Live IR instructions after.
+    pub insts_after: usize,
+    /// Whether the pass rewrote anything (folds and CSE aliasing change
+    /// instructions in place; the count only drops at the next DCE).
+    pub changed: bool,
+}
+
+/// What the whole pipeline did to a kernel.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// Every pass invocation, in execution order (the pipeline iterates
+    /// to a fixpoint, so passes appear once per round).
+    pub passes: Vec<PassStats>,
+    /// Live IR instructions before the pipeline.
+    pub insts_before: usize,
+    /// Live IR instructions after.
+    pub insts_after: usize,
+}
+
+impl PipelineReport {
+    /// Fractional instruction-count reduction (0 when nothing shrank).
+    pub fn reduction(&self) -> f64 {
+        if self.insts_before == 0 {
+            0.0
+        } else {
+            1.0 - self.insts_after as f64 / self.insts_before as f64
+        }
+    }
+}
+
+/// A pass: rewrites the kernel in place, reports whether it changed it.
+type Pass = fn(&mut Kernel) -> bool;
+
+/// Run the full pipeline to a fixpoint (bounded) and report per-pass
+/// statistics.
+pub fn optimize(k: &mut Kernel) -> PipelineReport {
+    let mut report = PipelineReport {
+        insts_before: k.live_insts(),
+        ..Default::default()
+    };
+    let passes: &[(&'static str, Pass)] = &[
+        ("const-fold", const_fold),
+        ("strength-reduce", strength_reduce),
+        ("cse", cse),
+        ("dce", dce),
+    ];
+    for _round in 0..8 {
+        let mut any = false;
+        for &(name, pass) in passes {
+            let before = k.live_insts();
+            let changed = pass(k);
+            report.passes.push(PassStats {
+                pass: name,
+                insts_before: before,
+                insts_after: k.live_insts(),
+                changed,
+            });
+            any |= changed;
+        }
+        if !any {
+            break;
+        }
+    }
+    report.insts_after = k.live_insts();
+    report
+}
+
+// ---- bit-exact constant evaluation (mirrors `simt_core::alu`) ---------
+
+pub(crate) fn eval_bin(op: BinOp, a: u32, b: u32) -> u32 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => (a as i32).wrapping_mul(b as i32) as u32,
+        BinOp::MulHi => (((a as i32 as i64).wrapping_mul(b as i32 as i64)) >> 32) as u32,
+        BinOp::MulUHi => (((a as u64).wrapping_mul(b as u64)) >> 32) as u32,
+        BinOp::Min => (a as i32).min(b as i32) as u32,
+        BinOp::Max => (a as i32).max(b as i32) as u32,
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => {
+            if b >= 32 {
+                0
+            } else {
+                a << b
+            }
+        }
+        BinOp::Lsr => {
+            if b >= 32 {
+                0
+            } else {
+                a >> b
+            }
+        }
+        BinOp::Asr => {
+            if b >= 32 {
+                ((a as i32) >> 31) as u32
+            } else {
+                ((a as i32) >> b) as u32
+            }
+        }
+        BinOp::SatAdd => (a as i32).saturating_add(b as i32) as u32,
+        BinOp::SatSub => (a as i32).saturating_sub(b as i32) as u32,
+    }
+}
+
+pub(crate) fn eval_un(op: UnOp, a: u32) -> u32 {
+    match op {
+        UnOp::Abs => (a as i32).wrapping_abs() as u32,
+        UnOp::Neg => (a as i32).wrapping_neg() as u32,
+        UnOp::Not => !a,
+        UnOp::Cnot => (a == 0) as u32,
+        UnOp::Popc => a.count_ones(),
+        UnOp::Clz => a.leading_zeros(),
+        UnOp::Brev => a.reverse_bits(),
+    }
+}
+
+// ---- constant folding -------------------------------------------------
+
+/// Evaluate instructions whose operands are all constants, and apply
+/// algebraic identities (`x+0`, `x*1`, `x*0`, `x|0`, `x^0`, `x&-1`,
+/// shifts by zero). Guarded instructions are left alone: a guard is a
+/// write mask, and masked lanes must keep seeing no write.
+pub fn const_fold(k: &mut Kernel) -> bool {
+    let mut replace: HashMap<ValueId, ValueId> = HashMap::new();
+    let mut changed = false;
+    let root = k.body().to_vec();
+    fold_region(k, &root, &mut replace, &mut changed);
+    changed
+}
+
+fn rewrite_args(k: &mut Kernel, v: ValueId, replace: &HashMap<ValueId, ValueId>) {
+    let inst = k.inst_mut(v);
+    for a in inst.args.iter_mut() {
+        if let Some(&r) = replace.get(a) {
+            *a = r;
+        }
+    }
+    if let Some(g) = &mut inst.guard {
+        if let Some(&r) = replace.get(&g.pred) {
+            g.pred = r;
+        }
+    }
+}
+
+fn fold_region(
+    k: &mut Kernel,
+    region: &[ValueId],
+    replace: &mut HashMap<ValueId, ValueId>,
+    changed: &mut bool,
+) {
+    for &v in region {
+        rewrite_args(k, v, replace);
+        if let Some(body) = k.inst_mut(v).body.take() {
+            fold_region(k, &body, replace, changed);
+            k.inst_mut(v).body = Some(body);
+            continue;
+        }
+        // A guard is a write mask and a scale is a lane mask: folding
+        // either away would make inactive lanes observe a value they
+        // never computed (their register keeps its prior contents), so
+        // masked instructions are left exactly as written.
+        if k.inst(v).guard.is_some() || k.inst(v).scale.is_some() {
+            continue;
+        }
+        let (op, args) = {
+            let i = k.inst(v);
+            (i.op.clone(), i.args.clone())
+        };
+        let consts: Vec<Option<i32>> = args.iter().map(|&a| k.as_const(a)).collect();
+        let all = |c: &[Option<i32>]| c.iter().all(|x| x.is_some());
+        // Full evaluation.
+        let folded: Option<u32> = match (&op, consts.as_slice()) {
+            (Op::Bin(b), [Some(x), Some(y)]) if all(&consts) => {
+                Some(eval_bin(*b, *x as u32, *y as u32))
+            }
+            (Op::Un(u), [Some(x)]) => Some(eval_un(*u, *x as u32)),
+            (Op::Mad, [Some(x), Some(y), Some(z)]) => {
+                Some(eval_bin(BinOp::Mul, *x as u32, *y as u32).wrapping_add(*z as u32))
+            }
+            (Op::MulShr(s), [Some(x), Some(y)]) => {
+                Some((((*x as i64).wrapping_mul(*y as i64)) >> (s & 63)) as u32)
+            }
+            (Op::ShAdd(s), [Some(x), Some(y)]) => {
+                Some(eval_bin(BinOp::Shl, *x as u32, s & 31).wrapping_add(*y as u32))
+            }
+            _ => None,
+        };
+        if let Some(val) = folded {
+            let inst = k.inst_mut(v);
+            inst.op = Op::Const(val as i32);
+            inst.args.clear();
+            *changed = true;
+            continue;
+        }
+        // Algebraic identities aliasing the result to an operand.
+        let alias: Option<ValueId> = match (&op, consts.as_slice()) {
+            (Op::Bin(BinOp::Add), [_, Some(0)]) | (Op::Bin(BinOp::Sub), [_, Some(0)]) => {
+                Some(args[0])
+            }
+            (Op::Bin(BinOp::Add), [Some(0), _]) => Some(args[1]),
+            (Op::Bin(BinOp::Mul), [_, Some(1)]) => Some(args[0]),
+            (Op::Bin(BinOp::Mul), [Some(1), _]) => Some(args[1]),
+            (Op::Bin(BinOp::Or), [_, Some(0)]) | (Op::Bin(BinOp::Xor), [_, Some(0)]) => {
+                Some(args[0])
+            }
+            (Op::Bin(BinOp::Or), [Some(0), _]) | (Op::Bin(BinOp::Xor), [Some(0), _]) => {
+                Some(args[1])
+            }
+            (Op::Bin(BinOp::And), [_, Some(-1)]) => Some(args[0]),
+            (Op::Bin(BinOp::And), [Some(-1), _]) => Some(args[1]),
+            (Op::Bin(BinOp::Shl), [_, Some(0)])
+            | (Op::Bin(BinOp::Lsr), [_, Some(0)])
+            | (Op::Bin(BinOp::Asr), [_, Some(0)]) => Some(args[0]),
+            _ => None,
+        };
+        if let Some(target) = alias {
+            replace.insert(v, target);
+            *changed = true;
+            continue;
+        }
+        // Annihilators producing a fresh constant.
+        let zero = matches!(
+            (&op, consts.as_slice()),
+            (Op::Bin(BinOp::Mul), [_, Some(0)])
+                | (Op::Bin(BinOp::Mul), [Some(0), _])
+                | (Op::Bin(BinOp::And), [_, Some(0)])
+                | (Op::Bin(BinOp::And), [Some(0), _])
+        );
+        if zero {
+            let inst = k.inst_mut(v);
+            inst.op = Op::Const(0);
+            inst.args.clear();
+            *changed = true;
+        }
+    }
+}
+
+// ---- strength reduction ----------------------------------------------
+
+/// Rewrite expensive forms into cheaper datapath ops:
+///
+/// * `mul` by a power-of-two constant becomes a left shift through the
+///   integrated multiplicative (barrel-replacement) shifter — same DSP
+///   column, but eligible for the immediate `shli` form;
+/// * address adds feeding a load/store base are folded into the
+///   instruction's 16-bit offset field (`lds rd, [ra+imm]`), the
+///   addressing mode the hand-written kernels use.
+pub fn strength_reduce(k: &mut Kernel) -> bool {
+    let mut changed = false;
+    let mut new_consts: Vec<(i32, ValueId)> = Vec::new();
+    let root = k.body().to_vec();
+    reduce_region(k, &root, &mut new_consts, &mut changed);
+    // Materialized shift-amount constants dominate everything from the
+    // top of the root region.
+    for (i, (_, v)) in new_consts.iter().enumerate() {
+        k.body.insert(i, *v);
+    }
+    changed
+}
+
+fn strength_const(k: &mut Kernel, pool: &mut Vec<(i32, ValueId)>, val: i32) -> ValueId {
+    if let Some((_, v)) = pool.iter().find(|(c, _)| *c == val) {
+        return *v;
+    }
+    let v = k.append_inst(Op::Const(val), vec![]);
+    pool.push((val, v));
+    v
+}
+
+fn reduce_region(
+    k: &mut Kernel,
+    region: &[ValueId],
+    pool: &mut Vec<(i32, ValueId)>,
+    changed: &mut bool,
+) {
+    for &v in region {
+        if let Some(body) = k.inst_mut(v).body.take() {
+            reduce_region(k, &body, pool, changed);
+            k.inst_mut(v).body = Some(body);
+            continue;
+        }
+        let (op, args) = {
+            let i = k.inst(v);
+            (i.op.clone(), i.args.clone())
+        };
+        match op {
+            // mul by 2^k -> shl by k (the in-place rewrite keeps any
+            // scale/guard attributes, so masking semantics are intact).
+            Op::Bin(BinOp::Mul) => {
+                let (x, c) = match (k.as_const(args[0]), k.as_const(args[1])) {
+                    (_, Some(c)) => (args[0], Some(c)),
+                    (Some(c), _) => (args[1], Some(c)),
+                    _ => (args[0], None),
+                };
+                if let Some(c) = c {
+                    if c > 1 && (c as u32).is_power_of_two() {
+                        let sh = strength_const(k, pool, c.trailing_zeros() as i32);
+                        let inst = k.inst_mut(v);
+                        inst.op = Op::Bin(BinOp::Shl);
+                        inst.args = vec![x, sh];
+                        *changed = true;
+                    }
+                }
+            }
+            // lds/sts base = add(x, const) -> fold into the offset field.
+            // Only for unmasked adds: a guarded or scaled address add
+            // leaves inactive lanes with a different base register, so
+            // folding it would change the address those lanes access.
+            Op::Load(off) | Op::Store(off) => {
+                let base = args[0];
+                let base_inst = k.inst(base);
+                if base_inst.guard.is_some() || base_inst.scale.is_some() {
+                    continue;
+                }
+                if let Op::Bin(BinOp::Add) = base_inst.op {
+                    let (ba, bb) = (base_inst.args[0], base_inst.args[1]);
+                    let folded = match (k.as_const(ba), k.as_const(bb)) {
+                        (_, Some(c)) => Some((ba, c)),
+                        (Some(c), _) => Some((bb, c)),
+                        _ => None,
+                    };
+                    if let Some((x, c)) = folded {
+                        let new_off = off as i64 + c as i64;
+                        if (0..=0xFFFF).contains(&new_off) {
+                            let inst = k.inst_mut(v);
+                            inst.args[0] = x;
+                            inst.op = match inst.op {
+                                Op::Load(_) => Op::Load(new_off as u32),
+                                Op::Store(_) => Op::Store(new_off as u32),
+                                _ => unreachable!(),
+                            };
+                            *changed = true;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---- common-subexpression elimination ---------------------------------
+
+/// Value-numbering key: op, operands and thread scale.
+type CseKey = (Op, Vec<ValueId>, Option<u8>);
+
+/// Dominator-scoped value numbering over pure, guard-free instructions:
+/// two instructions with the same op, operands and thread scale compute
+/// the same value, so later ones alias the first. Memory operations are
+/// never merged.
+pub fn cse(k: &mut Kernel) -> bool {
+    let mut scopes: Vec<HashMap<CseKey, ValueId>> = vec![HashMap::new()];
+    let mut replace: HashMap<ValueId, ValueId> = HashMap::new();
+    let mut changed = false;
+
+    fn walk(
+        k: &mut Kernel,
+        region: &[ValueId],
+        scopes: &mut Vec<HashMap<CseKey, ValueId>>,
+        replace: &mut HashMap<ValueId, ValueId>,
+        changed: &mut bool,
+    ) {
+        for &v in region {
+            rewrite_args(k, v, replace);
+            if let Some(body) = k.inst_mut(v).body.take() {
+                scopes.push(HashMap::new());
+                walk(k, &body, scopes, replace, changed);
+                scopes.pop();
+                k.inst_mut(v).body = Some(body);
+                continue;
+            }
+            let inst = k.inst(v);
+            if !inst.op.is_pure() || inst.guard.is_some() {
+                continue;
+            }
+            let key = (inst.op.clone(), inst.args.clone(), inst.scale);
+            if let Some(&prior) = scopes.iter().rev().find_map(|s| s.get(&key)) {
+                replace.insert(v, prior);
+                *changed = true;
+            } else {
+                scopes.last_mut().expect("scope stack").insert(key, v);
+            }
+        }
+    }
+
+    let root = k.body().to_vec();
+    walk(k, &root, &mut scopes, &mut replace, &mut changed);
+    changed
+}
+
+// ---- dead-code elimination --------------------------------------------
+
+/// Remove instructions whose results are never used. Stores are the
+/// roots of liveness (a kernel's output is its memory effects); loops
+/// survive only if their bodies contain a live store; unused loads are
+/// removed (they have no memory effect, only a cycle cost).
+pub fn dce(k: &mut Kernel) -> bool {
+    use std::collections::HashSet;
+
+    fn effectful(k: &Kernel, v: ValueId) -> bool {
+        let inst = k.inst(v);
+        match &inst.op {
+            Op::Store(_) => true,
+            Op::Loop(_) => inst
+                .body
+                .as_ref()
+                .is_some_and(|b| b.iter().any(|&c| effectful(k, c))),
+            _ => false,
+        }
+    }
+
+    // Mark phase: everything an effectful instruction (transitively)
+    // reads, plus the effectful instructions themselves. Loops are kept
+    // by `effectful` rather than marking, so any guard predicate they
+    // carry must be traced explicitly or its defining compare would be
+    // swept out from under a still-live loop.
+    let mut marked: HashSet<ValueId> = HashSet::new();
+    let mut work: Vec<ValueId> = Vec::new();
+    let mut loop_guards: Vec<(ValueId, ValueId)> = Vec::new();
+    k.for_each_inst(|v, inst| {
+        if matches!(inst.op, Op::Store(_)) {
+            work.push(v);
+        }
+        if matches!(inst.op, Op::Loop(_)) {
+            if let Some(g) = inst.guard {
+                loop_guards.push((v, g.pred));
+            }
+        }
+    });
+    for (v, pred) in loop_guards {
+        if effectful(k, v) {
+            work.push(pred);
+        }
+    }
+    while let Some(v) = work.pop() {
+        if !marked.insert(v) {
+            continue;
+        }
+        let inst = k.inst(v);
+        work.extend(inst.args.iter().copied());
+        if let Some(g) = inst.guard {
+            work.push(g.pred);
+        }
+    }
+
+    // Sweep phase: rebuild regions keeping marked or effectful nodes.
+    fn sweep(k: &mut Kernel, region: Vec<ValueId>, marked: &HashSet<ValueId>) -> Vec<ValueId> {
+        let mut out = Vec::with_capacity(region.len());
+        for v in region {
+            let keep = marked.contains(&v) || effectful(k, v);
+            if !keep {
+                continue;
+            }
+            if let Some(body) = k.inst_mut(v).body.take() {
+                let swept = sweep(k, body, marked);
+                k.inst_mut(v).body = Some(swept);
+            }
+            out.push(v);
+        }
+        out
+    }
+
+    let before = k.live_insts();
+    let root = std::mem::take(&mut k.body);
+    k.body = sweep(k, root, &marked);
+    k.live_insts() != before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{CmpOp, IrBuilder};
+
+    #[test]
+    fn folds_constant_expressions() {
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        let c2 = b.iconst(20);
+        let c3 = b.iconst(3);
+        let s = b.add(c2, c3); // 23
+        b.store(tid, 0, s);
+        let mut k = b.finish();
+        let r = optimize(&mut k);
+        // tid, const 23, store.
+        assert_eq!(k.live_insts(), 3, "\n{k}");
+        assert!(r.insts_after < r.insts_before);
+        let stored = k.inst(k.body()[k.body().len() - 1]).args[1];
+        assert_eq!(k.as_const(stored), Some(23));
+    }
+
+    #[test]
+    fn identities_and_dce() {
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        let x = b.load(tid, 0);
+        let z = b.iconst(0);
+        let y = b.add(x, z); // x + 0 -> x
+        let dead = b.mul(x, x); // unused
+        let _ = dead;
+        b.store(tid, 8, y);
+        let mut k = b.finish();
+        optimize(&mut k);
+        // tid, load, store survive.
+        assert_eq!(k.live_insts(), 3, "\n{k}");
+    }
+
+    #[test]
+    fn mul_by_power_of_two_becomes_shift() {
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        let x = b.load(tid, 0);
+        let c8 = b.iconst(8);
+        let y = b.mul(x, c8);
+        b.store(tid, 4, y);
+        let mut k = b.finish();
+        optimize(&mut k);
+        let mut saw_shift = false;
+        k.for_each_inst(|_, inst| {
+            assert!(!matches!(inst.op, Op::Bin(BinOp::Mul)), "mul survived");
+            if let Op::Bin(BinOp::Shl) = inst.op {
+                saw_shift = true;
+            }
+        });
+        assert!(saw_shift);
+    }
+
+    #[test]
+    fn folding_matches_hardware_shift_semantics() {
+        // Shifts >= 32 flush to zero / sign, exactly as the shifter does.
+        assert_eq!(eval_bin(BinOp::Shl, 1, 32), 0);
+        assert_eq!(eval_bin(BinOp::Lsr, 0xFFFF_FFFF, 40), 0);
+        assert_eq!(eval_bin(BinOp::Asr, 0x8000_0000, 40), 0xFFFF_FFFF);
+        assert_eq!(eval_bin(BinOp::SatAdd, i32::MAX as u32, 1), i32::MAX as u32);
+        assert_eq!(eval_un(UnOp::Abs, i32::MIN as u32), i32::MIN as u32);
+    }
+
+    #[test]
+    fn cse_merges_address_math_but_not_loads() {
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        let c = b.iconst(100);
+        let a1 = b.add(tid, c);
+        let c2 = b.iconst(100);
+        let a2 = b.add(tid, c2); // same address, separately built
+        let l1 = b.load(a1, 0);
+        let l2 = b.load(a2, 0); // loads must NOT merge
+        let s = b.add(l1, l2);
+        b.store(tid, 0, s);
+        let mut k = b.finish();
+        cse(&mut k);
+        dce(&mut k);
+        let mut loads = 0;
+        let mut adds = 0;
+        k.for_each_inst(|_, inst| match inst.op {
+            Op::Load(_) => loads += 1,
+            Op::Bin(BinOp::Add) => adds += 1,
+            _ => {}
+        });
+        assert_eq!(loads, 2);
+        assert_eq!(adds, 2, "\n{k}"); // one address add + the sum
+    }
+
+    #[test]
+    fn addressing_fold_moves_adds_into_offsets() {
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        let c = b.iconst(1024);
+        let addr = b.add(tid, c);
+        let x = b.load(addr, 0);
+        b.store(addr, 2048, x);
+        let mut k = b.finish();
+        optimize(&mut k);
+        let mut offs = Vec::new();
+        k.for_each_inst(|_, inst| match inst.op {
+            Op::Load(o) | Op::Store(o) => offs.push(o),
+            Op::Bin(BinOp::Add) => panic!("address add survived:\n{inst:?}"),
+            _ => {}
+        });
+        assert_eq!(offs, vec![1024, 3072]);
+    }
+
+    #[test]
+    fn guarded_instructions_are_not_folded_or_merged() {
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        let c0 = b.iconst(0);
+        let p = b.cmp(CmpOp::Lt, tid, c0);
+        b.guard_next(p, false);
+        let g1 = b.add(tid, c0); // guarded: may not alias to tid
+        b.guard_next(p, false);
+        let g2 = b.add(tid, c0); // identical but guarded: no CSE
+        let s = b.add(g1, g2);
+        b.store(tid, 0, s);
+        let mut k = b.finish();
+        optimize(&mut k);
+        let mut guarded_adds = 0;
+        k.for_each_inst(|_, inst| {
+            if inst.guard.is_some() && matches!(inst.op, Op::Bin(BinOp::Add)) {
+                guarded_adds += 1;
+            }
+        });
+        assert_eq!(guarded_adds, 2, "\n{k}");
+    }
+
+    #[test]
+    fn scaled_instructions_are_never_folded() {
+        // A thread scale is a lane mask: folding a scaled const add to
+        // an unscaled constant would make inactive lanes observe a
+        // value they never computed. The scaled add must survive.
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        let c2 = b.iconst(2);
+        let c3 = b.iconst(3);
+        b.scale_next(1);
+        let v = b.add(c2, c3);
+        b.store(tid, 0, v);
+        let mut k = b.finish();
+        optimize(&mut k);
+        let mut scaled_add = None;
+        k.for_each_inst(|_, inst| {
+            if matches!(inst.op, Op::Bin(BinOp::Add)) {
+                scaled_add = inst.scale;
+            }
+        });
+        assert_eq!(scaled_add, Some(1), "\n{k}");
+    }
+
+    #[test]
+    fn empty_loops_are_dead() {
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        b.begin_loop(5);
+        let x = b.load(tid, 0);
+        let _unused = b.add(x, x);
+        b.end_loop();
+        b.store(tid, 0, tid);
+        let mut k = b.finish();
+        optimize(&mut k);
+        // The loop computed nothing observable: tid + store remain.
+        assert_eq!(k.live_insts(), 2, "\n{k}");
+    }
+}

@@ -1,0 +1,318 @@
+//! Linear-scan register allocation over SSA live ranges.
+//!
+//! The register file is a fixed hardware structure (`regs_per_thread`
+//! M20K-backed registers per thread, r0 reserved by convention), so
+//! there is no spill path: exhaustion is a typed
+//! [`CompileError::OutOfRegisters`]. Predicate values get the same
+//! treatment over the four architectural predicate registers p0..p3.
+//!
+//! Live ranges respect the hardware-loop regions: a value defined
+//! outside a loop and used inside it is live through the *entire* loop
+//! (every iteration re-reads it), so its range extends to the loop end.
+
+use crate::error::CompileError;
+use crate::ir::{Kernel, Ty, ValueId};
+use std::collections::{HashMap, HashSet};
+
+/// The kernel linearized into emission order, with loop extents.
+#[derive(Debug, Default)]
+pub struct Linear {
+    /// Every instruction (including loop headers) in emission order.
+    pub order: Vec<ValueId>,
+    /// Position of each instruction in `order`.
+    pub pos: HashMap<ValueId, usize>,
+    /// `(header, first body pos, last body pos)` per loop, outermost
+    /// first.
+    pub loops: Vec<(ValueId, usize, usize)>,
+}
+
+/// Flatten the region tree into emission order.
+pub fn linearize(k: &Kernel) -> Linear {
+    let mut lin = Linear::default();
+    fn walk(k: &Kernel, region: &[ValueId], lin: &mut Linear) {
+        for &v in region {
+            lin.pos.insert(v, lin.order.len());
+            lin.order.push(v);
+            if let Some(body) = &k.inst(v).body {
+                let start = lin.order.len();
+                let slot = lin.loops.len();
+                lin.loops.push((v, start, start));
+                walk(k, body, lin);
+                lin.loops[slot].2 = lin.order.len().saturating_sub(1);
+            }
+        }
+    }
+    walk(k, k.body(), &mut lin);
+    lin
+}
+
+/// Result of allocation: hardware registers for every materialized
+/// value.
+#[derive(Debug, Default)]
+pub struct Allocation {
+    /// General-purpose register per word value.
+    pub reg: HashMap<ValueId, u8>,
+    /// Predicate register (0..=3) per predicate value.
+    pub pred: HashMap<ValueId, u8>,
+    /// Registers used, as a count including r0 (what
+    /// `regs_per_thread` must cover).
+    pub regs_used: usize,
+}
+
+/// Compute the live-range end of `def` given all its use positions,
+/// extending through any loop that contains a use but not the
+/// definition.
+fn range_end(def_pos: usize, uses: &[usize], loops: &[(ValueId, usize, usize)]) -> usize {
+    let mut end = def_pos;
+    for &u in uses {
+        let mut e = u;
+        // Outermost loop that contains the use but started after the
+        // definition: the value must survive every iteration of it.
+        for &(_, start, last) in loops {
+            if start > def_pos && (start..=last).contains(&u) {
+                e = e.max(last);
+                break; // loops are outermost-first; the first hit is widest
+            }
+        }
+        end = end.max(e);
+    }
+    end
+}
+
+/// Allocate hardware registers for every value that `materialized` says
+/// needs one (predicates always need one). `word_regs` is the total
+/// register-file size per thread (r0 included but reserved);
+/// `pred_available` is false for builds without predicate support.
+pub fn allocate(
+    k: &Kernel,
+    lin: &Linear,
+    materialized: &HashSet<ValueId>,
+    word_regs: usize,
+    pred_available: bool,
+) -> Result<Allocation, CompileError> {
+    // Collect use positions per value (args + guards).
+    let mut uses: HashMap<ValueId, Vec<usize>> = HashMap::new();
+    for (p, &v) in lin.order.iter().enumerate() {
+        let inst = k.inst(v);
+        for &a in &inst.args {
+            uses.entry(a).or_default().push(p);
+        }
+        if let Some(g) = inst.guard {
+            uses.entry(g.pred).or_default().push(p);
+        }
+    }
+
+    let empty: Vec<usize> = Vec::new();
+    let ends: HashMap<ValueId, usize> = lin
+        .order
+        .iter()
+        .map(|&v| {
+            let def = lin.pos[&v];
+            let us = uses.get(&v).unwrap_or(&empty);
+            (v, range_end(def, us, &lin.loops))
+        })
+        .collect();
+
+    let mut alloc = Allocation::default();
+
+    // General-purpose registers: r1..=min(word_regs-1, 254).
+    let hi = word_regs.min(255).saturating_sub(1);
+    let mut free: Vec<u8> = (1..=hi as u8).rev().collect();
+    let mut active: Vec<(usize, u8, ValueId)> = Vec::new(); // (end, reg, value)
+
+    // Predicates: p0..p3 (none if the build lacks predicate support).
+    let mut pfree: Vec<u8> = if pred_available {
+        vec![3, 2, 1, 0]
+    } else {
+        vec![]
+    };
+    let mut pactive: Vec<(usize, u8, ValueId)> = Vec::new();
+
+    for (p, &v) in lin.order.iter().enumerate() {
+        // Expire ranges that ended strictly before this position.
+        active.retain(|&(end, r, _)| {
+            if end < p {
+                free.push(r);
+                false
+            } else {
+                true
+            }
+        });
+        pactive.retain(|&(end, r, _)| {
+            if end < p {
+                pfree.push(r);
+                false
+            } else {
+                true
+            }
+        });
+
+        let inst = k.inst(v);
+        match inst.op.ty() {
+            Ty::Word if materialized.contains(&v) => {
+                free.sort_unstable_by(|a, b| b.cmp(a)); // lowest register last
+                let Some(r) = free.pop() else {
+                    return Err(CompileError::OutOfRegisters {
+                        needed: active.len() + 1,
+                        available: hi,
+                    });
+                };
+                active.push((ends[&v], r, v));
+                alloc.regs_used = alloc.regs_used.max(r as usize + 1);
+                alloc.reg.insert(v, r);
+            }
+            Ty::Pred => {
+                if !pred_available {
+                    return Err(CompileError::PredicatesDisabled);
+                }
+                pfree.sort_unstable_by(|a, b| b.cmp(a));
+                let Some(r) = pfree.pop() else {
+                    return Err(CompileError::OutOfPredicates {
+                        needed: pactive.len() + 1,
+                    });
+                };
+                pactive.push((ends[&v], r, v));
+                alloc.pred.insert(v, r);
+            }
+            _ => {}
+        }
+    }
+    Ok(alloc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{IrBuilder, Op};
+
+    fn materialized_all(k: &Kernel) -> HashSet<ValueId> {
+        let mut m = HashSet::new();
+        k.for_each_inst(|v, inst| {
+            if inst.op.ty() == Ty::Word {
+                m.insert(v);
+            }
+        });
+        m
+    }
+
+    #[test]
+    fn registers_are_reused_after_last_use() {
+        // A long dependency chain only ever needs two registers.
+        let mut b = IrBuilder::new("chain");
+        let tid = b.tid();
+        let mut v = b.load(tid, 0);
+        for _ in 0..20 {
+            v = b.add(v, tid);
+        }
+        b.store(tid, 0, v);
+        let k = b.finish();
+        let lin = linearize(&k);
+        let m = materialized_all(&k);
+        let a = allocate(&k, &lin, &m, 16, false).unwrap();
+        assert!(a.regs_used <= 4, "used {} registers", a.regs_used);
+    }
+
+    #[test]
+    fn exhaustion_is_a_typed_error() {
+        // 8 simultaneously-live values into a 4-register file.
+        let mut b = IrBuilder::new("wide");
+        let tid = b.tid();
+        let vals: Vec<_> = (0..8).map(|i| b.load(tid, i)).collect();
+        let mut acc = vals[0];
+        for &v in &vals[1..] {
+            acc = b.add(acc, v);
+        }
+        b.store(tid, 0, acc);
+        let k = b.finish();
+        let lin = linearize(&k);
+        let m = materialized_all(&k);
+        match allocate(&k, &lin, &m, 4, false) {
+            Err(CompileError::OutOfRegisters { available, .. }) => assert_eq!(available, 3),
+            other => panic!("expected OutOfRegisters, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn values_used_in_loops_live_through_them() {
+        let mut b = IrBuilder::new("looped");
+        let tid = b.tid();
+        let bias = b.load(tid, 0); // defined before the loop
+        b.begin_loop(4);
+        let x = b.load(tid, 64);
+        let y = b.add(x, bias); // keeps `bias` live across the body
+        b.store(tid, 64, y);
+        b.end_loop();
+        let k = b.finish();
+        let lin = linearize(&k);
+        let m = materialized_all(&k);
+        let a = allocate(&k, &lin, &m, 16, false).unwrap();
+        // bias, x and y must coexist: three registers minimum.
+        let rb = a.reg[&bias];
+        let (_, start, last) = lin.loops[0];
+        // No value defined inside the loop may share bias's register.
+        for p in start..=last {
+            let v = lin.order[p];
+            if k.inst(v).op.ty() == Ty::Word {
+                assert_ne!(a.reg[&v], rb, "loop-local value reused a live register");
+            }
+        }
+    }
+
+    #[test]
+    fn predicates_allocate_from_p0() {
+        let mut b = IrBuilder::new("preds");
+        let tid = b.tid();
+        let c = b.iconst(4);
+        let p = b.cmp(crate::ir::CmpOp::Lt, tid, c);
+        let q = b.select(tid, c, p);
+        b.store(tid, 0, q);
+        let k = b.finish();
+        let lin = linearize(&k);
+        let m = materialized_all(&k);
+        let a = allocate(&k, &lin, &m, 16, true).unwrap();
+        assert_eq!(a.pred[&p], 0);
+        let e = allocate(&k, &lin, &m, 16, false).unwrap_err();
+        assert_eq!(e, CompileError::PredicatesDisabled);
+    }
+
+    #[test]
+    fn too_many_live_predicates_error() {
+        let mut b = IrBuilder::new("preds5");
+        let tid = b.tid();
+        let c = b.iconst(1);
+        let ps: Vec<_> = (0..5)
+            .map(|_| b.cmp(crate::ir::CmpOp::Lt, tid, c))
+            .collect();
+        // Use all five at the end so they're simultaneously live.
+        let mut acc = tid;
+        for &p in &ps {
+            acc = b.select(acc, c, p);
+        }
+        b.store(tid, 0, acc);
+        let k = b.finish();
+        let lin = linearize(&k);
+        let m = materialized_all(&k);
+        match allocate(&k, &lin, &m, 16, true) {
+            Err(CompileError::OutOfPredicates { needed }) => assert_eq!(needed, 5),
+            other => panic!("expected OutOfPredicates, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_materialized_consts_get_no_register() {
+        let mut b = IrBuilder::new("imm");
+        let tid = b.tid();
+        let c = b.iconst(3);
+        let y = b.mul(tid, c);
+        b.store(tid, 0, y);
+        let k = b.finish();
+        let lin = linearize(&k);
+        // Selection says the const folds into `muli`.
+        let mut m = materialized_all(&k);
+        m.remove(&c);
+        let a = allocate(&k, &lin, &m, 16, false).unwrap();
+        assert!(!a.reg.contains_key(&c));
+        assert_eq!(a.regs_used, 3); // r0 reserved, tid=r1, y=r2
+        assert_eq!(k.inst(c).op, Op::Const(3));
+    }
+}

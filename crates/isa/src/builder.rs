@@ -46,6 +46,10 @@ pub struct OpenLoop {
     count: u32,
 }
 
+/// Registers the builder's linear allocator can hand out (r1..=r254;
+/// r0 is reserved for the user and r255 is the poison sentinel).
+const ALLOC_CAPACITY: usize = 254;
+
 /// Builds a [`Program`] instruction by instruction.
 #[derive(Debug, Default)]
 pub struct KernelBuilder {
@@ -58,6 +62,8 @@ pub struct KernelBuilder {
     pending_scale: Option<u8>,
     /// Guard applied to the next emitted instruction.
     pending_guard: Option<(u8, bool)>,
+    /// First allocation failure, surfaced by [`KernelBuilder::build`].
+    error: Option<IsaError>,
 }
 
 impl KernelBuilder {
@@ -69,12 +75,30 @@ impl KernelBuilder {
         }
     }
 
-    /// Allocate a fresh register.
-    pub fn alloc(&mut self) -> Val {
+    /// Allocate a fresh register. Exhausting the register file is a
+    /// typed [`IsaError::RegisterExhausted`], not a panic.
+    pub fn alloc(&mut self) -> Result<Val, IsaError> {
         let r = self.next_reg;
-        assert!(r < 255, "register allocator exhausted");
+        if r as usize > ALLOC_CAPACITY {
+            return Err(IsaError::RegisterExhausted {
+                capacity: ALLOC_CAPACITY,
+            });
+        }
         self.next_reg += 1;
-        Val(r)
+        Ok(Val(r))
+    }
+
+    /// Allocation for the infallible convenience methods: on
+    /// exhaustion, record the error (surfaced at
+    /// [`KernelBuilder::build`]) and hand back a poison register.
+    fn alloc_or_poison(&mut self) -> Val {
+        match self.alloc() {
+            Ok(v) => v,
+            Err(e) => {
+                self.error.get_or_insert(e);
+                Val(255)
+            }
+        }
     }
 
     /// Highest register index the kernel uses (for configuring
@@ -107,20 +131,43 @@ impl KernelBuilder {
         self.instrs.len() - 1
     }
 
+    /// Emit a fully formed instruction (any pending scale/guard from
+    /// [`KernelBuilder::scale_next`] / [`KernelBuilder::guard_next`] is
+    /// applied). This is the escape hatch external code generators —
+    /// `simt-compiler`'s lowering in particular — use to drive their
+    /// own register allocation while reusing the builder's loop
+    /// patching and label fixups; the builder's `registers_used`
+    /// accounting is kept in sync with the instruction's fields.
+    pub fn emit_instruction(&mut self, i: Instruction) -> usize {
+        let reads = i.opcode.reg_reads();
+        let mut high = if i.opcode.writes_rd() { i.rd.0 } else { 0 };
+        if reads >= 1 {
+            high = high.max(i.ra.0);
+        }
+        if reads >= 2 && i.opcode.imm_form() != crate::opcode::ImmForm::Imm32 {
+            high = high.max(i.rb.0);
+        }
+        if i.opcode.reads_rc() {
+            high = high.max(i.rc.0);
+        }
+        self.next_reg = self.next_reg.max(high.saturating_add(1));
+        self.emit(i)
+    }
+
     fn three(&mut self, op: Opcode, a: Val, b: Val) -> Val {
-        let d = self.alloc();
+        let d = self.alloc_or_poison();
         self.emit(Instruction::new(op).rd(d.0).ra(a.0).rb(b.0));
         d
     }
 
     fn two_imm(&mut self, op: Opcode, a: Val, imm: u32) -> Val {
-        let d = self.alloc();
+        let d = self.alloc_or_poison();
         self.emit(Instruction::new(op).rd(d.0).ra(a.0).imm(imm));
         d
     }
 
     fn unary(&mut self, op: Opcode, a: Val) -> Val {
-        let d = self.alloc();
+        let d = self.alloc_or_poison();
         self.emit(Instruction::new(op).rd(d.0).ra(a.0));
         d
     }
@@ -129,21 +176,21 @@ impl KernelBuilder {
 
     /// `d = imm`.
     pub fn movi(&mut self, imm: i32) -> Val {
-        let d = self.alloc();
+        let d = self.alloc_or_poison();
         self.emit(Instruction::new(Opcode::Movi).rd(d.0).imm(imm as u32));
         d
     }
 
     /// `d = thread id`.
     pub fn stid(&mut self) -> Val {
-        let d = self.alloc();
+        let d = self.alloc_or_poison();
         self.emit(Instruction::new(Opcode::Stid).rd(d.0));
         d
     }
 
     /// `d = thread count`.
     pub fn sntid(&mut self) -> Val {
-        let d = self.alloc();
+        let d = self.alloc_or_poison();
         self.emit(Instruction::new(Opcode::Sntid).rd(d.0));
         d
     }
@@ -177,7 +224,7 @@ impl KernelBuilder {
     }
     /// `d = a * b + c` (low 32).
     pub fn mad_lo(&mut self, a: Val, b: Val, c: Val) -> Val {
-        let d = self.alloc();
+        let d = self.alloc_or_poison();
         self.emit(
             Instruction::new(Opcode::MadLo)
                 .rd(d.0)
@@ -189,7 +236,7 @@ impl KernelBuilder {
     }
     /// `d = (a·b) >> s` (fixed-point scaling multiply).
     pub fn mulshr(&mut self, a: Val, b: Val, s: u32) -> Val {
-        let d = self.alloc();
+        let d = self.alloc_or_poison();
         self.emit(
             Instruction::new(Opcode::MulShr)
                 .rd(d.0)
@@ -201,7 +248,7 @@ impl KernelBuilder {
     }
     /// `d = (a << s) + b` (address generation).
     pub fn shadd(&mut self, a: Val, s: u32, b: Val) -> Val {
-        let d = self.alloc();
+        let d = self.alloc_or_poison();
         self.emit(
             Instruction::new(Opcode::ShAdd)
                 .rd(d.0)
@@ -246,7 +293,7 @@ impl KernelBuilder {
     }
     /// `d = p ? a : b`.
     pub fn selp(&mut self, a: Val, b: Val, p: u8) -> Val {
-        let d = self.alloc();
+        let d = self.alloc_or_poison();
         self.emit(
             Instruction::new(Opcode::Selp)
                 .rd(d.0)
@@ -261,7 +308,7 @@ impl KernelBuilder {
 
     /// `d = shared[base + off]`.
     pub fn lds(&mut self, base: Val, off: u32) -> Val {
-        let d = self.alloc();
+        let d = self.alloc_or_poison();
         self.emit(
             Instruction::new(Opcode::Lds)
                 .rd(d.0)
@@ -330,8 +377,13 @@ impl KernelBuilder {
         self.emit(Instruction::new(Opcode::Exit));
     }
 
-    /// Finalize: patch label fixups and validate.
+    /// Finalize: patch label fixups and validate. A register-file
+    /// overflow anywhere during construction surfaces here as
+    /// [`IsaError::RegisterExhausted`].
     pub fn build(mut self) -> Result<Program, IsaError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
         for (at, l) in &self.fixups {
             let target = self.labels[l.0].ok_or_else(|| IsaError::UndefinedLabel {
                 line: 0,
@@ -429,5 +481,41 @@ mod tests {
         let mut k = KernelBuilder::new();
         let l = k.begin_loop(3);
         k.end_loop(l);
+    }
+
+    #[test]
+    fn register_exhaustion_is_a_typed_error() {
+        let mut k = KernelBuilder::new();
+        // r1..=r254 allocate; the 255th allocation fails.
+        for _ in 0..254 {
+            let _ = k.movi(1);
+        }
+        assert!(matches!(
+            k.alloc(),
+            Err(IsaError::RegisterExhausted { capacity: 254 })
+        ));
+        // The infallible convenience path records the same error and
+        // surfaces it at build() instead of panicking.
+        let overflow = k.movi(2);
+        assert_eq!(overflow.reg(), 255, "poison register");
+        k.exit();
+        match k.build() {
+            Err(IsaError::RegisterExhausted { capacity }) => assert_eq!(capacity, 254),
+            other => panic!("expected RegisterExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn emit_instruction_tracks_registers() {
+        let mut k = KernelBuilder::new();
+        k.emit_instruction(Instruction::new(Opcode::Stid).rd(4));
+        k.emit_instruction(Instruction::new(Opcode::Add).rd(9).ra(4).rb(4));
+        k.scale_next(1);
+        k.emit_instruction(Instruction::new(Opcode::Sts).ra(4).rb(9));
+        k.exit();
+        assert_eq!(k.registers_used(), 10);
+        let p = k.build().unwrap();
+        assert_eq!(p.instructions()[2].scale, Some(1));
+        assert_eq!(p.max_register(), 9);
     }
 }

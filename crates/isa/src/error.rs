@@ -24,6 +24,13 @@ pub enum IsaError {
     DuplicateLabel { line: usize, label: String },
     /// Register index exceeds the 8-bit encoding field.
     RegisterRange { line: usize, index: u32 },
+    /// The builder's register allocator ran out of architectural
+    /// registers (the register file is fixed hardware; there is no
+    /// spill path).
+    RegisterExhausted {
+        /// Registers the builder can hand out (r1..=r254).
+        capacity: usize,
+    },
     /// Immediate does not fit its field.
     ImmediateRange { line: usize, value: i64, bits: u32 },
     /// Branch target beyond the 16-bit loop-end field or program space.
@@ -61,6 +68,13 @@ impl fmt::Display for IsaError {
             }
             IsaError::RegisterRange { line, index } => {
                 write!(f, "line {line}: register index {index} exceeds r255")
+            }
+            IsaError::RegisterExhausted { capacity } => {
+                write!(
+                    f,
+                    "register allocator exhausted: the builder hands out at most \
+                     {capacity} registers (no spilling on a fixed register file)"
+                )
             }
             IsaError::ImmediateRange { line, value, bits } => {
                 write!(f, "line {line}: immediate {value} does not fit {bits} bits")

@@ -123,6 +123,41 @@ proptest! {
     }
 
     #[test]
+    fn assemble_disasm_assemble_encodings_are_identical(
+        instrs in proptest::collection::vec(arb_instruction(), 1..40)
+    ) {
+        // Randomly *built* program -> text -> program -> text -> program:
+        // once a program has passed through the assembler, another
+        // disassemble/assemble round trip must reproduce the identical
+        // 64-bit instruction encodings (the I-Mem image), not merely
+        // equivalent instructions.
+        let len = instrs.len();
+        let fixed: Vec<Instruction> = instrs
+            .into_iter()
+            .map(|mut i| {
+                match i.opcode {
+                    Opcode::Bra | Opcode::Brp | Opcode::Call => {
+                        i.imm %= len as u32;
+                    }
+                    Opcode::Loop => {
+                        let count = (i.imm & 0xFFFF).max(1);
+                        let end = (i.imm >> 16) % len as u32;
+                        i.imm = count | (end << 16);
+                    }
+                    _ => {}
+                }
+                i
+            })
+            .collect();
+        let built = Program::from_instructions(fixed);
+        let assembled = assemble(&simt_isa::disassemble(&built)).unwrap();
+        let reassembled = assemble(&simt_isa::disassemble(&assembled)).unwrap();
+        prop_assert_eq!(assembled.words(), reassembled.words());
+        // And the assembled image matches the built image word for word.
+        prop_assert_eq!(built.words(), assembled.words());
+    }
+
+    #[test]
     fn decode_rejects_or_accepts_total(w in any::<u64>()) {
         // decode never panics; it errors exactly when the opcode byte is
         // out of range.

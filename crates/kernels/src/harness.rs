@@ -1,7 +1,9 @@
-//! Kernel launch harness: assemble, load memory, run, read back.
+//! Kernel launch harness: assemble or compile, load memory, run, read
+//! back.
 
+use simt_compiler::CompileError;
 use simt_core::{ExecError, ExecStats, LoadError, Processor, ProcessorConfig, RunOptions};
-use simt_isa::IsaError;
+use simt_isa::{IsaError, Program};
 use std::fmt;
 
 /// Anything that can go wrong launching a kernel.
@@ -9,6 +11,8 @@ use std::fmt;
 pub enum KernelError {
     /// Assembly failed.
     Asm(IsaError),
+    /// IR compilation failed.
+    Compile(CompileError),
     /// Configuration rejected.
     Config(simt_core::ConfigError),
     /// Program rejected at load.
@@ -21,6 +25,7 @@ impl fmt::Display for KernelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             KernelError::Asm(e) => write!(f, "assembly: {e}"),
+            KernelError::Compile(e) => write!(f, "compile: {e}"),
             KernelError::Config(e) => write!(f, "config: {e}"),
             KernelError::Load(e) => write!(f, "load: {e}"),
             KernelError::Exec(e) => write!(f, "exec: {e}"),
@@ -33,6 +38,11 @@ impl std::error::Error for KernelError {}
 impl From<IsaError> for KernelError {
     fn from(e: IsaError) -> Self {
         KernelError::Asm(e)
+    }
+}
+impl From<CompileError> for KernelError {
+    fn from(e: CompileError) -> Self {
+        KernelError::Compile(e)
     }
 }
 impl From<simt_core::ConfigError> for KernelError {
@@ -73,11 +83,25 @@ pub fn run_kernel(
     opts: RunOptions,
 ) -> Result<KernelResult, KernelError> {
     let program = simt_isa::assemble(asm)?;
+    run_program(config, &program, mem_init, out_off, out_len, opts)
+}
+
+/// Run an already-compiled [`Program`] with the same load/run/read-back
+/// contract as [`run_kernel`] — the execution path for
+/// `simt-compiler`-built kernels.
+pub fn run_program(
+    config: ProcessorConfig,
+    program: &Program,
+    mem_init: &[(usize, &[u32])],
+    out_off: usize,
+    out_len: usize,
+    opts: RunOptions,
+) -> Result<KernelResult, KernelError> {
     let mut cpu = Processor::new(config)?;
     for (off, words) in mem_init {
         cpu.shared_mut().load_words(*off, words)?;
     }
-    cpu.load_program(&program)?;
+    cpu.load_program(program)?;
     let stats = cpu.run(opts)?;
     let output = cpu.shared().read_words(out_off, out_len)?;
     Ok(KernelResult {

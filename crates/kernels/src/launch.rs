@@ -9,10 +9,34 @@
 //! Every kernel family in this crate has a constructor here; the specs
 //! are what `simt-runtime` streams enqueue.
 
-use crate::harness::{run_kernel, KernelError, KernelResult};
+use crate::harness::{run_program, KernelError, KernelResult};
 use crate::qformat::as_words;
 use crate::{fir, iir, matmul, reduce, scan, sobel, vector};
+use simt_compiler::{compile_full, Kernel};
 use simt_core::{ProcessorConfig, RunOptions};
+use simt_isa::Program;
+
+/// What a launch compiles from: text assembly (the hand-scheduled
+/// kernels) or an SSA IR kernel (compiled through `simt-compiler`'s
+/// pass pipeline). Either way the runtime caches the compiled artifact
+/// content-addressed, so repeated launches never re-lower.
+#[derive(Debug, Clone)]
+pub enum KernelSource {
+    /// Assembly source, ready to assemble.
+    Asm(String),
+    /// An IR kernel, ready to compile for the spec's configuration.
+    Ir(Kernel),
+}
+
+impl KernelSource {
+    /// Compile the source for a configuration (full pipeline for IR).
+    pub fn compile(&self, config: &ProcessorConfig) -> Result<Program, KernelError> {
+        match self {
+            KernelSource::Asm(asm) => Ok(simt_isa::assemble(asm)?),
+            KernelSource::Ir(kernel) => Ok(compile_full(kernel, config)?.program),
+        }
+    }
+}
 
 /// A self-contained, runtime-launchable kernel instance.
 #[derive(Debug, Clone)]
@@ -21,8 +45,8 @@ pub struct LaunchSpec {
     pub name: String,
     /// Processor build the kernel needs (threads, shared words, predicates).
     pub config: ProcessorConfig,
-    /// Assembly source, ready to assemble.
-    pub asm: String,
+    /// Kernel source (assembly text or IR).
+    pub source: KernelSource,
     /// Inline inputs: `(offset, words)` blocks placed into shared memory
     /// before the run. May be detached (see [`LaunchSpec::detach_inputs`])
     /// when the host wants to model the copies explicitly.
@@ -44,7 +68,7 @@ impl LaunchSpec {
             config: ProcessorConfig::default()
                 .with_threads(x.len())
                 .with_shared_words(4096),
-            asm: vector::saxpy_asm(a),
+            source: KernelSource::Asm(vector::saxpy_asm(a)),
             inputs: vec![(vector::X_OFF, as_words(x)), (vector::Y_OFF, as_words(y))],
             out_off: vector::Z_OFF,
             out_len: x.len(),
@@ -60,7 +84,7 @@ impl LaunchSpec {
             config: ProcessorConfig::default()
                 .with_threads(x.len())
                 .with_shared_words(4096),
-            asm: vector::sat_add_asm(),
+            source: KernelSource::Asm(vector::sat_add_asm()),
             inputs: vec![(vector::X_OFF, as_words(x)), (vector::Y_OFF, as_words(y))],
             out_off: vector::Z_OFF,
             out_len: x.len(),
@@ -77,7 +101,7 @@ impl LaunchSpec {
             config: ProcessorConfig::default()
                 .with_threads(n)
                 .with_shared_words(4096),
-            asm: reduce::dot_asm_scaled(n),
+            source: KernelSource::Asm(reduce::dot_asm_scaled(n)),
             inputs: vec![(reduce::X_OFF, as_words(x)), (reduce::Y_OFF, as_words(y))],
             out_off: reduce::SCRATCH,
             out_len: 1,
@@ -93,7 +117,7 @@ impl LaunchSpec {
             config: ProcessorConfig::default()
                 .with_threads(n)
                 .with_shared_words(4096),
-            asm: reduce::sum_asm_scaled(n),
+            source: KernelSource::Asm(reduce::sum_asm_scaled(n)),
             inputs: vec![(reduce::X_OFF, as_words(x))],
             out_off: reduce::SCRATCH,
             out_len: 1,
@@ -109,7 +133,7 @@ impl LaunchSpec {
             config: ProcessorConfig::default()
                 .with_threads(n)
                 .with_shared_words(8192),
-            asm: fir::fir_asm(taps.len()),
+            source: KernelSource::Asm(fir::fir_asm(taps.len())),
             inputs: vec![(fir::X_OFF, as_words(x)), (fir::H_OFF, as_words(taps))],
             out_off: fir::Y_OFF,
             out_len: n,
@@ -126,7 +150,7 @@ impl LaunchSpec {
             config: ProcessorConfig::default()
                 .with_threads(m * n)
                 .with_shared_words(8192),
-            asm: matmul::matmul_asm(m, k, n),
+            source: KernelSource::Asm(matmul::matmul_asm(m, k, n)),
             inputs: vec![(matmul::A_OFF, as_words(a)), (matmul::B_OFF, as_words(b))],
             out_off: matmul::C_OFF,
             out_len: m * n,
@@ -142,7 +166,7 @@ impl LaunchSpec {
             config: ProcessorConfig::default()
                 .with_threads(n)
                 .with_shared_words(8192),
-            asm: iir::iir_asm(n, m, q),
+            source: KernelSource::Asm(iir::iir_asm(n, m, q)),
             inputs: vec![(iir::X_OFF, as_words(x))],
             out_off: iir::Y_OFF,
             out_len: n * m,
@@ -159,7 +183,7 @@ impl LaunchSpec {
                 .with_threads(n)
                 .with_shared_words(4096)
                 .with_predicates(true),
-            asm: scan::scan_asm(n),
+            source: KernelSource::Asm(scan::scan_asm(n)),
             inputs: vec![(scan::X_OFF, as_words(x))],
             out_off: scan::S_OFF,
             out_len: n,
@@ -175,12 +199,46 @@ impl LaunchSpec {
             config: ProcessorConfig::default()
                 .with_threads(iw * ih)
                 .with_shared_words(8192),
-            asm: sobel::sobel_asm(iw, ih),
+            source: KernelSource::Asm(sobel::sobel_asm(iw, ih)),
             inputs: vec![(sobel::IMG_OFF, as_words(img))],
             out_off: sobel::OUT_OFF,
             out_len: iw * ih,
             expected: as_words(&sobel::sobel_ref(img, iw, ih)),
         }
+    }
+
+    /// IR-frontend saxpy: same semantics and oracle as
+    /// [`LaunchSpec::saxpy`], compiled through the `simt-compiler`
+    /// pipeline (and content-address cached by the runtime).
+    pub fn saxpy_ir(a: i32, x: &[i32], y: &[i32]) -> Self {
+        let mut spec = Self::saxpy(a, x, y);
+        spec.name = format!("saxpy{}_ir", x.len());
+        spec.source = KernelSource::Ir(vector::saxpy_ir(a));
+        spec
+    }
+
+    /// IR-frontend scaled-tree dot product.
+    pub fn dot_ir(x: &[i32], y: &[i32]) -> Self {
+        let mut spec = Self::dot(x, y);
+        spec.name = format!("dot{}_ir", x.len());
+        spec.source = KernelSource::Ir(reduce::dot_ir(x.len()));
+        spec
+    }
+
+    /// IR-frontend scaled-tree sum reduction.
+    pub fn sum_ir(x: &[i32]) -> Self {
+        let mut spec = Self::sum(x);
+        spec.name = format!("sum{}_ir", x.len());
+        spec.source = KernelSource::Ir(reduce::sum_ir(x.len()));
+        spec
+    }
+
+    /// IR-frontend Q15 FIR filter.
+    pub fn fir_ir(x: &[i32], taps: &[i32], n: usize) -> Self {
+        let mut spec = Self::fir(x, taps, n);
+        spec.name = format!("fir{}x{n}_ir", taps.len());
+        spec.source = KernelSource::Ir(fir::fir_ir(taps.len()));
+        spec
     }
 
     /// Total words of inline input the launch carries.
@@ -198,16 +256,17 @@ impl LaunchSpec {
 
     /// Run the spec to completion on a freshly built single core — the
     /// reference execution path (identical semantics to
-    /// [`run_kernel`]).
+    /// [`crate::run_kernel`]).
     pub fn run_local(&self) -> Result<KernelResult, KernelError> {
         let borrows: Vec<(usize, &[u32])> = self
             .inputs
             .iter()
             .map(|(off, words)| (*off, words.as_slice()))
             .collect();
-        run_kernel(
+        let program = self.source.compile(&self.config)?;
+        run_program(
             self.config.clone(),
-            &self.asm,
+            &program,
             &borrows,
             self.out_off,
             self.out_len,
@@ -239,6 +298,10 @@ mod tests {
             LaunchSpec::iir(&q15_signal(16 * 8, 6), 16, 8, iir::Biquad::lowpass()),
             LaunchSpec::scan(&int_vector(64, 7)),
             LaunchSpec::sobel(&img, 16, 12),
+            LaunchSpec::saxpy_ir(3, &x, &y),
+            LaunchSpec::dot_ir(&x, &y),
+            LaunchSpec::sum_ir(&x),
+            LaunchSpec::fir_ir(&sig, &taps, 128),
         ]
     }
 

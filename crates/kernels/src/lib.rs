@@ -20,7 +20,10 @@
 //!   hardware loop);
 //! * [`launch`] — [`LaunchSpec`]: self-contained, runtime-launchable
 //!   kernel instances with bit-exact host-reference outputs, consumed by
-//!   `simt-runtime` streams;
+//!   `simt-runtime` streams. A spec's [`KernelSource`] is either text
+//!   assembly or a `simt-compiler` SSA IR kernel (the `*_ir`
+//!   constructors); the `vector`, `reduce` and `fir` families ship IR
+//!   frontends compiled through the optimizing pipeline;
 //! * [`scan`] — Hillis–Steele prefix sum on the predicate machinery;
 //! * [`sobel`] — 2-D edge magnitude using `shadd` address generation;
 //! * [`workload`] — deterministic input generators.
@@ -40,5 +43,5 @@ pub mod sobel;
 pub mod vector;
 pub mod workload;
 
-pub use harness::{run_kernel, KernelError, KernelResult};
-pub use launch::LaunchSpec;
+pub use harness::{run_kernel, run_program, KernelError, KernelResult};
+pub use launch::{KernelSource, LaunchSpec};

@@ -18,6 +18,7 @@
 
 use crate::harness::{run_kernel, KernelError, KernelResult};
 use crate::qformat::{as_i32, as_words};
+use simt_compiler::{IrBuilder, Kernel, ValueId};
 use simt_core::{ProcessorConfig, RunOptions};
 
 /// x vector offset.
@@ -92,6 +93,70 @@ pub fn dot_asm_predicated(n: usize) -> String {
     }
     s.push_str("  exit\n");
     s
+}
+
+/// Shared tail of the IR tree reductions: the scaled halving steps over
+/// scratch, emitted with explicit address arithmetic per level (the
+/// optimizer's CSE merges the recomputed scratch addresses and the
+/// addressing fold turns them into `lds`/`sts` offsets, reproducing the
+/// hand-written `.tk` tree of [`dot_asm_scaled`]).
+fn ir_tree(b: &mut IrBuilder, tid: ValueId, n: usize) {
+    let mut stride = n / 2;
+    let mut k = 1u8;
+    while stride >= 1 {
+        let so = b.iconst(SCRATCH as i32);
+        let la = b.add(tid, so);
+        b.scale_next(k);
+        let lhs = b.load(la, 0);
+        let po = b.iconst((SCRATCH + stride) as i32);
+        let pa = b.add(tid, po);
+        b.scale_next(k);
+        let rhs = b.load(pa, 0);
+        b.scale_next(k);
+        let sum = b.add(lhs, rhs);
+        let so2 = b.iconst(SCRATCH as i32);
+        let sa = b.add(tid, so2);
+        b.scale_next(k);
+        b.store(sa, 0, sum);
+        stride /= 2;
+        k = (k + 1).min(7); // 3-bit scale field; see dot_asm_scaled
+    }
+}
+
+/// IR frontend for the scaled-tree dot product (dynamic thread
+/// scaling, as [`dot_asm_scaled`]).
+pub fn dot_ir(n: usize) -> Kernel {
+    check_n(n);
+    let mut b = IrBuilder::new(format!("dot{n}"));
+    let tid = b.tid();
+    let xo = b.iconst(X_OFF as i32);
+    let xa = b.add(tid, xo);
+    let x = b.load(xa, 0);
+    let yo = b.iconst(Y_OFF as i32);
+    let ya = b.add(tid, yo);
+    let y = b.load(ya, 0);
+    let prod = b.mul(x, y);
+    let so = b.iconst(SCRATCH as i32);
+    let sa = b.add(tid, so);
+    b.store(sa, 0, prod);
+    ir_tree(&mut b, tid, n);
+    b.finish()
+}
+
+/// IR frontend for the scaled-tree sum reduction (as
+/// [`sum_asm_scaled`]).
+pub fn sum_ir(n: usize) -> Kernel {
+    check_n(n);
+    let mut b = IrBuilder::new(format!("sum{n}"));
+    let tid = b.tid();
+    let xo = b.iconst(X_OFF as i32);
+    let xa = b.add(tid, xo);
+    let x = b.load(xa, 0);
+    let so = b.iconst(SCRATCH as i32);
+    let sa = b.add(tid, so);
+    b.store(sa, 0, x);
+    ir_tree(&mut b, tid, n);
+    b.finish()
 }
 
 fn config(n: usize, predicates: bool) -> ProcessorConfig {
@@ -235,6 +300,59 @@ mod tests {
         let x = int_vector(128, 5);
         let (got, _) = sum_scaled(&x).unwrap();
         assert_eq!(got, sum_ref(&x));
+    }
+
+    #[test]
+    fn dot_ir_is_bit_exact_and_keeps_the_scaled_tree() {
+        use crate::harness::run_program;
+        use simt_compiler::{compile, OptLevel};
+        for n in [16usize, 256, 1024] {
+            let x = int_vector(n, 30 + n as u64);
+            let y = int_vector(n, 40 + n as u64);
+            let cfg = config(n, false);
+            let compiled = compile(&dot_ir(n), &cfg, OptLevel::Full).unwrap();
+            // The compiled tree matches the hand-written one instruction
+            // for instruction count-wise, scales included.
+            let hand = simt_isa::assemble(&dot_asm_scaled(n)).unwrap();
+            assert_eq!(compiled.program.len(), hand.len(), "n={n}");
+            let scaled = |p: &simt_isa::Program| {
+                p.instructions()
+                    .iter()
+                    .filter(|i| i.scale.is_some())
+                    .count()
+            };
+            assert_eq!(scaled(&compiled.program), scaled(&hand), "n={n}");
+            let r = run_program(
+                cfg,
+                &compiled.program,
+                &[(X_OFF, &as_words(&x)), (Y_OFF, &as_words(&y))],
+                SCRATCH,
+                1,
+                RunOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(r.output[0] as i32, dot_ref(&x, &y), "n={n}");
+        }
+    }
+
+    #[test]
+    fn sum_ir_is_bit_exact() {
+        use crate::harness::run_program;
+        use simt_compiler::{compile, OptLevel};
+        let n = 256;
+        let x = int_vector(n, 9);
+        let cfg = config(n, false);
+        let compiled = compile(&sum_ir(n), &cfg, OptLevel::Full).unwrap();
+        let r = run_program(
+            cfg,
+            &compiled.program,
+            &[(X_OFF, &as_words(&x))],
+            SCRATCH,
+            1,
+            RunOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(r.output[0] as i32, sum_ref(&x));
     }
 
     #[test]

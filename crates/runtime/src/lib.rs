@@ -53,6 +53,7 @@ pub mod stats;
 pub mod stream;
 
 use scheduler::{worker_loop, Shared};
+use simt_compiler::CompileCache;
 use std::fmt;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -70,6 +71,8 @@ pub use stream::{CopyHandle, LaunchHandle, Stream};
 pub enum RuntimeError {
     /// Kernel assembly failed.
     Asm(String),
+    /// IR compilation failed (register pressure, malformed IR, …).
+    Compile(String),
     /// Processor configuration rejected.
     Config(String),
     /// Program rejected at load.
@@ -93,6 +96,7 @@ impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RuntimeError::Asm(e) => write!(f, "assembly: {e}"),
+            RuntimeError::Compile(e) => write!(f, "compile: {e}"),
             RuntimeError::Config(e) => write!(f, "config: {e}"),
             RuntimeError::Load(e) => write!(f, "load: {e}"),
             RuntimeError::Exec(e) => write!(f, "exec: {e}"),
@@ -114,12 +118,14 @@ impl std::error::Error for RuntimeError {}
 /// The host runtime: a pool of simulated devices behind stream queues.
 pub struct Runtime {
     shared: Arc<Shared>,
+    compile_cache: Arc<CompileCache>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Runtime {
     /// Spin up the pool: one scheduler worker (and simulated device) per
-    /// configured device.
+    /// configured device, all sharing one content-addressed
+    /// [`CompileCache`].
     ///
     /// # Panics
     /// If the configuration asks for zero devices or zero-sized batches.
@@ -127,22 +133,33 @@ impl Runtime {
         assert!(cfg.devices >= 1, "a pool needs at least one device");
         assert!(cfg.max_batch >= 1, "batches need at least one command");
         let shared = Arc::new(Shared::new(cfg.clone()));
+        let compile_cache = Arc::new(CompileCache::new());
         let workers = (0..cfg.devices)
             .map(|d| {
                 let shared = Arc::clone(&shared);
-                let device = pool::Device::new(d, cfg.device.clone());
+                let device = pool::Device::new(d, cfg.device.clone(), Arc::clone(&compile_cache));
                 std::thread::Builder::new()
                     .name(format!("simt-dev{d}"))
                     .spawn(move || worker_loop(shared, device))
                     .expect("spawn device worker")
             })
             .collect();
-        Runtime { shared, workers }
+        Runtime {
+            shared,
+            compile_cache,
+            workers,
+        }
     }
 
     /// The pool configuration.
     pub fn config(&self) -> &RuntimeConfig {
         &self.shared.cfg
+    }
+
+    /// The pool-wide content-addressed compile cache (hit/miss counters
+    /// and artifact count).
+    pub fn compile_cache(&self) -> &CompileCache {
+        &self.compile_cache
     }
 
     /// Create a stream, bound round-robin to a pool device.
@@ -265,7 +282,7 @@ mod tests {
         let rt = Runtime::new(RuntimeConfig::default());
         let s = rt.stream();
         let mut bad = LaunchSpec::sum(&int_vector(16, 1));
-        bad.asm = "  frob r1\n  exit".into();
+        bad.source = simt_kernels::KernelSource::Asm("  frob r1\n  exit".into());
         let h = s.launch(bad);
         let after = s.copy_out(0, 4);
         assert!(matches!(h.wait(), Err(RuntimeError::Asm(_))));

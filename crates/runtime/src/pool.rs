@@ -6,10 +6,18 @@
 //! A small cache of processor builds makes back-to-back launches with
 //! compatible configurations reuse the same instance — the scheduler's
 //! "batch compatible launches onto the same device" fast path.
+//!
+//! Next to the per-device processor cache sits the pool-wide,
+//! content-addressed [`CompileCache`]: every launch resolves its
+//! [`KernelSource`] (text assembly or `simt-compiler` IR) through it,
+//! so a kernel is assembled/compiled exactly once per (source, config)
+//! no matter how many streams, devices or repeats launch it.
 
 use crate::RuntimeError;
+use simt_compiler::{CompileCache, OptLevel};
 use simt_core::{ExecStats, Processor, ProcessorConfig, RunOptions};
-use simt_kernels::LaunchSpec;
+use simt_kernels::{KernelSource, LaunchSpec};
+use std::sync::Arc;
 
 /// Per-device model parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,6 +87,9 @@ pub(crate) struct LaunchOutcome {
     pub stats: ExecStats,
     /// Whether a cached processor build was reused.
     pub cache_hit: bool,
+    /// Whether the compiled program came out of the pool's
+    /// content-addressed [`CompileCache`].
+    pub compile_hit: bool,
 }
 
 /// One simulated device.
@@ -87,14 +98,17 @@ pub(crate) struct Device {
     pub id: usize,
     cfg: DeviceConfig,
     cache: Vec<(ProcessorConfig, Processor)>,
+    /// Pool-wide compile cache (shared across every device).
+    compile_cache: Arc<CompileCache>,
 }
 
 impl Device {
-    pub(crate) fn new(id: usize, cfg: DeviceConfig) -> Self {
+    pub(crate) fn new(id: usize, cfg: DeviceConfig, compile_cache: Arc<CompileCache>) -> Self {
         Device {
             id,
             cfg,
             cache: Vec::new(),
+            compile_cache,
         }
     }
 
@@ -129,8 +143,16 @@ impl Device {
         spec: &LaunchSpec,
         buffer: &mut [u32],
     ) -> Result<LaunchOutcome, RuntimeError> {
-        let program =
-            simt_isa::assemble(&spec.asm).map_err(|e| RuntimeError::Asm(e.to_string()))?;
+        let (program, compile_hit) = match &spec.source {
+            KernelSource::Asm(asm) => self
+                .compile_cache
+                .get_or_assemble(asm, &spec.config)
+                .map_err(|e| RuntimeError::Asm(e.to_string()))?,
+            KernelSource::Ir(kernel) => self
+                .compile_cache
+                .get_or_compile(kernel, &spec.config, OptLevel::Full)
+                .map_err(|e| RuntimeError::Compile(e.to_string()))?,
+        };
         let (mut proc, cache_hit) = self.processor(&spec.config)?;
         let shared_words = spec.config.shared_words.min(buffer.len());
         proc.shared_mut()
@@ -148,7 +170,11 @@ impl Device {
             .map_err(|e| RuntimeError::Exec(e.to_string()))?;
         buffer[..shared_words].copy_from_slice(&proc.shared().as_slice()[..shared_words]);
         self.retire(spec.config.clone(), proc);
-        Ok(LaunchOutcome { stats, cache_hit })
+        Ok(LaunchOutcome {
+            stats,
+            cache_hit,
+            compile_hit,
+        })
     }
 }
 
@@ -157,9 +183,13 @@ mod tests {
     use super::*;
     use simt_kernels::workload::int_vector;
 
+    fn device() -> Device {
+        Device::new(0, DeviceConfig::default(), Arc::new(CompileCache::new()))
+    }
+
     #[test]
     fn copy_cost_matches_link_model() {
-        let d = Device::new(0, DeviceConfig::default());
+        let d = device();
         assert_eq!(d.copy_cycles(0), 12);
         assert_eq!(d.copy_cycles(1), 13);
         assert_eq!(d.copy_cycles(64), 12 + 16);
@@ -167,7 +197,7 @@ mod tests {
 
     #[test]
     fn launch_reads_and_writes_the_buffer() {
-        let mut d = Device::new(0, DeviceConfig::default());
+        let mut d = device();
         let x = int_vector(64, 1);
         let y = int_vector(64, 2);
         // Detached inputs: place them in the buffer, not the spec.
@@ -179,26 +209,57 @@ mod tests {
         let out = d.run_launch(&spec, &mut buffer).unwrap();
         assert!(out.stats.cycles > 0);
         assert!(!out.cache_hit);
+        assert!(!out.compile_hit, "first launch must compile");
         assert_eq!(
             &buffer[spec.out_off..spec.out_off + spec.out_len],
             spec.expected.as_slice()
         );
-        // Same config again: cached build.
+        // Same config again: cached build and cached compile.
         let again = d.run_launch(&spec, &mut buffer).unwrap();
         assert!(again.cache_hit);
+        assert!(again.compile_hit);
         assert_eq!(again.stats.cycles, out.stats.cycles);
     }
 
     #[test]
+    fn ir_launches_compile_through_the_shared_cache() {
+        let cache = Arc::new(CompileCache::new());
+        let mut d0 = Device::new(0, DeviceConfig::default(), Arc::clone(&cache));
+        let mut d1 = Device::new(1, DeviceConfig::default(), Arc::clone(&cache));
+        let x = int_vector(64, 1);
+        let y = int_vector(64, 2);
+        let spec = LaunchSpec::saxpy_ir(3, &x, &y);
+        let mut buffer = vec![0u32; 16384];
+        let first = d0.run_launch(&spec, &mut buffer).unwrap();
+        assert!(!first.compile_hit);
+        assert_eq!(
+            &buffer[spec.out_off..spec.out_off + spec.out_len],
+            spec.expected.as_slice()
+        );
+        // A *different* device reuses the pool-wide compiled artifact.
+        let second = d1.run_launch(&spec, &mut buffer).unwrap();
+        assert!(second.compile_hit);
+        assert_eq!((cache.misses(), cache.hits()), (1, 1));
+    }
+
+    #[test]
     fn launch_errors_are_typed() {
-        let mut d = Device::new(0, DeviceConfig::default());
+        let mut d = device();
         let x = int_vector(16, 1);
         let mut spec = LaunchSpec::sum(&x);
-        spec.asm = "  bogus r1".into();
+        spec.source = simt_kernels::KernelSource::Asm("  bogus r1".into());
         let mut buffer = vec![0u32; 16384];
         match d.run_launch(&spec, &mut buffer) {
             Err(RuntimeError::Asm(_)) => {}
             other => panic!("expected Asm error, got {other:?}"),
+        }
+        // An IR kernel that exceeds the register file is a typed
+        // Compile error.
+        let mut ir_spec = LaunchSpec::fir_ir(&int_vector(16 + 15, 2), &int_vector(16, 3), 16);
+        ir_spec.config = ir_spec.config.with_regs_per_thread(2);
+        match d.run_launch(&ir_spec, &mut buffer) {
+            Err(RuntimeError::Compile(e)) => assert!(e.contains("register"), "{e}"),
+            other => panic!("expected Compile error, got {other:?}"),
         }
     }
 }

@@ -108,6 +108,7 @@ enum Done {
         seq: u64,
         stats: ExecStats,
         cache_hit: bool,
+        compile_hit: bool,
         wall: Duration,
         sink: Arc<crate::stream::Slot<Result<ExecStats, RuntimeError>>>,
     },
@@ -392,6 +393,7 @@ impl Shared {
                     seq,
                     stats,
                     cache_hit,
+                    compile_hit,
                     wall,
                     sink,
                 } => {
@@ -412,6 +414,11 @@ impl Shared {
                         ds.cache_hits += 1;
                     } else {
                         ds.cache_misses += 1;
+                    }
+                    if compile_hit {
+                        ds.compile_hits += 1;
+                    } else {
+                        ds.compile_misses += 1;
                     }
                     ds.busy_cycles += cycles;
                     accumulate(&mut ds.compute, &stats);
@@ -571,6 +578,7 @@ pub(crate) fn worker_loop(shared: Arc<Shared>, mut device: Device) {
                         seq,
                         stats: outcome.stats,
                         cache_hit: outcome.cache_hit,
+                        compile_hit: outcome.compile_hit,
                         wall: t0.elapsed(),
                         sink,
                     }),

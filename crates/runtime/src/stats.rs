@@ -89,6 +89,11 @@ pub struct DeviceStats {
     pub cache_hits: u64,
     /// Launches that needed a fresh processor build.
     pub cache_misses: u64,
+    /// Launches that found their compiled program in the pool's
+    /// content-addressed compile cache.
+    pub compile_hits: u64,
+    /// Launches that had to assemble/compile their kernel source.
+    pub compile_misses: u64,
     /// Modeled device clocks the device was busy (compute + copies).
     pub busy_cycles: u64,
     /// Aggregated execution statistics of every launch.
@@ -129,6 +134,27 @@ impl RuntimeStats {
     /// Total commands completed.
     pub fn commands(&self) -> u64 {
         self.streams.iter().map(|s| s.commands).sum()
+    }
+
+    /// Launches that hit the pool's content-addressed compile cache.
+    pub fn compile_hits(&self) -> u64 {
+        self.devices.iter().map(|d| d.compile_hits).sum()
+    }
+
+    /// Launches that had to assemble/compile their source.
+    pub fn compile_misses(&self) -> u64 {
+        self.devices.iter().map(|d| d.compile_misses).sum()
+    }
+
+    /// Compile-cache hit rate over every launch (0 with no launches).
+    pub fn compile_hit_rate(&self) -> f64 {
+        let hits = self.compile_hits() as f64;
+        let total = hits + self.compile_misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            hits / total
+        }
     }
 
     /// Launches per wall-clock second since runtime construction.

@@ -44,20 +44,28 @@ fn mixed_kernels_across_streams_match_reference_bit_exactly() {
     assert_eq!(rt.config().devices, 2);
     let streams: Vec<_> = (0..4).map(|_| rt.stream()).collect();
 
-    let jobs = mixed_jobs();
+    // (c) the single-core reference runs, bit-exact oracles — computed
+    // up front so the enqueue loop below is a tight burst (the workers
+    // must see a backlog for multi-command batches to form).
+    let jobs: Vec<_> = mixed_jobs()
+        .into_iter()
+        .map(|spec| {
+            let reference = spec.run_local().unwrap();
+            assert_eq!(reference.output, spec.expected, "{}: oracle", spec.name);
+            (spec, reference.stats)
+        })
+        .collect();
+
     let mut pending = Vec::new();
-    for (i, spec) in jobs.into_iter().enumerate() {
+    for (i, (spec, ref_stats)) in jobs.into_iter().enumerate() {
         let s = &streams[i % streams.len()];
         // (a) the runtime path: launch + copy-out of the output window
         let expected = spec.expected.clone();
         let (off, len) = (spec.out_off, spec.out_len);
         let name = spec.name.clone();
-        // (c) the single-core reference run, bit-exact oracle
-        let reference = spec.run_local().unwrap();
-        assert_eq!(reference.output, expected, "{name}: oracle self-check");
         let h = s.launch(spec);
         let out = s.copy_out(off, len);
-        pending.push((name, expected, reference.stats, h, out));
+        pending.push((name, expected, ref_stats, h, out));
     }
     rt.synchronize().unwrap();
 

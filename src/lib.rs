@@ -8,12 +8,14 @@
 //!
 //! ```text
 //!   simt-isa ──────► simt-core ──────► simt-kernels
-//!      │                 │  │              │
+//!      │                 │  │  │           │    ▲
+//!      │                 │  │  └► simt-compiler ┘
 //!      │                 │  └──────► simt-system ─┐
 //!      │                 ▼                        ▼
 //!      │   fpga-fabric ► fpga-fitter      simt-runtime
 //!      │                     ▲            (streams, events,
-//!      └─────────────────────┘             multi-device scheduler)
+//!      └─────────────────────┘             multi-device scheduler,
+//!                                          compile cache)
 //! ```
 //!
 //! * [`simt_isa`] — the PTX-inspired 61-instruction ISA, assembler and
@@ -22,16 +24,22 @@
 //!   (DSP-decomposed 32×32 multiplier, multiplicative shifter, segmented
 //!   prefix adder).
 //! * [`simt_core`] — the cycle-accurate SIMT processor simulator.
+//! * [`simt_compiler`] — the optimizing compiler: SSA kernel IR, pass
+//!   pipeline (constant folding, strength reduction, CSE, DCE),
+//!   linear-scan register allocation, lowering to the ISA, and the
+//!   content-addressed [`simt_compiler::CompileCache`].
 //! * [`fpga_fabric`] — the Agilex-7 device model.
 //! * [`fpga_fitter`] — the "virtual Quartus" synthesis / placement / STA
 //!   pipeline that regenerates the paper's timing-closure results.
 //! * [`simt_kernels`] — fixed-point kernels, host references, and the
-//!   [`simt_kernels::LaunchSpec`] descriptions the runtime launches.
+//!   [`simt_kernels::LaunchSpec`] descriptions the runtime launches
+//!   (from text assembly or compiled IR frontends).
 //! * [`simt_system`] — stamped multi-core systems with a word-serial
 //!   interconnect and bulk-synchronous phases.
 //! * [`simt_runtime`] — the stream-oriented host runtime: CUDA-style
 //!   streams, events, async launches and modeled copies over a pool of
-//!   simulated devices, with a discrete-event virtual timeline.
+//!   simulated devices, with a discrete-event virtual timeline and a
+//!   pool-wide compile cache on the launch path.
 //!
 //! ## Stream-API quickstart
 //!
@@ -58,6 +66,7 @@
 
 pub use fpga_fabric;
 pub use fpga_fitter;
+pub use simt_compiler;
 pub use simt_core;
 pub use simt_datapath;
 pub use simt_isa;
