@@ -1,0 +1,93 @@
+//! Graph replay throughput: repeated replays of an instantiated (and
+//! fused) execution graph vs re-enqueueing the same pipeline on an
+//! eager stream — the serving pattern execution graphs exist for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simt_kernels::pipeline::Pipeline;
+use simt_kernels::workload::int_vector;
+use simt_runtime::{fuse, GraphBuilder, Runtime, RuntimeConfig};
+
+fn pipeline() -> Pipeline {
+    let x = int_vector(256, 1);
+    let y = int_vector(256, 2);
+    Pipeline::saxpy_scale_sum(3, 2, &x, &y, 0)
+}
+
+fn graph_of(p: &Pipeline) -> simt_runtime::ExecGraph {
+    let mut b = GraphBuilder::new();
+    let copies: Vec<_> = p
+        .inputs
+        .iter()
+        .map(|(dst, words)| b.copy_in(*dst, words.clone(), &[]))
+        .collect();
+    let mut prev = copies;
+    for stage in &p.stages {
+        prev = vec![b.launch(stage.clone(), &prev)];
+    }
+    b.copy_out(p.out_off, p.out_len, &prev);
+    b.finish().expect("pipeline DAG")
+}
+
+fn print_modeled_summary(p: &Pipeline) {
+    let rt = Runtime::new(RuntimeConfig::default());
+    let (fused, report) = fuse(&graph_of(p));
+    let exec = rt.instantiate(fused).expect("instantiate");
+    let replay = rt.replay(&exec).expect("replay");
+    println!(
+        "\n[graph] {}: {} launches fused away, {} handoff stores elided; \
+         fused span {} clk, outputs bit-exact: {}",
+        p.name,
+        report.launches_fused,
+        report.stores_elided,
+        replay.span_cycles,
+        replay.outputs[0].1 == p.expected,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let p = pipeline();
+    print_modeled_summary(&p);
+    let mut g = c.benchmark_group("graph_replay");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(p.len() as u64));
+
+    g.bench_with_input(BenchmarkId::new("eager-stream", p.len()), &p, |b, p| {
+        let rt = Runtime::new(RuntimeConfig::default());
+        b.iter(|| {
+            let s = rt.stream();
+            for (dst, words) in &p.inputs {
+                s.copy_in(*dst, words);
+            }
+            for stage in &p.stages {
+                s.launch(stage.clone());
+            }
+            let out = s.copy_out(p.out_off, p.out_len);
+            rt.synchronize().expect("eager");
+            assert_eq!(out.wait().unwrap(), p.expected);
+        });
+    });
+
+    g.bench_with_input(BenchmarkId::new("replay-unfused", p.len()), &p, |b, p| {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let exec = rt.instantiate(graph_of(p)).expect("instantiate");
+        b.iter(|| {
+            let replay = rt.replay(&exec).expect("replay");
+            assert_eq!(replay.outputs[0].1, p.expected);
+        });
+    });
+
+    g.bench_with_input(BenchmarkId::new("replay-fused", p.len()), &p, |b, p| {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let (fused, _) = fuse(&graph_of(p));
+        let exec = rt.instantiate(fused).expect("instantiate");
+        b.iter(|| {
+            let replay = rt.replay(&exec).expect("replay");
+            assert_eq!(replay.outputs[0].1, p.expected);
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

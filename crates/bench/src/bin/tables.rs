@@ -7,13 +7,16 @@
 //! ```
 //!
 //! Flags: `--table1 --table2 --fmax --registers --baseline --shifter
-//! --fig5 --fig6 --fig7 --cycles --runtime --compiler` (no flags = all).
+//! --fig5 --fig6 --fig7 --cycles --runtime --compiler --graph`
+//! (no flags = all).
 //!
 //! The `--runtime` section also writes `BENCH_runtime.json` — a
 //! machine-readable snapshot of the runtime scheduler's scaling numbers
-//! and the headline clock results — and `--compiler` writes
+//! and the headline clock results — `--compiler` writes
 //! `BENCH_compiler.json` (compile times, pass-pipeline instruction
-//! reductions, compile-cache hit rates), so future changes can be
+//! reductions, compile-cache hit rates), and `--graph` writes
+//! `BENCH_graph.json` (fused vs unfused execution-graph makespans,
+//! fusion pass reductions, replay cache hits), so future changes can be
 //! tracked against them.
 
 use fpga_fitter::{compile, floorplan, CompileOptions, DesignVariant};
@@ -78,6 +81,166 @@ fn main() {
     if want("--compiler") {
         compiler();
     }
+    if want("--graph") {
+        graph();
+    }
+}
+
+/// One pipeline family: eager stream vs unfused vs fused graph replay.
+#[derive(Debug, Clone, Serialize)]
+struct GraphPipelineRow {
+    name: String,
+    stages: usize,
+    eager_makespan_cycles: u64,
+    unfused_span_cycles: u64,
+    fused_span_cycles: u64,
+    fused_speedup_vs_eager: f64,
+    launches_fused: u64,
+    stores_elided: u64,
+    loads_forwarded: u64,
+    ir_insts_before: usize,
+    ir_insts_after: usize,
+}
+
+/// The machine-readable snapshot written to `BENCH_graph.json`.
+#[derive(Debug, Clone, Serialize)]
+struct GraphBenchReport {
+    schema_version: u32,
+    devices: usize,
+    pipelines: Vec<GraphPipelineRow>,
+    /// Compiles paid once at `Runtime::instantiate` (whole-graph
+    /// compilation through the pool cache).
+    instantiate_compiles: u64,
+    /// Compile-cache hits across every replayed launch.
+    replay_compile_hits: u64,
+    /// Compiles a replay had to perform (0: replays never recompile).
+    replay_compile_misses: u64,
+    replay_cache_hit_rate: f64,
+}
+
+fn graph() {
+    use simt_kernels::pipeline::Pipeline;
+    use simt_kernels::workload::{int_vector, lowpass_taps, q15_signal};
+    use simt_runtime::{fuse, GraphBuilder, Runtime, RuntimeConfig};
+
+    println!("== simt-graph: fused execution-graph replay vs eager streams ==");
+    let x = int_vector(256, 1);
+    let y = int_vector(256, 2);
+    let w = int_vector(256, 3);
+    let taps = lowpass_taps(16);
+    let sig = q15_signal(256 + 15, 4);
+    let pipelines = vec![
+        Pipeline::saxpy_scale_sum(3, 2, &x, &y, 0),
+        Pipeline::saxpy_dot(-7, &x, &y, &w, 0),
+        Pipeline::fir_sum(&sig, &taps, 256, 0),
+    ];
+
+    let record = |p: &Pipeline| {
+        let mut b = GraphBuilder::new();
+        let copies: Vec<_> = p
+            .inputs
+            .iter()
+            .map(|(dst, words)| b.copy_in(*dst, words.clone(), &[]))
+            .collect();
+        let mut prev = copies;
+        for stage in &p.stages {
+            prev = vec![b.launch(stage.clone(), &prev)];
+        }
+        b.copy_out(p.out_off, p.out_len, &prev);
+        b.finish().expect("pipeline DAG is valid")
+    };
+
+    println!(
+        "{:<18} {:>6} {:>10} {:>10} {:>10} {:>8} {:>7} {:>7}",
+        "pipeline", "stages", "eager clk", "replay clk", "fused clk", "speedup", "stores", "loads"
+    );
+    let mut rows = Vec::new();
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let mut instantiate_compiles = 0u64;
+    for p in &pipelines {
+        // Eager stream baseline.
+        let eager = Runtime::new(RuntimeConfig::default());
+        let s = eager.stream();
+        for (dst, words) in &p.inputs {
+            s.copy_in(*dst, words);
+        }
+        for stage in &p.stages {
+            s.launch(stage.clone());
+        }
+        let out = s.copy_out(p.out_off, p.out_len);
+        eager.synchronize().expect("eager pipeline runs clean");
+        assert_eq!(out.wait().unwrap(), p.expected, "{}: eager", p.name);
+        let eager_makespan = eager.stats().makespan_cycles;
+
+        // Unfused and fused graph replays, each on a fresh pool.
+        let graph = record(p);
+        let rt = Runtime::new(RuntimeConfig::default());
+        let exec = rt.instantiate(graph.clone()).expect("instantiate");
+        let unfused = rt.replay(&exec).expect("unfused replay");
+        assert_eq!(unfused.outputs[0].1, p.expected, "{}: unfused", p.name);
+
+        let (fused_graph, report) = fuse(&graph);
+        let rt2 = Runtime::new(RuntimeConfig::default());
+        let fexec = rt2.instantiate(fused_graph).expect("instantiate fused");
+        let compiled_at_instantiate = rt2.compile_cache().misses();
+        let fused = rt2.replay(&fexec).expect("fused replay");
+        assert_eq!(fused.outputs[0].1, p.expected, "{}: fused", p.name);
+        // Replays after instantiation never recompile.
+        let again = rt2.replay(&fexec).expect("re-replay");
+        hits += fused.compile_hits + again.compile_hits;
+        misses += rt2.compile_cache().misses() - compiled_at_instantiate;
+        instantiate_compiles += compiled_at_instantiate;
+
+        let row = GraphPipelineRow {
+            name: p.name.clone(),
+            stages: p.len(),
+            eager_makespan_cycles: eager_makespan,
+            unfused_span_cycles: unfused.span_cycles,
+            fused_span_cycles: fused.span_cycles,
+            fused_speedup_vs_eager: eager_makespan as f64 / fused.span_cycles as f64,
+            launches_fused: report.launches_fused as u64,
+            stores_elided: report.stores_elided as u64,
+            loads_forwarded: report.loads_eliminated as u64,
+            ir_insts_before: report.insts_before,
+            ir_insts_after: report.insts_after,
+        };
+        println!(
+            "{:<18} {:>6} {:>10} {:>10} {:>10} {:>7.2}x {:>7} {:>7}",
+            row.name,
+            row.stages,
+            row.eager_makespan_cycles,
+            row.unfused_span_cycles,
+            row.fused_span_cycles,
+            row.fused_speedup_vs_eager,
+            row.stores_elided,
+            row.loads_forwarded
+        );
+        assert!(
+            row.fused_span_cycles < row.eager_makespan_cycles,
+            "{}: fusion must beat the eager schedule",
+            row.name
+        );
+        assert!(
+            row.stores_elided >= row.launches_fused,
+            "{}: every fused edge elides its handoff store",
+            row.name
+        );
+        rows.push(row);
+    }
+
+    let report = GraphBenchReport {
+        schema_version: 1,
+        devices: RuntimeConfig::default().devices,
+        pipelines: rows,
+        instantiate_compiles,
+        replay_compile_hits: hits,
+        replay_compile_misses: misses,
+        replay_cache_hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_graph.json", &json).expect("write BENCH_graph.json");
+    println!("(wrote BENCH_graph.json)\n");
 }
 
 /// One kernel family through the IR pipeline.

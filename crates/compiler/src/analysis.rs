@@ -1,0 +1,199 @@
+//! Lightweight memory-address analysis over the kernel IR.
+//!
+//! The graph-fusion machinery needs to answer one question soundly:
+//! *which shared-memory words can this kernel read or write?* Addresses
+//! on this machine are `base register + imm16 offset`, and the frontends
+//! build bases from a handful of shapes (`tid`, constants, constant
+//! adds), so a tiny symbolic walk resolves most of them exactly. Anything
+//! it cannot resolve is reported as unknown — callers must treat unknown
+//! as "may touch everything" and refuse to optimize across it.
+
+use crate::ir::{BinOp, Kernel, Op, ValueId};
+
+/// How deep the base-expression walk follows constant adds before
+/// giving up (frontends never nest deeper in practice).
+const RESOLVE_DEPTH: usize = 8;
+
+/// A resolved address base: either the per-thread id plus a constant
+/// delta (so an access spans one word per thread) or a plain constant
+/// (a uniform broadcast access).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AddrBase {
+    /// `tid + delta`.
+    Tid(i64),
+    /// A constant address.
+    Const(i64),
+}
+
+/// Resolve the symbolic base of an address expression, following
+/// constant adds. Masked (guarded or thread-scaled) definitions are
+/// unresolvable: inactive lanes keep a stale register value, so the
+/// expression's value is not uniform across threads.
+fn resolve_base(k: &Kernel, v: ValueId, depth: usize) -> Option<AddrBase> {
+    if depth == 0 {
+        return None;
+    }
+    let inst = k.inst(v);
+    if inst.guard.is_some() || inst.scale.is_some() {
+        return None;
+    }
+    match &inst.op {
+        Op::Tid => Some(AddrBase::Tid(0)),
+        Op::Const(c) => Some(AddrBase::Const(*c as i64)),
+        Op::Bin(BinOp::Add) => {
+            let a = resolve_base(k, inst.args[0], depth - 1)?;
+            let b = resolve_base(k, inst.args[1], depth - 1)?;
+            match (a, b) {
+                (AddrBase::Tid(d), AddrBase::Const(c)) | (AddrBase::Const(c), AddrBase::Tid(d)) => {
+                    Some(AddrBase::Tid(d + c))
+                }
+                (AddrBase::Const(x), AddrBase::Const(y)) => Some(AddrBase::Const(x + y)),
+                // tid + tid is resolvable in principle but no frontend
+                // emits it; stay conservative.
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// True when `base` resolves to a distinct address per lane (`tid +
+/// constant`). Only such stores keep one value *per thread*: a store
+/// through a uniform (constant) base has every lane write the same
+/// address, the hardware keeps a single winner (highest thread id), and
+/// a later load broadcasts that winner — so forwarding each lane its
+/// own stored value would miscompile.
+pub fn lane_unique_base(k: &Kernel, base: ValueId) -> bool {
+    matches!(resolve_base(k, base, RESOLVE_DEPTH), Some(AddrBase::Tid(_)))
+}
+
+/// The half-open word range `[lo, hi)` a memory access with base `base`
+/// and immediate offset `off` can touch across `threads` lanes, if the
+/// base resolves. Thread-scaled accesses touch a *subset* of the full
+/// range, so the full range stays a sound over-approximation.
+pub fn access_range(k: &Kernel, base: ValueId, off: u32, threads: usize) -> Option<(usize, usize)> {
+    match resolve_base(k, base, RESOLVE_DEPTH)? {
+        AddrBase::Tid(d) => {
+            let lo = d + off as i64;
+            let hi = lo + threads as i64;
+            if lo < 0 {
+                return None; // wraps through the address space: give up
+            }
+            Some((lo as usize, hi as usize))
+        }
+        AddrBase::Const(c) => {
+            let lo = c + off as i64;
+            if lo < 0 {
+                return None;
+            }
+            Some((lo as usize, lo as usize + 1))
+        }
+    }
+}
+
+/// Every word range the kernel may *read*, or `None` if any load's
+/// address cannot be resolved (treat as "may read everything").
+pub fn read_ranges(k: &Kernel, threads: usize) -> Option<Vec<(usize, usize)>> {
+    mem_ranges(k, threads, false)
+}
+
+/// Every word range the kernel may *write*, or `None` if any store's
+/// address cannot be resolved (treat as "may write everything").
+pub fn write_ranges(k: &Kernel, threads: usize) -> Option<Vec<(usize, usize)>> {
+    mem_ranges(k, threads, true)
+}
+
+fn mem_ranges(k: &Kernel, threads: usize, writes: bool) -> Option<Vec<(usize, usize)>> {
+    let mut out = Some(Vec::new());
+    k.for_each_inst(|_, inst| {
+        let range = match (&inst.op, writes) {
+            (Op::Load(off), false) | (Op::Store(off), true) => {
+                Some(access_range(k, inst.args[0], *off, threads))
+            }
+            _ => None,
+        };
+        if let Some(r) = range {
+            match (r, &mut out) {
+                (Some(r), Some(v)) => v.push(r),
+                _ => out = None,
+            }
+        }
+    });
+    out
+}
+
+/// True when two half-open ranges overlap.
+pub fn ranges_intersect(a: (usize, usize), b: (usize, usize)) -> bool {
+    a.0 < b.1 && b.0 < a.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::IrBuilder;
+
+    #[test]
+    fn tid_plus_const_chains_resolve() {
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        let c = b.iconst(100);
+        let a1 = b.add(tid, c);
+        let c2 = b.iconst(24);
+        let a2 = b.add(c2, a1);
+        let x = b.load(a2, 4);
+        b.store(tid, 0, x);
+        let k = b.finish();
+        assert_eq!(
+            access_range(&k, a2, 4, 64),
+            Some((128, 192)),
+            "tid + 100 + 24 + imm4 over 64 threads"
+        );
+        assert_eq!(read_ranges(&k, 64), Some(vec![(128, 192)]));
+        assert_eq!(write_ranges(&k, 64), Some(vec![(0, 64)]));
+    }
+
+    #[test]
+    fn const_bases_are_single_words() {
+        let mut b = IrBuilder::new("t");
+        let zero = b.iconst(0);
+        let x = b.load(zero, 2048);
+        b.store(zero, 0, x);
+        let k = b.finish();
+        assert_eq!(read_ranges(&k, 128), Some(vec![(2048, 2049)]));
+    }
+
+    #[test]
+    fn computed_bases_are_unknown() {
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        let sq = b.mul(tid, tid);
+        let x = b.load(sq, 0);
+        b.store(tid, 0, x);
+        let k = b.finish();
+        assert_eq!(read_ranges(&k, 64), None, "tid*tid base must be unknown");
+        assert!(write_ranges(&k, 64).is_some());
+    }
+
+    #[test]
+    fn masked_bases_are_unknown() {
+        // A guarded add leaves inactive lanes with stale registers: the
+        // base is not a function of tid alone.
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        let z = b.iconst(0);
+        let p = b.cmp(crate::ir::CmpOp::Lt, tid, z);
+        b.guard_next(p, false);
+        let base = b.add(tid, z);
+        let x = b.load(base, 0);
+        b.store(tid, 0, x);
+        let k = b.finish();
+        assert_eq!(read_ranges(&k, 64), None);
+    }
+
+    #[test]
+    fn intersection_is_half_open() {
+        assert!(ranges_intersect((0, 10), (9, 12)));
+        assert!(!ranges_intersect((0, 10), (10, 12)));
+        assert!(ranges_intersect((5, 6), (0, 100)));
+    }
+}

@@ -45,6 +45,8 @@ struct Entry {
     material: SourceMaterial,
     config: ProcessorConfig,
     program: Arc<Program>,
+    /// Recency stamp for LRU eviction (larger = used more recently).
+    last_used: u64,
 }
 
 #[derive(Debug, Default)]
@@ -55,6 +57,12 @@ struct Inner {
     /// and instead of holding the map lock across a compile, which
     /// would serialize unrelated compilations pool-wide.
     pending: HashSet<u64>,
+    /// Monotonic recency clock.
+    tick: u64,
+    /// Maximum resident artifacts (`None` = unbounded). A long-running
+    /// pool serving many distinct programs must not grow without limit;
+    /// past the bound the least-recently-used artifact is evicted.
+    capacity: Option<usize>,
 }
 
 /// A shared, content-addressed map from compiled-artifact keys to
@@ -65,6 +73,7 @@ pub struct CompileCache {
     ready: Condvar,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// Outcome of claiming a key under the lock.
@@ -78,9 +87,21 @@ enum Claim {
 }
 
 impl CompileCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache holding at most `capacity` artifacts, evicting
+    /// the least-recently-used past the bound.
+    ///
+    /// # Panics
+    /// If `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "a compile cache needs room for one entry");
+        let cache = Self::default();
+        cache.inner.lock().unwrap().capacity = Some(capacity);
+        cache
     }
 
     /// Claim `key` under the lock: hit, collision, or take ownership of
@@ -88,8 +109,11 @@ impl CompileCache {
     fn claim(&self, key: u64, material: &SourceMaterial, config: &ProcessorConfig) -> Claim {
         let mut inner = self.inner.lock().unwrap();
         loop {
-            if let Some(e) = inner.map.get(&key) {
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(e) = inner.map.get_mut(&key) {
                 if e.material == *material && e.config == *config {
+                    e.last_used = tick;
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     return Claim::Hit(Arc::clone(&e.program));
                 }
@@ -104,13 +128,27 @@ impl CompileCache {
         }
     }
 
-    /// Publish (or on failure abandon) an owned compile and wake
-    /// waiters.
+    /// Publish (or on failure abandon) an owned compile, evict past the
+    /// LRU bound, and wake waiters.
     fn settle(&self, key: u64, entry: Option<Entry>) {
         let mut inner = self.inner.lock().unwrap();
         inner.pending.remove(&key);
-        if let Some(e) = entry {
+        if let Some(mut e) = entry {
+            inner.tick += 1;
+            e.last_used = inner.tick;
             inner.map.insert(key, e);
+            if let Some(cap) = inner.capacity {
+                while inner.map.len() > cap {
+                    let lru = inner
+                        .map
+                        .iter()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(&k, _)| k)
+                        .expect("over-capacity map is non-empty");
+                    inner.map.remove(&lru);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
         self.ready.notify_all();
     }
@@ -155,6 +193,7 @@ impl CompileCache {
                             material,
                             config: config.clone(),
                             program: Arc::clone(&p),
+                            last_used: 0,
                         }),
                     );
                     Ok((p, false))
@@ -192,6 +231,7 @@ impl CompileCache {
                             material,
                             config: config.clone(),
                             program: Arc::clone(&p),
+                            last_used: 0,
                         }),
                     );
                     Ok((p, false))
@@ -212,6 +252,16 @@ impl CompileCache {
     /// Cache misses (compilations) so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Artifacts evicted by the LRU bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The configured LRU bound (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.inner.lock().unwrap().capacity
     }
 
     /// Cached artifacts.
@@ -351,6 +401,55 @@ mod tests {
         assert!(cache.is_empty());
         assert!(cache.get_or_assemble("  frob r1", &cfg).is_err());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn lru_bound_evicts_the_coldest_artifact() {
+        let cache = CompileCache::with_capacity(2);
+        assert_eq!(cache.capacity(), Some(2));
+        let cfg = ProcessorConfig::small();
+        cache
+            .get_or_compile(&kernel(1), &cfg, OptLevel::Full)
+            .unwrap();
+        cache
+            .get_or_compile(&kernel(2), &cfg, OptLevel::Full)
+            .unwrap();
+        assert_eq!((cache.len(), cache.evictions()), (2, 0));
+        // Touch kernel(1) so kernel(2) is the LRU entry.
+        let (_, hit) = cache
+            .get_or_compile(&kernel(1), &cfg, OptLevel::Full)
+            .unwrap();
+        assert!(hit);
+        // A third artifact pushes out kernel(2), not kernel(1).
+        cache
+            .get_or_compile(&kernel(3), &cfg, OptLevel::Full)
+            .unwrap();
+        assert_eq!((cache.len(), cache.evictions()), (2, 1));
+        let (_, hit1) = cache
+            .get_or_compile(&kernel(1), &cfg, OptLevel::Full)
+            .unwrap();
+        assert!(hit1, "recently-used artifact survived the eviction");
+        // kernel(2) was evicted: compiling it again is a miss (and in
+        // turn evicts the now-coldest kernel(3)).
+        let (_, hit2) = cache
+            .get_or_compile(&kernel(2), &cfg, OptLevel::Full)
+            .unwrap();
+        assert!(!hit2, "evicted artifact must recompile");
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = CompileCache::new();
+        assert_eq!(cache.capacity(), None);
+        let cfg = ProcessorConfig::small();
+        for m in 1..=16 {
+            cache
+                .get_or_compile(&kernel(m), &cfg, OptLevel::Full)
+                .unwrap();
+        }
+        assert_eq!((cache.len(), cache.evictions()), (16, 0));
     }
 
     #[test]

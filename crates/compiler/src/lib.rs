@@ -50,18 +50,21 @@
 //! assert_eq!(out.program.len(), 6); // stid, lds, muli, addi, sts, exit
 //! ```
 
+pub mod analysis;
 pub mod cache;
 pub mod error;
 pub mod ir;
 pub mod lower;
 pub mod passes;
 pub mod regalloc;
+pub mod stitch;
 
 pub use cache::CompileCache;
 pub use error::CompileError;
 pub use ir::{BinOp, CmpOp, IrBuilder, Kernel, Op, Ty, UnOp, ValueId};
 pub use lower::{compile, CompiledKernel, OptLevel};
-pub use passes::{optimize, PassStats, PipelineReport};
+pub use passes::{elide_stores, forward_stores, mad_fuse, optimize, PassStats, PipelineReport};
+pub use stitch::{concat_kernels, fuse_kernels, FuseReport};
 
 use simt_core::ProcessorConfig;
 

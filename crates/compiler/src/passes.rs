@@ -1,6 +1,7 @@
 //! The optimization pipeline: constant folding, strength reduction,
-//! common-subexpression elimination and dead-code elimination, with
-//! per-pass before/after instruction counts.
+//! common-subexpression elimination, store-to-load forwarding,
+//! `mad` fusion and dead-code elimination, with per-pass before/after
+//! instruction counts.
 //!
 //! Frontends are encouraged to emit clear, mechanical IR (explicit
 //! address arithmetic, one constant per use); these passes recover the
@@ -62,6 +63,8 @@ pub fn optimize(k: &mut Kernel) -> PipelineReport {
         ("const-fold", const_fold),
         ("strength-reduce", strength_reduce),
         ("cse", cse),
+        ("store-forward", forward_stores),
+        ("mad-fuse", mad_fuse),
         ("dce", dce),
     ];
     for _round in 0..8 {
@@ -411,6 +414,209 @@ pub fn cse(k: &mut Kernel) -> bool {
     changed
 }
 
+// ---- store-to-load forwarding -----------------------------------------
+
+/// Forwarding state: `(base value, offset)` → last value stored there.
+type AvailMap = HashMap<(ValueId, u32), ValueId>;
+
+/// Invalidate every entry a store to `(base, off)` may clobber. Two
+/// accesses with the same base alias exactly when their offsets match;
+/// accesses with *different* base values may still hit the same address
+/// (e.g. `tid` vs `tid + k`), so they are conservatively killed.
+fn clobber(avail: &mut AvailMap, base: ValueId, off: u32) {
+    avail.retain(|&(b, o), _| b == base && o != off);
+}
+
+/// Collect every `(base, off)` a region (and its nested loops) stores
+/// to, for parent-scope invalidation after a loop body.
+fn region_store_keys(k: &Kernel, region: &[ValueId], keys: &mut Vec<(ValueId, u32)>) {
+    for &v in region {
+        let inst = k.inst(v);
+        if let Op::Store(off) = inst.op {
+            keys.push((inst.args[0], off));
+        }
+        if let Some(body) = &inst.body {
+            region_store_keys(k, body, keys);
+        }
+    }
+}
+
+/// Replace loads that provably re-read a value just stored at the same
+/// `(base, offset)` with the stored value itself — the round trip
+/// through shared memory becomes a register move the next DCE deletes.
+/// This is what turns a fused kernel chain's store/load handoff into a
+/// direct SSA def-use edge. Masked (guarded or scaled) loads are left
+/// alone — their inactive lanes keep the old register contents — and
+/// masked stores only invalidate (a partial write forwards nothing).
+/// Only stores through a lane-unique base (`tid + constant`, see
+/// [`crate::analysis::lane_unique_base`]) are forwardable at all: a
+/// uniform-address store collapses all lanes to one winning value that
+/// a later load broadcasts, which per-lane forwarding would not
+/// reproduce.
+pub fn forward_stores(k: &mut Kernel) -> bool {
+    let mut replace: HashMap<ValueId, ValueId> = HashMap::new();
+    let mut changed = false;
+
+    fn walk(
+        k: &mut Kernel,
+        region: &[ValueId],
+        avail: &mut AvailMap,
+        replace: &mut HashMap<ValueId, ValueId>,
+        changed: &mut bool,
+    ) {
+        for &v in region {
+            rewrite_args(k, v, replace);
+            if let Some(body) = k.inst_mut(v).body.take() {
+                // A loop body re-executes: values stored before the loop
+                // are only safe to forward inside it when the body never
+                // clobbers them — start the body with an empty map and
+                // kill parent entries the body stores over.
+                let mut inner = AvailMap::new();
+                walk(k, &body, &mut inner, replace, changed);
+                let mut keys = Vec::new();
+                region_store_keys(k, &body, &mut keys);
+                for (b, o) in keys {
+                    clobber(avail, b, o);
+                }
+                k.inst_mut(v).body = Some(body);
+                continue;
+            }
+            let inst = k.inst(v);
+            match inst.op {
+                Op::Store(off) => {
+                    let base = inst.args[0];
+                    let value = inst.args[1];
+                    let masked = inst.guard.is_some() || inst.scale.is_some();
+                    clobber(avail, base, off);
+                    if !masked && crate::analysis::lane_unique_base(k, base) {
+                        avail.insert((base, off), value);
+                    }
+                }
+                Op::Load(off) if inst.guard.is_none() && inst.scale.is_none() => {
+                    if let Some(&stored) = avail.get(&(inst.args[0], off)) {
+                        replace.insert(v, stored);
+                        *changed = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let root = k.body().to_vec();
+    let mut avail = AvailMap::new();
+    walk(k, &root, &mut avail, &mut replace, &mut changed);
+    changed
+}
+
+// ---- mad fusion -------------------------------------------------------
+
+/// Fuse `mul` → `add` chains into the DSP column's single `mad`
+/// instruction: an unmasked add with one operand produced by an
+/// unmasked, single-use, register-register multiply becomes
+/// `mad(a, b, other)`; the multiply dies at the next DCE. Constant
+/// operands are excluded on both sides — they would lower to the
+/// immediate forms (`muli`/`addi`) anyway, and a `mad` would force a
+/// `movi` that erases the win.
+pub fn mad_fuse(k: &mut Kernel) -> bool {
+    // Global use counts (args + guards) decide single-use multiplies.
+    let mut uses: HashMap<ValueId, usize> = HashMap::new();
+    k.for_each_inst(|_, inst| {
+        for &a in &inst.args {
+            *uses.entry(a).or_default() += 1;
+        }
+        if let Some(g) = inst.guard {
+            *uses.entry(g.pred).or_default() += 1;
+        }
+    });
+
+    let mut rewrites: Vec<(ValueId, [ValueId; 3])> = Vec::new();
+    k.for_each_inst(|v, inst| {
+        if inst.op != Op::Bin(BinOp::Add) || inst.guard.is_some() || inst.scale.is_some() {
+            return;
+        }
+        for (slot, &m) in inst.args.iter().enumerate() {
+            let other = inst.args[1 - slot];
+            if m == other {
+                continue; // add(m, m): the mul has two uses here
+            }
+            let mi = k.inst(m);
+            let fusible = mi.op == Op::Bin(BinOp::Mul)
+                && mi.guard.is_none()
+                && mi.scale.is_none()
+                && uses.get(&m) == Some(&1)
+                && k.as_const(mi.args[0]).is_none()
+                && k.as_const(mi.args[1]).is_none()
+                && k.as_const(other).is_none();
+            if fusible {
+                rewrites.push((v, [mi.args[0], mi.args[1], other]));
+                break;
+            }
+        }
+    });
+
+    let changed = !rewrites.is_empty();
+    for (v, args) in rewrites {
+        let inst = k.inst_mut(v);
+        inst.op = Op::Mad;
+        inst.args = args.to_vec();
+    }
+    changed
+}
+
+// ---- dead-store elision (fusion support) ------------------------------
+
+/// Remove root-region stores into declared dead ranges — shared-memory
+/// windows a fused kernel's caller has proven nothing downstream reads
+/// (the intermediate buffers of a fused launch chain). A store goes only
+/// when its address range resolves (see [`crate::analysis`]), lies
+/// inside one dead range, and no later load in the kernel may read any
+/// part of that range. Returns the number of stores removed.
+///
+/// This is not part of [`optimize`]: dead ranges are an *external* fact
+/// about the launch graph, not derivable from the kernel alone.
+pub fn elide_stores(k: &mut Kernel, dead: &[(usize, usize)], threads: usize) -> usize {
+    use crate::analysis::{access_range, ranges_intersect};
+
+    // Pre-order index of every instruction (matches execution order:
+    // a loop body sits at its header's position, repeated).
+    let mut index: HashMap<ValueId, usize> = HashMap::new();
+    let mut loads: Vec<(usize, Option<(usize, usize)>)> = Vec::new();
+    {
+        let mut i = 0usize;
+        k.for_each_inst(|v, inst| {
+            index.insert(v, i);
+            if let Op::Load(off) = inst.op {
+                loads.push((i, access_range(k, inst.args[0], off, threads)));
+            }
+            i += 1;
+        });
+    }
+
+    let root = k.body().to_vec();
+    let mut remove: Vec<ValueId> = Vec::new();
+    for &v in &root {
+        let inst = k.inst(v);
+        let Op::Store(off) = inst.op else { continue };
+        let Some(range) = access_range(k, inst.args[0], off, threads) else {
+            continue;
+        };
+        if !dead.iter().any(|&(lo, hi)| lo <= range.0 && range.1 <= hi) {
+            continue;
+        }
+        let pos = index[&v];
+        let read_later = loads
+            .iter()
+            .any(|&(p, r)| p > pos && r.is_none_or(|r| ranges_intersect(r, range)));
+        if !read_later {
+            remove.push(v);
+        }
+    }
+    let removed = remove.len();
+    k.body.retain(|v| !remove.contains(v));
+    removed
+}
+
 // ---- dead-code elimination --------------------------------------------
 
 /// Remove instructions whose results are never used. Stores are the
@@ -646,6 +852,169 @@ mod tests {
             }
         });
         assert_eq!(scaled_add, Some(1), "\n{k}");
+    }
+
+    #[test]
+    fn stores_forward_into_matching_loads() {
+        // store then load at the same (base, offset): the round trip
+        // collapses to the stored value, and DCE sweeps both the load
+        // and (here) nothing else — the store's effect remains.
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        let x = b.load(tid, 0);
+        b.store(tid, 64, x);
+        let y = b.load(tid, 64); // forwards to x
+        let z = b.add(y, y);
+        b.store(tid, 128, z);
+        let mut k = b.finish();
+        optimize(&mut k);
+        let mut loads = 0;
+        k.for_each_inst(|_, inst| {
+            if matches!(inst.op, Op::Load(_)) {
+                loads += 1;
+            }
+        });
+        assert_eq!(loads, 1, "round-trip load must be forwarded:\n{k}");
+    }
+
+    #[test]
+    fn forwarding_respects_clobbers_and_masks() {
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        let x = b.load(tid, 0);
+        b.store(tid, 64, x);
+        // An intervening store through a *different* base may alias.
+        let other = b.load(tid, 1);
+        b.store(other, 64, x);
+        let y = b.load(tid, 64); // must NOT forward
+        b.store(tid, 128, y);
+        // A scaled load never forwards (inactive lanes keep old regs).
+        b.store(tid, 256, x);
+        b.scale_next(1);
+        let s = b.load(tid, 256);
+        b.store(tid, 300, s);
+        let mut k = b.finish();
+        let before = {
+            let mut loads = 0;
+            k.for_each_inst(|_, i| {
+                if matches!(i.op, Op::Load(_)) {
+                    loads += 1;
+                }
+            });
+            loads
+        };
+        optimize(&mut k);
+        let mut after = 0;
+        k.for_each_inst(|_, i| {
+            if matches!(i.op, Op::Load(_)) {
+                after += 1;
+            }
+        });
+        assert_eq!(after, before, "no load may be forwarded here:\n{k}");
+    }
+
+    #[test]
+    fn uniform_address_stores_never_forward_per_lane_values() {
+        // Every lane stores its tid to ONE address: the hardware keeps
+        // a single winner (highest thread id), and the load broadcasts
+        // it. Forwarding would hand each lane its own tid instead —
+        // the store/load round trip must survive.
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        let zero = b.iconst(0);
+        b.store(zero, 100, tid);
+        let winner = b.load(zero, 100);
+        b.store(tid, 200, winner);
+        let mut k = b.finish();
+        optimize(&mut k);
+        let mut loads = 0;
+        k.for_each_inst(|_, i| {
+            if matches!(i.op, Op::Load(_)) {
+                loads += 1;
+            }
+        });
+        assert_eq!(loads, 1, "broadcast load must survive:\n{k}");
+    }
+
+    #[test]
+    fn loop_bodies_do_not_forward_across_iterations() {
+        // The body loads, bumps and stores the same cell: iteration i+1
+        // must re-load what iteration i stored, so the load survives.
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        b.store(tid, 0, tid);
+        b.begin_loop(4);
+        let x = b.load(tid, 0);
+        let one = b.iconst(1);
+        let y = b.add(x, one);
+        b.store(tid, 0, y);
+        b.end_loop();
+        let mut k = b.finish();
+        optimize(&mut k);
+        let mut loads = 0;
+        k.for_each_inst(|_, i| {
+            if matches!(i.op, Op::Load(_)) {
+                loads += 1;
+            }
+        });
+        assert_eq!(loads, 1, "loop-carried load must survive:\n{k}");
+    }
+
+    #[test]
+    fn mul_add_chains_fuse_to_mad() {
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        let x = b.load(tid, 0);
+        let y = b.load(tid, 64);
+        let w = b.load(tid, 128);
+        let p = b.mul(x, y);
+        let z = b.add(p, w);
+        b.store(tid, 256, z);
+        let mut k = b.finish();
+        let r = optimize(&mut k);
+        let mut mads = 0;
+        let mut muls = 0;
+        k.for_each_inst(|_, i| match i.op {
+            Op::Mad => mads += 1,
+            Op::Bin(BinOp::Mul) => muls += 1,
+            _ => {}
+        });
+        assert_eq!((mads, muls), (1, 0), "\n{k}");
+        assert!(r.insts_after < r.insts_before);
+    }
+
+    #[test]
+    fn mad_fusion_skips_consts_multi_use_and_masks() {
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        let x = b.load(tid, 0);
+        let y = b.load(tid, 64);
+        // Const multiply: stays muli + add.
+        let c = b.iconst(3);
+        let p1 = b.mul(x, c);
+        let s1 = b.add(p1, y);
+        b.store(tid, 128, s1);
+        // Multi-use multiply: both uses keep it alive, no fusion.
+        let p2 = b.mul(x, y);
+        let s2 = b.add(p2, y);
+        b.store(tid, 192, s2);
+        b.store(tid, 200, p2);
+        // Guarded add: write-mask semantics, no fusion.
+        let zero = b.iconst(0);
+        let g = b.cmp(CmpOp::Lt, tid, zero);
+        let p3 = b.mul(x, y);
+        b.guard_next(g, false);
+        let s3 = b.add(p3, y);
+        b.store(tid, 220, s3);
+        let mut k = b.finish();
+        optimize(&mut k);
+        let mut mads = 0;
+        k.for_each_inst(|_, i| {
+            if matches!(i.op, Op::Mad) {
+                mads += 1;
+            }
+        });
+        assert_eq!(mads, 0, "\n{k}");
     }
 
     #[test]

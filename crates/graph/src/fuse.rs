@@ -1,0 +1,453 @@
+//! IR-level kernel fusion over an execution graph.
+//!
+//! A chain of back-to-back `KernelSource::Ir` launches on one
+//! dependency path costs a launch (pipeline fill) per stage and hands
+//! each intermediate through a shared-memory store/load round trip —
+//! a full-width store (the most expensive instruction class on this
+//! machine) plus a load, per handoff. Fusion stitches such chains into
+//! a single kernel through `simt-compiler`'s multi-kernel lowering:
+//! the handoff loads become register uses (store-to-load forwarding)
+//! and the handoff stores are elided entirely.
+//!
+//! ## Legality
+//!
+//! Eliding an intermediate is only sound when that buffer never
+//! *escapes* the chain. [`fuse`] proves it with the compiler's address
+//! analysis: an edge `A → B` fuses only when
+//!
+//! * `B` is `A`'s sole dependent and `A` is `B`'s sole dependency
+//!   (no other node can observe the intermediate state between them),
+//! * both are IR launches with identical processor configurations
+//!   (one fused build must serve both stages), and
+//! * no *other* node in the graph — launch, host copy in either
+//!   direction — may read or write `A`'s declared output window. A
+//!   launch whose addresses cannot be resolved counts as touching
+//!   everything and blocks fusion.
+//!
+//! Inside the fused kernel the compiler independently re-checks every
+//! elision (a store only goes when no later load can read it), so the
+//! graph-level argument and the IR-level one compose.
+
+use crate::graph::{ExecGraph, GraphNode, GraphOp, NodeId};
+use simt_compiler::analysis::{ranges_intersect, read_ranges, write_ranges};
+use simt_compiler::{fuse_kernels, Kernel};
+use simt_kernels::{KernelSource, LaunchSpec};
+
+/// What [`fuse`] did to a graph.
+#[derive(Debug, Clone, Default)]
+pub struct FusionReport {
+    /// Original node ids of each fused chain, in stage order.
+    pub groups: Vec<Vec<NodeId>>,
+    /// Nodes in the graph before fusion.
+    pub nodes_before: usize,
+    /// Nodes after fusion.
+    pub nodes_after: usize,
+    /// Launch nodes eliminated (chain length minus one, summed).
+    pub launches_fused: usize,
+    /// Stage-handoff loads eliminated across all fused kernels.
+    pub loads_eliminated: usize,
+    /// Stage-handoff stores elided across all fused kernels.
+    pub stores_elided: usize,
+    /// Live IR instructions across fused chains before stitching.
+    pub insts_before: usize,
+    /// Live IR instructions after stitching and optimization.
+    pub insts_after: usize,
+}
+
+impl FusionReport {
+    /// True when no chain was fused.
+    pub fn is_noop(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+/// The word ranges a node may read, `None` meaning "possibly anything".
+fn node_reads(node: &GraphNode) -> Option<Vec<(usize, usize)>> {
+    match &node.op {
+        GraphOp::Launch(spec) => match &spec.source {
+            KernelSource::Ir(k) => read_ranges(k, spec.config.threads),
+            KernelSource::Asm(_) => None,
+        },
+        GraphOp::CopyIn { .. } => Some(Vec::new()),
+        GraphOp::CopyOut { src, len } => Some(vec![(*src, src + len)]),
+    }
+}
+
+/// The word ranges a node may write, `None` meaning "possibly
+/// anything". A launch's inline inputs are writes: they are seeded into
+/// shared memory before the kernel runs and written back after.
+fn node_writes(node: &GraphNode) -> Option<Vec<(usize, usize)>> {
+    match &node.op {
+        GraphOp::Launch(spec) => match &spec.source {
+            KernelSource::Ir(k) => {
+                let mut w = write_ranges(k, spec.config.threads)?;
+                for (off, words) in &spec.inputs {
+                    w.push((*off, off + words.len()));
+                }
+                Some(w)
+            }
+            KernelSource::Asm(_) => None,
+        },
+        GraphOp::CopyIn { dst, data } => Some(vec![(*dst, dst + data.len())]),
+        GraphOp::CopyOut { .. } => Some(Vec::new()),
+    }
+}
+
+fn touches(ranges: &Option<Vec<(usize, usize)>>, r: (usize, usize)) -> bool {
+    match ranges {
+        None => true, // unknown: may touch anything
+        Some(v) => v.iter().any(|&x| ranges_intersect(x, r)),
+    }
+}
+
+/// The IR kernel behind a launch node, if any.
+fn ir_kernel(node: &GraphNode) -> Option<(&LaunchSpec, &Kernel)> {
+    match &node.op {
+        GraphOp::Launch(spec) => match &spec.source {
+            KernelSource::Ir(k) => Some((spec, k)),
+            KernelSource::Asm(_) => None,
+        },
+        _ => None,
+    }
+}
+
+/// Can edge `a → b` fuse? (`deps`/`dependents` already verified by the
+/// caller.) Checks configuration compatibility and intermediate-buffer
+/// escapes.
+fn edge_fusible(g: &ExecGraph, a: NodeId, b: NodeId) -> bool {
+    let Some((sa, _)) = ir_kernel(g.node(a)) else {
+        return false;
+    };
+    let Some((sb, _)) = ir_kernel(g.node(b)) else {
+        return false;
+    };
+    if sa.config != sb.config || sa.out_len == 0 {
+        return false;
+    }
+    // Escape analysis on A's output window: no third node may read or
+    // write it.
+    let inter = (sa.out_off, sa.out_off + sa.out_len);
+    for (i, node) in g.nodes().iter().enumerate() {
+        let id = NodeId(i as u32);
+        if id == a || id == b {
+            continue;
+        }
+        if touches(&node_reads(node), inter) || touches(&node_writes(node), inter) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Fuse every legal launch chain in `g`, returning the rewritten graph
+/// and a report. Graphs with nothing to fuse come back structurally
+/// identical (`report.is_noop()`).
+pub fn fuse(g: &ExecGraph) -> (ExecGraph, FusionReport) {
+    let n = g.len();
+    let mut report = FusionReport {
+        nodes_before: n,
+        ..Default::default()
+    };
+
+    // next[a] = b when the edge a → b is fusible AND exclusive
+    // (b is a's only dependent, a is b's only dependency).
+    let mut next: Vec<Option<usize>> = vec![None; n];
+    for (bi, node) in g.nodes().iter().enumerate() {
+        let [a] = node.deps.as_slice() else { continue };
+        let a = a.index();
+        if g.dependents(NodeId(a as u32)).len() != 1 {
+            continue;
+        }
+        if edge_fusible(g, NodeId(a as u32), NodeId(bi as u32)) {
+            next[a] = Some(bi);
+        }
+    }
+
+    // Maximal chains: start where no fusible edge arrives.
+    let mut has_pred = vec![false; n];
+    for nx in next.iter().flatten() {
+        has_pred[*nx] = true;
+    }
+    let mut raw_chains: Vec<Vec<usize>> = Vec::new();
+    for start in 0..n {
+        if next[start].is_none() || has_pred[start] {
+            continue;
+        }
+        let mut chain = vec![start];
+        let mut cur = start;
+        while let Some(b) = next[cur] {
+            chain.push(b);
+            cur = b;
+        }
+        raw_chains.push(chain);
+    }
+
+    // A stage's inline inputs are applied when *it* launches — after
+    // every earlier stage ran, in eager order. Fusing applies the whole
+    // chain's inputs up front, which is only equivalent when no stage's
+    // inputs can touch anything an *earlier* chain stage reads or
+    // writes. Split chains at the first violating stage (the suffix
+    // starts its own fused launch, where its inputs land at the same
+    // point they would eagerly).
+    let mut chains: Vec<Vec<usize>> = Vec::new();
+    for chain in raw_chains {
+        let mut cur: Vec<usize> = vec![chain[0]];
+        for &b in &chain[1..] {
+            let inputs = &ir_kernel(g.node(NodeId(b as u32)))
+                .expect("chain member is IR")
+                .0
+                .inputs;
+            let conflicts = inputs.iter().any(|(off, words)| {
+                let r = (*off, off + words.len());
+                cur.iter().any(|&a| {
+                    let node = g.node(NodeId(a as u32));
+                    touches(&node_reads(node), r) || touches(&node_writes(node), r)
+                })
+            });
+            if conflicts {
+                if cur.len() >= 2 {
+                    chains.push(std::mem::take(&mut cur));
+                }
+                cur = vec![b];
+            } else {
+                cur.push(b);
+            }
+        }
+        if cur.len() >= 2 {
+            chains.push(cur);
+        }
+    }
+    let mut member: Vec<Option<usize>> = vec![None; n]; // node -> chain index
+    for (c, chain) in chains.iter().enumerate() {
+        for &m in chain {
+            member[m] = Some(c);
+        }
+    }
+    if chains.is_empty() {
+        report.nodes_after = n;
+        return (g.clone(), report);
+    }
+
+    // Stitch each chain into one fused launch spec.
+    let mut fused_specs: Vec<Option<LaunchSpec>> = Vec::new();
+    for chain in &chains {
+        let specs: Vec<&LaunchSpec> = chain
+            .iter()
+            .map(|&i| {
+                ir_kernel(g.node(NodeId(i as u32)))
+                    .expect("chain member is IR")
+                    .0
+            })
+            .collect();
+        let kernels: Vec<&Kernel> = specs
+            .iter()
+            .map(|s| match &s.source {
+                KernelSource::Ir(k) => k,
+                KernelSource::Asm(_) => unreachable!("chain member is IR"),
+            })
+            .collect();
+        // Every non-final stage's output window is a proven-dead
+        // intermediate (that is what made its out-edge fusible).
+        let dead: Vec<(usize, usize)> = specs[..specs.len() - 1]
+            .iter()
+            .map(|s| (s.out_off, s.out_off + s.out_len))
+            .collect();
+        let name = specs
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect::<Vec<_>>()
+            .join("+");
+        let threads = specs[0].config.threads;
+        match fuse_kernels(&name, &kernels, &dead, threads) {
+            Ok((kernel, fr)) => {
+                let last = specs[specs.len() - 1];
+                let mut inputs = Vec::new();
+                for s in &specs {
+                    inputs.extend(s.inputs.iter().cloned());
+                }
+                report.launches_fused += chain.len() - 1;
+                report.loads_eliminated += fr.loads_eliminated;
+                report.stores_elided += fr.stores_elided;
+                report.insts_before += fr.insts_before;
+                report.insts_after += fr.insts_after;
+                report
+                    .groups
+                    .push(chain.iter().map(|&i| NodeId(i as u32)).collect());
+                fused_specs.push(Some(LaunchSpec {
+                    name,
+                    config: specs[0].config.clone(),
+                    source: KernelSource::Ir(kernel),
+                    inputs,
+                    out_off: last.out_off,
+                    out_len: last.out_len,
+                    expected: last.expected.clone(),
+                }));
+            }
+            // A stitch that fails to validate (should not happen for
+            // graphs built from valid specs) simply leaves the chain
+            // unfused rather than failing the whole graph.
+            Err(_) => fused_specs.push(None),
+        }
+    }
+
+    // Rebuild: chain heads become the fused node, later members vanish,
+    // every dependency on a member is remapped to the fused node.
+    let failed: Vec<usize> = fused_specs
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    let keep = |i: usize| -> bool {
+        match member[i] {
+            Some(c) if !failed.contains(&c) => chains[c][0] == i,
+            _ => true,
+        }
+    };
+    let mut new_id = vec![0u32; n];
+    let mut count = 0u32;
+    for (i, slot) in new_id.iter_mut().enumerate() {
+        if keep(i) {
+            *slot = count;
+            count += 1;
+        }
+    }
+    let remap = |d: NodeId| -> NodeId {
+        let i = d.index();
+        match member[i] {
+            Some(c) if !failed.contains(&c) => NodeId(new_id[chains[c][0]]),
+            _ => NodeId(new_id[i]),
+        }
+    };
+    let mut nodes = Vec::with_capacity(count as usize);
+    for (i, node) in g.nodes().iter().enumerate() {
+        if !keep(i) {
+            continue;
+        }
+        let (op, raw_deps) = match member[i] {
+            Some(c) if !failed.contains(&c) => {
+                let spec = fused_specs[c].clone().expect("not failed");
+                // The fused node inherits the head's dependencies; every
+                // later member's sole dependency was the previous member.
+                (
+                    GraphOp::Launch(Box::new(spec)),
+                    g.node(NodeId(i as u32)).deps.clone(),
+                )
+            }
+            _ => (node.op.clone(), node.deps.clone()),
+        };
+        let mut deps: Vec<NodeId> = Vec::new();
+        for d in raw_deps {
+            let nd = remap(d);
+            if nd != NodeId(new_id[i]) && !deps.contains(&nd) {
+                deps.push(nd);
+            }
+        }
+        nodes.push(GraphNode { op, deps });
+    }
+    report.nodes_after = nodes.len();
+    let graph = ExecGraph::from_nodes(nodes).expect("fusing a valid DAG preserves validity");
+    (graph, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use simt_kernels::pipeline::Pipeline;
+    use simt_kernels::workload::int_vector;
+    use simt_kernels::LaunchSpec;
+
+    fn chain_graph(p: &Pipeline) -> (ExecGraph, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let mut copies = Vec::new();
+        for (dst, words) in &p.inputs {
+            copies.push(b.copy_in(*dst, words.clone(), &[]));
+        }
+        let mut prev: Vec<NodeId> = copies.clone();
+        let mut launches = Vec::new();
+        for stage in &p.stages {
+            let l = b.launch(stage.clone(), &prev);
+            launches.push(l);
+            prev = vec![l];
+        }
+        b.copy_out(p.out_off, p.out_len, &prev);
+        (b.finish().unwrap(), launches)
+    }
+
+    #[test]
+    fn three_stage_pipeline_fuses_to_one_launch() {
+        let x = int_vector(64, 1);
+        let y = int_vector(64, 2);
+        let p = Pipeline::saxpy_scale_sum(3, 2, &x, &y, 0);
+        let (g, launches) = chain_graph(&p);
+        assert_eq!(g.launches(), 3);
+        let (fused, report) = fuse(&g);
+        assert_eq!(fused.launches(), 1, "{report:?}");
+        assert_eq!(report.launches_fused, 2);
+        assert_eq!(report.groups, vec![launches]);
+        // Every fused edge dropped its handoff store AND load.
+        assert!(report.stores_elided >= 2, "{report:?}");
+        assert!(report.loads_eliminated >= 2, "{report:?}");
+        assert!(report.insts_after < report.insts_before);
+        // Copy-in and copy-out nodes survive around the fused launch.
+        assert_eq!(fused.len(), g.len() - 2);
+    }
+
+    #[test]
+    fn escaping_intermediates_block_fusion() {
+        let x = int_vector(64, 1);
+        let y = int_vector(64, 2);
+        let p = Pipeline::saxpy_scale_sum(3, 2, &x, &y, 0);
+        let (mut b, stage_z0) = (GraphBuilder::new(), p.stages[0].clone());
+        let l0 = b.launch(stage_z0.clone(), &[]);
+        let l1 = b.launch(p.stages[1].clone(), &[l0]);
+        let l2 = b.launch(p.stages[2].clone(), &[l1]);
+        // A host copy-out of stage 0's intermediate: it escapes.
+        b.copy_out(stage_z0.out_off, stage_z0.out_len, &[l0]);
+        b.copy_out(p.out_off, p.out_len, &[l2]);
+        let g = b.finish().unwrap();
+        let (fused, report) = fuse(&g);
+        // l0 -> l1 is blocked (two dependents AND an escaping read);
+        // l1 -> l2 still fuses.
+        assert_eq!(report.launches_fused, 1, "{report:?}");
+        assert_eq!(fused.launches(), 2);
+    }
+
+    #[test]
+    fn inline_inputs_clobbering_earlier_stages_split_the_chain() {
+        // Stage 3 carries an inline input over stage 1's x window.
+        // Eagerly it lands *after* stage 1 ran; a whole-chain fusion
+        // would apply it up front and change what stage 1 reads. The
+        // chain must split: stages 1+2 fuse, stage 3 stays its own
+        // launch (where its input lands at the same point it would
+        // eagerly).
+        let x = int_vector(64, 1);
+        let y = int_vector(64, 2);
+        let p = Pipeline::saxpy_scale_sum(3, 2, &x, &y, 0);
+        let mut tail = p.stages[2].clone();
+        tail.inputs = vec![(0, vec![7u32; 64])]; // overlaps stage 1's x reads
+        let mut b = GraphBuilder::new();
+        let l0 = b.launch(p.stages[0].clone(), &[]);
+        let l1 = b.launch(p.stages[1].clone(), &[l0]);
+        let _ = b.launch(tail, &[l1]);
+        let g = b.finish().unwrap();
+        let (fused, report) = fuse(&g);
+        assert_eq!(report.launches_fused, 1, "{report:?}");
+        assert_eq!(fused.launches(), 2, "stage 3 must stay unfused");
+    }
+
+    #[test]
+    fn mismatched_configs_and_asm_sources_do_not_fuse() {
+        let x = int_vector(64, 3);
+        let y = int_vector(64, 4);
+        let mut b = GraphBuilder::new();
+        // Asm source: never fusible.
+        let a = b.launch(LaunchSpec::saxpy(3, &x, &y), &[]);
+        let _ = b.launch(LaunchSpec::sum(&x), &[a]);
+        let g = b.finish().unwrap();
+        let (fused, report) = fuse(&g);
+        assert!(report.is_noop());
+        assert_eq!(fused.launches(), 2);
+    }
+}

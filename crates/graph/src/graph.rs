@@ -1,0 +1,414 @@
+//! The execution-graph data model: nodes, validated edges, builder.
+
+use simt_kernels::LaunchSpec;
+use std::fmt;
+
+/// Identifier of one node within an [`ExecGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// A node id from a raw index (for programmatic graph assembly;
+    /// ids are validated against the node list when the graph is
+    /// built).
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+
+    /// Index into the graph's node list.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What one graph node does when replayed.
+#[derive(Debug, Clone)]
+pub enum GraphOp {
+    /// A kernel launch against the graph's device buffer.
+    Launch(Box<LaunchSpec>),
+    /// Host→device copy into the graph buffer at word offset `dst`.
+    CopyIn {
+        /// Destination word offset.
+        dst: usize,
+        /// Payload words (replaceable between replays without
+        /// recompiling — the parameterized re-launch path).
+        data: Vec<u32>,
+    },
+    /// Device→host copy of `len` words from offset `src`; the replay
+    /// returns the words per copy-out node.
+    CopyOut {
+        /// Source word offset.
+        src: usize,
+        /// Length in words.
+        len: usize,
+    },
+}
+
+impl GraphOp {
+    /// Short human-readable tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GraphOp::Launch(_) => "launch",
+            GraphOp::CopyIn { .. } => "copy-in",
+            GraphOp::CopyOut { .. } => "copy-out",
+        }
+    }
+}
+
+/// One node: an operation plus the nodes that must complete first.
+#[derive(Debug, Clone)]
+pub struct GraphNode {
+    /// The operation.
+    pub op: GraphOp,
+    /// Direct dependencies (edges point *from* dependencies *to* this
+    /// node).
+    pub deps: Vec<NodeId>,
+}
+
+/// Structural problems a graph can have. Typed — a malformed graph is
+/// an input error, never a panic inside the scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A dependency references a node that does not exist.
+    Dangling {
+        /// Node carrying the bad edge.
+        node: usize,
+        /// The referenced (nonexistent) node index.
+        dep: usize,
+    },
+    /// The dependency edges contain a cycle through this node.
+    Cyclic {
+        /// A node on the cycle.
+        node: usize,
+    },
+    /// The graph has no nodes.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Dangling { node, dep } => {
+                write!(f, "node n{node} depends on nonexistent node n{dep}")
+            }
+            GraphError::Cyclic { node } => {
+                write!(f, "dependency cycle through node n{node}")
+            }
+            GraphError::Empty => write!(f, "graph has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A validated DAG of launches and copies, ready to fuse and replay.
+#[derive(Debug, Clone)]
+pub struct ExecGraph {
+    pub(crate) nodes: Vec<GraphNode>,
+    /// A topological order (ties broken toward lower node ids) — the
+    /// deterministic replay order.
+    pub(crate) topo: Vec<NodeId>,
+}
+
+impl ExecGraph {
+    /// Build directly from nodes, validating edges. Prefer
+    /// [`GraphBuilder`]; this entry exists for programmatic construction
+    /// (and is what capture uses).
+    pub fn from_nodes(nodes: Vec<GraphNode>) -> Result<Self, GraphError> {
+        let topo = validate(&nodes)?;
+        Ok(ExecGraph { nodes, topo })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph has no nodes (never constructible through
+    /// [`ExecGraph::from_nodes`], which rejects empty graphs).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node behind an id.
+    pub fn node(&self, id: NodeId) -> &GraphNode {
+        &self.nodes[id.index()]
+    }
+
+    /// All nodes, indexed by [`NodeId::index`].
+    pub fn nodes(&self) -> &[GraphNode] {
+        &self.nodes
+    }
+
+    /// Every node id in a deterministic topological order (dependencies
+    /// first; ties broken toward lower ids).
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Ids of the nodes that depend on `id`.
+    pub fn dependents(&self, id: NodeId) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.deps.contains(&id))
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Launch nodes in the graph.
+    pub fn launches(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.op, GraphOp::Launch(_)))
+            .count()
+    }
+
+    /// Replace a copy-in node's payload without touching the graph
+    /// structure or any compiled artifact — the parameterized re-launch
+    /// path. Returns `false` (and changes nothing) when `id` is not a
+    /// copy-in node.
+    pub fn set_copy_in(&mut self, id: NodeId, data: Vec<u32>) -> bool {
+        match self.nodes.get_mut(id.index()) {
+            Some(GraphNode {
+                op: GraphOp::CopyIn { data: slot, .. },
+                ..
+            }) => {
+                *slot = data;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Kahn's algorithm with a deterministic (lowest-id-first) ready set.
+fn validate(nodes: &[GraphNode]) -> Result<Vec<NodeId>, GraphError> {
+    if nodes.is_empty() {
+        return Err(GraphError::Empty);
+    }
+    let n = nodes.len();
+    for (i, node) in nodes.iter().enumerate() {
+        for d in &node.deps {
+            if d.index() >= n {
+                return Err(GraphError::Dangling {
+                    node: i,
+                    dep: d.index(),
+                });
+            }
+        }
+    }
+    let mut indegree: Vec<usize> = nodes.iter().map(|node| node.deps.len()).collect();
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, node) in nodes.iter().enumerate() {
+        for d in &node.deps {
+            if d.index() == i {
+                return Err(GraphError::Cyclic { node: i });
+            }
+            dependents[d.index()].push(i);
+        }
+    }
+    let mut ready: std::collections::BTreeSet<usize> = indegree
+        .iter()
+        .enumerate()
+        .filter(|&(_, &deg)| deg == 0)
+        .map(|(i, _)| i)
+        .collect();
+    let mut topo = Vec::with_capacity(n);
+    while let Some(&i) = ready.iter().next() {
+        ready.remove(&i);
+        topo.push(NodeId(i as u32));
+        for &j in &dependents[i] {
+            indegree[j] -= 1;
+            if indegree[j] == 0 {
+                ready.insert(j);
+            }
+        }
+    }
+    if topo.len() != n {
+        let stuck = indegree
+            .iter()
+            .position(|&deg| deg > 0)
+            .expect("unsorted node remains");
+        return Err(GraphError::Cyclic { node: stuck });
+    }
+    Ok(topo)
+}
+
+/// Records launches, copies and dependencies into an [`ExecGraph`].
+/// Append-only: every returned [`NodeId`] is immediately usable as a
+/// dependency of later nodes; [`GraphBuilder::add_dependency`] can add
+/// extra edges afterwards (event-style cross-chain ordering), and
+/// [`GraphBuilder::finish`] validates the result.
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    nodes: Vec<GraphNode>,
+    /// Extra `(node, dep)` edges added post-hoc; applied (and checked)
+    /// at [`GraphBuilder::finish`].
+    extra_edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, op: GraphOp, deps: &[NodeId]) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(GraphNode {
+            op,
+            deps: deps.to_vec(),
+        });
+        id
+    }
+
+    /// Record a kernel launch.
+    pub fn launch(&mut self, spec: LaunchSpec, deps: &[NodeId]) -> NodeId {
+        self.push(GraphOp::Launch(Box::new(spec)), deps)
+    }
+
+    /// Record a host→device copy.
+    pub fn copy_in(&mut self, dst: usize, data: Vec<u32>, deps: &[NodeId]) -> NodeId {
+        self.push(GraphOp::CopyIn { dst, data }, deps)
+    }
+
+    /// Record a device→host copy.
+    pub fn copy_out(&mut self, src: usize, len: usize, deps: &[NodeId]) -> NodeId {
+        self.push(GraphOp::CopyOut { src, len }, deps)
+    }
+
+    /// Add an extra dependency edge `dep → node` (event-style ordering
+    /// between chains). Bad ids or cycles surface as typed errors from
+    /// [`GraphBuilder::finish`].
+    pub fn add_dependency(&mut self, node: NodeId, dep: NodeId) {
+        self.extra_edges.push((node, dep));
+    }
+
+    /// Nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Validate and produce the graph.
+    pub fn finish(mut self) -> Result<ExecGraph, GraphError> {
+        for (node, dep) in std::mem::take(&mut self.extra_edges) {
+            let len = self.nodes.len();
+            let n = self
+                .nodes
+                .get_mut(node.index())
+                .ok_or(GraphError::Dangling {
+                    node: node.index(),
+                    dep: len, // the *edge source* is out of range
+                })?;
+            if !n.deps.contains(&dep) {
+                n.deps.push(dep);
+            }
+        }
+        ExecGraph::from_nodes(self.nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_kernels::workload::int_vector;
+
+    fn saxpy() -> LaunchSpec {
+        let x = int_vector(64, 1);
+        let y = int_vector(64, 2);
+        LaunchSpec::saxpy_ir(3, &x, &y)
+    }
+
+    #[test]
+    fn builder_produces_a_validated_dag() {
+        let mut b = GraphBuilder::new();
+        let c = b.copy_in(0, vec![1, 2, 3], &[]);
+        let l = b.launch(saxpy(), &[c]);
+        let o = b.copy_out(0, 4, &[l]);
+        let g = b.finish().unwrap();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.topo_order(), &[c, l, o]);
+        assert_eq!(g.dependents(l), vec![o]);
+        assert_eq!(g.launches(), 1);
+    }
+
+    #[test]
+    fn diamonds_topo_sort_deterministically() {
+        let mut b = GraphBuilder::new();
+        let root = b.copy_in(0, vec![0], &[]);
+        let left = b.launch(saxpy(), &[root]);
+        let right = b.launch(saxpy(), &[root]);
+        let join = b.copy_out(0, 1, &[left, right]);
+        let g = b.finish().unwrap();
+        assert_eq!(g.topo_order(), &[root, left, right, join]);
+    }
+
+    #[test]
+    fn cycles_are_typed_errors() {
+        let mut b = GraphBuilder::new();
+        let a = b.launch(saxpy(), &[]);
+        let c = b.launch(saxpy(), &[a]);
+        b.add_dependency(a, c); // a -> c -> a
+        match b.finish() {
+            Err(GraphError::Cyclic { .. }) => {}
+            other => panic!("expected Cyclic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_dependencies_are_cycles() {
+        let mut b = GraphBuilder::new();
+        let a = b.launch(saxpy(), &[]);
+        b.add_dependency(a, a);
+        assert!(matches!(b.finish(), Err(GraphError::Cyclic { node: 0 })));
+    }
+
+    #[test]
+    fn dangling_dependencies_are_typed_errors() {
+        let nodes = vec![GraphNode {
+            op: GraphOp::CopyOut { src: 0, len: 1 },
+            deps: vec![NodeId(7)],
+        }];
+        match ExecGraph::from_nodes(nodes) {
+            Err(GraphError::Dangling { node: 0, dep: 7 }) => {}
+            other => panic!("expected Dangling, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_graphs_are_rejected() {
+        assert!(matches!(
+            GraphBuilder::new().finish(),
+            Err(GraphError::Empty)
+        ));
+    }
+
+    #[test]
+    fn copy_in_payloads_are_replaceable() {
+        let mut b = GraphBuilder::new();
+        let c = b.copy_in(8, vec![1, 2], &[]);
+        let l = b.launch(saxpy(), &[c]);
+        let mut g = b.finish().unwrap();
+        assert!(g.set_copy_in(c, vec![9, 9, 9]));
+        assert!(!g.set_copy_in(l, vec![0]), "launches are not copy-ins");
+        match &g.node(c).op {
+            GraphOp::CopyIn { dst, data } => {
+                assert_eq!(*dst, 8);
+                assert_eq!(data, &vec![9, 9, 9]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

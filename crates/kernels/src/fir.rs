@@ -49,20 +49,26 @@ pub fn fir_asm(taps: usize) -> String {
 /// and elides the `acc = 0 + term0` seed add — landing two
 /// instructions *under* the hand-written [`fir_asm`].
 pub fn fir_ir(taps: usize) -> Kernel {
+    fir_ir_at(taps, X_OFF, H_OFF, Y_OFF)
+}
+
+/// [`fir_ir`] with explicit operand placement, so pipeline stages can
+/// chain through arbitrary shared-memory windows.
+pub fn fir_ir_at(taps: usize, x_off: usize, h_off: usize, y_off: usize) -> Kernel {
     assert!((1..=64).contains(&taps), "taps {taps} out of 1..=64");
-    let mut b = IrBuilder::new(format!("fir{taps}"));
+    let mut b = IrBuilder::new(format!("fir{taps}_y{y_off}"));
     let tid = b.tid();
     let zero = b.iconst(0);
     let mut acc = b.iconst(0);
     for j in 0..taps {
-        let xo = b.iconst((X_OFF + j) as i32);
+        let xo = b.iconst((x_off + j) as i32);
         let xa = b.add(tid, xo);
         let x = b.load(xa, 0);
-        let h = b.load(zero, (H_OFF + j) as u32);
+        let h = b.load(zero, (h_off + j) as u32);
         let term = b.mulshr(x, h, 15);
         acc = b.add(acc, term);
     }
-    let yo = b.iconst(Y_OFF as i32);
+    let yo = b.iconst(y_off as i32);
     let ya = b.add(tid, yo);
     b.store(ya, 0, acc);
     b.finish()

@@ -92,6 +92,28 @@ impl LaunchSpec {
         }
     }
 
+    /// Elementwise fused multiply-add `z = x*y + w` (the DSP column's
+    /// `mad.lo`).
+    pub fn fma(x: &[i32], y: &[i32], w: &[i32]) -> Self {
+        assert_eq!(x.len(), y.len());
+        assert_eq!(x.len(), w.len());
+        LaunchSpec {
+            name: format!("fma{}", x.len()),
+            config: ProcessorConfig::default()
+                .with_threads(x.len())
+                .with_shared_words(4096),
+            source: KernelSource::Asm(vector::fma_asm()),
+            inputs: vec![
+                (vector::X_OFF, as_words(x)),
+                (vector::Y_OFF, as_words(y)),
+                (vector::W_OFF, as_words(w)),
+            ],
+            out_off: vector::Z_OFF,
+            out_len: x.len(),
+            expected: as_words(&vector::fma_ref(x, y, w)),
+        }
+    }
+
     /// Scaled-tree dot product (dynamic thread scaling).
     pub fn dot(x: &[i32], y: &[i32]) -> Self {
         assert_eq!(x.len(), y.len());
@@ -241,6 +263,15 @@ impl LaunchSpec {
         spec
     }
 
+    /// IR-frontend fused multiply-add: emitted as separate mul + add,
+    /// recovered to a single `mad.lo` by the compiler's mad-fuse pass.
+    pub fn fma_ir(x: &[i32], y: &[i32], w: &[i32]) -> Self {
+        let mut spec = Self::fma(x, y, w);
+        spec.name = format!("fma{}_ir", x.len());
+        spec.source = KernelSource::Ir(vector::fma_ir());
+        spec
+    }
+
     /// Total words of inline input the launch carries.
     pub fn input_words(&self) -> usize {
         self.inputs.iter().map(|(_, w)| w.len()).sum()
@@ -302,6 +333,8 @@ mod tests {
             LaunchSpec::dot_ir(&x, &y),
             LaunchSpec::sum_ir(&x),
             LaunchSpec::fir_ir(&sig, &taps, 128),
+            LaunchSpec::fma(&x, &y, &x),
+            LaunchSpec::fma_ir(&x, &y, &x),
         ]
     }
 

@@ -36,6 +36,7 @@ pub mod harness;
 pub mod iir;
 pub mod launch;
 pub mod matmul;
+pub mod pipeline;
 pub mod qformat;
 pub mod reduce;
 pub mod scan;
@@ -45,3 +46,4 @@ pub mod workload;
 
 pub use harness::{run_kernel, run_program, KernelError, KernelResult};
 pub use launch::{KernelSource, LaunchSpec};
+pub use pipeline::Pipeline;

@@ -1,0 +1,302 @@
+//! Multi-stage kernel pipelines — the fused-launch workload family.
+//!
+//! A [`Pipeline`] is a chain of [`LaunchSpec`] stages over one shared
+//! device buffer: stage *k* writes a window stage *k+1* reads, every
+//! stage shares one processor configuration, and the chain's inputs are
+//! detached so a host can model the copies explicitly. This is exactly
+//! the shape `simt-graph`'s fusion pass targets: executed eagerly the
+//! intermediates round-trip through shared memory; captured into a
+//! graph and fused they collapse into a single launch whose stages hand
+//! values through registers.
+//!
+//! Every constructor also carries the chained host-reference outputs
+//! (per stage and final), so eager, replayed and fused executions can
+//! all be checked bit-exactly.
+
+use crate::qformat::as_words;
+use crate::{fir, reduce, vector, KernelSource, LaunchSpec};
+use simt_core::ProcessorConfig;
+
+/// A chain of launches over one device buffer, plus detached inputs and
+/// the bit-exact final oracle.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// Human-readable name (`saxpy+scale+sum`, …).
+    pub name: String,
+    /// The configuration every stage shares (a fused build must serve
+    /// them all).
+    pub config: ProcessorConfig,
+    /// The stages, in dependency order; inputs detached, each stage's
+    /// `out_off`/`out_len`/`expected` describing its own output window.
+    pub stages: Vec<LaunchSpec>,
+    /// Host→device input blocks to place before stage 1.
+    pub inputs: Vec<(usize, Vec<u32>)>,
+    /// Final output window offset in words.
+    pub out_off: usize,
+    /// Final output window length in words.
+    pub out_len: usize,
+    /// Bit-exact host reference of the final output window.
+    pub expected: Vec<u32>,
+}
+
+fn check_n(n: usize) {
+    assert!(
+        n.is_power_of_two() && (2..=1024).contains(&n),
+        "pipeline width {n} must be a power of two in 2..=1024"
+    );
+}
+
+fn stage(
+    name: impl Into<String>,
+    config: &ProcessorConfig,
+    kernel: simt_compiler::Kernel,
+    out_off: usize,
+    out_len: usize,
+    expected: Vec<u32>,
+) -> LaunchSpec {
+    LaunchSpec {
+        name: name.into(),
+        config: config.clone(),
+        source: KernelSource::Ir(kernel),
+        inputs: Vec::new(),
+        out_off,
+        out_len,
+        expected,
+    }
+}
+
+impl Pipeline {
+    /// `saxpy → scale → sum`: `z0 = a*x + y`, `z1 = z0 >> shift`,
+    /// `s = Σ z1` — a three-stage chain with two register-forwardable
+    /// handoffs. All windows live at `base + k*n`, so two pipelines
+    /// with disjoint bases can share one buffer.
+    pub fn saxpy_scale_sum(a: i32, shift: u32, x: &[i32], y: &[i32], base: usize) -> Pipeline {
+        assert_eq!(x.len(), y.len());
+        let n = x.len();
+        check_n(n);
+        let (xo, yo, z0, z1, sc) = (base, base + n, base + 2 * n, base + 3 * n, base + 4 * n);
+        assert!(sc + n <= 8192, "pipeline at base {base} exceeds the buffer");
+        let config = ProcessorConfig::default()
+            .with_threads(n)
+            .with_shared_words(8192);
+        let z0v = vector::saxpy_ref(a, x, y);
+        let z1v = vector::scale_ref(shift, &z0v);
+        let sum = reduce::sum_ref(&z1v);
+        Pipeline {
+            name: format!("saxpy+scale+sum{n}"),
+            stages: vec![
+                stage(
+                    "saxpy",
+                    &config,
+                    vector::saxpy_ir_at(a, xo, yo, z0),
+                    z0,
+                    n,
+                    as_words(&z0v),
+                ),
+                stage(
+                    "scale",
+                    &config,
+                    vector::scale_ir_at(shift, z0, z1),
+                    z1,
+                    n,
+                    as_words(&z1v),
+                ),
+                stage(
+                    "sum",
+                    &config,
+                    reduce::sum_ir_at(n, z1, sc),
+                    sc,
+                    1,
+                    vec![sum as u32],
+                ),
+            ],
+            config,
+            inputs: vec![(xo, as_words(x)), (yo, as_words(y))],
+            out_off: sc,
+            out_len: 1,
+            expected: vec![sum as u32],
+        }
+    }
+
+    /// `saxpy → dot`: `z = a*x + y`, then `d = z · w` — the elementwise
+    /// stage feeds the scaled-tree reduction directly.
+    pub fn saxpy_dot(a: i32, x: &[i32], y: &[i32], w: &[i32], base: usize) -> Pipeline {
+        assert_eq!(x.len(), y.len());
+        assert_eq!(x.len(), w.len());
+        let n = x.len();
+        check_n(n);
+        let (xo, yo, wo, z0, sc) = (base, base + n, base + 2 * n, base + 3 * n, base + 4 * n);
+        assert!(sc + n <= 8192, "pipeline at base {base} exceeds the buffer");
+        let config = ProcessorConfig::default()
+            .with_threads(n)
+            .with_shared_words(8192);
+        let zv = vector::saxpy_ref(a, x, y);
+        let dot = reduce::dot_ref(&zv, w);
+        Pipeline {
+            name: format!("saxpy+dot{n}"),
+            stages: vec![
+                stage(
+                    "saxpy",
+                    &config,
+                    vector::saxpy_ir_at(a, xo, yo, z0),
+                    z0,
+                    n,
+                    as_words(&zv),
+                ),
+                stage(
+                    "dot",
+                    &config,
+                    reduce::dot_ir_at(n, z0, wo, sc),
+                    sc,
+                    1,
+                    vec![dot as u32],
+                ),
+            ],
+            config,
+            inputs: vec![(xo, as_words(x)), (yo, as_words(y)), (wo, as_words(w))],
+            out_off: sc,
+            out_len: 1,
+            expected: vec![dot as u32],
+        }
+    }
+
+    /// `fir → sum`: a Q15 FIR over `n` outputs, then the scaled-tree
+    /// sum of the filtered signal.
+    pub fn fir_sum(x: &[i32], taps: &[i32], n: usize, base: usize) -> Pipeline {
+        assert_eq!(
+            x.len(),
+            n + taps.len() - 1,
+            "x must have n + taps - 1 samples"
+        );
+        check_n(n);
+        let xo = base;
+        let ho = base + x.len();
+        let yo = ho + taps.len();
+        let sc = yo + n;
+        assert!(sc + n <= 8192, "pipeline at base {base} exceeds the buffer");
+        let config = ProcessorConfig::default()
+            .with_threads(n)
+            .with_shared_words(8192);
+        let yv = fir::fir_ref(x, taps, n);
+        let sum = reduce::sum_ref(&yv);
+        Pipeline {
+            name: format!("fir{}+sum{n}", taps.len()),
+            stages: vec![
+                stage(
+                    "fir",
+                    &config,
+                    fir::fir_ir_at(taps.len(), xo, ho, yo),
+                    yo,
+                    n,
+                    as_words(&yv),
+                ),
+                stage(
+                    "sum",
+                    &config,
+                    reduce::sum_ir_at(n, yo, sc),
+                    sc,
+                    1,
+                    vec![sum as u32],
+                ),
+            ],
+            config,
+            inputs: vec![(xo, as_words(x)), (ho, as_words(taps))],
+            out_off: sc,
+            out_len: 1,
+            expected: vec![sum as u32],
+        }
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True when the pipeline has no stages (no constructor builds one).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Run the stages eagerly on a single fresh core, chaining the full
+    /// shared-memory image between stages — the reference execution the
+    /// runtime's streams, graph replay and fused replay must all match.
+    pub fn run_local(&self) -> Result<Vec<u32>, crate::KernelError> {
+        use simt_core::RunOptions;
+        let mut memory = vec![0u32; self.config.shared_words];
+        for (off, words) in &self.inputs {
+            memory[*off..off + words.len()].copy_from_slice(words);
+        }
+        for s in &self.stages {
+            let program = s.source.compile(&s.config)?;
+            let r = crate::run_program(
+                s.config.clone(),
+                &program,
+                &[(0, &memory)],
+                s.out_off,
+                s.out_len,
+                RunOptions::default(),
+            )?;
+            assert_eq!(
+                r.output, s.expected,
+                "{}: stage {} diverged from its oracle",
+                self.name, s.name
+            );
+            memory = r.memory;
+        }
+        Ok(memory[self.out_off..self.out_off + self.out_len].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{int_vector, lowpass_taps, q15_signal};
+
+    #[test]
+    fn saxpy_scale_sum_stages_chain_bit_exactly() {
+        let x = int_vector(128, 1);
+        let y = int_vector(128, 2);
+        let p = Pipeline::saxpy_scale_sum(3, 2, &x, &y, 0);
+        assert_eq!(p.len(), 3);
+        let out = p.run_local().unwrap();
+        assert_eq!(out, p.expected);
+    }
+
+    #[test]
+    fn saxpy_dot_stages_chain_bit_exactly() {
+        let x = int_vector(64, 3);
+        let y = int_vector(64, 4);
+        let w = int_vector(64, 5);
+        let p = Pipeline::saxpy_dot(-7, &x, &y, &w, 0);
+        let out = p.run_local().unwrap();
+        assert_eq!(out, p.expected);
+    }
+
+    #[test]
+    fn fir_sum_stages_chain_bit_exactly() {
+        let taps = lowpass_taps(16);
+        let x = q15_signal(128 + 15, 9);
+        let p = Pipeline::fir_sum(&x, &taps, 128, 0);
+        let out = p.run_local().unwrap();
+        assert_eq!(out, p.expected);
+    }
+
+    #[test]
+    fn pipelines_relocate_with_the_base_offset() {
+        let x = int_vector(64, 6);
+        let y = int_vector(64, 7);
+        let lo = Pipeline::saxpy_scale_sum(5, 1, &x, &y, 0);
+        let hi = Pipeline::saxpy_scale_sum(5, 1, &x, &y, 4096);
+        assert_eq!(lo.expected, hi.expected);
+        assert_ne!(lo.out_off, hi.out_off);
+        assert_eq!(hi.run_local().unwrap(), hi.expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the buffer")]
+    fn oversized_pipelines_are_rejected() {
+        let x = int_vector(1024, 1);
+        let y = int_vector(1024, 2);
+        let _ = Pipeline::saxpy_scale_sum(1, 1, &x, &y, 4096);
+    }
+}

@@ -100,21 +100,21 @@ pub fn dot_asm_predicated(n: usize) -> String {
 /// optimizer's CSE merges the recomputed scratch addresses and the
 /// addressing fold turns them into `lds`/`sts` offsets, reproducing the
 /// hand-written `.tk` tree of [`dot_asm_scaled`]).
-fn ir_tree(b: &mut IrBuilder, tid: ValueId, n: usize) {
+fn ir_tree(b: &mut IrBuilder, tid: ValueId, n: usize, scratch: usize) {
     let mut stride = n / 2;
     let mut k = 1u8;
     while stride >= 1 {
-        let so = b.iconst(SCRATCH as i32);
+        let so = b.iconst(scratch as i32);
         let la = b.add(tid, so);
         b.scale_next(k);
         let lhs = b.load(la, 0);
-        let po = b.iconst((SCRATCH + stride) as i32);
+        let po = b.iconst((scratch + stride) as i32);
         let pa = b.add(tid, po);
         b.scale_next(k);
         let rhs = b.load(pa, 0);
         b.scale_next(k);
         let sum = b.add(lhs, rhs);
-        let so2 = b.iconst(SCRATCH as i32);
+        let so2 = b.iconst(scratch as i32);
         let sa = b.add(tid, so2);
         b.scale_next(k);
         b.store(sa, 0, sum);
@@ -126,36 +126,49 @@ fn ir_tree(b: &mut IrBuilder, tid: ValueId, n: usize) {
 /// IR frontend for the scaled-tree dot product (dynamic thread
 /// scaling, as [`dot_asm_scaled`]).
 pub fn dot_ir(n: usize) -> Kernel {
+    dot_ir_at(n, X_OFF, Y_OFF, SCRATCH)
+}
+
+/// [`dot_ir`] with explicit operand placement, so pipeline stages can
+/// chain through arbitrary shared-memory windows. The result lands at
+/// `scratch` (which also holds the tree's partial sums — the window
+/// `[scratch, scratch + n)` is clobbered).
+pub fn dot_ir_at(n: usize, x_off: usize, y_off: usize, scratch: usize) -> Kernel {
     check_n(n);
-    let mut b = IrBuilder::new(format!("dot{n}"));
+    let mut b = IrBuilder::new(format!("dot{n}_s{scratch}"));
     let tid = b.tid();
-    let xo = b.iconst(X_OFF as i32);
+    let xo = b.iconst(x_off as i32);
     let xa = b.add(tid, xo);
     let x = b.load(xa, 0);
-    let yo = b.iconst(Y_OFF as i32);
+    let yo = b.iconst(y_off as i32);
     let ya = b.add(tid, yo);
     let y = b.load(ya, 0);
     let prod = b.mul(x, y);
-    let so = b.iconst(SCRATCH as i32);
+    let so = b.iconst(scratch as i32);
     let sa = b.add(tid, so);
     b.store(sa, 0, prod);
-    ir_tree(&mut b, tid, n);
+    ir_tree(&mut b, tid, n, scratch);
     b.finish()
 }
 
 /// IR frontend for the scaled-tree sum reduction (as
 /// [`sum_asm_scaled`]).
 pub fn sum_ir(n: usize) -> Kernel {
+    sum_ir_at(n, X_OFF, SCRATCH)
+}
+
+/// [`sum_ir`] with explicit operand placement (see [`dot_ir_at`]).
+pub fn sum_ir_at(n: usize, in_off: usize, scratch: usize) -> Kernel {
     check_n(n);
-    let mut b = IrBuilder::new(format!("sum{n}"));
+    let mut b = IrBuilder::new(format!("sum{n}_s{scratch}"));
     let tid = b.tid();
-    let xo = b.iconst(X_OFF as i32);
+    let xo = b.iconst(in_off as i32);
     let xa = b.add(tid, xo);
     let x = b.load(xa, 0);
-    let so = b.iconst(SCRATCH as i32);
+    let so = b.iconst(scratch as i32);
     let sa = b.add(tid, so);
     b.store(sa, 0, x);
-    ir_tree(&mut b, tid, n);
+    ir_tree(&mut b, tid, n, scratch);
     b.finish()
 }
 

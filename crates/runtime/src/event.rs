@@ -20,6 +20,11 @@ struct EventInner {
     /// CUDA `cudaStreamWaitEvent`-on-unrecorded-event no-op), instead of
     /// deadlocking the stream.
     recorded: AtomicBool,
+    /// Capture tag: `(capture generation, node the record points at)`.
+    /// Set when the event is recorded on a *capturing* stream — a wait
+    /// on it from another capturing stream of the same session becomes
+    /// a graph edge instead of a runtime synchronization.
+    capture: Mutex<Option<(u64, Option<usize>)>>,
 }
 
 /// A one-shot cross-stream sync point. Cheap to clone; clones share
@@ -37,6 +42,7 @@ impl Event {
                 signaled: Mutex::new(None),
                 cond: Condvar::new(),
                 recorded: AtomicBool::new(false),
+                capture: Mutex::new(None),
             }),
         }
     }
@@ -59,6 +65,18 @@ impl Event {
     /// Has a record of this event ever been enqueued?
     pub(crate) fn is_recorded(&self) -> bool {
         self.inner.recorded.load(Ordering::SeqCst)
+    }
+
+    /// Tag the event as recorded during graph capture: `node` is the
+    /// captured node the record points at (`None` when the stream had
+    /// captured nothing yet).
+    pub(crate) fn set_capture_tag(&self, generation: u64, node: Option<usize>) {
+        *self.inner.capture.lock().unwrap() = Some((generation, node));
+    }
+
+    /// The capture tag, if the event was recorded during a capture.
+    pub(crate) fn capture_tag(&self) -> Option<(u64, Option<usize>)> {
+        *self.inner.capture.lock().unwrap()
     }
 
     /// Has the event completed?

@@ -11,8 +11,9 @@
 //! devices:
 //!
 //! * a [`Runtime`] owns a pool of devices (one scheduler worker thread
-//!   each) and hands out [`Stream`]s — ordered command queues bound
-//!   round-robin to pool devices;
+//!   each) and hands out [`Stream`]s — ordered command queues with no
+//!   device affinity: every command is *placed* on the least-loaded
+//!   device engine at dispatch;
 //! * streams enqueue **asynchronous** host→device copies, kernel
 //!   [`LaunchSpec`](simt_kernels::LaunchSpec) launches, and
 //!   device→host copies; copies are modeled at interconnect cost
@@ -26,7 +27,14 @@
 //!   of the submitted job graph;
 //! * per-stream and per-device cycle and wall-clock accounting builds
 //!   on the core's [`ExecStats`](simt_core::ExecStats) machinery
-//!   ([`RuntimeStats`]).
+//!   ([`RuntimeStats`]);
+//! * hot repeated DAGs graduate to **execution graphs**: capture a
+//!   stream (`Stream::begin_capture`/`end_capture`) or build a
+//!   [`GraphBuilder`] DAG, fuse back-to-back IR launch chains into
+//!   single kernels ([`fuse`]), [`instantiate`](Runtime::instantiate)
+//!   through the pool-wide compile cache, and
+//!   [`replay`](Runtime::replay) with topological least-loaded
+//!   placement and parameterized re-launch.
 //!
 //! ## Quick example
 //!
@@ -47,6 +55,7 @@
 //! ```
 
 pub mod event;
+pub mod graph;
 pub mod pool;
 pub mod scheduler;
 pub mod stats;
@@ -56,13 +65,17 @@ use scheduler::{worker_loop, Shared};
 use simt_compiler::CompileCache;
 use std::fmt;
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 pub use event::Event;
+pub use graph::{GraphExec, GraphReplay, NodePlacement};
 pub use pool::{DeviceConfig, RuntimeConfig};
 pub use stats::{CommandKind, CompletionRecord, DeviceStats, RuntimeStats, StreamStats};
 pub use stream::{CopyHandle, LaunchHandle, Stream};
+// The graph vocabulary, so runtime users need no extra import to
+// capture, fuse and replay.
+pub use simt_graph::{fuse, ExecGraph, FusionReport, GraphBuilder, GraphError, NodeId};
 
 /// Anything that can go wrong inside the runtime. Cloneable (sticky
 /// stream errors fan out to every queued handle), so inner errors are
@@ -90,6 +103,16 @@ pub enum RuntimeError {
     },
     /// The runtime was dropped with this command still queued.
     Shutdown,
+    /// The command was recorded into a capturing stream's execution
+    /// graph instead of executing; its handle carries no result (the
+    /// graph replay does).
+    Captured,
+    /// Stream-capture misuse: double `begin_capture`, `end_capture` on
+    /// a stream that did not originate the capture, or an empty or
+    /// invalid capture.
+    Capture(String),
+    /// Execution-graph instantiation or replay rejected the graph.
+    Graph(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -109,6 +132,12 @@ impl fmt::Display for RuntimeError {
                 "copy [{offset}, {offset}+{len}) outside device buffer of {memory_words} words"
             ),
             RuntimeError::Shutdown => write!(f, "runtime dropped with the command still queued"),
+            RuntimeError::Captured => write!(
+                f,
+                "command was captured into an execution graph, not executed"
+            ),
+            RuntimeError::Capture(e) => write!(f, "stream capture: {e}"),
+            RuntimeError::Graph(e) => write!(f, "graph: {e}"),
         }
     }
 }
@@ -119,13 +148,17 @@ impl std::error::Error for RuntimeError {}
 pub struct Runtime {
     shared: Arc<Shared>,
     compile_cache: Arc<CompileCache>,
+    /// Execution context for graph replay (host-side; placement on the
+    /// pool's virtual timelines is separate — see [`Runtime::replay`]).
+    replay_device: Mutex<pool::Device>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Runtime {
     /// Spin up the pool: one scheduler worker (and simulated device) per
     /// configured device, all sharing one content-addressed
-    /// [`CompileCache`].
+    /// [`CompileCache`] (LRU-bounded per
+    /// [`RuntimeConfig::compile_cache_capacity`]).
     ///
     /// # Panics
     /// If the configuration asks for zero devices or zero-sized batches.
@@ -133,7 +166,15 @@ impl Runtime {
         assert!(cfg.devices >= 1, "a pool needs at least one device");
         assert!(cfg.max_batch >= 1, "batches need at least one command");
         let shared = Arc::new(Shared::new(cfg.clone()));
-        let compile_cache = Arc::new(CompileCache::new());
+        let compile_cache = Arc::new(match cfg.compile_cache_capacity {
+            Some(cap) => CompileCache::with_capacity(cap),
+            None => CompileCache::new(),
+        });
+        let replay_device = Mutex::new(pool::Device::new(
+            cfg.devices,
+            cfg.device.clone(),
+            Arc::clone(&compile_cache),
+        ));
         let workers = (0..cfg.devices)
             .map(|d| {
                 let shared = Arc::clone(&shared);
@@ -147,6 +188,7 @@ impl Runtime {
         Runtime {
             shared,
             compile_cache,
+            replay_device,
             workers,
         }
     }
@@ -162,12 +204,12 @@ impl Runtime {
         &self.compile_cache
     }
 
-    /// Create a stream, bound round-robin to a pool device.
+    /// Create a stream. Streams are not device-affine: every command is
+    /// placed on the least-loaded device at dispatch.
     pub fn stream(&self) -> Stream {
-        let (id, device) = self.shared.add_stream();
+        let id = self.shared.add_stream();
         Stream {
             id,
-            device,
             shared: Arc::clone(&self.shared),
         }
     }
@@ -185,7 +227,9 @@ impl Runtime {
 
     /// Snapshot the per-stream / per-device accounting.
     pub fn stats(&self) -> RuntimeStats {
-        self.shared.stats()
+        let mut stats = self.shared.stats();
+        stats.compile_evictions = self.compile_cache.evictions();
+        stats
     }
 }
 
@@ -255,10 +299,9 @@ mod tests {
         let rt = Runtime::new(RuntimeConfig::default());
         let producer = rt.stream();
         let consumer = rt.stream();
-        assert_ne!(producer.device(), consumer.device(), "round-robin pool");
 
         // Producer computes a prefix sum and signals completion; the
-        // consumer (a different device) holds until the event fires.
+        // consumer holds until the event fires.
         let x = int_vector(64, 9);
         let spec = LaunchSpec::scan(&x);
         let expected = spec.expected.clone();

@@ -53,6 +53,11 @@ pub struct RuntimeConfig {
     pub devices: usize,
     /// Maximum commands one scheduler wake-up drains for a device.
     pub max_batch: usize,
+    /// LRU bound on the pool-wide content-addressed compile cache
+    /// (`None` = unbounded). A long-running pool serving many distinct
+    /// programs must not grow the cache without limit; evictions are
+    /// counted in [`crate::RuntimeStats::compile_evictions`].
+    pub compile_cache_capacity: Option<usize>,
     /// Per-device parameters.
     pub device: DeviceConfig,
 }
@@ -62,6 +67,7 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             devices: 2,
             max_batch: 8,
+            compile_cache_capacity: Some(256),
             device: DeviceConfig::default(),
         }
     }

@@ -1,20 +1,31 @@
 //! The multi-device scheduler.
 //!
-//! One worker thread per pool device drains ready commands from the
-//! streams bound to that device (spawned on the vendored rayon shim's
-//! `std::thread` substrate). A wake-up claims a *batch*: consecutive
-//! ready commands of one stream, up to `max_batch`, stopping after a
-//! launch so co-resident streams interleave — that is what lets one
-//! stream's copies overlap another stream's compute on the same device.
+//! One worker thread per pool device drains ready commands from any
+//! stream with work (spawned on the vendored rayon shim's `std::thread`
+//! substrate). A wake-up claims a *batch*: consecutive ready commands
+//! of one stream, up to `max_batch`, stopping after a launch so
+//! co-resident streams interleave — that is what lets one stream's
+//! copies overlap another stream's compute.
 //!
 //! Besides real host execution, the scheduler maintains a
 //! discrete-event **virtual timeline** in device clocks: every device
 //! has a compute engine and a copy engine (DMA), every stream chains its
-//! commands, and events propagate timestamps across streams. The
-//! resulting makespan is the modeled wall-clock of the whole job graph
-//! on the pool — the metric the throughput bench and the overlap
-//! example report, and one that is exact regardless of how many host
-//! cores the simulation itself got.
+//! commands, and events propagate timestamps across streams. Streams are
+//! **not** device-affine: each command is *placed* at dispatch on the
+//! least-loaded engine of the matching kind (ties to the lower device
+//! id), so an imbalanced mix no longer strands a hot stream on a busy
+//! device while others idle. Per-stream ordering is preserved by the
+//! stream's own completion chain (`vdone`). The resulting makespan is
+//! the modeled wall-clock of the whole job graph on the pool — the
+//! metric the throughput bench and the overlap example report, and one
+//! that is exact regardless of how many host cores the simulation
+//! itself got.
+//!
+//! The scheduler also hosts **stream capture**: a capturing stream's
+//! commands are recorded into a `simt_graph` DAG (per-stream chain
+//! edges, plus cross-stream edges through captured events) instead of
+//! executing, and graph replay places its nodes through the same
+//! least-loaded rule via [`Shared::place_graph_command`].
 
 use crate::pool::{Device, RuntimeConfig};
 use crate::stats::{
@@ -23,14 +34,14 @@ use crate::stats::{
 use crate::stream::Command;
 use crate::RuntimeError;
 use simt_core::ExecStats;
-use std::collections::VecDeque;
+use simt_graph::{ExecGraph, GraphNode, GraphOp, NodeId};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Scheduler-side state of one stream.
 pub(crate) struct StreamState {
-    device: usize,
     queue: VecDeque<(u64, Command)>,
     next_seq: u64,
     /// The stream's device buffer; taken by a worker while a batch runs.
@@ -39,6 +50,27 @@ pub(crate) struct StreamState {
     poisoned: Option<RuntimeError>,
     /// Virtual time at which the stream's last completed command ended.
     vdone: u64,
+}
+
+/// An in-progress stream capture: commands of participating streams are
+/// recorded as graph nodes instead of executing. The first stream to
+/// call `begin_capture` is the *origin* and must be the one to call
+/// `end_capture`; other streams join with their own `begin_capture` and
+/// contribute nodes ordered by captured events.
+pub(crate) struct CaptureSession {
+    /// Session generation (distinguishes events of older captures).
+    generation: u64,
+    /// Stream that started (and must end) the capture.
+    origin: usize,
+    /// Streams recording into this session.
+    participants: HashSet<usize>,
+    /// Captured nodes so far.
+    nodes: Vec<GraphNode>,
+    /// Last captured node per stream (the per-stream chain edge).
+    tails: HashMap<usize, usize>,
+    /// Extra dependencies (from captured event waits) to attach to a
+    /// stream's next node.
+    pending: HashMap<usize, Vec<usize>>,
 }
 
 /// Completion-trace cap: the trace is a diagnostic; past this many
@@ -63,6 +95,10 @@ pub(crate) struct SchedState {
     vcopy: Vec<u64>,
     /// Per-device rotating scan offset (batch-level round-robin).
     scan_from: Vec<usize>,
+    /// Active stream-capture session, if any.
+    capture: Option<CaptureSession>,
+    /// Capture generation counter.
+    capture_generation: u64,
 }
 
 impl SchedState {
@@ -136,6 +172,8 @@ impl Shared {
                 vcompute: vec![0; d],
                 vcopy: vec![0; d],
                 scan_from: vec![0; d],
+                capture: None,
+                capture_generation: 0,
             }),
             work: Condvar::new(),
             idle: Condvar::new(),
@@ -151,13 +189,12 @@ impl Shared {
         self.idle.notify_all();
     }
 
-    /// Register a stream, round-robin over the pool.
-    pub(crate) fn add_stream(&self) -> (usize, usize) {
+    /// Register a stream (not device-affine: every command is placed at
+    /// dispatch).
+    pub(crate) fn add_stream(&self) -> usize {
         let mut state = self.state.lock().unwrap();
         let id = state.streams.len();
-        let device = id % self.cfg.devices;
         state.streams.push(StreamState {
-            device,
             queue: VecDeque::new(),
             next_seq: 0,
             buffer: Some(vec![0u32; self.cfg.device.memory_words]),
@@ -166,12 +203,129 @@ impl Shared {
             vdone: 0,
         });
         state.stream_stats.push(StreamStats::default());
-        (id, device)
+        id
+    }
+
+    /// Begin capturing `stream`: its commands record into the active
+    /// capture session (created if none) instead of executing.
+    pub(crate) fn begin_capture(&self, stream: usize) -> Result<(), RuntimeError> {
+        let mut state = self.state.lock().unwrap();
+        match state.capture.as_mut() {
+            Some(session) => {
+                if !session.participants.insert(stream) {
+                    return Err(RuntimeError::Capture(format!(
+                        "stream {stream} is already capturing"
+                    )));
+                }
+                Ok(())
+            }
+            None => {
+                state.capture_generation += 1;
+                let generation = state.capture_generation;
+                state.capture = Some(CaptureSession {
+                    generation,
+                    origin: stream,
+                    participants: HashSet::from([stream]),
+                    nodes: Vec::new(),
+                    tails: HashMap::new(),
+                    pending: HashMap::new(),
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// Is `stream` currently recording into a capture session?
+    pub(crate) fn is_capturing(&self, stream: usize) -> bool {
+        self.state
+            .lock()
+            .unwrap()
+            .capture
+            .as_ref()
+            .is_some_and(|session| session.participants.contains(&stream))
+    }
+
+    /// Finish the capture session. Must be called on the origin stream;
+    /// every participant stops capturing.
+    pub(crate) fn end_capture(&self, stream: usize) -> Result<ExecGraph, RuntimeError> {
+        let mut state = self.state.lock().unwrap();
+        match &state.capture {
+            None => Err(RuntimeError::Capture(
+                "no stream capture is in progress".into(),
+            )),
+            Some(session) if session.origin != stream => Err(RuntimeError::Capture(format!(
+                "end_capture on stream {stream}, but the capture began on stream {}",
+                session.origin
+            ))),
+            Some(_) => {
+                let session = state.capture.take().expect("checked above");
+                ExecGraph::from_nodes(session.nodes)
+                    .map_err(|e| RuntimeError::Capture(e.to_string()))
+            }
+        }
+    }
+
+    /// Record one command into the capture session (the stream is a
+    /// participant). Launch and copy-out handles resolve immediately
+    /// with [`RuntimeError::Captured`] — a captured command has no
+    /// execution result.
+    fn capture_command(session: &mut CaptureSession, stream: usize, cmd: Command) {
+        let op = match cmd {
+            Command::RecordEvent(event) => {
+                event.set_capture_tag(session.generation, session.tails.get(&stream).copied());
+                return;
+            }
+            Command::WaitEvent(event) => {
+                if let Some((generation, node)) = event.capture_tag() {
+                    if generation == session.generation {
+                        if let Some(node) = node {
+                            session.pending.entry(stream).or_default().push(node);
+                        }
+                    }
+                }
+                return;
+            }
+            Command::CopyIn { dst, data } => GraphOp::CopyIn { dst, data },
+            Command::CopyOut { src, len, sink } => {
+                sink.set(Err(RuntimeError::Captured));
+                GraphOp::CopyOut { src, len }
+            }
+            Command::Launch { spec, sink } => {
+                sink.set(Err(RuntimeError::Captured));
+                GraphOp::Launch(spec)
+            }
+        };
+        let mut deps: Vec<NodeId> = Vec::new();
+        if let Some(&tail) = session.tails.get(&stream) {
+            deps.push(NodeId::from_index(tail));
+        }
+        for dep in session.pending.remove(&stream).unwrap_or_default() {
+            let dep = NodeId::from_index(dep);
+            if !deps.contains(&dep) {
+                deps.push(dep);
+            }
+        }
+        let id = session.nodes.len();
+        session.nodes.push(GraphNode { op, deps });
+        session.tails.insert(stream, id);
     }
 
     /// Enqueue a command onto a stream.
     pub(crate) fn enqueue(&self, stream: usize, cmd: Command) {
         let mut state = self.state.lock().unwrap();
+        if let Some(session) = state.capture.as_mut() {
+            if session.participants.contains(&stream) {
+                Self::capture_command(session, stream, cmd);
+                return;
+            }
+        }
+        // Events become waitable the moment their record is enqueued —
+        // under the scheduler lock, so cross-stream enqueue races see a
+        // consistent order. (Captured records above deliberately do
+        // not: they order graph nodes, not live streams.)
+        if let Command::RecordEvent(event) = &cmd {
+            event.mark_recorded();
+        }
         let st = &mut state.streams[stream];
         let seq = st.next_seq;
         st.next_seq += 1;
@@ -179,13 +333,12 @@ impl Shared {
             // Poisoned streams fail everything immediately (the CUDA
             // sticky-error model), still in order.
             let vdone = st.vdone;
-            let device = st.device;
             cmd.resolve_err(&poison, vdone);
             state.stream_stats[stream].commands += 1;
             state.record_completion(CompletionRecord {
                 stream,
                 seq,
-                device,
+                device: 0,
                 kind: cmd.kind(),
             });
             self.idle.notify_all();
@@ -225,6 +378,7 @@ impl Shared {
             devices: state.device_stats.clone(),
             completions: state.completions.clone(),
             completions_dropped: state.completions_dropped,
+            compile_evictions: 0, // filled by Runtime::stats
             wall: self.started.elapsed(),
             makespan_cycles: makespan,
             fmax_mhz: self.cfg.device.fmax_mhz,
@@ -236,7 +390,6 @@ impl Shared {
     pub(crate) fn drain_after_shutdown(&self) {
         let mut state = self.state.lock().unwrap();
         for sid in 0..state.streams.len() {
-            let device = state.streams[sid].device;
             let vdone = state.streams[sid].vdone;
             if state.streams[sid].poisoned.is_none() {
                 state.streams[sid].poisoned = Some(RuntimeError::Shutdown);
@@ -248,7 +401,7 @@ impl Shared {
                 state.record_completion(CompletionRecord {
                     stream: sid,
                     seq,
-                    device,
+                    device: 0,
                     kind,
                 });
                 state.outstanding -= 1;
@@ -257,8 +410,63 @@ impl Shared {
         self.idle.notify_all();
     }
 
-    /// Resolve any event commands at the head of device `d`'s idle
-    /// streams and pop a batch of executable commands if one is ready.
+    /// Place one graph-replay command on the least-loaded engine of the
+    /// matching kind (the same dispatch rule stream commands use) and
+    /// merge it into the placement device's accounting. Returns
+    /// `(device, start, end)` in virtual cycles.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn place_graph_command(
+        &self,
+        kind: CommandKind,
+        ready: u64,
+        cycles: u64,
+        words: u64,
+        exec: Option<&ExecStats>,
+        cache_hit: bool,
+        compile_hit: bool,
+        wall: Duration,
+    ) -> (usize, u64, u64) {
+        let mut state = self.state.lock().unwrap();
+        let compute = matches!(kind, CommandKind::Launch);
+        let engines = if compute {
+            &mut state.vcompute
+        } else {
+            &mut state.vcopy
+        };
+        let (p, start) = place(engines, ready, cycles);
+        let end = start + cycles;
+        let ds = &mut state.device_stats[p];
+        ds.placements += 1;
+        ds.busy_cycles += cycles;
+        ds.busy_wall += wall;
+        match kind {
+            CommandKind::Launch => {
+                ds.launches += 1;
+                if cache_hit {
+                    ds.cache_hits += 1;
+                } else {
+                    ds.cache_misses += 1;
+                }
+                if compile_hit {
+                    ds.compile_hits += 1;
+                } else {
+                    ds.compile_misses += 1;
+                }
+                if let Some(stats) = exec {
+                    accumulate(&mut ds.compute, stats);
+                }
+            }
+            _ => {
+                ds.copies += 1;
+                let _ = words;
+            }
+        }
+        (p, start, end)
+    }
+
+    /// Resolve any event commands at the head of idle streams and pop a
+    /// batch of executable commands if one is ready (any worker may
+    /// claim any stream's batch — placement happens at publish).
     /// Runs under the scheduler lock.
     fn claim(&self, state: &mut SchedState, d: usize) -> Option<(usize, Vec<(u64, Command)>)> {
         let n = state.streams.len();
@@ -267,7 +475,7 @@ impl Shared {
             let start = state.scan_from[d] % n.max(1);
             for k in 0..n {
                 let sid = (start + k) % n;
-                if state.streams[sid].device != d || state.streams[sid].busy {
+                if state.streams[sid].busy {
                     continue;
                 }
                 // Resolve leading event commands inline.
@@ -348,9 +556,12 @@ impl Shared {
         }
     }
 
-    /// Publish a finished batch: advance the virtual timeline in
-    /// completion order, merge stats, resolve sinks, drain the stream if
-    /// it was poisoned.
+    /// Publish a finished batch: *place* each command on the
+    /// least-loaded device's virtual engine (breaking stream-device
+    /// affinity), advance the timeline in completion order, merge
+    /// stats, resolve sinks, drain the stream if it was poisoned.
+    /// `d` is the physical worker that executed the batch; it only
+    /// accounts for `batches`.
     fn publish(&self, sid: usize, d: usize, done: Vec<Done>, buffer: Vec<u32>) {
         let mut state = self.state.lock().unwrap();
         let count = done.len();
@@ -364,9 +575,9 @@ impl Shared {
                     wall,
                     sink,
                 } => {
-                    let start = state.vcopy[d].max(state.streams[sid].vdone);
+                    let ready = state.streams[sid].vdone;
+                    let (p, start) = place(&mut state.vcopy, ready, cycles);
                     let end = start + cycles;
-                    state.vcopy[d] = end;
                     state.streams[sid].vdone = end;
                     let ss = &mut state.stream_stats[sid];
                     ss.commands += 1;
@@ -374,15 +585,16 @@ impl Shared {
                     ss.copy_words += words;
                     ss.copy_cycles += cycles;
                     ss.busy_wall += wall;
-                    let ds = &mut state.device_stats[d];
+                    let ds = &mut state.device_stats[p];
                     ds.copies += 1;
+                    ds.placements += 1;
                     ds.batched_commands += 1;
                     ds.busy_cycles += cycles;
                     ds.busy_wall += wall;
                     state.record_completion(CompletionRecord {
                         stream: sid,
                         seq,
-                        device: d,
+                        device: p,
                         kind,
                     });
                     if let Some((slot, data)) = sink {
@@ -398,17 +610,18 @@ impl Shared {
                     sink,
                 } => {
                     let cycles = stats.cycles;
-                    let start = state.vcompute[d].max(state.streams[sid].vdone);
+                    let ready = state.streams[sid].vdone;
+                    let (p, start) = place(&mut state.vcompute, ready, cycles);
                     let end = start + cycles;
-                    state.vcompute[d] = end;
                     state.streams[sid].vdone = end;
                     let ss = &mut state.stream_stats[sid];
                     ss.commands += 1;
                     ss.launches += 1;
                     accumulate(&mut ss.compute, &stats);
                     ss.busy_wall += wall;
-                    let ds = &mut state.device_stats[d];
+                    let ds = &mut state.device_stats[p];
                     ds.launches += 1;
+                    ds.placements += 1;
                     ds.batched_commands += 1;
                     if cache_hit {
                         ds.cache_hits += 1;
@@ -426,7 +639,7 @@ impl Shared {
                     state.record_completion(CompletionRecord {
                         stream: sid,
                         seq,
-                        device: d,
+                        device: p,
                         kind: CommandKind::Launch,
                     });
                     sink.set(Ok(stats));
@@ -476,6 +689,21 @@ impl Shared {
         self.work.notify_all();
         self.idle.notify_all();
     }
+}
+
+/// Least-loaded engine pick: the device whose engine can start this
+/// command earliest given its `ready` time, ties broken toward the
+/// lower device id. Advances the chosen engine's clock past the
+/// command and returns `(device, start)`.
+fn place(engines: &mut [u64], ready: u64, cycles: u64) -> (usize, u64) {
+    let (start, p) = engines
+        .iter()
+        .enumerate()
+        .map(|(d, &t)| (t.max(ready), d))
+        .min()
+        .expect("pool has at least one device");
+    engines[p] = start + cycles;
+    (p, start)
 }
 
 /// Body of one device worker thread.

@@ -47,7 +47,7 @@ pub struct CompletionRecord {
     pub stream: usize,
     /// Sequence number of the command within its stream (0-based).
     pub seq: u64,
-    /// Device that executed it (the stream's device).
+    /// Device the command was placed on (least-loaded at dispatch).
     pub device: usize,
     /// Command kind.
     pub kind: CommandKind,
@@ -72,15 +72,21 @@ pub struct StreamStats {
     pub busy_wall: Duration,
 }
 
-/// Per-device accounting.
+/// Per-device accounting. Launches, copies, cycles and cache counters
+/// follow the *placement* decision — the virtual device the scheduler
+/// put each command on at dispatch (least-loaded, not stream-affine);
+/// `batches` counts the physical worker's wake-ups.
 #[derive(Debug, Clone, Default)]
 pub struct DeviceStats {
-    /// Kernel launches executed.
+    /// Kernel launches placed on this device.
     pub launches: u64,
-    /// Copies executed.
+    /// Copies placed on this device.
     pub copies: u64,
-    /// Scheduler batches executed (one wake-up may drain several ready
-    /// commands).
+    /// Commands placed on this device's virtual timeline at dispatch
+    /// (stream commands and graph-replay nodes alike).
+    pub placements: u64,
+    /// Scheduler batches this device's worker executed (one wake-up may
+    /// drain several ready commands).
     pub batches: u64,
     /// Commands executed across all batches.
     pub batched_commands: u64,
@@ -115,6 +121,8 @@ pub struct RuntimeStats {
     pub completions: Vec<CompletionRecord>,
     /// Completions that happened after the trace hit its cap.
     pub completions_dropped: u64,
+    /// Artifacts evicted from the pool's compile cache by its LRU bound.
+    pub compile_evictions: u64,
     /// Wall-clock elapsed since the runtime was built.
     pub wall: Duration,
     /// Modeled completion time of the whole submitted job graph in

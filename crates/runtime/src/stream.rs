@@ -3,9 +3,10 @@
 //!
 //! Commands within a stream execute in enqueue order; commands in
 //! different streams are unordered unless [`Event`]s impose an order.
-//! Every stream owns a device buffer resident on its (round-robin
-//! assigned) device; copies move host data in and out of that buffer at
-//! modeled link cost, and launches read/write it.
+//! Every stream owns a device buffer; copies move host data in and out
+//! of that buffer at modeled link cost, and launches read/write it.
+//! Streams are not device-affine: each command is placed on the
+//! least-loaded device at dispatch.
 
 use crate::event::Event;
 use crate::scheduler::Shared;
@@ -143,11 +144,13 @@ impl Command {
     }
 }
 
-/// An ordered command queue bound to one pool device.
+/// An ordered command queue over the device pool. Streams are not
+/// bound to a device: every command is placed on the least-loaded
+/// device at dispatch, and per-stream ordering is preserved by the
+/// stream's completion chain.
 #[derive(Clone)]
 pub struct Stream {
     pub(crate) id: usize,
-    pub(crate) device: usize,
     pub(crate) shared: Arc<Shared>,
 }
 
@@ -155,11 +158,6 @@ impl Stream {
     /// Stream id within the runtime.
     pub fn id(&self) -> usize {
         self.id
-    }
-
-    /// The pool device this stream is bound to.
-    pub fn device(&self) -> usize {
-        self.device
     }
 
     /// Enqueue a host→device copy of `data` to word offset `dst` of the
@@ -202,9 +200,9 @@ impl Stream {
     }
 
     /// Enqueue an event record: `event` signals once everything enqueued
-    /// on this stream so far has completed.
+    /// on this stream so far has completed. (On a capturing stream the
+    /// record becomes a graph-edge marker instead.)
     pub fn record_event(&self, event: &Event) {
-        event.mark_recorded();
         self.shared
             .enqueue(self.id, Command::RecordEvent(event.clone()));
     }
@@ -219,10 +217,34 @@ impl Stream {
     }
 
     /// Block the host until everything enqueued on this stream so far
-    /// has completed.
+    /// has completed. On a *capturing* stream this returns immediately:
+    /// captured commands never execute, so there is nothing to wait for
+    /// (and the fence itself would be captured — waiting on it would
+    /// deadlock the host).
     pub fn synchronize(&self) {
+        if self.shared.is_capturing(self.id) {
+            return;
+        }
         let fence = Event::new();
         self.record_event(&fence);
         fence.wait();
+    }
+
+    /// Begin capturing this stream: commands enqueued from now on are
+    /// recorded into an execution graph instead of executing (their
+    /// handles resolve with [`RuntimeError::Captured`]). The first
+    /// capturing stream owns the session; other streams may join with
+    /// their own `begin_capture` and order their nodes against it
+    /// through events recorded/waited during the capture.
+    pub fn begin_capture(&self) -> Result<(), RuntimeError> {
+        self.shared.begin_capture(self.id)
+    }
+
+    /// Finish the capture this stream began and return the recorded
+    /// DAG, ready to fuse (`simt_graph::fuse`), instantiate and replay.
+    /// Typed errors: no capture in progress, ending on a non-origin
+    /// stream, or an empty capture.
+    pub fn end_capture(&self) -> Result<simt_graph::ExecGraph, RuntimeError> {
+        self.shared.end_capture(self.id)
     }
 }

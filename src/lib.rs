@@ -7,15 +7,15 @@
 //! ## The crate graph, silicon to host
 //!
 //! ```text
-//!   simt-isa ──────► simt-core ──────► simt-kernels
-//!      │                 │  │  │           │    ▲
-//!      │                 │  │  └► simt-compiler ┘
-//!      │                 │  └──────► simt-system ─┐
-//!      │                 ▼                        ▼
-//!      │   fpga-fabric ► fpga-fitter      simt-runtime
-//!      │                     ▲            (streams, events,
-//!      └─────────────────────┘             multi-device scheduler,
-//!                                          compile cache)
+//!   simt-isa ──────► simt-core ──────► simt-kernels ──► simt-graph
+//!      │                 │  │  │           │    ▲            │
+//!      │                 │  │  └► simt-compiler ┘            │
+//!      │                 │  └──────► simt-system ─┐          │
+//!      │                 ▼                        ▼          ▼
+//!      │   fpga-fabric ► fpga-fitter      simt-runtime ◄─────┘
+//!      │                     ▲            (streams, events, capture,
+//!      └─────────────────────┘             least-loaded scheduler,
+//!                                          graph replay, compile cache)
 //! ```
 //!
 //! * [`simt_isa`] — the PTX-inspired 61-instruction ISA, assembler and
@@ -36,10 +36,14 @@
 //!   (from text assembly or compiled IR frontends).
 //! * [`simt_system`] — stamped multi-core systems with a word-serial
 //!   interconnect and bulk-synchronous phases.
+//! * [`simt_graph`] — execution graphs: launch/copy DAGs (built or
+//!   captured from streams), IR-level fusion of back-to-back kernel
+//!   chains with escape analysis.
 //! * [`simt_runtime`] — the stream-oriented host runtime: CUDA-style
 //!   streams, events, async launches and modeled copies over a pool of
-//!   simulated devices, with a discrete-event virtual timeline and a
-//!   pool-wide compile cache on the launch path.
+//!   simulated devices, with least-loaded placement at dispatch, a
+//!   discrete-event virtual timeline, graph capture/instantiate/replay,
+//!   and a pool-wide LRU-bounded compile cache on the launch path.
 //!
 //! ## Stream-API quickstart
 //!
@@ -69,6 +73,7 @@ pub use fpga_fitter;
 pub use simt_compiler;
 pub use simt_core;
 pub use simt_datapath;
+pub use simt_graph;
 pub use simt_isa;
 pub use simt_kernels;
 pub use simt_runtime;
