@@ -14,7 +14,9 @@
 //! machine-readable snapshot of the runtime scheduler's scaling numbers
 //! and the headline clock results — `--compiler` writes
 //! `BENCH_compiler.json` (compile times, pass-pipeline instruction
-//! reductions, compile-cache hit rates), and `--graph` writes
+//! reductions, hand-written vs IR cycle counts for every family
+//! including the loop-carried `matmul`/`iir`, compile-cache hit
+//! rates), and `--graph` writes
 //! `BENCH_graph.json` (fused vs unfused execution-graph makespans,
 //! fusion pass reductions, replay cache hits), so future changes can be
 //! tracked against them.
@@ -255,6 +257,11 @@ struct CompilerKernelRow {
     reduction_pct: f64,
     regs_used: usize,
     compile_us: f64,
+    /// Modeled execution cycles of the hand-written kernel.
+    handwritten_cycles: u64,
+    /// Modeled execution cycles of the optimized IR lowering — must
+    /// never exceed the hand-written count (asserted).
+    optimized_cycles: u64,
 }
 
 /// Compile-cache behaviour under repeated runtime launches.
@@ -274,14 +281,23 @@ struct CompilerBenchReport {
     cache: CompileCacheStats,
 }
 
+/// Modeled execution cycles of a program on a fresh (zero-initialized)
+/// core — cycle counts depend only on the instruction stream and the
+/// configuration, not on the data.
+fn modeled_cycles(program: &simt_isa::Program, cfg: &ProcessorConfig) -> u64 {
+    let mut cpu = Processor::new(cfg.clone()).expect("config validates");
+    cpu.load_program(program).expect("program loads");
+    cpu.run(RunOptions::default()).expect("program runs").cycles
+}
+
 fn compiler() {
     use simt_compiler::{compile, OptLevel};
     use simt_kernels::workload::{int_vector, lowpass_taps, q15_signal};
-    use simt_kernels::{fir, reduce, vector, LaunchSpec};
+    use simt_kernels::{fir, iir, matmul, reduce, vector, LaunchSpec};
     use simt_runtime::{Runtime, RuntimeConfig};
     use std::time::Instant;
 
-    println!("== simt-compiler: pass pipeline and compile cache ==");
+    println!("== simt-compiler: pass pipeline, loop-carried kernels, compile cache ==");
     let subjects: Vec<(String, simt_compiler::Kernel, ProcessorConfig, String)> = vec![
         (
             "saxpy".into(),
@@ -315,11 +331,36 @@ fn compiler() {
                 .with_shared_words(8192),
             fir::fir_asm(16),
         ),
+        (
+            "matmul8x16x8".into(),
+            matmul::matmul_ir(8, 16, 8),
+            ProcessorConfig::default()
+                .with_threads(64)
+                .with_shared_words(8192),
+            matmul::matmul_asm(8, 16, 8),
+        ),
+        (
+            "iir16x32".into(),
+            iir::iir_ir(16, 32, iir::Biquad::lowpass()),
+            ProcessorConfig::default()
+                .with_threads(16)
+                .with_shared_words(8192),
+            iir::iir_asm(16, 32, iir::Biquad::lowpass()),
+        ),
     ];
 
     println!(
-        "{:<10} {:>6} {:>6} {:>7} {:>7} {:>6} {:>6} {:>10}",
-        "kernel", "IR", "IR opt", "naive", "opt", "hand", "regs", "compile us"
+        "{:<13} {:>5} {:>6} {:>6} {:>5} {:>5} {:>5} {:>9} {:>9} {:>9}",
+        "kernel",
+        "IR",
+        "IR opt",
+        "naive",
+        "opt",
+        "hand",
+        "regs",
+        "hand clk",
+        "IR clk",
+        "compile us"
     );
     let mut rows = Vec::new();
     for (name, kernel, cfg, hand_asm) in subjects {
@@ -343,9 +384,11 @@ fn compiler() {
             reduction_pct: full.report.reduction() * 100.0,
             regs_used: full.regs_used,
             compile_us,
+            handwritten_cycles: modeled_cycles(&hand, &cfg),
+            optimized_cycles: modeled_cycles(&full.program, &cfg),
         };
         println!(
-            "{:<10} {:>6} {:>6} {:>7} {:>7} {:>6} {:>6} {:>10.1}",
+            "{:<13} {:>5} {:>6} {:>6} {:>5} {:>5} {:>5} {:>9} {:>9} {:>9.1}",
             row.name,
             row.ir_insts,
             row.ir_insts_optimized,
@@ -353,11 +396,20 @@ fn compiler() {
             row.optimized_len,
             row.handwritten_len,
             row.regs_used,
+            row.handwritten_cycles,
+            row.optimized_cycles,
             row.compile_us
         );
         assert!(
             row.optimized_len <= row.naive_len,
             "{name}: pipeline grew the program"
+        );
+        assert!(
+            row.optimized_cycles <= row.handwritten_cycles,
+            "{name}: IR lowering must match or beat the hand-written cycles \
+             ({} vs {})",
+            row.optimized_cycles,
+            row.handwritten_cycles
         );
         rows.push(row);
     }
@@ -392,7 +444,7 @@ fn compiler() {
     );
 
     let report = CompilerBenchReport {
-        schema_version: 1,
+        schema_version: 2,
         kernels: rows,
         cache,
     };

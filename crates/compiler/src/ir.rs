@@ -14,6 +14,22 @@
 //! the §2 reduction feature) and a **predicate guard** referencing an
 //! SSA predicate value produced by [`Op::Cmp`].
 //!
+//! ## Loop-carried values
+//!
+//! The hardware loop has no loop-carried *registers* in its encoding —
+//! a trip count and an end address are all the ISA stores — but real
+//! looped kernels (`matmul`'s accumulator, `iir`'s filter state) keep
+//! state in ordinary registers that survive the back edge. The IR
+//! models that state Cranelift-style, with **block parameters** instead
+//! of phi nodes: a loop's body region declares parameters
+//! ([`Op::Param`]), [`IrBuilder::begin_loop_carried`] takes the
+//! initial values, and [`IrBuilder::end_loop_carried`] takes the
+//! next-iteration values; the final values are read back after the loop
+//! through [`Op::Result`]. The register allocator coalesces each
+//! parameter with its initial and next-iteration values wherever that
+//! is sound, so lowering still emits the bare hardware-loop instruction
+//! with no copies on the back edge (see `crate::regalloc`).
+//!
 //! ```
 //! use simt_compiler::ir::IrBuilder;
 //!
@@ -170,8 +186,20 @@ pub enum Op {
     /// Shared-memory store `shared[base + off] = v`; args `[base, v]`.
     Store(u32),
     /// Zero-overhead hardware loop repeating its body region `count`
-    /// times; no args, body region attached to the instruction.
+    /// times. Args are the *initial values* of the body's block
+    /// parameters (empty for a plain loop); the body region and the
+    /// next-iteration values ([`Inst::carried`]) are attached to the
+    /// instruction.
     Loop(u32),
+    /// The `idx`-th block parameter of the enclosing loop body: the
+    /// value carried into the current iteration (the loop's `idx`-th
+    /// arg on iteration 0, its `idx`-th carried value afterwards). Only
+    /// valid as a leading instruction of a loop body.
+    Param(u32),
+    /// The final value of the enclosing loop's `idx`-th carried slot,
+    /// readable after the loop; the single arg is the [`Op::Loop`]
+    /// instruction itself.
+    Result(u32),
 }
 
 impl Op {
@@ -184,19 +212,28 @@ impl Op {
         }
     }
 
-    /// Expected operand count.
+    /// Expected operand count. [`Op::Loop`] is variadic (one arg per
+    /// block parameter); this returns its minimum of 0 and the
+    /// validator checks the real arity against the body's parameters.
     pub fn arity(&self) -> usize {
         match self {
-            Op::Const(_) | Op::Tid | Op::Ntid | Op::Loop(_) => 0,
-            Op::Un(_) | Op::Rotr(_) | Op::Load(_) => 1,
+            Op::Const(_) | Op::Tid | Op::Ntid | Op::Loop(_) | Op::Param(_) => 0,
+            Op::Un(_) | Op::Rotr(_) | Op::Load(_) | Op::Result(_) => 1,
             Op::Bin(_) | Op::MulShr(_) | Op::ShAdd(_) | Op::Cmp(_) | Op::Store(_) => 2,
             Op::Mad | Op::Select => 3,
         }
     }
 
     /// True for ops with no side effects (eligible for CSE / DCE).
+    /// Block parameters and loop results are excluded even though they
+    /// compute nothing: two `Param(0)` instructions of *different*
+    /// loops would otherwise value-number equal, and liveness for both
+    /// is decided by their owning loop, not by ordinary use marking.
     pub fn is_pure(&self) -> bool {
-        !matches!(self, Op::Load(_) | Op::Store(_) | Op::Loop(_))
+        !matches!(
+            self,
+            Op::Load(_) | Op::Store(_) | Op::Loop(_) | Op::Param(_) | Op::Result(_)
+        )
     }
 
     /// A small stable tag for content hashing.
@@ -216,6 +253,8 @@ impl Op {
             Op::Load(_) => 64,
             Op::Store(_) => 65,
             Op::Loop(_) => 66,
+            Op::Param(_) => 67,
+            Op::Result(_) => 68,
         }
     }
 
@@ -226,6 +265,7 @@ impl Op {
             Op::MulShr(s) | Op::ShAdd(s) | Op::Rotr(s) => *s,
             Op::Load(o) | Op::Store(o) => *o,
             Op::Loop(c) => *c,
+            Op::Param(i) | Op::Result(i) => *i,
             _ => 0,
         }
     }
@@ -254,6 +294,10 @@ pub struct Inst {
     pub guard: Option<IrGuard>,
     /// Body region (loops only).
     pub body: Option<Vec<ValueId>>,
+    /// Next-iteration values of the body's block parameters, one per
+    /// [`Op::Param`], read at the end of every iteration (loops only;
+    /// `None` for plain loops).
+    pub carried: Option<Vec<ValueId>>,
 }
 
 impl Inst {
@@ -264,6 +308,7 @@ impl Inst {
             scale: None,
             guard: None,
             body: None,
+            carried: None,
         }
     }
 }
@@ -341,9 +386,25 @@ impl Kernel {
         walk(self, &self.body.clone(), &mut f);
     }
 
+    /// The leading [`Op::Param`] instructions of a loop's body region,
+    /// in declaration order (empty for plain loops or non-loop values).
+    pub fn loop_params(&self, v: ValueId) -> Vec<ValueId> {
+        match &self.inst(v).body {
+            Some(body) => body
+                .iter()
+                .copied()
+                .take_while(|&p| matches!(self.inst(p).op, Op::Param(_)))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
     /// Structural validation: arity, operand types, attribute ranges,
-    /// and SSA dominance (every use is preceded by its definition in the
-    /// same or an enclosing region).
+    /// SSA dominance (every use is preceded by its definition in the
+    /// same or an enclosing region), and the block-parameter contract
+    /// on loops (params lead the body with sequential indices; the
+    /// loop's args and carried list both match them in count and type;
+    /// carried values are visible at the end of the body).
     pub fn validate(&self) -> Result<(), CompileError> {
         fn bad(v: ValueId, detail: String) -> CompileError {
             CompileError::Malformed { value: v.0, detail }
@@ -352,11 +413,13 @@ impl Kernel {
             k: &Kernel,
             region: &[ValueId],
             visible: &mut Vec<ValueId>,
+            sanctioned_params: &[ValueId],
+            carried: Option<&[ValueId]>,
         ) -> Result<(), CompileError> {
             let scope_base = visible.len();
             for &v in region {
                 let inst = k.inst(v);
-                if inst.args.len() != inst.op.arity() {
+                if !matches!(inst.op, Op::Loop(_)) && inst.args.len() != inst.op.arity() {
                     return Err(bad(
                         v,
                         format!(
@@ -373,6 +436,11 @@ impl Kernel {
                     }
                     let want = match (&inst.op, i) {
                         (Op::Select, 2) => Ty::Pred,
+                        (Op::Result(_), 0) => {
+                            // The operand is the loop itself, checked
+                            // structurally below instead of by type.
+                            continue;
+                        }
                         _ => Ty::Word,
                     };
                     if k.ty(a) != want {
@@ -418,7 +486,86 @@ impl Kernel {
                         if body.is_empty() {
                             return Err(bad(v, "loop body is empty".into()));
                         }
-                        walk(k, body, visible)?;
+                        // Block-parameter contract: params lead the
+                        // body with sequential indices, and the loop's
+                        // args (initial values) and carried list (next-
+                        // iteration values) both match them in count.
+                        let params = k.loop_params(v);
+                        for (i, &p) in params.iter().enumerate() {
+                            if k.inst(p).op != Op::Param(i as u32) {
+                                return Err(bad(
+                                    p,
+                                    format!(
+                                        "loop param {i} is {:?}, want Param({i})",
+                                        k.inst(p).op
+                                    ),
+                                ));
+                            }
+                        }
+                        if body[params.len()..]
+                            .iter()
+                            .any(|&b| matches!(k.inst(b).op, Op::Param(_)))
+                        {
+                            return Err(bad(v, "block parameters must lead the loop body".into()));
+                        }
+                        if inst.args.len() != params.len() {
+                            return Err(bad(
+                                v,
+                                format!(
+                                    "loop has {} initial values for {} block parameters",
+                                    inst.args.len(),
+                                    params.len()
+                                ),
+                            ));
+                        }
+                        let carried_len = inst.carried.as_ref().map_or(0, Vec::len);
+                        if carried_len != params.len() {
+                            return Err(bad(
+                                v,
+                                format!(
+                                    "loop has {} carried values for {} block parameters",
+                                    carried_len,
+                                    params.len()
+                                ),
+                            ));
+                        }
+                        walk(k, body, visible, &params, inst.carried.as_deref())?;
+                    }
+                    Op::Param(_) => {
+                        if !sanctioned_params.contains(&v) {
+                            return Err(bad(
+                                v,
+                                "block parameter outside a loop body's leading positions".into(),
+                            ));
+                        }
+                        if inst.guard.is_some() || inst.scale.is_some() {
+                            return Err(bad(
+                                v,
+                                "block parameters cannot carry a guard or thread scale".into(),
+                            ));
+                        }
+                    }
+                    Op::Result(idx) => {
+                        let target = inst.args[0];
+                        if !matches!(k.inst(target).op, Op::Loop(_)) {
+                            return Err(bad(v, format!("result operand {target} is not a loop")));
+                        }
+                        if idx as usize >= k.loop_params(target).len() {
+                            return Err(bad(
+                                v,
+                                format!(
+                                    "result index {idx} out of range for a loop with {} \
+                                     block parameters",
+                                    k.loop_params(target).len()
+                                ),
+                            ));
+                        }
+                        if inst.guard.is_some() || inst.scale.is_some() {
+                            return Err(bad(
+                                v,
+                                "loop results cannot carry a guard or thread scale".into(),
+                            ));
+                        }
                     }
                     _ => {
                         if inst.body.is_some() {
@@ -426,7 +573,26 @@ impl Kernel {
                         }
                     }
                 }
+                if !matches!(inst.op, Op::Loop(_)) && inst.carried.is_some() {
+                    return Err(bad(v, "only loops carry next-iteration values".into()));
+                }
                 visible.push(v);
+            }
+            // The carried values are read at the end of every
+            // iteration, while this region's definitions are still in
+            // scope; check them here, before the scope closes.
+            if let Some(cs) = carried {
+                for (i, &c) in cs.iter().enumerate() {
+                    if !visible.contains(&c) {
+                        return Err(bad(
+                            c,
+                            format!("carried value {i} ({c}) is not visible at the back edge"),
+                        ));
+                    }
+                    if k.ty(c) != Ty::Word {
+                        return Err(bad(c, format!("carried value {i} ({c}) is not a Word")));
+                    }
+                }
             }
             // Values defined in this region go out of scope with it (a
             // loop body's definitions are invisible after the loop).
@@ -434,7 +600,7 @@ impl Kernel {
             Ok(())
         }
         let mut visible = Vec::new();
-        walk(self, &self.body, &mut visible)
+        walk(self, &self.body, &mut visible, &[], None)
     }
 
     /// Canonical byte serialization of the kernel plus the processor
@@ -483,6 +649,17 @@ impl Kernel {
                 }
                 if let Some(body) = &inst.body {
                     walk(k, body, dense, out);
+                    // Carried values reference body definitions, so
+                    // their dense ids only exist after the body walk.
+                    match &inst.carried {
+                        Some(cs) => {
+                            put(out, 0x400 | cs.len() as u32);
+                            for c in cs {
+                                put(out, dense[c]);
+                            }
+                        }
+                        None => put(out, 0),
+                    }
                 }
             }
             put(out, 0xBE61_FFFF); // region close
@@ -540,6 +717,13 @@ impl fmt::Display for Kernel {
                 writeln!(f)?;
                 if let Some(body) = &inst.body {
                     render(k, body, indent + 2, f)?;
+                    if let Some(cs) = &inst.carried {
+                        write!(f, "{:indent$}next", "", indent = indent + 2)?;
+                        for c in cs {
+                            write!(f, " {c}")?;
+                        }
+                        writeln!(f)?;
+                    }
                 }
             }
             Ok(())
@@ -560,8 +744,9 @@ pub struct IrBuilder {
     insts: Vec<Inst>,
     /// Region stack: `regions[0]` is the root, the top receives pushes.
     regions: Vec<Vec<ValueId>>,
-    /// Loop instructions owning the open regions above the root.
-    open_loops: Vec<ValueId>,
+    /// Loop instructions owning the open regions above the root, with
+    /// their block-parameter counts.
+    open_loops: Vec<(ValueId, usize)>,
     pending_scale: Option<u8>,
     pending_guard: Option<IrGuard>,
 }
@@ -681,29 +866,94 @@ impl IrBuilder {
         self.push(Op::Store(off), vec![base, v]);
     }
 
-    /// Open a zero-overhead hardware loop repeating `count` times.
+    /// Open a zero-overhead hardware loop repeating `count` times, with
+    /// no loop-carried values. Close it with [`IrBuilder::end_loop`].
     ///
     /// # Panics
     /// If a scale or guard is pending: the hardware loop is uniform
     /// control flow and cannot be masked per lane.
     pub fn begin_loop(&mut self, count: u32) {
+        self.begin_loop_carried(count, &[]);
+    }
+
+    /// Open a hardware loop whose body carries `inits.len()` values
+    /// across iterations, returning the body's block parameters (the
+    /// per-iteration values). On iteration 0 each parameter holds its
+    /// entry in `inits`; afterwards it holds the matching value passed
+    /// to [`IrBuilder::end_loop_carried`].
+    ///
+    /// ```
+    /// use simt_compiler::ir::IrBuilder;
+    ///
+    /// // shared[tid + 64] = Σ_{i<8} shared[tid] (a carried accumulator)
+    /// let mut b = IrBuilder::new("acc8");
+    /// let tid = b.tid();
+    /// let zero = b.iconst(0);
+    /// let p = b.begin_loop_carried(8, &[zero]);   // p[0]: the running sum
+    /// let x = b.load(tid, 0);
+    /// let next = b.add(p[0], x);
+    /// let r = b.end_loop_carried(&[next]);        // r[0]: the final sum
+    /// b.store(tid, 64, r[0]);
+    /// let kernel = b.finish();
+    /// assert!(kernel.validate().is_ok());
+    /// ```
+    ///
+    /// # Panics
+    /// If a scale or guard is pending (loops are uniform control flow).
+    pub fn begin_loop_carried(&mut self, count: u32, inits: &[ValueId]) -> Vec<ValueId> {
         assert!(
             self.pending_scale.is_none() && self.pending_guard.is_none(),
             "loops are uniform control flow and cannot carry a guard or thread scale"
         );
-        let v = self.push(Op::Loop(count & 0xFFFF), vec![]);
-        self.open_loops.push(v);
+        let v = self.push(Op::Loop(count & 0xFFFF), inits.to_vec());
+        self.open_loops.push((v, inits.len()));
         self.regions.push(Vec::new());
+        (0..inits.len())
+            .map(|i| self.push(Op::Param(i as u32), vec![]))
+            .collect()
     }
 
     /// Close the innermost open loop.
     ///
     /// # Panics
-    /// If no loop is open.
+    /// If no loop is open, or the open loop declared block parameters
+    /// (close those with [`IrBuilder::end_loop_carried`]).
     pub fn end_loop(&mut self) {
-        let v = self.open_loops.pop().expect("end_loop without begin_loop");
+        let &(_, n) = self.open_loops.last().expect("end_loop without begin_loop");
+        assert_eq!(
+            n, 0,
+            "loop carries {n} value(s); close with end_loop_carried"
+        );
+        self.end_loop_carried(&[]);
+    }
+
+    /// Close the innermost open loop, passing the next-iteration value
+    /// of each block parameter, and return the loop's results (the
+    /// final carried values, visible after the loop).
+    ///
+    /// # Panics
+    /// If no loop is open, `carried.len()` does not match the loop's
+    /// parameter count, or a scale or guard is pending.
+    pub fn end_loop_carried(&mut self, carried: &[ValueId]) -> Vec<ValueId> {
+        assert!(
+            self.pending_scale.is_none() && self.pending_guard.is_none(),
+            "loop results cannot carry a guard or thread scale"
+        );
+        let (v, n) = self.open_loops.pop().expect("end_loop without begin_loop");
+        assert_eq!(
+            carried.len(),
+            n,
+            "loop declared {n} block parameter(s), got {} carried value(s)",
+            carried.len()
+        );
         let body = self.regions.pop().expect("loop body region");
         self.insts[v.index()].body = Some(body);
+        if n > 0 {
+            self.insts[v.index()].carried = Some(carried.to_vec());
+        }
+        (0..n)
+            .map(|i| self.push(Op::Result(i as u32), vec![v]))
+            .collect()
     }
 
     /// Finish the kernel.
@@ -879,6 +1129,110 @@ mod tests {
             negate: false,
         });
         assert!(matches!(k.validate(), Err(CompileError::Malformed { .. })));
+    }
+
+    #[test]
+    fn carried_loops_build_and_validate() {
+        // acc over 8 iterations, plus a walking index: two carried slots.
+        let mut b = IrBuilder::new("acc");
+        let tid = b.tid();
+        let zero = b.iconst(0);
+        let p = b.begin_loop_carried(8, &[zero, tid]);
+        let x = b.load(p[1], 0);
+        let acc2 = b.add(p[0], x);
+        let one = b.iconst(1);
+        let idx2 = b.add(p[1], one);
+        let r = b.end_loop_carried(&[acc2, idx2]);
+        b.store(tid, 64, r[0]);
+        let k = b.finish();
+        assert!(k.validate().is_ok(), "\n{k}");
+        assert_eq!(k.ty(p[0]), Ty::Word);
+        assert_eq!(k.ty(r[1]), Ty::Word);
+        let s = k.to_string();
+        assert!(s.contains("next"), "{s}");
+        assert!(s.contains("Param(0)"), "{s}");
+        assert!(s.contains("Result(1)"), "{s}");
+    }
+
+    #[test]
+    fn carried_arity_mismatches_are_rejected() {
+        // A carried list on a loop with no block parameters.
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        b.begin_loop(4);
+        b.store(tid, 0, tid);
+        b.end_loop();
+        let mut k = b.finish();
+        let loop_id = k.body[1];
+        k.inst_mut(loop_id).carried = Some(vec![tid]);
+        assert!(matches!(k.validate(), Err(CompileError::Malformed { .. })));
+
+        // An initial value without a matching parameter.
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        b.begin_loop(4);
+        b.store(tid, 0, tid);
+        b.end_loop();
+        let mut k = b.finish();
+        let loop_id = k.body[1];
+        k.inst_mut(loop_id).args = vec![tid];
+        assert!(matches!(k.validate(), Err(CompileError::Malformed { .. })));
+    }
+
+    #[test]
+    fn params_outside_loop_bodies_are_rejected() {
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        b.store(tid, 0, tid);
+        let mut k = b.finish();
+        let p = k.append_inst(Op::Param(0), vec![]);
+        k.body.push(p);
+        assert!(matches!(k.validate(), Err(CompileError::Malformed { .. })));
+    }
+
+    #[test]
+    fn carried_values_must_be_visible_at_the_back_edge() {
+        // Carried value defined inside a *nested* loop: out of scope at
+        // the outer back edge.
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        let zero = b.iconst(0);
+        let p = b.begin_loop_carried(4, &[zero]);
+        b.begin_loop(2);
+        let inner = b.load(tid, 0);
+        b.store(tid, 0, inner);
+        b.end_loop();
+        let r = b.end_loop_carried(&[p[0]]);
+        b.store(tid, 64, r[0]);
+        let mut k = b.finish();
+        let outer = k.body[2];
+        k.inst_mut(outer).carried = Some(vec![inner]);
+        assert!(matches!(k.validate(), Err(CompileError::Malformed { .. })));
+    }
+
+    #[test]
+    fn carried_lists_reach_the_content_hash() {
+        let build = |swap: bool| {
+            let mut b = IrBuilder::new("t");
+            let tid = b.tid();
+            let zero = b.iconst(0);
+            let p = b.begin_loop_carried(4, &[zero, tid]);
+            let a2 = b.add(p[0], p[1]);
+            let i2 = b.add(p[1], p[0]);
+            let r = if swap {
+                b.end_loop_carried(&[i2, a2])
+            } else {
+                b.end_loop_carried(&[a2, i2])
+            };
+            b.store(tid, 0, r[0]);
+            b.finish()
+        };
+        let cfg = ProcessorConfig::default();
+        assert_ne!(
+            build(false).content_hash(&cfg),
+            build(true).content_hash(&cfg),
+            "swapping the carried order must change the hash"
+        );
     }
 
     #[test]

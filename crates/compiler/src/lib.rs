@@ -10,16 +10,24 @@
 //! * [`ir`] — a small **SSA kernel IR**: typed values ([`Ty`]), ops
 //!   covering the full ALU / memory / predicate surface, and nested
 //!   regions that map one-to-one onto the ISA's zero-overhead hardware
-//!   loops. Built with [`IrBuilder`].
+//!   loops — including **loop-carried values** as Cranelift-style block
+//!   parameters ([`IrBuilder::begin_loop_carried`]), which is what lets
+//!   `matmul`/`iir` compile instead of being hand-scheduled. Built with
+//!   [`IrBuilder`].
 //! * [`passes`] — an **optimization pipeline** (constant folding with
 //!   bit-exact datapath semantics, strength reduction of multiplies
 //!   into the barrel-replacement shifter and of address adds into
-//!   `lds`/`sts` offset fields, dominator-scoped CSE, DCE), iterated to
-//!   a fixpoint with per-pass before/after statistics
-//!   ([`PipelineReport`]).
+//!   `lds`/`sts` offset fields, loop-invariant code motion out of
+//!   hardware-loop bodies, dominator-scoped CSE, store-to-load
+//!   forwarding, `mad` fusion, DCE), iterated to a fixpoint, then a
+//!   final **load/store schedule** for the cycle model — all with
+//!   per-pass before/after statistics ([`PipelineReport`]).
 //! * [`regalloc`] — **linear-scan register allocation** over SSA live
-//!   ranges. The register file is fixed hardware, so exhaustion is a
-//!   typed [`CompileError::OutOfRegisters`], never a spill.
+//!   ranges, with loop-carried coalescing: each block parameter shares
+//!   one register with its initial, carried and result values wherever
+//!   sound, so lowered loops carry no copies on the back edge. The
+//!   register file is fixed hardware, so exhaustion is a typed
+//!   [`CompileError::OutOfRegisters`], never a spill.
 //! * [`lower`] — instruction selection (immediate forms for constant
 //!   operands) and emission of a [`simt_isa::Program`] through the
 //!   existing [`simt_isa::KernelBuilder`].
@@ -49,6 +57,12 @@
 //! let out = compile(&kernel, &cfg, OptLevel::Full).unwrap();
 //! assert_eq!(out.program.len(), 6); // stid, lds, muli, addi, sts, exit
 //! ```
+//!
+//! `docs/COMPILER.md` at the repository root walks the whole pipeline
+//! with worked examples (saxpy stage by stage, the loop-carried
+//! matmul).
+
+#![warn(missing_docs)]
 
 pub mod analysis;
 pub mod cache;
@@ -63,7 +77,10 @@ pub use cache::CompileCache;
 pub use error::CompileError;
 pub use ir::{BinOp, CmpOp, IrBuilder, Kernel, Op, Ty, UnOp, ValueId};
 pub use lower::{compile, CompiledKernel, OptLevel};
-pub use passes::{elide_stores, forward_stores, mad_fuse, optimize, PassStats, PipelineReport};
+pub use passes::{
+    const_fold, cse, dce, elide_stores, forward_stores, licm, mad_fuse, optimize, schedule_mem,
+    strength_reduce, PassStats, PipelineReport,
+};
 pub use stitch::{concat_kernels, fuse_kernels, FuseReport};
 
 use simt_core::ProcessorConfig;

@@ -114,7 +114,9 @@ fn inline_slot(k: &Kernel, inst: &Inst) -> Option<usize> {
 }
 
 /// Constants that must be materialized with `movi` (some use is not an
-/// immediate position), plus every non-constant word value.
+/// immediate position), plus every non-constant word value. Carried
+/// values are read by the back-edge copies, so constants referenced by
+/// a carried list need a register too.
 fn select_materialized(k: &Kernel) -> HashSet<ValueId> {
     let mut mat = HashSet::new();
     k.for_each_inst(|v, inst| {
@@ -125,6 +127,13 @@ fn select_materialized(k: &Kernel) -> HashSet<ValueId> {
         for (i, &a) in inst.args.iter().enumerate() {
             if k.as_const(a).is_some() && slot != Some(i) {
                 mat.insert(a);
+            }
+        }
+        if let Some(cs) = &inst.carried {
+            for &c in cs {
+                if k.as_const(c).is_some() {
+                    mat.insert(c);
+                }
             }
         }
     });
@@ -139,6 +148,10 @@ fn region_emits(k: &Kernel, region: &[ValueId], mat: &HashSet<ValueId>) -> bool 
         let inst = k.inst(v);
         match &inst.op {
             Op::Const(_) => mat.contains(&v),
+            // Params and results are register names, not instructions;
+            // a loop with carried values still emits its back-edge
+            // copies, which `emit_region` accounts for separately.
+            Op::Param(_) | Op::Result(_) => false,
             Op::Loop(_) => inst
                 .body
                 .as_ref()
@@ -146,6 +159,43 @@ fn region_emits(k: &Kernel, region: &[ValueId], mat: &HashSet<ValueId>) -> bool 
             _ => true,
         }
     })
+}
+
+/// Order a parallel-copy set (`dst ← src`, all conceptually
+/// simultaneous) into sequential `mov`s: self-copies drop, a copy whose
+/// destination no other pending copy still reads goes next, and a
+/// cyclic permutation is broken by parking one destination's old value
+/// in the loop's scratch register (reserved by the allocator exactly
+/// when a cycle exists).
+fn sequence_copies(
+    pairs: Vec<(u8, u8)>,
+    scratch: Option<u8>,
+    loop_v: ValueId,
+) -> Result<Vec<(u8, u8)>, CompileError> {
+    let mut pending: Vec<(u8, u8)> = pairs.into_iter().filter(|(d, s)| d != s).collect();
+    let mut out = Vec::with_capacity(pending.len());
+    while !pending.is_empty() {
+        if let Some(i) = pending
+            .iter()
+            .position(|&(d, _)| !pending.iter().any(|&(_, s)| s == d))
+        {
+            out.push(pending.remove(i));
+        } else {
+            // Every destination is still read by another copy: a cycle.
+            let t = scratch.ok_or(CompileError::Malformed {
+                value: loop_v.0,
+                detail: "cyclic copy set without a scratch register".into(),
+            })?;
+            let (d, _) = pending[0];
+            out.push((t, d)); // park d's old value
+            for p in pending.iter_mut() {
+                if p.1 == d {
+                    p.1 = t;
+                }
+            }
+        }
+    }
+    Ok(out)
 }
 
 fn emit_region(
@@ -159,11 +209,43 @@ fn emit_region(
         let inst = k.inst(v);
         if let Op::Loop(count) = inst.op {
             let body = inst.body.as_ref().expect("validated loop body");
-            if !region_emits(k, body, mat) {
+            let params = k.loop_params(v);
+            let scratch = alloc.loop_scratch.get(&v).copied();
+
+            // Entry copies: parameter registers take their initial
+            // values. Coalesced slots vanish (dst == src); the rest run
+            // as a sequenced parallel-copy set before the loop opens —
+            // they are needed even if the loop body emits nothing (the
+            // results still read the parameter registers).
+            let entry: Vec<(u8, u8)> = params
+                .iter()
+                .zip(&inst.args)
+                .map(|(&p, &init)| Ok((reg(alloc, p)?, reg(alloc, init)?)))
+                .collect::<Result<_, CompileError>>()?;
+            for (d, s) in sequence_copies(entry, scratch, v)? {
+                b.emit_instruction(Instruction::new(Opcode::Mov).rd(d).ra(s));
+            }
+
+            // Back-edge copies: non-coalesced carried slots rotate into
+            // the parameter registers at the end of every iteration.
+            let carried = inst.carried.clone().unwrap_or_default();
+            let back: Vec<(u8, u8)> = params
+                .iter()
+                .zip(&carried)
+                .map(|(&p, &c)| Ok((reg(alloc, p)?, reg(alloc, c)?)))
+                .collect::<Result<_, CompileError>>()?;
+            let back = sequence_copies(back, scratch, v)?;
+
+            if !region_emits(k, body, mat) && back.is_empty() {
+                // Nothing repeats: the parameters keep their entry
+                // values, which is exactly the final state.
                 continue;
             }
             let open = b.begin_loop(count);
             emit_region(k, body, b, alloc, mat)?;
+            for (d, s) in back {
+                b.emit_instruction(Instruction::new(Opcode::Mov).rd(d).ra(s));
+            }
             b.end_loop(open);
             continue;
         }
@@ -260,6 +342,9 @@ fn build_instruction(
     let inst = k.inst(v);
     let args = &inst.args;
     let mut mi = match &inst.op {
+        // Params and results are names for registers the allocator has
+        // already placed; they emit nothing themselves.
+        Op::Param(_) | Op::Result(_) => return Ok(None),
         Op::Const(c) => {
             if !mat.contains(&v) {
                 return Ok(None);
@@ -483,6 +568,153 @@ mod tests {
         }
         // A roomier file compiles the same kernel.
         assert!(compile(&k, &cfg().with_regs_per_thread(64), OptLevel::Full).is_ok());
+    }
+
+    fn run_words(
+        k: &Kernel,
+        cfg: &ProcessorConfig,
+        opt: OptLevel,
+        out_off: usize,
+        out_len: usize,
+    ) -> Vec<u32> {
+        let compiled = compile(k, cfg, opt).unwrap();
+        let mut cpu = simt_core::Processor::new(cfg.clone()).unwrap();
+        cpu.load_program(&compiled.program).unwrap();
+        cpu.run(simt_core::RunOptions::default()).unwrap();
+        cpu.shared().read_words(out_off, out_len).unwrap()
+    }
+
+    #[test]
+    fn carried_accumulator_lowers_without_backedge_copies() {
+        // Σ_{i<8} shared[tid]: the accumulator must live in ONE register
+        // updated in place — no `mov` anywhere in the program.
+        let mut b = IrBuilder::new("acc");
+        let tid = b.tid();
+        let zero = b.iconst(0);
+        let p = b.begin_loop_carried(8, &[zero]);
+        let x = b.load(tid, 0);
+        let next = b.add(p[0], x);
+        let r = b.end_loop_carried(&[next]);
+        b.store(tid, 64, r[0]);
+        let k = b.finish();
+        let out = compile(&k, &cfg(), OptLevel::Full).unwrap();
+        let movs = out
+            .program
+            .instructions()
+            .iter()
+            .filter(|i| i.opcode == Opcode::Mov)
+            .count();
+        assert_eq!(movs, 0, "\n{}", disassemble(&out.program));
+        // And it computes 8 * shared[tid] = 0 bit-exactly on the core
+        // (shared memory starts zeroed, so seed via the accumulator).
+        let words = run_words(&k, &cfg(), OptLevel::Full, 64, 4);
+        assert_eq!(words, vec![0; 4]);
+    }
+
+    #[test]
+    fn state_rotation_emits_ordered_backedge_movs() {
+        // y[i] = x[i-1] (a one-sample delay line): carried chain
+        // x1' = x0, x2' = x1 — the x2 copy must read x1 *before* the
+        // x1 copy overwrites it, exactly the hand-written `mov` order.
+        let mut b = IrBuilder::new("delay");
+        let tid = b.tid();
+        let z0 = b.iconst(0);
+        let p = b.begin_loop_carried(4, &[z0, z0]);
+        let x0 = b.load(tid, 0);
+        b.store(tid, 64, p[0]); // previous iteration's sample
+        b.store(tid, 128, p[1]); // the sample before that
+        let _ = b.end_loop_carried(&[x0, p[0]]);
+        b.store(tid, 192, tid);
+        let k = b.finish();
+        let out = compile(&k, &cfg(), OptLevel::Full).unwrap();
+        let asm = disassemble(&out.program);
+        // One entry copy (both params share the zero init) plus the two
+        // back-edge rotation movs.
+        let movs: Vec<&Instruction> = out
+            .program
+            .instructions()
+            .iter()
+            .filter(|i| i.opcode == Opcode::Mov)
+            .collect();
+        assert_eq!(movs.len(), 3, "entry copy + two back-edge movs\n{asm}");
+        // The back-edge chain must run oldest-first: x2 <- x1, then
+        // x1 <- x0.
+        let back = &movs[1..];
+        assert_eq!(back[0].ra, back[1].rd, "rotation order\n{asm}");
+    }
+
+    #[test]
+    fn swap_loops_sequence_through_the_scratch_register() {
+        // carried = [p1, p0] over 3 iterations starting from (1, 2):
+        // an odd number of swaps lands on (2, 1).
+        let mut b = IrBuilder::new("swap");
+        let tid = b.tid();
+        let a0 = b.iconst(1);
+        let b0 = b.iconst(2);
+        let p = b.begin_loop_carried(3, &[a0, b0]);
+        b.store(tid, 0, p[0]);
+        let r = b.end_loop_carried(&[p[1], p[0]]);
+        b.store(tid, 64, r[0]);
+        b.store(tid, 128, r[1]);
+        let k = b.finish();
+        for opt in [OptLevel::None, OptLevel::Full] {
+            let words = run_words(&k, &cfg(), opt, 64, 1);
+            assert_eq!(words[0], 2, "{opt:?}: a after 3 swaps");
+            let words = run_words(&k, &cfg(), opt, 128, 1);
+            assert_eq!(words[0], 1, "{opt:?}: b after 3 swaps");
+        }
+    }
+
+    #[test]
+    fn swapped_results_seeding_a_second_loop_compile_and_run() {
+        // Regression: loop B seeded with loop A's results in *swapped*
+        // order. A's result registers expire at B's header, and
+        // without the init live-range extension the linear scan could
+        // hand them to B's params crossed — turning B's entry copies
+        // into a register cycle with no scratch reserved (back-edge
+        // cycle detection never sees entry sets). Must compile at both
+        // opt levels and compute (1+2)+2 / (2+2)+2 swapped.
+        let mut b = IrBuilder::new("seed_swap");
+        let tid = b.tid();
+        let c1 = b.iconst(1);
+        let c2 = b.iconst(2);
+        let one = b.iconst(1);
+        let p = b.begin_loop_carried(2, &[c1, c2]);
+        let a2 = b.add(p[0], one);
+        let b2 = b.add(p[1], one);
+        let r = b.end_loop_carried(&[a2, b2]);
+        let q = b.begin_loop_carried(2, &[r[1], r[0]]); // swapped seeds
+        let qa = b.add(q[0], one);
+        let qb = b.add(q[1], one);
+        let s = b.end_loop_carried(&[qa, qb]);
+        b.store(tid, 64, s[0]);
+        b.store(tid, 128, s[1]);
+        let k = b.finish();
+        for opt in [OptLevel::None, OptLevel::Full] {
+            let a = run_words(&k, &cfg(), opt, 64, 1)[0];
+            let bb = run_words(&k, &cfg(), opt, 128, 1)[0];
+            assert_eq!((a, bb), (6, 5), "{opt:?}");
+        }
+    }
+
+    #[test]
+    fn loop_results_read_the_final_value_after_the_loop() {
+        // A walking index: idx starts at tid, adds 3 per iteration; the
+        // result after 5 iterations is tid + 15.
+        let mut b = IrBuilder::new("walk");
+        let tid = b.tid();
+        let p = b.begin_loop_carried(5, &[tid]);
+        let three = b.iconst(3);
+        let next = b.add(p[0], three);
+        let r = b.end_loop_carried(&[next]);
+        b.store(tid, 64, r[0]);
+        let k = b.finish();
+        for opt in [OptLevel::None, OptLevel::Full] {
+            let words = run_words(&k, &cfg(), opt, 64, 8);
+            for (t, &w) in words.iter().enumerate() {
+                assert_eq!(w, t as u32 + 15, "{opt:?}: thread {t}");
+            }
+        }
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The optimization pipeline: constant folding, strength reduction,
-//! common-subexpression elimination, store-to-load forwarding,
-//! `mad` fusion and dead-code elimination, with per-pass before/after
-//! instruction counts.
+//! loop-invariant code motion, common-subexpression elimination,
+//! store-to-load forwarding, `mad` fusion, dead-code elimination and a
+//! final load/store schedule, with per-pass before/after instruction
+//! counts.
 //!
 //! Frontends are encouraged to emit clear, mechanical IR (explicit
 //! address arithmetic, one constant per use); these passes recover the
@@ -11,6 +12,26 @@
 
 use crate::ir::{BinOp, Kernel, Op, UnOp, ValueId};
 use std::collections::HashMap;
+
+/// Architectural thread ceiling (the ISA's 1024-thread limit), used as
+/// a sound over-approximation wherever a pass needs address ranges but
+/// has no [`simt_core::ProcessorConfig`] in hand: every real build runs
+/// at most this many threads, so ranges computed at the ceiling are
+/// supersets of the real access sets and disjointness decided on them
+/// holds for any configuration.
+const MAX_THREADS: usize = 1024;
+
+/// Positions a load may climb toward its operands' definitions in the
+/// final schedule. Enough to put two ALU operations between a load and
+/// its first use (the depth the 16:4 read mux needs covering), small
+/// enough that load results never pile up on the spill-free register
+/// file.
+const MAX_LOAD_HOIST: usize = 3;
+
+/// Positions a store may sink to join the next store of its thread
+/// scale. Bounds the live-range extension of the stored value the same
+/// way [`MAX_LOAD_HOIST`] bounds load results.
+const MAX_STORE_SINK: usize = 4;
 
 /// Before/after instruction counts of one pass invocation.
 #[derive(Debug, Clone)]
@@ -62,6 +83,7 @@ pub fn optimize(k: &mut Kernel) -> PipelineReport {
     let passes: &[(&'static str, Pass)] = &[
         ("const-fold", const_fold),
         ("strength-reduce", strength_reduce),
+        ("licm", licm),
         ("cse", cse),
         ("store-forward", forward_stores),
         ("mad-fuse", mad_fuse),
@@ -84,6 +106,17 @@ pub fn optimize(k: &mut Kernel) -> PipelineReport {
             break;
         }
     }
+    // The load/store schedule runs once, after the rewriting passes
+    // settle: it only reorders, so nothing upstream can profit from
+    // re-running on its output.
+    let before = k.live_insts();
+    let changed = schedule_mem(k);
+    report.passes.push(PassStats {
+        pass: "ls-sched",
+        insts_before: before,
+        insts_after: k.live_insts(),
+        changed,
+    });
     report.insts_after = k.live_insts();
     report
 }
@@ -168,6 +201,19 @@ fn rewrite_args(k: &mut Kernel, v: ValueId, replace: &HashMap<ValueId, ValueId>)
     }
 }
 
+/// Apply a replacement map to a loop's carried list. Carried values are
+/// defined *inside* the body, so this must run after the body walk has
+/// populated `replace` — unlike args, which are rewritten on entry.
+fn rewrite_carried(k: &mut Kernel, v: ValueId, replace: &HashMap<ValueId, ValueId>) {
+    if let Some(cs) = &mut k.inst_mut(v).carried {
+        for c in cs.iter_mut() {
+            if let Some(&r) = replace.get(c) {
+                *c = r;
+            }
+        }
+    }
+}
+
 fn fold_region(
     k: &mut Kernel,
     region: &[ValueId],
@@ -179,6 +225,7 @@ fn fold_region(
         if let Some(body) = k.inst_mut(v).body.take() {
             fold_region(k, &body, replace, changed);
             k.inst_mut(v).body = Some(body);
+            rewrite_carried(k, v, replace);
             continue;
         }
         // A guard is a write mask and a scale is a lane mask: folding
@@ -393,6 +440,7 @@ pub fn cse(k: &mut Kernel) -> bool {
                 walk(k, &body, scopes, replace, changed);
                 scopes.pop();
                 k.inst_mut(v).body = Some(body);
+                rewrite_carried(k, v, replace);
                 continue;
             }
             let inst = k.inst(v);
@@ -479,6 +527,7 @@ pub fn forward_stores(k: &mut Kernel) -> bool {
                     clobber(avail, b, o);
                 }
                 k.inst_mut(v).body = Some(body);
+                rewrite_carried(k, v, replace);
                 continue;
             }
             let inst = k.inst(v);
@@ -519,7 +568,8 @@ pub fn forward_stores(k: &mut Kernel) -> bool {
 /// immediate forms (`muli`/`addi`) anyway, and a `mad` would force a
 /// `movi` that erases the win.
 pub fn mad_fuse(k: &mut Kernel) -> bool {
-    // Global use counts (args + guards) decide single-use multiplies.
+    // Global use counts (args + guards + carried lists) decide
+    // single-use multiplies.
     let mut uses: HashMap<ValueId, usize> = HashMap::new();
     k.for_each_inst(|_, inst| {
         for &a in &inst.args {
@@ -527,6 +577,11 @@ pub fn mad_fuse(k: &mut Kernel) -> bool {
         }
         if let Some(g) = inst.guard {
             *uses.entry(g.pred).or_default() += 1;
+        }
+        if let Some(cs) = &inst.carried {
+            for &c in cs {
+                *uses.entry(c).or_default() += 1;
+            }
         }
     });
 
@@ -621,8 +676,11 @@ pub fn elide_stores(k: &mut Kernel, dead: &[(usize, usize)], threads: usize) -> 
 
 /// Remove instructions whose results are never used. Stores are the
 /// roots of liveness (a kernel's output is its memory effects); loops
-/// survive only if their bodies contain a live store; unused loads are
-/// removed (they have no memory effect, only a cycle cost).
+/// survive if their bodies contain a live store or any of their
+/// [`Op::Result`]s is live; unused loads are removed (they have no
+/// memory effect, only a cycle cost). A live loop keeps its *entire*
+/// block-parameter machinery — params, initial values and carried
+/// values — so the three lists stay index-aligned.
 pub fn dce(k: &mut Kernel) -> bool {
     use std::collections::HashSet;
 
@@ -638,29 +696,45 @@ pub fn dce(k: &mut Kernel) -> bool {
         }
     }
 
-    // Mark phase: everything an effectful instruction (transitively)
-    // reads, plus the effectful instructions themselves. Loops are kept
-    // by `effectful` rather than marking, so any guard predicate they
-    // carry must be traced explicitly or its defining compare would be
-    // swept out from under a still-live loop.
-    let mut marked: HashSet<ValueId> = HashSet::new();
+    // Seed phase: every store, plus the chain of loops enclosing it —
+    // a store inside a loop body depends on the loop's carried state
+    // for iterations past the first, so the loop (and with it the
+    // params/inits/carried lists) must be traced, not just kept.
     let mut work: Vec<ValueId> = Vec::new();
-    let mut loop_guards: Vec<(ValueId, ValueId)> = Vec::new();
-    k.for_each_inst(|v, inst| {
-        if matches!(inst.op, Op::Store(_)) {
-            work.push(v);
-        }
-        if matches!(inst.op, Op::Loop(_)) {
-            if let Some(g) = inst.guard {
-                loop_guards.push((v, g.pred));
+    let mut owner: HashMap<ValueId, ValueId> = HashMap::new(); // param -> loop
+    fn seed(
+        k: &Kernel,
+        region: &[ValueId],
+        stack: &mut Vec<ValueId>,
+        work: &mut Vec<ValueId>,
+        owner: &mut HashMap<ValueId, ValueId>,
+    ) {
+        for &v in region {
+            let inst = k.inst(v);
+            if matches!(inst.op, Op::Store(_)) {
+                work.push(v);
+                work.extend(stack.iter().copied());
+            }
+            if matches!(inst.op, Op::Param(_)) {
+                if let Some(&l) = stack.last() {
+                    owner.insert(v, l);
+                }
+            }
+            if let Some(body) = &inst.body {
+                stack.push(v);
+                seed(k, body, stack, work, owner);
+                stack.pop();
             }
         }
-    });
-    for (v, pred) in loop_guards {
-        if effectful(k, v) {
-            work.push(pred);
-        }
     }
+    let mut stack = Vec::new();
+    seed(k, k.body(), &mut stack, &mut work, &mut owner);
+
+    // Mark phase: everything a live instruction (transitively) reads.
+    // Marking a loop pulls in its initial values (args), carried values
+    // and block parameters; marking a param pulls in its owning loop;
+    // marking a result pulls in the loop through its arg.
+    let mut marked: HashSet<ValueId> = HashSet::new();
     while let Some(v) = work.pop() {
         if !marked.insert(v) {
             continue;
@@ -669,6 +743,17 @@ pub fn dce(k: &mut Kernel) -> bool {
         work.extend(inst.args.iter().copied());
         if let Some(g) = inst.guard {
             work.push(g.pred);
+        }
+        if matches!(inst.op, Op::Loop(_)) {
+            if let Some(cs) = &inst.carried {
+                work.extend(cs.iter().copied());
+            }
+            work.extend(k.loop_params(v));
+        }
+        if matches!(inst.op, Op::Param(_)) {
+            if let Some(&l) = owner.get(&v) {
+                work.push(l);
+            }
         }
     }
 
@@ -693,6 +778,278 @@ pub fn dce(k: &mut Kernel) -> bool {
     let root = std::mem::take(&mut k.body);
     k.body = sweep(k, root, &marked);
     k.live_insts() != before
+}
+
+// ---- loop-invariant code motion ---------------------------------------
+
+/// Hoist instructions out of hardware-loop bodies when every operand is
+/// defined outside the body — a loop re-executes them `count` times for
+/// the same result. Pure, unmasked instructions (constants, ALU ops,
+/// compares) hoist freely; a **load** additionally requires that no
+/// store anywhere in the body may alias it, decided with the
+/// [`crate::analysis`] address resolver at the architectural thread
+/// ceiling (a sound over-approximation — see [`MAX_THREADS`]). Masked
+/// (guarded or thread-scaled) instructions, stores, params, results and
+/// nested loops never move. Inner loops are processed first, so an
+/// invariant hoists as many levels as its operands allow per pass, and
+/// the pipeline's fixpoint iteration finishes the job.
+pub fn licm(k: &mut Kernel) -> bool {
+    let mut changed = false;
+    let root = std::mem::take(&mut k.body);
+    k.body = licm_region(k, root, &mut changed);
+    changed
+}
+
+/// All values defined anywhere in a region tree (the loop body and its
+/// nested bodies).
+fn region_defs(k: &Kernel, region: &[ValueId], defs: &mut std::collections::HashSet<ValueId>) {
+    for &v in region {
+        defs.insert(v);
+        if let Some(body) = &k.inst(v).body {
+            region_defs(k, body, defs);
+        }
+    }
+}
+
+/// The address range of every store in a region tree; `None` as soon as
+/// one store's range cannot be resolved ("may write everything").
+fn region_store_ranges(k: &Kernel, region: &[ValueId]) -> Option<Vec<(usize, usize)>> {
+    let mut out = Some(Vec::new());
+    fn walk(k: &Kernel, region: &[ValueId], out: &mut Option<Vec<(usize, usize)>>) {
+        for &v in region {
+            let inst = k.inst(v);
+            if let Op::Store(off) = inst.op {
+                match (
+                    crate::analysis::access_range(k, inst.args[0], off, MAX_THREADS),
+                    out.as_mut(),
+                ) {
+                    (Some(r), Some(list)) => list.push(r),
+                    _ => *out = None,
+                }
+            }
+            if let Some(body) = &inst.body {
+                walk(k, body, out);
+            }
+        }
+    }
+    walk(k, region, &mut out);
+    out
+}
+
+fn licm_region(k: &mut Kernel, region: Vec<ValueId>, changed: &mut bool) -> Vec<ValueId> {
+    let mut out = Vec::with_capacity(region.len());
+    for v in region {
+        let Some(body) = k.inst_mut(v).body.take() else {
+            out.push(v);
+            continue;
+        };
+        // Inner loops first: their invariants land in this body and may
+        // hoist again right below.
+        let mut body = licm_region(k, body, changed);
+
+        let mut defined = std::collections::HashSet::new();
+        region_defs(k, &body, &mut defined);
+        let store_ranges = region_store_ranges(k, &body);
+
+        loop {
+            let mut hoisted_any = false;
+            let mut remaining = Vec::with_capacity(body.len());
+            for (i, &bv) in body.iter().enumerate() {
+                // Never empty the body: a loop must keep at least one
+                // instruction to repeat.
+                let still_in_body = remaining.len() + (body.len() - i - 1);
+                if still_in_body >= 1 && hoistable(k, bv, &defined, &store_ranges) {
+                    out.push(bv);
+                    defined.remove(&bv);
+                    hoisted_any = true;
+                    *changed = true;
+                } else {
+                    remaining.push(bv);
+                }
+            }
+            body = remaining;
+            if !hoisted_any {
+                break;
+            }
+        }
+        k.inst_mut(v).body = Some(body);
+        out.push(v);
+    }
+    out
+}
+
+/// Whether one body instruction may move in front of the loop.
+fn hoistable(
+    k: &Kernel,
+    v: ValueId,
+    defined: &std::collections::HashSet<ValueId>,
+    store_ranges: &Option<Vec<(usize, usize)>>,
+) -> bool {
+    let inst = k.inst(v);
+    if inst.guard.is_some() || inst.scale.is_some() {
+        return false; // masked: executes differently per lane
+    }
+    if inst.args.iter().any(|a| defined.contains(a)) {
+        return false; // depends on per-iteration state
+    }
+    match &inst.op {
+        Op::Store(_) | Op::Loop(_) | Op::Param(_) | Op::Result(_) => false,
+        Op::Load(off) => {
+            // Safe only when provably no store in the body can touch
+            // the loaded range — then every iteration (and the hoisted
+            // position) reads the same memory.
+            let Some(range) = crate::analysis::access_range(k, inst.args[0], *off, MAX_THREADS)
+            else {
+                return false;
+            };
+            match store_ranges {
+                Some(writes) => !writes
+                    .iter()
+                    .any(|&w| crate::analysis::ranges_intersect(w, range)),
+                None => false,
+            }
+        }
+        _ => true, // pure ALU/compare/constant
+    }
+}
+
+// ---- load/store scheduling --------------------------------------------
+
+/// Schedule memory operations for the §3.1 load/store cycle model
+/// within each region, without changing any dependence:
+///
+/// * **loads hoist** toward their operands' definitions, separating
+///   them from their first use (the 16:4 read mux serves a load row in
+///   bursts; issuing loads early is free here and keeps the schedule
+///   shaped for an implementation that overlaps the mux with ALU work);
+/// * **stores cluster**: a store sinks down to join the next store of
+///   the *same* dynamic thread scale, so `.tk`-scaled writeback rows
+///   (the reduction-tree pattern) issue back to back on the 16:1 write
+///   mux instead of interleaving with ALU traffic.
+///
+/// A load never crosses a store (and vice versa) unless the
+/// [`crate::analysis`] resolver proves their ranges disjoint at the
+/// architectural thread ceiling; loops are opaque barriers; stores
+/// never cross stores. Reordering therefore never changes results —
+/// the fixed-point property tests in `simt-kernels` pin this down.
+///
+/// Motion distance is bounded ([`MAX_LOAD_HOIST`] / [`MAX_STORE_SINK`]):
+/// every position an operation moves extends a live range on a register
+/// file with **no spill path**, so unbounded motion would trade cycles
+/// the model does not even charge for `OutOfRegisters` failures on
+/// kernels that previously compiled.
+pub fn schedule_mem(k: &mut Kernel) -> bool {
+    let mut changed = false;
+    let root = std::mem::take(&mut k.body);
+    k.body = schedule_region(k, root, &mut changed);
+    changed
+}
+
+/// The half-open range a memory instruction may touch, at the thread
+/// ceiling; `None` = unknown ("may touch everything").
+fn mem_range(k: &Kernel, v: ValueId) -> Option<(usize, usize)> {
+    let inst = k.inst(v);
+    match inst.op {
+        Op::Load(off) | Op::Store(off) => {
+            crate::analysis::access_range(k, inst.args[0], off, MAX_THREADS)
+        }
+        _ => None,
+    }
+}
+
+/// Whether two memory instructions may alias (unknown ⇒ yes).
+fn may_alias(k: &Kernel, a: ValueId, b: ValueId) -> bool {
+    match (mem_range(k, a), mem_range(k, b)) {
+        (Some(ra), Some(rb)) => crate::analysis::ranges_intersect(ra, rb),
+        _ => true,
+    }
+}
+
+fn schedule_region(k: &mut Kernel, region: Vec<ValueId>, changed: &mut bool) -> Vec<ValueId> {
+    let mut order = region;
+    // Recurse into loop bodies first.
+    for &v in &order {
+        if let Some(body) = k.inst_mut(v).body.take() {
+            let body = schedule_region(k, body, changed);
+            k.inst_mut(v).body = Some(body);
+        }
+    }
+
+    // Phase A: hoist each load upward past instructions it does not
+    // depend on. Blockers: its own operands/guard, may-aliasing stores,
+    // loops (opaque memory effects), and block parameters (which must
+    // stay leading).
+    let mut i = 0;
+    while i < order.len() {
+        let v = order[i];
+        if matches!(k.inst(v).op, Op::Load(_)) {
+            let floor = i.saturating_sub(MAX_LOAD_HOIST);
+            let mut j = i;
+            while j > floor {
+                let u = order[j - 1];
+                let iu = k.inst(u);
+                let dep =
+                    k.inst(v).args.contains(&u) || k.inst(v).guard.is_some_and(|g| g.pred == u);
+                let barrier = match iu.op {
+                    Op::Loop(_) | Op::Param(_) => true,
+                    // Loads keep their relative order: crossing another
+                    // load separates nothing and would churn schedules.
+                    Op::Load(_) => true,
+                    Op::Store(_) => may_alias(k, v, u),
+                    _ => false,
+                };
+                if dep || barrier {
+                    break;
+                }
+                j -= 1;
+            }
+            if j < i {
+                let load = order.remove(i);
+                order.insert(j, load);
+                *changed = true;
+            }
+        }
+        i += 1;
+    }
+
+    // Phase B: sink each store down to join the next store of the same
+    // thread scale, when nothing in between depends on it. Stores never
+    // cross stores, so relative store order is preserved.
+    let mut i = order.len();
+    while i > 0 {
+        i -= 1;
+        let v = order[i];
+        if !matches!(k.inst(v).op, Op::Store(_)) {
+            continue;
+        }
+        // Find the next store after v, noting every blocker in between.
+        let mut target: Option<usize> = None;
+        for (jj, &u) in order.iter().enumerate().skip(i + 1) {
+            if jj - i - 1 > MAX_STORE_SINK {
+                break;
+            }
+            let iu = k.inst(u);
+            match iu.op {
+                Op::Store(_) => {
+                    if iu.scale == k.inst(v).scale {
+                        target = Some(jj);
+                    }
+                    break; // stores never cross stores
+                }
+                Op::Loop(_) | Op::Result(_) => break, // opaque / loop-final reads
+                Op::Load(_) if may_alias(k, v, u) => break,
+                _ => {}
+            }
+        }
+        if let Some(j) = target {
+            if j > i + 1 {
+                let store = order.remove(i);
+                order.insert(j - 1, store);
+                *changed = true;
+            }
+        }
+    }
+    order
 }
 
 #[cfg(test)]
@@ -1015,6 +1372,186 @@ mod tests {
             }
         });
         assert_eq!(mads, 0, "\n{k}");
+    }
+
+    #[test]
+    fn licm_hoists_invariant_work_out_of_loop_bodies() {
+        // Per-iteration: a constant, an invariant multiply and an
+        // invariant broadcast load (taps at a constant address the body
+        // never stores over). All three must hoist; the carried update
+        // and the store stay.
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        let zero = b.iconst(0);
+        let p = b.begin_loop_carried(8, &[zero]);
+        let c3 = b.iconst(3);
+        let bias = b.mul(tid, c3); // invariant: tid and const defined outside
+        let tap = b.load(zero, 2048); // broadcast, no aliasing store
+        let t1 = b.add(bias, tap);
+        let next = b.add(p[0], t1);
+        let r = b.end_loop_carried(&[next]);
+        b.store(tid, 64, r[0]);
+        let mut k = b.finish();
+        licm(&mut k);
+        assert!(k.validate().is_ok(), "\n{k}");
+        let loop_v = k
+            .body()
+            .iter()
+            .copied()
+            .find(|&v| matches!(k.inst(v).op, Op::Loop(_)))
+            .unwrap();
+        let body = k.inst(loop_v).body.clone().unwrap();
+        assert!(
+            !body.iter().any(|&v| matches!(k.inst(v).op, Op::Load(_))),
+            "invariant load must hoist:\n{k}"
+        );
+        assert!(
+            !body
+                .iter()
+                .any(|&v| matches!(k.inst(v).op, Op::Bin(BinOp::Mul))),
+            "invariant multiply must hoist:\n{k}"
+        );
+        // t1 = bias + tap is invariant too and hoists on the same pass
+        // (inner-first processing re-examines after each hoist round).
+        let adds_in_body = body
+            .iter()
+            .filter(|&&v| matches!(k.inst(v).op, Op::Bin(BinOp::Add)))
+            .count();
+        assert_eq!(adds_in_body, 1, "only the carried update stays:\n{k}");
+    }
+
+    #[test]
+    fn licm_keeps_loads_the_body_may_store_over() {
+        // The body stores through tid: a tid-based load may alias it
+        // and must stay put.
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        let zero = b.iconst(0);
+        let p = b.begin_loop_carried(4, &[zero]);
+        let x = b.load(tid, 0); // aliases the store below
+        let next = b.add(p[0], x);
+        b.store(tid, 0, next);
+        let r = b.end_loop_carried(&[next]);
+        b.store(tid, 64, r[0]);
+        let mut k = b.finish();
+        licm(&mut k);
+        let loop_v = k
+            .body()
+            .iter()
+            .copied()
+            .find(|&v| matches!(k.inst(v).op, Op::Loop(_)))
+            .unwrap();
+        let body = k.inst(loop_v).body.clone().unwrap();
+        assert!(
+            body.iter().any(|&v| matches!(k.inst(v).op, Op::Load(_))),
+            "aliasing load must stay in the body:\n{k}"
+        );
+    }
+
+    #[test]
+    fn licm_never_moves_masked_instructions() {
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        let c2 = b.iconst(2);
+        let c3 = b.iconst(3);
+        b.begin_loop(4);
+        b.scale_next(1);
+        let s = b.add(c2, c3); // invariant args, but thread-scaled
+        b.store(tid, 0, s);
+        b.end_loop();
+        let mut k = b.finish();
+        licm(&mut k);
+        let loop_v = k
+            .body()
+            .iter()
+            .copied()
+            .find(|&v| matches!(k.inst(v).op, Op::Loop(_)))
+            .unwrap();
+        let body = k.inst(loop_v).body.clone().unwrap();
+        assert!(
+            body.iter()
+                .any(|&v| matches!(k.inst(v).op, Op::Bin(BinOp::Add))),
+            "scaled instruction must stay:\n{k}"
+        );
+    }
+
+    #[test]
+    fn scheduler_separates_loads_from_their_uses() {
+        // Two independent ALU ops sit between the load's operand and
+        // the load; the load must climb above both.
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        let a = b.add(tid, tid);
+        let m = b.mul(tid, tid);
+        let x = b.load(tid, 0);
+        let s1 = b.add(x, a);
+        let s2 = b.add(s1, m);
+        b.store(tid, 64, s2);
+        let mut k = b.finish();
+        schedule_mem(&mut k);
+        assert!(k.validate().is_ok(), "\n{k}");
+        let pos = |needle: &Op| {
+            k.body()
+                .iter()
+                .position(|&v| k.inst(v).op == *needle)
+                .unwrap()
+        };
+        assert!(
+            pos(&Op::Load(0)) < pos(&Op::Bin(BinOp::Add)),
+            "load must hoist above the independent ALU ops:\n{k}"
+        );
+    }
+
+    #[test]
+    fn scheduler_clusters_equal_scale_stores() {
+        // store / pure op / store (disjoint constant addresses): the
+        // first store sinks to join the second.
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        let x = b.load(tid, 0);
+        let zero = b.iconst(0);
+        b.store(zero, 100, x);
+        let y = b.mul(x, x);
+        b.store(zero, 200, y);
+        b.store(tid, 4096, y);
+        let mut k = b.finish();
+        schedule_mem(&mut k);
+        assert!(k.validate().is_ok(), "\n{k}");
+        let stores: Vec<usize> = k
+            .body()
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| matches!(k.inst(v).op, Op::Store(_)))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(
+            stores[1] - stores[0],
+            1,
+            "first two stores must be adjacent:\n{k}"
+        );
+    }
+
+    #[test]
+    fn scheduler_respects_store_load_aliasing() {
+        // Store then aliasing load: the load must NOT climb above it.
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        let x = b.load(tid, 0);
+        b.store(tid, 64, x);
+        let y = b.load(tid, 64); // reads what the store wrote
+        b.store(tid, 128, y);
+        let mut k = b.finish();
+        schedule_mem(&mut k);
+        let body = k.body().to_vec();
+        let store_pos = body
+            .iter()
+            .position(|&v| k.inst(v).op == Op::Store(64))
+            .unwrap();
+        let load_pos = body
+            .iter()
+            .position(|&v| k.inst(v).op == Op::Load(64))
+            .unwrap();
+        assert!(store_pos < load_pos, "aliasing order must hold:\n{k}");
     }
 
     #[test]

@@ -9,9 +9,34 @@
 //! Live ranges respect the hardware-loop regions: a value defined
 //! outside a loop and used inside it is live through the *entire* loop
 //! (every iteration re-reads it), so its range extends to the loop end.
+//!
+//! ## Loop-carried coalescing
+//!
+//! A loop's block parameter, its initial value, its next-iteration
+//! (carried) value and its [`crate::ir::Op::Result`]s all want to be
+//! *one register* — that is exactly how the hand-written kernels use
+//! the hardware loop (`add r7, r7, r8` is the accumulator's carried
+//! update writing the parameter's register in place). The allocator
+//! builds a coalescing class per parameter:
+//!
+//! * the **results** always join (they are pure register reads of the
+//!   final value);
+//! * the **initial value** joins when nothing reads it at or after the
+//!   loop header, so the defining instruction can target the
+//!   parameter's register directly (`muli r4, r2, k` becomes the index
+//!   seed with no `mov`);
+//! * the **carried value** joins when it is defined in the loop body
+//!   after the parameter's last use (and the parameter feeds no other
+//!   back-edge slot), so its defining instruction updates the register
+//!   in place with no copy on the back edge.
+//!
+//! Slots that cannot coalesce get explicit `mov` copies — sequenced as
+//! a parallel-copy set by the lowering (`iir`'s `x2=x1; x1=x0` state
+//! rotation is such a sequence), with a scratch register reserved per
+//! loop only when the back-edge permutation contains a genuine cycle.
 
 use crate::error::CompileError;
-use crate::ir::{Kernel, Ty, ValueId};
+use crate::ir::{Kernel, Op, Ty, ValueId};
 use std::collections::{HashMap, HashSet};
 
 /// The kernel linearized into emission order, with loop extents.
@@ -57,6 +82,47 @@ pub struct Allocation {
     /// Registers used, as a count including r0 (what
     /// `regs_per_thread` must cover).
     pub regs_used: usize,
+    /// Scratch register per loop whose back-edge copies form a cyclic
+    /// permutation (a register swap needs a temporary); live through
+    /// the whole loop.
+    pub loop_scratch: HashMap<ValueId, u8>,
+}
+
+/// Union-find over values, tracking whether a class already contains a
+/// block parameter (classes never merge two parameters).
+#[derive(Debug, Default)]
+struct Classes {
+    parent: HashMap<ValueId, ValueId>,
+    has_param: HashSet<ValueId>,
+}
+
+impl Classes {
+    fn find(&mut self, v: ValueId) -> ValueId {
+        let p = *self.parent.get(&v).unwrap_or(&v);
+        if p == v {
+            return v;
+        }
+        let root = self.find(p);
+        self.parent.insert(v, root);
+        root
+    }
+
+    /// Merge `b` into `a`'s class.
+    fn union(&mut self, a: ValueId, b: ValueId) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent.insert(rb, ra);
+            if self.has_param.contains(&rb) {
+                self.has_param.insert(ra);
+            }
+        }
+    }
+
+    fn class_has_param(&mut self, v: ValueId) -> bool {
+        let r = self.find(v);
+        self.has_param.contains(&r)
+    }
 }
 
 /// Compute the live-range end of `def` given all its use positions,
@@ -79,10 +145,69 @@ fn range_end(def_pos: usize, uses: &[usize], loops: &[(ValueId, usize, usize)]) 
     end
 }
 
+/// Per-loop block-parameter metadata gathered for coalescing.
+#[derive(Debug)]
+struct LoopMeta {
+    header: ValueId,
+    header_pos: usize,
+    last: usize,
+    params: Vec<ValueId>,
+    inits: Vec<ValueId>,
+    carried: Vec<ValueId>,
+}
+
+/// True when the loop's param-to-param back-edge copies form at least
+/// one cyclic permutation (e.g. a swap `carried = [p1, p0]`), which
+/// needs a scratch register to sequence.
+fn backedge_has_cycle(meta: &LoopMeta) -> bool {
+    // map: param index i receives param index j on the back edge.
+    let src_of: Vec<Option<usize>> = meta
+        .carried
+        .iter()
+        .map(|c| meta.params.iter().position(|p| p == c))
+        .collect();
+    let n = meta.params.len();
+    // Walk the "receives-from" edges; a node revisited while still on
+    // the current path closes a cycle. (Not a permutation: one param
+    // may feed several slots, so paths can merge — finished nodes are
+    // marked black and skipped.)
+    let mut color = vec![0u8; n]; // 0 = unvisited, 1 = on path, 2 = done
+    for start in 0..n {
+        if color[start] != 0 {
+            continue;
+        }
+        let mut path = Vec::new();
+        let mut i = start;
+        loop {
+            if color[i] == 1 {
+                return true;
+            }
+            if color[i] == 2 {
+                break;
+            }
+            color[i] = 1;
+            path.push(i);
+            match src_of[i] {
+                Some(j) if j != i => i = j, // self-carry is copy-free
+                _ => break,
+            }
+        }
+        for &x in &path {
+            color[x] = 2;
+        }
+    }
+    false
+}
+
 /// Allocate hardware registers for every value that `materialized` says
 /// needs one (predicates always need one). `word_regs` is the total
 /// register-file size per thread (r0 included but reserved);
 /// `pred_available` is false for builds without predicate support.
+///
+/// Loop block parameters are coalesced with their initial, carried and
+/// result values where sound (see the module docs); each coalescing
+/// class occupies a single register whose live interval covers every
+/// member.
 pub fn allocate(
     k: &Kernel,
     lin: &Linear,
@@ -90,7 +215,33 @@ pub fn allocate(
     word_regs: usize,
     pred_available: bool,
 ) -> Result<Allocation, CompileError> {
-    // Collect use positions per value (args + guards).
+    // Loop metadata, in traversal order (outermost first).
+    let metas: Vec<LoopMeta> = lin
+        .loops
+        .iter()
+        .map(|&(header, _, last)| {
+            let inst = k.inst(header);
+            LoopMeta {
+                header,
+                header_pos: lin.pos[&header],
+                last,
+                params: k.loop_params(header),
+                inits: inst.args.clone(),
+                carried: inst.carried.clone().unwrap_or_default(),
+            }
+        })
+        .collect();
+
+    // Results per (loop, index).
+    let mut results: HashMap<(ValueId, u32), Vec<ValueId>> = HashMap::new();
+    for &v in &lin.order {
+        if let Op::Result(idx) = k.inst(v).op {
+            results.entry((k.inst(v).args[0], idx)).or_default().push(v);
+        }
+    }
+
+    // Collect use positions per value (args + guards + carried values,
+    // which the back-edge copies read at the end of the loop body).
     let mut uses: HashMap<ValueId, Vec<usize>> = HashMap::new();
     for (p, &v) in lin.order.iter().enumerate() {
         let inst = k.inst(v);
@@ -101,9 +252,14 @@ pub fn allocate(
             uses.entry(g.pred).or_default().push(p);
         }
     }
+    for meta in &metas {
+        for &c in &meta.carried {
+            uses.entry(c).or_default().push(meta.last);
+        }
+    }
 
     let empty: Vec<usize> = Vec::new();
-    let ends: HashMap<ValueId, usize> = lin
+    let mut ends: HashMap<ValueId, usize> = lin
         .order
         .iter()
         .map(|&v| {
@@ -113,12 +269,111 @@ pub fn allocate(
         })
         .collect();
 
+    // Initial values stay live until every block parameter of their
+    // loop has a register. Parameters are allocated at the body's
+    // leading positions, right after the header — without this
+    // extension a param could be handed a just-expired init's register,
+    // and two sequential loops seeded with each other's results in
+    // permuted order would turn the *entry* copy set into a register
+    // cycle that the back-edge-only scratch reservation cannot break.
+    // With it, entry-copy destinations are always disjoint from
+    // entry-copy sources (coalesced slots excepted, and those copies
+    // vanish), so entry sets sequence without a scratch register.
+    for meta in &metas {
+        for &init in &meta.inits {
+            if let Some(e) = ends.get_mut(&init) {
+                *e = (*e).max(meta.header_pos + meta.params.len());
+            }
+        }
+    }
+
+    // ---- coalescing classes -------------------------------------------
+    let mut classes = Classes::default();
+    for meta in &metas {
+        for (i, &p) in meta.params.iter().enumerate() {
+            let root = classes.find(p);
+            classes.has_param.insert(root);
+            // Results are pure reads of the final value: always join.
+            if let Some(rs) = results.get(&(meta.header, i as u32)) {
+                for &r in rs {
+                    classes.union(p, r);
+                }
+            }
+        }
+        for (i, &p) in meta.params.iter().enumerate() {
+            // Initial value: joins when nothing reads it at or after
+            // the loop header (so the defining instruction can write
+            // the parameter's register directly). A value already in a
+            // parameter class (an outer param, another loop's slot, a
+            // result) never joins.
+            let init = meta.inits[i];
+            let init_ok = !classes.class_has_param(init)
+                && uses
+                    .get(&init)
+                    .unwrap_or(&empty)
+                    .iter()
+                    .all(|&u| u <= meta.header_pos)
+                && lin.pos.get(&init).is_some_and(|&d| d < meta.header_pos);
+            if init_ok {
+                classes.union(p, init);
+            }
+            // Carried value: joins when defined in this body after the
+            // parameter's last read, so updating the register in place
+            // cannot clobber a value still needed this iteration. A
+            // parameter feeding another back-edge slot keeps its
+            // register readable until the copies run, so its own slot
+            // must not coalesce over it.
+            let c = meta.carried[i];
+            let c_pos = lin.pos.get(&c).copied();
+            let feeds_other_slot = meta
+                .carried
+                .iter()
+                .enumerate()
+                .any(|(j, &cc)| j != i && cc == p);
+            let carried_ok = !classes.class_has_param(c)
+                && c_pos.is_some_and(|d| d > meta.header_pos && d <= meta.last)
+                && !feeds_other_slot
+                && c_pos.is_some_and(|d| uses.get(&p).unwrap_or(&empty).iter().all(|&u| u <= d));
+            if carried_ok {
+                classes.union(p, c);
+            }
+        }
+    }
+
+    // Class live intervals: a parameter's register stays occupied to
+    // the end of its loop (the next iteration reads it at the top), and
+    // the class end covers every member.
+    let mut class_end: HashMap<ValueId, usize> = HashMap::new();
+    let mut param_last: HashMap<ValueId, usize> = HashMap::new();
+    for meta in &metas {
+        for &p in &meta.params {
+            param_last.insert(p, meta.last);
+        }
+    }
+    for &v in &lin.order {
+        let root = classes.find(v);
+        let mut end = ends[&v];
+        if let Some(&l) = param_last.get(&v) {
+            end = end.max(l);
+        }
+        let e = class_end.entry(root).or_insert(end);
+        *e = (*e).max(end);
+    }
+
+    // Loops whose back-edge permutation needs a scratch register.
+    let scratch_loops: HashMap<usize, ValueId> = metas
+        .iter()
+        .filter(|m| backedge_has_cycle(m))
+        .map(|m| (m.header_pos, m.header))
+        .collect();
+
     let mut alloc = Allocation::default();
 
     // General-purpose registers: r1..=min(word_regs-1, 254).
     let hi = word_regs.min(255).saturating_sub(1);
     let mut free: Vec<u8> = (1..=hi as u8).rev().collect();
     let mut active: Vec<(usize, u8, ValueId)> = Vec::new(); // (end, reg, value)
+    let mut class_reg: HashMap<ValueId, u8> = HashMap::new();
 
     // Predicates: p0..p3 (none if the build lacks predicate support).
     let mut pfree: Vec<u8> = if pred_available {
@@ -147,19 +402,50 @@ pub fn allocate(
             }
         });
 
+        let take_reg = |free: &mut Vec<u8>,
+                        active: &mut Vec<(usize, u8, ValueId)>,
+                        end: usize,
+                        v: ValueId|
+         -> Result<u8, CompileError> {
+            free.sort_unstable_by(|a, b| b.cmp(a)); // lowest register last
+            let Some(r) = free.pop() else {
+                return Err(CompileError::OutOfRegisters {
+                    needed: active.len() + 1,
+                    available: hi,
+                });
+            };
+            active.push((end, r, v));
+            Ok(r)
+        };
+
+        // A loop with a cyclic back-edge permutation reserves a scratch
+        // register for the copy sequencer, live through the loop.
+        if let Some(&header) = scratch_loops.get(&p) {
+            let last = metas
+                .iter()
+                .find(|m| m.header == header)
+                .map(|m| m.last)
+                .unwrap_or(p);
+            let r = take_reg(&mut free, &mut active, last, header)?;
+            alloc.regs_used = alloc.regs_used.max(r as usize + 1);
+            alloc.loop_scratch.insert(header, r);
+        }
+
         let inst = k.inst(v);
         match inst.op.ty() {
             Ty::Word if materialized.contains(&v) => {
-                free.sort_unstable_by(|a, b| b.cmp(a)); // lowest register last
-                let Some(r) = free.pop() else {
-                    return Err(CompileError::OutOfRegisters {
-                        needed: active.len() + 1,
-                        available: hi,
-                    });
-                };
-                active.push((ends[&v], r, v));
-                alloc.regs_used = alloc.regs_used.max(r as usize + 1);
-                alloc.reg.insert(v, r);
+                let root = classes.find(v);
+                if let Some(&r) = class_reg.get(&root) {
+                    // The class already owns a register; this member
+                    // simply reads/writes it in place.
+                    alloc.reg.insert(v, r);
+                } else {
+                    let end = class_end.get(&root).copied().unwrap_or(ends[&v]);
+                    let r = take_reg(&mut free, &mut active, end, v)?;
+                    class_reg.insert(root, r);
+                    alloc.regs_used = alloc.regs_used.max(r as usize + 1);
+                    alloc.reg.insert(v, r);
+                }
             }
             Ty::Pred => {
                 if !pred_available {
@@ -296,6 +582,109 @@ mod tests {
             Err(CompileError::OutOfPredicates { needed }) => assert_eq!(needed, 5),
             other => panic!("expected OutOfPredicates, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn carried_accumulator_coalesces_to_one_register() {
+        // acc = acc + x across a loop: param, init, carried update and
+        // result must share one register (no copies anywhere).
+        let mut b = IrBuilder::new("acc");
+        let tid = b.tid();
+        let zero = b.iconst(0);
+        let p = b.begin_loop_carried(8, &[zero]);
+        let x = b.load(tid, 0);
+        let next = b.add(p[0], x);
+        let r = b.end_loop_carried(&[next]);
+        b.store(tid, 64, r[0]);
+        let k = b.finish();
+        let lin = linearize(&k);
+        let m = materialized_all(&k);
+        let a = allocate(&k, &lin, &m, 16, false).unwrap();
+        let acc = a.reg[&p[0]];
+        assert_eq!(a.reg[&zero], acc, "init must coalesce");
+        assert_eq!(a.reg[&next], acc, "carried update must coalesce");
+        assert_eq!(a.reg[&r[0]], acc, "result must coalesce");
+        assert!(a.loop_scratch.is_empty());
+    }
+
+    #[test]
+    fn carried_update_before_last_param_use_does_not_coalesce() {
+        // The carried value is defined *before* another read of the
+        // param (the store), so writing the register in place would
+        // clobber the value the store still needs.
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        let zero = b.iconst(0);
+        let p = b.begin_loop_carried(8, &[zero]);
+        let x = b.load(tid, 0);
+        let next = b.add(p[0], x);
+        b.store(tid, 0, p[0]); // param read AFTER the carried def
+        let r = b.end_loop_carried(&[next]);
+        b.store(tid, 64, r[0]);
+        let k = b.finish();
+        let lin = linearize(&k);
+        let m = materialized_all(&k);
+        let a = allocate(&k, &lin, &m, 16, false).unwrap();
+        assert_ne!(
+            a.reg[&next], a.reg[&p[0]],
+            "coalescing would clobber the param before its store"
+        );
+    }
+
+    #[test]
+    fn init_with_later_uses_does_not_coalesce() {
+        // The init value is stored after the loop, so the loop must not
+        // evolve it in place.
+        let mut b = IrBuilder::new("t");
+        let tid = b.tid();
+        let seed = b.load(tid, 0);
+        let p = b.begin_loop_carried(4, &[seed]);
+        let one = b.iconst(1);
+        let next = b.add(p[0], one);
+        let r = b.end_loop_carried(&[next]);
+        b.store(tid, 64, r[0]);
+        b.store(tid, 128, seed); // init still needed after the loop
+        let k = b.finish();
+        let lin = linearize(&k);
+        let m = materialized_all(&k);
+        let a = allocate(&k, &lin, &m, 16, false).unwrap();
+        assert_ne!(
+            a.reg[&seed], a.reg[&p[0]],
+            "init must keep its own register"
+        );
+    }
+
+    #[test]
+    fn swap_permutations_reserve_a_scratch_register() {
+        // carried = [p1, p0]: a two-cycle on the back edge.
+        let mut b = IrBuilder::new("swap");
+        let tid = b.tid();
+        let a0 = b.iconst(1);
+        let b0 = b.iconst(2);
+        let p = b.begin_loop_carried(3, &[a0, b0]);
+        b.store(tid, 0, p[0]);
+        let r = b.end_loop_carried(&[p[1], p[0]]);
+        b.store(tid, 64, r[0]);
+        b.store(tid, 128, r[1]);
+        let k = b.finish();
+        let lin = linearize(&k);
+        let m = materialized_all(&k);
+        let a = allocate(&k, &lin, &m, 16, false).unwrap();
+        assert_eq!(a.loop_scratch.len(), 1, "swap needs one scratch register");
+        // The state-rotation *chain* (x2=x1, x1=x0) needs none.
+        let mut b = IrBuilder::new("chain");
+        let tid = b.tid();
+        let z = b.iconst(0);
+        let p = b.begin_loop_carried(3, &[z, z]);
+        let x0 = b.load(tid, 0);
+        b.store(tid, 64, p[1]);
+        let _r = b.end_loop_carried(&[x0, p[0]]);
+        b.store(tid, 128, tid);
+        let k = b.finish();
+        let lin = linearize(&k);
+        let m = materialized_all(&k);
+        let a = allocate(&k, &lin, &m, 16, false).unwrap();
+        assert!(a.loop_scratch.is_empty(), "chains sequence without scratch");
     }
 
     #[test]

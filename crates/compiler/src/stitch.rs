@@ -66,6 +66,11 @@ pub fn concat_kernels(name: impl Into<String>, parts: &[&Kernel]) -> Kernel {
                     *v = shift(*v);
                 }
             }
+            if let Some(carried) = &mut inst.carried {
+                for v in carried.iter_mut() {
+                    *v = shift(*v);
+                }
+            }
             out.insts.push(inst);
         }
         out.body.extend(part.body.iter().map(|&v| shift(v)));

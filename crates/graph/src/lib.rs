@@ -44,6 +44,8 @@
 //! assert_eq!(graph.len(), 4);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod fuse;
 pub mod graph;
 

@@ -272,6 +272,26 @@ impl LaunchSpec {
         spec
     }
 
+    /// IR-frontend Q15 matrix multiply: the inner product is a
+    /// loop-carried hardware loop whose accumulator and walking indices
+    /// the allocator coalesces in place (no back-edge copies).
+    pub fn matmul_ir(a: &[i32], b: &[i32], m: usize, k: usize, n: usize) -> Self {
+        let mut spec = Self::matmul(a, b, m, k, n);
+        spec.name = format!("matmul{m}x{k}x{n}_ir");
+        spec.source = KernelSource::Ir(matmul::matmul_ir(m, k, n));
+        spec
+    }
+
+    /// IR-frontend Q15 biquad bank: five loop-carried values (index +
+    /// Direct-Form-I state), coefficients hoisted out of the body by
+    /// LICM.
+    pub fn iir_ir(x: &[i32], n: usize, m: usize, q: iir::Biquad) -> Self {
+        let mut spec = Self::iir(x, n, m, q);
+        spec.name = format!("iir{n}x{m}_ir");
+        spec.source = KernelSource::Ir(iir::iir_ir(n, m, q));
+        spec
+    }
+
     /// Total words of inline input the launch carries.
     pub fn input_words(&self) -> usize {
         self.inputs.iter().map(|(_, w)| w.len()).sum()
@@ -335,6 +355,8 @@ mod tests {
             LaunchSpec::fir_ir(&sig, &taps, 128),
             LaunchSpec::fma(&x, &y, &x),
             LaunchSpec::fma_ir(&x, &y, &x),
+            LaunchSpec::matmul_ir(&a, &b, 8, 8, 8),
+            LaunchSpec::iir_ir(&q15_signal(16 * 8, 6), 16, 8, iir::Biquad::lowpass()),
         ]
     }
 

@@ -22,8 +22,10 @@
 //!   kernel instances with bit-exact host-reference outputs, consumed by
 //!   `simt-runtime` streams. A spec's [`KernelSource`] is either text
 //!   assembly or a `simt-compiler` SSA IR kernel (the `*_ir`
-//!   constructors); the `vector`, `reduce` and `fir` families ship IR
-//!   frontends compiled through the optimizing pipeline;
+//!   constructors); the `vector`, `reduce`, `fir`, `matmul` and `iir`
+//!   families ship IR frontends compiled through the optimizing
+//!   pipeline — the looped pair (`matmul`/`iir`) through loop-carried
+//!   SSA block parameters;
 //! * [`scan`] — Hillis–Steele prefix sum on the predicate machinery;
 //! * [`sobel`] — 2-D edge magnitude using `shadd` address generation;
 //! * [`workload`] — deterministic input generators.

@@ -67,6 +67,42 @@ fn repeated_ir_launches_hit_the_compile_cache() {
 }
 
 #[test]
+fn looped_ir_launches_run_and_cache_through_the_runtime() {
+    // The loop-carried kernels (matmul/iir) compile through the same
+    // pool cache and stay bit-exact against their host references when
+    // the scheduler places them across the device pool.
+    use simt_kernels::iir::Biquad;
+    use simt_kernels::workload::q15_matrix;
+
+    let rt = Runtime::new(RuntimeConfig::with_devices(1));
+    let s = rt.stream();
+    let a = q15_matrix(8, 8, 41);
+    let b = q15_matrix(8, 8, 42);
+    let sig = q15_signal(16 * 8, 43);
+    const REPEATS: usize = 3;
+    let mut outs = Vec::new();
+    for _ in 0..REPEATS {
+        for spec in [
+            LaunchSpec::matmul_ir(&a, &b, 8, 8, 8),
+            LaunchSpec::iir_ir(&sig, 16, 8, Biquad::lowpass()),
+        ] {
+            let name = spec.name.clone();
+            let expected = spec.expected.clone();
+            let (off, len) = (spec.out_off, spec.out_len);
+            s.launch(spec);
+            outs.push((name, expected, s.copy_out(off, len)));
+        }
+    }
+    rt.synchronize().unwrap();
+    for (name, expected, out) in outs {
+        assert_eq!(out.wait().unwrap(), expected, "{name} output mismatch");
+    }
+    // Two distinct looped kernels, compiled once each; repeats hit.
+    assert_eq!(rt.stats().compile_misses(), 2);
+    assert_eq!(rt.stats().compile_hits(), (REPEATS as u64 - 1) * 2);
+}
+
+#[test]
 fn asm_launches_share_the_cache_too() {
     let rt = Runtime::new(RuntimeConfig::with_devices(1));
     let s = rt.stream();

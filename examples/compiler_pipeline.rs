@@ -12,9 +12,9 @@
 //! ```
 
 use simt_compiler::{compile, IrBuilder, OptLevel};
-use simt_core::ProcessorConfig;
+use simt_core::{ProcessorConfig, RunOptions};
 use simt_kernels::workload::{int_vector, lowpass_taps, q15_signal};
-use simt_kernels::{fir, LaunchSpec};
+use simt_kernels::{fir, matmul, run_program, LaunchSpec};
 use simt_runtime::{Runtime, RuntimeConfig};
 
 fn main() {
@@ -76,7 +76,52 @@ fn main() {
     println!("\nmul-by-8 strength-reduced to the barrel-replacement shifter: {shifted}");
     assert!(shifted);
 
-    // -- 3. Repeated IR launches through the runtime ----------------------
+    // -- 3. Loop-carried SSA: matmul off hand-written assembly ------------
+    // The inner product is a hardware loop with three block parameters
+    // (A index, B index, accumulator); the allocator coalesces each
+    // with its initial and carried values, so the loop body carries no
+    // copies and the preamble drops the hand-written kernel's movs.
+    let (mm, kk, nn) = (8usize, 16usize, 8usize);
+    let mm_cfg = ProcessorConfig::default()
+        .with_threads(mm * nn)
+        .with_shared_words(8192);
+    let mm_ir = compile(&matmul::matmul_ir(mm, kk, nn), &mm_cfg, OptLevel::Full)
+        .expect("matmul_ir compiles");
+    let mm_hand = simt_isa::assemble(&matmul::matmul_asm(mm, kk, nn)).expect("handwritten");
+    let ir_cycles = run_program(
+        mm_cfg.clone(),
+        &mm_ir.program,
+        &[],
+        matmul::C_OFF,
+        mm * nn,
+        RunOptions::default(),
+    )
+    .expect("matmul_ir runs")
+    .stats
+    .cycles;
+    let hand_cycles = run_program(
+        mm_cfg,
+        &mm_hand,
+        &[],
+        matmul::C_OFF,
+        mm * nn,
+        RunOptions::default(),
+    )
+    .expect("handwritten matmul runs")
+    .stats
+    .cycles;
+    println!(
+        "\nmatmul{mm}x{kk}x{nn} via loop-carried SSA: {} instrs / {} clk  \
+         (hand-written: {} instrs / {} clk)",
+        mm_ir.program.len(),
+        ir_cycles,
+        mm_hand.len(),
+        hand_cycles
+    );
+    assert!(mm_ir.program.len() < mm_hand.len());
+    assert!(ir_cycles < hand_cycles);
+
+    // -- 4. Repeated IR launches through the runtime ----------------------
     let rt = Runtime::new(RuntimeConfig::with_devices(1));
     let s = rt.stream();
     let sig = q15_signal(128 + taps - 1, 42);
