@@ -1,0 +1,57 @@
+//! Host-side simulation throughput: the predecoded µop interpreter
+//! ([`Processor::run`]) vs the reference field-extracting interpreter
+//! ([`Processor::run_reference`]) on the 1024-thread kernels the
+//! `tables --sim` harness tracks in `BENCH_sim.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use simt_compiler::{compile, OptLevel};
+use simt_core::{Processor, ProcessorConfig, RunOptions};
+use simt_kernels::{matmul, vector};
+
+fn loaded(program: &simt_isa::Program, config: &ProcessorConfig) -> Processor {
+    let mut cpu = Processor::new(config.clone()).expect("config validates");
+    let seed: Vec<u32> = (0..config.shared_words as u32)
+        .map(|i| i.wrapping_mul(2654435761))
+        .collect();
+    cpu.shared_mut().load_words(0, &seed).expect("seed fits");
+    cpu.load_program(program).expect("program loads");
+    cpu
+}
+
+fn bench(c: &mut Criterion) {
+    let saxpy_cfg = ProcessorConfig::default()
+        .with_threads(1024)
+        .with_shared_words(4096);
+    let saxpy = simt_isa::assemble(&vector::saxpy_asm(3)).expect("saxpy assembles");
+    let mm_cfg = ProcessorConfig::default()
+        .with_threads(1024)
+        .with_shared_words(8192);
+    let mm = compile(&matmul::matmul_ir(32, 16, 32), &mm_cfg, OptLevel::Full)
+        .expect("matmul_ir compiles")
+        .program;
+
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    for (name, program, cfg) in [
+        ("saxpy1024", &saxpy, &saxpy_cfg),
+        ("matmul_ir1024", &mm, &mm_cfg),
+    ] {
+        let mut cpu = loaded(program, cfg);
+        let dyn_instrs = cpu
+            .run(RunOptions::default())
+            .expect("program runs")
+            .instructions;
+        g.throughput(Throughput::Elements(dyn_instrs));
+        g.bench_function(&format!("{name}/predecoded"), |b| {
+            b.iter(|| cpu.run(RunOptions::default()).expect("runs"))
+        });
+        let mut cpu = loaded(program, cfg);
+        g.bench_function(&format!("{name}/reference"), |b| {
+            b.iter(|| cpu.run_reference(RunOptions::default()).expect("runs"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

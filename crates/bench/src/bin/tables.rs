@@ -86,6 +86,328 @@ fn main() {
     if want("--graph") {
         graph();
     }
+    if want("--sim") {
+        sim();
+    }
+}
+
+/// One workload row of the host-throughput harness: the same program
+/// run through the reference (baseline) and predecoded interpreters.
+#[derive(Debug, Clone, Serialize)]
+struct SimWorkloadRow {
+    name: String,
+    threads: usize,
+    /// Dynamic instructions one run issues.
+    dyn_instrs: u64,
+    /// Thread-operations one run retires.
+    thread_ops: u64,
+    baseline_us_per_run: f64,
+    predecoded_us_per_run: f64,
+    /// Host throughput in million dynamic instructions per second.
+    baseline_minstrs_per_s: f64,
+    predecoded_minstrs_per_s: f64,
+    /// Host throughput in million thread-operations per second.
+    baseline_mthread_ops_per_s: f64,
+    predecoded_mthread_ops_per_s: f64,
+    speedup: f64,
+    /// Asserted at generation time: identical registers, predicates,
+    /// shared memory, traces and ExecStats on both interpreters.
+    bit_exact: bool,
+}
+
+/// One point of the lane-parallel fan-out threshold sweep
+/// (`ProcessorConfig::parallel_threshold`), measured on the predecoded
+/// interpreter with `RunOptions::parallel()`.
+#[derive(Debug, Clone, Serialize)]
+struct ThresholdRow {
+    /// Active-thread threshold; `None` = fan-out disabled entirely.
+    threshold: Option<u64>,
+    us_per_run: f64,
+}
+
+/// The machine-readable snapshot written to `BENCH_sim.json`.
+#[derive(Debug, Clone, Serialize)]
+struct SimBenchReport {
+    schema_version: u32,
+    rows: Vec<SimWorkloadRow>,
+    threshold_sweep_workload: String,
+    threshold_sweep: Vec<ThresholdRow>,
+    /// `None` = fan-out disabled by default (the measured optimum under
+    /// the vendored sequential rayon shim).
+    default_parallel_threshold: Option<u64>,
+    /// Decode-cache behaviour of repeated runtime launches (asserted:
+    /// re-runs hit the cached decode).
+    decode_misses: u64,
+    decode_hits: u64,
+}
+
+/// One sim-harness workload: a compiled program plus its configuration.
+struct SimWorkload {
+    name: String,
+    threads: usize,
+    program: simt_isa::Program,
+    config: ProcessorConfig,
+}
+
+fn sim_workloads() -> Vec<SimWorkload> {
+    use simt_compiler::{compile, OptLevel};
+    use simt_kernels::{fir, iir, matmul, vector};
+
+    let mut v = Vec::new();
+    for threads in [64usize, 256, 1024] {
+        v.push(SimWorkload {
+            name: "saxpy".into(),
+            threads,
+            program: simt_isa::assemble(&vector::saxpy_asm(3)).expect("saxpy assembles"),
+            config: ProcessorConfig::default()
+                .with_threads(threads)
+                .with_shared_words(4096),
+        });
+        v.push(SimWorkload {
+            name: "fir".into(),
+            threads,
+            program: simt_isa::assemble(&fir::fir_asm(16)).expect("fir assembles"),
+            config: ProcessorConfig::default()
+                .with_threads(threads)
+                .with_shared_words(8192),
+        });
+        // matmul: one thread per output element, m*n = threads, n a
+        // power of two, k = 16 (the paper-bench inner-product length).
+        let (m, n) = match threads {
+            64 => (8, 8),
+            256 => (16, 16),
+            _ => (32, 32),
+        };
+        let cfg = ProcessorConfig::default()
+            .with_threads(threads)
+            .with_shared_words(8192);
+        v.push(SimWorkload {
+            name: "matmul_ir".into(),
+            threads,
+            program: compile(&matmul::matmul_ir(m, 16, n), &cfg, OptLevel::Full)
+                .expect("matmul_ir compiles")
+                .program,
+            config: cfg.clone(),
+        });
+        // iir: one thread per channel; samples sized to the shared
+        // window (n·m ≤ 4096 words on each side of Y_OFF).
+        let samples = 4096 / threads;
+        v.push(SimWorkload {
+            name: "iir_ir".into(),
+            threads,
+            program: compile(
+                &iir::iir_ir(threads, samples, iir::Biquad::lowpass()),
+                &cfg,
+                OptLevel::Full,
+            )
+            .expect("iir_ir compiles")
+            .program,
+            config: cfg,
+        });
+    }
+    v
+}
+
+/// Pseudo-random but reproducible shared-memory image (both
+/// interpreters see identical data; kernel addressing is tid-derived,
+/// so any image is in-bounds).
+fn sim_seed_memory(words: usize) -> Vec<u32> {
+    (0..words as u32)
+        .map(|i| i.wrapping_mul(2654435761))
+        .collect()
+}
+
+/// Build a loaded processor for a workload.
+fn sim_processor(w: &SimWorkload) -> Processor {
+    let mut cpu = Processor::new(w.config.clone()).expect("config validates");
+    cpu.shared_mut()
+        .load_words(0, &sim_seed_memory(w.config.shared_words))
+        .expect("seed image fits");
+    cpu.load_program(&w.program).expect("program loads");
+    cpu
+}
+
+/// Wall time per run of `f`, adaptively repeated to ~80 ms.
+fn sim_time_per_run(mut f: impl FnMut()) -> f64 {
+    use std::time::Instant;
+    f(); // warm-up (page in code, fill the decode caches)
+    let t0 = Instant::now();
+    f();
+    let one = t0.elapsed().as_secs_f64().max(1e-7);
+    let reps = ((0.08 / one) as usize).clamp(2, 20_000);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+fn sim() {
+    use simt_kernels::workload::int_vector;
+    use simt_kernels::LaunchSpec;
+    use simt_runtime::{Runtime, RuntimeConfig};
+
+    println!("== host-side simulation throughput: baseline vs predecoded interpreter ==");
+    println!(
+        "{:<10} {:>7} {:>9} {:>12} {:>12} {:>11} {:>11} {:>8}",
+        "workload",
+        "threads",
+        "dyn instr",
+        "base us/run",
+        "pre us/run",
+        "base Mi/s",
+        "pre Mi/s",
+        "speedup"
+    );
+
+    let mut rows = Vec::new();
+    for w in sim_workloads() {
+        // Bit-exactness first: fresh processors, same seed image, both
+        // interpreters traced — registers, predicates, shared memory,
+        // traces and stats must be identical.
+        let mut fast = sim_processor(&w);
+        let (fast_stats, fast_trace) = fast.run_traced(RunOptions::default()).expect("runs");
+        let mut reference = sim_processor(&w);
+        let (ref_stats, ref_trace) = reference
+            .run_reference_traced(RunOptions::default())
+            .expect("runs");
+        assert_eq!(fast_stats, ref_stats, "{}: ExecStats diverged", w.name);
+        assert_eq!(fast_trace, ref_trace, "{}: traces diverged", w.name);
+        assert_eq!(
+            fast.shared().as_slice(),
+            reference.shared().as_slice(),
+            "{}: shared memory diverged",
+            w.name
+        );
+        for r in 0..w.config.regs_per_thread as u8 {
+            assert_eq!(
+                fast.regfile().gather(r),
+                reference.regfile().gather(r),
+                "{}: r{} diverged",
+                w.name,
+                r
+            );
+        }
+
+        // Host throughput: repeated runs of the loaded processor (the
+        // instruction stream is data-independent, so every run issues
+        // the same dynamic instructions).
+        let pre = sim_time_per_run(|| {
+            fast.run(RunOptions::default()).expect("runs");
+        });
+        let base = sim_time_per_run(|| {
+            reference
+                .run_reference(RunOptions::default())
+                .expect("runs");
+        });
+        let di = fast_stats.instructions as f64;
+        let to = fast_stats.thread_ops as f64;
+        let row = SimWorkloadRow {
+            name: w.name.clone(),
+            threads: w.threads,
+            dyn_instrs: fast_stats.instructions,
+            thread_ops: fast_stats.thread_ops,
+            baseline_us_per_run: base * 1e6,
+            predecoded_us_per_run: pre * 1e6,
+            baseline_minstrs_per_s: di / base / 1e6,
+            predecoded_minstrs_per_s: di / pre / 1e6,
+            baseline_mthread_ops_per_s: to / base / 1e6,
+            predecoded_mthread_ops_per_s: to / pre / 1e6,
+            speedup: base / pre,
+            bit_exact: true,
+        };
+        println!(
+            "{:<10} {:>7} {:>9} {:>12.2} {:>12.2} {:>11.1} {:>11.1} {:>7.2}x",
+            row.name,
+            row.threads,
+            row.dyn_instrs,
+            row.baseline_us_per_run,
+            row.predecoded_us_per_run,
+            row.baseline_minstrs_per_s,
+            row.predecoded_minstrs_per_s,
+            row.speedup
+        );
+        rows.push(row);
+    }
+
+    // Fan-out threshold sweep (predecoded loop, RunOptions::parallel):
+    // where does rayon fan-out actually win? Under the vendored
+    // sequential rayon shim the answer is "never" — the sweep records
+    // the measured overhead of the gather/fan-out path so the default
+    // threshold is an informed choice, not a relic.
+    let sweep_w = sim_workloads()
+        .into_iter()
+        .find(|w| w.name == "saxpy" && w.threads == 1024)
+        .expect("sweep workload exists");
+    let mut threshold_sweep = Vec::new();
+    for threshold in [
+        Some(0usize),
+        Some(64),
+        Some(128),
+        Some(256),
+        Some(512),
+        Some(1024),
+        None,
+    ] {
+        let w = SimWorkload {
+            config: sweep_w
+                .config
+                .clone()
+                .with_parallel_threshold(threshold.unwrap_or(usize::MAX)),
+            name: sweep_w.name.clone(),
+            threads: sweep_w.threads,
+            program: sweep_w.program.clone(),
+        };
+        let mut cpu = sim_processor(&w);
+        let t = sim_time_per_run(|| {
+            cpu.run(RunOptions::parallel()).expect("runs");
+        });
+        threshold_sweep.push(ThresholdRow {
+            threshold: threshold.map(|t| t as u64),
+            us_per_run: t * 1e6,
+        });
+    }
+    println!("\nfan-out threshold sweep (saxpy, 1024 threads, parallel run options):");
+    for r in &threshold_sweep {
+        match r.threshold {
+            Some(t) => println!("  threshold {:>6}: {:>8.2} us/run", t, r.us_per_run),
+            None => println!("  never        : {:>8.2} us/run", r.us_per_run),
+        }
+    }
+
+    // Decode-cache smoke: repeated runtime launches of one kernel must
+    // decode once and hit the cached decode on every re-run.
+    let rt = Runtime::new(RuntimeConfig::with_devices(1));
+    let s = rt.stream();
+    let x = int_vector(256, 1);
+    let y = int_vector(256, 2);
+    for _ in 0..4 {
+        s.launch(LaunchSpec::saxpy_ir(3, &x, &y));
+    }
+    rt.synchronize().expect("cache smoke runs clean");
+    let (decode_misses, decode_hits) = (
+        rt.compile_cache().decode_misses(),
+        rt.compile_cache().decode_hits(),
+    );
+    assert_eq!(decode_misses, 1, "one decode per distinct kernel");
+    assert!(decode_hits >= 3, "re-runs must hit the cached decode");
+    println!("\ndecode cache over 4 repeated launches: {decode_misses} miss, {decode_hits} hits");
+
+    let report = SimBenchReport {
+        schema_version: 1,
+        rows,
+        threshold_sweep_workload: "saxpy/1024".into(),
+        threshold_sweep,
+        default_parallel_threshold: match ProcessorConfig::default().parallel_threshold {
+            usize::MAX => None,
+            t => Some(t as u64),
+        },
+        decode_misses,
+        decode_hits,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    println!("(wrote BENCH_sim.json)\n");
 }
 
 /// One pipeline family: eager stream vs unfused vs fused graph replay.

@@ -19,7 +19,7 @@
 use crate::error::CompileError;
 use crate::ir::{hash_config, Fnv, Kernel};
 use crate::lower::{compile, OptLevel};
-use simt_core::ProcessorConfig;
+use simt_core::{DecodedProgram, ProcessorConfig};
 use simt_isa::{IsaError, Program};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -45,6 +45,11 @@ struct Entry {
     material: SourceMaterial,
     config: ProcessorConfig,
     program: Arc<Program>,
+    /// The program predecoded for `config`
+    /// ([`simt_core::DecodedProgram`]), filled on the first decoded
+    /// lookup so graph replays and repeated stream launches skip
+    /// re-decoding entirely.
+    decoded: Option<Arc<DecodedProgram>>,
     /// Recency stamp for LRU eviction (larger = used more recently).
     last_used: u64,
 }
@@ -74,11 +79,19 @@ pub struct CompileCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    decode_hits: AtomicU64,
+    decode_misses: AtomicU64,
 }
+
+/// Internal lookup result: the program, its decode when requested, and
+/// whether the artifact came out of the cache.
+type Lookup<E> = Result<(Arc<Program>, Option<Arc<DecodedProgram>>, bool), E>;
 
 /// Outcome of claiming a key under the lock.
 enum Claim {
-    Hit(Arc<Program>),
+    /// Resident artifact; the decode is `Some` iff the caller asked
+    /// for a decoded lookup.
+    Hit(Arc<Program>, Option<Arc<DecodedProgram>>),
     /// This thread owns the compile for the key.
     Owned,
     /// The key is resident but the material differs (hash collision):
@@ -106,16 +119,47 @@ impl CompileCache {
 
     /// Claim `key` under the lock: hit, collision, or take ownership of
     /// the compile (waiting out any other thread already compiling it).
-    fn claim(&self, key: u64, material: &SourceMaterial, config: &ProcessorConfig) -> Claim {
+    /// With `want_decoded`, a hit also returns the entry's predecoded
+    /// form, deriving and caching it on first request (decoding is a
+    /// cheap linear pass, so holding the lock is acceptable).
+    fn claim(
+        &self,
+        key: u64,
+        material: &SourceMaterial,
+        config: &ProcessorConfig,
+        want_decoded: bool,
+    ) -> Claim {
         let mut inner = self.inner.lock().unwrap();
         loop {
             inner.tick += 1;
             let tick = inner.tick;
             if let Some(e) = inner.map.get_mut(&key) {
-                if e.material == *material && e.config == *config {
+                // Artifact identity ignores host-tuning fields
+                // (parallel_threshold) — see
+                // ProcessorConfig::artifact_compatible.
+                if e.material == *material && e.config.artifact_compatible(config) {
                     e.last_used = tick;
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Claim::Hit(Arc::clone(&e.program));
+                    let decoded = if want_decoded {
+                        Some(match &e.decoded {
+                            Some(d) => {
+                                self.decode_hits.fetch_add(1, Ordering::Relaxed);
+                                Arc::clone(d)
+                            }
+                            None => {
+                                self.decode_misses.fetch_add(1, Ordering::Relaxed);
+                                let d = Arc::new(DecodedProgram::decode(
+                                    Arc::clone(&e.program),
+                                    &e.config,
+                                ));
+                                e.decoded = Some(Arc::clone(&d));
+                                d
+                            }
+                        })
+                    } else {
+                        None
+                    };
+                    return Claim::Hit(Arc::clone(&e.program), decoded);
                 }
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 return Claim::Collision;
@@ -163,6 +207,33 @@ impl CompileCache {
         config: &ProcessorConfig,
         opt: OptLevel,
     ) -> Result<(Arc<Program>, bool), CompileError> {
+        let (p, _, hit) = self.compile_inner(kernel, config, opt, false)?;
+        Ok((p, hit))
+    }
+
+    /// [`CompileCache::get_or_compile`], returning the artifact
+    /// predecoded for `config` — the form
+    /// `simt_core::Processor::load_decoded` consumes directly. The
+    /// decode is cached with the entry, so repeated launches and graph
+    /// replays pay it once (observable via
+    /// [`CompileCache::decode_hits`]).
+    pub fn get_or_compile_decoded(
+        &self,
+        kernel: &Kernel,
+        config: &ProcessorConfig,
+        opt: OptLevel,
+    ) -> Result<(Arc<DecodedProgram>, bool), CompileError> {
+        let (_, d, hit) = self.compile_inner(kernel, config, opt, true)?;
+        Ok((d.expect("decoded lookup returns a decode"), hit))
+    }
+
+    fn compile_inner(
+        &self,
+        kernel: &Kernel,
+        config: &ProcessorConfig,
+        opt: OptLevel,
+        want_decoded: bool,
+    ) -> Lookup<CompileError> {
         // Validate before hashing: the canonical serialization assumes
         // well-formed regions, and a malformed kernel must surface the
         // same typed error here as on the direct compile() path.
@@ -177,26 +248,30 @@ impl CompileCache {
             canon,
             opt_full: matches!(opt, OptLevel::Full),
         };
-        match self.claim(key, &material, config) {
-            Claim::Hit(p) => Ok((p, true)),
+        match self.claim(key, &material, config, want_decoded) {
+            Claim::Hit(p, d) => Ok((p, d, true)),
             Claim::Collision => {
                 // Keyspace collision: serve a correct one-off compile,
                 // leave the resident entry alone.
-                Ok((Arc::new(compile(kernel, config, opt)?.program), false))
+                let p = Arc::new(compile(kernel, config, opt)?.program);
+                let d = self.one_off_decode(&p, config, want_decoded);
+                Ok((p, d, false))
             }
             Claim::Owned => match compile(kernel, config, opt) {
                 Ok(compiled) => {
                     let p = Arc::new(compiled.program);
+                    let d = self.one_off_decode(&p, config, want_decoded);
                     self.settle(
                         key,
                         Some(Entry {
                             material,
                             config: config.clone(),
                             program: Arc::clone(&p),
+                            decoded: d.clone(),
                             last_used: 0,
                         }),
                     );
-                    Ok((p, false))
+                    Ok((p, d, false))
                 }
                 Err(e) => {
                     self.settle(key, None);
@@ -213,28 +288,56 @@ impl CompileCache {
         asm: &str,
         config: &ProcessorConfig,
     ) -> Result<(Arc<Program>, bool), IsaError> {
+        let (p, _, hit) = self.assemble_inner(asm, config, false)?;
+        Ok((p, hit))
+    }
+
+    /// [`CompileCache::get_or_assemble`], returning the artifact
+    /// predecoded for `config` (see
+    /// [`CompileCache::get_or_compile_decoded`]).
+    pub fn get_or_assemble_decoded(
+        &self,
+        asm: &str,
+        config: &ProcessorConfig,
+    ) -> Result<(Arc<DecodedProgram>, bool), IsaError> {
+        let (_, d, hit) = self.assemble_inner(asm, config, true)?;
+        Ok((d.expect("decoded lookup returns a decode"), hit))
+    }
+
+    fn assemble_inner(
+        &self,
+        asm: &str,
+        config: &ProcessorConfig,
+        want_decoded: bool,
+    ) -> Lookup<IsaError> {
         let mut h = Fnv::new();
         h.write_u8(0x2B); // asm namespace
         h.write_bytes(asm.as_bytes());
         hash_config(&mut h, config);
         let key = h.finish();
         let material = SourceMaterial::Asm(asm.to_string());
-        match self.claim(key, &material, config) {
-            Claim::Hit(p) => Ok((p, true)),
-            Claim::Collision => Ok((Arc::new(simt_isa::assemble(asm)?), false)),
+        match self.claim(key, &material, config, want_decoded) {
+            Claim::Hit(p, d) => Ok((p, d, true)),
+            Claim::Collision => {
+                let p = Arc::new(simt_isa::assemble(asm)?);
+                let d = self.one_off_decode(&p, config, want_decoded);
+                Ok((p, d, false))
+            }
             Claim::Owned => match simt_isa::assemble(asm) {
                 Ok(program) => {
                     let p = Arc::new(program);
+                    let d = self.one_off_decode(&p, config, want_decoded);
                     self.settle(
                         key,
                         Some(Entry {
                             material,
                             config: config.clone(),
                             program: Arc::clone(&p),
+                            decoded: d.clone(),
                             last_used: 0,
                         }),
                     );
-                    Ok((p, false))
+                    Ok((p, d, false))
                 }
                 Err(e) => {
                     self.settle(key, None);
@@ -242,6 +345,24 @@ impl CompileCache {
                 }
             },
         }
+    }
+
+    /// Decode a freshly-built program when the caller asked for the
+    /// decoded form (counted as a decode miss).
+    fn one_off_decode(
+        &self,
+        program: &Arc<Program>,
+        config: &ProcessorConfig,
+        want_decoded: bool,
+    ) -> Option<Arc<DecodedProgram>> {
+        if !want_decoded {
+            return None;
+        }
+        self.decode_misses.fetch_add(1, Ordering::Relaxed);
+        Some(Arc::new(DecodedProgram::decode(
+            Arc::clone(program),
+            config,
+        )))
     }
 
     /// Cache hits so far.
@@ -257,6 +378,17 @@ impl CompileCache {
     /// Artifacts evicted by the LRU bound so far.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Decoded-form lookups served from a cached decode (no re-decode).
+    pub fn decode_hits(&self) -> u64 {
+        self.decode_hits.load(Ordering::Relaxed)
+    }
+
+    /// Decoded-form lookups that had to decode (first decoded request
+    /// per entry, fresh compiles, and collision one-offs).
+    pub fn decode_misses(&self) -> u64 {
+        self.decode_misses.load(Ordering::Relaxed)
     }
 
     /// The configured LRU bound (`None` = unbounded).
@@ -450,6 +582,76 @@ mod tests {
                 .unwrap();
         }
         assert_eq!((cache.len(), cache.evictions()), (16, 0));
+    }
+
+    #[test]
+    fn decoded_lookups_cache_the_decode_with_the_artifact() {
+        let cache = CompileCache::new();
+        let cfg = ProcessorConfig::small();
+        let k = kernel(3);
+        // Fresh compile: the decode rides the new entry (a miss).
+        let (d1, hit1) = cache
+            .get_or_compile_decoded(&k, &cfg, OptLevel::Full)
+            .unwrap();
+        assert!(!hit1);
+        assert_eq!((cache.decode_hits(), cache.decode_misses()), (0, 1));
+        // Repeat: compile hit AND decode hit — the same Arc comes back.
+        let (d2, hit2) = cache
+            .get_or_compile_decoded(&k, &cfg, OptLevel::Full)
+            .unwrap();
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&d1, &d2));
+        assert_eq!((cache.decode_hits(), cache.decode_misses()), (1, 1));
+        assert_eq!(d1.config(), &cfg);
+        // A program-only lookup of the same entry leaves decode counters
+        // untouched.
+        let (p, hit3) = cache.get_or_compile(&k, &cfg, OptLevel::Full).unwrap();
+        assert!(hit3);
+        assert!(Arc::ptr_eq(d1.program(), &p));
+        assert_eq!((cache.decode_hits(), cache.decode_misses()), (1, 1));
+    }
+
+    #[test]
+    fn parallel_threshold_does_not_split_the_cache() {
+        // The fan-out threshold is a host-tuning knob: it changes
+        // neither the compiled artifact nor the decode, so sweeping it
+        // (as `tables --sim` does) must not force recompiles.
+        let cache = CompileCache::new();
+        let k = kernel(3);
+        let base = ProcessorConfig::small();
+        let (d1, hit1) = cache
+            .get_or_compile_decoded(&k, &base, OptLevel::Full)
+            .unwrap();
+        assert!(!hit1);
+        for threshold in [0usize, 64, 1024, usize::MAX] {
+            let cfg = base.clone().with_parallel_threshold(threshold);
+            let (d, hit) = cache
+                .get_or_compile_decoded(&k, &cfg, OptLevel::Full)
+                .unwrap();
+            assert!(hit, "threshold {threshold} must share the artifact");
+            assert!(Arc::ptr_eq(&d, &d1));
+        }
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn decode_fills_lazily_on_entries_compiled_without_it() {
+        let cache = CompileCache::new();
+        let cfg = ProcessorConfig::small();
+        let src = "  stid r1\n  sts [r1+0], r1\n  exit";
+        // Assembled without asking for the decode...
+        let (_, hit) = cache.get_or_assemble(src, &cfg).unwrap();
+        assert!(!hit);
+        assert_eq!(cache.decode_misses(), 0);
+        // ...the first decoded lookup derives and caches it...
+        let (d1, hit1) = cache.get_or_assemble_decoded(src, &cfg).unwrap();
+        assert!(hit1, "same artifact: a compile hit");
+        assert_eq!((cache.decode_hits(), cache.decode_misses()), (0, 1));
+        // ...and every later decoded lookup shares it.
+        let (d2, _) = cache.get_or_assemble_decoded(src, &cfg).unwrap();
+        assert!(Arc::ptr_eq(&d1, &d2));
+        assert_eq!((cache.decode_hits(), cache.decode_misses()), (1, 1));
     }
 
     #[test]

@@ -15,10 +15,10 @@ use simt_isa::{Instruction, Opcode};
 /// simulator shares one instance since the models are stateless).
 #[derive(Debug, Clone, Default)]
 pub struct Datapath {
-    mult: Int32Multiplier,
-    shifter: MultiplicativeShifter,
-    adder: PipelinedAdder32,
-    logic: LogicUnit,
+    pub(crate) mult: Int32Multiplier,
+    pub(crate) shifter: MultiplicativeShifter,
+    pub(crate) adder: PipelinedAdder32,
+    pub(crate) logic: LogicUnit,
 }
 
 /// Operand bundle for one thread's lane.

@@ -57,6 +57,9 @@ pub enum LoadError {
     NoTerminator,
     /// A branch, call or loop targets an address outside the program.
     BadTarget { pc: usize, target: usize },
+    /// A pre-decoded program was built for a different processor
+    /// configuration (decodes bake in the thread count and timing).
+    ConfigMismatch,
 }
 
 impl fmt::Display for LoadError {
@@ -82,6 +85,9 @@ impl fmt::Display for LoadError {
                     f,
                     "instruction at {pc} targets {target}, outside the program"
                 )
+            }
+            LoadError::ConfigMismatch => {
+                write!(f, "decoded program was built for a different configuration")
             }
         }
     }

@@ -43,6 +43,7 @@
 
 pub mod alu;
 pub mod config;
+pub mod decode;
 pub mod error;
 pub mod fetch;
 pub mod regfile;
@@ -53,6 +54,7 @@ pub mod stats;
 
 pub use alu::{Datapath, Operands};
 pub use config::{DspMode, ProcessorConfig};
+pub use decode::{validate_program, DecodedProgram};
 pub use error::{ConfigError, ExecError, LoadError};
 pub use fetch::{replay, run_and_replay, ClockEvent, ClockLog};
 pub use regfile::RegisterFile;

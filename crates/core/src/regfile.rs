@@ -125,6 +125,13 @@ impl RegisterFile {
         (&mut self.data, &mut self.preds, self.regs_per_thread)
     }
 
+    /// A thread's raw predicate nibble (the four predicate registers
+    /// packed p3..p0) — the form the predecoded guard test consumes.
+    #[inline]
+    pub(crate) fn pred_nibble(&self, thread: usize) -> u8 {
+        self.preds[thread]
+    }
+
     /// Immutable view of the raw arrays (snapshots).
     pub(crate) fn raw(&self) -> (&[u32], &[u8]) {
         (&self.data, &self.preds)

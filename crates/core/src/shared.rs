@@ -156,6 +156,17 @@ impl SharedMemory {
         self.stats.write_cycles += Self::write_row_cycles(lanes);
     }
 
+    /// Account `rows` read rows at once (the predecoded path knows the
+    /// block depth up front instead of stepping the width counter).
+    pub fn account_read_rows(&mut self, lanes: usize, rows: usize) {
+        self.stats.read_cycles += Self::read_row_cycles(lanes) * rows as u64;
+    }
+
+    /// Account `rows` write rows at once.
+    pub fn account_write_rows(&mut self, lanes: usize, rows: usize) {
+        self.stats.write_cycles += Self::write_row_cycles(lanes) * rows as u64;
+    }
+
     /// Direct slice view (diagnostics, host verification, and the
     /// simulator's lane-parallel load path).
     pub fn as_slice(&self) -> &[u32] {

@@ -11,16 +11,34 @@
 //!   against the closed form (a property the tests also pin).
 //!
 //! Both modes produce identical results and identical [`ExecStats`].
+//!
+//! Two *interpreters* also share that semantic core (see
+//! `docs/SIMULATOR.md`):
+//!
+//! * the **predecoded** fast path ([`Processor::run`]) executes the
+//!   cached [`DecodedProgram`] µops with per-opcode lane loops,
+//!   monomorphized over (trace on/off × mode) so the hot loop carries
+//!   no trace or cross-check branches;
+//! * the **reference** path ([`Processor::run_reference`]) interprets
+//!   the [`Program`] directly, re-extracting fields per dynamic
+//!   instruction the way the seed simulator did — kept as the
+//!   differential-testing oracle and the host-throughput baseline.
+//!
+//! The two must never diverge: results, traces and [`ExecStats`] are
+//! pinned bit-identical by `tests/prop_decode.rs`.
 
 use crate::alu::{Datapath, Operands};
 use crate::config::ProcessorConfig;
+use crate::decode::{validate_program, DecodedProgram, Uop};
 use crate::error::{ConfigError, ExecError, LoadError};
 use crate::regfile::RegisterFile;
 use crate::sequencer::{InstructionTiming, PipelineControl, FETCH_PIPELINE_DEPTH};
 use crate::shared::SharedMemory;
 use crate::stats::ExecStats;
 use rayon::prelude::*;
+use simt_datapath::{logic::LogicOp, ShiftKind, Signedness};
 use simt_isa::{CycleClass, Guard, Instruction, Opcode, Program};
+use std::sync::Arc;
 
 /// Execution mode selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,8 +57,10 @@ pub struct RunOptions {
     pub max_cycles: u64,
     /// Execution mode.
     pub mode: ExecMode,
-    /// Execute thread lanes in parallel with rayon when the thread count
-    /// is large (results are bit-identical; stores stay in thread order).
+    /// Execute thread lanes in parallel with rayon when the active
+    /// thread count reaches
+    /// [`ProcessorConfig::parallel_threshold`] (results are
+    /// bit-identical; stores stay in thread order).
     pub parallel: bool,
 }
 
@@ -63,7 +83,11 @@ impl RunOptions {
         }
     }
 
-    /// Lane-parallel functional run.
+    /// Lane-parallel functional run. Fan-out additionally requires the
+    /// active thread count to reach
+    /// [`ProcessorConfig::parallel_threshold`], whose default disables
+    /// it (measured: the vendored sequential rayon shim never wins —
+    /// see `BENCH_sim.json`).
     pub fn parallel() -> Self {
         RunOptions {
             parallel: true,
@@ -71,9 +95,6 @@ impl RunOptions {
         }
     }
 }
-
-/// Thread count threshold above which the parallel option engages.
-const PARALLEL_THRESHOLD: usize = 256;
 
 /// One issued instruction in an execution trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,7 +142,11 @@ pub struct Processor {
     regfile: RegisterFile,
     shared: SharedMemory,
     datapath: Datapath,
-    program: Option<Program>,
+    /// The loaded program, predecoded (kept across [`Processor::reset`]).
+    decoded: Option<Arc<DecodedProgram>>,
+    /// Reusable `sts` gather buffer: `(addr, value)` per passing lane,
+    /// in thread order — no per-store heap allocation in the run loop.
+    sts_scratch: Vec<Option<(usize, u32)>>,
 }
 
 impl Processor {
@@ -132,7 +157,8 @@ impl Processor {
             regfile: RegisterFile::new(&config),
             shared: SharedMemory::new(config.shared_words),
             datapath: Datapath::new(),
-            program: None,
+            decoded: None,
+            sts_scratch: Vec::new(),
             config,
         })
     }
@@ -144,7 +170,14 @@ impl Processor {
 
     /// The loaded program, if any.
     pub fn program(&self) -> Option<&Program> {
-        self.program.as_ref()
+        self.decoded.as_ref().map(|d| d.program().as_ref())
+    }
+
+    /// The predecoded form of the loaded program, if any — shareable
+    /// with other processors of the same configuration via
+    /// [`Processor::load_decoded`].
+    pub fn decoded(&self) -> Option<&Arc<DecodedProgram>> {
+        self.decoded.as_ref()
     }
 
     /// Host access to the register file.
@@ -167,81 +200,34 @@ impl Processor {
         &mut self.shared
     }
 
-    /// Validate a program against this build and load it into I-Mem
-    /// (the I-Mem is "externally re-loadable", Fig. 2).
+    /// Validate a program against this build, load it into I-Mem (the
+    /// I-Mem is "externally re-loadable", Fig. 2) and predecode it into
+    /// the µop cache the run loop executes.
     pub fn load_program(&mut self, program: &Program) -> Result<(), LoadError> {
-        if program.len() > self.config.imem_capacity {
-            return Err(LoadError::TooLarge {
-                len: program.len(),
-                capacity: self.config.imem_capacity,
-            });
+        validate_program(program, &self.config)?;
+        let program = Arc::new(program.clone());
+        self.decoded = Some(Arc::new(DecodedProgram::decode(program, &self.config)));
+        Ok(())
+    }
+
+    /// Load an already-decoded program (validated against this build),
+    /// sharing the decode instead of re-deriving it — the path the
+    /// runtime's compile cache and multi-core systems use. The decode's
+    /// configuration must be
+    /// [artifact-compatible](ProcessorConfig::artifact_compatible) with
+    /// this processor's (the fan-out threshold may differ — this
+    /// processor's own setting governs the run).
+    pub fn load_decoded(&mut self, decoded: Arc<DecodedProgram>) -> Result<(), LoadError> {
+        if !decoded.config().artifact_compatible(&self.config) {
+            return Err(LoadError::ConfigMismatch);
         }
-        if !program.has_terminator() {
-            return Err(LoadError::NoTerminator);
-        }
-        for (pc, i) in program.instructions().iter().enumerate() {
-            if i.uses_predicates() && !self.config.predicates {
-                return Err(LoadError::PredicatesDisabled { pc });
-            }
-            let limit = self.config.regs_per_thread;
-            let check = |r: simt_isa::Reg| -> Result<(), LoadError> {
-                if r.index() >= limit {
-                    Err(LoadError::RegisterRange {
-                        pc,
-                        reg: r.0,
-                        limit,
-                    })
-                } else {
-                    Ok(())
-                }
-            };
-            // setp's rd field holds a predicate index, not a register.
-            let writes_gpr = i.opcode.writes_rd()
-                && !matches!(
-                    i.opcode,
-                    Opcode::SetpEq
-                        | Opcode::SetpNe
-                        | Opcode::SetpLt
-                        | Opcode::SetpLe
-                        | Opcode::SetpGt
-                        | Opcode::SetpGe
-                        | Opcode::SetpLtu
-                        | Opcode::SetpGeu
-                );
-            if writes_gpr {
-                check(i.rd)?;
-            }
-            if i.opcode.reg_reads() >= 1 {
-                check(i.ra)?;
-            }
-            if i.opcode.reg_reads() >= 2 && i.opcode.imm_form() != simt_isa::ImmForm::Imm32 {
-                check(i.rb)?;
-            }
-            if i.opcode.reads_rc() && i.opcode != Opcode::Selp {
-                check(i.rc)?;
-            }
-            match i.opcode {
-                Opcode::Bra | Opcode::Brp | Opcode::Call if i.target() >= program.len() => {
-                    return Err(LoadError::BadTarget {
-                        pc,
-                        target: i.target(),
-                    });
-                }
-                Opcode::Loop if i.loop_end() >= program.len() => {
-                    return Err(LoadError::BadTarget {
-                        pc,
-                        target: i.loop_end(),
-                    });
-                }
-                _ => {}
-            }
-        }
-        self.program = Some(program.clone());
+        validate_program(decoded.program(), &self.config)?;
+        self.decoded = Some(decoded);
         Ok(())
     }
 
     /// Reset architectural state (registers, predicates, shared memory),
-    /// keeping the loaded program.
+    /// keeping the loaded program and its decode.
     pub fn reset(&mut self) {
         self.regfile = RegisterFile::new(&self.config);
         self.shared = SharedMemory::new(self.config.shared_words);
@@ -257,7 +243,7 @@ impl Processor {
             regs: regs.to_vec(),
             preds: preds.to_vec(),
             shared: self.shared.as_slice().to_vec(),
-            program: self.program.clone(),
+            program: self.decoded.as_ref().map(|d| d.program().as_ref().clone()),
         }
     }
 
@@ -276,10 +262,14 @@ impl Processor {
         self.shared
             .load_words(0, &snap.shared)
             .expect("snapshot memory fits by construction");
-        self.program = snap.program.clone();
+        self.decoded = snap.program.as_ref().map(|p| {
+            // The snapshot came from a processor of this configuration,
+            // so the program re-validates by construction.
+            Arc::new(DecodedProgram::decode(Arc::new(p.clone()), &self.config))
+        });
     }
 
-    /// Execute the loaded program to `exit`.
+    /// Execute the loaded program to `exit` (the predecoded fast path).
     pub fn run(&mut self, opts: RunOptions) -> Result<ExecStats, ExecError> {
         self.run_inner(opts, &mut None)
     }
@@ -296,15 +286,554 @@ impl Processor {
         Ok((stats, trace.unwrap()))
     }
 
+    /// Execute through the **reference interpreter**: field extraction
+    /// per dynamic instruction, generic per-lane dispatch through
+    /// [`Datapath::eval`] — semantically identical to [`Processor::run`]
+    /// (pinned by proptest), kept as the differential-testing oracle and
+    /// the `tables --sim` host-throughput baseline.
+    pub fn run_reference(&mut self, opts: RunOptions) -> Result<ExecStats, ExecError> {
+        self.run_reference_inner(opts, &mut None)
+    }
+
+    /// [`Processor::run_reference`] with a per-instruction trace.
+    pub fn run_reference_traced(
+        &mut self,
+        opts: RunOptions,
+    ) -> Result<(ExecStats, Vec<TraceEntry>), ExecError> {
+        let mut trace = Some(Vec::new());
+        let stats = self.run_reference_inner(opts, &mut trace)?;
+        Ok((stats, trace.unwrap()))
+    }
+
     fn run_inner(
         &mut self,
         opts: RunOptions,
         trace: &mut Option<Vec<TraceEntry>>,
     ) -> Result<ExecStats, ExecError> {
-        let program = self
-            .program
+        let decoded = self
+            .decoded
             .clone()
             .expect("no program loaded — call load_program first");
+        // Monomorphize the run loop over (trace, mode): the fast path
+        // carries no trace pushes and no counter-hardware stepping.
+        match (trace.is_some(), opts.mode) {
+            (false, ExecMode::Functional) => self.run_loop::<false, false>(&decoded, opts, trace),
+            (true, ExecMode::Functional) => self.run_loop::<true, false>(&decoded, opts, trace),
+            (false, ExecMode::CycleAccurate) => self.run_loop::<false, true>(&decoded, opts, trace),
+            (true, ExecMode::CycleAccurate) => self.run_loop::<true, true>(&decoded, opts, trace),
+        }
+    }
+
+    /// The predecoded run loop, monomorphized over trace capture and
+    /// cycle accuracy.
+    fn run_loop<const TRACED: bool, const CYCLE_ACCURATE: bool>(
+        &mut self,
+        decoded: &DecodedProgram,
+        opts: RunOptions,
+        trace: &mut Option<Vec<TraceEntry>>,
+    ) -> Result<ExecStats, ExecError> {
+        let uops = decoded.uops();
+        let threshold = self.config.parallel_threshold;
+        self.shared.reset_stats();
+        let mut stats = ExecStats {
+            cycles: FETCH_PIPELINE_DEPTH,
+            fill_cycles: FETCH_PIPELINE_DEPTH,
+            ..Default::default()
+        };
+        let mut pc = 0usize;
+        let mut call_stack: Vec<usize> = Vec::with_capacity(self.config.call_stack_depth);
+        let mut loop_stack: Vec<LoopFrame> = Vec::with_capacity(self.config.loop_stack_depth);
+
+        loop {
+            if stats.cycles > opts.max_cycles {
+                return Err(ExecError::Watchdog {
+                    cycles: opts.max_cycles,
+                });
+            }
+            let u = match uops.get(pc) {
+                Some(u) => *u,
+                None => return Err(ExecError::PcOutOfRange { pc }),
+            };
+            let active = u.active as usize;
+
+            // ---- clock accounting (both modes agree; cycle-accurate
+            // additionally steps the counter hardware) ----
+            let clocks = if CYCLE_ACCURATE {
+                let stepped = PipelineControl::start(u.class, active).run_to_end();
+                debug_assert_eq!(stepped, u.clocks as u64);
+                stepped
+            } else {
+                u.clocks as u64
+            };
+            stats.cycles += clocks;
+            stats.instructions += 1;
+            match u.class {
+                CycleClass::Operation => stats.op_cycles += clocks,
+                CycleClass::Load => stats.load_cycles += clocks,
+                CycleClass::Store => stats.store_cycles += clocks,
+                CycleClass::SingleCycle => stats.single_cycles += clocks,
+            }
+            if u.class != CycleClass::SingleCycle {
+                stats.thread_ops += active as u64;
+            }
+
+            // ---- semantics ----
+            let mut jumped: Option<usize> = None;
+            match u.opcode {
+                Opcode::Bra => {
+                    jumped = Some(u.target as usize);
+                }
+                Opcode::Brp => {
+                    if u.guard_passes(self.regfile.pred_nibble(0)) {
+                        jumped = Some(u.target as usize);
+                    }
+                }
+                Opcode::Call => {
+                    if u.guard_passes(self.regfile.pred_nibble(0)) {
+                        if call_stack.len() == self.config.call_stack_depth {
+                            return Err(ExecError::CallStackOverflow {
+                                pc,
+                                depth: self.config.call_stack_depth,
+                            });
+                        }
+                        call_stack.push(pc + 1);
+                        jumped = Some(u.target as usize);
+                    }
+                }
+                Opcode::Ret => {
+                    if u.guard_passes(self.regfile.pred_nibble(0)) {
+                        match call_stack.pop() {
+                            Some(ra) => jumped = Some(ra),
+                            None => return Err(ExecError::CallStackUnderflow { pc }),
+                        }
+                    }
+                }
+                Opcode::Loop => {
+                    let count = u.imm;
+                    let end = u.target as usize;
+                    if count == 0 || end < pc + 1 {
+                        // Empty or zero-trip loop: skip the body. A
+                        // skip is a taken branch; fall through to flush
+                        // accounting below.
+                        jumped = Some(end.max(pc) + 1);
+                    } else {
+                        if loop_stack.len() == self.config.loop_stack_depth {
+                            return Err(ExecError::LoopStackOverflow {
+                                pc,
+                                depth: self.config.loop_stack_depth,
+                            });
+                        }
+                        loop_stack.push(LoopFrame {
+                            start: pc + 1,
+                            end,
+                            remaining: count,
+                        });
+                    }
+                }
+                Opcode::Exit => {
+                    if TRACED {
+                        trace.as_mut().unwrap().push(TraceEntry {
+                            pc,
+                            opcode: u.opcode,
+                            active,
+                            clocks,
+                            jumped: None,
+                        });
+                    }
+                    stats.mem = self.shared.stats();
+                    return Ok(stats);
+                }
+                Opcode::Nop | Opcode::Bar => {}
+                _ => {
+                    let parallel = opts.parallel && active >= threshold;
+                    self.exec_uop(&u, pc, active, parallel)?;
+                }
+            }
+
+            if TRACED {
+                trace.as_mut().unwrap().push(TraceEntry {
+                    pc,
+                    opcode: u.opcode,
+                    active,
+                    clocks,
+                    jumped,
+                });
+            }
+
+            // ---- PC update ----
+            match jumped {
+                Some(target) => {
+                    // "A branch taken zeroes out the following
+                    // instructions in the pipeline."
+                    stats.branches_taken += 1;
+                    stats.branch_flush_cycles += FETCH_PIPELINE_DEPTH;
+                    stats.cycles += FETCH_PIPELINE_DEPTH;
+                    pc = target;
+                }
+                None => {
+                    // Zero-overhead loop back-edges: the "next thread
+                    // block" / branch logic of Fig. 2 redirects without a
+                    // flush. Nested loops may share an end address — an
+                    // exhausted inner frame pops and the enclosing frame
+                    // gets its check in the same clock.
+                    let mut redirected = false;
+                    while let Some(top) = loop_stack.last_mut() {
+                        if top.end != pc {
+                            break;
+                        }
+                        if top.remaining > 1 {
+                            top.remaining -= 1;
+                            pc = top.start;
+                            stats.loop_backedges += 1;
+                            redirected = true;
+                            break;
+                        }
+                        loop_stack.pop();
+                    }
+                    if !redirected {
+                        pc += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Execute one data µop (operation / load / store) across the active
+    /// thread set: one dense dispatch per *instruction*, then a
+    /// specialized lane loop per opcode with the guard test and operand
+    /// indices pre-resolved — no per-lane field extraction or opcode
+    /// dispatch.
+    fn exec_uop(
+        &mut self,
+        u: &Uop,
+        pc: usize,
+        active: usize,
+        parallel: bool,
+    ) -> Result<(), ExecError> {
+        let Processor {
+            config,
+            regfile,
+            shared,
+            datapath: dp,
+            sts_scratch,
+            ..
+        } = self;
+        let ntid = config.threads as u32;
+        let (regs, preds, rpt) = regfile.split_mut();
+        let preds: &mut [u8] = preds;
+        let (rd, ra, rb, rc) = (u.rd as usize, u.ra as usize, u.rb as usize, u.rc as usize);
+        let imm = u.imm;
+
+        match u.opcode {
+            // ---- shared memory --------------------------------------
+            Opcode::Lds => {
+                shared.account_read_rows(u.lanes as usize, u.depth as usize);
+                let shared_size = shared.words();
+                let data = shared.as_slice();
+                let active_regs = &mut regs[..active * rpt];
+                let active_preds = &preds[..active];
+                let mut reads = 0u64;
+                let body = |tid: usize, w: &mut [u32]| -> Result<(), ExecError> {
+                    let addr = w[ra].wrapping_add(imm) as usize;
+                    match data.get(addr) {
+                        Some(&v) => {
+                            w[rd] = v;
+                            Ok(())
+                        }
+                        None => Err(ExecError::SharedOutOfBounds {
+                            pc,
+                            thread: tid,
+                            addr,
+                            size: shared_size,
+                        }),
+                    }
+                };
+                if parallel {
+                    reads += active_regs
+                        .par_chunks_mut(rpt)
+                        .zip(active_preds.par_iter())
+                        .enumerate()
+                        .map(|(tid, (w, p))| {
+                            if u.guard_passes(*p) {
+                                body(tid, w).map(|()| 1)
+                            } else {
+                                Ok(0)
+                            }
+                        })
+                        .try_reduce(|| 0, |x, y| Ok(x + y))?;
+                } else if u.guard_and == 0 {
+                    // Unguarded: every active lane reads exactly once.
+                    for (tid, w) in active_regs.chunks_exact_mut(rpt).enumerate() {
+                        body(tid, w)?;
+                    }
+                    reads += active as u64;
+                } else {
+                    for (tid, (w, p)) in active_regs
+                        .chunks_exact_mut(rpt)
+                        .zip(active_preds.iter())
+                        .enumerate()
+                    {
+                        if u.guard_passes(*p) {
+                            body(tid, w)?;
+                            reads += 1;
+                        }
+                    }
+                }
+                shared.bump_reads(reads);
+                Ok(())
+            }
+            Opcode::Sts => {
+                shared.account_write_rows(u.lanes as usize, u.depth as usize);
+                // Stores stream through the single write port in thread
+                // order; on address conflicts the highest thread id wins.
+                // Gather (addr, value) pairs into the processor's
+                // reusable scratch buffer (parallel-safe), then apply in
+                // order.
+                let active_regs = &regs[..active * rpt];
+                let active_preds = &preds[..active];
+                let gather = |(w, p): (&[u32], &u8)| -> Option<(usize, u32)> {
+                    if !u.guard_passes(*p) {
+                        return None;
+                    }
+                    Some((w[ra].wrapping_add(imm) as usize, w[rb]))
+                };
+                if parallel {
+                    active_regs
+                        .par_chunks(rpt)
+                        .zip(active_preds.par_iter())
+                        .map(gather)
+                        .collect_into_vec(sts_scratch);
+                } else {
+                    sts_scratch.clear();
+                    sts_scratch.extend(
+                        active_regs
+                            .chunks_exact(rpt)
+                            .zip(active_preds.iter())
+                            .map(gather),
+                    );
+                }
+                for (tid, pair) in sts_scratch.drain(..).enumerate() {
+                    if let Some((addr, value)) = pair {
+                        shared.write(pc, tid, addr, value)?;
+                    }
+                }
+                Ok(())
+            }
+
+            // ---- compares (predicate writers) -----------------------
+            Opcode::SetpEq => setp_lanes(regs, preds, rpt, active, parallel, u, |a, b| {
+                dp.eval_setp(Opcode::SetpEq, a, b)
+            }),
+            Opcode::SetpNe => setp_lanes(regs, preds, rpt, active, parallel, u, |a, b| {
+                dp.eval_setp(Opcode::SetpNe, a, b)
+            }),
+            Opcode::SetpLt => setp_lanes(regs, preds, rpt, active, parallel, u, |a, b| {
+                dp.eval_setp(Opcode::SetpLt, a, b)
+            }),
+            Opcode::SetpLe => setp_lanes(regs, preds, rpt, active, parallel, u, |a, b| {
+                dp.eval_setp(Opcode::SetpLe, a, b)
+            }),
+            Opcode::SetpGt => setp_lanes(regs, preds, rpt, active, parallel, u, |a, b| {
+                dp.eval_setp(Opcode::SetpGt, a, b)
+            }),
+            Opcode::SetpGe => setp_lanes(regs, preds, rpt, active, parallel, u, |a, b| {
+                dp.eval_setp(Opcode::SetpGe, a, b)
+            }),
+            Opcode::SetpLtu => setp_lanes(regs, preds, rpt, active, parallel, u, |a, b| {
+                dp.eval_setp(Opcode::SetpLtu, a, b)
+            }),
+            Opcode::SetpGeu => setp_lanes(regs, preds, rpt, active, parallel, u, |a, b| {
+                dp.eval_setp(Opcode::SetpGeu, a, b)
+            }),
+
+            // ---- integer arithmetic (adder datapath) ----------------
+            Opcode::Add => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.adder.add(w[ra], w[rb])
+            }),
+            Opcode::Sub => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.adder.sub(w[ra], w[rb])
+            }),
+            Opcode::Min => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.adder.min_s(w[ra], w[rb])
+            }),
+            Opcode::Max => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.adder.max_s(w[ra], w[rb])
+            }),
+            Opcode::Abs => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.adder.abs(w[ra])
+            }),
+            Opcode::Neg => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.adder.neg(w[ra])
+            }),
+            Opcode::Sad => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.adder.sad(w[ra], w[rb], w[rc])
+            }),
+            Opcode::Addi => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.adder.add(w[ra], imm)
+            }),
+            Opcode::Subi => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.adder.sub(w[ra], imm)
+            }),
+
+            // ---- multiplier datapath --------------------------------
+            Opcode::MulLo => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.mult.mul_lo(w[ra], w[rb], Signedness::Signed)
+            }),
+            Opcode::MulHi => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.mult.mul_hi(w[ra], w[rb], Signedness::Signed)
+            }),
+            Opcode::MuluHi => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.mult.mul_hi(w[ra], w[rb], Signedness::Unsigned)
+            }),
+            Opcode::MadLo => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp
+                    .adder
+                    .add(dp.mult.mul_lo(w[ra], w[rb], Signedness::Signed), w[rc])
+            }),
+            Opcode::MadHi => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp
+                    .adder
+                    .add(dp.mult.mul_hi(w[ra], w[rb], Signedness::Signed), w[rc])
+            }),
+            Opcode::Muli => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.mult.mul_lo(w[ra], imm, Signedness::Signed)
+            }),
+
+            // ---- bitwise logic (soft-logic ALU) ---------------------
+            Opcode::And => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.logic.eval(LogicOp::And, w[ra], w[rb])
+            }),
+            Opcode::Or => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.logic.eval(LogicOp::Or, w[ra], w[rb])
+            }),
+            Opcode::Xor => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.logic.eval(LogicOp::Xor, w[ra], w[rb])
+            }),
+            Opcode::Not => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.logic.eval(LogicOp::Not, w[ra], 0)
+            }),
+            Opcode::Cnot => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.logic.eval(LogicOp::Cnot, w[ra], 0)
+            }),
+            Opcode::Andi => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.logic.eval(LogicOp::And, w[ra], imm)
+            }),
+            Opcode::Ori => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.logic.eval(LogicOp::Or, w[ra], imm)
+            }),
+            Opcode::Xori => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.logic.eval(LogicOp::Xor, w[ra], imm)
+            }),
+            Opcode::Popc => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.logic.eval(LogicOp::Popc, w[ra], 0)
+            }),
+            Opcode::Clz => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.logic.eval(LogicOp::Clz, w[ra], 0)
+            }),
+            Opcode::Brev => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.logic.eval(LogicOp::Brev, w[ra], 0)
+            }),
+
+            // ---- shifts (multiplicative shifter) --------------------
+            Opcode::Shl => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.shifter.shift(ShiftKind::Lsl, w[ra], w[rb])
+            }),
+            Opcode::Lsr => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.shifter.shift(ShiftKind::Lsr, w[ra], w[rb])
+            }),
+            Opcode::Asr => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.shifter.shift(ShiftKind::Asr, w[ra], w[rb])
+            }),
+            Opcode::Shli => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.shifter.shift(ShiftKind::Lsl, w[ra], imm)
+            }),
+            Opcode::Lsri => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.shifter.shift(ShiftKind::Lsr, w[ra], imm)
+            }),
+            Opcode::Asri => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.shifter.shift(ShiftKind::Asr, w[ra], imm)
+            }),
+
+            // ---- fixed-point / address helpers ----------------------
+            Opcode::SatAdd => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.adder.sat_add(w[ra], w[rb])
+            }),
+            Opcode::SatSub => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.adder.sat_sub(w[ra], w[rb])
+            }),
+            Opcode::MulShr => {
+                // Fixed-point scaling: full 64-bit signed product,
+                // arithmetic shift right by imm (0..=63), low 32 bits.
+                let sh = imm & 63;
+                lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                    let full = dp.mult.mul_full(w[ra], w[rb], Signedness::Signed) as i64;
+                    w[rd] = (full >> sh) as u32;
+                })
+            }
+            Opcode::ShAdd => {
+                // Address generation: (a << imm) + b.
+                let sh = imm & 31;
+                lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                    w[rd] = dp
+                        .adder
+                        .add(dp.shifter.shift(ShiftKind::Lsl, w[ra], sh), w[rb])
+                })
+            }
+            Opcode::Bfe => {
+                let pos = imm & 0x1F;
+                let len = (imm >> 5) & 0x3F;
+                lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                    let shifted = dp.shifter.shift(ShiftKind::Lsr, w[ra], pos);
+                    w[rd] = if len >= 32 {
+                        shifted
+                    } else {
+                        shifted & ((1u32 << len) - 1)
+                    };
+                })
+            }
+            Opcode::Rotri => lanes(regs, preds, rpt, active, parallel, u, |_, w| {
+                w[rd] = dp.shifter.rotate_right(w[ra], imm)
+            }),
+
+            // ---- predicated select and data movement ----------------
+            Opcode::Selp => {
+                let bit = u.pred_bit;
+                lanes_pred_src(regs, preds, rpt, active, parallel, u, |w, p| {
+                    w[rd] = if p & bit != 0 { w[ra] } else { w[rb] }
+                })
+            }
+            Opcode::Mov => lanes(regs, preds, rpt, active, parallel, u, |_, w| w[rd] = w[ra]),
+            Opcode::Movi => lanes(regs, preds, rpt, active, parallel, u, |_, w| w[rd] = imm),
+            Opcode::Stid => lanes(regs, preds, rpt, active, parallel, u, |tid, w| {
+                w[rd] = tid as u32
+            }),
+            Opcode::Sntid => lanes(regs, preds, rpt, active, parallel, u, |_, w| w[rd] = ntid),
+
+            // Control flow is handled by the run loop.
+            Opcode::Bra
+            | Opcode::Brp
+            | Opcode::Call
+            | Opcode::Ret
+            | Opcode::Loop
+            | Opcode::Exit
+            | Opcode::Nop
+            | Opcode::Bar => {
+                unreachable!("{:?} is not a data opcode", u.opcode)
+            }
+        }
+    }
+
+    fn run_reference_inner(
+        &mut self,
+        opts: RunOptions,
+        trace: &mut Option<Vec<TraceEntry>>,
+    ) -> Result<ExecStats, ExecError> {
+        let program: Arc<Program> = Arc::clone(
+            self.decoded
+                .as_ref()
+                .expect("no program loaded — call load_program first")
+                .program(),
+        );
         self.shared.reset_stats();
         let mut stats = ExecStats {
             cycles: FETCH_PIPELINE_DEPTH,
@@ -443,11 +972,7 @@ impl Processor {
                     pc = target;
                 }
                 None => {
-                    // Zero-overhead loop back-edges: the "next thread
-                    // block" / branch logic of Fig. 2 redirects without a
-                    // flush. Nested loops may share an end address — an
-                    // exhausted inner frame pops and the enclosing frame
-                    // gets its check in the same clock.
+                    // Zero-overhead loop back-edges (see run_loop).
                     let mut redirected = false;
                     while let Some(top) = loop_stack.last_mut() {
                         if top.end != pc {
@@ -480,7 +1005,8 @@ impl Processor {
     }
 
     /// Execute a data instruction (operation / load / store) across the
-    /// active thread set.
+    /// active thread set — the reference interpreter's generic per-lane
+    /// dispatch through [`Datapath::eval`].
     fn exec_data_instruction(
         &mut self,
         instr: &Instruction,
@@ -488,20 +1014,28 @@ impl Processor {
         active: usize,
         opts: &RunOptions,
     ) -> Result<(), ExecError> {
-        let ntid = self.config.threads as u32;
-        let parallel = opts.parallel && active >= PARALLEL_THRESHOLD;
-        let datapath = &self.datapath;
+        let Processor {
+            config,
+            regfile,
+            shared,
+            datapath,
+            sts_scratch,
+            ..
+        } = self;
+        let ntid = config.threads as u32;
+        let parallel = opts.parallel && active >= config.parallel_threshold;
+        let (regs, preds, rpt) = regfile.split_mut();
+        let preds: &mut [u8] = preds;
 
         match instr.opcode {
             Opcode::Lds => {
                 let (lanes, depth) = InstructionTiming::block_shape(active);
                 for _ in 0..depth {
-                    self.shared.account_read_row(lanes);
+                    shared.account_read_row(lanes);
                 }
-                let shared_size = self.shared.words();
-                let data = self.shared.as_slice();
+                let shared_size = shared.words();
+                let data = shared.as_slice();
                 let mut reads = 0u64;
-                let (regs, preds, rpt) = self.regfile.split_mut();
                 let body = |tid: usize, window: &mut [u32], pred: &u8| -> Result<u64, ExecError> {
                     if !guard_pass(*pred, instr.guard) {
                         return Ok(0);
@@ -538,19 +1072,18 @@ impl Processor {
                         reads += body(tid, window, pred)?;
                     }
                 }
-                self.shared.bump_reads(reads);
+                shared.bump_reads(reads);
                 Ok(())
             }
             Opcode::Sts => {
                 let (lanes, depth) = InstructionTiming::block_shape(active);
                 for _ in 0..depth {
-                    self.shared.account_write_row(lanes);
+                    shared.account_write_row(lanes);
                 }
                 // Stores stream through the single write port in thread
                 // order; on address conflicts the highest thread id wins.
-                // Compute (addr, value) pairs first (parallel-safe), then
-                // apply in order.
-                let (regs, preds, rpt) = self.regfile.split_mut();
+                // Compute (addr, value) pairs first (parallel-safe, into
+                // the reusable scratch buffer), then apply in order.
                 let gather = |(window, pred): (&[u32], &u8)| -> Option<(usize, u32)> {
                     if !guard_pass(*pred, instr.guard) {
                         return None;
@@ -558,22 +1091,19 @@ impl Processor {
                     let addr = window[instr.ra.index()].wrapping_add(instr.imm16()) as usize;
                     Some((addr, window[instr.rb.index()]))
                 };
-                let pairs: Vec<Option<(usize, u32)>> = if parallel {
+                if parallel {
                     regs.par_chunks(rpt)
                         .zip(preds.par_iter())
                         .take(active)
                         .map(gather)
-                        .collect()
+                        .collect_into_vec(sts_scratch);
                 } else {
-                    regs.chunks(rpt)
-                        .zip(preds.iter())
-                        .take(active)
-                        .map(gather)
-                        .collect()
-                };
-                for (tid, pair) in pairs.into_iter().enumerate() {
+                    sts_scratch.clear();
+                    sts_scratch.extend(regs.chunks(rpt).zip(preds.iter()).take(active).map(gather));
+                }
+                for (tid, pair) in sts_scratch.drain(..).enumerate() {
                     if let Some((addr, value)) = pair {
-                        self.shared.write(pc, tid, addr, value)?;
+                        shared.write(pc, tid, addr, value)?;
                     }
                 }
                 Ok(())
@@ -586,7 +1116,6 @@ impl Processor {
             | Opcode::SetpGe
             | Opcode::SetpLtu
             | Opcode::SetpGeu => {
-                let (regs, preds, rpt) = self.regfile.split_mut();
                 let dst = instr.dst_pred().index();
                 let body = |window: &[u32], pred: &mut u8| {
                     if !guard_pass(*pred, instr.guard) {
@@ -616,7 +1145,6 @@ impl Processor {
             }
             _ => {
                 // Generic ALU-value instruction writing rd.
-                let (regs, preds, rpt) = self.regfile.split_mut();
                 let reads = instr.opcode.reg_reads();
                 let has_rb = reads >= 2 && instr.opcode.imm_form() != simt_isa::ImmForm::Imm32;
                 let body = |tid: usize, window: &mut [u32], pred: &u8| {
@@ -668,6 +1196,127 @@ impl Processor {
             }
         }
     }
+}
+
+/// Drive a register-writing lane body over the active thread set with
+/// the µop's precomputed guard test; `f(tid, window)` runs only where
+/// the guard passes. The active window is sliced up front (no per-lane
+/// `take` bookkeeping) and the unguarded common case skips the guard
+/// test entirely.
+#[inline(always)]
+fn lanes<F>(
+    regs: &mut [u32],
+    preds: &[u8],
+    rpt: usize,
+    active: usize,
+    parallel: bool,
+    u: &Uop,
+    f: F,
+) -> Result<(), ExecError>
+where
+    F: Fn(usize, &mut [u32]),
+{
+    let regs = &mut regs[..active * rpt];
+    let preds = &preds[..active];
+    if parallel {
+        regs.par_chunks_mut(rpt)
+            .zip(preds.par_iter())
+            .enumerate()
+            .for_each(|(tid, (w, p))| {
+                if u.guard_passes(*p) {
+                    f(tid, w);
+                }
+            });
+    } else if u.guard_and == 0 {
+        // Unguarded common case: no per-lane branch, so the lane body
+        // can vectorize across the register file.
+        for (tid, w) in regs.chunks_exact_mut(rpt).enumerate() {
+            f(tid, w);
+        }
+    } else {
+        for (tid, (w, p)) in regs.chunks_exact_mut(rpt).zip(preds.iter()).enumerate() {
+            if u.guard_passes(*p) {
+                f(tid, w);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// [`lanes`] variant whose body also reads the lane's predicate nibble
+/// (`selp`).
+#[inline(always)]
+fn lanes_pred_src<F>(
+    regs: &mut [u32],
+    preds: &[u8],
+    rpt: usize,
+    active: usize,
+    parallel: bool,
+    u: &Uop,
+    f: F,
+) -> Result<(), ExecError>
+where
+    F: Fn(&mut [u32], u8),
+{
+    let regs = &mut regs[..active * rpt];
+    let preds = &preds[..active];
+    if parallel {
+        regs.par_chunks_mut(rpt)
+            .zip(preds.par_iter())
+            .for_each(|(w, p)| {
+                if u.guard_passes(*p) {
+                    f(w, *p);
+                }
+            });
+    } else {
+        for (w, p) in regs.chunks_exact_mut(rpt).zip(preds.iter()) {
+            if u.guard_passes(*p) {
+                f(w, *p);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Drive a predicate-writing compare over the active thread set: the
+/// µop's pre-shifted destination bit is set or cleared per lane from
+/// `f(a, b)`.
+#[inline(always)]
+fn setp_lanes<F>(
+    regs: &[u32],
+    preds: &mut [u8],
+    rpt: usize,
+    active: usize,
+    parallel: bool,
+    u: &Uop,
+    f: F,
+) -> Result<(), ExecError>
+where
+    F: Fn(u32, u32) -> bool,
+{
+    let (ra, rb, bit) = (u.ra as usize, u.rb as usize, u.pred_bit);
+    let regs = &regs[..active * rpt];
+    let preds = &mut preds[..active];
+    let body = |(w, p): (&[u32], &mut u8)| {
+        if !u.guard_passes(*p) {
+            return;
+        }
+        if f(w[ra], w[rb]) {
+            *p |= bit;
+        } else {
+            *p &= !bit;
+        }
+    };
+    if parallel {
+        regs.par_chunks(rpt)
+            .zip(preds.par_iter_mut())
+            .for_each(body);
+    } else {
+        for x in regs.chunks_exact(rpt).zip(preds.iter_mut()) {
+            body(x);
+        }
+    }
+    Ok(())
 }
 
 /// Evaluate a predicate guard against a thread's predicate nibble.

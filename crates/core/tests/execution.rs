@@ -450,3 +450,77 @@ fn fixed_point_kernel_q15() {
         assert_eq!(cpu.shared().as_slice()[64 + t], want);
     }
 }
+
+#[test]
+fn load_decoded_shares_a_decode_between_same_config_processors() {
+    use std::sync::Arc;
+    let mut a = small_cpu();
+    let p = assemble("  stid r1\n  muli r2, r1, 9\n  sts [r1+0], r2\n  exit").unwrap();
+    a.load_program(&p).unwrap();
+    let decoded = a.decoded().cloned().expect("load leaves a decode");
+
+    let mut b = small_cpu();
+    b.load_decoded(Arc::clone(&decoded)).unwrap();
+    assert!(Arc::ptr_eq(b.decoded().unwrap(), &decoded));
+    let sa = a.run(RunOptions::default()).unwrap();
+    let sb = b.run(RunOptions::default()).unwrap();
+    assert_eq!(sa, sb);
+    assert_eq!(a.shared().as_slice(), b.shared().as_slice());
+
+    // The decode survives reset (only architectural state clears).
+    b.reset();
+    assert!(b.decoded().is_some());
+    assert_eq!(b.shared().as_slice()[5], 0);
+    b.run(RunOptions::default()).unwrap();
+    assert_eq!(b.shared().as_slice()[5], 45);
+}
+
+#[test]
+fn load_decoded_rejects_a_foreign_configuration() {
+    let mut a = small_cpu(); // 64 threads
+    let p = assemble("  stid r1\n  exit").unwrap();
+    a.load_program(&p).unwrap();
+    let decoded = a.decoded().cloned().unwrap();
+
+    // A decode bakes in the thread count: a 32-thread processor must
+    // refuse it rather than run with 64-thread timing.
+    let mut b = Processor::new(ProcessorConfig::small().with_threads(32)).unwrap();
+    assert_eq!(b.load_decoded(decoded), Err(LoadError::ConfigMismatch));
+}
+
+#[test]
+fn reference_interpreter_matches_fast_path_end_to_end() {
+    // A kernel touching every execution unit, run through both
+    // interpreters on fresh processors: identical stats and memory.
+    let src = "  stid r1
+           muli r2, r1, 3
+           lds r3, [r1+0]
+           add r3, r3, r2
+           setp.gt p1, r3, r2
+           @p1 sts [r1+64], r3
+           exit";
+    let p = assemble(src).unwrap();
+    let mut fast = small_cpu();
+    fast.load_program(&p).unwrap();
+    let sf = fast.run(RunOptions::default()).unwrap();
+    let mut reference = small_cpu();
+    reference.load_program(&p).unwrap();
+    let sr = reference.run_reference(RunOptions::default()).unwrap();
+    assert_eq!(sf, sr);
+    assert_eq!(fast.shared().as_slice(), reference.shared().as_slice());
+}
+
+#[test]
+fn load_decoded_accepts_a_threshold_only_difference() {
+    // parallel_threshold is host tuning: it does not change the decode,
+    // so sharing across it must work (the compile cache relies on it).
+    let mut a = small_cpu();
+    let p = assemble("  stid r1\n  exit").unwrap();
+    a.load_program(&p).unwrap();
+    let decoded = a.decoded().cloned().unwrap();
+
+    let mut b = Processor::new(ProcessorConfig::small().with_parallel_threshold(0)).unwrap();
+    b.load_decoded(decoded).unwrap();
+    b.run(RunOptions::default()).unwrap();
+    assert_eq!(b.regfile().read(5, 1), 5);
+}

@@ -99,7 +99,10 @@ fn run_with(
     let cfg = ProcessorConfig::default()
         .with_threads(threads)
         .with_regs_per_thread(REGS as usize)
-        .with_shared_words(MEM_WORDS);
+        .with_shared_words(MEM_WORDS)
+        // Keep the lane-parallel path under test (the default threshold
+        // disables fan-out — see ProcessorConfig::parallel_threshold).
+        .with_parallel_threshold(256);
     let mut cpu = Processor::new(cfg).unwrap();
     let seed_mem: Vec<u32> = (0..MEM_WORDS as u32)
         .map(|i| i.wrapping_mul(2654435761))

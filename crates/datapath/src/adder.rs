@@ -36,7 +36,6 @@ pub struct SegmentTrace {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SegmentAdder66;
 
-const MASK16: u128 = 0xFFFF;
 const MASK66: u128 = (1u128 << 66) - 1;
 
 impl SegmentAdder66 {
@@ -48,55 +47,84 @@ impl SegmentAdder66 {
     /// Add two 66-bit values (inputs must already be masked to 66 bits),
     /// returning the 66-bit sum. Structurally identical to
     /// [`SegmentAdder66::add_traced`] with the trace discarded.
+    #[inline]
     pub fn add(&self, x: u128, y: u128) -> u128 {
         self.add_traced(x, y).0
     }
 
+    /// [`SegmentAdder66::add`] in split form — operands and sum as
+    /// `(low 64 bits, high 2 bits)` pairs. The multiplier's hot path
+    /// composes its vectors natively in this form; the segment
+    /// structure is identical to [`SegmentAdder66::add_traced`].
+    #[inline(always)]
+    pub fn add_split(&self, xl: u64, xh: u64, yl: u64, yh: u64) -> (u64, u64) {
+        let (sum, _) = self.add_traced(
+            ((xh as u128) << 64) | xl as u128,
+            ((yh as u128) << 64) | yl as u128,
+        );
+        (sum as u64, (sum >> 64) as u64)
+    }
+
     /// Add with the internal carry-network trace.
+    ///
+    /// The segment arithmetic runs on native 64-bit halves (each
+    /// segment is at most 18 bits wide, and only segment 4 straddles
+    /// the 64-bit boundary) — the host-side simulator hits this on
+    /// every multiply lane, and 128-bit arithmetic costs double-width
+    /// register pairs for values the structure never produces. The
+    /// segment decomposition, the independent stage-1 adds and the
+    /// registered single-bit {g, p} carry insertion are unchanged.
+    #[inline(always)]
     pub fn add_traced(&self, x: u128, y: u128) -> (u128, SegmentTrace) {
         debug_assert_eq!(x & !MASK66, 0, "x exceeds 66 bits");
         debug_assert_eq!(y & !MASK66, 0, "y exceeds 66 bits");
+        const M16: u64 = 0xFFFF;
+        const M18: u64 = (1 << 18) - 1;
+        let (xl, xh) = (x as u64, (x >> 64) as u64);
+        let (yl, yh) = (y as u64, (y >> 64) as u64);
         // Segment 1, bits [15:0]: V2 is zero there by construction in the
         // multiplier; in the general case the segment still adds without a
         // carry-out into segment 2 being needed *only* when y[15:0]==0.
         // The hardware relies on that property; we assert it in debug and
         // fall back to a correct two-operand add for general use.
-        let s1 = (x & MASK16) + (y & MASK16);
+        let s1 = (xl & M16) + (yl & M16);
         let c1 = s1 >> 16 != 0;
-        let s1 = s1 & MASK16;
+        let s1 = s1 & M16;
 
         // Segment 2, bits [31:16]: no carry-in in the hardware (c1 is zero
         // when y[15:0]==0); carry-out feeds the {g,p} network.
-        let x2 = (x >> 16) & MASK16;
-        let y2 = (y >> 16) & MASK16;
-        let raw2 = x2 + y2 + (c1 as u128);
+        let x2 = (xl >> 16) & M16;
+        let y2 = (yl >> 16) & M16;
+        let raw2 = x2 + y2 + (c1 as u64);
         let carry_from_seg2 = raw2 >> 16 != 0;
-        let s2 = raw2 & MASK16;
+        let s2 = raw2 & M16;
 
         // Segment 3, bits [47:32]: added independently in stage 1; the
         // carry-in arrives in stage 2.
-        let x3 = (x >> 32) & MASK16;
-        let y3 = (y >> 32) & MASK16;
+        let x3 = (xl >> 32) & M16;
+        let y3 = (yl >> 32) & M16;
         let raw3 = x3 + y3;
         let g3 = raw3 >> 16 != 0;
         // p3 = AND over bit positions of (x3 | y3): a carry entering the
         // segment would ripple all the way through.
-        let p3 = (x3 | y3) == MASK16;
+        let p3 = (x3 | y3) == M16;
 
-        // Segment 4, bits [65:48]: same independent add.
-        let x4 = (x >> 48) & ((1 << 18) - 1);
-        let y4 = (y >> 48) & ((1 << 18) - 1);
+        // Segment 4, bits [65:48]: same independent add (bits 64..65
+        // live in the high word).
+        let x4 = ((xl >> 48) | (xh << 16)) & M18;
+        let y4 = ((yl >> 48) | (yh << 16)) & M18;
         let raw4 = x4 + y4;
 
         // ---- second pipeline stage: single-gate carry insertion ----
         let carry_into_seg3 = carry_from_seg2;
-        let s3 = (raw3 + carry_into_seg3 as u128) & MASK16;
+        let s3 = (raw3 + carry_into_seg3 as u64) & M16;
         let carry_into_seg4 = g3 | (p3 & carry_into_seg3);
-        let s4 = (raw4 + carry_into_seg4 as u128) & ((1 << 18) - 1);
+        let s4 = (raw4 + carry_into_seg4 as u64) & M18;
 
-        let sum = (s4 << 48) | (s3 << 32) | (s2 << 16) | s1;
+        let sum_lo = (s4 << 48) | (s3 << 32) | (s2 << 16) | s1;
+        let sum_hi = s4 >> 16; // bits [65:64]
         (
-            sum & MASK66,
+            ((sum_hi as u128) << 64) | sum_lo as u128,
             SegmentTrace {
                 carry_from_seg2,
                 g3,
@@ -145,6 +173,7 @@ impl PipelinedAdder32 {
 
     /// Structural two-stage add with carry-in (carry-in 1 + inverted `b`
     /// gives subtraction).
+    #[inline]
     pub fn add_carry(&self, a: u32, b: u32, carry_in: bool) -> (u32, AddFlags) {
         // Stage 1: low 16 bits.
         let lo = (a & 0xFFFF) + (b & 0xFFFF) + carry_in as u32;
@@ -168,17 +197,20 @@ impl PipelinedAdder32 {
     }
 
     /// `a + b` (wrapping).
+    #[inline]
     pub fn add(&self, a: u32, b: u32) -> u32 {
         self.add_carry(a, b, false).0
     }
 
     /// `a - b` (wrapping): invert and add with carry-in, exactly as the
     /// hardware shares the adder.
+    #[inline]
     pub fn sub(&self, a: u32, b: u32) -> u32 {
         self.add_carry(a, !b, true).0
     }
 
     /// Absolute value: conditional negate through the same adder.
+    #[inline]
     pub fn abs(&self, a: u32) -> u32 {
         if (a as i32) < 0 {
             self.sub(0, a)
@@ -188,11 +220,13 @@ impl PipelinedAdder32 {
     }
 
     /// Arithmetic negate.
+    #[inline]
     pub fn neg(&self, a: u32) -> u32 {
         self.sub(0, a)
     }
 
     /// Signed minimum via the shared subtractor's flags.
+    #[inline]
     pub fn min_s(&self, a: u32, b: u32) -> u32 {
         let (_, f) = self.add_carry(a, !b, true);
         // a < b (signed)  <=>  negative XOR overflow
@@ -204,6 +238,7 @@ impl PipelinedAdder32 {
     }
 
     /// Signed maximum.
+    #[inline]
     pub fn max_s(&self, a: u32, b: u32) -> u32 {
         let (_, f) = self.add_carry(a, !b, true);
         if f.negative != f.overflow {
@@ -215,6 +250,7 @@ impl PipelinedAdder32 {
 
     /// Saturating signed add (fixed-point wordgrowth control, §4.2
     /// motivation).
+    #[inline]
     pub fn sat_add(&self, a: u32, b: u32) -> u32 {
         let (s, f) = self.add_carry(a, b, false);
         if f.overflow {
@@ -229,6 +265,7 @@ impl PipelinedAdder32 {
     }
 
     /// Saturating signed subtract.
+    #[inline]
     pub fn sat_sub(&self, a: u32, b: u32) -> u32 {
         let (s, f) = self.add_carry(a, !b, true);
         if f.overflow {
@@ -243,6 +280,7 @@ impl PipelinedAdder32 {
     }
 
     /// Sum of absolute difference: `c + |a - b|` (PTX `sad`).
+    #[inline]
     pub fn sad(&self, a: u32, b: u32, c: u32) -> u32 {
         let d = self.sub(a, b);
         let (_, f) = self.add_carry(a, !b, true);

@@ -44,6 +44,7 @@ impl LogicUnit {
     }
 
     /// Evaluate a binary op (`b` ignored for unary ops).
+    #[inline]
     pub fn eval(&self, op: LogicOp, a: u32, b: u32) -> u32 {
         match op {
             LogicOp::And => a & b,

@@ -73,6 +73,7 @@ impl Int32Multiplier {
 
     /// Decompose the operands into the three DSP-block vectors and the
     /// two 66-bit composition vectors (§4.1 / Figure 4).
+    #[inline]
     pub fn vectors(&self, a: u32, b: u32, mode: Signedness) -> MulVectors {
         let al = (a & 0xFFFF) as i64; // zero-extended in both modes
         let bl = (b & 0xFFFF) as i64;
@@ -98,18 +99,41 @@ impl Int32Multiplier {
 
     /// Full 64-bit product via the structural datapath: DSP vectors, then
     /// the segmented 66-bit addition.
+    ///
+    /// The composition runs in the adder's split `(low 64, high 2)`
+    /// form — the same V1/V2 vectors as [`Int32Multiplier::vectors`]
+    /// without round-tripping through 128-bit values on the host's
+    /// hottest path (the simulator evaluates this per multiply lane).
+    #[inline(always)]
     pub fn mul_full(&self, a: u32, b: u32, mode: Signedness) -> u64 {
-        let v = self.vectors(a, b, mode);
-        let sum = self.adder.add(v.v1, v.v2);
-        sum as u64 // low 64 bits of the 66-bit sum
+        let al = (a & 0xFFFF) as i64; // zero-extended in both modes
+        let bl = (b & 0xFFFF) as i64;
+        let (ah, bh) = match mode {
+            Signedness::Unsigned => ((a >> 16) as i64, (b >> 16) as i64),
+            Signedness::Signed => (((a as i32) >> 16) as i64, ((b as i32) >> 16) as i64),
+        };
+        let vector_a = ah * bh;
+        let vector_b = ah * bl + al * bh;
+        let vector_c = (al * bl) as u64;
+        // V1 = lower 34 bits of A, appended to the left of C's 32 bits.
+        let a34 = (vector_a as u64) & ((1 << 34) - 1);
+        let v1_lo = (a34 << 32) | (vector_c & 0xFFFF_FFFF);
+        let v1_hi = a34 >> 32; // bits [65:64]
+                               // V2 = B sign-extended to 66 bits with 16 zeros appended right.
+        let v2_lo = (vector_b as u64) << 16;
+        let v2_hi = ((vector_b >> 48) as u64) & 0x3;
+        let (sum_lo, _) = self.adder.add_split(v1_lo, v1_hi, v2_lo, v2_hi);
+        sum_lo // low 64 bits of the 66-bit sum
     }
 
     /// Low 32 bits of the product ("for address generation").
+    #[inline]
     pub fn mul_lo(&self, a: u32, b: u32, mode: Signedness) -> u32 {
         self.mul_full(a, b, mode) as u32
     }
 
     /// High 32 bits of the product ("for signal processing").
+    #[inline]
     pub fn mul_hi(&self, a: u32, b: u32, mode: Signedness) -> u32 {
         (self.mul_full(a, b, mode) >> 32) as u32
     }

@@ -92,6 +92,7 @@ impl MultiplicativeShifter {
     }
 
     /// Bit-reverse within the data width ("a free operation in hardware").
+    #[inline]
     pub fn bit_reverse(&self, v: u32) -> u32 {
         (v & self.mask()).reverse_bits() >> (32 - self.width)
     }
@@ -99,6 +100,7 @@ impl MultiplicativeShifter {
     /// One-hot conversion of the shift value: `1 << s`, or 0 when the
     /// value is out of range (≥ width). "A shift by zero would result in
     /// a one-hot value of '1'".
+    #[inline]
     pub fn one_hot(&self, amount: u32) -> u32 {
         if amount >= self.width {
             0
@@ -111,6 +113,7 @@ impl MultiplicativeShifter {
     /// LSBs; out-of-range gives all ones (the out-of-range flag is
     /// forwarded with the 5-bit value so a negative number saturates to
     /// −1, matching two's-complement `>>`).
+    #[inline]
     pub fn unary(&self, amount: u32) -> u32 {
         if amount >= self.width {
             self.mask()
@@ -123,6 +126,7 @@ impl MultiplicativeShifter {
 
     /// Perform a shift through the multiplier datapath, returning the
     /// full signal trace (Figure 5).
+    #[inline]
     pub fn shift_traced(&self, kind: ShiftKind, value: u32, amount: u32) -> ShiftTrace {
         let mask = self.mask();
         let input = value & mask;
@@ -169,12 +173,14 @@ impl MultiplicativeShifter {
     }
 
     /// Perform a shift, result only.
+    #[inline]
     pub fn shift(&self, kind: ShiftKind, value: u32, amount: u32) -> u32 {
         self.shift_traced(kind, value, amount).result
     }
 
     /// Rotate right, composed from the two logical shift paths (two
     /// passes of the multiplier datapath OR-ed; used by `rotri`).
+    #[inline]
     pub fn rotate_right(&self, value: u32, amount: u32) -> u32 {
         let s = amount % self.width;
         if s == 0 {

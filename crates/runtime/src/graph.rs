@@ -134,7 +134,10 @@ impl Runtime {
     /// Instantiate a graph: validate every copy window against the
     /// device buffer and compile every launch through the pool-wide
     /// compile cache (whole-graph compilation — one artifact per
-    /// distinct kernel, shared with the streams' launch path).
+    /// distinct kernel, shared with the streams' launch path). The
+    /// artifacts are resolved in *predecoded* form, so every replayed
+    /// launch reuses the cached simulator decode (`decode_hits` on the
+    /// cache) instead of re-deriving it.
     pub fn instantiate(&self, graph: ExecGraph) -> Result<GraphExec, RuntimeError> {
         let memory_words = self.config().device.memory_words;
         for node in graph.nodes() {
@@ -145,12 +148,12 @@ impl Runtime {
                     match &spec.source {
                         KernelSource::Ir(kernel) => self
                             .compile_cache()
-                            .get_or_compile(kernel, &spec.config, OptLevel::Full)
+                            .get_or_compile_decoded(kernel, &spec.config, OptLevel::Full)
                             .map(|_| ())
                             .map_err(|e| RuntimeError::Compile(e.to_string()))?,
                         KernelSource::Asm(asm) => self
                             .compile_cache()
-                            .get_or_assemble(asm, &spec.config)
+                            .get_or_assemble_decoded(asm, &spec.config)
                             .map(|_| ())
                             .map_err(|e| RuntimeError::Asm(e.to_string()))?,
                     };

@@ -144,19 +144,24 @@ impl Device {
     /// processor's shared memory is seeded from the buffer, inline spec
     /// inputs are applied on top, the kernel runs to `exit`, and the
     /// shared image is written back so later copies and launches see it.
+    ///
+    /// Compiles resolve through the pool cache in *predecoded* form:
+    /// the simulator's µop decode rides the cached artifact, so
+    /// repeated stream launches and graph replays skip re-decoding
+    /// (the cache's `decode_hits` counter tracks this).
     pub(crate) fn run_launch(
         &mut self,
         spec: &LaunchSpec,
         buffer: &mut [u32],
     ) -> Result<LaunchOutcome, RuntimeError> {
-        let (program, compile_hit) = match &spec.source {
+        let (decoded, compile_hit) = match &spec.source {
             KernelSource::Asm(asm) => self
                 .compile_cache
-                .get_or_assemble(asm, &spec.config)
+                .get_or_assemble_decoded(asm, &spec.config)
                 .map_err(|e| RuntimeError::Asm(e.to_string()))?,
             KernelSource::Ir(kernel) => self
                 .compile_cache
-                .get_or_compile(kernel, &spec.config, OptLevel::Full)
+                .get_or_compile_decoded(kernel, &spec.config, OptLevel::Full)
                 .map_err(|e| RuntimeError::Compile(e.to_string()))?,
         };
         let (mut proc, cache_hit) = self.processor(&spec.config)?;
@@ -169,7 +174,7 @@ impl Device {
                 .load_words(*off, words)
                 .map_err(|e| RuntimeError::Exec(e.to_string()))?;
         }
-        proc.load_program(&program)
+        proc.load_decoded(decoded)
             .map_err(|e| RuntimeError::Load(e.to_string()))?;
         let stats = proc
             .run(RunOptions::default())

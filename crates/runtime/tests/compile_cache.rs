@@ -64,6 +64,10 @@ fn repeated_ir_launches_hit_the_compile_cache() {
     assert_eq!(rt.compile_cache().misses(), 1);
     assert_eq!(rt.compile_cache().hits(), REPEATS as u64 - 1);
     assert_eq!(rt.compile_cache().len(), 1);
+    // The simulator decode rides the cached artifact: one decode on the
+    // first launch, reused by every repeat (no per-launch re-decode).
+    assert_eq!(rt.compile_cache().decode_misses(), 1);
+    assert_eq!(rt.compile_cache().decode_hits(), REPEATS as u64 - 1);
 }
 
 #[test]
@@ -100,6 +104,36 @@ fn looped_ir_launches_run_and_cache_through_the_runtime() {
     // Two distinct looped kernels, compiled once each; repeats hit.
     assert_eq!(rt.stats().compile_misses(), 2);
     assert_eq!(rt.stats().compile_hits(), (REPEATS as u64 - 1) * 2);
+}
+
+#[test]
+fn graph_replays_reuse_the_cached_decode() {
+    use simt_runtime::GraphBuilder;
+
+    let rt = Runtime::new(RuntimeConfig::with_devices(1));
+    let x = int_vector(128, 5);
+    let y = int_vector(128, 6);
+    let spec = LaunchSpec::saxpy_ir(2, &x, &y);
+    let expected = spec.expected.clone();
+    let (off, len) = (spec.out_off, spec.out_len);
+    let mut b = GraphBuilder::new();
+    let l = b.launch(spec, &[]);
+    b.copy_out(off, len, &[l]);
+    let graph = b.finish().unwrap();
+
+    // Instantiate compiles AND decodes the kernel once.
+    let exec = rt.instantiate(graph).unwrap();
+    assert_eq!(rt.compile_cache().decode_misses(), 1);
+    assert_eq!(rt.compile_cache().decode_hits(), 0);
+
+    // Every replayed launch is a decode hit — replay never re-decodes.
+    const REPLAYS: u64 = 3;
+    for _ in 0..REPLAYS {
+        let replay = rt.replay(&exec).unwrap();
+        assert_eq!(replay.outputs[0].1, expected);
+    }
+    assert_eq!(rt.compile_cache().decode_misses(), 1);
+    assert_eq!(rt.compile_cache().decode_hits(), REPLAYS);
 }
 
 #[test]

@@ -133,10 +133,20 @@ impl System {
         &self.stats
     }
 
-    /// Load the same program on every core.
+    /// Load the same program on every core: the program is validated
+    /// and predecoded **once** (cores are identical, so the µop decode
+    /// is too) and the remaining cores share the decode — per-phase
+    /// re-runs then never re-decode either, since each core keeps its
+    /// decode across [`Processor::reset`].
     pub fn load_all(&mut self, program: &Program) -> Result<(), LoadError> {
-        for c in &mut self.cores {
-            c.load_program(program)?;
+        let (first, rest) = self.cores.split_first_mut().expect("at least one core");
+        first.load_program(program)?;
+        let decoded = first
+            .decoded()
+            .cloned()
+            .expect("load_program leaves a decode");
+        for c in rest {
+            c.load_decoded(std::sync::Arc::clone(&decoded))?;
         }
         Ok(())
     }

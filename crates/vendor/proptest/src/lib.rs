@@ -19,8 +19,8 @@ use std::ops::{Range, RangeInclusive};
 /// Everything a `use proptest::prelude::*` consumer expects.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
-        ProptestConfig, Strategy, TestRng,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestRng, Union,
     };
 }
 
@@ -283,6 +283,95 @@ pub mod collection {
             (0..len).map(|_| self.element.generate(rng)).collect()
         }
     }
+}
+
+/// Optional-value strategies (`proptest::option::weighted`).
+pub mod option {
+    use super::*;
+
+    /// Strategy producing `Some` with probability `p` (see [`weighted`]).
+    pub struct Weighted<S> {
+        p: f64,
+        inner: S,
+    }
+
+    /// Generate `Some(inner)` with probability `p`, `None` otherwise.
+    pub fn weighted<S: Strategy>(p: f64, inner: S) -> Weighted<S> {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside 0..=1");
+        Weighted { p, inner }
+    }
+
+    impl<S: Strategy> Strategy for Weighted<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // 53 uniform mantissa bits, the standard unit-interval draw.
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            if unit < self.p {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Weighted choice over heterogeneous strategies of one value type —
+/// what the [`prop_oneof!`] macro builds.
+pub struct Union<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// An empty union; add arms with [`Union::or`].
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Union {
+            arms: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Add an arm with an integer weight.
+    pub fn or<S>(mut self, weight: u32, strategy: S) -> Self
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        assert!(weight > 0, "oneof arm weight must be positive");
+        self.total += weight;
+        self.arms.push((weight, Box::new(strategy)));
+        self
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(self.total > 0, "oneof with no arms");
+        let mut pick = rng.gen_range(0..self.total);
+        for (weight, arm) in &self.arms {
+            if pick < *weight {
+                return arm.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+/// `prop_oneof![w1 => s1, w2 => s2, ...]` (or unweighted
+/// `prop_oneof![s1, s2, ...]`): draw from one of several strategies,
+/// chosen by weight.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {{
+        let mut union = $crate::Union::new();
+        $(union = union.or($weight as u32, $strategy);)+
+        union
+    }};
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof!($(1 => $strategy),+)
+    };
 }
 
 /// Sampling strategies (`proptest::sample::select`).

@@ -176,6 +176,17 @@ impl<I: Iterator> Par<I> {
         self.0.collect()
     }
 
+    /// Materialize into an existing vector, reusing its allocation
+    /// (rayon's `IndexedParallelIterator::collect_into_vec`): the
+    /// target is cleared and refilled in input order.
+    pub fn collect_into_vec<T>(self, target: &mut Vec<T>)
+    where
+        I: Iterator<Item = T>,
+    {
+        target.clear();
+        target.extend(self.0);
+    }
+
     /// Fallible reduction over `Result` items: first error wins,
     /// otherwise fold with `op` from `identity()`.
     pub fn try_reduce<T, E, ID, OP>(self, identity: ID, op: OP) -> Result<T, E>
