@@ -7,8 +7,8 @@
 //! ```
 //!
 //! Flags: `--table1 --table2 --fmax --registers --baseline --shifter
-//! --fig5 --fig6 --fig7 --cycles --runtime --compiler --graph`
-//! (no flags = all).
+//! --fig5 --fig6 --fig7 --cycles --runtime --compiler --graph
+//! --sim --profile` (no flags = all).
 //!
 //! The `--runtime` section also writes `BENCH_runtime.json` — a
 //! machine-readable snapshot of the runtime scheduler's scaling numbers
@@ -19,7 +19,12 @@
 //! rates), and `--graph` writes
 //! `BENCH_graph.json` (fused vs unfused execution-graph makespans,
 //! fusion pass reductions, replay cache hits), so future changes can be
-//! tracked against them.
+//! tracked against them. `--profile` drives a traced stream + graph
+//! workload through a profiled runtime and writes `PROFILE_trace.json`
+//! (Chrome trace-event JSON, Perfetto-loadable) plus
+//! `PROFILE_summary.json` (the flat [`simt_profile::summary`]
+//! roll-up); `--sim` additionally records the profiling-overhead row
+//! (launch latency with the profiler off / events on / per-PC on).
 
 use fpga_fitter::{compile, floorplan, CompileOptions, DesignVariant};
 use serde::Serialize;
@@ -89,6 +94,9 @@ fn main() {
     if want("--sim") {
         sim();
     }
+    if want("--profile") {
+        profile();
+    }
 }
 
 /// One workload row of the host-throughput harness: the same program
@@ -139,6 +147,27 @@ struct SimBenchReport {
     /// re-runs hit the cached decode).
     decode_misses: u64,
     decode_hits: u64,
+    /// Launch latency with the profiler off vs on — the disabled path
+    /// is a branch on `None` per instrumented site, so `disabled` must
+    /// track the pre-profiler baseline within measurement noise.
+    profiling_overhead: ProfilingOverheadRow,
+}
+
+/// End-to-end launch latency under the three profiler settings.
+#[derive(Debug, Clone, Serialize)]
+struct ProfilingOverheadRow {
+    /// Launches per timed batch.
+    batch: u64,
+    /// Profiler off (`RuntimeConfig::profile = None`) — the default.
+    disabled_us_per_launch: f64,
+    /// Event ring on, per-PC histograms off.
+    events_us_per_launch: f64,
+    /// Event ring and per-PC histograms on (`ProfileConfig::full`).
+    full_us_per_launch: f64,
+    /// `events / disabled` (1.0 = free).
+    events_ratio: f64,
+    /// `full / disabled`.
+    full_ratio: f64,
 }
 
 /// One sim-harness workload: a compiled program plus its configuration.
@@ -393,6 +422,42 @@ fn sim() {
     assert!(decode_hits >= 3, "re-runs must hit the cached decode");
     println!("\ndecode cache over 4 repeated launches: {decode_misses} miss, {decode_hits} hits");
 
+    // Profiling overhead: the same launch batch through a 1-device
+    // pool with the profiler off, events-only, and full (per-PC).
+    // Disabled instrumentation is a branch on `None` per site, so the
+    // first column is the number that must not move.
+    let batch = 8u64;
+    let time_batch = |profile: Option<simt_profile::ProfileConfig>| {
+        let mut cfg = RuntimeConfig::with_devices(1);
+        cfg.profile = profile;
+        let rt = Runtime::new(cfg);
+        let s = rt.stream();
+        let spec = LaunchSpec::saxpy(3, &x, &y);
+        sim_time_per_run(|| {
+            for _ in 0..batch {
+                s.launch(spec.clone());
+            }
+            rt.synchronize().expect("overhead batch runs clean");
+        }) * 1e6
+            / batch as f64
+    };
+    let disabled = time_batch(None);
+    let events = time_batch(Some(simt_profile::ProfileConfig::default()));
+    let full = time_batch(Some(simt_profile::ProfileConfig::full()));
+    let profiling_overhead = ProfilingOverheadRow {
+        batch,
+        disabled_us_per_launch: disabled,
+        events_us_per_launch: events,
+        full_us_per_launch: full,
+        events_ratio: events / disabled,
+        full_ratio: full / disabled,
+    };
+    println!(
+        "\nprofiling overhead (saxpy, {batch}-launch batches): \
+         off {disabled:.2} us/launch, events {events:.2} ({:.2}x), full {full:.2} ({:.2}x)",
+        profiling_overhead.events_ratio, profiling_overhead.full_ratio
+    );
+
     let report = SimBenchReport {
         schema_version: 1,
         rows,
@@ -404,6 +469,7 @@ fn sim() {
         },
         decode_misses,
         decode_hits,
+        profiling_overhead,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
@@ -1225,4 +1291,105 @@ fn cycles() {
         s.cycles
     );
     println!();
+}
+
+/// `--profile`: trace a mixed stream + graph workload through a
+/// profiled runtime and write the two exporter artifacts —
+/// `PROFILE_trace.json` (Chrome trace-event JSON) and
+/// `PROFILE_summary.json` (the flat roll-up) — plus a per-PC hotspot
+/// table for the IR biquad bank.
+fn profile() {
+    use simt_kernels::pipeline::Pipeline;
+    use simt_kernels::workload::{int_vector, q15_signal};
+    use simt_kernels::{iir, LaunchSpec};
+    use simt_profile::chrome::chrome_trace;
+    use simt_profile::summary::summarize;
+    use simt_profile::ProfileConfig;
+    use simt_runtime::{fuse, GraphBuilder, NodeId, Runtime, RuntimeConfig};
+
+    println!("== simt-profile: traced stream + graph workload ==");
+    let rt = Runtime::new(RuntimeConfig::default().with_profile(ProfileConfig::full()));
+
+    // Stream phase: every command class — copies, an IR launch chain
+    // with a cross-stream event edge, and a copy-out.
+    let (n, m) = (16, 8);
+    let iir_spec = LaunchSpec::iir_ir(&q15_signal(n * m, 7), n, m, iir::Biquad::lowpass());
+    let s0 = rt.stream();
+    let s1 = rt.stream();
+    s0.copy_in(8192, &[1, 2, 3, 4]);
+    s0.launch(iir_spec.clone());
+    let e = rt.event();
+    s0.record_event(&e);
+    s1.wait_event(&e);
+    s1.launch(iir_spec.clone());
+    let out = s1.copy_out(iir_spec.out_off, iir_spec.out_len);
+    rt.synchronize().expect("stream phase runs clean");
+    assert_eq!(out.wait().unwrap(), iir_spec.expected, "iir_ir output");
+
+    // Graph phase: a fused three-stage pipeline replayed on the pool.
+    let x = int_vector(256, 7);
+    let y = int_vector(256, 11);
+    let pipe = Pipeline::saxpy_scale_sum(3, 2, &x, &y, 0);
+    let mut b = GraphBuilder::new();
+    let copies: Vec<NodeId> = pipe
+        .inputs
+        .iter()
+        .map(|(dst, words)| b.copy_in(*dst, words.clone(), &[]))
+        .collect();
+    let mut prev = copies;
+    for stage in &pipe.stages {
+        prev = vec![b.launch(stage.clone(), &prev)];
+    }
+    b.copy_out(pipe.out_off, pipe.out_len, &prev);
+    let (fused, _) = fuse(&b.finish().expect("acyclic graph"));
+    let exec = rt.instantiate(fused).expect("instantiate");
+    let replay = rt.replay(&exec).expect("replay");
+    assert!(
+        replay.outputs.iter().any(|(_, w)| *w == pipe.expected),
+        "fused replay output"
+    );
+
+    // Export both artifacts.
+    let tracer = rt.tracer().expect("profiled runtime has a tracer");
+    let events = tracer.events();
+    let summary = summarize(&events, tracer.dropped());
+    std::fs::write("PROFILE_trace.json", chrome_trace(&events)).expect("write PROFILE_trace.json");
+    std::fs::write(
+        "PROFILE_summary.json",
+        serde_json::to_string_pretty(&summary).expect("summary serializes"),
+    )
+    .expect("write PROFILE_summary.json");
+
+    println!(
+        "{} events ({} dropped) across {} categories:",
+        summary.events,
+        summary.dropped,
+        summary.by_category.len()
+    );
+    for c in &summary.by_category {
+        println!("  {:<10} {:>6}", c.category, c.events);
+    }
+    for cat in ["kernel", "copy", "sync", "graph", "cache", "compiler"] {
+        assert!(
+            summary
+                .by_category
+                .iter()
+                .any(|c| c.category == cat && c.events > 0),
+            "workload must record at least one `{cat}` event"
+        );
+    }
+
+    // Per-PC hotspots of the traced biquad bank (both launches merged).
+    let profiles = rt.pc_profiles();
+    let prof = &profiles[&iir_spec.name];
+    println!(
+        "\n{} per-PC profile: {:.1}% of {} clk attributed, top 5:",
+        iir_spec.name,
+        100.0 * prof.attribution_fraction(),
+        prof.total_cycles()
+    );
+    for (pc, c) in prof.hottest(5) {
+        println!("  pc {pc:>3}  {:>8} clk  {:>6} issues", c.cycles, c.issues);
+    }
+    println!("(wrote PROFILE_trace.json, PROFILE_summary.json)\n");
 }

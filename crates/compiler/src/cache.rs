@@ -21,6 +21,7 @@ use crate::ir::{hash_config, Fnv, Kernel};
 use crate::lower::{compile, OptLevel};
 use simt_core::{DecodedProgram, ProcessorConfig};
 use simt_isa::{IsaError, Program};
+use simt_profile::{TraceEvent, Tracer};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -81,6 +82,8 @@ pub struct CompileCache {
     evictions: AtomicU64,
     decode_hits: AtomicU64,
     decode_misses: AtomicU64,
+    /// Optional structured-event sink (see [`CompileCache::with_tracer`]).
+    tracer: Option<Arc<Tracer>>,
 }
 
 /// Internal lookup result: the program, its decode when requested, and
@@ -117,6 +120,23 @@ impl CompileCache {
         cache
     }
 
+    /// Attach a [`Tracer`]: every lookup then emits
+    /// [`TraceEvent::CompileCacheHit`] / [`TraceEvent::CompileCacheMiss`]
+    /// (plus the decode-cache pair), and every fresh IR compile emits one
+    /// [`TraceEvent::PassRun`] per pipeline pass invocation.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Record `event` when a tracer is attached (the disabled path is a
+    /// branch on `None`).
+    fn emit(&self, event: TraceEvent) {
+        if let Some(t) = &self.tracer {
+            t.record(event);
+        }
+    }
+
     /// Claim `key` under the lock: hit, collision, or take ownership of
     /// the compile (waiting out any other thread already compiling it).
     /// With `want_decoded`, a hit also returns the entry's predecoded
@@ -128,6 +148,7 @@ impl CompileCache {
         material: &SourceMaterial,
         config: &ProcessorConfig,
         want_decoded: bool,
+        label: &str,
     ) -> Claim {
         let mut inner = self.inner.lock().unwrap();
         loop {
@@ -140,14 +161,24 @@ impl CompileCache {
                 if e.material == *material && e.config.artifact_compatible(config) {
                     e.last_used = tick;
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.emit(TraceEvent::CompileCacheHit {
+                        kernel: label.to_string(),
+                        decoded: want_decoded,
+                    });
                     let decoded = if want_decoded {
                         Some(match &e.decoded {
                             Some(d) => {
                                 self.decode_hits.fetch_add(1, Ordering::Relaxed);
+                                self.emit(TraceEvent::DecodeCacheHit {
+                                    kernel: label.to_string(),
+                                });
                                 Arc::clone(d)
                             }
                             None => {
                                 self.decode_misses.fetch_add(1, Ordering::Relaxed);
+                                self.emit(TraceEvent::DecodeCacheMiss {
+                                    kernel: label.to_string(),
+                                });
                                 let d = Arc::new(DecodedProgram::decode(
                                     Arc::clone(&e.program),
                                     &e.config,
@@ -162,10 +193,16 @@ impl CompileCache {
                     return Claim::Hit(Arc::clone(&e.program), decoded);
                 }
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.emit(TraceEvent::CompileCacheMiss {
+                    kernel: label.to_string(),
+                });
                 return Claim::Collision;
             }
             if inner.pending.insert(key) {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.emit(TraceEvent::CompileCacheMiss {
+                    kernel: label.to_string(),
+                });
                 return Claim::Owned;
             }
             inner = self.ready.wait(inner).unwrap();
@@ -248,19 +285,30 @@ impl CompileCache {
             canon,
             opt_full: matches!(opt, OptLevel::Full),
         };
-        match self.claim(key, &material, config, want_decoded) {
+        match self.claim(key, &material, config, want_decoded, &kernel.name) {
             Claim::Hit(p, d) => Ok((p, d, true)),
             Claim::Collision => {
                 // Keyspace collision: serve a correct one-off compile,
                 // leave the resident entry alone.
                 let p = Arc::new(compile(kernel, config, opt)?.program);
-                let d = self.one_off_decode(&p, config, want_decoded);
+                let d = self.one_off_decode(&p, config, want_decoded, &kernel.name);
                 Ok((p, d, false))
             }
             Claim::Owned => match compile(kernel, config, opt) {
                 Ok(compiled) => {
+                    if self.tracer.is_some() {
+                        for ps in &compiled.report.passes {
+                            self.emit(TraceEvent::PassRun {
+                                kernel: kernel.name.clone(),
+                                pass: ps.pass.to_string(),
+                                insts_before: ps.insts_before,
+                                insts_after: ps.insts_after,
+                                changed: ps.changed,
+                            });
+                        }
+                    }
                     let p = Arc::new(compiled.program);
-                    let d = self.one_off_decode(&p, config, want_decoded);
+                    let d = self.one_off_decode(&p, config, want_decoded, &kernel.name);
                     self.settle(
                         key,
                         Some(Entry {
@@ -316,17 +364,24 @@ impl CompileCache {
         hash_config(&mut h, config);
         let key = h.finish();
         let material = SourceMaterial::Asm(asm.to_string());
-        match self.claim(key, &material, config, want_decoded) {
+        // Assembly sources carry no kernel name; label by content hash
+        // (only materialized when a tracer is listening).
+        let label = if self.tracer.is_some() {
+            format!("asm#{key:016x}")
+        } else {
+            String::new()
+        };
+        match self.claim(key, &material, config, want_decoded, &label) {
             Claim::Hit(p, d) => Ok((p, d, true)),
             Claim::Collision => {
                 let p = Arc::new(simt_isa::assemble(asm)?);
-                let d = self.one_off_decode(&p, config, want_decoded);
+                let d = self.one_off_decode(&p, config, want_decoded, &label);
                 Ok((p, d, false))
             }
             Claim::Owned => match simt_isa::assemble(asm) {
                 Ok(program) => {
                     let p = Arc::new(program);
-                    let d = self.one_off_decode(&p, config, want_decoded);
+                    let d = self.one_off_decode(&p, config, want_decoded, &label);
                     self.settle(
                         key,
                         Some(Entry {
@@ -354,11 +409,15 @@ impl CompileCache {
         program: &Arc<Program>,
         config: &ProcessorConfig,
         want_decoded: bool,
+        label: &str,
     ) -> Option<Arc<DecodedProgram>> {
         if !want_decoded {
             return None;
         }
         self.decode_misses.fetch_add(1, Ordering::Relaxed);
+        self.emit(TraceEvent::DecodeCacheMiss {
+            kernel: label.to_string(),
+        });
         Some(Arc::new(DecodedProgram::decode(
             Arc::clone(program),
             config,
@@ -652,6 +711,53 @@ mod tests {
         let (d2, _) = cache.get_or_assemble_decoded(src, &cfg).unwrap();
         assert!(Arc::ptr_eq(&d1, &d2));
         assert_eq!((cache.decode_hits(), cache.decode_misses()), (1, 1));
+    }
+
+    #[test]
+    fn tracer_sees_hits_misses_decodes_and_passes() {
+        let tracer = Arc::new(Tracer::new(256));
+        let cache = CompileCache::new().with_tracer(Arc::clone(&tracer));
+        let cfg = ProcessorConfig::small();
+        let k = kernel(3);
+        // Fresh decoded compile: miss + one-off decode miss + passes.
+        cache
+            .get_or_compile_decoded(&k, &cfg, OptLevel::Full)
+            .unwrap();
+        // Repeat: hit + decode hit.
+        cache
+            .get_or_compile_decoded(&k, &cfg, OptLevel::Full)
+            .unwrap();
+        // Assembly miss, labelled by content hash.
+        cache.get_or_assemble("  stid r1\n  exit", &cfg).unwrap();
+        let ev = tracer.events();
+        let count = |f: &dyn Fn(&TraceEvent) -> bool| ev.iter().filter(|e| f(e)).count();
+        assert_eq!(
+            count(&|e| matches!(e, TraceEvent::CompileCacheMiss { .. })),
+            2
+        );
+        assert_eq!(
+            count(&|e| matches!(e, TraceEvent::CompileCacheHit { decoded: true, .. })),
+            1
+        );
+        assert_eq!(
+            count(&|e| matches!(e, TraceEvent::DecodeCacheMiss { .. })),
+            1
+        );
+        assert_eq!(
+            count(&|e| matches!(e, TraceEvent::DecodeCacheHit { .. })),
+            1
+        );
+        assert!(
+            count(&|e| matches!(e, TraceEvent::PassRun { .. })) > 0,
+            "full-opt compiles report their passes"
+        );
+        // IR events carry the kernel name; asm events a hash label.
+        assert!(ev
+            .iter()
+            .any(|e| matches!(e, TraceEvent::CompileCacheMiss { kernel } if kernel == "k")));
+        assert!(ev.iter().any(
+            |e| matches!(e, TraceEvent::CompileCacheMiss { kernel } if kernel.starts_with("asm#"))
+        ));
     }
 
     #[test]

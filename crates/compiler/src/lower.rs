@@ -39,6 +39,13 @@ pub struct CompiledKernel {
     /// General-purpose registers the kernel occupies (including the
     /// reserved r0) — the floor for `regs_per_thread`.
     pub regs_used: usize,
+    /// Per-PC source attribution: for each emitted instruction, the
+    /// IR value id it was lowered from (loop entry/back-edge copies
+    /// and the loop instruction itself charge to the loop's value;
+    /// the final `exit` is `None`). Always exactly one entry per
+    /// program instruction, so a per-PC execution profile indexes it
+    /// directly.
+    pub source_map: Vec<Option<u32>>,
 }
 
 /// Compile an IR kernel for a processor configuration.
@@ -71,9 +78,16 @@ pub fn compile(
     )?;
 
     let mut b = KernelBuilder::new();
-    emit_region(&k, k.body(), &mut b, &alloc, &materialized)?;
+    let mut source_map = Vec::new();
+    emit_region(&k, k.body(), &mut b, &alloc, &materialized, &mut source_map)?;
     b.exit();
+    source_map.push(None);
     let program = b.build()?;
+    debug_assert_eq!(
+        source_map.len(),
+        program.len(),
+        "source map out of lockstep with emission"
+    );
     if program.len() > config.imem_capacity {
         return Err(CompileError::ProgramTooLarge {
             len: program.len(),
@@ -84,6 +98,7 @@ pub fn compile(
         program,
         report,
         regs_used: alloc.regs_used.max(1),
+        source_map,
     })
 }
 
@@ -204,6 +219,7 @@ fn emit_region(
     b: &mut KernelBuilder,
     alloc: &Allocation,
     mat: &HashSet<ValueId>,
+    src: &mut Vec<Option<u32>>,
 ) -> Result<(), CompileError> {
     for &v in region {
         let inst = k.inst(v);
@@ -224,6 +240,7 @@ fn emit_region(
                 .collect::<Result<_, CompileError>>()?;
             for (d, s) in sequence_copies(entry, scratch, v)? {
                 b.emit_instruction(Instruction::new(Opcode::Mov).rd(d).ra(s));
+                src.push(Some(v.index() as u32));
             }
 
             // Back-edge copies: non-coalesced carried slots rotate into
@@ -242,15 +259,18 @@ fn emit_region(
                 continue;
             }
             let open = b.begin_loop(count);
-            emit_region(k, body, b, alloc, mat)?;
+            src.push(Some(v.index() as u32));
+            emit_region(k, body, b, alloc, mat, src)?;
             for (d, s) in back {
                 b.emit_instruction(Instruction::new(Opcode::Mov).rd(d).ra(s));
+                src.push(Some(v.index() as u32));
             }
             b.end_loop(open);
             continue;
         }
         if let Some(mi) = build_instruction(k, v, alloc, mat)? {
             b.emit_instruction(mi);
+            src.push(Some(v.index() as u32));
         }
     }
     Ok(())
@@ -466,6 +486,33 @@ mod tests {
             disassemble(&out.program)
         );
         assert_eq!(out.regs_used, 4);
+    }
+
+    #[test]
+    fn source_map_stays_in_lockstep_with_emission() {
+        // One entry per emitted instruction, everything attributed
+        // except the trailing exit — including loop-carried kernels,
+        // whose entry/back-edge copies charge to the loop value.
+        let mut b = IrBuilder::new("mapped");
+        let tid = b.tid();
+        let zero = b.iconst(0);
+        let acc = b.begin_loop_carried(5, &[zero]);
+        let x = b.load(tid, 0);
+        let s = b.add(acc[0], x);
+        let res = b.end_loop_carried(&[s]);
+        b.store(tid, 64, res[0]);
+        let k = b.finish();
+        for opt in [OptLevel::None, OptLevel::Full] {
+            let out = compile(&k, &cfg(), opt).unwrap();
+            assert_eq!(out.source_map.len(), out.program.len());
+            let (last, body) = out.source_map.split_last().unwrap();
+            assert_eq!(*last, None, "exit carries no source value");
+            assert!(
+                body.iter().all(|s| s.is_some()),
+                "every non-exit PC is attributed: {:?}",
+                out.source_map
+            );
+        }
     }
 
     #[test]

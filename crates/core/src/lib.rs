@@ -46,6 +46,7 @@ pub mod config;
 pub mod decode;
 pub mod error;
 pub mod fetch;
+pub mod profile;
 pub mod regfile;
 pub mod sequencer;
 pub mod shared;
@@ -57,6 +58,7 @@ pub use config::{DspMode, ProcessorConfig};
 pub use decode::{validate_program, DecodedProgram};
 pub use error::{ConfigError, ExecError, LoadError};
 pub use fetch::{replay, run_and_replay, ClockEvent, ClockLog};
+pub use profile::{PcCounter, PcProfile};
 pub use regfile::RegisterFile;
 pub use sequencer::{InstructionTiming, PipelineControl, FETCH_PIPELINE_DEPTH};
 pub use shared::{SharedMemStats, SharedMemory};

@@ -1,0 +1,196 @@
+//! Opt-in per-PC execution profile of the µop interpreter.
+//!
+//! When a run is profiled (see [`crate::Processor::run_profiled`]),
+//! every retired µop bumps a [`PcCounter`] slot indexed by program
+//! counter: issues, clocks (including the branch-flush penalty a taken
+//! branch at that PC caused) and thread-operations. Because the
+//! predecoded µop table is 1:1 with the source [`simt_isa::Program`],
+//! a PC is directly an instruction index — hotspots name source
+//! instructions without any side table, and for compiler-built kernels
+//! the compiler's PC→IR-value source map layers on top.
+//!
+//! Cycle attribution is complete by construction: every clock of
+//! [`crate::ExecStats::cycles`] except the initial pipeline fill
+//! (`fill_cycles`, which precedes the first instruction) is charged to
+//! exactly one PC, so `fill_cycles + Σ counters.cycles == cycles`.
+
+use serde::{Deserialize, Serialize};
+
+/// Execution counters of one program counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PcCounter {
+    /// Times the instruction issued (loop iterations re-issue).
+    pub issues: u64,
+    /// Clocks charged to the PC: the instruction's own clocks plus the
+    /// pipeline-flush penalty of a taken branch at this PC.
+    pub cycles: u64,
+    /// Thread-operations retired (active threads summed over operation
+    /// and memory issues; 0 for control instructions).
+    pub thread_ops: u64,
+}
+
+impl PcCounter {
+    /// Field-wise accumulate (exhaustive destructuring — a new counter
+    /// field without a merge update is a compile error).
+    pub fn merge(&mut self, other: &Self) {
+        let PcCounter {
+            issues,
+            cycles,
+            thread_ops,
+        } = other;
+        self.issues += issues;
+        self.cycles += cycles;
+        self.thread_ops += thread_ops;
+    }
+}
+
+/// Per-PC histogram of one (or several merged) profiled runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PcProfile {
+    /// One counter slot per program counter (= instruction index).
+    pub counters: Vec<PcCounter>,
+    /// Clocks spent filling the fetch pipeline before the first issue
+    /// — the only cycles not attributable to a PC.
+    pub fill_cycles: u64,
+}
+
+impl PcProfile {
+    /// An empty profile with one slot per instruction.
+    pub fn with_len(len: usize) -> Self {
+        PcProfile {
+            counters: vec![PcCounter::default(); len],
+            fill_cycles: 0,
+        }
+    }
+
+    /// Number of PC slots.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether the profile has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Charge one issue at `pc`: `cycles` clocks and `thread_ops`
+    /// thread-operations.
+    #[inline]
+    pub fn record(&mut self, pc: usize, cycles: u64, thread_ops: u64) {
+        if let Some(c) = self.counters.get_mut(pc) {
+            c.issues += 1;
+            c.cycles += cycles;
+            c.thread_ops += thread_ops;
+        }
+    }
+
+    /// Accumulate another profile (e.g. repeated launches of the same
+    /// kernel). Slot counts may differ; the result covers the longer.
+    pub fn merge(&mut self, other: &Self) {
+        if other.counters.len() > self.counters.len() {
+            self.counters
+                .resize(other.counters.len(), PcCounter::default());
+        }
+        for (dst, src) in self.counters.iter_mut().zip(&other.counters) {
+            dst.merge(src);
+        }
+        self.fill_cycles += other.fill_cycles;
+    }
+
+    /// Clocks charged to PCs (everything except pipeline fill).
+    pub fn attributed_cycles(&self) -> u64 {
+        self.counters.iter().map(|c| c.cycles).sum()
+    }
+
+    /// Total clocks the profile accounts for, fill included.
+    pub fn total_cycles(&self) -> u64 {
+        self.fill_cycles + self.attributed_cycles()
+    }
+
+    /// Fraction of total clocks attributed to a specific PC (1.0 minus
+    /// the fill share; 0 for an empty run).
+    pub fn attribution_fraction(&self) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.attributed_cycles() as f64 / total as f64
+        }
+    }
+
+    /// The `n` hottest PCs by charged cycles, hottest first (ties break
+    /// toward the lower PC). PCs that never issued are skipped.
+    pub fn hottest(&self, n: usize) -> Vec<(usize, PcCounter)> {
+        let mut pcs: Vec<(usize, PcCounter)> = self
+            .counters
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.issues > 0)
+            .map(|(pc, c)| (pc, *c))
+            .collect();
+        pcs.sort_by(|a, b| b.1.cycles.cmp(&a.1.cycles).then(a.0.cmp(&b.0)));
+        pcs.truncate(n);
+        pcs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_hottest() {
+        let mut p = PcProfile::with_len(4);
+        p.fill_cycles = 2;
+        p.record(0, 1, 0);
+        for _ in 0..10 {
+            p.record(2, 4, 16);
+        }
+        p.record(3, 1, 0);
+        p.record(3, 1, 0);
+        assert_eq!(p.attributed_cycles(), 1 + 40 + 2);
+        assert_eq!(p.total_cycles(), 45);
+        let hot = p.hottest(2);
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0].0, 2);
+        assert_eq!(hot[0].1.issues, 10);
+        assert_eq!(hot[0].1.thread_ops, 160);
+        assert_eq!(hot[1].0, 3);
+        // PC 1 never issued: excluded even when asking for more.
+        assert_eq!(p.hottest(10).len(), 3);
+    }
+
+    #[test]
+    fn out_of_range_pc_is_ignored() {
+        let mut p = PcProfile::with_len(1);
+        p.record(7, 5, 5);
+        assert_eq!(p.attributed_cycles(), 0);
+    }
+
+    #[test]
+    fn merge_extends_and_adds() {
+        let mut a = PcProfile::with_len(2);
+        a.fill_cycles = 2;
+        a.record(1, 3, 4);
+        let mut b = PcProfile::with_len(3);
+        b.fill_cycles = 2;
+        b.record(1, 3, 4);
+        b.record(2, 9, 0);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.fill_cycles, 4);
+        assert_eq!(a.counters[1].issues, 2);
+        assert_eq!(a.counters[1].cycles, 6);
+        assert_eq!(a.counters[2].cycles, 9);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut p = PcProfile::with_len(2);
+        p.fill_cycles = 2;
+        p.record(0, 3, 8);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: PcProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

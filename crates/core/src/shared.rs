@@ -28,6 +28,24 @@ pub struct SharedMemStats {
     pub write_cycles: u64,
 }
 
+impl SharedMemStats {
+    /// Field-wise accumulate another run's memory statistics into
+    /// `self`. The exhaustive destructuring makes forgetting a new
+    /// field a compile error (see [`crate::ExecStats::merge`]).
+    pub fn merge(&mut self, other: &Self) {
+        let SharedMemStats {
+            reads,
+            writes,
+            read_cycles,
+            write_cycles,
+        } = other;
+        self.reads += reads;
+        self.writes += writes;
+        self.read_cycles += read_cycles;
+        self.write_cycles += write_cycles;
+    }
+}
+
 /// The shared memory array plus its port model.
 #[derive(Debug, Clone)]
 pub struct SharedMemory {

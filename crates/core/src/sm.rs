@@ -31,6 +31,7 @@ use crate::alu::{Datapath, Operands};
 use crate::config::ProcessorConfig;
 use crate::decode::{validate_program, DecodedProgram, Uop};
 use crate::error::{ConfigError, ExecError, LoadError};
+use crate::profile::PcProfile;
 use crate::regfile::RegisterFile;
 use crate::sequencer::{InstructionTiming, PipelineControl, FETCH_PIPELINE_DEPTH};
 use crate::shared::SharedMemory;
@@ -286,6 +287,20 @@ impl Processor {
         Ok((stats, trace.unwrap()))
     }
 
+    /// Execute with an opt-in per-PC profile: cycles, issues and
+    /// thread-operations charged per program counter (see
+    /// [`PcProfile`]). The µop table is 1:1 with the source program, so
+    /// each slot names a source instruction directly. Statistics and
+    /// architectural results are bit-exact with [`Processor::run`]; the
+    /// profiled loop is a separate monomorphization, so unprofiled runs
+    /// pay nothing.
+    pub fn run_profiled(&mut self, opts: RunOptions) -> Result<(ExecStats, PcProfile), ExecError> {
+        let len = self.decoded.as_ref().map(|d| d.len()).unwrap_or(0);
+        let mut profile = Some(PcProfile::with_len(len));
+        let stats = self.run_dispatch(opts, &mut None, &mut profile)?;
+        Ok((stats, profile.unwrap()))
+    }
+
     /// Execute through the **reference interpreter**: field extraction
     /// per dynamic instruction, generic per-lane dispatch through
     /// [`Datapath::eval`] — semantically identical to [`Processor::run`]
@@ -310,27 +325,58 @@ impl Processor {
         opts: RunOptions,
         trace: &mut Option<Vec<TraceEntry>>,
     ) -> Result<ExecStats, ExecError> {
+        self.run_dispatch(opts, trace, &mut None)
+    }
+
+    fn run_dispatch(
+        &mut self,
+        opts: RunOptions,
+        trace: &mut Option<Vec<TraceEntry>>,
+        profile: &mut Option<PcProfile>,
+    ) -> Result<ExecStats, ExecError> {
         let decoded = self
             .decoded
             .clone()
             .expect("no program loaded — call load_program first");
-        // Monomorphize the run loop over (trace, mode): the fast path
-        // carries no trace pushes and no counter-hardware stepping.
-        match (trace.is_some(), opts.mode) {
-            (false, ExecMode::Functional) => self.run_loop::<false, false>(&decoded, opts, trace),
-            (true, ExecMode::Functional) => self.run_loop::<true, false>(&decoded, opts, trace),
-            (false, ExecMode::CycleAccurate) => self.run_loop::<false, true>(&decoded, opts, trace),
-            (true, ExecMode::CycleAccurate) => self.run_loop::<true, true>(&decoded, opts, trace),
+        // Monomorphize the run loop over (trace, profile, mode): the
+        // fast path carries no trace pushes, no per-PC counter updates
+        // and no counter-hardware stepping.
+        match (trace.is_some(), profile.is_some(), opts.mode) {
+            (false, false, ExecMode::Functional) => {
+                self.run_loop::<false, false, false>(&decoded, opts, trace, profile)
+            }
+            (true, false, ExecMode::Functional) => {
+                self.run_loop::<true, false, false>(&decoded, opts, trace, profile)
+            }
+            (false, false, ExecMode::CycleAccurate) => {
+                self.run_loop::<false, false, true>(&decoded, opts, trace, profile)
+            }
+            (true, false, ExecMode::CycleAccurate) => {
+                self.run_loop::<true, false, true>(&decoded, opts, trace, profile)
+            }
+            (false, true, ExecMode::Functional) => {
+                self.run_loop::<false, true, false>(&decoded, opts, trace, profile)
+            }
+            (true, true, ExecMode::Functional) => {
+                self.run_loop::<true, true, false>(&decoded, opts, trace, profile)
+            }
+            (false, true, ExecMode::CycleAccurate) => {
+                self.run_loop::<false, true, true>(&decoded, opts, trace, profile)
+            }
+            (true, true, ExecMode::CycleAccurate) => {
+                self.run_loop::<true, true, true>(&decoded, opts, trace, profile)
+            }
         }
     }
 
-    /// The predecoded run loop, monomorphized over trace capture and
-    /// cycle accuracy.
-    fn run_loop<const TRACED: bool, const CYCLE_ACCURATE: bool>(
+    /// The predecoded run loop, monomorphized over trace capture,
+    /// per-PC profiling and cycle accuracy.
+    fn run_loop<const TRACED: bool, const PROFILED: bool, const CYCLE_ACCURATE: bool>(
         &mut self,
         decoded: &DecodedProgram,
         opts: RunOptions,
         trace: &mut Option<Vec<TraceEntry>>,
+        profile: &mut Option<PcProfile>,
     ) -> Result<ExecStats, ExecError> {
         let uops = decoded.uops();
         let threshold = self.config.parallel_threshold;
@@ -440,6 +486,11 @@ impl Processor {
                             jumped: None,
                         });
                     }
+                    if PROFILED {
+                        let prof = profile.as_mut().unwrap();
+                        prof.fill_cycles = stats.fill_cycles;
+                        prof.record(pc, clocks, 0);
+                    }
                     stats.mem = self.shared.stats();
                     return Ok(stats);
                 }
@@ -458,6 +509,22 @@ impl Processor {
                     clocks,
                     jumped,
                 });
+            }
+
+            if PROFILED {
+                // Charge the taken-branch flush to the branching PC so
+                // every clock except pipeline fill has an owner.
+                let flush = if jumped.is_some() {
+                    FETCH_PIPELINE_DEPTH
+                } else {
+                    0
+                };
+                let ops = if u.class != CycleClass::SingleCycle {
+                    active as u64
+                } else {
+                    0
+                };
+                profile.as_mut().unwrap().record(pc, clocks + flush, ops);
             }
 
             // ---- PC update ----

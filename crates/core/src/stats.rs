@@ -34,6 +34,41 @@ pub struct ExecStats {
 }
 
 impl ExecStats {
+    /// Field-wise accumulate another run's statistics into `self`.
+    ///
+    /// Lives next to the struct (rather than as a helper in a consumer
+    /// crate) and destructures `other` exhaustively, so adding a field
+    /// to [`ExecStats`] without extending the merge is a compile error
+    /// — counters can't silently drop out of aggregates.
+    pub fn merge(&mut self, other: &Self) {
+        let ExecStats {
+            cycles,
+            instructions,
+            fill_cycles,
+            branch_flush_cycles,
+            branches_taken,
+            loop_backedges,
+            op_cycles,
+            load_cycles,
+            store_cycles,
+            single_cycles,
+            mem,
+            thread_ops,
+        } = other;
+        self.cycles += cycles;
+        self.instructions += instructions;
+        self.fill_cycles += fill_cycles;
+        self.branch_flush_cycles += branch_flush_cycles;
+        self.branches_taken += branches_taken;
+        self.loop_backedges += loop_backedges;
+        self.op_cycles += op_cycles;
+        self.load_cycles += load_cycles;
+        self.store_cycles += store_cycles;
+        self.single_cycles += single_cycles;
+        self.mem.merge(mem);
+        self.thread_ops += thread_ops;
+    }
+
     /// Instructions per clock.
     pub fn ipc(&self) -> f64 {
         if self.cycles == 0 {
@@ -84,6 +119,29 @@ impl ExecStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_is_fieldwise() {
+        let mut a = ExecStats {
+            cycles: 10,
+            instructions: 2,
+            ..Default::default()
+        };
+        let mut b = ExecStats {
+            cycles: 5,
+            instructions: 3,
+            thread_ops: 7,
+            ..Default::default()
+        };
+        b.mem.reads = 11;
+        b.mem.write_cycles = 13;
+        a.merge(&b);
+        assert_eq!(a.cycles, 15);
+        assert_eq!(a.instructions, 5);
+        assert_eq!(a.thread_ops, 7);
+        assert_eq!(a.mem.reads, 11);
+        assert_eq!(a.mem.write_cycles, 13);
+    }
 
     #[test]
     fn derived_metrics() {

@@ -1,0 +1,510 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Renders a [`TraceEvent`] stream as the Trace Event Format's JSON
+//! array flavor, loadable in `chrome://tracing` and Perfetto. The
+//! track model:
+//!
+//! * one *process* per device (`device0`, `device1`, …) with one
+//!   *thread* per engine — `compute` (kernel spans, graph launch
+//!   nodes), `dma` (copy spans, graph copy nodes) and `sync` (event
+//!   record/wait instants);
+//! * one `streams` process with one thread per stream, carrying each
+//!   stream's commands as spans (the stream-ordered view of the same
+//!   work) plus launch-dispatch instants;
+//! * one `host` process for work with no modeled timeline — compile /
+//!   decode cache lookups and optimization pass runs (`compiler`
+//!   thread, sequenced by record order) and whole-graph replay spans
+//!   (`graph` thread).
+//!
+//! Timestamps are **modeled device cycles mapped 1:1 to microseconds**
+//! — the timeline shows virtual time, not host wall-clock, so exports
+//! are deterministic. Every emitted object carries the same key set
+//! (`name, cat, ph, ts, dur, pid, tid, args`), which keeps structural
+//! validation trivial.
+
+use crate::{CommandClass, TraceEvent};
+use serde::Value;
+use std::collections::BTreeMap;
+
+/// Process id carrying host-side (untimed) tracks.
+pub const HOST_PID: u64 = 0;
+/// First device process id (device `d` → pid `DEVICE_PID0 + d`).
+pub const DEVICE_PID0: u64 = 1;
+/// Process id carrying the per-stream tracks.
+pub const STREAMS_PID: u64 = 10_000;
+
+/// Compute-engine thread id within a device process.
+pub const TID_COMPUTE: u64 = 0;
+/// DMA-engine thread id within a device process.
+pub const TID_DMA: u64 = 1;
+/// Sync thread id within a device process.
+pub const TID_SYNC: u64 = 2;
+
+fn entry(k: &str, v: Value) -> (String, Value) {
+    (k.to_string(), v)
+}
+
+fn s(v: &str) -> Value {
+    Value::Str(v.to_string())
+}
+
+fn u(v: u64) -> Value {
+    Value::U64(v)
+}
+
+/// One uniformly-shaped trace object.
+#[allow(clippy::too_many_arguments)]
+fn obj(
+    name: &str,
+    cat: &str,
+    ph: &str,
+    ts: u64,
+    dur: u64,
+    pid: u64,
+    tid: u64,
+    args: Vec<(String, Value)>,
+) -> Value {
+    let mut fields = vec![
+        entry("name", s(name)),
+        entry("cat", s(cat)),
+        entry("ph", s(ph)),
+        entry("ts", u(ts)),
+        entry("dur", u(dur)),
+        entry("pid", u(pid)),
+        entry("tid", u(tid)),
+    ];
+    if ph == "i" {
+        // Thread-scoped instant; extra key, same mandatory shape.
+        fields.push(entry("s", s("t")));
+    }
+    fields.push(entry("args", Value::Map(args)));
+    Value::Map(fields)
+}
+
+fn span(name: &str, cat: &str, ts: u64, end: u64, pid: u64, tid: u64) -> Value {
+    obj(
+        name,
+        cat,
+        "X",
+        ts,
+        end.saturating_sub(ts),
+        pid,
+        tid,
+        Vec::new(),
+    )
+}
+
+fn named(kernel: &str, fallback: &str) -> String {
+    if kernel.is_empty() {
+        fallback.to_string()
+    } else {
+        kernel.to_string()
+    }
+}
+
+/// Render the event stream as a Chrome trace [`Value`] tree (a JSON
+/// array of trace objects). Useful when the caller wants to post-process
+/// before serializing; most callers want [`chrome_trace`].
+pub fn chrome_trace_value(events: &[TraceEvent]) -> Value {
+    let mut out: Vec<Value> = Vec::new();
+    // Track registries: pid -> process name, (pid, tid) -> thread name.
+    let mut processes: BTreeMap<u64, String> = BTreeMap::new();
+    let mut threads: BTreeMap<(u64, u64), String> = BTreeMap::new();
+    let mut body: Vec<Value> = Vec::new();
+    // Host-side events have no modeled timeline; sequence them by
+    // record order so the track is stable and deterministic.
+    let mut host_seq: u64 = 0;
+
+    fn device_thread(
+        d: usize,
+        tid: u64,
+        processes: &mut BTreeMap<u64, String>,
+        threads: &mut BTreeMap<(u64, u64), String>,
+    ) -> u64 {
+        let pid = DEVICE_PID0 + d as u64;
+        processes.entry(pid).or_insert_with(|| format!("device{d}"));
+        let name = match tid {
+            TID_COMPUTE => "compute",
+            TID_DMA => "dma",
+            _ => "sync",
+        };
+        threads
+            .entry((pid, tid))
+            .or_insert_with(|| name.to_string());
+        pid
+    }
+
+    for e in events {
+        match e {
+            TraceEvent::KernelLaunch {
+                stream,
+                seq,
+                device,
+                kernel,
+                start,
+            } => {
+                let pid = STREAMS_PID;
+                processes.entry(pid).or_insert_with(|| "streams".into());
+                threads
+                    .entry((pid, *stream as u64))
+                    .or_insert_with(|| format!("stream{stream}"));
+                body.push(obj(
+                    &format!("launch {}", named(kernel, "kernel")),
+                    "kernel",
+                    "i",
+                    *start,
+                    0,
+                    pid,
+                    *stream as u64,
+                    vec![entry("seq", u(*seq)), entry("device", u(*device as u64))],
+                ));
+            }
+            TraceEvent::KernelRetire {
+                stream,
+                seq,
+                device,
+                kernel,
+                start,
+                end,
+                instructions,
+            } => {
+                let name = named(kernel, "kernel");
+                let pid = device_thread(*device, TID_COMPUTE, &mut processes, &mut threads);
+                let mut ev = span(&name, "kernel", *start, *end, pid, TID_COMPUTE);
+                if let Value::Map(fields) = &mut ev {
+                    fields.pop();
+                    fields.push(entry(
+                        "args",
+                        Value::Map(vec![
+                            entry("stream", u(*stream as u64)),
+                            entry("seq", u(*seq)),
+                            entry("instructions", u(*instructions)),
+                        ]),
+                    ));
+                }
+                body.push(ev);
+                // Stream-ordered view of the same span.
+                let spid = STREAMS_PID;
+                processes.entry(spid).or_insert_with(|| "streams".into());
+                threads
+                    .entry((spid, *stream as u64))
+                    .or_insert_with(|| format!("stream{stream}"));
+                body.push(span(&name, "kernel", *start, *end, spid, *stream as u64));
+            }
+            TraceEvent::Copy {
+                stream,
+                seq,
+                device,
+                to_device,
+                words,
+                start,
+                end,
+            } => {
+                let name = if *to_device { "copy-in" } else { "copy-out" };
+                let pid = device_thread(*device, TID_DMA, &mut processes, &mut threads);
+                let mut ev = span(name, "copy", *start, *end, pid, TID_DMA);
+                if let Value::Map(fields) = &mut ev {
+                    fields.pop();
+                    fields.push(entry(
+                        "args",
+                        Value::Map(vec![
+                            entry("stream", u(*stream as u64)),
+                            entry("seq", u(*seq)),
+                            entry("words", u(*words)),
+                        ]),
+                    ));
+                }
+                body.push(ev);
+                let spid = STREAMS_PID;
+                processes.entry(spid).or_insert_with(|| "streams".into());
+                threads
+                    .entry((spid, *stream as u64))
+                    .or_insert_with(|| format!("stream{stream}"));
+                body.push(span(name, "copy", *start, *end, spid, *stream as u64));
+            }
+            TraceEvent::EventRecord {
+                stream,
+                seq,
+                device,
+                at,
+            }
+            | TraceEvent::EventWait {
+                stream,
+                seq,
+                device,
+                at,
+            } => {
+                let name = match e {
+                    TraceEvent::EventRecord { .. } => "record",
+                    _ => "wait",
+                };
+                let pid = device_thread(*device, TID_SYNC, &mut processes, &mut threads);
+                body.push(obj(
+                    name,
+                    "sync",
+                    "i",
+                    *at,
+                    0,
+                    pid,
+                    TID_SYNC,
+                    vec![entry("stream", u(*stream as u64)), entry("seq", u(*seq))],
+                ));
+            }
+            TraceEvent::GraphNodePlace {
+                node,
+                class,
+                device,
+                start,
+                end,
+                kernel,
+            } => {
+                let (tid, name) = match class {
+                    CommandClass::Launch => (TID_COMPUTE, named(kernel, &format!("node{node}"))),
+                    CommandClass::CopyIn => (TID_DMA, format!("node{node} copy-in")),
+                    CommandClass::CopyOut => (TID_DMA, format!("node{node} copy-out")),
+                };
+                let pid = device_thread(*device, tid, &mut processes, &mut threads);
+                let mut ev = span(&name, "graph", *start, *end, pid, tid);
+                if let Value::Map(fields) = &mut ev {
+                    fields.pop();
+                    fields.push(entry(
+                        "args",
+                        Value::Map(vec![entry("node", u(*node as u64))]),
+                    ));
+                }
+                body.push(ev);
+            }
+            TraceEvent::GraphReplayDone { nodes, span_cycles } => {
+                processes.entry(HOST_PID).or_insert_with(|| "host".into());
+                threads
+                    .entry((HOST_PID, 1))
+                    .or_insert_with(|| "graph".into());
+                body.push(obj(
+                    "replay",
+                    "graph",
+                    "X",
+                    0,
+                    *span_cycles,
+                    HOST_PID,
+                    1,
+                    vec![entry("nodes", u(*nodes as u64))],
+                ));
+            }
+            TraceEvent::CompileCacheHit { kernel, decoded } => {
+                processes.entry(HOST_PID).or_insert_with(|| "host".into());
+                threads
+                    .entry((HOST_PID, 0))
+                    .or_insert_with(|| "compiler".into());
+                body.push(obj(
+                    &format!("hit {}", named(kernel, "?")),
+                    "cache",
+                    "X",
+                    host_seq,
+                    1,
+                    HOST_PID,
+                    0,
+                    vec![entry("decoded", Value::Bool(*decoded))],
+                ));
+                host_seq += 1;
+            }
+            TraceEvent::CompileCacheMiss { kernel }
+            | TraceEvent::DecodeCacheHit { kernel }
+            | TraceEvent::DecodeCacheMiss { kernel } => {
+                let name = match e {
+                    TraceEvent::CompileCacheMiss { .. } => "miss",
+                    TraceEvent::DecodeCacheHit { .. } => "decode-hit",
+                    _ => "decode-miss",
+                };
+                processes.entry(HOST_PID).or_insert_with(|| "host".into());
+                threads
+                    .entry((HOST_PID, 0))
+                    .or_insert_with(|| "compiler".into());
+                body.push(obj(
+                    &format!("{name} {}", named(kernel, "?")),
+                    "cache",
+                    "X",
+                    host_seq,
+                    1,
+                    HOST_PID,
+                    0,
+                    Vec::new(),
+                ));
+                host_seq += 1;
+            }
+            TraceEvent::PassRun {
+                kernel,
+                pass,
+                insts_before,
+                insts_after,
+                changed,
+            } => {
+                processes.entry(HOST_PID).or_insert_with(|| "host".into());
+                threads
+                    .entry((HOST_PID, 0))
+                    .or_insert_with(|| "compiler".into());
+                body.push(obj(
+                    &format!("{pass} {}", named(kernel, "?")),
+                    "compiler",
+                    "X",
+                    host_seq,
+                    1,
+                    HOST_PID,
+                    0,
+                    vec![
+                        entry("insts_before", u(*insts_before as u64)),
+                        entry("insts_after", u(*insts_after as u64)),
+                        entry("changed", Value::Bool(*changed)),
+                    ],
+                ));
+                host_seq += 1;
+            }
+        }
+    }
+
+    // Metadata first (Perfetto reads it anywhere, humans read it here).
+    for (pid, name) in &processes {
+        out.push(obj(
+            "process_name",
+            "__metadata",
+            "M",
+            0,
+            0,
+            *pid,
+            0,
+            vec![entry("name", s(name))],
+        ));
+    }
+    for ((pid, tid), name) in &threads {
+        out.push(obj(
+            "thread_name",
+            "__metadata",
+            "M",
+            0,
+            0,
+            *pid,
+            *tid,
+            vec![entry("name", s(name))],
+        ));
+    }
+    out.extend(body);
+    Value::Seq(out)
+}
+
+/// Render the event stream as a Chrome trace-event JSON string.
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    serde_json::to_string(&chrome_trace_value(events)).expect("trace value serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::KernelLaunch {
+                stream: 0,
+                seq: 1,
+                device: 0,
+                kernel: "saxpy".into(),
+                start: 13,
+            },
+            TraceEvent::KernelRetire {
+                stream: 0,
+                seq: 1,
+                device: 0,
+                kernel: "saxpy".into(),
+                start: 13,
+                end: 113,
+                instructions: 42,
+            },
+            TraceEvent::Copy {
+                stream: 0,
+                seq: 0,
+                device: 1,
+                to_device: true,
+                words: 4,
+                start: 0,
+                end: 13,
+            },
+            TraceEvent::GraphNodePlace {
+                node: 2,
+                class: CommandClass::Launch,
+                device: 1,
+                start: 20,
+                end: 50,
+                kernel: "fused".into(),
+            },
+        ]
+    }
+
+    fn field<'a>(v: &'a Value, k: &str) -> &'a Value {
+        v.get_field(k).unwrap()
+    }
+
+    #[test]
+    fn tracks_and_spans_are_emitted() {
+        let v = chrome_trace_value(&sample());
+        let Value::Seq(items) = &v else {
+            panic!("trace is a JSON array")
+        };
+        // Metadata names the two device processes and the stream track.
+        let meta: Vec<&Value> = items
+            .iter()
+            .filter(|i| field(i, "ph") == &Value::Str("M".into()))
+            .collect();
+        assert!(
+            meta.len() >= 5,
+            "process + thread metadata, got {}",
+            meta.len()
+        );
+        // The kernel span lands on device0/compute with its duration.
+        let kernel = items
+            .iter()
+            .find(|i| {
+                field(i, "cat") == &Value::Str("kernel".into())
+                    && field(i, "ph") == &Value::Str("X".into())
+                    && field(i, "pid") == &Value::U64(DEVICE_PID0)
+            })
+            .expect("kernel span on device 0");
+        assert_eq!(field(kernel, "ts"), &Value::U64(13));
+        assert_eq!(field(kernel, "dur"), &Value::U64(100));
+        assert_eq!(field(kernel, "tid"), &Value::U64(TID_COMPUTE));
+        // The copy span lands on device1/dma.
+        let copy = items
+            .iter()
+            .find(|i| {
+                field(i, "cat") == &Value::Str("copy".into())
+                    && field(i, "pid") == &Value::U64(DEVICE_PID0 + 1)
+            })
+            .expect("copy span on device 1");
+        assert_eq!(field(copy, "tid"), &Value::U64(TID_DMA));
+        // The same work also shows on the stream track.
+        assert!(items
+            .iter()
+            .any(|i| field(i, "pid") == &Value::U64(STREAMS_PID)));
+    }
+
+    #[test]
+    fn json_string_is_parseable() {
+        let json = chrome_trace(&sample());
+        let back: Value = ::serde_json::from_str(&json).expect("valid JSON");
+        let Value::Seq(items) = back else {
+            panic!("array")
+        };
+        assert!(!items.is_empty());
+        for i in &items {
+            for k in ["name", "cat", "ph", "ts", "dur", "pid", "tid", "args"] {
+                assert!(i.get_field(k).is_ok(), "uniform shape: missing {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn escaping_survives_hostile_names() {
+        let ev = vec![TraceEvent::CompileCacheMiss {
+            kernel: "a\"b\\c\nd".into(),
+        }];
+        let json = chrome_trace(&ev);
+        let _: Value = ::serde_json::from_str(&json).expect("escaped JSON parses");
+    }
+}

@@ -1,0 +1,470 @@
+//! Unified tracing and profiling substrate for the simt stack.
+//!
+//! Every layer of the simulator — the µop interpreter in `simt-core`,
+//! the SSA pipeline and compile cache in `simt-compiler`, the stream
+//! scheduler and graph replayer in `simt-runtime` — produces its own
+//! counters. This crate gives them one correlated event timeline:
+//!
+//! * [`TraceEvent`] — a typed, self-describing record of one thing that
+//!   happened (kernel launch/retire, copy, event record/wait, graph
+//!   node placement, compile/decode cache hit/miss, optimization pass
+//!   run). Events carry **modeled cycles only**, never host wall-clock,
+//!   so identical inputs produce byte-identical traces.
+//! * [`Tracer`] — a bounded, lock-free-append recorder the producing
+//!   layers share behind an `Arc`. Recording is a single atomic
+//!   reservation plus a slot write; when the ring is full, further
+//!   events are counted as dropped rather than blocking the hot path.
+//! * [`ProfileConfig`] — the opt-in switch. Profiling is off by
+//!   default; the disabled fast path in every instrumented layer is a
+//!   branch on a `None`.
+//! * Exporters — [`chrome::chrome_trace`] renders a Chrome
+//!   trace-event JSON string (loadable in `chrome://tracing` and
+//!   Perfetto; one track per device engine, one per stream) and
+//!   [`summary::summarize`] folds the stream into a flat serializable
+//!   [`summary::TraceSummary`] for harness tables.
+//!
+//! The crate is deliberately leaf-level: it depends only on the
+//! vendored `serde`, so `simt-core`, `simt-compiler` and `simt-runtime`
+//! can all report through it without dependency cycles.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod summary;
+
+use serde::{Deserialize, Serialize};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// Opt-in profiling configuration.
+///
+/// Attached to a runtime (or any other event producer) to enable
+/// tracing. Absence of a `ProfileConfig` (`None`) is the disabled
+/// state; the instrumented hot paths test exactly that.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileConfig {
+    /// Capacity of the event ring in events. Recording past the
+    /// capacity drops events (counted) instead of reallocating.
+    pub events: usize,
+    /// Also collect per-PC cycle/issue histograms inside the µop
+    /// interpreter (costs one counter update per retired µop).
+    pub per_pc: bool,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        ProfileConfig {
+            events: 65536,
+            per_pc: false,
+        }
+    }
+}
+
+impl ProfileConfig {
+    /// Everything on: full event ring plus per-PC histograms.
+    pub fn full() -> Self {
+        ProfileConfig {
+            per_pc: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Command class of a graph node placement (mirrors the runtime's
+/// command kinds without depending on the runtime crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommandClass {
+    /// Host→device copy.
+    CopyIn,
+    /// Device→host copy.
+    CopyOut,
+    /// Kernel launch.
+    Launch,
+}
+
+/// One structured trace record. Timestamps (`start`, `end`, `at`) are
+/// modeled device cycles on the scheduler's virtual timeline — never
+/// host wall-clock — so traces are deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A kernel launch was dispatched and placed on a device compute
+    /// engine at virtual cycle `start`.
+    KernelLaunch {
+        /// Stream the launch was submitted on.
+        stream: usize,
+        /// Sequence number within the stream.
+        seq: u64,
+        /// Device the scheduler placed it on.
+        device: usize,
+        /// Kernel name (empty when the source carries none).
+        kernel: String,
+        /// Virtual start cycle on the compute engine.
+        start: u64,
+    },
+    /// A kernel launch ran to `exit`.
+    KernelRetire {
+        /// Stream the launch was submitted on.
+        stream: usize,
+        /// Sequence number within the stream.
+        seq: u64,
+        /// Device it ran on.
+        device: usize,
+        /// Kernel name (empty when the source carries none).
+        kernel: String,
+        /// Virtual start cycle.
+        start: u64,
+        /// Virtual end cycle (`start` + modeled kernel cycles).
+        end: u64,
+        /// Instructions the run issued.
+        instructions: u64,
+    },
+    /// A host↔device copy executed on a device DMA engine.
+    Copy {
+        /// Stream the copy was submitted on.
+        stream: usize,
+        /// Sequence number within the stream.
+        seq: u64,
+        /// Device whose DMA engine moved the words.
+        device: usize,
+        /// `true` for host→device (copy-in), `false` for copy-out.
+        to_device: bool,
+        /// Words moved.
+        words: u64,
+        /// Virtual start cycle on the DMA engine.
+        start: u64,
+        /// Virtual end cycle.
+        end: u64,
+    },
+    /// An event was recorded (signalled) on a stream timeline.
+    EventRecord {
+        /// Stream that recorded the event.
+        stream: usize,
+        /// Sequence number within the stream.
+        seq: u64,
+        /// Device whose timeline carried the stream at that point.
+        device: usize,
+        /// Virtual cycle the event signalled at.
+        at: u64,
+    },
+    /// A stream waited on an event.
+    EventWait {
+        /// Stream that waited.
+        stream: usize,
+        /// Sequence number within the stream.
+        seq: u64,
+        /// Device whose timeline carried the stream at that point.
+        device: usize,
+        /// Virtual cycle the wait resolved at.
+        at: u64,
+    },
+    /// A graph node was placed on an engine during replay.
+    GraphNodePlace {
+        /// Node index within the graph.
+        node: usize,
+        /// What the node does.
+        class: CommandClass,
+        /// Device the placement chose (least-loaded engine).
+        device: usize,
+        /// Virtual start cycle.
+        start: u64,
+        /// Virtual end cycle.
+        end: u64,
+        /// Kernel name for launch nodes (empty otherwise).
+        kernel: String,
+    },
+    /// A whole graph replay completed.
+    GraphReplayDone {
+        /// Nodes replayed.
+        nodes: usize,
+        /// Modeled makespan of the replay.
+        span_cycles: u64,
+    },
+    /// A compile-cache lookup found a cached artifact.
+    CompileCacheHit {
+        /// Kernel name, or a content-hash label for assembly sources.
+        kernel: String,
+        /// Whether the predecoded µop form rode along with the hit.
+        decoded: bool,
+    },
+    /// A compile-cache lookup had to compile/assemble.
+    CompileCacheMiss {
+        /// Kernel name, or a content-hash label for assembly sources.
+        kernel: String,
+    },
+    /// A decode-cache lookup reused a cached µop decode.
+    DecodeCacheHit {
+        /// Kernel name, or a content-hash label for assembly sources.
+        kernel: String,
+    },
+    /// A decode-cache lookup had to re-derive the µop decode.
+    DecodeCacheMiss {
+        /// Kernel name, or a content-hash label for assembly sources.
+        kernel: String,
+    },
+    /// One optimization pass ran over a kernel.
+    PassRun {
+        /// Kernel name.
+        kernel: String,
+        /// Pass name (as reported by the pipeline).
+        pass: String,
+        /// Instruction count entering the pass.
+        insts_before: usize,
+        /// Instruction count leaving the pass.
+        insts_after: usize,
+        /// Whether the pass changed the kernel.
+        changed: bool,
+    },
+}
+
+impl TraceEvent {
+    /// Coarse category label, used by exporters and the summary:
+    /// `kernel`, `copy`, `sync`, `graph`, `cache` or `compiler`.
+    pub fn category(&self) -> &'static str {
+        match self {
+            TraceEvent::KernelLaunch { .. } | TraceEvent::KernelRetire { .. } => "kernel",
+            TraceEvent::Copy { .. } => "copy",
+            TraceEvent::EventRecord { .. } | TraceEvent::EventWait { .. } => "sync",
+            TraceEvent::GraphNodePlace { .. } | TraceEvent::GraphReplayDone { .. } => "graph",
+            TraceEvent::CompileCacheHit { .. }
+            | TraceEvent::CompileCacheMiss { .. }
+            | TraceEvent::DecodeCacheHit { .. }
+            | TraceEvent::DecodeCacheMiss { .. } => "cache",
+            TraceEvent::PassRun { .. } => "compiler",
+        }
+    }
+}
+
+/// One ring slot: a reservation-owned cell plus its publish flag.
+struct Slot {
+    committed: AtomicBool,
+    event: UnsafeCell<Option<TraceEvent>>,
+}
+
+/// A bounded, lock-free-append event recorder.
+///
+/// Producers call [`Tracer::record`] concurrently from any thread: a
+/// single `fetch_add` reserves a slot index, the event is written into
+/// the exclusively-owned slot, and a release store publishes it.
+/// There is no locking, no allocation and no blocking on the record
+/// path; once the ring is full, events are dropped and counted.
+///
+/// [`Tracer::events`] snapshots the committed prefix in slot order —
+/// the order reservations were handed out, i.e. global record order.
+pub struct Tracer {
+    slots: Box<[Slot]>,
+    head: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+// SAFETY: each `Slot.event` cell is written by exactly one thread — the
+// one whose `fetch_add` returned that index — and only read by others
+// after the `committed` release/acquire handshake.
+unsafe impl Sync for Tracer {}
+unsafe impl Send for Tracer {}
+
+impl Tracer {
+    /// A tracer with room for `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        let slots = (0..capacity)
+            .map(|_| Slot {
+                committed: AtomicBool::new(false),
+                event: UnsafeCell::new(None),
+            })
+            .collect();
+        Tracer {
+            slots,
+            head: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// A tracer sized by a [`ProfileConfig`].
+    pub fn from_config(cfg: &ProfileConfig) -> Self {
+        Tracer::new(cfg.events)
+    }
+
+    /// Append one event. Lock-free; drops (and counts) once full.
+    pub fn record(&self, event: TraceEvent) {
+        let i = self.head.fetch_add(1, Ordering::Relaxed);
+        match self.slots.get(i) {
+            Some(slot) => {
+                // SAFETY: the fetch_add handed index `i` to this thread
+                // alone; nobody reads the cell before `committed` flips.
+                unsafe { *slot.event.get() = Some(event) };
+                slot.committed.store(true, Ordering::Release);
+            }
+            None => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Events recorded so far (committed reservations, capped at
+    /// capacity).
+    pub fn len(&self) -> usize {
+        self.head.load(Ordering::Acquire).min(self.slots.len())
+    }
+
+    /// Whether no event has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the committed events in record order. In-flight
+    /// (reserved but not yet committed) slots are skipped.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let n = self.len();
+        self.slots[..n]
+            .iter()
+            .filter_map(|s| {
+                if s.committed.load(Ordering::Acquire) {
+                    // SAFETY: committed implies the writer's release
+                    // store happened-before this acquire load.
+                    unsafe { (*s.event.get()).clone() }
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn kernel_retire(seq: u64) -> TraceEvent {
+        TraceEvent::KernelRetire {
+            stream: 0,
+            seq,
+            device: 0,
+            kernel: "k".into(),
+            start: 10 * seq,
+            end: 10 * seq + 5,
+            instructions: 3,
+        }
+    }
+
+    #[test]
+    fn record_order_is_reservation_order() {
+        let t = Tracer::new(8);
+        for seq in 0..5 {
+            t.record(kernel_retire(seq));
+        }
+        let ev = t.events();
+        assert_eq!(ev.len(), 5);
+        for (i, e) in ev.iter().enumerate() {
+            assert_eq!(e, &kernel_retire(i as u64));
+        }
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn full_ring_drops_and_counts() {
+        let t = Tracer::new(2);
+        for seq in 0..5 {
+            t.record(kernel_retire(seq));
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn concurrent_records_all_land() {
+        let t = Arc::new(Tracer::new(4096));
+        let threads: Vec<_> = (0..4)
+            .map(|id| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for seq in 0..512 {
+                        t.record(kernel_retire((id * 1000 + seq) as u64));
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(t.events().len(), 4 * 512);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn categories_cover_every_variant() {
+        let cases: Vec<(TraceEvent, &str)> = vec![
+            (kernel_retire(0), "kernel"),
+            (
+                TraceEvent::Copy {
+                    stream: 0,
+                    seq: 0,
+                    device: 0,
+                    to_device: true,
+                    words: 4,
+                    start: 0,
+                    end: 13,
+                },
+                "copy",
+            ),
+            (
+                TraceEvent::EventWait {
+                    stream: 0,
+                    seq: 1,
+                    device: 0,
+                    at: 13,
+                },
+                "sync",
+            ),
+            (
+                TraceEvent::GraphReplayDone {
+                    nodes: 3,
+                    span_cycles: 99,
+                },
+                "graph",
+            ),
+            (TraceEvent::DecodeCacheMiss { kernel: "k".into() }, "cache"),
+            (
+                TraceEvent::PassRun {
+                    kernel: "k".into(),
+                    pass: "dce".into(),
+                    insts_before: 10,
+                    insts_after: 8,
+                    changed: true,
+                },
+                "compiler",
+            ),
+        ];
+        for (e, cat) in cases {
+            assert_eq!(e.category(), cat);
+        }
+    }
+
+    #[test]
+    fn events_roundtrip_through_serde() {
+        let e = kernel_retire(7);
+        let json = serde_json::to_string(&e).unwrap();
+        let back: TraceEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

@@ -19,11 +19,12 @@
 //! Replays are parameterizable: [`GraphExec::set_copy_in`] swaps a
 //! copy-in node's payload between replays — new data, zero recompiles.
 
-use crate::stats::{accumulate, CommandKind};
+use crate::stats::CommandKind;
 use crate::{Runtime, RuntimeError};
 use simt_compiler::OptLevel;
 use simt_core::ExecStats;
 use simt_graph::{ExecGraph, GraphOp, KernelSource, NodeId};
+use simt_profile::{CommandClass, TraceEvent};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -211,7 +212,7 @@ impl Runtime {
                 }
                 GraphOp::Launch(spec) => {
                     let outcome = device.run_launch(spec, &mut buffer)?;
-                    accumulate(&mut replay.compute, &outcome.stats);
+                    replay.compute.merge(&outcome.stats);
                     if outcome.compile_hit {
                         replay.compile_hits += 1;
                     }
@@ -238,6 +239,25 @@ impl Runtime {
             );
             ends.insert(id, end);
             span = (span.0.min(start), span.1.max(end));
+            if self.shared.tracer.is_some() {
+                let class = match kind {
+                    CommandKind::Launch => CommandClass::Launch,
+                    CommandKind::CopyIn => CommandClass::CopyIn,
+                    _ => CommandClass::CopyOut,
+                };
+                let kernel = match &node.op {
+                    GraphOp::Launch(spec) => spec.name.clone(),
+                    _ => String::new(),
+                };
+                self.shared.emit(TraceEvent::GraphNodePlace {
+                    node: id.index(),
+                    class,
+                    device: placed,
+                    start,
+                    end,
+                    kernel,
+                });
+            }
             replay.placements.push(NodePlacement {
                 node: id,
                 kind,
@@ -247,6 +267,10 @@ impl Runtime {
             });
         }
         replay.span_cycles = span.1.saturating_sub(span.0);
+        self.shared.emit(TraceEvent::GraphReplayDone {
+            nodes: replay.placements.len(),
+            span_cycles: replay.span_cycles,
+        });
         Ok(replay)
     }
 }

@@ -63,6 +63,8 @@ pub mod stream;
 
 use scheduler::{worker_loop, Shared};
 use simt_compiler::CompileCache;
+use simt_core::PcProfile;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
@@ -76,6 +78,9 @@ pub use stream::{CopyHandle, LaunchHandle, Stream};
 // The graph vocabulary, so runtime users need no extra import to
 // capture, fuse and replay.
 pub use simt_graph::{fuse, ExecGraph, FusionReport, GraphBuilder, GraphError, NodeId};
+// The profiling vocabulary likewise: configure with ProfileConfig,
+// read the timeline back as TraceEvents through Runtime::tracer.
+pub use simt_profile::{ProfileConfig, TraceEvent, Tracer};
 
 /// Anything that can go wrong inside the runtime. Cloneable (sticky
 /// stream errors fan out to every queued handle), so inner errors are
@@ -151,6 +156,9 @@ pub struct Runtime {
     /// Execution context for graph replay (host-side; placement on the
     /// pool's virtual timelines is separate — see [`Runtime::replay`]).
     replay_device: Mutex<pool::Device>,
+    /// Pool-wide per-PC profile sink (`Some` only with
+    /// [`ProfileConfig::per_pc`]).
+    pc_sink: Option<Arc<pool::PcSink>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -166,19 +174,36 @@ impl Runtime {
         assert!(cfg.devices >= 1, "a pool needs at least one device");
         assert!(cfg.max_batch >= 1, "batches need at least one command");
         let shared = Arc::new(Shared::new(cfg.clone()));
-        let compile_cache = Arc::new(match cfg.compile_cache_capacity {
+        let mut compile_cache = match cfg.compile_cache_capacity {
             Some(cap) => CompileCache::with_capacity(cap),
             None => CompileCache::new(),
-        });
+        };
+        // The profiler's tracer lives on the scheduler; the compile
+        // cache reports its hits/misses/passes into the same timeline.
+        if let Some(t) = &shared.tracer {
+            compile_cache = compile_cache.with_tracer(Arc::clone(t));
+        }
+        let compile_cache = Arc::new(compile_cache);
+        let pc_sink = cfg
+            .profile
+            .as_ref()
+            .filter(|p| p.per_pc)
+            .map(|_| Arc::new(pool::PcSink::default()));
         let replay_device = Mutex::new(pool::Device::new(
             cfg.devices,
             cfg.device.clone(),
             Arc::clone(&compile_cache),
+            pc_sink.clone(),
         ));
         let workers = (0..cfg.devices)
             .map(|d| {
                 let shared = Arc::clone(&shared);
-                let device = pool::Device::new(d, cfg.device.clone(), Arc::clone(&compile_cache));
+                let device = pool::Device::new(
+                    d,
+                    cfg.device.clone(),
+                    Arc::clone(&compile_cache),
+                    pc_sink.clone(),
+                );
                 std::thread::Builder::new()
                     .name(format!("simt-dev{d}"))
                     .spawn(move || worker_loop(shared, device))
@@ -189,6 +214,7 @@ impl Runtime {
             shared,
             compile_cache,
             replay_device,
+            pc_sink,
             workers,
         }
     }
@@ -230,6 +256,26 @@ impl Runtime {
         let mut stats = self.shared.stats();
         stats.compile_evictions = self.compile_cache.evictions();
         stats
+    }
+
+    /// The structured-event tracer, when the runtime was built with a
+    /// [`ProfileConfig`] (`None` otherwise). Snapshot its timeline with
+    /// [`Tracer::events`] and export it with
+    /// [`simt_profile::chrome::chrome_trace`] or
+    /// [`simt_profile::summary::summarize`].
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.shared.tracer.as_ref()
+    }
+
+    /// Merged per-PC execution profiles keyed by kernel name
+    /// ([`simt_kernels::LaunchSpec::name`]), aggregated across every
+    /// launch of that kernel on any device. Empty unless the runtime
+    /// was built with [`ProfileConfig::per_pc`].
+    pub fn pc_profiles(&self) -> HashMap<String, PcProfile> {
+        match &self.pc_sink {
+            Some(sink) => sink.lock().unwrap().clone(),
+            None => HashMap::new(),
+        }
     }
 }
 

@@ -15,9 +15,15 @@
 
 use crate::RuntimeError;
 use simt_compiler::{CompileCache, OptLevel};
-use simt_core::{ExecStats, Processor, ProcessorConfig, RunOptions};
+use simt_core::{ExecStats, PcProfile, Processor, ProcessorConfig, RunOptions};
 use simt_kernels::{KernelSource, LaunchSpec};
-use std::sync::Arc;
+use simt_profile::ProfileConfig;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Pool-wide per-PC profile sink: merged histograms keyed by kernel
+/// name, fed by every device when per-PC profiling is on.
+pub(crate) type PcSink = Mutex<HashMap<String, PcProfile>>;
 
 /// Per-device model parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,6 +64,10 @@ pub struct RuntimeConfig {
     /// programs must not grow the cache without limit; evictions are
     /// counted in [`crate::RuntimeStats::compile_evictions`].
     pub compile_cache_capacity: Option<usize>,
+    /// Opt-in tracing/profiling (`None` = disabled, the default; the
+    /// instrumented hot paths then cost one branch on a `None`). See
+    /// [`simt_profile::ProfileConfig`].
+    pub profile: Option<ProfileConfig>,
     /// Per-device parameters.
     pub device: DeviceConfig,
 }
@@ -68,6 +78,7 @@ impl Default for RuntimeConfig {
             devices: 2,
             max_batch: 8,
             compile_cache_capacity: Some(256),
+            profile: None,
             device: DeviceConfig::default(),
         }
     }
@@ -80,6 +91,12 @@ impl RuntimeConfig {
             devices,
             ..Default::default()
         }
+    }
+
+    /// Enable tracing/profiling with `profile`.
+    pub fn with_profile(mut self, profile: ProfileConfig) -> Self {
+        self.profile = Some(profile);
+        self
     }
 }
 
@@ -106,15 +123,24 @@ pub(crate) struct Device {
     cache: Vec<(ProcessorConfig, Processor)>,
     /// Pool-wide compile cache (shared across every device).
     compile_cache: Arc<CompileCache>,
+    /// Pool-wide per-PC profile sink (`Some` only when the runtime was
+    /// built with [`ProfileConfig::per_pc`]).
+    pc_sink: Option<Arc<PcSink>>,
 }
 
 impl Device {
-    pub(crate) fn new(id: usize, cfg: DeviceConfig, compile_cache: Arc<CompileCache>) -> Self {
+    pub(crate) fn new(
+        id: usize,
+        cfg: DeviceConfig,
+        compile_cache: Arc<CompileCache>,
+        pc_sink: Option<Arc<PcSink>>,
+    ) -> Self {
         Device {
             id,
             cfg,
             cache: Vec::new(),
             compile_cache,
+            pc_sink,
         }
     }
 
@@ -176,9 +202,27 @@ impl Device {
         }
         proc.load_decoded(decoded)
             .map_err(|e| RuntimeError::Load(e.to_string()))?;
-        let stats = proc
-            .run(RunOptions::default())
-            .map_err(|e| RuntimeError::Exec(e.to_string()))?;
+        let stats = match &self.pc_sink {
+            None => proc
+                .run(RunOptions::default())
+                .map_err(|e| RuntimeError::Exec(e.to_string()))?,
+            Some(sink) => {
+                // Per-PC profiling on: run the monomorphized profiled
+                // loop and merge the histogram into the pool sink under
+                // the kernel's name.
+                let (stats, profile) = proc
+                    .run_profiled(RunOptions::default())
+                    .map_err(|e| RuntimeError::Exec(e.to_string()))?;
+                let mut sink = sink.lock().unwrap();
+                match sink.get_mut(&spec.name) {
+                    Some(merged) => merged.merge(&profile),
+                    None => {
+                        sink.insert(spec.name.clone(), profile);
+                    }
+                }
+                stats
+            }
+        };
         buffer[..shared_words].copy_from_slice(&proc.shared().as_slice()[..shared_words]);
         self.retire(spec.config.clone(), proc);
         Ok(LaunchOutcome {
@@ -195,7 +239,12 @@ mod tests {
     use simt_kernels::workload::int_vector;
 
     fn device() -> Device {
-        Device::new(0, DeviceConfig::default(), Arc::new(CompileCache::new()))
+        Device::new(
+            0,
+            DeviceConfig::default(),
+            Arc::new(CompileCache::new()),
+            None,
+        )
     }
 
     #[test]
@@ -235,8 +284,8 @@ mod tests {
     #[test]
     fn ir_launches_compile_through_the_shared_cache() {
         let cache = Arc::new(CompileCache::new());
-        let mut d0 = Device::new(0, DeviceConfig::default(), Arc::clone(&cache));
-        let mut d1 = Device::new(1, DeviceConfig::default(), Arc::clone(&cache));
+        let mut d0 = Device::new(0, DeviceConfig::default(), Arc::clone(&cache), None);
+        let mut d1 = Device::new(1, DeviceConfig::default(), Arc::clone(&cache), None);
         let x = int_vector(64, 1);
         let y = int_vector(64, 2);
         let spec = LaunchSpec::saxpy_ir(3, &x, &y);

@@ -28,13 +28,12 @@
 //! least-loaded rule via [`Shared::place_graph_command`].
 
 use crate::pool::{Device, RuntimeConfig};
-use crate::stats::{
-    accumulate, CommandKind, CompletionRecord, DeviceStats, RuntimeStats, StreamStats,
-};
+use crate::stats::{CommandKind, CompletionRecord, DeviceStats, RuntimeStats, StreamStats};
 use crate::stream::Command;
 use crate::RuntimeError;
 use simt_core::ExecStats;
 use simt_graph::{ExecGraph, GraphNode, GraphOp, NodeId};
+use simt_profile::{TraceEvent, Tracer};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -120,6 +119,9 @@ pub(crate) struct Shared {
     /// `synchronize` waits here for quiescence.
     idle: Condvar,
     pub(crate) shutdown: AtomicBool,
+    /// Structured-event recorder (`Some` iff the pool was configured
+    /// with a [`simt_profile::ProfileConfig`]).
+    pub(crate) tracer: Option<Arc<Tracer>>,
     started: Instant,
 }
 
@@ -146,6 +148,8 @@ enum Done {
         cache_hit: bool,
         compile_hit: bool,
         wall: Duration,
+        /// Kernel name for trace events (cloned only when tracing).
+        kernel: String,
         sink: Arc<crate::stream::Slot<Result<ExecStats, RuntimeError>>>,
     },
     Failed {
@@ -159,6 +163,10 @@ enum Done {
 impl Shared {
     pub(crate) fn new(cfg: RuntimeConfig) -> Self {
         let d = cfg.devices;
+        let tracer = cfg
+            .profile
+            .as_ref()
+            .map(|p| Arc::new(Tracer::from_config(p)));
         Shared {
             cfg,
             state: Mutex::new(SchedState {
@@ -178,7 +186,16 @@ impl Shared {
             work: Condvar::new(),
             idle: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            tracer,
             started: Instant::now(),
+        }
+    }
+
+    /// Record `event` when tracing is on (one branch on `None` when
+    /// off).
+    pub(crate) fn emit(&self, event: TraceEvent) {
+        if let Some(t) = &self.tracer {
+            t.record(event);
         }
     }
 
@@ -340,6 +357,8 @@ impl Shared {
                 seq,
                 device: 0,
                 kind: cmd.kind(),
+                start: vdone,
+                end: vdone,
             });
             self.idle.notify_all();
             return;
@@ -403,6 +422,8 @@ impl Shared {
                     seq,
                     device: 0,
                     kind,
+                    start: vdone,
+                    end: vdone,
                 });
                 state.outstanding -= 1;
             }
@@ -453,7 +474,7 @@ impl Shared {
                     ds.compile_misses += 1;
                 }
                 if let Some(stats) = exec {
-                    accumulate(&mut ds.compute, stats);
+                    ds.compute.merge(stats);
                 }
             }
             _ => {
@@ -505,13 +526,31 @@ impl Shared {
                     let st = &mut state.streams[sid];
                     let (seq, cmd) = st.queue.pop_front().unwrap();
                     let kind = cmd.kind();
+                    let at = st.vdone;
                     state.stream_stats[sid].commands += 1;
                     state.record_completion(CompletionRecord {
                         stream: sid,
                         seq,
                         device: d,
                         kind,
+                        start: at,
+                        end: at,
                     });
+                    match kind {
+                        CommandKind::EventRecord => self.emit(TraceEvent::EventRecord {
+                            stream: sid,
+                            seq,
+                            device: d,
+                            at,
+                        }),
+                        CommandKind::EventWait => self.emit(TraceEvent::EventWait {
+                            stream: sid,
+                            seq,
+                            device: d,
+                            at,
+                        }),
+                        _ => {}
+                    }
                     state.outstanding -= 1;
                     progress = true;
                 }
@@ -596,6 +635,17 @@ impl Shared {
                         seq,
                         device: p,
                         kind,
+                        start,
+                        end,
+                    });
+                    self.emit(TraceEvent::Copy {
+                        stream: sid,
+                        seq,
+                        device: p,
+                        to_device: matches!(kind, CommandKind::CopyIn),
+                        words,
+                        start,
+                        end,
                     });
                     if let Some((slot, data)) = sink {
                         slot.set(Ok(data));
@@ -607,6 +657,7 @@ impl Shared {
                     cache_hit,
                     compile_hit,
                     wall,
+                    kernel,
                     sink,
                 } => {
                     let cycles = stats.cycles;
@@ -617,7 +668,7 @@ impl Shared {
                     let ss = &mut state.stream_stats[sid];
                     ss.commands += 1;
                     ss.launches += 1;
-                    accumulate(&mut ss.compute, &stats);
+                    ss.compute.merge(&stats);
                     ss.busy_wall += wall;
                     let ds = &mut state.device_stats[p];
                     ds.launches += 1;
@@ -634,14 +685,34 @@ impl Shared {
                         ds.compile_misses += 1;
                     }
                     ds.busy_cycles += cycles;
-                    accumulate(&mut ds.compute, &stats);
+                    ds.compute.merge(&stats);
                     ds.busy_wall += wall;
                     state.record_completion(CompletionRecord {
                         stream: sid,
                         seq,
                         device: p,
                         kind: CommandKind::Launch,
+                        start,
+                        end,
                     });
+                    if self.tracer.is_some() {
+                        self.emit(TraceEvent::KernelLaunch {
+                            stream: sid,
+                            seq,
+                            device: p,
+                            kernel: kernel.clone(),
+                            start,
+                        });
+                        self.emit(TraceEvent::KernelRetire {
+                            stream: sid,
+                            seq,
+                            device: p,
+                            kernel,
+                            start,
+                            end,
+                            instructions: stats.instructions,
+                        });
+                    }
                     sink.set(Ok(stats));
                 }
                 Done::Failed {
@@ -662,6 +733,8 @@ impl Shared {
                         seq,
                         device: d,
                         kind,
+                        start: vdone,
+                        end: vdone,
                     });
                 }
             }
@@ -680,6 +753,8 @@ impl Shared {
                     seq,
                     device: d,
                     kind,
+                    start: vdone,
+                    end: vdone,
                 });
                 state.outstanding -= 1;
             }
@@ -808,6 +883,12 @@ pub(crate) fn worker_loop(shared: Arc<Shared>, mut device: Device) {
                         cache_hit: outcome.cache_hit,
                         compile_hit: outcome.compile_hit,
                         wall: t0.elapsed(),
+                        // Name only travels when someone will read it.
+                        kernel: if shared.tracer.is_some() {
+                            spec.name.clone()
+                        } else {
+                            String::new()
+                        },
                         sink,
                     }),
                     Err(e) => {

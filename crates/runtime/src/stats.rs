@@ -5,25 +5,6 @@ use serde::{Deserialize, Serialize};
 use simt_core::ExecStats;
 use std::time::Duration;
 
-/// Field-wise accumulate one run's [`ExecStats`] into an aggregate.
-pub fn accumulate(dst: &mut ExecStats, src: &ExecStats) {
-    dst.cycles += src.cycles;
-    dst.instructions += src.instructions;
-    dst.fill_cycles += src.fill_cycles;
-    dst.branch_flush_cycles += src.branch_flush_cycles;
-    dst.branches_taken += src.branches_taken;
-    dst.loop_backedges += src.loop_backedges;
-    dst.op_cycles += src.op_cycles;
-    dst.load_cycles += src.load_cycles;
-    dst.store_cycles += src.store_cycles;
-    dst.single_cycles += src.single_cycles;
-    dst.thread_ops += src.thread_ops;
-    dst.mem.reads += src.mem.reads;
-    dst.mem.writes += src.mem.writes;
-    dst.mem.read_cycles += src.mem.read_cycles;
-    dst.mem.write_cycles += src.mem.write_cycles;
-}
-
 /// What kind of command a completion record refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CommandKind {
@@ -51,6 +32,22 @@ pub struct CompletionRecord {
     pub device: usize,
     /// Command kind.
     pub kind: CommandKind,
+    /// Virtual start cycle on the placed engine. Event resolutions and
+    /// failed commands occupy no engine time (`start == end`, the
+    /// stream's completion front at that point).
+    pub start: u64,
+    /// Virtual end cycle. Cross-stream overlap is observable here: two
+    /// placements on different engines may have intersecting
+    /// `[start, end)` windows.
+    pub end: u64,
+}
+
+impl CompletionRecord {
+    /// Whether this record's `[start, end)` engine window overlaps
+    /// another's in virtual time.
+    pub fn overlaps(&self, other: &CompletionRecord) -> bool {
+        self.start < other.end && other.start < self.end
+    }
 }
 
 /// Per-stream accounting.
@@ -240,7 +237,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn accumulate_is_fieldwise() {
+    fn merge_aggregates_fieldwise() {
+        // The runtime aggregates through `ExecStats::merge` (which
+        // destructures exhaustively, so a new core counter cannot be
+        // silently dropped here).
         let mut a = ExecStats {
             cycles: 10,
             instructions: 2,
@@ -252,10 +252,25 @@ mod tests {
             thread_ops: 7,
             ..Default::default()
         };
-        accumulate(&mut a, &b);
+        a.merge(&b);
         assert_eq!(a.cycles, 15);
         assert_eq!(a.instructions, 5);
         assert_eq!(a.thread_ops, 7);
+    }
+
+    #[test]
+    fn completion_overlap_is_window_intersection() {
+        let rec = |start, end| CompletionRecord {
+            stream: 0,
+            seq: 0,
+            device: 0,
+            kind: CommandKind::Launch,
+            start,
+            end,
+        };
+        assert!(rec(0, 10).overlaps(&rec(5, 15)));
+        assert!(rec(5, 15).overlaps(&rec(0, 10)));
+        assert!(!rec(0, 10).overlaps(&rec(10, 20)), "half-open windows");
     }
 
     #[test]
@@ -265,6 +280,8 @@ mod tests {
             seq,
             device: 0,
             kind: CommandKind::Launch,
+            start: 0,
+            end: 0,
         };
         let mut s = RuntimeStats {
             streams: vec![StreamStats::default(), StreamStats::default()],
