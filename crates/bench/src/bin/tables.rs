@@ -32,10 +32,35 @@ use simt_bench::{best_of_five, reference, row, SEEDS};
 use simt_core::{InstructionTiming, Processor, ProcessorConfig, RunOptions};
 use simt_datapath::{MultiplicativeShifter, ShiftKind};
 use simt_isa::CycleClass;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// When set, every artifact write lands here instead of the working
+/// directory — `--check` regenerates into a scratch dir so the
+/// committed baselines stay untouched.
+static OUT_DIR: OnceLock<PathBuf> = OnceLock::new();
+
+fn artifact_path(name: &str) -> PathBuf {
+    match OUT_DIR.get() {
+        Some(dir) => dir.join(name),
+        None => PathBuf::from(name),
+    }
+}
+
+fn write_artifact(name: &str, contents: &str) {
+    let path = artifact_path(name);
+    std::fs::write(&path, contents).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("(wrote {})\n", path.display());
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let want = |f: &str| args.is_empty() || args.iter().any(|a| a == f);
+    if args.iter().any(|a| a == "--check") {
+        check(args.iter().any(|a| a == "--inject"));
+        return;
+    }
+    let all = args.is_empty() || args.iter().any(|a| a == "--all");
+    let want = |f: &str| all || args.iter().any(|a| a == f);
 
     if want("--table1") {
         table1();
@@ -97,6 +122,9 @@ fn main() {
     if want("--profile") {
         profile();
     }
+    if want("--metrics") {
+        metrics();
+    }
 }
 
 /// One workload row of the host-throughput harness: the same program
@@ -151,6 +179,10 @@ struct SimBenchReport {
     /// is a branch on `None` per instrumented site, so `disabled` must
     /// track the pre-profiler baseline within measurement noise.
     profiling_overhead: ProfilingOverheadRow,
+    /// Launch latency with the always-on metrics on (the default) vs
+    /// forced off — the cost of the counters themselves. Same
+    /// methodology as `profiling_overhead`; wall-clock, never asserted.
+    metrics_overhead: MetricsOverheadRow,
 }
 
 /// End-to-end launch latency under the three profiler settings.
@@ -168,6 +200,19 @@ struct ProfilingOverheadRow {
     events_ratio: f64,
     /// `full / disabled`.
     full_ratio: f64,
+}
+
+/// End-to-end launch latency with pool metrics on vs off.
+#[derive(Debug, Clone, Serialize)]
+struct MetricsOverheadRow {
+    /// Launches per timed batch.
+    batch: u64,
+    /// `RuntimeConfig::with_metrics(false)`.
+    disabled_us_per_launch: f64,
+    /// Metrics on — the default configuration.
+    enabled_us_per_launch: f64,
+    /// `enabled / disabled` (1.0 = free).
+    enabled_ratio: f64,
 }
 
 /// One sim-harness workload: a compiled program plus its configuration.
@@ -458,8 +503,37 @@ fn sim() {
         profiling_overhead.events_ratio, profiling_overhead.full_ratio
     );
 
+    // Metrics overhead: the always-on counters vs the off switch. The
+    // hot path adds a handful of relaxed atomic adds and two histogram
+    // records per retired command — measured here, never asserted.
+    let time_batch_metrics = |metrics: bool| {
+        let rt = Runtime::new(RuntimeConfig::with_devices(1).with_metrics(metrics));
+        let s = rt.stream();
+        let spec = LaunchSpec::saxpy(3, &x, &y);
+        sim_time_per_run(|| {
+            for _ in 0..batch {
+                s.launch(spec.clone());
+            }
+            rt.synchronize().expect("metrics batch runs clean");
+        }) * 1e6
+            / batch as f64
+    };
+    let metrics_off = time_batch_metrics(false);
+    let metrics_on = time_batch_metrics(true);
+    let metrics_overhead = MetricsOverheadRow {
+        batch,
+        disabled_us_per_launch: metrics_off,
+        enabled_us_per_launch: metrics_on,
+        enabled_ratio: metrics_on / metrics_off,
+    };
+    println!(
+        "metrics overhead  (saxpy, {batch}-launch batches): \
+         off {metrics_off:.2} us/launch, on {metrics_on:.2} ({:.2}x)",
+        metrics_overhead.enabled_ratio
+    );
+
     let report = SimBenchReport {
-        schema_version: 1,
+        schema_version: 2,
         rows,
         threshold_sweep_workload: "saxpy/1024".into(),
         threshold_sweep,
@@ -470,10 +544,10 @@ fn sim() {
         decode_misses,
         decode_hits,
         profiling_overhead,
+        metrics_overhead,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
-    println!("(wrote BENCH_sim.json)\n");
+    write_artifact("BENCH_sim.json", &json);
 }
 
 /// One pipeline family: eager stream vs unfused vs fused graph replay.
@@ -629,8 +703,7 @@ fn graph() {
         replay_cache_hit_rate: hits as f64 / (hits + misses).max(1) as f64,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write("BENCH_graph.json", &json).expect("write BENCH_graph.json");
-    println!("(wrote BENCH_graph.json)\n");
+    write_artifact("BENCH_graph.json", &json);
 }
 
 /// One kernel family through the IR pipeline.
@@ -837,8 +910,7 @@ fn compiler() {
         cache,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write("BENCH_compiler.json", &json).expect("write BENCH_compiler.json");
-    println!("(wrote BENCH_compiler.json)\n");
+    write_artifact("BENCH_compiler.json", &json);
 }
 
 /// One row of the stream-count sweep.
@@ -936,8 +1008,7 @@ fn runtime() {
         stamped3_best_mhz: stamped.fmax_restricted(),
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
-    println!("(wrote BENCH_runtime.json)\n");
+    write_artifact("BENCH_runtime.json", &json);
 }
 
 fn sweep() {
@@ -1353,9 +1424,13 @@ fn profile() {
     let tracer = rt.tracer().expect("profiled runtime has a tracer");
     let events = tracer.events();
     let summary = summarize(&events, tracer.dropped());
-    std::fs::write("PROFILE_trace.json", chrome_trace(&events)).expect("write PROFILE_trace.json");
     std::fs::write(
-        "PROFILE_summary.json",
+        artifact_path("PROFILE_trace.json"),
+        chrome_trace(&events, tracer.dropped()),
+    )
+    .expect("write PROFILE_trace.json");
+    std::fs::write(
+        artifact_path("PROFILE_summary.json"),
         serde_json::to_string_pretty(&summary).expect("summary serializes"),
     )
     .expect("write PROFILE_summary.json");
@@ -1392,4 +1467,261 @@ fn profile() {
         println!("  pc {pc:>3}  {:>8} clk  {:>6} issues", c.cycles, c.issues);
     }
     println!("(wrote PROFILE_trace.json, PROFILE_summary.json)\n");
+}
+
+/// The machine-readable snapshot written to `METRICS.json`.
+#[derive(Debug, Clone, Serialize)]
+struct MetricsReport {
+    schema_version: u32,
+    /// Every counter, watermark gauge and modeled-cycle histogram of
+    /// the workload pool, sorted.
+    snapshot: simt_runtime::MetricsSnapshot,
+    /// The health watchdog's verdict over the same snapshot.
+    health: simt_runtime::HealthReport,
+}
+
+/// `--metrics`: drive a deterministic graph + stream workload through
+/// a 2-device pool with the always-on metrics and write the two
+/// exporter artifacts — `METRICS.json` (serde JSON snapshot + health
+/// report) and `METRICS.prom` (Prometheus text format). Per-kernel
+/// latency percentiles are asserted against a brute-force
+/// nearest-rank percentile over the very cycles the launch handles
+/// reported before anything is written.
+fn metrics() {
+    use simt_kernels::pipeline::Pipeline;
+    use simt_kernels::workload::{int_vector, lowpass_taps, q15_signal};
+    use simt_kernels::LaunchSpec;
+    use simt_metrics::names;
+    use simt_runtime::{GraphBuilder, NodeId, Runtime, RuntimeConfig};
+    use std::collections::BTreeMap;
+
+    println!("== simt-metrics: always-on pool metrics over a mixed workload ==");
+    let rt = Runtime::new(RuntimeConfig::default());
+
+    // Graph phase first, on fresh virtual clocks: a three-stage fused
+    // pipeline replayed three times — its spans land in the replay
+    // critical-path histogram deterministically.
+    let x = int_vector(256, 7);
+    let y = int_vector(256, 11);
+    let pipe = Pipeline::saxpy_scale_sum(3, 2, &x, &y, 0);
+    let mut b = GraphBuilder::new();
+    let copies: Vec<NodeId> = pipe
+        .inputs
+        .iter()
+        .map(|(dst, words)| b.copy_in(*dst, words.clone(), &[]))
+        .collect();
+    let mut prev = copies;
+    for stage in &pipe.stages {
+        prev = vec![b.launch(stage.clone(), &prev)];
+    }
+    b.copy_out(pipe.out_off, pipe.out_len, &prev);
+    let exec = rt.instantiate(b.finish().expect("acyclic graph")).unwrap();
+    for _ in 0..3 {
+        let replay = rt.replay(&exec).expect("replay runs clean");
+        assert!(
+            replay.outputs.iter().any(|(_, w)| *w == pipe.expected),
+            "replay output"
+        );
+    }
+
+    // Stream phase: a paused backlog of mixed kernels over 4 streams,
+    // released at once — per-kernel and per-stream latency histograms
+    // with multi-sample distributions.
+    let streams: Vec<_> = (0..4).map(|_| rt.stream()).collect();
+    let mut specs = Vec::new();
+    for round in 0..5u64 {
+        let n = 64 << (round as usize % 3);
+        let vx = int_vector(n, round);
+        let vy = int_vector(n, 100 + round);
+        specs.push(LaunchSpec::saxpy(2 + round as i32, &vx, &vy));
+        specs.push(LaunchSpec::dot(&vx, &vy));
+        specs.push(LaunchSpec::sum(&vx));
+        let taps = lowpass_taps(8);
+        let sig = q15_signal(64 + 7, 30 + round);
+        specs.push(LaunchSpec::fir(&sig, &taps, 64));
+    }
+    rt.pause();
+    let mut pending = Vec::new();
+    for (i, spec) in specs.into_iter().enumerate() {
+        let s = &streams[i % streams.len()];
+        let name = spec.name.clone();
+        let (off, len) = (spec.out_off, spec.out_len);
+        let h = s.launch(spec);
+        let _ = s.copy_out(off, len);
+        pending.push((name, h));
+    }
+    rt.resume();
+    rt.synchronize().expect("stream phase runs clean");
+
+    // Generation-time exactness: per-kernel histogram percentiles vs a
+    // brute-force nearest-rank percentile over the handle cycles.
+    let mut by_kernel: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    for (name, h) in pending {
+        by_kernel
+            .entry(name)
+            .or_default()
+            .push(h.wait().unwrap().cycles);
+    }
+    let brute = |cycles: &[u64], num: u64, den: u64| {
+        let mut v = cycles.to_vec();
+        v.sort_unstable();
+        let rank = ((v.len() as u64 * num).div_ceil(den)).max(1) as usize;
+        v[rank - 1]
+    };
+    let snapshot = rt.metrics_snapshot().expect("metrics are on by default");
+    println!(
+        "{:<10} {:>5} {:>9} {:>9} {:>9} {:>9}",
+        "kernel", "n", "p50 clk", "p90 clk", "p99 clk", "max clk"
+    );
+    for (kernel, cycles) in &by_kernel {
+        let h = snapshot
+            .histogram(names::LAUNCH_CYCLES, kernel)
+            .unwrap_or_else(|| panic!("no latency histogram for `{kernel}`"));
+        assert!(h.exact, "{kernel}: histogram degraded to bucket bounds");
+        assert_eq!(h.count, cycles.len() as u64, "{kernel}: sample count");
+        for (p, got) in [(50, h.p50), (90, h.p90), (99, h.p99)] {
+            assert_eq!(
+                got,
+                brute(cycles, p, 100),
+                "{kernel}: p{p} diverged from brute force"
+            );
+        }
+        assert_eq!(h.max, *cycles.iter().max().unwrap(), "{kernel}: max");
+        println!(
+            "{kernel:<10} {:>5} {:>9} {:>9} {:>9} {:>9}",
+            h.count, h.p50, h.p90, h.p99, h.max
+        );
+    }
+    let spans = snapshot.merged_histogram(names::GRAPH_SPAN_CYCLES);
+    assert_eq!(spans.count, 3, "one span sample per replay");
+    println!(
+        "graph replay span: n={} p50={} max={} clk",
+        spans.count, spans.p50, spans.max
+    );
+
+    let health = rt.health().expect("metrics are on by default");
+    match health.healthy {
+        true => println!("health: ok ({} findings)", health.findings.len()),
+        false => {
+            for f in &health.findings {
+                println!("health finding: {f:?}");
+            }
+        }
+    }
+
+    let report = MetricsReport {
+        schema_version: 1,
+        snapshot: snapshot.clone(),
+        health,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    write_artifact("METRICS.json", &json);
+    std::fs::write(
+        artifact_path("METRICS.prom"),
+        simt_metrics::prometheus::render(&snapshot),
+    )
+    .expect("write METRICS.prom");
+    println!("(wrote METRICS.prom)\n");
+}
+
+/// The artifacts `--check` regenerates and gates on. `PROFILE_*` are
+/// excluded: the trace is a wall-clock-timestamped event log, not a
+/// metric baseline.
+const CHECKED_ARTIFACTS: &[&str] = &[
+    "BENCH_runtime.json",
+    "BENCH_compiler.json",
+    "BENCH_graph.json",
+    "BENCH_sim.json",
+    "METRICS.json",
+];
+
+/// `--check [--inject]`: regenerate every gated artifact into a
+/// scratch directory, compare each against its committed baseline with
+/// [`simt_bench::check`], print the deviations, and exit nonzero if
+/// any *exact-class* (modeled-cycle) metric moved. Throughput-class
+/// deviations are reported but never enforced. `--inject` doubles
+/// every exact-class cycle leaf of the fresh artifacts first — the
+/// self-test proving the gate trips.
+fn check(inject: bool) {
+    use simt_bench::check::{compare, inject_cycle_regression, Class};
+
+    let scratch = std::env::temp_dir().join(format!("simt-tables-check-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+    OUT_DIR.set(scratch.clone()).expect("check runs once");
+
+    println!("== regenerating artifacts into {} ==\n", scratch.display());
+    runtime();
+    compiler();
+    graph();
+    sim();
+    metrics();
+
+    println!("== perf-regression gate: committed baselines vs this tree ==");
+    let mut failures = 0usize;
+    let mut injected = 0usize;
+    for artifact in CHECKED_ARTIFACTS {
+        let stem = artifact.trim_end_matches(".json").to_ascii_lowercase();
+        let baseline: serde::Value = match std::fs::read_to_string(artifact) {
+            Ok(s) => serde_json::from_str(&s)
+                .unwrap_or_else(|e| panic!("{artifact}: baseline does not parse: {e:?}")),
+            Err(_) => {
+                println!("{artifact:<22} SKIP  no committed baseline");
+                continue;
+            }
+        };
+        let fresh = std::fs::read_to_string(scratch.join(artifact))
+            .unwrap_or_else(|e| panic!("{artifact}: regeneration missing: {e}"));
+        let mut current: serde::Value =
+            serde_json::from_str(&fresh).expect("fresh artifact parses");
+        if inject {
+            injected += inject_cycle_regression(&stem, &mut current);
+        }
+        let cmp = compare(&stem, &baseline, &current);
+        let fails: Vec<_> = cmp.failures().collect();
+        let warns: Vec<_> = cmp.warnings().collect();
+        println!(
+            "{artifact:<22} {}  {} leaves, {} enforced regressions, {} throughput drifts",
+            if fails.is_empty() { "OK  " } else { "FAIL" },
+            cmp.leaves,
+            fails.len(),
+            warns.len()
+        );
+        let show = |f: &simt_bench::check::Finding, tag: &str| {
+            let delta = match f.delta {
+                Some(d) if d.is_finite() => format!("{:+.1}%", d * 100.0),
+                Some(_) => "new".into(),
+                None => "-".into(),
+            };
+            println!(
+                "  {tag} {:<58} {:>14} -> {:<14} {delta}",
+                f.path, f.baseline, f.current
+            );
+        };
+        for f in &fails {
+            show(f, "FAIL");
+        }
+        for f in warns.iter().take(15) {
+            show(f, "warn");
+        }
+        if warns.len() > 15 {
+            println!(
+                "  ... and {} more throughput drifts (report-only)",
+                warns.len() - 15
+            );
+        }
+        failures += fails.len();
+        // Shape sanity: artifacts must actually contain exact-class
+        // leaves, otherwise the gate is vacuous.
+        assert!(cmp.leaves > 0, "{artifact}: no leaves compared");
+        let _ = Class::Exact;
+    }
+    if inject {
+        assert!(injected > 0, "--inject found no cycle leaves to double");
+        println!("\n(injected a 2x regression into {injected} cycle leaves)");
+    }
+    if failures > 0 {
+        println!("\ngate: FAILED — {failures} modeled-cycle regressions");
+        std::process::exit(1);
+    }
+    println!("\ngate: ok — no modeled-cycle regressions");
 }

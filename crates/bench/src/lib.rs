@@ -1,5 +1,7 @@
 //! Shared helpers for the benchmark harness and the `tables` binary.
 
+pub mod check;
+
 use fpga_fabric::Device;
 use fpga_fitter::{best_of, seed_sweep, CompileOptions, CompileReport};
 use simt_core::ProcessorConfig;

@@ -341,7 +341,7 @@ impl Processor {
         // Monomorphize the run loop over (trace, profile, mode): the
         // fast path carries no trace pushes, no per-PC counter updates
         // and no counter-hardware stepping.
-        match (trace.is_some(), profile.is_some(), opts.mode) {
+        let stats = match (trace.is_some(), profile.is_some(), opts.mode) {
             (false, false, ExecMode::Functional) => {
                 self.run_loop::<false, false, false>(&decoded, opts, trace, profile)
             }
@@ -366,7 +366,12 @@ impl Processor {
             (true, true, ExecMode::CycleAccurate) => {
                 self.run_loop::<true, true, true>(&decoded, opts, trace, profile)
             }
-        }
+        }?;
+        // Always-on retirement counters: one relaxed add per counter per
+        // *finished run*, never per instruction — the process-wide
+        // dyn-instr / thread-op totals the metrics layer reports.
+        simt_metrics::sim::retire_run(stats.instructions, stats.thread_ops);
+        Ok(stats)
     }
 
     /// The predecoded run loop, monomorphized over trace capture,
@@ -1010,6 +1015,9 @@ impl Processor {
                         });
                     }
                     stats.mem = self.shared.stats();
+                    // Same always-on retirement accounting as the
+                    // predecoded path (one relaxed add per run).
+                    simt_metrics::sim::retire_run(stats.instructions, stats.thread_ops);
                     return Ok(stats);
                 }
                 Opcode::Nop | Opcode::Bar => {}

@@ -22,7 +22,7 @@
 //! (`name, cat, ph, ts, dur, pid, tid, args`), which keeps structural
 //! validation trivial.
 
-use crate::{CommandClass, TraceEvent};
+use crate::{labels, CommandClass, TraceEvent};
 use serde::Value;
 use std::collections::BTreeMap;
 
@@ -103,9 +103,12 @@ fn named(kernel: &str, fallback: &str) -> String {
 }
 
 /// Render the event stream as a Chrome trace [`Value`] tree (a JSON
-/// array of trace objects). Useful when the caller wants to post-process
-/// before serializing; most callers want [`chrome_trace`].
-pub fn chrome_trace_value(events: &[TraceEvent]) -> Value {
+/// array of trace objects). `dropped` is the tracer's dropped-event
+/// count ([`crate::Tracer::dropped`]); it is surfaced in a
+/// `trace_metadata` record so a truncated export is visibly partial.
+/// Useful when the caller wants to post-process before serializing;
+/// most callers want [`chrome_trace`].
+pub fn chrome_trace_value(events: &[TraceEvent], dropped: u64) -> Value {
     let mut out: Vec<Value> = Vec::new();
     // Track registries: pid -> process name, (pid, tid) -> thread name.
     let mut processes: BTreeMap<u64, String> = BTreeMap::new();
@@ -122,7 +125,7 @@ pub fn chrome_trace_value(events: &[TraceEvent]) -> Value {
         threads: &mut BTreeMap<(u64, u64), String>,
     ) -> u64 {
         let pid = DEVICE_PID0 + d as u64;
-        processes.entry(pid).or_insert_with(|| format!("device{d}"));
+        processes.entry(pid).or_insert_with(|| labels::device(d));
         let name = match tid {
             TID_COMPUTE => "compute",
             TID_DMA => "dma",
@@ -147,7 +150,7 @@ pub fn chrome_trace_value(events: &[TraceEvent]) -> Value {
                 processes.entry(pid).or_insert_with(|| "streams".into());
                 threads
                     .entry((pid, *stream as u64))
-                    .or_insert_with(|| format!("stream{stream}"));
+                    .or_insert_with(|| labels::stream(*stream));
                 body.push(obj(
                     &format!("launch {}", named(kernel, "kernel")),
                     "kernel",
@@ -188,7 +191,7 @@ pub fn chrome_trace_value(events: &[TraceEvent]) -> Value {
                 processes.entry(spid).or_insert_with(|| "streams".into());
                 threads
                     .entry((spid, *stream as u64))
-                    .or_insert_with(|| format!("stream{stream}"));
+                    .or_insert_with(|| labels::stream(*stream));
                 body.push(span(&name, "kernel", *start, *end, spid, *stream as u64));
             }
             TraceEvent::Copy {
@@ -219,7 +222,7 @@ pub fn chrome_trace_value(events: &[TraceEvent]) -> Value {
                 processes.entry(spid).or_insert_with(|| "streams".into());
                 threads
                     .entry((spid, *stream as u64))
-                    .or_insert_with(|| format!("stream{stream}"));
+                    .or_insert_with(|| labels::stream(*stream));
                 body.push(span(name, "copy", *start, *end, spid, *stream as u64));
             }
             TraceEvent::EventRecord {
@@ -362,6 +365,22 @@ pub fn chrome_trace_value(events: &[TraceEvent]) -> Value {
     }
 
     // Metadata first (Perfetto reads it anywhere, humans read it here).
+    // The trace-level record carries completeness: how many events made
+    // it into the ring and how many were dropped at capacity — a trace
+    // with drops is partial and must say so.
+    out.push(obj(
+        "trace_metadata",
+        "__metadata",
+        "M",
+        0,
+        0,
+        HOST_PID,
+        0,
+        vec![
+            entry("events", u(events.len() as u64)),
+            entry("dropped_events", u(dropped)),
+        ],
+    ));
     for (pid, name) in &processes {
         out.push(obj(
             "process_name",
@@ -391,8 +410,10 @@ pub fn chrome_trace_value(events: &[TraceEvent]) -> Value {
 }
 
 /// Render the event stream as a Chrome trace-event JSON string.
-pub fn chrome_trace(events: &[TraceEvent]) -> String {
-    serde_json::to_string(&chrome_trace_value(events)).expect("trace value serializes")
+/// `dropped` is the tracer's dropped-event count, surfaced in the
+/// export's `trace_metadata` record.
+pub fn chrome_trace(events: &[TraceEvent], dropped: u64) -> String {
+    serde_json::to_string(&chrome_trace_value(events, dropped)).expect("trace value serializes")
 }
 
 #[cfg(test)]
@@ -443,7 +464,7 @@ mod tests {
 
     #[test]
     fn tracks_and_spans_are_emitted() {
-        let v = chrome_trace_value(&sample());
+        let v = chrome_trace_value(&sample(), 0);
         let Value::Seq(items) = &v else {
             panic!("trace is a JSON array")
         };
@@ -485,8 +506,26 @@ mod tests {
     }
 
     #[test]
+    fn dropped_count_is_surfaced_in_trace_metadata() {
+        let v = chrome_trace_value(&sample(), 7);
+        let Value::Seq(items) = &v else {
+            panic!("trace is a JSON array")
+        };
+        let meta = items
+            .iter()
+            .find(|i| field(i, "name") == &Value::Str("trace_metadata".into()))
+            .expect("trace_metadata record");
+        let args = field(meta, "args");
+        assert_eq!(args.get_field("dropped_events").unwrap(), &Value::U64(7));
+        assert_eq!(
+            args.get_field("events").unwrap(),
+            &Value::U64(sample().len() as u64)
+        );
+    }
+
+    #[test]
     fn json_string_is_parseable() {
-        let json = chrome_trace(&sample());
+        let json = chrome_trace(&sample(), 3);
         let back: Value = ::serde_json::from_str(&json).expect("valid JSON");
         let Value::Seq(items) = back else {
             panic!("array")
@@ -504,7 +543,7 @@ mod tests {
         let ev = vec![TraceEvent::CompileCacheMiss {
             kernel: "a\"b\\c\nd".into(),
         }];
-        let json = chrome_trace(&ev);
+        let json = chrome_trace(&ev, 0);
         let _: Value = ::serde_json::from_str(&json).expect("escaped JSON parses");
     }
 }

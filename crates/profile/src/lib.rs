@@ -32,6 +32,24 @@
 pub mod chrome;
 pub mod summary;
 
+/// The label scheme shared between traces and metrics: the Chrome
+/// exporter names its tracks with these strings, and `simt-runtime`
+/// labels its per-stream / per-device metrics with the *same* strings —
+/// so a hot `stream_launch_cycles{stream3}` histogram cross-references
+/// directly into the `stream3` track of the trace (kernel-labeled
+/// metrics use `LaunchSpec::name`, which is also the span name).
+pub mod labels {
+    /// Track/metric label of stream `id`.
+    pub fn stream(id: usize) -> String {
+        format!("stream{id}")
+    }
+
+    /// Track/metric label of device `id`.
+    pub fn device(id: usize) -> String {
+        format!("device{id}")
+    }
+}
+
 use serde::{Deserialize, Serialize};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};

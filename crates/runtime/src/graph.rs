@@ -217,6 +217,9 @@ impl Runtime {
                         replay.compile_hits += 1;
                     }
                     let cycles = outcome.stats.cycles;
+                    if let Some(m) = &self.shared.metrics {
+                        m.record_kernel_cycles(&spec.name, cycles);
+                    }
                     (
                         CommandKind::Launch,
                         cycles,
@@ -267,6 +270,9 @@ impl Runtime {
             });
         }
         replay.span_cycles = span.1.saturating_sub(span.0);
+        if let Some(m) = &self.shared.metrics {
+            m.record_graph_span(replay.span_cycles);
+        }
         self.shared.emit(TraceEvent::GraphReplayDone {
             nodes: replay.placements.len(),
             span_cycles: replay.span_cycles,

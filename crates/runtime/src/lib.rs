@@ -81,6 +81,9 @@ pub use simt_graph::{fuse, ExecGraph, FusionReport, GraphBuilder, GraphError, No
 // The profiling vocabulary likewise: configure with ProfileConfig,
 // read the timeline back as TraceEvents through Runtime::tracer.
 pub use simt_profile::{ProfileConfig, TraceEvent, Tracer};
+// And the metrics vocabulary: snapshot with Runtime::metrics_snapshot,
+// watch with Runtime::health, export via simt_metrics::prometheus.
+pub use simt_metrics::{HealthConfig, HealthFinding, HealthMonitor, HealthReport, MetricsSnapshot};
 
 /// Anything that can go wrong inside the runtime. Cloneable (sticky
 /// stream errors fan out to every queued handle), so inner errors are
@@ -265,6 +268,82 @@ impl Runtime {
     /// [`simt_profile::summary::summarize`].
     pub fn tracer(&self) -> Option<&Arc<Tracer>> {
         self.shared.tracer.as_ref()
+    }
+
+    /// Snapshot the always-on pool metrics (`None` iff the runtime was
+    /// built with [`RuntimeConfig::with_metrics`]`(false)`): every
+    /// counter, watermark gauge and modeled-cycle latency histogram of
+    /// the scheduler, plus compile/decode cache counters with derived
+    /// hit-rate gauges and the pool's modeled occupancy. The snapshot
+    /// is sorted and all its quantities are modeled cycles or counts —
+    /// export it with [`simt_metrics::prometheus::render`] or serde.
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        use simt_metrics::names;
+        let mut snap = self.shared.metrics_snapshot()?;
+        let cc = &self.compile_cache;
+        let (hits, misses) = (cc.hits(), cc.misses());
+        let (dhits, dmisses) = (cc.decode_hits(), cc.decode_misses());
+        snap.push_counter(names::COMPILE_CACHE_HITS, "", hits);
+        snap.push_counter(names::COMPILE_CACHE_MISSES, "", misses);
+        snap.push_counter(names::COMPILE_CACHE_EVICTIONS, "", cc.evictions());
+        snap.push_counter(names::DECODE_CACHE_HITS, "", dhits);
+        snap.push_counter(names::DECODE_CACHE_MISSES, "", dmisses);
+        let rate = |h: u64, m: u64| {
+            if h + m == 0 {
+                0.0
+            } else {
+                h as f64 / (h + m) as f64
+            }
+        };
+        snap.push_gauge(names::COMPILE_HIT_RATE, "", rate(hits, misses));
+        snap.push_gauge(names::DECODE_HIT_RATE, "", rate(dhits, dmisses));
+        // Modeled occupancy: busy cycles placed across all devices over
+        // devices × makespan (same definition as RuntimeStats).
+        let busy: u64 = snap
+            .counters
+            .iter()
+            .filter(|c| c.name == names::DEVICE_BUSY_CYCLES)
+            .map(|c| c.value)
+            .sum();
+        let makespan = snap
+            .gauge(names::MAKESPAN_CYCLES, "")
+            .map(|g| g.value)
+            .unwrap_or(0.0);
+        let denom = self.config().devices as f64 * makespan;
+        snap.push_gauge(
+            names::OCCUPANCY,
+            "",
+            if denom > 0.0 {
+                (busy as f64 / denom).min(1.0)
+            } else {
+                0.0
+            },
+        );
+        snap.sort();
+        Some(snap)
+    }
+
+    /// Run the health watchdog over a fresh metrics snapshot with
+    /// default thresholds (`None` iff metrics are off). See
+    /// [`HealthMonitor`] for custom thresholds.
+    pub fn health(&self) -> Option<HealthReport> {
+        self.metrics_snapshot()
+            .map(|snap| HealthMonitor::default().check(&snap))
+    }
+
+    /// Hold every worker off claiming new batches (in-flight batches
+    /// finish first). While paused, enqueues accumulate; [`Runtime::resume`]
+    /// releases the backlog at once. With one device the drain order of
+    /// a pre-built backlog is deterministic — the substrate for
+    /// schedule-sensitive tests. A paused pool never goes idle:
+    /// [`Runtime::synchronize`] will block until someone resumes.
+    pub fn pause(&self) {
+        self.shared.pause();
+    }
+
+    /// Release workers paused by [`Runtime::pause`].
+    pub fn resume(&self) {
+        self.shared.resume();
     }
 
     /// Merged per-PC execution profiles keyed by kernel name

@@ -68,6 +68,12 @@ pub struct RuntimeConfig {
     /// instrumented hot paths then cost one branch on a `None`). See
     /// [`simt_profile::ProfileConfig`].
     pub profile: Option<ProfileConfig>,
+    /// Always-on pool metrics (counters, watermark gauges, modeled-cycle
+    /// latency histograms — `simt-metrics`). On by default: the record
+    /// path is a few relaxed atomics per *retired command*, not per
+    /// instruction. The off switch exists so the disabled-path cost can
+    /// be measured (`BENCH_sim.json:metrics_overhead`).
+    pub metrics: bool,
     /// Per-device parameters.
     pub device: DeviceConfig,
 }
@@ -79,6 +85,7 @@ impl Default for RuntimeConfig {
             max_batch: 8,
             compile_cache_capacity: Some(256),
             profile: None,
+            metrics: true,
             device: DeviceConfig::default(),
         }
     }
@@ -96,6 +103,13 @@ impl RuntimeConfig {
     /// Enable tracing/profiling with `profile`.
     pub fn with_profile(mut self, profile: ProfileConfig) -> Self {
         self.profile = Some(profile);
+        self
+    }
+
+    /// Toggle the always-on pool metrics (on by default; turning them
+    /// off is for measuring the disabled-path cost).
+    pub fn with_metrics(mut self, metrics: bool) -> Self {
+        self.metrics = metrics;
         self
     }
 }

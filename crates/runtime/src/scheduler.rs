@@ -33,7 +33,8 @@ use crate::stream::Command;
 use crate::RuntimeError;
 use simt_core::ExecStats;
 use simt_graph::{ExecGraph, GraphNode, GraphOp, NodeId};
-use simt_profile::{TraceEvent, Tracer};
+use simt_metrics::{names as metric, Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+use simt_profile::{labels, TraceEvent, Tracer};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -49,6 +50,78 @@ pub(crate) struct StreamState {
     poisoned: Option<RuntimeError>,
     /// Virtual time at which the stream's last completed command ended.
     vdone: u64,
+    /// The stream's metric handles, cached at creation so the hot paths
+    /// never take the registry lock (`None` iff metrics are off).
+    metrics: Option<StreamMetrics>,
+}
+
+/// Cached per-stream metric handles.
+pub(crate) struct StreamMetrics {
+    /// Modeled cycles per launch retired on this stream.
+    launch_cycles: Arc<Histogram>,
+    /// Modeled cycles per copy retired on this stream.
+    copy_cycles: Arc<Histogram>,
+    /// Queue depth (watermark = deepest backlog ever).
+    depth: Arc<Gauge>,
+}
+
+/// Pool-wide metric handles, cached at pool creation. The registry
+/// itself is reachable for label-keyed metrics (per-kernel histograms);
+/// everything on the per-command path goes through these `Arc`s.
+pub(crate) struct PoolMetrics {
+    pub(crate) registry: Arc<Registry>,
+    launches: Arc<Counter>,
+    copies: Arc<Counter>,
+    dyn_instrs: Arc<Counter>,
+    thread_ops: Arc<Counter>,
+    outstanding: Arc<Gauge>,
+    graph_span: Arc<Histogram>,
+    /// Modeled busy cycles placed per device, indexed by device id.
+    device_busy: Vec<Arc<Counter>>,
+}
+
+impl PoolMetrics {
+    fn new(devices: usize) -> Self {
+        let registry = Arc::new(Registry::new());
+        PoolMetrics {
+            launches: registry.counter(metric::LAUNCHES, ""),
+            copies: registry.counter(metric::COPIES, ""),
+            dyn_instrs: registry.counter(metric::DYN_INSTRS, ""),
+            thread_ops: registry.counter(metric::THREAD_OPS, ""),
+            outstanding: registry.gauge(metric::OUTSTANDING, ""),
+            graph_span: registry.histogram(metric::GRAPH_SPAN_CYCLES, ""),
+            device_busy: (0..devices)
+                .map(|d| registry.counter(metric::DEVICE_BUSY_CYCLES, &labels::device(d)))
+                .collect(),
+            registry,
+        }
+    }
+
+    /// Record one retired launch (stream or graph path).
+    fn record_launch(&self, device: usize, stats: &ExecStats) {
+        self.launches.inc();
+        self.dyn_instrs.add(stats.instructions);
+        self.thread_ops.add(stats.thread_ops);
+        self.device_busy[device].add(stats.cycles);
+    }
+
+    /// Record one retired copy (stream or graph path).
+    fn record_copy(&self, device: usize, cycles: u64) {
+        self.copies.inc();
+        self.device_busy[device].add(cycles);
+    }
+
+    /// Record modeled cycles of one launch under its kernel label.
+    pub(crate) fn record_kernel_cycles(&self, kernel: &str, cycles: u64) {
+        self.registry
+            .histogram(metric::LAUNCH_CYCLES, kernel)
+            .record(cycles);
+    }
+
+    /// Record the modeled critical-path span of one graph replay.
+    pub(crate) fn record_graph_span(&self, span_cycles: u64) {
+        self.graph_span.record(span_cycles);
+    }
 }
 
 /// An in-progress stream capture: commands of participating streams are
@@ -98,6 +171,9 @@ pub(crate) struct SchedState {
     capture: Option<CaptureSession>,
     /// Capture generation counter.
     capture_generation: u64,
+    /// Workers hold off claiming while set (deterministic-schedule
+    /// testing: build a full backlog, then release it at once).
+    paused: bool,
 }
 
 impl SchedState {
@@ -122,6 +198,9 @@ pub(crate) struct Shared {
     /// Structured-event recorder (`Some` iff the pool was configured
     /// with a [`simt_profile::ProfileConfig`]).
     pub(crate) tracer: Option<Arc<Tracer>>,
+    /// Always-on pool metrics (`Some` unless [`RuntimeConfig::metrics`]
+    /// was switched off to measure the disabled path).
+    pub(crate) metrics: Option<PoolMetrics>,
     started: Instant,
 }
 
@@ -148,7 +227,8 @@ enum Done {
         cache_hit: bool,
         compile_hit: bool,
         wall: Duration,
-        /// Kernel name for trace events (cloned only when tracing).
+        /// Kernel name for trace events and kernel-labeled latency
+        /// histograms (cloned only when tracing or metrics will read it).
         kernel: String,
         sink: Arc<crate::stream::Slot<Result<ExecStats, RuntimeError>>>,
     },
@@ -163,6 +243,7 @@ enum Done {
 impl Shared {
     pub(crate) fn new(cfg: RuntimeConfig) -> Self {
         let d = cfg.devices;
+        let cfg_metrics = cfg.metrics;
         let tracer = cfg
             .profile
             .as_ref()
@@ -182,11 +263,17 @@ impl Shared {
                 scan_from: vec![0; d],
                 capture: None,
                 capture_generation: 0,
+                paused: false,
             }),
             work: Condvar::new(),
             idle: Condvar::new(),
             shutdown: AtomicBool::new(false),
             tracer,
+            metrics: if cfg_metrics {
+                Some(PoolMetrics::new(d))
+            } else {
+                None
+            },
             started: Instant::now(),
         }
     }
@@ -211,6 +298,14 @@ impl Shared {
     pub(crate) fn add_stream(&self) -> usize {
         let mut state = self.state.lock().unwrap();
         let id = state.streams.len();
+        let metrics = self.metrics.as_ref().map(|m| {
+            let label = labels::stream(id);
+            StreamMetrics {
+                launch_cycles: m.registry.histogram(metric::STREAM_LAUNCH_CYCLES, &label),
+                copy_cycles: m.registry.histogram(metric::STREAM_COPY_CYCLES, &label),
+                depth: m.registry.gauge(metric::QUEUE_DEPTH, &label),
+            }
+        });
         state.streams.push(StreamState {
             queue: VecDeque::new(),
             next_seq: 0,
@@ -218,9 +313,28 @@ impl Shared {
             busy: false,
             poisoned: None,
             vdone: 0,
+            metrics,
         });
         state.stream_stats.push(StreamStats::default());
         id
+    }
+
+    /// Hold every worker off claiming new batches (in-flight batches
+    /// finish). With the pool paused, enqueues build a backlog whose
+    /// drain order on resume is deterministic for a single worker —
+    /// the substrate for schedule-sensitive tests and watermark
+    /// assertions.
+    pub(crate) fn pause(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.paused = true;
+    }
+
+    /// Release paused workers.
+    pub(crate) fn resume(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.paused = false;
+        drop(state);
+        self.work.notify_all();
     }
 
     /// Begin capturing `stream`: its commands record into the active
@@ -365,6 +479,15 @@ impl Shared {
         }
         st.queue.push_back((seq, cmd));
         state.outstanding += 1;
+        if self.metrics.is_some() {
+            let depth = state.streams[stream].queue.len() as u64;
+            if let Some(sm) = &state.streams[stream].metrics {
+                sm.depth.set(depth);
+            }
+            if let Some(m) = &self.metrics {
+                m.outstanding.set(state.outstanding as u64);
+            }
+        }
         self.work.notify_all();
     }
 
@@ -402,6 +525,54 @@ impl Shared {
             makespan_cycles: makespan,
             fmax_mhz: self.cfg.device.fmax_mhz,
         }
+    }
+
+    /// Snapshot the pool metrics (`None` iff metrics are off): refresh
+    /// the live gauges under the scheduler lock, snapshot the registry,
+    /// then append the derived virtual-timeline entries (makespan,
+    /// per-engine clocks, per-stream frontiers) and the observability
+    /// drop counters. Sorted, so byte-deterministic given the recorded
+    /// samples.
+    pub(crate) fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        let m = self.metrics.as_ref()?;
+        let state = self.state.lock().unwrap();
+        m.outstanding.set(state.outstanding as u64);
+        for st in &state.streams {
+            if let Some(sm) = &st.metrics {
+                sm.depth.set(st.queue.len() as u64);
+            }
+        }
+        let mut snap = m.registry.snapshot();
+        let makespan = state
+            .streams
+            .iter()
+            .map(|s| s.vdone)
+            .chain(state.vcompute.iter().copied())
+            .chain(state.vcopy.iter().copied())
+            .max()
+            .unwrap_or(0);
+        snap.push_gauge(metric::MAKESPAN_CYCLES, "", makespan as f64);
+        for (d, &v) in state.vcompute.iter().enumerate() {
+            snap.push_gauge(metric::DEVICE_COMPUTE_CYCLES, &labels::device(d), v as f64);
+        }
+        for (d, &v) in state.vcopy.iter().enumerate() {
+            snap.push_gauge(metric::DEVICE_COPY_CYCLES, &labels::device(d), v as f64);
+        }
+        for (sid, st) in state.streams.iter().enumerate() {
+            snap.push_gauge(
+                metric::STREAM_VDONE_CYCLES,
+                &labels::stream(sid),
+                st.vdone as f64,
+            );
+        }
+        snap.push_counter(metric::COMPLETIONS_DROPPED, "", state.completions_dropped);
+        snap.push_counter(
+            metric::TRACER_DROPPED,
+            "",
+            self.tracer.as_ref().map(|t| t.dropped()).unwrap_or(0),
+        );
+        snap.sort();
+        Some(snap)
     }
 
     /// Fail every still-queued command after shutdown, so handles held
@@ -480,6 +651,16 @@ impl Shared {
             _ => {
                 ds.copies += 1;
                 let _ = words;
+            }
+        }
+        if let Some(m) = &self.metrics {
+            match kind {
+                CommandKind::Launch => {
+                    if let Some(stats) = exec {
+                        m.record_launch(p, stats);
+                    }
+                }
+                _ => m.record_copy(p, cycles),
             }
         }
         (p, start, end)
@@ -576,6 +757,9 @@ impl Shared {
                             break;
                         }
                     }
+                    if let Some(sm) = &st.metrics {
+                        sm.depth.set(st.queue.len() as u64);
+                    }
                     st.busy = true;
                     state.scan_from[d] = sid + 1;
                     if progress {
@@ -638,6 +822,12 @@ impl Shared {
                         start,
                         end,
                     });
+                    if let Some(m) = &self.metrics {
+                        m.record_copy(p, cycles);
+                        if let Some(sm) = &state.streams[sid].metrics {
+                            sm.copy_cycles.record(cycles);
+                        }
+                    }
                     self.emit(TraceEvent::Copy {
                         stream: sid,
                         seq,
@@ -695,6 +885,13 @@ impl Shared {
                         start,
                         end,
                     });
+                    if let Some(m) = &self.metrics {
+                        m.record_launch(p, &stats);
+                        m.record_kernel_cycles(&kernel, cycles);
+                        if let Some(sm) = &state.streams[sid].metrics {
+                            sm.launch_cycles.record(cycles);
+                        }
+                    }
                     if self.tracer.is_some() {
                         self.emit(TraceEvent::KernelLaunch {
                             stream: sid,
@@ -759,6 +956,13 @@ impl Shared {
                 state.outstanding -= 1;
             }
         }
+        if let Some(m) = &self.metrics {
+            m.outstanding.set(state.outstanding as u64);
+            let depth = state.streams[sid].queue.len() as u64;
+            if let Some(sm) = &state.streams[sid].metrics {
+                sm.depth.set(depth);
+            }
+        }
         state.streams[sid].buffer = Some(buffer);
         state.streams[sid].busy = false;
         self.work.notify_all();
@@ -792,12 +996,14 @@ pub(crate) fn worker_loop(shared: Arc<Shared>, mut device: Device) {
                 if shared.shutdown.load(Ordering::Relaxed) {
                     return;
                 }
-                if let Some((sid, batch)) = shared.claim(&mut state, d) {
-                    let buffer = state.streams[sid]
-                        .buffer
-                        .take()
-                        .expect("idle stream owns its buffer");
-                    break (sid, batch, buffer);
+                if !state.paused {
+                    if let Some((sid, batch)) = shared.claim(&mut state, d) {
+                        let buffer = state.streams[sid]
+                            .buffer
+                            .take()
+                            .expect("idle stream owns its buffer");
+                        break (sid, batch, buffer);
+                    }
                 }
                 state = shared.work.wait(state).unwrap();
             }
@@ -884,7 +1090,7 @@ pub(crate) fn worker_loop(shared: Arc<Shared>, mut device: Device) {
                         compile_hit: outcome.compile_hit,
                         wall: t0.elapsed(),
                         // Name only travels when someone will read it.
-                        kernel: if shared.tracer.is_some() {
+                        kernel: if shared.tracer.is_some() || shared.metrics.is_some() {
                             spec.name.clone()
                         } else {
                             String::new()

@@ -98,7 +98,7 @@ fn chrome_trace_parses_with_per_engine_tracks_and_nested_spans() {
 
     let rt = profiled_workload();
     let events = rt.tracer().unwrap().events();
-    let json = chrome::chrome_trace(&events);
+    let json = chrome::chrome_trace(&events, rt.tracer().unwrap().dropped());
     let parsed: Value = serde_json::from_str(&json).expect("valid JSON");
     let objs = match &parsed {
         Value::Seq(items) => items,
@@ -126,17 +126,27 @@ fn chrome_trace_parses_with_per_engine_tracks_and_nested_spans() {
     // per-engine threads inside each device process.
     let mut processes = Vec::new();
     let mut threads = Vec::new();
+    let mut trace_meta = None;
     for o in objs {
         if as_str(o, "ph") != "M" {
             continue;
         }
-        let name = as_str(&field(o, "args"), "name");
         match as_str(o, "name").as_str() {
-            "process_name" => processes.push((as_u64(o, "pid"), name)),
-            "thread_name" => threads.push((as_u64(o, "pid"), as_u64(o, "tid"), name)),
+            "process_name" => processes.push((as_u64(o, "pid"), as_str(&field(o, "args"), "name"))),
+            "thread_name" => threads.push((
+                as_u64(o, "pid"),
+                as_u64(o, "tid"),
+                as_str(&field(o, "args"), "name"),
+            )),
+            "trace_metadata" => trace_meta = Some(field(o, "args")),
             other => panic!("unexpected metadata {other}"),
         }
     }
+    // The export says how complete it is: a default-capacity run drops
+    // nothing, and the event count matches the recorded stream.
+    let trace_meta = trace_meta.expect("trace_metadata record");
+    assert_eq!(as_u64(&trace_meta, "dropped_events"), 0);
+    assert_eq!(as_u64(&trace_meta, "events") as usize, events.len());
     for want in ["host", "device0", "device1", "streams"] {
         assert!(
             processes.iter().any(|(_, n)| n == want),

@@ -95,7 +95,7 @@ fn main() {
     );
     let path = std::path::Path::new("target").join("profile_pipeline_trace.json");
     std::fs::create_dir_all("target").expect("target dir");
-    std::fs::write(&path, chrome_trace(&events)).expect("write trace");
+    std::fs::write(&path, chrome_trace(&events, tracer.dropped())).expect("write trace");
     println!(
         "wrote {} — load it in Perfetto / chrome://tracing",
         path.display()
