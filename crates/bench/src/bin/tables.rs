@@ -125,6 +125,9 @@ fn main() {
     if want("--metrics") {
         metrics();
     }
+    if want("--postmortem") {
+        postmortem();
+    }
 }
 
 /// One workload row of the host-throughput harness: the same program
@@ -183,6 +186,10 @@ struct SimBenchReport {
     /// forced off — the cost of the counters themselves. Same
     /// methodology as `profiling_overhead`; wall-clock, never asserted.
     metrics_overhead: MetricsOverheadRow,
+    /// Launch latency with the always-on flight recorder on (the
+    /// default ring) vs `with_flight_capacity(0)`. Same methodology;
+    /// wall-clock, never asserted.
+    forensics_overhead: ForensicsOverheadRow,
 }
 
 /// End-to-end launch latency under the three profiler settings.
@@ -210,6 +217,20 @@ struct MetricsOverheadRow {
     /// `RuntimeConfig::with_metrics(false)`.
     disabled_us_per_launch: f64,
     /// Metrics on — the default configuration.
+    enabled_us_per_launch: f64,
+    /// `enabled / disabled` (1.0 = free).
+    enabled_ratio: f64,
+}
+
+/// End-to-end launch latency with the flight recorder on vs off.
+#[derive(Debug, Clone, Serialize)]
+struct ForensicsOverheadRow {
+    /// Launches per timed batch.
+    batch: u64,
+    /// `RuntimeConfig::with_flight_capacity(0)` — every record site is
+    /// a branch on `None`.
+    disabled_us_per_launch: f64,
+    /// Default-capacity ring — the always-on configuration.
     enabled_us_per_launch: f64,
     /// `enabled / disabled` (1.0 = free).
     enabled_ratio: f64,
@@ -532,8 +553,37 @@ fn sim() {
         metrics_overhead.enabled_ratio
     );
 
+    // Flight-recorder overhead: the always-on forensics ring vs
+    // capacity 0. The enabled path is one relaxed fetch_add plus a slot
+    // store per scheduler transition — measured here, never asserted.
+    let time_batch_flight = |capacity: usize| {
+        let rt = Runtime::new(RuntimeConfig::with_devices(1).with_flight_capacity(capacity));
+        let s = rt.stream();
+        let spec = LaunchSpec::saxpy(3, &x, &y);
+        sim_time_per_run(|| {
+            for _ in 0..batch {
+                s.launch(spec.clone());
+            }
+            rt.synchronize().expect("forensics batch runs clean");
+        }) * 1e6
+            / batch as f64
+    };
+    let flight_off = time_batch_flight(0);
+    let flight_on = time_batch_flight(RuntimeConfig::default().flight_capacity);
+    let forensics_overhead = ForensicsOverheadRow {
+        batch,
+        disabled_us_per_launch: flight_off,
+        enabled_us_per_launch: flight_on,
+        enabled_ratio: flight_on / flight_off,
+    };
+    println!(
+        "forensics overhead (saxpy, {batch}-launch batches): \
+         off {flight_off:.2} us/launch, on {flight_on:.2} ({:.2}x)",
+        forensics_overhead.enabled_ratio
+    );
+
     let report = SimBenchReport {
-        schema_version: 2,
+        schema_version: 3,
         rows,
         threshold_sweep_workload: "saxpy/1024".into(),
         threshold_sweep,
@@ -545,6 +595,7 @@ fn sim() {
         decode_hits,
         profiling_overhead,
         metrics_overhead,
+        forensics_overhead,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     write_artifact("BENCH_sim.json", &json);
@@ -1624,6 +1675,59 @@ fn metrics() {
     println!("(wrote METRICS.prom)\n");
 }
 
+/// `--postmortem`: stage a deliberate device stall — a serialized
+/// stream on a 2-device pool leaves device1 idle through the whole
+/// makespan — under a strict health watchdog, and export the forensic
+/// bundle the way a production harness would on a health transition:
+/// `POSTMORTEM.json` plus its human-readable text rendering. The
+/// bundle is pure modeled state (flight sequence numbers, modeled
+/// cycles), so the artifact is byte-deterministic.
+fn postmortem() {
+    use simt_kernels::workload::int_vector;
+    use simt_kernels::LaunchSpec;
+    use simt_profile::ProfileConfig;
+    use simt_runtime::{HealthConfig, HealthFinding, Runtime, RuntimeConfig};
+
+    println!("== simt-forensics: injected stall -> postmortem bundle ==");
+    let cfg = RuntimeConfig::default() // 2 devices
+        .with_profile(ProfileConfig::full())
+        .with_health(HealthConfig {
+            stall_idle_fraction: 0.4,
+            stall_min_parallelism: 2,
+            starvation_factor: 8,
+        });
+    let rt = Runtime::new(cfg);
+    let x = int_vector(256, 1);
+    let y = int_vector(256, 2);
+    let s = rt.stream();
+    rt.pause();
+    for _ in 0..6 {
+        s.launch(LaunchSpec::saxpy_ir(3, &x, &y));
+    }
+    rt.resume();
+    rt.synchronize().expect("stall workload runs clean");
+
+    let report = rt
+        .postmortem("injected device stall (serialized stream on a 2-device pool)")
+        .expect("metrics are on by default");
+    assert!(!report.health.healthy, "the staged stall must be detected");
+    let stalled = report
+        .health
+        .findings
+        .iter()
+        .find_map(|f| match f {
+            HealthFinding::DeviceStall { device, .. } => Some(device.clone()),
+            _ => None,
+        })
+        .expect("a DeviceStall finding");
+    assert_eq!(stalled, "device1", "placement ties break toward device0");
+    print!("{}", report.render_text());
+    write_artifact(
+        "POSTMORTEM.json",
+        &serde_json::to_string_pretty(&report).expect("postmortem serializes"),
+    );
+}
+
 /// The artifacts `--check` regenerates and gates on. `PROFILE_*` are
 /// excluded: the trace is a wall-clock-timestamped event log, not a
 /// metric baseline.
@@ -1635,15 +1739,201 @@ const CHECKED_ARTIFACTS: &[&str] = &[
     "METRICS.json",
 ];
 
+/// Workload families the gate knows how to re-profile when a leaf
+/// naming one of them regresses: the four sim-harness kernels, each
+/// with an IR frontend so the attribution carries source-map data.
+const ATTRIBUTABLE_WORKLOADS: &[&str] = &["saxpy", "fir", "matmul_ir", "iir_ir"];
+
+/// Rewrite the sequence indices of a [`simt_bench::check`] finding
+/// path as `{index}:{name}` wherever the indexed element is an object
+/// carrying a `name` field (plus `:{label}` when a non-empty label
+/// rides along), so leaf paths in `CHECK_REPORT.json` name their
+/// workloads: `rows/2/dyn_instrs` becomes `rows/2:fir/dyn_instrs`,
+/// which is what [`simt_forensics::CheckReport::implicated_workloads`]
+/// matches against.
+fn annotate_leaf_path(current: &serde::Value, path: &str) -> String {
+    let field = |entries: &[(String, serde::Value)], key: &str| {
+        entries.iter().find_map(|(k, v)| match v {
+            serde::Value::Str(s) if k == key && !s.is_empty() => Some(s.clone()),
+            _ => None,
+        })
+    };
+    let mut node = Some(current);
+    let mut out = Vec::new();
+    // The first segment is the artifact stem, not part of the tree.
+    for seg in path.split('/').skip(1) {
+        let mut rendered = seg.to_string();
+        node = match node {
+            Some(serde::Value::Seq(items)) => {
+                let item = seg.parse::<usize>().ok().and_then(|i| items.get(i));
+                if let Some(serde::Value::Map(entries)) = item {
+                    if let Some(name) = field(entries, "name") {
+                        rendered = match field(entries, "label") {
+                            Some(label) => format!("{seg}:{name}:{label}"),
+                            None => format!("{seg}:{name}"),
+                        };
+                    }
+                }
+                item
+            }
+            Some(serde::Value::Map(entries)) => entries
+                .iter()
+                .find(|(k, _)| k.to_ascii_lowercase() == seg)
+                .map(|(_, v)| v),
+            _ => None,
+        };
+        out.push(rendered);
+    }
+    out.join("/")
+}
+
+/// A gate finding as a check-report leaf: rooted at the artifact file
+/// name, with sequence indices annotated with workload names.
+fn leaf_delta(
+    artifact: &str,
+    current: &serde::Value,
+    f: &simt_bench::check::Finding,
+) -> simt_forensics::LeafDelta {
+    simt_forensics::LeafDelta {
+        path: format!("{artifact}:/{}", annotate_leaf_path(current, &f.path)),
+        class: format!("{:?}", f.class),
+        baseline: f.baseline.parse().unwrap_or(0.0),
+        current: f.current.parse().unwrap_or(0.0),
+        delta: f.delta.unwrap_or(0.0),
+    }
+}
+
+/// Re-run one implicated workload under the full profiler at two
+/// thread shapes and collect where its modeled cycles live: per-PC
+/// hotspots with disassembly and IR attribution (via the postmortem
+/// bundle), the optimizer's pass ledger, and per-node spans of a
+/// graph replay on the virtual timeline — so a reviewer can see
+/// whether a regression scales with parallelism or is a fixed cost.
+fn attribute_workload(workload: &str) -> simt_forensics::WorkloadAttribution {
+    use simt_forensics::{NodeSpan, PassDelta, ShapeProfile, WorkloadAttribution};
+    use simt_kernels::workload::{int_vector, lowpass_taps, q15_signal};
+    use simt_kernels::{iir, LaunchSpec};
+    use simt_profile::{ProfileConfig, TraceEvent};
+    use simt_runtime::{CommandKind, GraphBuilder, NodeId, Runtime, RuntimeConfig};
+
+    let mut shapes = Vec::new();
+    for threads in [64usize, 1024] {
+        let spec = match workload {
+            "saxpy" => LaunchSpec::saxpy_ir(3, &int_vector(threads, 1), &int_vector(threads, 2)),
+            "fir" => {
+                let taps = lowpass_taps(16);
+                LaunchSpec::fir_ir(&q15_signal(threads + taps.len() - 1, 5), &taps, threads)
+            }
+            "matmul_ir" => {
+                let (m, k, n) = if threads == 64 {
+                    (8, 16, 8)
+                } else {
+                    (32, 16, 32)
+                };
+                LaunchSpec::matmul_ir(&int_vector(m * k, 3), &int_vector(k * n, 4), m, k, n)
+            }
+            "iir_ir" => {
+                let samples = 4096 / threads;
+                LaunchSpec::iir_ir(
+                    &q15_signal(threads * samples, 9),
+                    threads,
+                    samples,
+                    iir::Biquad::lowpass(),
+                )
+            }
+            other => panic!("no attribution recipe for workload `{other}`"),
+        };
+        let rt = Runtime::new(
+            RuntimeConfig {
+                devices: 1,
+                ..Default::default()
+            }
+            .with_profile(ProfileConfig::full()),
+        );
+        let name = spec.name.clone();
+        let (kernel, inputs) = spec.detach_inputs();
+        let mut b = GraphBuilder::new();
+        let copies: Vec<NodeId> = inputs
+            .iter()
+            .map(|(dst, words)| b.copy_in(*dst, words.clone(), &[]))
+            .collect();
+        let launch = b.launch(kernel.clone(), &copies);
+        b.copy_out(kernel.out_off, kernel.out_len, &[launch]);
+        let exec = rt
+            .instantiate(b.finish().expect("attribution graph is acyclic"))
+            .expect("attribution graph instantiates");
+        let replay = rt.replay(&exec).expect("attribution replay runs clean");
+        assert!(
+            replay.outputs.iter().any(|(_, w)| *w == kernel.expected),
+            "{name}: attribution replay output"
+        );
+
+        let report = rt
+            .postmortem("perf-regression attribution")
+            .expect("metrics are on by default");
+        let hot = report.hotspots.iter().find(|h| h.kernel == name);
+        // One kernel compiles per runtime, so every pass event is its.
+        let passes = rt
+            .tracer()
+            .expect("profiled runtime has a tracer")
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                TraceEvent::PassRun {
+                    pass,
+                    insts_before,
+                    insts_after,
+                    ..
+                } => Some(PassDelta {
+                    pass,
+                    insts_before: insts_before as u64,
+                    insts_after: insts_after as u64,
+                }),
+                _ => None,
+            })
+            .collect();
+        let graph_nodes = replay
+            .placements
+            .iter()
+            .map(|p| NodeSpan {
+                node: p.node.index(),
+                label: match p.kind {
+                    CommandKind::Launch => name.clone(),
+                    kind => format!("{kind:?}"),
+                },
+                device: p.device,
+                start: p.start,
+                end: p.end,
+            })
+            .collect();
+        shapes.push(ShapeProfile {
+            threads,
+            total_cycles: hot.map(|h| h.total_cycles).unwrap_or(0),
+            fill_cycles: hot.map(|h| h.fill_cycles).unwrap_or(0),
+            pcs: hot.map(|h| h.pcs.clone()).unwrap_or_default(),
+            passes,
+            graph_nodes,
+        });
+    }
+    WorkloadAttribution {
+        workload: workload.to_string(),
+        shapes,
+    }
+}
+
 /// `--check [--inject]`: regenerate every gated artifact into a
 /// scratch directory, compare each against its committed baseline with
 /// [`simt_bench::check`], print the deviations, and exit nonzero if
 /// any *exact-class* (modeled-cycle) metric moved. Throughput-class
-/// deviations are reported but never enforced. `--inject` doubles
-/// every exact-class cycle leaf of the fresh artifacts first — the
-/// self-test proving the gate trips.
+/// deviations are reported but never enforced. On failure the gate
+/// re-profiles the implicated workloads and writes `CHECK_REPORT.json`
+/// (a [`simt_forensics::CheckReport`]) into the working directory, so
+/// the exit-1 names where the cycles moved. `--inject` doubles every
+/// exact-class cycle leaf of the fresh artifacts first — the self-test
+/// proving the gate trips and the report attributes.
 fn check(inject: bool) {
-    use simt_bench::check::{compare, inject_cycle_regression, Class};
+    use simt_bench::check::{compare, inject_cycle_regression};
+    use simt_forensics::{CheckReport, LeafDelta, CHECK_REPORT_SCHEMA_VERSION};
 
     let scratch = std::env::temp_dir().join(format!("simt-tables-check-{}", std::process::id()));
     std::fs::create_dir_all(&scratch).expect("create scratch dir");
@@ -1657,7 +1947,8 @@ fn check(inject: bool) {
     metrics();
 
     println!("== perf-regression gate: committed baselines vs this tree ==");
-    let mut failures = 0usize;
+    let mut all_failures: Vec<LeafDelta> = Vec::new();
+    let mut all_warnings: Vec<LeafDelta> = Vec::new();
     let mut injected = 0usize;
     for artifact in CHECKED_ARTIFACTS {
         let stem = artifact.trim_end_matches(".json").to_ascii_lowercase();
@@ -1709,18 +2000,42 @@ fn check(inject: bool) {
                 warns.len() - 15
             );
         }
-        failures += fails.len();
+        all_failures.extend(fails.iter().map(|f| leaf_delta(artifact, &current, f)));
+        all_warnings.extend(warns.iter().map(|f| leaf_delta(artifact, &current, f)));
         // Shape sanity: artifacts must actually contain exact-class
         // leaves, otherwise the gate is vacuous.
         assert!(cmp.leaves > 0, "{artifact}: no leaves compared");
-        let _ = Class::Exact;
     }
     if inject {
         assert!(injected > 0, "--inject found no cycle leaves to double");
         println!("\n(injected a 2x regression into {injected} cycle leaves)");
     }
+    let failures = all_failures.len();
     if failures > 0 {
-        println!("\ngate: FAILED — {failures} modeled-cycle regressions");
+        let implicated = CheckReport::implicated_workloads(&all_failures, ATTRIBUTABLE_WORKLOADS);
+        println!(
+            "\n== attributing {failures} regressions to {} workload(s): {} ==",
+            implicated.len(),
+            if implicated.is_empty() {
+                "none recognized".to_string()
+            } else {
+                implicated.join(", ")
+            }
+        );
+        let report = CheckReport {
+            schema_version: CHECK_REPORT_SCHEMA_VERSION,
+            injected: inject,
+            failures: all_failures,
+            warnings: all_warnings,
+            attributions: implicated.iter().map(|w| attribute_workload(w)).collect(),
+        };
+        std::fs::write(
+            "CHECK_REPORT.json",
+            serde_json::to_string_pretty(&report).expect("check report serializes"),
+        )
+        .expect("write CHECK_REPORT.json");
+        print!("{}", report.render_text());
+        println!("\ngate: FAILED — {failures} modeled-cycle regressions (wrote CHECK_REPORT.json)");
         std::process::exit(1);
     }
     println!("\ngate: ok — no modeled-cycle regressions");

@@ -20,6 +20,7 @@ use crate::error::CompileError;
 use crate::ir::{hash_config, Fnv, Kernel};
 use crate::lower::{compile, OptLevel};
 use simt_core::{DecodedProgram, ProcessorConfig};
+use simt_forensics::{CacheTier, FlightEvent, FlightRecorder};
 use simt_isa::{IsaError, Program};
 use simt_profile::{TraceEvent, Tracer};
 use std::collections::{HashMap, HashSet};
@@ -84,6 +85,9 @@ pub struct CompileCache {
     decode_misses: AtomicU64,
     /// Optional structured-event sink (see [`CompileCache::with_tracer`]).
     tracer: Option<Arc<Tracer>>,
+    /// Optional always-on flight recorder (see
+    /// [`CompileCache::with_flight`]).
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 /// Internal lookup result: the program, its decode when requested, and
@@ -129,11 +133,31 @@ impl CompileCache {
         self
     }
 
+    /// Attach a flight recorder: every compile- and decode-cache lookup
+    /// then records a compact [`FlightEvent::CacheQuery`], independent
+    /// of the opt-in tracer.
+    pub fn with_flight(mut self, flight: Arc<FlightRecorder>) -> Self {
+        self.flight = Some(flight);
+        self
+    }
+
     /// Record `event` when a tracer is attached (the disabled path is a
     /// branch on `None`).
     fn emit(&self, event: TraceEvent) {
         if let Some(t) = &self.tracer {
             t.record(event);
+        }
+    }
+
+    /// Record a cache outcome on the flight recorder when one is
+    /// attached (same branch-on-`None` disabled path as `emit`).
+    fn note_cache(&self, kernel: &str, cache: CacheTier, hit: bool) {
+        if let Some(f) = &self.flight {
+            f.record(FlightEvent::CacheQuery {
+                kernel: kernel.to_string(),
+                cache,
+                hit,
+            });
         }
     }
 
@@ -165,6 +189,7 @@ impl CompileCache {
                         kernel: label.to_string(),
                         decoded: want_decoded,
                     });
+                    self.note_cache(label, CacheTier::Compile, true);
                     let decoded = if want_decoded {
                         Some(match &e.decoded {
                             Some(d) => {
@@ -172,6 +197,7 @@ impl CompileCache {
                                 self.emit(TraceEvent::DecodeCacheHit {
                                     kernel: label.to_string(),
                                 });
+                                self.note_cache(label, CacheTier::Decode, true);
                                 Arc::clone(d)
                             }
                             None => {
@@ -179,6 +205,7 @@ impl CompileCache {
                                 self.emit(TraceEvent::DecodeCacheMiss {
                                     kernel: label.to_string(),
                                 });
+                                self.note_cache(label, CacheTier::Decode, false);
                                 let d = Arc::new(DecodedProgram::decode(
                                     Arc::clone(&e.program),
                                     &e.config,
@@ -196,6 +223,7 @@ impl CompileCache {
                 self.emit(TraceEvent::CompileCacheMiss {
                     kernel: label.to_string(),
                 });
+                self.note_cache(label, CacheTier::Compile, false);
                 return Claim::Collision;
             }
             if inner.pending.insert(key) {
@@ -203,6 +231,7 @@ impl CompileCache {
                 self.emit(TraceEvent::CompileCacheMiss {
                     kernel: label.to_string(),
                 });
+                self.note_cache(label, CacheTier::Compile, false);
                 return Claim::Owned;
             }
             inner = self.ready.wait(inner).unwrap();
@@ -418,6 +447,7 @@ impl CompileCache {
         self.emit(TraceEvent::DecodeCacheMiss {
             kernel: label.to_string(),
         });
+        self.note_cache(label, CacheTier::Decode, false);
         Some(Arc::new(DecodedProgram::decode(
             Arc::clone(program),
             config,
@@ -758,6 +788,39 @@ mod tests {
         assert!(ev.iter().any(
             |e| matches!(e, TraceEvent::CompileCacheMiss { kernel } if kernel.starts_with("asm#"))
         ));
+    }
+
+    #[test]
+    fn flight_recorder_sees_cache_outcomes() {
+        let flight = Arc::new(FlightRecorder::new(64));
+        let cache = CompileCache::new().with_flight(Arc::clone(&flight));
+        let cfg = ProcessorConfig::small();
+        let k = kernel(5);
+        // Fresh decoded compile: compile miss + decode miss.
+        cache
+            .get_or_compile_decoded(&k, &cfg, OptLevel::Full)
+            .unwrap();
+        // Repeat: compile hit + decode hit.
+        cache
+            .get_or_compile_decoded(&k, &cfg, OptLevel::Full)
+            .unwrap();
+        let ev = flight.snapshot();
+        let count = |cache: CacheTier, hit: bool| {
+            ev.iter()
+                .filter(|r| {
+                    matches!(&r.event, FlightEvent::CacheQuery { cache: c, hit: h, .. }
+                        if *c == cache && *h == hit)
+                })
+                .count()
+        };
+        assert_eq!(count(CacheTier::Compile, false), 1);
+        assert_eq!(count(CacheTier::Compile, true), 1);
+        assert_eq!(count(CacheTier::Decode, false), 1);
+        assert_eq!(count(CacheTier::Decode, true), 1);
+        assert!(ev.iter().all(|r| matches!(
+            &r.event,
+            FlightEvent::CacheQuery { kernel, .. } if kernel == "k"
+        )));
     }
 
     #[test]

@@ -118,6 +118,22 @@ impl PcProfile {
         }
     }
 
+    /// Per-PC cycle movement against a baseline profile of the same
+    /// kernel (another shape, another revision): `(pc, baseline_cycles,
+    /// current_cycles)` for every PC whose charge differs, ascending by
+    /// PC. Missing slots on either side count as zero, so profiles of
+    /// different lengths diff cleanly.
+    pub fn cycle_deltas(&self, baseline: &Self) -> Vec<(usize, u64, u64)> {
+        let n = self.counters.len().max(baseline.counters.len());
+        (0..n)
+            .filter_map(|pc| {
+                let b = baseline.counters.get(pc).map(|c| c.cycles).unwrap_or(0);
+                let c = self.counters.get(pc).map(|c| c.cycles).unwrap_or(0);
+                (b != c).then_some((pc, b, c))
+            })
+            .collect()
+    }
+
     /// The `n` hottest PCs by charged cycles, hottest first (ties break
     /// toward the lower PC). PCs that never issued are skipped.
     pub fn hottest(&self, n: usize) -> Vec<(usize, PcCounter)> {
@@ -182,6 +198,21 @@ mod tests {
         assert_eq!(a.counters[1].issues, 2);
         assert_eq!(a.counters[1].cycles, 6);
         assert_eq!(a.counters[2].cycles, 9);
+    }
+
+    #[test]
+    fn cycle_deltas_name_moved_pcs_across_lengths() {
+        let mut base = PcProfile::with_len(2);
+        base.record(0, 5, 0);
+        base.record(1, 3, 0);
+        let mut cur = PcProfile::with_len(3);
+        cur.record(0, 5, 0); // unchanged: not reported
+        cur.record(1, 7, 0); // grew
+        cur.record(2, 2, 0); // new PC, baseline side is zero
+        assert_eq!(cur.cycle_deltas(&base), vec![(1, 3, 7), (2, 0, 2)]);
+        // Symmetric view: shrinkage reports the same PCs, sides swapped.
+        assert_eq!(base.cycle_deltas(&cur), vec![(1, 7, 3), (2, 2, 0)]);
+        assert!(base.cycle_deltas(&base).is_empty());
     }
 
     #[test]

@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// Thresholds for the watchdog. Defaults are deliberately permissive —
 /// the monitor should stay quiet on healthy runs and only speak up on
 /// pathological ones.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HealthConfig {
     /// A device is stalled when it was idle for more than this fraction
     /// of the pool makespan *while the pool had parallel work*.
@@ -75,6 +75,23 @@ pub enum HealthFinding {
         /// Completion records dropped.
         dropped: u64,
     },
+}
+
+impl HealthFinding {
+    /// Compact single-line label (`device_stall(device1)`), the form a
+    /// flight recorder logs for a health transition.
+    pub fn label(&self) -> String {
+        match self {
+            HealthFinding::DeviceStall { device, .. } => format!("device_stall({device})"),
+            HealthFinding::StreamStarvation { stream, .. } => {
+                format!("stream_starvation({stream})")
+            }
+            HealthFinding::TracerDrops { dropped } => format!("tracer_drops({dropped})"),
+            HealthFinding::CompletionTraceDrops { dropped } => {
+                format!("completion_trace_drops({dropped})")
+            }
+        }
+    }
 }
 
 /// The result of one health walk.

@@ -361,6 +361,36 @@ pub fn chrome_trace_value(events: &[TraceEvent], dropped: u64) -> Value {
                 ));
                 host_seq += 1;
             }
+            TraceEvent::GaugeSample {
+                name,
+                label,
+                value,
+                at,
+            } => {
+                // Counter tracks ("ph":"C"): Perfetto renders one
+                // stepped timeline per (pid, name). Per-stream queue
+                // depth lives on the streams process; pool-wide gauges
+                // (outstanding commands) on the host process.
+                let (pid, tid, track) = if label.is_empty() {
+                    processes.entry(HOST_PID).or_insert_with(|| "host".into());
+                    (HOST_PID, 0, name.clone())
+                } else {
+                    processes
+                        .entry(STREAMS_PID)
+                        .or_insert_with(|| "streams".into());
+                    (STREAMS_PID, 0, format!("{name} {label}"))
+                };
+                body.push(obj(
+                    &track,
+                    "gauge",
+                    "C",
+                    *at,
+                    0,
+                    pid,
+                    tid,
+                    vec![entry("value", u(*value))],
+                ));
+            }
         }
     }
 
@@ -536,6 +566,55 @@ mod tests {
                 assert!(i.get_field(k).is_ok(), "uniform shape: missing {k}");
             }
         }
+    }
+
+    #[test]
+    fn gauge_samples_render_as_counter_tracks() {
+        let ev = vec![
+            TraceEvent::GaugeSample {
+                name: "stream_queue_depth".into(),
+                label: "stream1".into(),
+                value: 3,
+                at: 40,
+            },
+            TraceEvent::GaugeSample {
+                name: "outstanding_commands".into(),
+                label: String::new(),
+                value: 5,
+                at: 41,
+            },
+        ];
+        let v = chrome_trace_value(&ev, 0);
+        let Value::Seq(items) = &v else {
+            panic!("trace is a JSON array")
+        };
+        let counters: Vec<&Value> = items
+            .iter()
+            .filter(|i| field(i, "ph") == &Value::Str("C".into()))
+            .collect();
+        assert_eq!(counters.len(), 2);
+        // Per-stream depth on the streams process, pool gauge on host.
+        let depth = counters
+            .iter()
+            .find(|c| field(c, "pid") == &Value::U64(STREAMS_PID))
+            .expect("stream counter");
+        assert_eq!(
+            field(depth, "name"),
+            &Value::Str("stream_queue_depth stream1".into())
+        );
+        assert_eq!(field(depth, "ts"), &Value::U64(40));
+        assert_eq!(
+            field(depth, "args").get_field("value").unwrap(),
+            &Value::U64(3)
+        );
+        let outstanding = counters
+            .iter()
+            .find(|c| field(c, "pid") == &Value::U64(HOST_PID))
+            .expect("host counter");
+        assert_eq!(
+            field(outstanding, "name"),
+            &Value::Str("outstanding_commands".into())
+        );
     }
 
     #[test]

@@ -232,11 +232,25 @@ pub enum TraceEvent {
         /// Whether the pass changed the kernel.
         changed: bool,
     },
+    /// A gauge crossed a sampling point (queue depth after an enqueue,
+    /// outstanding commands after a publish). Exported as a Chrome
+    /// counter track (`"ph":"C"`) so Perfetto renders a timeline.
+    GaugeSample {
+        /// Metric name (see `simt_metrics::names`).
+        name: String,
+        /// Metric label (`stream{N}`, or `""` for pool-wide).
+        label: String,
+        /// Gauge value at the sample.
+        value: u64,
+        /// Virtual timestamp (modeled cycles) of the sample.
+        at: u64,
+    },
 }
 
 impl TraceEvent {
     /// Coarse category label, used by exporters and the summary:
-    /// `kernel`, `copy`, `sync`, `graph`, `cache` or `compiler`.
+    /// `kernel`, `copy`, `sync`, `graph`, `cache`, `compiler` or
+    /// `gauge`.
     pub fn category(&self) -> &'static str {
         match self {
             TraceEvent::KernelLaunch { .. } | TraceEvent::KernelRetire { .. } => "kernel",
@@ -248,6 +262,7 @@ impl TraceEvent {
             | TraceEvent::DecodeCacheHit { .. }
             | TraceEvent::DecodeCacheMiss { .. } => "cache",
             TraceEvent::PassRun { .. } => "compiler",
+            TraceEvent::GaugeSample { .. } => "gauge",
         }
     }
 }
@@ -471,6 +486,15 @@ mod tests {
                     changed: true,
                 },
                 "compiler",
+            ),
+            (
+                TraceEvent::GaugeSample {
+                    name: "stream_queue_depth".into(),
+                    label: "stream0".into(),
+                    value: 3,
+                    at: 640,
+                },
+                "gauge",
             ),
         ];
         for (e, cat) in cases {

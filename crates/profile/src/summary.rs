@@ -53,6 +53,8 @@ pub struct TraceSummary {
     pub pass_runs: u64,
     /// Pass runs that changed their kernel.
     pub passes_changed: u64,
+    /// Gauge samples recorded (queue depth / outstanding counters).
+    pub gauge_samples: u64,
     /// Per-category event counts, sorted by category label.
     pub by_category: Vec<CategoryCount>,
 }
@@ -106,6 +108,7 @@ pub fn summarize(events: &[TraceEvent], dropped: u64) -> TraceSummary {
                     s.passes_changed += 1;
                 }
             }
+            TraceEvent::GaugeSample { .. } => s.gauge_samples += 1,
         }
     }
     cats.sort();

@@ -84,6 +84,12 @@ pub use simt_profile::{ProfileConfig, TraceEvent, Tracer};
 // And the metrics vocabulary: snapshot with Runtime::metrics_snapshot,
 // watch with Runtime::health, export via simt_metrics::prometheus.
 pub use simt_metrics::{HealthConfig, HealthFinding, HealthMonitor, HealthReport, MetricsSnapshot};
+// And the forensics vocabulary: the always-on flight recorder behind
+// Runtime::flight, postmortem bundles from Runtime::postmortem.
+pub use simt_forensics::{
+    gauge_timelines, FlightDump, FlightEvent, FlightKind, FlightRecord, FlightRecorder,
+    GaugeTimeline, KernelHotspots, PcHotspot, PostmortemReport, POSTMORTEM_SCHEMA_VERSION,
+};
 
 /// Anything that can go wrong inside the runtime. Cloneable (sticky
 /// stream errors fan out to every queued handle), so inner errors are
@@ -152,6 +158,9 @@ impl fmt::Display for RuntimeError {
 
 impl std::error::Error for RuntimeError {}
 
+/// Hottest PCs reported per kernel in a postmortem bundle.
+const HOTSPOT_PCS: usize = 8;
+
 /// The host runtime: a pool of simulated devices behind stream queues.
 pub struct Runtime {
     shared: Arc<Shared>,
@@ -185,6 +194,11 @@ impl Runtime {
         // cache reports its hits/misses/passes into the same timeline.
         if let Some(t) = &shared.tracer {
             compile_cache = compile_cache.with_tracer(Arc::clone(t));
+        }
+        // The flight recorder likewise: cache outcomes land in the
+        // always-on forensics window.
+        if let Some(f) = &shared.flight {
+            compile_cache = compile_cache.with_flight(Arc::clone(f));
         }
         let compile_cache = Arc::new(compile_cache);
         let pc_sink = cfg
@@ -323,12 +337,117 @@ impl Runtime {
         Some(snap)
     }
 
-    /// Run the health watchdog over a fresh metrics snapshot with
-    /// default thresholds (`None` iff metrics are off). See
-    /// [`HealthMonitor`] for custom thresholds.
+    /// Run the health watchdog over a fresh metrics snapshot with the
+    /// pool's configured thresholds ([`RuntimeConfig::with_health`];
+    /// `None` iff metrics are off).
     pub fn health(&self) -> Option<HealthReport> {
-        self.metrics_snapshot()
-            .map(|snap| HealthMonitor::default().check(&snap))
+        let monitor = HealthMonitor::new(self.config().health.clone());
+        self.metrics_snapshot().map(|snap| monitor.check(&snap))
+    }
+
+    /// The always-on flight recorder (`None` iff the runtime was built
+    /// with [`RuntimeConfig::with_flight_capacity`]`(0)`). Dump its
+    /// surviving window with [`FlightRecorder::dump`]; postmortems
+    /// bundle it automatically.
+    pub fn flight(&self) -> Option<&Arc<FlightRecorder>> {
+        self.shared.flight.as_ref()
+    }
+
+    /// Assemble a deterministic [`PostmortemReport`]: the health walk,
+    /// the full metrics snapshot, the flight recorder's surviving
+    /// window, gauge timelines derived from it, and — when the runtime
+    /// was built with [`ProfileConfig::per_pc`] — per-PC hotspots with
+    /// disassembly and IR source-map attribution for every profiled
+    /// kernel.
+    ///
+    /// Health findings observed during assembly are also recorded into
+    /// the flight window (as [`FlightEvent::Health`]) so the dump shows
+    /// *when* the watchdog spoke relative to scheduler activity.
+    /// Returns `None` iff metrics are off (a postmortem without a
+    /// snapshot names nothing).
+    pub fn postmortem(&self, reason: &str) -> Option<PostmortemReport> {
+        let metrics = self.metrics_snapshot()?;
+        let health = HealthMonitor::new(self.config().health.clone()).check(&metrics);
+        if let Some(f) = &self.shared.flight {
+            for finding in &health.findings {
+                f.record(FlightEvent::Health {
+                    finding: finding.label(),
+                });
+            }
+        }
+        let flight = match &self.shared.flight {
+            Some(f) => f.dump(),
+            None => FlightDump {
+                recorded: 0,
+                capacity: 0,
+                events: Vec::new(),
+            },
+        };
+        let timelines = gauge_timelines(&flight);
+        let hotspots = self.hotspots();
+        Some(PostmortemReport {
+            schema_version: POSTMORTEM_SCHEMA_VERSION,
+            reason: reason.to_string(),
+            health,
+            metrics,
+            flight,
+            timelines,
+            hotspots,
+        })
+    }
+
+    /// Fold the per-PC sink into postmortem hotspot records: per kernel
+    /// (sorted by name) the hottest PCs with disassembly, plus IR
+    /// source-map attribution re-derived by compiling the retained
+    /// kernel source. Empty without [`ProfileConfig::per_pc`].
+    fn hotspots(&self) -> Vec<KernelHotspots> {
+        use simt_isa::disasm::format_instruction;
+        let sink = match &self.pc_sink {
+            Some(s) => s,
+            None => return Vec::new(),
+        };
+        let profiles = sink.lock().unwrap();
+        let mut kernels: Vec<&String> = profiles.keys().collect();
+        kernels.sort();
+        kernels
+            .into_iter()
+            .map(|name| {
+                let kp = &profiles[name];
+                let source_map = match &kp.source {
+                    simt_kernels::KernelSource::Ir(kernel) => {
+                        simt_compiler::compile(kernel, &kp.config, simt_compiler::OptLevel::Full)
+                            .ok()
+                            .map(|c| c.source_map)
+                    }
+                    simt_kernels::KernelSource::Asm(_) => None,
+                };
+                let insts = kp.program.instructions();
+                let pcs = kp
+                    .profile
+                    .hottest(HOTSPOT_PCS)
+                    .into_iter()
+                    .map(|(pc, c)| PcHotspot {
+                        pc,
+                        issues: c.issues,
+                        cycles: c.cycles,
+                        thread_ops: c.thread_ops,
+                        asm: insts
+                            .get(pc)
+                            .map(format_instruction)
+                            .unwrap_or_else(|| "<out of range>".to_string()),
+                        ir_value: source_map
+                            .as_ref()
+                            .and_then(|m| m.get(pc).copied().flatten()),
+                    })
+                    .collect();
+                KernelHotspots {
+                    kernel: name.clone(),
+                    total_cycles: kp.profile.total_cycles(),
+                    fill_cycles: kp.profile.fill_cycles,
+                    pcs,
+                }
+            })
+            .collect()
     }
 
     /// Hold every worker off claiming new batches (in-flight batches
@@ -352,7 +471,12 @@ impl Runtime {
     /// was built with [`ProfileConfig::per_pc`].
     pub fn pc_profiles(&self) -> HashMap<String, PcProfile> {
         match &self.pc_sink {
-            Some(sink) => sink.lock().unwrap().clone(),
+            Some(sink) => sink
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.profile.clone()))
+                .collect(),
             None => HashMap::new(),
         }
     }

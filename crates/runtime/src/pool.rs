@@ -16,14 +16,31 @@
 use crate::RuntimeError;
 use simt_compiler::{CompileCache, OptLevel};
 use simt_core::{ExecStats, PcProfile, Processor, ProcessorConfig, RunOptions};
+use simt_isa::Program;
 use simt_kernels::{KernelSource, LaunchSpec};
+use simt_metrics::HealthConfig;
 use simt_profile::ProfileConfig;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
+/// Everything the pool retains per profiled kernel: the merged per-PC
+/// histogram plus what postmortem attribution needs to interpret it —
+/// the compiled program (for disassembly) and the kernel's source and
+/// configuration (to rebuild the IR source map on demand).
+pub(crate) struct KernelProfile {
+    /// Merged per-PC execution profile across every launch.
+    pub profile: PcProfile,
+    /// The compiled program the profile indexes into.
+    pub program: Arc<Program>,
+    /// Kernel source (IR sources can re-derive a PC→IR source map).
+    pub source: KernelSource,
+    /// Processor configuration the kernel compiled under.
+    pub config: ProcessorConfig,
+}
+
 /// Pool-wide per-PC profile sink: merged histograms keyed by kernel
 /// name, fed by every device when per-PC profiling is on.
-pub(crate) type PcSink = Mutex<HashMap<String, PcProfile>>;
+pub(crate) type PcSink = Mutex<HashMap<String, KernelProfile>>;
 
 /// Per-device model parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,6 +91,17 @@ pub struct RuntimeConfig {
     /// instruction. The off switch exists so the disabled-path cost can
     /// be measured (`BENCH_sim.json:metrics_overhead`).
     pub metrics: bool,
+    /// Flight-recorder window: the newest this-many scheduler events
+    /// are always retained for postmortems (`simt-forensics`). `0`
+    /// disables the recorder entirely — like `metrics`, the off switch
+    /// exists to measure the disabled path
+    /// (`BENCH_sim.json:forensics_overhead`).
+    pub flight_capacity: usize,
+    /// Health-watchdog thresholds used by [`crate::Runtime::health`]
+    /// and postmortems. Defaults preserve the watchdog's stock
+    /// behavior; tests tighten them to provoke findings
+    /// deterministically.
+    pub health: HealthConfig,
     /// Per-device parameters.
     pub device: DeviceConfig,
 }
@@ -86,6 +114,8 @@ impl Default for RuntimeConfig {
             compile_cache_capacity: Some(256),
             profile: None,
             metrics: true,
+            flight_capacity: 1024,
+            health: HealthConfig::default(),
             device: DeviceConfig::default(),
         }
     }
@@ -110,6 +140,19 @@ impl RuntimeConfig {
     /// off is for measuring the disabled-path cost).
     pub fn with_metrics(mut self, metrics: bool) -> Self {
         self.metrics = metrics;
+        self
+    }
+
+    /// Set the flight-recorder window (`0` disables it; only for
+    /// measuring the disabled-path cost).
+    pub fn with_flight_capacity(mut self, flight_capacity: usize) -> Self {
+        self.flight_capacity = flight_capacity;
+        self
+    }
+
+    /// Set the health-watchdog thresholds.
+    pub fn with_health(mut self, health: HealthConfig) -> Self {
+        self.health = health;
         self
     }
 }
@@ -214,6 +257,10 @@ impl Device {
                 .load_words(*off, words)
                 .map_err(|e| RuntimeError::Exec(e.to_string()))?;
         }
+        // Postmortem attribution wants the program a profile indexes
+        // into; keep a handle before the decode is consumed below
+        // (profiled pools only — the default path stays untouched).
+        let program = self.pc_sink.as_ref().map(|_| Arc::clone(decoded.program()));
         proc.load_decoded(decoded)
             .map_err(|e| RuntimeError::Load(e.to_string()))?;
         let stats = match &self.pc_sink {
@@ -229,9 +276,17 @@ impl Device {
                     .map_err(|e| RuntimeError::Exec(e.to_string()))?;
                 let mut sink = sink.lock().unwrap();
                 match sink.get_mut(&spec.name) {
-                    Some(merged) => merged.merge(&profile),
+                    Some(merged) => merged.profile.merge(&profile),
                     None => {
-                        sink.insert(spec.name.clone(), profile);
+                        sink.insert(
+                            spec.name.clone(),
+                            KernelProfile {
+                                profile,
+                                program: program.expect("profiled path captured the program"),
+                                source: spec.source.clone(),
+                                config: spec.config.clone(),
+                            },
+                        );
                     }
                 }
                 stats

@@ -32,6 +32,7 @@ use crate::stats::{CommandKind, CompletionRecord, DeviceStats, RuntimeStats, Str
 use crate::stream::Command;
 use crate::RuntimeError;
 use simt_core::ExecStats;
+use simt_forensics::{FlightEvent, FlightKind, FlightRecorder};
 use simt_graph::{ExecGraph, GraphNode, GraphOp, NodeId};
 use simt_metrics::{names as metric, Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 use simt_profile::{labels, TraceEvent, Tracer};
@@ -201,6 +202,10 @@ pub(crate) struct Shared {
     /// Always-on pool metrics (`Some` unless [`RuntimeConfig::metrics`]
     /// was switched off to measure the disabled path).
     pub(crate) metrics: Option<PoolMetrics>,
+    /// Always-on flight recorder (`Some` unless
+    /// [`RuntimeConfig::flight_capacity`] is zero — the off switch
+    /// exists only to measure the disabled path).
+    pub(crate) flight: Option<Arc<FlightRecorder>>,
     started: Instant,
 }
 
@@ -248,6 +253,8 @@ impl Shared {
             .profile
             .as_ref()
             .map(|p| Arc::new(Tracer::from_config(p)));
+        let flight =
+            (cfg.flight_capacity > 0).then(|| Arc::new(FlightRecorder::new(cfg.flight_capacity)));
         Shared {
             cfg,
             state: Mutex::new(SchedState {
@@ -274,6 +281,7 @@ impl Shared {
             } else {
                 None
             },
+            flight,
             started: Instant::now(),
         }
     }
@@ -283,6 +291,15 @@ impl Shared {
     pub(crate) fn emit(&self, event: TraceEvent) {
         if let Some(t) = &self.tracer {
             t.record(event);
+        }
+    }
+
+    /// Record a flight event (one branch on `None` when the recorder is
+    /// disabled; eager `event` construction stays cheap — ids and
+    /// already-computed gauge values).
+    pub(crate) fn note(&self, event: FlightEvent) {
+        if let Some(f) = &self.flight {
+            f.record(event);
         }
     }
 
@@ -327,12 +344,14 @@ impl Shared {
     pub(crate) fn pause(&self) {
         let mut state = self.state.lock().unwrap();
         state.paused = true;
+        self.note(FlightEvent::Pause);
     }
 
     /// Release paused workers.
     pub(crate) fn resume(&self) {
         let mut state = self.state.lock().unwrap();
         state.paused = false;
+        self.note(FlightEvent::Resume);
         drop(state);
         self.work.notify_all();
     }
@@ -477,6 +496,7 @@ impl Shared {
             self.idle.notify_all();
             return;
         }
+        let kind = cmd.kind();
         st.queue.push_back((seq, cmd));
         state.outstanding += 1;
         if self.metrics.is_some() {
@@ -488,7 +508,39 @@ impl Shared {
                 m.outstanding.set(state.outstanding as u64);
             }
         }
+        if self.flight.is_some() || self.tracer.is_some() {
+            let depth = state.streams[stream].queue.len() as u64;
+            let outstanding = state.outstanding as u64;
+            self.note(FlightEvent::Enqueue {
+                stream,
+                kind: flight_kind(kind),
+                depth,
+                outstanding,
+            });
+            self.gauge_samples(stream, state.streams[stream].vdone, depth, outstanding);
+        }
         self.work.notify_all();
+    }
+
+    /// Emit queue-depth / outstanding counter samples onto the trace
+    /// timeline (tracing only; callers pre-check so the default path
+    /// pays nothing).
+    fn gauge_samples(&self, stream: usize, at: u64, depth: u64, outstanding: u64) {
+        if self.tracer.is_none() {
+            return;
+        }
+        self.emit(TraceEvent::GaugeSample {
+            name: metric::QUEUE_DEPTH.to_string(),
+            label: labels::stream(stream),
+            value: depth,
+            at,
+        });
+        self.emit(TraceEvent::GaugeSample {
+            name: metric::OUTSTANDING.to_string(),
+            label: String::new(),
+            value: outstanding,
+            at,
+        });
     }
 
     /// Block until no command is queued or in flight; surfaces the first
@@ -663,6 +715,12 @@ impl Shared {
                 _ => m.record_copy(p, cycles),
             }
         }
+        self.note(FlightEvent::GraphPlace {
+            kind: flight_kind(kind),
+            device: p,
+            start,
+            end,
+        });
         (p, start, end)
     }
 
@@ -762,6 +820,11 @@ impl Shared {
                     }
                     st.busy = true;
                     state.scan_from[d] = sid + 1;
+                    self.note(FlightEvent::Batch {
+                        stream: sid,
+                        device: d,
+                        commands: batch.len() as u64,
+                    });
                     if progress {
                         self.work.notify_all();
                         self.idle.notify_all();
@@ -834,6 +897,13 @@ impl Shared {
                         device: p,
                         to_device: matches!(kind, CommandKind::CopyIn),
                         words,
+                        start,
+                        end,
+                    });
+                    self.note(FlightEvent::Place {
+                        stream: sid,
+                        kind: flight_kind(kind),
+                        device: p,
                         start,
                         end,
                     });
@@ -910,6 +980,13 @@ impl Shared {
                             instructions: stats.instructions,
                         });
                     }
+                    self.note(FlightEvent::Place {
+                        stream: sid,
+                        kind: FlightKind::Launch,
+                        device: p,
+                        start,
+                        end,
+                    });
                     sink.set(Ok(stats));
                 }
                 Done::Failed {
@@ -920,6 +997,13 @@ impl Shared {
                 } => {
                     let vdone = state.streams[sid].vdone;
                     cmd.resolve_err(&error, vdone);
+                    if self.flight.is_some() {
+                        self.note(FlightEvent::Failed {
+                            stream: sid,
+                            kind: flight_kind(kind),
+                            error: error.to_string(),
+                        });
+                    }
                     state.streams[sid].poisoned = Some(error.clone());
                     if state.first_error.is_none() {
                         state.first_error = Some(error);
@@ -963,10 +1047,33 @@ impl Shared {
                 sm.depth.set(depth);
             }
         }
+        if self.flight.is_some() || self.tracer.is_some() {
+            let depth = state.streams[sid].queue.len() as u64;
+            let outstanding = state.outstanding as u64;
+            self.note(FlightEvent::Publish {
+                stream: sid,
+                device: d,
+                commands: count as u64,
+                depth,
+                outstanding,
+            });
+            self.gauge_samples(sid, state.streams[sid].vdone, depth, outstanding);
+        }
         state.streams[sid].buffer = Some(buffer);
         state.streams[sid].busy = false;
         self.work.notify_all();
         self.idle.notify_all();
+    }
+}
+
+/// Map a scheduler command kind onto the flight-recorder vocabulary.
+pub(crate) fn flight_kind(kind: CommandKind) -> FlightKind {
+    match kind {
+        CommandKind::CopyIn => FlightKind::CopyIn,
+        CommandKind::CopyOut => FlightKind::CopyOut,
+        CommandKind::Launch => FlightKind::Launch,
+        CommandKind::EventRecord => FlightKind::EventRecord,
+        CommandKind::EventWait => FlightKind::EventWait,
     }
 }
 

@@ -209,9 +209,11 @@ fn chrome_trace_parses_with_per_engine_tracks_and_nested_spans() {
 
 #[test]
 fn event_streams_are_deterministic_across_identical_runs() {
-    // One device and a synchronize after every phase: the ring's append
-    // order is then a pure function of the submitted work, so two
-    // identically-driven runtimes record identical event streams.
+    // One device, enqueues under pause, and a synchronize after every
+    // phase: the ring's append order (including the queue-depth gauge
+    // samples taken at enqueue time) is then a pure function of the
+    // submitted work, so two identically-driven runtimes record
+    // identical event streams.
     let run = || {
         let cfg = RuntimeConfig {
             devices: 1,
@@ -223,9 +225,11 @@ fn event_streams_are_deterministic_across_identical_runs() {
         let y = int_vector(64, 2);
         let (spec, inputs) = LaunchSpec::saxpy_ir(3, &x, &y).detach_inputs();
         let s = rt.stream();
+        rt.pause();
         for (dst, words) in &inputs {
             s.copy_in(*dst, words);
         }
+        rt.resume();
         rt.synchronize().unwrap();
         s.launch(spec.clone());
         rt.synchronize().unwrap();
