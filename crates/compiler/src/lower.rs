@@ -745,6 +745,63 @@ mod tests {
     }
 
     #[test]
+    fn reentered_carried_loop_does_not_clobber_its_init() {
+        // Fuzzer regression (simt-fuzzgen seed 100): a carried loop
+        // nested in an outer loop coalesced its parameter with the
+        // init (const 3), eliding the entry copy. The back edge then
+        // wrote the carried value (-ntid) into the shared register, and
+        // the *second* outer iteration's store read the clobber
+        // instead of 3. The init must keep its own register whenever
+        // an enclosing loop re-enters the carried loop without
+        // re-defining it.
+        let mut b = IrBuilder::new("reentry_keeps_init");
+        let tid = b.tid();
+        let ntid = b.ntid();
+        let c3 = b.iconst(3);
+        let d = b.un(crate::ir::UnOp::Neg, ntid); // any value != 3
+        b.begin_loop(2); // outer
+        b.store(tid, 64, c3); // re-reads c3 every outer iteration
+        let _p = b.begin_loop_carried(1, &[c3]);
+        let r = b.end_loop_carried(&[d]);
+        b.store(tid, 192, r[0]); // keep the inner loop live
+        b.end_loop();
+        let k = b.finish();
+        for opt in [OptLevel::None, OptLevel::Full] {
+            let words = run_words(&k, &cfg(), opt, 64, 4);
+            assert_eq!(words, vec![3; 4], "{opt:?}: init clobbered");
+        }
+    }
+
+    #[test]
+    fn outer_param_survives_nested_loop_returning_it() {
+        // Fuzzer regression (simt-fuzzgen seed 451): outer carried
+        // value = a nested loop's result. Result-to-parameter joins ran
+        // lazily per loop, so when the outer loop's carried check asked
+        // "is the inner result already a parameter class?" the answer
+        // was a stale no — and the outer parameter was coalesced
+        // straight into the inner parameter's class. The inner entry
+        // copy (param <- init 1) then clobbered the outer parameter
+        // before the body read it.
+        let mut b = IrBuilder::new("outer_param_vs_inner_entry");
+        let tid = b.tid();
+        let c1 = b.iconst(1);
+        let x0 = b.iconst(5);
+        let q = b.begin_loop_carried(2, &[x0]); // outer, q0 = 5
+        let _p = b.begin_loop_carried(1, &[c1]); // inner, seeded with 1
+        b.store(tid, 64, q[0]); // outer param read inside inner body
+        let r = b.end_loop_carried(&[q[0]]); // inner returns q0
+        let s = b.end_loop_carried(&[r[0]]); // outer carries it back
+        b.store(tid, 192, s[0]);
+        let k = b.finish();
+        for opt in [OptLevel::None, OptLevel::Full] {
+            let inner = run_words(&k, &cfg(), opt, 64, 4);
+            assert_eq!(inner, vec![5; 4], "{opt:?}: outer param clobbered");
+            let after = run_words(&k, &cfg(), opt, 192, 4);
+            assert_eq!(after, vec![5; 4], "{opt:?}: carried chain broken");
+        }
+    }
+
+    #[test]
     fn loop_results_read_the_final_value_after_the_loop() {
         // A walking index: idx starts at tid, adds 3 per iteration; the
         // result after 5 iterations is tid + 15.

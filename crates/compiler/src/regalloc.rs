@@ -288,18 +288,28 @@ pub fn allocate(
     }
 
     // ---- coalescing classes -------------------------------------------
+    // Result joins first, for every loop: a result is a pure read of a
+    // parameter's final value, so its class must carry the has-param
+    // mark *before* any conditional coalescing below consults it. An
+    // outer loop's carried value can be a nested loop's result — doing
+    // these joins lazily (per loop, in traversal order) lets the outer
+    // carried check read a stale "no param here" for the inner result
+    // and coalesce the outer parameter straight into the inner
+    // parameter's class, whose entry copy then clobbers the outer
+    // parameter every time the inner loop runs.
     let mut classes = Classes::default();
     for meta in &metas {
         for (i, &p) in meta.params.iter().enumerate() {
             let root = classes.find(p);
             classes.has_param.insert(root);
-            // Results are pure reads of the final value: always join.
             if let Some(rs) = results.get(&(meta.header, i as u32)) {
                 for &r in rs {
                     classes.union(p, r);
                 }
             }
         }
+    }
+    for meta in &metas {
         for (i, &p) in meta.params.iter().enumerate() {
             // Initial value: joins when nothing reads it at or after
             // the loop header (so the defining instruction can write
@@ -307,13 +317,31 @@ pub fn allocate(
             // parameter class (an outer param, another loop's slot, a
             // result) never joins.
             let init = meta.inits[i];
+            // Coalescing the init elides the entry copy: the register
+            // must already hold the initial value every time the loop
+            // is *entered*. An enclosing loop re-enters this loop once
+            // per outer iteration, after the back edge overwrote the
+            // shared register with the carried value — sound only if
+            // the init is re-defined inside that enclosing loop. A loop
+            // that starts after the init's definition and contains this
+            // header is exactly the unsound case.
+            let reentered_without_redef = |d: usize| {
+                lin.loops
+                    .iter()
+                    .any(|&(_, start, last)| start > d && (start..=last).contains(&meta.header_pos))
+            };
             let init_ok = !classes.class_has_param(init)
                 && uses
                     .get(&init)
                     .unwrap_or(&empty)
                     .iter()
                     .all(|&u| u <= meta.header_pos)
-                && lin.pos.get(&init).is_some_and(|&d| d < meta.header_pos);
+                && lin.pos.get(&init).is_some_and(|&d| d < meta.header_pos)
+                && !lin
+                    .pos
+                    .get(&init)
+                    .copied()
+                    .is_some_and(reentered_without_redef);
             if init_ok {
                 classes.union(p, init);
             }
