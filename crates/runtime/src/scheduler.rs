@@ -996,7 +996,9 @@ impl Shared {
                     cmd,
                 } => {
                     let vdone = state.streams[sid].vdone;
-                    cmd.resolve_err(&error, vdone);
+                    // Record the flight event before resolving the
+                    // handle: a waiter that wakes on the error and
+                    // immediately dumps the recorder must see it.
                     if self.flight.is_some() {
                         self.note(FlightEvent::Failed {
                             stream: sid,
@@ -1004,6 +1006,7 @@ impl Shared {
                             error: error.to_string(),
                         });
                     }
+                    cmd.resolve_err(&error, vdone);
                     state.streams[sid].poisoned = Some(error.clone());
                     if state.first_error.is_none() {
                         state.first_error = Some(error);
