@@ -25,6 +25,11 @@
 //! `PROFILE_summary.json` (the flat [`simt_profile::summary`]
 //! roll-up); `--sim` additionally records the profiling-overhead row
 //! (launch latency with the profiler off / events on / per-PC on).
+//!
+//! `--fuzz [N]` (standalone, not part of `--all`) sweeps seeds `0..N`
+//! (default 500) through the `simt-fuzzgen` differential matrix,
+//! writes `BENCH_fuzz.json`, and exits 1 with a minimized corpus-format
+//! reproducer if any path pair diverges. See `docs/FUZZING.md`.
 
 use fpga_fitter::{compile, floorplan, CompileOptions, DesignVariant};
 use serde::Serialize;
@@ -57,6 +62,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--check") {
         check(args.iter().any(|a| a == "--inject"));
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--fuzz") {
+        let seeds = args
+            .get(i + 1)
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(500u64);
+        fuzz(seeds);
         return;
     }
     let all = args.is_empty() || args.iter().any(|a| a == "--all");
@@ -1726,6 +1739,138 @@ fn postmortem() {
         "POSTMORTEM.json",
         &serde_json::to_string_pretty(&report).expect("postmortem serializes"),
     );
+}
+
+/// One deduplicated skip reason of a fuzz sweep.
+#[derive(Debug, Clone, Serialize)]
+struct FuzzSkipReason {
+    reason: String,
+    count: usize,
+}
+
+/// Machine-readable snapshot of one `--fuzz` sweep (`BENCH_fuzz.json`).
+/// Deliberately not in [`CHECKED_ARTIFACTS`]: `programs_per_s` is
+/// host-dependent, and the CI smoke step gates on the exit code (any
+/// divergence) instead.
+#[derive(Debug, Clone, Serialize)]
+struct FuzzSnapshot {
+    schema_version: u32,
+    seeds: u64,
+    passes: usize,
+    skipped: usize,
+    divergences: usize,
+    /// Programs generated in wild (anywhere-aliasing) memory mode.
+    wild: usize,
+    /// Programs generated in fusible pipeline memory mode.
+    pipeline: usize,
+    /// Launches the graph fusion pass fused, summed over passing seeds.
+    fused_launches: usize,
+    /// Live IR instructions, summed over passing seeds.
+    ir_insts: usize,
+    programs_per_s: f64,
+    skip_reasons: Vec<FuzzSkipReason>,
+}
+
+/// `--fuzz [N]`: run seeds `0..N` through the full differential matrix
+/// ([`simt_fuzzgen::fuzz_one`]), print a throughput/coverage summary,
+/// and write `BENCH_fuzz.json`. On any divergence, greedily minimize
+/// the first one, dump it in the corpus text format, and exit 1.
+fn fuzz(seeds: u64) {
+    use simt_fuzzgen::gen::{materialize, program_for_seed, GenMode};
+    use simt_fuzzgen::{differ, fuzz_one, minimize, text, Verdict};
+
+    println!("== differential fuzz: {seeds} seed(s) ==\n");
+    let start = std::time::Instant::now();
+    let mut snap = FuzzSnapshot {
+        schema_version: 1,
+        seeds,
+        passes: 0,
+        skipped: 0,
+        divergences: 0,
+        wild: 0,
+        pipeline: 0,
+        fused_launches: 0,
+        ir_insts: 0,
+        programs_per_s: 0.0,
+        skip_reasons: Vec::new(),
+    };
+    let mut skip_counts: std::collections::BTreeMap<String, usize> =
+        std::collections::BTreeMap::new();
+    let mut first_divergence: Option<u64> = None;
+
+    for seed in 0..seeds {
+        match program_for_seed(seed).mode {
+            GenMode::Wild => snap.wild += 1,
+            GenMode::Pipeline => snap.pipeline += 1,
+        }
+        match fuzz_one(seed) {
+            Verdict::Pass(r) => {
+                snap.passes += 1;
+                snap.fused_launches += r.fused_launches;
+                snap.ir_insts += r.ir_insts;
+            }
+            Verdict::Skipped(why) => {
+                snap.skipped += 1;
+                *skip_counts.entry(why).or_default() += 1;
+            }
+            Verdict::Divergence(d) => {
+                snap.divergences += 1;
+                first_divergence.get_or_insert(seed);
+                println!(
+                    "seed {seed}: DIVERGENCE {} (stage {}): {}",
+                    d.pair, d.stage, d.detail
+                );
+            }
+        }
+        if (seed + 1) % 100 == 0 {
+            println!(
+                "  {}/{seeds}: {} pass, {} skip, {} diverge",
+                seed + 1,
+                snap.passes,
+                snap.skipped,
+                snap.divergences
+            );
+        }
+    }
+
+    let elapsed = start.elapsed().as_secs_f64();
+    snap.programs_per_s = seeds as f64 / elapsed.max(1e-9);
+    snap.skip_reasons = skip_counts
+        .into_iter()
+        .map(|(reason, count)| FuzzSkipReason { reason, count })
+        .collect();
+
+    println!(
+        "\n{} pass / {} skip / {} diverge  ({:.1} programs/s, {} wild + {} pipeline, {} launches fused)",
+        snap.passes,
+        snap.skipped,
+        snap.divergences,
+        snap.programs_per_s,
+        snap.wild,
+        snap.pipeline,
+        snap.fused_launches
+    );
+    write_artifact(
+        "BENCH_fuzz.json",
+        &serde_json::to_string_pretty(&snap).expect("fuzz snapshot serializes"),
+    );
+
+    if let Some(seed) = first_divergence {
+        println!("minimizing seed {seed}...");
+        let min = minimize(&program_for_seed(seed), |p| {
+            differ::check(p).is_divergence()
+        });
+        let m = materialize(&min);
+        println!("# minimized reproducer (seed {seed}) — save under crates/fuzzgen/corpus/");
+        print!("{}", text::to_text(&m));
+        match differ::check_materialized(&m) {
+            Verdict::Divergence(d) => {
+                println!("# {} (stage {}): {}", d.pair, d.stage, d.detail)
+            }
+            other => println!("# note: minimized case no longer diverges: {other:?}"),
+        }
+        std::process::exit(1);
+    }
 }
 
 /// The artifacts `--check` regenerates and gates on. `PROFILE_*` are

@@ -34,6 +34,15 @@ pub enum CompileError {
     /// The kernel uses predicates but the processor configuration was
     /// built without the (≈ +50 % logic) predicate option.
     PredicatesDisabled,
+    /// The kernel nests hardware loops deeper than the configured loop
+    /// stack. Caught at compile time so the failure is typed instead of
+    /// a mid-run `ExecError::LoopStackOverflow`.
+    LoopTooDeep {
+        /// Maximum nesting depth the kernel reaches.
+        depth: usize,
+        /// `loop_stack_depth` of the target configuration.
+        limit: usize,
+    },
     /// The compiled program exceeds the configured I-Mem capacity.
     ProgramTooLarge {
         /// Compiled length in instructions.
@@ -65,6 +74,10 @@ impl fmt::Display for CompileError {
             CompileError::PredicatesDisabled => write!(
                 f,
                 "kernel uses predicates but the processor is configured without predicate support"
+            ),
+            CompileError::LoopTooDeep { depth, limit } => write!(
+                f,
+                "loops nest {depth} deep, hardware loop stack holds {limit}"
             ),
             CompileError::ProgramTooLarge { len, capacity } => write!(
                 f,

@@ -59,6 +59,16 @@ impl ValueId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Construct a value id from a raw arena index **without** any
+    /// scoping or bounds guarantee. This exists for adversarial tooling
+    /// (`simt-fuzzgen`'s near-miss generator) that deliberately builds
+    /// dangling or out-of-scope references to prove the validator
+    /// rejects them with a typed error; ordinary clients should only
+    /// ever hold ids handed out by [`IrBuilder`].
+    pub fn from_raw(index: u32) -> Self {
+        ValueId(index)
+    }
 }
 
 impl fmt::Display for ValueId {
@@ -348,6 +358,50 @@ impl Kernel {
     /// The root region.
     pub fn body(&self) -> &[ValueId] {
         &self.body
+    }
+
+    /// Append an instruction to the arena **and** the root region with
+    /// no validation whatsoever — arity, types, scoping and attribute
+    /// rules are all the caller's problem. Pair with
+    /// [`Kernel::validate`]: this is the raw surface the fuzzer's
+    /// near-miss mode uses to construct deliberately broken kernels and
+    /// assert they are rejected with typed errors rather than panics.
+    pub fn raw_push(&mut self, inst: Inst) -> ValueId {
+        let v = ValueId(self.insts.len() as u32);
+        self.insts.push(inst);
+        self.body.push(v);
+        v
+    }
+
+    /// Mutable access to an instruction, bypassing builder invariants
+    /// (see [`Kernel::raw_push`]). Panics if `v` is out of the arena.
+    pub fn raw_inst_mut(&mut self, v: ValueId) -> &mut Inst {
+        &mut self.insts[v.index()]
+    }
+
+    /// Mutable access to the root region, bypassing builder invariants
+    /// (see [`Kernel::raw_push`]).
+    pub fn raw_body_mut(&mut self) -> &mut Vec<ValueId> {
+        &mut self.body
+    }
+
+    /// Maximum loop-nesting depth of the kernel (0 for straight-line
+    /// code). Compared against `ProcessorConfig::loop_stack_depth` at
+    /// compile time so an over-deep nest is a typed
+    /// [`CompileError::LoopTooDeep`] instead of a runtime
+    /// loop-stack overflow.
+    pub fn loop_depth(&self) -> usize {
+        fn depth(k: &Kernel, region: &[ValueId]) -> usize {
+            region
+                .iter()
+                .map(|&v| match &k.inst(v).body {
+                    Some(b) => 1 + depth(k, b),
+                    None => 0,
+                })
+                .max()
+                .unwrap_or(0)
+        }
+        depth(self, &self.body)
     }
 
     /// The constant behind a value, if it is an [`Op::Const`].

@@ -56,6 +56,13 @@ pub fn compile(
 ) -> Result<CompiledKernel, CompileError> {
     config.validate()?;
     kernel.validate()?;
+    let depth = kernel.loop_depth();
+    if depth > config.loop_stack_depth {
+        return Err(CompileError::LoopTooDeep {
+            depth,
+            limit: config.loop_stack_depth,
+        });
+    }
     let mut k = kernel.clone();
     let report = match opt {
         OptLevel::Full => optimize(&mut k),

@@ -1,0 +1,12 @@
+use simt_compiler::{compile, OptLevel};
+fn main() {
+    let text = std::fs::read_to_string(std::env::args().nth(1).unwrap()).unwrap();
+    let m = simt_fuzzgen::text::from_text(&text).unwrap();
+    for k in &m.kernels {
+        for opt in [OptLevel::None, OptLevel::Full] {
+            let c = compile(k, &m.config, opt).unwrap();
+            println!("== {} {opt:?} regs={} ==", k.name, c.regs_used);
+            println!("{}", simt_isa::disasm::disassemble(&c.program));
+        }
+    }
+}

@@ -1,0 +1,19 @@
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100);
+    let p = simt_fuzzgen::program_for_seed(seed);
+    let oracle = |c: &simt_fuzzgen::FuzzProgram| simt_fuzzgen::check(c).is_divergence();
+    if !oracle(&p) {
+        eprintln!(
+            "seed {seed} does not diverge ({:?}) — nothing to shrink",
+            simt_fuzzgen::check(&p)
+        );
+        std::process::exit(1);
+    }
+    let min = simt_fuzzgen::minimize(&p, oracle);
+    let m = simt_fuzzgen::materialize(&min);
+    println!("{}", simt_fuzzgen::text::to_text(&m));
+    println!("verdict: {:?}", simt_fuzzgen::check(&min));
+}

@@ -1,0 +1,29 @@
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(500);
+    let mut passes = 0u64;
+    let mut skips = 0u64;
+    let mut divs = Vec::new();
+    for seed in 0..n {
+        match simt_fuzzgen::fuzz_one(seed) {
+            simt_fuzzgen::Verdict::Pass(_) => passes += 1,
+            simt_fuzzgen::Verdict::Skipped(r) => {
+                skips += 1;
+                if skips <= 5 {
+                    eprintln!("seed {seed} skipped: {r}");
+                }
+            }
+            simt_fuzzgen::Verdict::Divergence(d) => {
+                divs.push(seed);
+                eprintln!("seed {seed} DIVERGED: {d:?}");
+            }
+        }
+    }
+    println!("passes={passes} skips={skips} divergences={}", divs.len());
+    if !divs.is_empty() {
+        println!("diverging seeds: {divs:?}");
+        std::process::exit(1);
+    }
+}

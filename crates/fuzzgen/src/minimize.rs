@@ -1,0 +1,268 @@
+//! Greedy failure minimization: shrink a diverging [`FuzzProgram`] to
+//! a small reproducer while an oracle keeps confirming the divergence.
+//!
+//! The minimizer works on the AST, not the materialized IR — every
+//! single-step edit (delete a block, unwrap a loop, drop an
+//! instruction or a decoration, shrink a count or a constant) still
+//! materializes to valid IR because selectors resolve modulo scope
+//! (see [`crate::gen`]). Each accepted edit strictly decreases a size
+//! measure, so the greedy fixpoint terminates.
+
+use crate::gen::{FuzzProgram, GenBlock, GenOp, THREADS};
+use proptest::shrink::Shrink;
+
+/// A size measure every accepted edit must strictly decrease.
+pub fn measure(p: &FuzzProgram) -> u64 {
+    fn block(b: &GenBlock) -> u64 {
+        match b {
+            GenBlock::Straight(insts) => {
+                10 + insts
+                    .iter()
+                    .map(|i| {
+                        10 + i.guard.is_some() as u64
+                            + i.scale.is_some() as u64
+                            + match i.op {
+                                GenOp::Const(c) => (c.unsigned_abs() as u64).min(4),
+                                _ => 0,
+                            }
+                    })
+                    .sum::<u64>()
+            }
+            GenBlock::Loop {
+                count, inits, body, ..
+            } => {
+                20 + *count as u64 % 5
+                    + 5 * inits.len() as u64
+                    + body.iter().map(block).sum::<u64>()
+            }
+        }
+    }
+    p.threads as u64
+        + (p.mem_seed != 0) as u64
+        + p.stages
+            .iter()
+            .flat_map(|k| &k.blocks)
+            .map(block)
+            .sum::<u64>()
+}
+
+/// Every single-edit variant of a block list, produced by `emit`.
+fn block_variants(blocks: &[GenBlock], emit: &mut dyn FnMut(Vec<GenBlock>)) {
+    for (i, b) in blocks.iter().enumerate() {
+        // Delete the block outright.
+        let mut removed = blocks.to_vec();
+        removed.remove(i);
+        emit(removed);
+        match b {
+            GenBlock::Straight(insts) => {
+                for (j, inst) in insts.iter().enumerate() {
+                    // Delete one instruction.
+                    if insts.len() > 1 {
+                        let mut v = insts.clone();
+                        v.remove(j);
+                        let mut out = blocks.to_vec();
+                        out[i] = GenBlock::Straight(v);
+                        emit(out);
+                    }
+                    // Drop decorations.
+                    if inst.guard.is_some() {
+                        let mut v = insts.clone();
+                        v[j].guard = None;
+                        let mut out = blocks.to_vec();
+                        out[i] = GenBlock::Straight(v);
+                        emit(out);
+                    }
+                    if inst.scale.is_some() {
+                        let mut v = insts.clone();
+                        v[j].scale = None;
+                        let mut out = blocks.to_vec();
+                        out[i] = GenBlock::Straight(v);
+                        emit(out);
+                    }
+                    // Shrink constants toward zero.
+                    if let GenOp::Const(c) = inst.op {
+                        for cand in c.shrink_candidates() {
+                            let mut v = insts.clone();
+                            v[j].op = GenOp::Const(cand);
+                            let mut out = blocks.to_vec();
+                            out[i] = GenBlock::Straight(v);
+                            emit(out);
+                        }
+                    }
+                }
+            }
+            GenBlock::Loop {
+                count,
+                inits,
+                nexts,
+                body,
+            } => {
+                // Unwrap: replace the loop with its body blocks.
+                let mut unwrapped = blocks.to_vec();
+                unwrapped.splice(i..=i, body.iter().cloned());
+                emit(unwrapped);
+                // Shrink the trip count (the materializer uses
+                // `1 + count % 5`, so shrink the selector).
+                for cand in (*count).shrink_candidates() {
+                    if cand % 5 < count % 5 {
+                        let mut out = blocks.to_vec();
+                        out[i] = GenBlock::Loop {
+                            count: cand,
+                            inits: inits.clone(),
+                            nexts: nexts.clone(),
+                            body: body.clone(),
+                        };
+                        emit(out);
+                    }
+                }
+                // Drop one carried slot (init and next together).
+                for s in 0..inits.len().min(nexts.len()) {
+                    let mut ni = inits.clone();
+                    let mut nn = nexts.clone();
+                    ni.remove(s);
+                    nn.remove(s);
+                    let mut out = blocks.to_vec();
+                    out[i] = GenBlock::Loop {
+                        count: *count,
+                        inits: ni,
+                        nexts: nn,
+                        body: body.clone(),
+                    };
+                    emit(out);
+                }
+                // Recurse into the body.
+                let mut inner: Vec<Vec<GenBlock>> = Vec::new();
+                block_variants(body, &mut |v| inner.push(v));
+                for v in inner {
+                    let mut out = blocks.to_vec();
+                    out[i] = GenBlock::Loop {
+                        count: *count,
+                        inits: inits.clone(),
+                        nexts: nexts.clone(),
+                        body: v,
+                    };
+                    emit(out);
+                }
+            }
+        }
+    }
+}
+
+/// All single-edit variants of a program.
+fn variants(p: &FuzzProgram) -> Vec<FuzzProgram> {
+    let mut out = Vec::new();
+    for stage in 0..p.stages.len() {
+        block_variants(&p.stages[stage].blocks, &mut |blocks| {
+            let mut v = p.clone();
+            v.stages[stage].blocks = blocks;
+            out.push(v);
+        });
+    }
+    for &t in THREADS.iter().filter(|&&t| t < p.threads) {
+        let mut v = p.clone();
+        v.threads = t;
+        out.push(v);
+    }
+    if p.mem_seed != 0 {
+        let mut v = p.clone();
+        v.mem_seed = 0;
+        out.push(v);
+    }
+    out
+}
+
+/// Greedily minimize `p` while `oracle` returns true (i.e. "still
+/// reproduces the divergence"). The oracle is called once per
+/// candidate edit; the result is a local minimum — no single edit can
+/// shrink it further.
+pub fn minimize(p: &FuzzProgram, oracle: impl Fn(&FuzzProgram) -> bool) -> FuzzProgram {
+    let mut cur = p.clone();
+    let mut cur_measure = measure(&cur);
+    loop {
+        let mut improved = false;
+        for cand in variants(&cur) {
+            let m = measure(&cand);
+            if m < cur_measure && oracle(&cand) {
+                cur = cand;
+                cur_measure = m;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::program_for_seed;
+
+    /// Synthetic oracle: "stage 0 still contains a saturating add".
+    fn has_satadd(p: &FuzzProgram) -> bool {
+        fn block(b: &GenBlock) -> bool {
+            match b {
+                GenBlock::Straight(insts) => insts
+                    .iter()
+                    .any(|i| matches!(i.op, GenOp::Bin(simt_compiler::BinOp::SatAdd))),
+                GenBlock::Loop { body, .. } => body.iter().any(block),
+            }
+        }
+        p.stages[0].blocks.iter().any(block)
+    }
+
+    #[test]
+    fn minimizes_to_a_single_instruction() {
+        // Find seeds whose stage 0 contains a SatAdd, then shrink while
+        // preserving that property.
+        let mut tested = 0;
+        for seed in 0..500 {
+            let p = program_for_seed(seed);
+            if !has_satadd(&p) {
+                continue;
+            }
+            let min = minimize(&p, has_satadd);
+            assert!(has_satadd(&min), "seed {seed}: oracle lost");
+            assert!(
+                measure(&min) <= measure(&p),
+                "seed {seed}: minimizer grew the case"
+            );
+            // Stage 0 should be a single straight block with a single
+            // instruction; stage 1 should be empty.
+            let total: usize = min.stages[1]
+                .blocks
+                .iter()
+                .map(|b| match b {
+                    GenBlock::Straight(v) => v.len(),
+                    GenBlock::Loop { .. } => 99,
+                })
+                .sum();
+            assert_eq!(total, 0, "seed {seed}: stage 1 not emptied: {min:?}");
+            assert_eq!(min.threads, 1, "seed {seed}: threads not minimized");
+            tested += 1;
+            if tested >= 5 {
+                break;
+            }
+        }
+        assert!(tested >= 3, "generator never produced SatAdd in 500 seeds");
+    }
+
+    #[test]
+    fn minimized_programs_still_materialize_validly() {
+        for seed in [3u64, 17, 99] {
+            let p = program_for_seed(seed);
+            let min = minimize(&p, |_| true); // everything "reproduces"
+            let m = crate::gen::materialize(&min);
+            for k in &m.kernels {
+                k.validate().unwrap();
+            }
+            // The all-true oracle shrinks to the floor: no blocks left.
+            assert!(min.stages.iter().all(|s| s.blocks.is_empty()));
+            assert_eq!(min.threads, 1);
+            assert_eq!(min.mem_seed, 0);
+            assert_eq!(min.mode, p.mode, "mode is never edited");
+        }
+    }
+}

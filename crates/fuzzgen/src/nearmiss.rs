@@ -1,0 +1,287 @@
+//! Near-valid IR generation: kernels that are *almost* right — one
+//! raw mutation away from what [`crate::gen`] produces — exercised to
+//! assert the compiler rejects each with a typed [`CompileError`]
+//! rather than panicking or miscompiling.
+//!
+//! Each case is built through the raw arena surface
+//! ([`Kernel::raw_push`], [`Kernel::raw_inst_mut`],
+//! [`Kernel::raw_body_mut`], [`ValueId::from_raw`]), which bypasses
+//! every [`simt_compiler::IrBuilder`] invariant. The `perturb`
+//! parameter varies the broken magnitudes (dangling ids, overlong
+//! offsets, oversized counts) so each case is a family, not a point.
+
+use simt_compiler::ir::{Inst, IrGuard};
+use simt_compiler::{
+    compile, BinOp, CmpOp, CompileError, IrBuilder, Kernel, Op, OptLevel, ValueId,
+};
+use simt_core::ProcessorConfig;
+
+/// Number of distinct near-miss families in [`near_miss`].
+pub const CASE_COUNT: usize = 19;
+
+/// Build a bare instruction (no decorations, no regions).
+fn inst(op: Op, args: Vec<ValueId>) -> Inst {
+    Inst {
+        op,
+        args,
+        scale: None,
+        guard: None,
+        body: None,
+        carried: None,
+    }
+}
+
+/// Push an instruction into the arena only (not the root region), for
+/// hand-building loop bodies.
+fn arena_only(k: &mut Kernel, i: Inst) -> ValueId {
+    let v = k.raw_push(i);
+    k.raw_body_mut().pop();
+    v
+}
+
+/// A valid scaffold every case starts from: `%0 = tid`, `%1 = const 3`,
+/// `%2 = add %0 %1`, `%3 = cmp.lt %0 %1`, `store %0 +0 %2`.
+fn scaffold() -> (Kernel, [ValueId; 4]) {
+    let mut b = IrBuilder::new("near_miss");
+    let t = b.tid();
+    let c = b.iconst(3);
+    let a = b.add(t, c);
+    let p = b.cmp(CmpOp::Lt, t, c);
+    b.store(t, 0, a);
+    (b.finish(), [t, c, a, p])
+}
+
+/// Construct near-miss family `case` (see [`CASE_COUNT`]), varied by
+/// `perturb`. Returns the family name and the broken kernel. Every
+/// returned kernel must fail [`compile`] with a typed error.
+pub fn near_miss(case: usize, perturb: u32) -> (&'static str, Kernel) {
+    let (mut k, [t, c, a, p]) = scaffold();
+    let name = match case % CASE_COUNT {
+        0 => {
+            // Operand pointing past the arena entirely.
+            let dangling = ValueId::from_raw(10_000 + perturb % 50_000);
+            k.raw_push(inst(Op::Bin(BinOp::Add), vec![t, dangling]));
+            "dangling-operand"
+        }
+        1 => {
+            // Operand defined *later* in the region (SSA dominance).
+            let fwd = ValueId::from_raw(k.body().len() as u32 + 1);
+            k.raw_push(inst(Op::Bin(BinOp::Add), vec![t, fwd]));
+            k.raw_push(inst(Op::Const(7), vec![]));
+            "forward-reference"
+        }
+        2 => {
+            // Predicate used where a word is required.
+            k.raw_push(inst(Op::Bin(BinOp::Add), vec![t, p]));
+            "pred-as-word-operand"
+        }
+        3 => {
+            // Word used as a guard predicate.
+            let mut i = inst(Op::Bin(BinOp::Add), vec![t, c]);
+            i.guard = Some(IrGuard {
+                pred: a,
+                negate: perturb % 2 == 1,
+            });
+            k.raw_push(i);
+            "word-as-guard"
+        }
+        4 => {
+            // Guard attached to a hardware loop.
+            let body = vec![arena_only(&mut k, inst(Op::Store(0), vec![t, c]))];
+            let mut lp = inst(Op::Loop(2), vec![]);
+            lp.body = Some(body);
+            lp.guard = Some(IrGuard {
+                pred: p,
+                negate: false,
+            });
+            k.raw_push(lp);
+            "guard-on-loop"
+        }
+        5 => {
+            // Thread scale beyond the 3-bit field.
+            let mut i = inst(Op::Store(1), vec![t, c]);
+            i.scale = Some(8 + (perturb % 248) as u8);
+            k.raw_push(i);
+            "scale-too-big"
+        }
+        6 => {
+            // Hardware loops iterate at least once; count 0 is a hole.
+            let body = vec![arena_only(&mut k, inst(Op::Store(0), vec![t, c]))];
+            let mut lp = inst(Op::Loop(0), vec![]);
+            lp.body = Some(body);
+            k.raw_push(lp);
+            "loop-count-zero"
+        }
+        7 => {
+            // Trip count beyond the 16-bit immediate.
+            let body = vec![arena_only(&mut k, inst(Op::Store(0), vec![t, c]))];
+            let mut lp = inst(Op::Loop(0x1_0000 + perturb % 1000), vec![]);
+            lp.body = Some(body);
+            k.raw_push(lp);
+            "loop-count-huge"
+        }
+        8 => {
+            // Load offset beyond the 16-bit immediate.
+            k.raw_push(inst(Op::Load(0x1_0000 + perturb % 1000), vec![t]));
+            "load-offset-huge"
+        }
+        9 => {
+            // One loop argument, two carried values at the back edge.
+            let prm = arena_only(&mut k, inst(Op::Param(0), vec![]));
+            let mut lp = inst(Op::Loop(2), vec![t]);
+            lp.body = Some(vec![prm]);
+            lp.carried = Some(vec![prm, prm]);
+            k.raw_push(lp);
+            "carried-arity-mismatch"
+        }
+        10 => {
+            // Block parameters must lead the loop body.
+            let st = arena_only(&mut k, inst(Op::Store(0), vec![t, c]));
+            let prm = arena_only(&mut k, inst(Op::Param(0), vec![]));
+            let mut lp = inst(Op::Loop(2), vec![t]);
+            lp.body = Some(vec![st, prm]);
+            lp.carried = Some(vec![prm]);
+            k.raw_push(lp);
+            "params-not-leading"
+        }
+        11 => {
+            // A loop with nothing in it.
+            let mut lp = inst(Op::Loop(3), vec![]);
+            lp.body = Some(Vec::new());
+            k.raw_push(lp);
+            "empty-loop-body"
+        }
+        12 => {
+            // Result slot index past the parameter list.
+            let prm = arena_only(&mut k, inst(Op::Param(0), vec![]));
+            let mut lp = inst(Op::Loop(2), vec![t]);
+            lp.body = Some(vec![prm]);
+            lp.carried = Some(vec![prm]);
+            let lv = k.raw_push(lp);
+            k.raw_push(inst(Op::Result(5 + perturb % 10), vec![lv]));
+            "result-index-out-of-range"
+        }
+        13 => {
+            // Result whose operand is not a loop.
+            k.raw_push(inst(Op::Result(0), vec![a]));
+            "result-of-non-loop"
+        }
+        14 => {
+            // Body region attached to a plain value op.
+            let st = arena_only(&mut k, inst(Op::Store(0), vec![t, c]));
+            let mut i = inst(Op::Bin(BinOp::Add), vec![t, c]);
+            i.body = Some(vec![st]);
+            k.raw_push(i);
+            "body-on-non-loop"
+        }
+        15 => {
+            // Carried values without a loop.
+            let mut i = inst(Op::Bin(BinOp::Add), vec![t, c]);
+            i.carried = Some(vec![t]);
+            k.raw_push(i);
+            "carried-on-non-loop"
+        }
+        16 => {
+            // Value defined inside a loop body used after the loop.
+            let inner = arena_only(&mut k, inst(Op::Bin(BinOp::Add), vec![t, c]));
+            let mut lp = inst(Op::Loop(2), vec![]);
+            lp.body = Some(vec![inner]);
+            k.raw_push(lp);
+            k.raw_push(inst(Op::Store(2), vec![t, inner]));
+            "use-after-loop-scope"
+        }
+        17 => {
+            // Nest one level deeper than the hardware loop stack.
+            // Structurally valid IR — the typed failure comes from
+            // `compile` (`CompileError::LoopTooDeep`), not `validate`.
+            let mut b = IrBuilder::new("near_miss_deep");
+            let t = b.tid();
+            let c = b.iconst(1);
+            let depth = ProcessorConfig::default().loop_stack_depth + 1;
+            for _ in 0..depth {
+                b.begin_loop(2);
+            }
+            b.store(t, 0, c);
+            for _ in 0..depth {
+                b.end_loop();
+            }
+            return ("loop-nest-too-deep", b.finish());
+        }
+        _ => {
+            // Guard on a block parameter (params carry no attributes).
+            let prm = arena_only(&mut k, inst(Op::Param(0), vec![]));
+            k.raw_inst_mut(prm).guard = Some(IrGuard {
+                pred: p,
+                negate: false,
+            });
+            let mut lp = inst(Op::Loop(2), vec![t]);
+            lp.body = Some(vec![prm]);
+            lp.carried = Some(vec![prm]);
+            k.raw_push(lp);
+            "guard-on-param"
+        }
+    };
+    (name, k)
+}
+
+/// Run one near-miss case through the full compile pipeline and
+/// classify the outcome. Returns `Ok(error)` when the compiler
+/// rejected the kernel with a typed error (the expected outcome) and
+/// `Err(description)` when it accepted the broken kernel.
+pub fn check_near_miss(case: usize, perturb: u32) -> Result<CompileError, String> {
+    let (name, kernel) = near_miss(case, perturb);
+    let config = ProcessorConfig::default().with_predicates(true);
+    for opt in [OptLevel::None, OptLevel::Full] {
+        match compile(&kernel, &config, opt) {
+            Ok(_) => {
+                return Err(format!(
+                    "near-miss case {case} ({name}) compiled cleanly at {opt:?}"
+                ))
+            }
+            Err(e) => {
+                if opt == OptLevel::Full {
+                    return Ok(e);
+                }
+            }
+        }
+    }
+    unreachable!("loop returns on OptLevel::Full")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_near_miss_family_is_rejected_with_a_typed_error() {
+        for case in 0..CASE_COUNT {
+            for perturb in [0u32, 1, 13, 9999] {
+                let (name, _) = near_miss(case, perturb);
+                let e = check_near_miss(case, perturb).unwrap_or_else(|msg| panic!("{msg}"));
+                // Errors must render (Display is part of the contract).
+                assert!(
+                    !e.to_string().is_empty(),
+                    "case {case} ({name}) produced an empty error message"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deep_nest_is_loop_too_deep_specifically() {
+        let e = check_near_miss(17, 0).unwrap();
+        assert!(
+            matches!(e, CompileError::LoopTooDeep { depth: 5, limit: 4 }),
+            "expected LoopTooDeep, got {e:?}"
+        );
+    }
+
+    #[test]
+    fn scaffold_alone_is_valid() {
+        // The broken kernels differ from a compiling kernel by exactly
+        // the raw mutation — prove the baseline compiles.
+        let (k, _) = super::scaffold();
+        let config = ProcessorConfig::default().with_predicates(true);
+        compile(&k, &config, OptLevel::Full).unwrap();
+    }
+}

@@ -1,0 +1,618 @@
+//! The corpus text format: a line-based, human-editable serialization
+//! of a materialized fuzz case (`crates/fuzzgen/corpus/*.ir`).
+//!
+//! ```text
+//! fuzz-corpus v1
+//! threads 64
+//! mem-seed 3735928559
+//! out 2048 512
+//! stage-out 1024 512
+//! stage-out 2048 512
+//! kernel fuzz_s0
+//!   %0 = tid
+//!   %1 = ntid
+//!   %2 = const 1023
+//!   %4 = cmp.lt %0 %1
+//!   @%4 store %0 +1024 %2
+//!   loop 5 %2
+//!     %6 = param 0
+//!     %7 = add %6 %2
+//!   end %7 -> %8
+//!   store %0 +1030 %8
+//! end kernel
+//! kernel fuzz_s1
+//!   %0 = tid
+//! end kernel
+//! ```
+//!
+//! Values are named by their arena id (`%N`); the parser re-binds the
+//! names through a fresh [`IrBuilder`], so round-tripping preserves
+//! [`Kernel::canonical_bytes`] (compilation equivalence), not arena
+//! layout. Decorations prefix the instruction: `@%N` / `@!%N` guards,
+//! `.tK` thread scales. Loops print their initial values on the `loop`
+//! line, block parameters as `%N = param I` lines, and the back edge as
+//! `end <carried...> -> <results...>`.
+//!
+//! The printer requires builder-shaped kernels (each loop's results
+//! directly follow it, in slot order) — which is every kernel the
+//! generator, the minimizer, or the parser itself produces.
+
+use crate::gen::{fuzz_config, Materialized};
+use simt_compiler::ir::IrBuilder;
+use simt_compiler::{BinOp, CmpOp, Kernel, Op, UnOp, ValueId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Binary-op mnemonics, in enum order.
+const BIN_NAMES: &[(&str, BinOp)] = &[
+    ("add", BinOp::Add),
+    ("sub", BinOp::Sub),
+    ("mul", BinOp::Mul),
+    ("mulhi", BinOp::MulHi),
+    ("muluhi", BinOp::MulUHi),
+    ("min", BinOp::Min),
+    ("max", BinOp::Max),
+    ("and", BinOp::And),
+    ("or", BinOp::Or),
+    ("xor", BinOp::Xor),
+    ("shl", BinOp::Shl),
+    ("lsr", BinOp::Lsr),
+    ("asr", BinOp::Asr),
+    ("satadd", BinOp::SatAdd),
+    ("satsub", BinOp::SatSub),
+];
+
+/// Unary-op mnemonics.
+const UN_NAMES: &[(&str, UnOp)] = &[
+    ("abs", UnOp::Abs),
+    ("neg", UnOp::Neg),
+    ("not", UnOp::Not),
+    ("cnot", UnOp::Cnot),
+    ("popc", UnOp::Popc),
+    ("clz", UnOp::Clz),
+    ("brev", UnOp::Brev),
+];
+
+/// Comparison mnemonics (printed as `cmp.<name>`).
+const CMP_NAMES: &[(&str, CmpOp)] = &[
+    ("eq", CmpOp::Eq),
+    ("ne", CmpOp::Ne),
+    ("lt", CmpOp::Lt),
+    ("le", CmpOp::Le),
+    ("gt", CmpOp::Gt),
+    ("ge", CmpOp::Ge),
+    ("ltu", CmpOp::Ltu),
+    ("geu", CmpOp::Geu),
+];
+
+fn bin_name(op: BinOp) -> &'static str {
+    BIN_NAMES.iter().find(|(_, b)| *b == op).unwrap().0
+}
+
+fn un_name(op: UnOp) -> &'static str {
+    UN_NAMES.iter().find(|(_, u)| *u == op).unwrap().0
+}
+
+fn cmp_name(op: CmpOp) -> &'static str {
+    CMP_NAMES.iter().find(|(_, c)| *c == op).unwrap().0
+}
+
+/// Serialize a materialized case to the corpus text format.
+pub fn to_text(m: &Materialized) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "fuzz-corpus v1");
+    let _ = writeln!(out, "threads {}", m.config.threads);
+    let _ = writeln!(out, "mem-seed {}", m.mem_seed);
+    let _ = writeln!(out, "out {} {}", m.out.0, m.out.1);
+    for (off, len) in &m.stage_outs {
+        let _ = writeln!(out, "stage-out {off} {len}");
+    }
+    for k in &m.kernels {
+        let _ = writeln!(out, "kernel {}", k.name);
+        print_region(k, k.body(), 1, &mut out);
+        let _ = writeln!(out, "end kernel");
+    }
+    out
+}
+
+fn print_region(k: &Kernel, region: &[ValueId], indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let mut i = 0;
+    while i < region.len() {
+        let v = region[i];
+        let inst = k.inst(v);
+        let mut line = pad.clone();
+        if let Some(g) = inst.guard {
+            let bang = if g.negate { "!" } else { "" };
+            let _ = write!(line, "@{bang}%{} ", g.pred.index());
+        }
+        if let Some(s) = inst.scale {
+            let _ = write!(line, ".t{s} ");
+        }
+        match &inst.op {
+            Op::Const(c) => {
+                let _ = write!(line, "%{} = const {c}", v.index());
+            }
+            Op::Tid => {
+                let _ = write!(line, "%{} = tid", v.index());
+            }
+            Op::Ntid => {
+                let _ = write!(line, "%{} = ntid", v.index());
+            }
+            Op::Bin(b) => {
+                let _ = write!(
+                    line,
+                    "%{} = {} %{} %{}",
+                    v.index(),
+                    bin_name(*b),
+                    inst.args[0].index(),
+                    inst.args[1].index()
+                );
+            }
+            Op::Un(u) => {
+                let _ = write!(
+                    line,
+                    "%{} = {} %{}",
+                    v.index(),
+                    un_name(*u),
+                    inst.args[0].index()
+                );
+            }
+            Op::Mad => {
+                let _ = write!(
+                    line,
+                    "%{} = mad %{} %{} %{}",
+                    v.index(),
+                    inst.args[0].index(),
+                    inst.args[1].index(),
+                    inst.args[2].index()
+                );
+            }
+            Op::MulShr(s) => {
+                let _ = write!(
+                    line,
+                    "%{} = mulshr.{s} %{} %{}",
+                    v.index(),
+                    inst.args[0].index(),
+                    inst.args[1].index()
+                );
+            }
+            Op::ShAdd(s) => {
+                let _ = write!(
+                    line,
+                    "%{} = shadd.{s} %{} %{}",
+                    v.index(),
+                    inst.args[0].index(),
+                    inst.args[1].index()
+                );
+            }
+            Op::Rotr(s) => {
+                let _ = write!(line, "%{} = rotr.{s} %{}", v.index(), inst.args[0].index());
+            }
+            Op::Cmp(c) => {
+                let _ = write!(
+                    line,
+                    "%{} = cmp.{} %{} %{}",
+                    v.index(),
+                    cmp_name(*c),
+                    inst.args[0].index(),
+                    inst.args[1].index()
+                );
+            }
+            Op::Select => {
+                let _ = write!(
+                    line,
+                    "%{} = select %{} %{} %{}",
+                    v.index(),
+                    inst.args[0].index(),
+                    inst.args[1].index(),
+                    inst.args[2].index()
+                );
+            }
+            Op::Load(off) => {
+                let _ = write!(
+                    line,
+                    "%{} = load %{} +{off}",
+                    v.index(),
+                    inst.args[0].index()
+                );
+            }
+            Op::Store(off) => {
+                let _ = write!(
+                    line,
+                    "store %{} +{off} %{}",
+                    inst.args[0].index(),
+                    inst.args[1].index()
+                );
+            }
+            Op::Param(idx) => {
+                let _ = write!(line, "%{} = param {idx}", v.index());
+            }
+            Op::Result(_) => {
+                // Printed on the owning loop's `end` line.
+                i += 1;
+                continue;
+            }
+            Op::Loop(count) => {
+                let _ = write!(line, "loop {count}");
+                for a in &inst.args {
+                    let _ = write!(line, " %{}", a.index());
+                }
+                out.push_str(&line);
+                out.push('\n');
+                print_region(k, inst.body.as_ref().expect("loop body"), indent + 1, out);
+                // `end <carried...> -> <results...>`
+                let mut end = format!("{pad}end");
+                if let Some(cs) = &inst.carried {
+                    for c in cs {
+                        let _ = write!(end, " %{}", c.index());
+                    }
+                }
+                // Builder shape: results directly follow the loop in
+                // slot order.
+                let slots = k.loop_params(v).len();
+                if slots > 0 {
+                    let _ = write!(end, " ->");
+                    for s in 0..slots {
+                        let r = region
+                            .get(i + 1 + s)
+                            .copied()
+                            .filter(|&r| {
+                                k.inst(r).op == Op::Result(s as u32) && k.inst(r).args[0] == v
+                            })
+                            .expect("printer requires builder-shaped kernels");
+                        let _ = write!(end, " %{}", r.index());
+                    }
+                    i += slots;
+                }
+                out.push_str(&end);
+                out.push('\n');
+                i += 1;
+                continue;
+            }
+        }
+        out.push_str(&line);
+        out.push('\n');
+        i += 1;
+    }
+}
+
+/// Parse the corpus text format back into a materialized case.
+pub fn from_text(text: &str) -> Result<Materialized, String> {
+    let mut lines = text.lines().map(str::trim).enumerate().peekable();
+    // Corpus files may open with a comment block explaining the entry.
+    let (_, magic) = lines
+        .by_ref()
+        .find(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+        .ok_or("empty corpus file")?;
+    if magic != "fuzz-corpus v1" {
+        return Err(format!("bad magic line: {magic:?}"));
+    }
+    let mut threads: Option<usize> = None;
+    let mut mem_seed: Option<u32> = None;
+    let mut out_window: Option<(usize, usize)> = None;
+    let mut stage_outs: Vec<(usize, usize)> = Vec::new();
+    let mut kernels: Vec<Kernel> = Vec::new();
+
+    while let Some((ln, line)) = lines.next() {
+        let err = |m: String| format!("line {}: {m}", ln + 1);
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        match tok.next() {
+            Some("threads") => {
+                threads = Some(parse_num(tok.next(), "threads").map_err(err)?);
+            }
+            Some("mem-seed") => {
+                mem_seed = Some(parse_num(tok.next(), "mem-seed").map_err(err)?);
+            }
+            Some("out") => {
+                out_window = Some((
+                    parse_num(tok.next(), "out offset").map_err(&err)?,
+                    parse_num(tok.next(), "out length").map_err(&err)?,
+                ));
+            }
+            Some("stage-out") => {
+                stage_outs.push((
+                    parse_num(tok.next(), "stage-out offset").map_err(&err)?,
+                    parse_num(tok.next(), "stage-out length").map_err(&err)?,
+                ));
+            }
+            Some("kernel") => {
+                let name = tok
+                    .next()
+                    .ok_or_else(|| err("kernel needs a name".into()))?;
+                kernels.push(parse_kernel(name, &mut lines)?);
+            }
+            Some(other) => return Err(err(format!("unknown directive {other:?}"))),
+            None => {}
+        }
+    }
+
+    let threads = threads.ok_or("missing `threads`")?;
+    Ok(Materialized {
+        config: fuzz_config(threads),
+        out: out_window.ok_or("missing `out`")?,
+        stage_outs,
+        mem_seed: mem_seed.ok_or("missing `mem-seed`")?,
+        kernels,
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T, String> {
+    tok.ok_or_else(|| format!("missing {what}"))?
+        .parse()
+        .map_err(|_| format!("bad {what}: {tok:?}"))
+}
+
+fn parse_value(tok: &str, names: &HashMap<String, ValueId>) -> Result<ValueId, String> {
+    if !tok.starts_with('%') {
+        return Err(format!("expected a %value, got {tok:?}"));
+    }
+    names
+        .get(tok)
+        .copied()
+        .ok_or_else(|| format!("unknown value {tok}"))
+}
+
+/// State of one open loop while parsing.
+struct OpenLoop {
+    /// Names declared on the `loop` line, bound to results at `end`.
+    slots: usize,
+}
+
+fn parse_kernel<'a>(
+    name: &str,
+    lines: &mut impl Iterator<Item = (usize, &'a str)>,
+) -> Result<Kernel, String> {
+    let mut b = IrBuilder::new(name);
+    let mut names: HashMap<String, ValueId> = HashMap::new();
+    let mut open: Vec<OpenLoop> = Vec::new();
+    let mut pending_params: Vec<ValueId> = Vec::new();
+
+    for (ln, raw) in lines {
+        let err = |m: String| format!("line {}: {m}", ln + 1);
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "end kernel" {
+            if !open.is_empty() {
+                return Err(err("kernel ends with an open loop".into()));
+            }
+            return Ok(b.finish());
+        }
+        let mut toks: Vec<&str> = line.split_whitespace().collect();
+
+        // Decorations.
+        let mut guard: Option<(ValueId, bool)> = None;
+        let mut scale: Option<u8> = None;
+        while let Some(&t) = toks.first() {
+            if let Some(g) = t.strip_prefix('@') {
+                let (negate, pname) = match g.strip_prefix('!') {
+                    Some(p) => (true, p),
+                    None => (false, g),
+                };
+                guard = Some((parse_value(pname, &names).map_err(&err)?, negate));
+                toks.remove(0);
+            } else if let Some(s) = t.strip_prefix(".t") {
+                scale = Some(s.parse().map_err(|_| err(format!("bad scale {t:?}")))?);
+                toks.remove(0);
+            } else {
+                break;
+            }
+        }
+        let apply = |b: &mut IrBuilder| {
+            if let Some((p, n)) = guard {
+                b.guard_next(p, n);
+            }
+            if let Some(k) = scale {
+                b.scale_next(k);
+            }
+        };
+
+        match toks.as_slice() {
+            ["loop", count, inits @ ..] => {
+                let count: u32 = count
+                    .parse()
+                    .map_err(|_| err(format!("bad loop count {count:?}")))?;
+                let init_vals: Vec<ValueId> = inits
+                    .iter()
+                    .map(|t| parse_value(t, &names))
+                    .collect::<Result<_, _>>()
+                    .map_err(&err)?;
+                let params = b.begin_loop_carried(count, &init_vals);
+                open.push(OpenLoop {
+                    slots: params.len(),
+                });
+                pending_params = params;
+            }
+            ["end", rest @ ..] => {
+                let lp = open.pop().ok_or_else(|| err("end without loop".into()))?;
+                let arrow = rest.iter().position(|&t| t == "->");
+                let (carried, result_names) = match arrow {
+                    Some(a) => (&rest[..a], &rest[a + 1..]),
+                    None => (rest, &[][..]),
+                };
+                let carried_vals: Vec<ValueId> = carried
+                    .iter()
+                    .map(|t| parse_value(t, &names))
+                    .collect::<Result<_, _>>()
+                    .map_err(&err)?;
+                if carried_vals.len() != lp.slots {
+                    return Err(err(format!(
+                        "loop declared {} slot(s), end carries {}",
+                        lp.slots,
+                        carried_vals.len()
+                    )));
+                }
+                let results = b.end_loop_carried(&carried_vals);
+                if result_names.len() != results.len() {
+                    return Err(err(format!(
+                        "loop yields {} result(s), {} named",
+                        results.len(),
+                        result_names.len()
+                    )));
+                }
+                for (rn, rv) in result_names.iter().zip(results) {
+                    names.insert((*rn).to_string(), rv);
+                }
+            }
+            ["store", base, off, value] => {
+                let off: u32 = off
+                    .strip_prefix('+')
+                    .and_then(|o| o.parse().ok())
+                    .ok_or_else(|| err(format!("bad offset {off:?}")))?;
+                let base = parse_value(base, &names).map_err(&err)?;
+                let value = parse_value(value, &names).map_err(&err)?;
+                apply(&mut b);
+                b.store(base, off, value);
+            }
+            [dst, "=", rest @ ..] => {
+                let v =
+                    parse_value_def(&mut b, rest, &names, &pending_params, apply).map_err(&err)?;
+                names.insert((*dst).to_string(), v);
+            }
+            _ => return Err(err(format!("unparseable line {line:?}"))),
+        }
+    }
+    Err(format!("kernel {name} never closed with `end kernel`"))
+}
+
+/// Parse the right-hand side of a `%N = ...` line.
+fn parse_value_def(
+    b: &mut IrBuilder,
+    rest: &[&str],
+    names: &HashMap<String, ValueId>,
+    pending_params: &[ValueId],
+    apply: impl Fn(&mut IrBuilder),
+) -> Result<ValueId, String> {
+    let vals = |toks: &[&str]| -> Result<Vec<ValueId>, String> {
+        toks.iter().map(|t| parse_value(t, names)).collect()
+    };
+    Ok(match rest {
+        ["tid"] => {
+            apply(b);
+            b.tid()
+        }
+        ["ntid"] => {
+            apply(b);
+            b.ntid()
+        }
+        ["const", c] => {
+            let c: i32 = c.parse().map_err(|_| format!("bad constant {c:?}"))?;
+            apply(b);
+            b.iconst(c)
+        }
+        ["param", idx] => {
+            let idx: usize = idx
+                .parse()
+                .map_err(|_| format!("bad param index {idx:?}"))?;
+            if idx >= pending_params.len() {
+                return Err(format!("param {idx} out of range"));
+            }
+            pending_params[idx]
+        }
+        ["mad", a, bb, c] => {
+            let v = vals(&[a, bb, c])?;
+            apply(b);
+            b.mad(v[0], v[1], v[2])
+        }
+        ["select", a, bb, p] => {
+            let v = vals(&[a, bb, p])?;
+            apply(b);
+            b.select(v[0], v[1], v[2])
+        }
+        ["load", base, off] => {
+            let off: u32 = off
+                .strip_prefix('+')
+                .and_then(|o| o.parse().ok())
+                .ok_or_else(|| format!("bad offset {off:?}"))?;
+            let base = parse_value(base, names)?;
+            apply(b);
+            b.load(base, off)
+        }
+        [op, a, bb] => {
+            let (va, vb) = (parse_value(a, names)?, parse_value(bb, names)?);
+            if let Some((_, bin)) = BIN_NAMES.iter().find(|(n, _)| n == op) {
+                apply(b);
+                b.bin(*bin, va, vb)
+            } else if let Some(c) = op.strip_prefix("cmp.") {
+                let (_, cmp) = CMP_NAMES
+                    .iter()
+                    .find(|(n, _)| *n == c)
+                    .ok_or_else(|| format!("unknown comparison {op:?}"))?;
+                apply(b);
+                b.cmp(*cmp, va, vb)
+            } else if let Some(s) = op.strip_prefix("mulshr.") {
+                let s: u32 = s.parse().map_err(|_| format!("bad shift in {op:?}"))?;
+                apply(b);
+                b.mulshr(va, vb, s)
+            } else if let Some(s) = op.strip_prefix("shadd.") {
+                let s: u32 = s.parse().map_err(|_| format!("bad shift in {op:?}"))?;
+                apply(b);
+                b.shadd(va, s, vb)
+            } else {
+                return Err(format!("unknown binary op {op:?}"));
+            }
+        }
+        [op, a] => {
+            let va = parse_value(a, names)?;
+            if let Some((_, un)) = UN_NAMES.iter().find(|(n, _)| n == op) {
+                apply(b);
+                b.un(*un, va)
+            } else if let Some(s) = op.strip_prefix("rotr.") {
+                let s: u32 = s.parse().map_err(|_| format!("bad shift in {op:?}"))?;
+                apply(b);
+                b.rotr(va, s)
+            } else {
+                return Err(format!("unknown unary op {op:?}"));
+            }
+        }
+        _ => return Err(format!("unparseable value definition {rest:?}")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{materialize, program_for_seed};
+
+    #[test]
+    fn round_trip_preserves_compilation_equivalence() {
+        for seed in 0..60 {
+            let m = materialize(&program_for_seed(seed));
+            let text = to_text(&m);
+            let back = from_text(&text)
+                .unwrap_or_else(|e| panic!("seed {seed}: parse failed: {e}\n{text}"));
+            assert_eq!(back.config, m.config, "seed {seed}");
+            assert_eq!(back.out, m.out, "seed {seed}");
+            assert_eq!(back.stage_outs, m.stage_outs, "seed {seed}");
+            assert_eq!(back.mem_seed, m.mem_seed, "seed {seed}");
+            assert_eq!(back.kernels.len(), m.kernels.len(), "seed {seed}");
+            for (a, b) in back.kernels.iter().zip(&m.kernels) {
+                assert_eq!(
+                    a.canonical_bytes(&m.config),
+                    b.canonical_bytes(&m.config),
+                    "seed {seed}: round trip changed the kernel\n{text}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_typed_not_panics() {
+        for bad in [
+            "",
+            "not a corpus",
+            "fuzz-corpus v1\nthreads x",
+            "fuzz-corpus v1\nthreads 4\nmem-seed 0\nout 0 8\nkernel k\n%0 = frobnicate %1\nend kernel",
+            "fuzz-corpus v1\nthreads 4\nmem-seed 0\nout 0 8\nkernel k\n%0 = add %9 %9\nend kernel",
+            "fuzz-corpus v1\nthreads 4\nmem-seed 0\nout 0 8\nkernel k\n%0 = tid",
+            "fuzz-corpus v1\nthreads 4\nmem-seed 0\nout 0 8\nkernel k\nend\nend kernel",
+        ] {
+            assert!(from_text(bad).is_err(), "{bad:?} should fail to parse");
+        }
+    }
+}

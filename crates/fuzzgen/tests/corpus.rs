@@ -1,0 +1,65 @@
+//! Replay every committed corpus entry (`corpus/*.ir`) through the
+//! full differential matrix. Each entry is a pinned regression — a
+//! minimized fuzzer finding or a hand-written stress shape — and must
+//! pass outright (a skip would silently stop covering the bug it pins).
+
+use simt_fuzzgen::differ::check_materialized;
+use simt_fuzzgen::text::{from_text, to_text};
+use simt_fuzzgen::Verdict;
+use std::fs;
+use std::path::PathBuf;
+
+/// Every `corpus/*.ir` file, sorted by name for stable output.
+fn corpus_entries() -> Vec<(String, String)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut entries: Vec<(String, String)> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .map(|e| e.expect("corpus dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ir"))
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let text = fs::read_to_string(&p).unwrap_or_else(|e| panic!("{name}: {e}"));
+            (name, text)
+        })
+        .collect();
+    entries.sort();
+    assert!(
+        entries.len() >= 5,
+        "corpus unexpectedly small: {} entries",
+        entries.len()
+    );
+    entries
+}
+
+#[test]
+fn every_corpus_entry_passes_the_full_matrix() {
+    for (name, text) in corpus_entries() {
+        let m = from_text(&text).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
+        match check_materialized(&m) {
+            Verdict::Pass(_) => {}
+            Verdict::Skipped(why) => panic!("{name}: skipped ({why}) — corpus must run"),
+            Verdict::Divergence(d) => panic!("{name}: DIVERGENCE {d:?}"),
+        }
+    }
+}
+
+#[test]
+fn corpus_entries_round_trip_through_the_text_format() {
+    for (name, text) in corpus_entries() {
+        let m = from_text(&text).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
+        let printed = to_text(&m);
+        let back = from_text(&printed)
+            .unwrap_or_else(|e| panic!("{name}: reparse failed: {e}\n{printed}"));
+        assert_eq!(back.config, m.config, "{name}");
+        assert_eq!(back.out, m.out, "{name}");
+        assert_eq!(back.stage_outs, m.stage_outs, "{name}");
+        assert_eq!(back.mem_seed, m.mem_seed, "{name}");
+        for (a, b) in back.kernels.iter().zip(&m.kernels) {
+            assert_eq!(
+                a.canonical_bytes(&m.config),
+                b.canonical_bytes(&m.config),
+                "{name}: round trip changed a kernel"
+            );
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! A deterministic differential sweep inside the standard test suite:
+//! a fixed seed range through [`simt_fuzzgen::fuzz_one`], asserting the
+//! matrix stays divergence-free and actually exercises programs (the
+//! sweep must not degenerate into skips).
+
+use simt_fuzzgen::{fuzz_one, Verdict};
+
+const SEEDS: u64 = 64;
+
+#[test]
+fn fixed_seed_sweep_is_divergence_free() {
+    let mut passes = 0usize;
+    let mut skips = 0usize;
+    let mut fused = 0usize;
+    for seed in 0..SEEDS {
+        match fuzz_one(seed) {
+            Verdict::Pass(r) => {
+                passes += 1;
+                fused += r.fused_launches;
+            }
+            Verdict::Skipped(_) => skips += 1,
+            Verdict::Divergence(d) => panic!("seed {seed}: {d:?}"),
+        }
+    }
+    assert!(
+        passes >= SEEDS as usize * 3 / 4,
+        "sweep degenerated: {passes} passes, {skips} skips of {SEEDS}"
+    );
+    assert!(fused > 0, "graph fusion never engaged across {SEEDS} seeds");
+}
+
+#[test]
+fn sweep_verdicts_are_reproducible() {
+    for seed in [0u64, 17, 42] {
+        assert_eq!(fuzz_one(seed), fuzz_one(seed), "seed {seed}");
+    }
+}

@@ -20,7 +20,7 @@ use std::ops::{Range, RangeInclusive};
 pub mod prelude {
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
-        Arbitrary, Just, ProptestConfig, Strategy, TestRng, Union,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng, Union,
     };
 }
 
@@ -55,6 +55,13 @@ impl TestRng {
         name.hash(&mut h);
         TestRng(ChaCha8Rng::seed_from_u64(h.finish()))
     }
+
+    /// Seed from an explicit 64-bit seed. This is what external fuzz
+    /// drivers (`simt-fuzzgen`'s `fuzz_one(seed)`) use to make every
+    /// generated case reproducible from a single number.
+    pub fn with_seed(seed: u64) -> Self {
+        TestRng(ChaCha8Rng::seed_from_u64(seed))
+    }
 }
 
 impl RngCore for TestRng {
@@ -77,6 +84,70 @@ pub trait Strategy {
         Self: Sized,
     {
         Map { inner: self, f }
+    }
+
+    /// Dependent generation: draw a value, build a second strategy from
+    /// it, and draw from that (e.g. pick a length, then that many
+    /// elements).
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type — required to name recursive
+    /// strategies ([`Strategy::prop_recursive`]) and to store
+    /// heterogeneous strategies in one collection.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+
+    /// Recursive structures: `self` is the innermost (deepest) level;
+    /// `expand` wraps a strategy for depth *n* into one for depth
+    /// *n + 1* and is applied `depth` times. Unlike upstream, the shim
+    /// takes no size hints — `expand` should include non-recursive arms
+    /// (via [`prop_oneof!`]) so shallow values stay likely at every
+    /// level.
+    fn prop_recursive<F>(self, depth: u32, expand: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> BoxedStrategy<Self::Value>,
+    {
+        let mut strat = self.boxed();
+        for _ in 0..depth {
+            strat = expand(strat);
+        }
+        strat
+    }
+}
+
+/// A type-erased strategy ([`Strategy::boxed`]).
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// The [`Strategy::prop_flat_map`] adapter.
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        let first = self.inner.generate(rng);
+        (self.f)(first).generate(rng)
     }
 }
 
@@ -395,6 +466,87 @@ pub mod sample {
     }
 }
 
+/// Deterministic shrinking primitives. Upstream proptest shrinks
+/// through per-strategy value trees; the shim exposes the same idea as
+/// a plain trait — a value proposes strictly-simpler candidates,
+/// ordered most-aggressive first — which is what `simt-fuzzgen`'s
+/// failure minimizer drives in a greedy fixpoint loop.
+pub mod shrink {
+    /// A value that can propose simpler versions of itself.
+    pub trait Shrink: Sized {
+        /// Candidate simplifications, most aggressive first. Each must
+        /// be strictly "smaller" than `self` by some well-founded
+        /// measure, so a greedy minimizer always terminates. An empty
+        /// vector means fully shrunk.
+        fn shrink_candidates(&self) -> Vec<Self>;
+    }
+
+    macro_rules! shrink_uint {
+        ($($t:ty),*) => {$(
+            impl Shrink for $t {
+                fn shrink_candidates(&self) -> Vec<Self> {
+                    let v = *self;
+                    if v == 0 {
+                        return Vec::new();
+                    }
+                    let mut out = Vec::new();
+                    for c in [0, v / 2, v - 1] {
+                        if c < v && !out.contains(&c) {
+                            out.push(c);
+                        }
+                    }
+                    out
+                }
+            }
+        )*};
+    }
+    shrink_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! shrink_int {
+        ($($t:ty),*) => {$(
+            impl Shrink for $t {
+                fn shrink_candidates(&self) -> Vec<Self> {
+                    let v = *self;
+                    if v == 0 {
+                        return Vec::new();
+                    }
+                    let mut out = Vec::new();
+                    // Toward zero, by magnitude: 0, half, one step.
+                    for c in [0, v / 2, v.wrapping_sub(v.signum())] {
+                        if c.unsigned_abs() < v.unsigned_abs() && !out.contains(&c) {
+                            out.push(c);
+                        }
+                    }
+                    out
+                }
+            }
+        )*};
+    }
+    shrink_int!(i8, i16, i32, i64, isize);
+
+    impl<T: Clone> Shrink for Vec<T> {
+        /// Candidates: the empty vector, each half, then each
+        /// single-element deletion (every candidate is shorter).
+        fn shrink_candidates(&self) -> Vec<Self> {
+            if self.is_empty() {
+                return Vec::new();
+            }
+            let mut out: Vec<Vec<T>> = vec![Vec::new()];
+            let mid = self.len() / 2;
+            if mid > 0 && mid < self.len() {
+                out.push(self[..mid].to_vec());
+                out.push(self[mid..].to_vec());
+            }
+            for i in 0..self.len() {
+                let mut shorter = self.clone();
+                shorter.remove(i);
+                out.push(shorter);
+            }
+            out
+        }
+    }
+}
+
 /// One parsed atom of the mini-regex string strategies.
 enum Atom {
     /// `.` — any printable ASCII character.
@@ -638,5 +790,90 @@ mod tests {
             crate::Strategy::generate(&s, &mut a),
             crate::Strategy::generate(&s, &mut b)
         );
+    }
+
+    #[test]
+    fn explicit_seeds_are_deterministic_and_distinct() {
+        let s = crate::collection::vec(any::<u64>(), 8);
+        let draw = |seed| crate::Strategy::generate(&s, &mut TestRng::with_seed(seed));
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    #[test]
+    fn flat_map_generates_dependent_values() {
+        // Pick a length, then a vec of exactly that length.
+        let s = (1usize..=9)
+            .prop_flat_map(|n| crate::collection::vec(any::<u8>(), n).prop_map(move |v| (n, v)));
+        let mut rng = TestRng::deterministic("flat_map");
+        for _ in 0..200 {
+            let (n, v) = crate::Strategy::generate(&s, &mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Tree {
+        Leaf(u8),
+        Node(Vec<Tree>),
+    }
+
+    impl Tree {
+        fn depth(&self) -> usize {
+            match self {
+                Tree::Leaf(_) => 0,
+                Tree::Node(kids) => 1 + kids.iter().map(Tree::depth).max().unwrap_or(0),
+            }
+        }
+
+        fn leaf_sum(&self) -> u64 {
+            match self {
+                Tree::Leaf(v) => *v as u64,
+                Tree::Node(kids) => kids.iter().map(Tree::leaf_sum).sum(),
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_bound_depth_and_reach_it() {
+        let leaf = any::<u8>().prop_map(Tree::Leaf);
+        let tree = leaf.prop_recursive(3, |inner| {
+            crate::prop_oneof![
+                1 => any::<u8>().prop_map(Tree::Leaf),
+                2 => crate::collection::vec(inner, 1..4).prop_map(Tree::Node),
+            ]
+            .boxed()
+        });
+        let mut rng = TestRng::deterministic("recursive");
+        let mut max_depth = 0;
+        let mut leaf_sum = 0u64;
+        for _ in 0..300 {
+            let t = crate::Strategy::generate(&tree, &mut rng);
+            max_depth = max_depth.max(t.depth());
+            leaf_sum += t.leaf_sum();
+        }
+        assert!(
+            max_depth == 3,
+            "recursion must reach but not exceed 3 levels, got {max_depth}"
+        );
+        assert!(leaf_sum > 0, "payloads should be populated");
+    }
+
+    #[test]
+    fn shrink_candidates_are_strictly_smaller() {
+        use crate::shrink::Shrink;
+        assert!(0u32.shrink_candidates().is_empty());
+        assert_eq!(7u32.shrink_candidates(), vec![0, 3, 6]);
+        assert_eq!(1u16.shrink_candidates(), vec![0]);
+        assert_eq!((-8i32).shrink_candidates(), vec![0, -4, -7]);
+        assert!(i32::MIN
+            .shrink_candidates()
+            .iter()
+            .all(|c| c.unsigned_abs() < i32::MIN.unsigned_abs()));
+        let v = vec![1, 2, 3, 4];
+        for c in v.shrink_candidates() {
+            assert!(c.len() < v.len(), "{c:?}");
+        }
+        assert!(Vec::<u8>::new().shrink_candidates().is_empty());
     }
 }

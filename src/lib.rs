@@ -44,6 +44,10 @@
 //!   simulated devices, with least-loaded placement at dispatch, a
 //!   discrete-event virtual timeline, graph capture/instantiate/replay,
 //!   and a pool-wide LRU-bounded compile cache on the launch path.
+//! * [`simt_fuzzgen`] — random-IR differential fuzzing: seeded
+//!   generation of valid kernel IR, an every-path differential executor
+//!   (O0/O2 × reference/predecoded × serial/parallel × eager/replayed),
+//!   a greedy failure minimizer, and the pinned regression corpus.
 //!
 //! ## Stream-API quickstart
 //!
@@ -73,6 +77,7 @@ pub use fpga_fitter;
 pub use simt_compiler;
 pub use simt_core;
 pub use simt_datapath;
+pub use simt_fuzzgen;
 pub use simt_graph;
 pub use simt_isa;
 pub use simt_kernels;
