@@ -30,6 +30,13 @@
 //! (default 500) through the `simt-fuzzgen` differential matrix,
 //! writes `BENCH_fuzz.json`, and exits 1 with a minimized corpus-format
 //! reproducer if any path pair diverges. See `docs/FUZZING.md`.
+//!
+//! `--chaos` (standalone, not part of `--all`) runs the fault-injection
+//! drill: a transient-fault plan that must recover every command
+//! bit-exactly against a fault-free oracle, and a sticky device-failure
+//! plan that must quarantine the failing device and export its
+//! automatic postmortem. Writes `BENCH_chaos.json` and
+//! `POSTMORTEM_chaos.json`. See `docs/RESILIENCE.md`.
 
 use fpga_fitter::{compile, floorplan, CompileOptions, DesignVariant};
 use serde::Serialize;
@@ -70,6 +77,10 @@ fn main() {
             .and_then(|a| a.parse().ok())
             .unwrap_or(500u64);
         fuzz(seeds);
+        return;
+    }
+    if args.iter().any(|a| a == "--chaos") {
+        chaos();
         return;
     }
     let all = args.is_empty() || args.iter().any(|a| a == "--all");
@@ -1708,6 +1719,7 @@ fn postmortem() {
             stall_idle_fraction: 0.4,
             stall_min_parallelism: 2,
             starvation_factor: 8,
+            ..Default::default()
         });
     let rt = Runtime::new(cfg);
     let x = int_vector(256, 1);
@@ -1871,6 +1883,240 @@ fn fuzz(seeds: u64) {
         }
         std::process::exit(1);
     }
+}
+
+/// The transient-fault half of one `--chaos` drill.
+#[derive(Debug, Clone, Serialize)]
+struct ChaosTransient {
+    jobs: usize,
+    faults_injected: u64,
+    retries: u64,
+    failovers: u64,
+    recovered: u64,
+    terminal_failures: u64,
+    poisoned_streams: u64,
+    /// `recovered / (recovered + terminal_failures)` — 1.0 means every
+    /// injected fault was absorbed by the retry machinery.
+    recovery_rate: f64,
+    backoff_p50_cycles: u64,
+    backoff_p90_cycles: u64,
+    backoff_p99_cycles: u64,
+    /// Wrapping sum of every copy-out word — equals the fault-free
+    /// oracle's checksum iff recovery was bit-exact.
+    out_checksum: u64,
+    bit_exact_vs_oracle: bool,
+}
+
+/// The sticky-failure half of one `--chaos` drill.
+#[derive(Debug, Clone, Serialize)]
+struct ChaosSticky {
+    jobs: usize,
+    quarantined_device: usize,
+    device_faults: u64,
+    quarantines: u64,
+    /// Stream completions per device over the whole drill — the
+    /// quarantined device's share freezes at its pre-quarantine count.
+    completions_per_device: Vec<u64>,
+    /// Completions per device for work submitted *after* the
+    /// quarantine; the quarantined device's entry must be 0.
+    post_quarantine_completions: Vec<u64>,
+    postmortems: usize,
+}
+
+/// Machine-readable snapshot of one `--chaos` drill
+/// (`BENCH_chaos.json`). Deliberately not in [`CHECKED_ARTIFACTS`]:
+/// the CI smoke step validates its invariants (full recovery, the
+/// deterministic quarantine) instead of diffing it byte-for-byte.
+#[derive(Debug, Clone, Serialize)]
+struct ChaosSnapshot {
+    schema_version: u32,
+    transient_seed: u64,
+    sticky_seed: u64,
+    transient: ChaosTransient,
+    sticky: ChaosSticky,
+}
+
+/// `--chaos` (standalone, not part of `--all`): the fault-injection
+/// drill. Part one installs a transient-only plan (launch faults, hung
+/// kernels, copy faults) and asserts the retry/failover machinery
+/// recovers every command bit-exactly against a fault-free oracle.
+/// Part two installs a sticky device failure and asserts the failing
+/// device is quarantined within the fault budget, that placement and
+/// the automatic postmortem react, and exports the bundle. Both halves
+/// are seeded, so `BENCH_chaos.json` is byte-deterministic.
+fn chaos() {
+    use simt_kernels::workload::int_vector;
+    use simt_kernels::LaunchSpec;
+    use simt_metrics::names;
+    use simt_runtime::{ChaosConfig, DeviceHealth, RecoveryConfig, Runtime, RuntimeConfig, Stream};
+
+    const TRANSIENT_SEED: u64 = 0xC0FFEE;
+    const STICKY_SEED: u64 = 7;
+
+    println!("== chaos drill: deterministic fault injection -> recovery ==\n");
+
+    let counter = |rt: &Runtime, name: &str| -> u64 {
+        rt.metrics_snapshot()
+            .expect("metrics are on by default")
+            .counters
+            .iter()
+            .filter(|c| c.name == name)
+            .map(|c| c.value)
+            .sum()
+    };
+    let run_jobs = |rt: &Runtime, s: &Stream, n: usize| -> Vec<Vec<u32>> {
+        let mut outs = Vec::new();
+        for i in 0..n {
+            let x = int_vector(128, i as u64 + 1);
+            let y = int_vector(128, 2 * i as u64 + 1);
+            let (spec, inputs) = LaunchSpec::saxpy(3, &x, &y).detach_inputs();
+            for (off, words) in &inputs {
+                s.copy_in(*off, words);
+            }
+            let (off, len) = (spec.out_off, spec.out_len);
+            s.launch(spec);
+            outs.push(s.copy_out(off, len));
+        }
+        rt.synchronize().expect("chaos drill must fully recover");
+        outs.into_iter()
+            .map(|h| h.wait().expect("recovered copy-out"))
+            .collect()
+    };
+    let checksum = |outs: &[Vec<u32>]| -> u64 {
+        outs.iter()
+            .flatten()
+            .fold(0u64, |acc, &w| acc.wrapping_mul(31).wrapping_add(w as u64))
+    };
+
+    // Part 1 — transient plan: every fault family except the sticky
+    // device, with enough retry budget that recovery is total.
+    let jobs = 32;
+    let oracle_rt = Runtime::new(RuntimeConfig::default());
+    let oracle_stream = oracle_rt.stream();
+    let oracle = run_jobs(&oracle_rt, &oracle_stream, jobs);
+
+    let rt = Runtime::new(
+        RuntimeConfig::default()
+            .with_chaos(
+                ChaosConfig::new(TRANSIENT_SEED)
+                    .with_transient_launch_rate(0.3)
+                    .with_hung_kernel_rate(0.1)
+                    .with_copy_fault_rate(0.2),
+            )
+            .with_recovery(RecoveryConfig {
+                max_attempts: 12,
+                quarantine_after: u64::MAX,
+                ..RecoveryConfig::default()
+            }),
+    );
+    let s = rt.stream();
+    let recovered_out = run_jobs(&rt, &s, jobs);
+    let bit_exact = recovered_out == oracle;
+    let recovered = counter(&rt, names::RECOVERED);
+    let terminal = counter(&rt, names::TERMINAL_FAILURES);
+    let backoff = rt
+        .metrics_snapshot()
+        .expect("metrics on")
+        .merged_histogram(names::RETRY_BACKOFF_CYCLES);
+    let transient = ChaosTransient {
+        jobs,
+        faults_injected: counter(&rt, names::FAULTS_INJECTED),
+        retries: counter(&rt, names::RETRIES),
+        failovers: counter(&rt, names::FAILOVERS),
+        recovered,
+        terminal_failures: terminal,
+        poisoned_streams: u64::from(terminal > 0),
+        recovery_rate: recovered as f64 / (recovered + terminal).max(1) as f64,
+        backoff_p50_cycles: backoff.p50,
+        backoff_p90_cycles: backoff.p90,
+        backoff_p99_cycles: backoff.p99,
+        out_checksum: checksum(&recovered_out),
+        bit_exact_vs_oracle: bit_exact,
+    };
+    assert!(bit_exact, "recovered outputs diverged from the oracle");
+    assert!(transient.faults_injected > 0, "the plan injected nothing");
+    println!(
+        "transient: {} faults over {} jobs, {} retries, {} failovers, recovery rate {:.2}, backoff p50/p90/p99 = {}/{}/{} cycles",
+        transient.faults_injected,
+        jobs,
+        transient.retries,
+        transient.failovers,
+        transient.recovery_rate,
+        transient.backoff_p50_cycles,
+        transient.backoff_p90_cycles,
+        transient.backoff_p99_cycles
+    );
+
+    // Part 2 — sticky plan: device1 fails every command routed to it
+    // until the health tracker quarantines it.
+    let rt2 = Runtime::new(
+        RuntimeConfig::default() // 2 devices
+            .with_chaos(ChaosConfig::new(STICKY_SEED).with_sticky_device(1, 0))
+            .with_recovery(RecoveryConfig {
+                max_attempts: 6,
+                ..RecoveryConfig::default()
+            }),
+    );
+    let s2 = rt2.stream();
+    let pre = run_jobs(&rt2, &s2, jobs);
+    assert_eq!(pre, oracle, "sticky-drill outputs diverged from the oracle");
+    assert_eq!(
+        rt2.device_health()[1],
+        DeviceHealth::Quarantined,
+        "the sticky device must be quarantined within the fault budget"
+    );
+    let completions_at_quarantine = rt2.stats().completions.len();
+    let _post = run_jobs(&rt2, &s2, 8);
+    let stats = rt2.stats();
+    let per_device = |records: &[simt_runtime::CompletionRecord]| -> Vec<u64> {
+        let mut shares = vec![0u64; 2];
+        for c in records {
+            shares[c.device] += 1;
+        }
+        shares
+    };
+    let reports = rt2.quarantine_postmortems();
+    assert_eq!(reports.len(), 1, "one automatic quarantine postmortem");
+    let sticky = ChaosSticky {
+        jobs: jobs + 8,
+        quarantined_device: 1,
+        device_faults: rt2
+            .metrics_snapshot()
+            .expect("metrics on")
+            .counters
+            .iter()
+            .filter(|c| c.name == names::DEVICE_FAULTS && c.label == "device1")
+            .map(|c| c.value)
+            .sum(),
+        quarantines: counter(&rt2, names::QUARANTINES),
+        completions_per_device: per_device(&stats.completions),
+        post_quarantine_completions: per_device(&stats.completions[completions_at_quarantine..]),
+        postmortems: reports.len(),
+    };
+    assert_eq!(
+        sticky.post_quarantine_completions[1], 0,
+        "placement must avoid the quarantined device"
+    );
+    println!(
+        "sticky: device1 quarantined after {} faults; completions per device {:?} (post-quarantine {:?})",
+        sticky.device_faults, sticky.completions_per_device, sticky.post_quarantine_completions
+    );
+
+    let snap = ChaosSnapshot {
+        schema_version: 1,
+        transient_seed: TRANSIENT_SEED,
+        sticky_seed: STICKY_SEED,
+        transient,
+        sticky,
+    };
+    write_artifact(
+        "BENCH_chaos.json",
+        &serde_json::to_string_pretty(&snap).expect("chaos snapshot serializes"),
+    );
+    write_artifact(
+        "POSTMORTEM_chaos.json",
+        &serde_json::to_string_pretty(&reports[0]).expect("postmortem serializes"),
+    );
 }
 
 /// The artifacts `--check` regenerates and gates on. `PROFILE_*` are

@@ -145,6 +145,44 @@ pub enum FlightEvent {
         /// Rendered runtime error.
         error: String,
     },
+    /// A fault hit a command (injected by the chaos plan, or a real
+    /// watchdog timeout).
+    Fault {
+        /// Stream id.
+        stream: usize,
+        /// Device the fault was blamed on.
+        device: usize,
+        /// Attempt number that faulted (1 = first execution).
+        attempt: u32,
+        /// Fault family label (see `simt_chaos::FaultKind::label`).
+        family: String,
+        /// False for a real watchdog timeout.
+        injected: bool,
+    },
+    /// A faulted command was requeued for another attempt.
+    Retry {
+        /// Stream id.
+        stream: usize,
+        /// Device the faulted attempt was blamed on (the retry is
+        /// steered elsewhere when the pool has an alternative).
+        device: usize,
+        /// Attempt number that faulted; the retry is `attempt + 1`.
+        attempt: u32,
+        /// Modeled backoff charged to the stream's virtual timeline.
+        backoff_cycles: u64,
+    },
+    /// A device crossed its fault budget and left the placement pool.
+    Quarantine {
+        /// Device id.
+        device: usize,
+        /// Faults blamed on it at the transition.
+        faults: u64,
+    },
+    /// A device was readmitted by `Runtime::reset_device`.
+    DeviceReset {
+        /// Device id.
+        device: usize,
+    },
     /// A health finding fired during a postmortem walk.
     Health {
         /// Compact finding label (see `HealthFinding::label`).

@@ -35,7 +35,7 @@ use simt_compiler::{compile, CompileError, OptLevel};
 use simt_core::{ExecStats, Processor, RunOptions, TraceEntry};
 use simt_isa::Program;
 use simt_kernels::{KernelSource, LaunchSpec};
-use simt_runtime::{fuse, Runtime, RuntimeConfig};
+use simt_runtime::{fuse, ChaosConfig, RecoveryConfig, Runtime, RuntimeConfig};
 
 /// Outcome of one fuzz case.
 #[derive(Debug, Clone, PartialEq)]
@@ -366,6 +366,86 @@ fn check_runtime(m: &Materialized, oracle: &[u32]) -> Result<usize, Verdict> {
     window("fused", &freplay.outputs[0].1)?;
 
     Ok(report.launches_fused)
+}
+
+/// Run the eager runtime path under a seeded chaos fault plan and
+/// compare the recovered copy-out window to `oracle`. Injected faults
+/// never execute, so a run the retry machinery recovers must be
+/// bit-exact with the fault-free composition. A case that exhausts its
+/// retry budget surfaces a typed error and counts as a skip — the
+/// recovery contract is "recovered ⇒ bit-exact", not "always recovers".
+fn check_runtime_chaos(m: &Materialized, oracle: &[u32], chaos_seed: u64) -> Result<(), Verdict> {
+    let diverge = |detail: String| {
+        Verdict::Divergence(DivergenceReport {
+            pair: "chaos-eager vs local-O2".into(),
+            stage: m.kernels.len(),
+            detail,
+        })
+    };
+    let chaos = ChaosConfig::new(chaos_seed)
+        .with_transient_launch_rate(0.25)
+        .with_hung_kernel_rate(0.1)
+        .with_copy_fault_rate(0.15);
+    let recovery = RecoveryConfig {
+        max_attempts: 10,
+        quarantine_after: u64::MAX,
+        ..RecoveryConfig::default()
+    };
+    let rt = Runtime::new(
+        RuntimeConfig::with_devices(2)
+            .with_chaos(chaos)
+            .with_recovery(recovery),
+    );
+    let s = rt.stream();
+    s.copy_in(IN_OFF, &m.input());
+    for spec in specs(m) {
+        s.launch(spec);
+    }
+    let out = s.copy_out(m.out.0, m.out.1);
+    if let Err(e) = rt.synchronize() {
+        return Err(Verdict::Skipped(format!("chaos retries exhausted: {e}")));
+    }
+    let got = out
+        .wait()
+        .map_err(|e| Verdict::Skipped(format!("chaos retries exhausted: {e}")))?;
+    if got != oracle {
+        let w = got
+            .iter()
+            .zip(oracle)
+            .position(|(a, b)| a != b)
+            .unwrap_or(0);
+        return Err(diverge(format!(
+            "word {} (abs {}): {:#x} vs {:#x}",
+            w,
+            m.out.0 + w,
+            got.get(w).copied().unwrap_or(0),
+            oracle[w]
+        )));
+    }
+    Ok(())
+}
+
+/// Materialize one AST-level program, derive its fault-free `O2`
+/// oracle, then run the eager runtime path under the seeded chaos plan
+/// and assert the recovered output matches the oracle bit-exactly.
+pub fn check_chaos(p: &FuzzProgram, chaos_seed: u64) -> Verdict {
+    let m = materialize(p);
+    let o2 = match compile_stages(&m, OptLevel::Full, "O2") {
+        Ok(p) => p,
+        Err(v) => return v,
+    };
+    let mem_o2 = match check_interpreters(&m, &o2, "O2") {
+        Ok(mem) => mem,
+        Err(v) => return v,
+    };
+    let oracle = &mem_o2[m.out.0..m.out.0 + m.out.1];
+    match check_runtime_chaos(&m, oracle, chaos_seed) {
+        Ok(()) => Verdict::Pass(PassReport {
+            fused_launches: 0,
+            ir_insts: m.kernels.iter().map(|k| k.live_insts()).sum(),
+        }),
+        Err(v) => v,
+    }
 }
 
 /// Run one materialized case through the complete matrix.

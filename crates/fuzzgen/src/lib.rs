@@ -34,7 +34,7 @@ pub mod minimize;
 pub mod nearmiss;
 pub mod text;
 
-pub use differ::{check, DivergenceReport, PassReport, Verdict};
+pub use differ::{check, check_chaos, DivergenceReport, PassReport, Verdict};
 pub use gen::{materialize, program_for_seed, FuzzProgram, Materialized};
 pub use minimize::minimize;
 
@@ -45,6 +45,16 @@ pub fn fuzz_one(seed: u64) -> Verdict {
     differ::check(&gen::program_for_seed(seed))
 }
 
+/// Generate the program for `seed` and run its eager runtime path under
+/// a chaos fault plan derived from the same seed, asserting the
+/// recovered output is bit-exact with the fault-free `O2` oracle. Cases
+/// whose retry budget is exhausted by the plan are
+/// [`Verdict::Skipped`]; any output difference after recovery is a
+/// [`Verdict::Divergence`]. Deterministic in `seed`.
+pub fn fuzz_one_chaos(seed: u64) -> Verdict {
+    differ::check_chaos(&gen::program_for_seed(seed), seed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -53,6 +63,13 @@ mod tests {
     fn fuzz_one_is_deterministic() {
         let a = fuzz_one(42);
         let b = fuzz_one(42);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn fuzz_one_chaos_is_deterministic() {
+        let a = fuzz_one_chaos(42);
+        let b = fuzz_one_chaos(42);
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 }

@@ -3,7 +3,7 @@
 //! matrix stays divergence-free and actually exercises programs (the
 //! sweep must not degenerate into skips).
 
-use simt_fuzzgen::{fuzz_one, Verdict};
+use simt_fuzzgen::{fuzz_one, fuzz_one_chaos, Verdict};
 
 const SEEDS: u64 = 64;
 
@@ -27,6 +27,30 @@ fn fixed_seed_sweep_is_divergence_free() {
         "sweep degenerated: {passes} passes, {skips} skips of {SEEDS}"
     );
     assert!(fused > 0, "graph fusion never engaged across {SEEDS} seeds");
+}
+
+/// The chaos sweep: the same fixed seeds through the eager runtime path
+/// with a seeded fault plan injecting transient launch failures, hung
+/// kernels and copy faults. Every run the retry machinery recovers must
+/// be bit-exact with the fault-free oracle; exhausted retry budgets are
+/// skips, never divergences — and the sweep must actually recover cases
+/// rather than degenerate into skips.
+#[test]
+fn chaos_sweep_recovers_bit_exact_against_the_fault_free_oracle() {
+    const CHAOS_SEEDS: u64 = 32;
+    let mut passes = 0usize;
+    let mut skips = 0usize;
+    for seed in 0..CHAOS_SEEDS {
+        match fuzz_one_chaos(seed) {
+            Verdict::Pass(_) => passes += 1,
+            Verdict::Skipped(_) => skips += 1,
+            Verdict::Divergence(d) => panic!("chaos seed {seed}: {d:?}"),
+        }
+    }
+    assert!(
+        passes >= CHAOS_SEEDS as usize / 2,
+        "chaos sweep degenerated: {passes} passes, {skips} skips of {CHAOS_SEEDS}"
+    );
 }
 
 #[test]

@@ -27,6 +27,9 @@ pub struct HealthConfig {
     /// A stream is starved when its un-serviced age exceeds this many
     /// multiples of the pool's median launch latency.
     pub starvation_factor: u64,
+    /// Retry pressure is excessive when retries exceed this fraction of
+    /// retired launches (0.5 = one retry per two launches).
+    pub excessive_retry_factor: f64,
 }
 
 impl Default for HealthConfig {
@@ -35,6 +38,7 @@ impl Default for HealthConfig {
             stall_idle_fraction: 0.5,
             stall_min_parallelism: 2,
             starvation_factor: 8,
+            excessive_retry_factor: 0.5,
         }
     }
 }
@@ -75,6 +79,21 @@ pub enum HealthFinding {
         /// Completion records dropped.
         dropped: u64,
     },
+    /// A device crossed its fault budget and left the placement pool.
+    DeviceQuarantined {
+        /// Device label (`device{N}`).
+        device: String,
+        /// Faults blamed on the device.
+        faults: u64,
+    },
+    /// Retry pressure above threshold: faults are being absorbed, but
+    /// at a cost that should not pass silently.
+    ExcessiveRetries {
+        /// Retries recorded pool-wide.
+        retries: u64,
+        /// Launches retired pool-wide.
+        launches: u64,
+    },
 }
 
 impl HealthFinding {
@@ -89,6 +108,12 @@ impl HealthFinding {
             HealthFinding::TracerDrops { dropped } => format!("tracer_drops({dropped})"),
             HealthFinding::CompletionTraceDrops { dropped } => {
                 format!("completion_trace_drops({dropped})")
+            }
+            HealthFinding::DeviceQuarantined { device, .. } => {
+                format!("device_quarantined({device})")
+            }
+            HealthFinding::ExcessiveRetries { retries, launches } => {
+                format!("excessive_retries({retries}/{launches})")
             }
         }
     }
@@ -121,6 +146,7 @@ impl HealthMonitor {
         self.check_stalls(snap, &mut findings);
         self.check_starvation(snap, &mut findings);
         self.check_drops(snap, &mut findings);
+        self.check_faults(snap, &mut findings);
         HealthReport {
             healthy: findings.is_empty(),
             findings,
@@ -205,6 +231,40 @@ impl HealthMonitor {
             if c.value > 0 {
                 out.push(HealthFinding::CompletionTraceDrops { dropped: c.value });
             }
+        }
+    }
+
+    /// Fault-tolerance findings: quarantined devices (health-state
+    /// gauge at severity 2) and retry pressure past the configured
+    /// fraction of retired launches.
+    fn check_faults(&self, snap: &MetricsSnapshot, out: &mut Vec<HealthFinding>) {
+        for g in snap
+            .gauges
+            .iter()
+            .filter(|g| g.name == names::DEVICE_HEALTH && g.value >= 2.0)
+        {
+            let faults = snap
+                .counter(names::DEVICE_FAULTS, &g.label)
+                .map(|c| c.value)
+                .unwrap_or(0);
+            out.push(HealthFinding::DeviceQuarantined {
+                device: g.label.clone(),
+                faults,
+            });
+        }
+        let retries = snap
+            .counter(names::RETRIES, "")
+            .map(|c| c.value)
+            .unwrap_or(0);
+        if retries == 0 {
+            return;
+        }
+        let launches = snap
+            .counter(names::LAUNCHES, "")
+            .map(|c| c.value)
+            .unwrap_or(0);
+        if retries as f64 > self.cfg.excessive_retry_factor * launches as f64 {
+            out.push(HealthFinding::ExcessiveRetries { retries, launches });
         }
     }
 }
@@ -328,6 +388,57 @@ mod tests {
                 HealthFinding::CompletionTraceDrops { dropped: 2 },
             ]
         );
+    }
+
+    #[test]
+    fn quarantined_device_is_a_finding() {
+        let mut s = base_snapshot();
+        s.push_gauge(names::DEVICE_HEALTH, "device0", 0.0);
+        s.push_gauge(names::DEVICE_HEALTH, "device1", 2.0);
+        s.push_counter(names::DEVICE_FAULTS, "device1", 5);
+        s.sort();
+        let report = HealthMonitor::default().check(&s);
+        match &report.findings[..] {
+            [HealthFinding::DeviceQuarantined { device, faults }] => {
+                assert_eq!(device, "device1");
+                assert_eq!(*faults, 5);
+                assert_eq!(
+                    report.findings[0].label(),
+                    "device_quarantined(device1)".to_string()
+                );
+            }
+            other => panic!("expected one DeviceQuarantined, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degraded_devices_are_not_quarantine_findings() {
+        let mut s = base_snapshot();
+        s.push_gauge(names::DEVICE_HEALTH, "device0", 1.0);
+        s.sort();
+        assert!(HealthMonitor::default().check(&s).healthy);
+    }
+
+    #[test]
+    fn retry_pressure_past_threshold_is_excessive() {
+        let mut s = base_snapshot();
+        s.push_counter(names::LAUNCHES, "", 10);
+        s.push_counter(names::RETRIES, "", 6); // > 0.5 × 10
+        s.sort();
+        let report = HealthMonitor::default().check(&s);
+        assert_eq!(
+            report.findings,
+            vec![HealthFinding::ExcessiveRetries {
+                retries: 6,
+                launches: 10,
+            }]
+        );
+        // A few absorbed retries stay quiet.
+        let mut quiet = base_snapshot();
+        quiet.push_counter(names::LAUNCHES, "", 10);
+        quiet.push_counter(names::RETRIES, "", 2);
+        quiet.sort();
+        assert!(HealthMonitor::default().check(&quiet).healthy);
     }
 
     #[test]

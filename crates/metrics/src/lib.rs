@@ -102,6 +102,29 @@ pub mod names {
     pub const COMPILE_HIT_RATE: &str = "compile_cache_hit_rate";
     /// Gauge: decode-cache hit ratio (0..=1).
     pub const DECODE_HIT_RATE: &str = "decode_cache_hit_rate";
+    /// Counter, label = fault family: faults injected by the chaos plan.
+    pub const FAULTS_INJECTED: &str = "faults_injected_total";
+    /// Counter: commands requeued after a recoverable fault.
+    pub const RETRIES: &str = "retries_total";
+    /// Counter: retries steered away from the blamed device (pools
+    /// with more than one device).
+    pub const FAILOVERS: &str = "failovers_total";
+    /// Counter: previously-faulted commands that eventually succeeded.
+    pub const RECOVERED: &str = "recovered_commands_total";
+    /// Counter: commands that exhausted their retry budget.
+    pub const TERMINAL_FAILURES: &str = "terminal_failures_total";
+    /// Counter: watchdog timeouts (injected hangs and real overruns).
+    pub const TIMEOUTS: &str = "watchdog_timeouts_total";
+    /// Counter: devices quarantined by the fault tracker.
+    pub const QUARANTINES: &str = "device_quarantines_total";
+    /// Histogram: modeled backoff cycles charged per retry.
+    pub const RETRY_BACKOFF_CYCLES: &str = "retry_backoff_cycles";
+    /// Gauge, label = device: health state severity (0 healthy,
+    /// 1 degraded, 2 quarantined).
+    pub const DEVICE_HEALTH: &str = "device_health_state";
+    /// Counter, label = device: faults blamed on the device since its
+    /// last reset.
+    pub const DEVICE_FAULTS: &str = "device_faults_total";
 }
 
 /// A monotonic counter (relaxed atomics; `add` is one `fetch_add`).

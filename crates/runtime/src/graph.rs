@@ -180,6 +180,16 @@ impl Runtime {
         let mut replay = GraphReplay::default();
         let mut span = (u64::MAX, 0u64);
         for &id in exec.graph.topo_order() {
+            // A replay spans many nodes of host-side work; honor a
+            // concurrent `Runtime::shutdown` between nodes so the
+            // caller's handle resolves instead of racing the drop.
+            if self
+                .shared
+                .shutdown
+                .load(std::sync::atomic::Ordering::Relaxed)
+            {
+                return Err(RuntimeError::Shutdown);
+            }
             let node = exec.graph.node(id);
             let ready = node.deps.iter().map(|d| ends[d]).max().unwrap_or(0);
             let t0 = Instant::now();

@@ -90,6 +90,12 @@ pub use simt_forensics::{
     gauge_timelines, FlightDump, FlightEvent, FlightKind, FlightRecord, FlightRecorder,
     GaugeTimeline, KernelHotspots, PcHotspot, PostmortemReport, POSTMORTEM_SCHEMA_VERSION,
 };
+// And the chaos vocabulary: configure with RuntimeConfig::with_chaos /
+// with_recovery, observe through Runtime::device_health and the typed
+// fault errors above.
+pub use simt_chaos::{
+    ChaosConfig, DeviceHealth, FaultKind, FaultPlan, PlannedFault, RecoveryConfig, StickyDevice,
+};
 
 /// Anything that can go wrong inside the runtime. Cloneable (sticky
 /// stream errors fan out to every queued handle), so inner errors are
@@ -104,8 +110,57 @@ pub enum RuntimeError {
     Config(String),
     /// Program rejected at load.
     Load(String),
-    /// Device-side trap during execution.
-    Exec(String),
+    /// Device-side trap during execution, with its provenance: the
+    /// kernel that trapped and the device it ran on (structured so
+    /// retry/poison logic never parses strings).
+    Exec {
+        /// Kernel name.
+        kernel: String,
+        /// Device the launch ran on.
+        device: usize,
+        /// Rendered trap detail.
+        detail: String,
+    },
+    /// The watchdog killed a launch that exceeded its modeled-cycle
+    /// budget ([`simt_chaos::RecoveryConfig::watchdog_cycle_budget`]).
+    Timeout {
+        /// Kernel name.
+        kernel: String,
+        /// Device the launch was charged to.
+        device: usize,
+        /// The budget it overran, in modeled cycles.
+        budget_cycles: u64,
+    },
+    /// Injected transient launch failure (chaos engine).
+    LaunchFault {
+        /// Kernel name.
+        kernel: String,
+        /// Device the attempt was blamed on.
+        device: usize,
+        /// Zero-based attempt number that faulted.
+        attempt: u32,
+    },
+    /// Injected copy-engine fault (chaos engine).
+    CopyFault {
+        /// Device the attempt was blamed on.
+        device: usize,
+        /// Zero-based attempt number that faulted.
+        attempt: u32,
+    },
+    /// The device is failing every command dispatched to it (sticky
+    /// whole-device failure).
+    DeviceFailed {
+        /// The failing device.
+        device: usize,
+    },
+    /// The stream was poisoned by an earlier terminal failure
+    /// (CUDA-style sticky stream errors): every subsequent command
+    /// resolves with this until [`Stream::reset`] clears it. The first
+    /// failing command keeps its original typed error.
+    StreamPoisoned {
+        /// The poisoned stream.
+        stream: usize,
+    },
     /// A copy fell outside the stream's device buffer.
     CopyOutOfBounds {
         /// Requested word offset.
@@ -136,7 +191,38 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Compile(e) => write!(f, "compile: {e}"),
             RuntimeError::Config(e) => write!(f, "config: {e}"),
             RuntimeError::Load(e) => write!(f, "load: {e}"),
-            RuntimeError::Exec(e) => write!(f, "exec: {e}"),
+            RuntimeError::Exec {
+                kernel,
+                device,
+                detail,
+            } => write!(f, "exec: kernel `{kernel}` on device{device}: {detail}"),
+            RuntimeError::Timeout {
+                kernel,
+                device,
+                budget_cycles,
+            } => write!(
+                f,
+                "watchdog timeout: kernel `{kernel}` on device{device} exceeded its \
+                 {budget_cycles}-cycle budget"
+            ),
+            RuntimeError::LaunchFault {
+                kernel,
+                device,
+                attempt,
+            } => write!(
+                f,
+                "transient launch fault: kernel `{kernel}` on device{device} (attempt {attempt})"
+            ),
+            RuntimeError::CopyFault { device, attempt } => {
+                write!(f, "copy-engine fault on device{device} (attempt {attempt})")
+            }
+            RuntimeError::DeviceFailed { device } => {
+                write!(f, "device{device} is failing every command (sticky fault)")
+            }
+            RuntimeError::StreamPoisoned { stream } => write!(
+                f,
+                "stream {stream} is poisoned by an earlier failure; Stream::reset() clears it"
+            ),
             RuntimeError::CopyOutOfBounds {
                 offset,
                 len,
@@ -171,6 +257,10 @@ pub struct Runtime {
     /// Pool-wide per-PC profile sink (`Some` only with
     /// [`ProfileConfig::per_pc`]).
     pc_sink: Option<Arc<pool::PcSink>>,
+    /// Postmortem bundles assembled automatically when a device was
+    /// quarantined (collected at synchronization points; workers can
+    /// only queue the device id — assembly needs the full runtime).
+    quarantine_reports: Mutex<Vec<PostmortemReport>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -206,9 +296,20 @@ impl Runtime {
             .as_ref()
             .filter(|p| p.per_pc)
             .map(|_| Arc::new(pool::PcSink::default()));
+        if let Some(chaos) = &cfg.chaos {
+            if let Some(sticky) = &chaos.sticky {
+                assert!(
+                    sticky.device < cfg.devices,
+                    "sticky fault targets device{} but the pool has {} devices",
+                    sticky.device,
+                    cfg.devices
+                );
+            }
+        }
         let replay_device = Mutex::new(pool::Device::new(
             cfg.devices,
             cfg.device.clone(),
+            cfg.recovery.watchdog_cycle_budget,
             Arc::clone(&compile_cache),
             pc_sink.clone(),
         ));
@@ -218,6 +319,7 @@ impl Runtime {
                 let device = pool::Device::new(
                     d,
                     cfg.device.clone(),
+                    cfg.recovery.watchdog_cycle_budget,
                     Arc::clone(&compile_cache),
                     pc_sink.clone(),
                 );
@@ -232,6 +334,7 @@ impl Runtime {
             compile_cache,
             replay_device,
             pc_sink,
+            quarantine_reports: Mutex::new(Vec::new()),
             workers,
         }
     }
@@ -265,7 +368,65 @@ impl Runtime {
     /// Block until every enqueued command on every stream has completed;
     /// returns the first error the runtime hit, if any (sticky).
     pub fn synchronize(&self) -> Result<(), RuntimeError> {
-        self.shared.synchronize()
+        let r = self.shared.synchronize();
+        self.collect_quarantines();
+        r
+    }
+
+    /// Stop the pool from a shared reference: workers exit, every
+    /// still-queued command resolves with [`RuntimeError::Shutdown`],
+    /// and an in-flight [`Runtime::replay`] stops at its next node.
+    /// Threads are joined when the runtime drops; further enqueues
+    /// also resolve with `Shutdown`.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.wake_all();
+        self.shared.drain_after_shutdown();
+    }
+
+    /// Current health of every pool device, indexed by device id.
+    /// Driven by the per-device fault tracker against
+    /// [`RecoveryConfig::degrade_after`] / [`RecoveryConfig::quarantine_after`];
+    /// quarantined devices receive no placements until
+    /// [`Runtime::reset_device`] readmits them.
+    pub fn device_health(&self) -> Vec<DeviceHealth> {
+        self.shared.device_health()
+    }
+
+    /// Readmit `device` into the placement pool: health back to
+    /// [`DeviceHealth::Healthy`], fault counter cleared. When the
+    /// device is the chaos plan's sticky-failure target the sticky
+    /// fault retires too — the reset models a replaced part.
+    ///
+    /// # Panics
+    /// If `device` is out of range for the pool.
+    pub fn reset_device(&self, device: usize) {
+        assert!(
+            device < self.config().devices,
+            "device{device} out of range for a {}-device pool",
+            self.config().devices
+        );
+        self.shared.reset_device(device);
+    }
+
+    /// Postmortem bundles assembled automatically for quarantined
+    /// devices (reason `device-quarantined`), in quarantine order.
+    /// Collection happens at synchronization points and on this call;
+    /// each bundle is returned once. Empty when metrics are off (a
+    /// postmortem needs a snapshot) or nothing was quarantined.
+    pub fn quarantine_postmortems(&self) -> Vec<PostmortemReport> {
+        self.collect_quarantines();
+        std::mem::take(&mut *self.quarantine_reports.lock().unwrap())
+    }
+
+    /// Assemble bundles for devices quarantined since the last
+    /// collection.
+    fn collect_quarantines(&self) {
+        for _quarantined in self.shared.take_pending_quarantines() {
+            if let Some(report) = self.postmortem("device-quarantined") {
+                self.quarantine_reports.lock().unwrap().push(report);
+            }
+        }
     }
 
     /// Snapshot the per-stream / per-device accounting.

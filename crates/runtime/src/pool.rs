@@ -14,6 +14,7 @@
 //! no matter how many streams, devices or repeats launch it.
 
 use crate::RuntimeError;
+use simt_chaos::{ChaosConfig, RecoveryConfig};
 use simt_compiler::{CompileCache, OptLevel};
 use simt_core::{ExecStats, PcProfile, Processor, ProcessorConfig, RunOptions};
 use simt_isa::Program;
@@ -102,6 +103,15 @@ pub struct RuntimeConfig {
     /// behavior; tests tighten them to provoke findings
     /// deterministically.
     pub health: HealthConfig,
+    /// Deterministic fault injection (`None` = no faults, the
+    /// default). See [`simt_chaos::ChaosConfig`]: every decision is a
+    /// pure hash over the seed and the command's stable identity, so a
+    /// fixed config injects identically on every run.
+    pub chaos: Option<ChaosConfig>,
+    /// Recovery policy: watchdog budget, bounded retry/backoff, and
+    /// the per-device fault budget driving quarantine. Defaults are
+    /// inert for fault-free workloads.
+    pub recovery: RecoveryConfig,
     /// Per-device parameters.
     pub device: DeviceConfig,
 }
@@ -116,6 +126,8 @@ impl Default for RuntimeConfig {
             metrics: true,
             flight_capacity: 1024,
             health: HealthConfig::default(),
+            chaos: None,
+            recovery: RecoveryConfig::default(),
             device: DeviceConfig::default(),
         }
     }
@@ -155,6 +167,19 @@ impl RuntimeConfig {
         self.health = health;
         self
     }
+
+    /// Install a deterministic fault-injection plan (chaos engine).
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// Set the recovery policy (watchdog budget, retry/backoff
+    /// schedule, per-device fault budget).
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = recovery;
+        self
+    }
 }
 
 /// Cached processor builds per device (compatible-launch reuse).
@@ -177,6 +202,9 @@ pub(crate) struct Device {
     /// Pool index.
     pub id: usize,
     cfg: DeviceConfig,
+    /// Watchdog: modeled-cycle budget a launch may run before it is
+    /// killed and resolved as [`RuntimeError::Timeout`].
+    watchdog_cycle_budget: u64,
     cache: Vec<(ProcessorConfig, Processor)>,
     /// Pool-wide compile cache (shared across every device).
     compile_cache: Arc<CompileCache>,
@@ -189,12 +217,14 @@ impl Device {
     pub(crate) fn new(
         id: usize,
         cfg: DeviceConfig,
+        watchdog_cycle_budget: u64,
         compile_cache: Arc<CompileCache>,
         pc_sink: Option<Arc<PcSink>>,
     ) -> Self {
         Device {
             id,
             cfg,
+            watchdog_cycle_budget,
             cache: Vec::new(),
             compile_cache,
             pc_sink,
@@ -248,14 +278,19 @@ impl Device {
                 .map_err(|e| RuntimeError::Compile(e.to_string()))?,
         };
         let (mut proc, cache_hit) = self.processor(&spec.config)?;
+        let exec_err = |e: String| RuntimeError::Exec {
+            kernel: spec.name.clone(),
+            device: self.id,
+            detail: e,
+        };
         let shared_words = spec.config.shared_words.min(buffer.len());
         proc.shared_mut()
             .load_words(0, &buffer[..shared_words])
-            .map_err(|e| RuntimeError::Exec(e.to_string()))?;
+            .map_err(|e| exec_err(e.to_string()))?;
         for (off, words) in &spec.inputs {
             proc.shared_mut()
                 .load_words(*off, words)
-                .map_err(|e| RuntimeError::Exec(e.to_string()))?;
+                .map_err(|e| exec_err(e.to_string()))?;
         }
         // Postmortem attribution wants the program a profile indexes
         // into; keep a handle before the decode is consumed below
@@ -266,14 +301,14 @@ impl Device {
         let stats = match &self.pc_sink {
             None => proc
                 .run(RunOptions::default())
-                .map_err(|e| RuntimeError::Exec(e.to_string()))?,
+                .map_err(|e| exec_err(e.to_string()))?,
             Some(sink) => {
                 // Per-PC profiling on: run the monomorphized profiled
                 // loop and merge the histogram into the pool sink under
                 // the kernel's name.
                 let (stats, profile) = proc
                     .run_profiled(RunOptions::default())
-                    .map_err(|e| RuntimeError::Exec(e.to_string()))?;
+                    .map_err(|e| exec_err(e.to_string()))?;
                 let mut sink = sink.lock().unwrap();
                 match sink.get_mut(&spec.name) {
                     Some(merged) => merged.profile.merge(&profile),
@@ -292,6 +327,18 @@ impl Device {
                 stats
             }
         };
+        // Watchdog: a launch over its modeled-cycle budget is killed —
+        // its writes never reach the stream buffer (checked *before*
+        // write-back, so a retried or poisoned command leaves the
+        // buffer bit-exact with the fault-free history).
+        if stats.cycles > self.watchdog_cycle_budget {
+            self.retire(spec.config.clone(), proc);
+            return Err(RuntimeError::Timeout {
+                kernel: spec.name.clone(),
+                device: self.id,
+                budget_cycles: self.watchdog_cycle_budget,
+            });
+        }
         buffer[..shared_words].copy_from_slice(&proc.shared().as_slice()[..shared_words]);
         self.retire(spec.config.clone(), proc);
         Ok(LaunchOutcome {
@@ -311,6 +358,7 @@ mod tests {
         Device::new(
             0,
             DeviceConfig::default(),
+            RecoveryConfig::default().watchdog_cycle_budget,
             Arc::new(CompileCache::new()),
             None,
         )
@@ -353,8 +401,9 @@ mod tests {
     #[test]
     fn ir_launches_compile_through_the_shared_cache() {
         let cache = Arc::new(CompileCache::new());
-        let mut d0 = Device::new(0, DeviceConfig::default(), Arc::clone(&cache), None);
-        let mut d1 = Device::new(1, DeviceConfig::default(), Arc::clone(&cache), None);
+        let budget = RecoveryConfig::default().watchdog_cycle_budget;
+        let mut d0 = Device::new(0, DeviceConfig::default(), budget, Arc::clone(&cache), None);
+        let mut d1 = Device::new(1, DeviceConfig::default(), budget, Arc::clone(&cache), None);
         let x = int_vector(64, 1);
         let y = int_vector(64, 2);
         let spec = LaunchSpec::saxpy_ir(3, &x, &y);
@@ -390,5 +439,37 @@ mod tests {
             Err(RuntimeError::Compile(e)) => assert!(e.contains("register"), "{e}"),
             other => panic!("expected Compile error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn watchdog_kills_over_budget_launches_without_touching_the_buffer() {
+        let mut d = Device::new(
+            0,
+            DeviceConfig::default(),
+            10, // far below any real kernel's cycle count
+            Arc::new(CompileCache::new()),
+            None,
+        );
+        let x = int_vector(64, 1);
+        let y = int_vector(64, 2);
+        let (spec, inputs) = LaunchSpec::saxpy(3, &x, &y).detach_inputs();
+        let mut buffer = vec![0u32; 16384];
+        for (off, words) in &inputs {
+            buffer[*off..*off + words.len()].copy_from_slice(words);
+        }
+        let before = buffer.clone();
+        match d.run_launch(&spec, &mut buffer) {
+            Err(RuntimeError::Timeout {
+                kernel,
+                device,
+                budget_cycles,
+            }) => {
+                assert_eq!(device, 0);
+                assert_eq!(budget_cycles, 10);
+                assert_eq!(kernel, spec.name);
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert_eq!(buffer, before, "a killed launch must not write back");
     }
 }

@@ -31,6 +31,7 @@ use crate::pool::{Device, RuntimeConfig};
 use crate::stats::{CommandKind, CompletionRecord, DeviceStats, RuntimeStats, StreamStats};
 use crate::stream::Command;
 use crate::RuntimeError;
+use simt_chaos::{DeviceHealth, FaultKind, FaultPlan, PlannedFault};
 use simt_core::ExecStats;
 use simt_forensics::{FlightEvent, FlightKind, FlightRecorder};
 use simt_graph::{ExecGraph, GraphNode, GraphOp, NodeId};
@@ -41,9 +42,41 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+/// One queued command with its recovery bookkeeping: the attempt
+/// number (bumped on every injected-fault retry), the device the
+/// previous faulted attempt was blamed on (retries are placed
+/// elsewhere when the pool has an alternative), and whether the
+/// command already survived a fault (its eventual success counts as a
+/// recovery).
+pub(crate) struct Pending {
+    seq: u64,
+    attempt: u32,
+    avoid: Option<usize>,
+    faulted: bool,
+    cmd: Command,
+}
+
+/// A claimed batch: the owning stream, plus each command paired with
+/// the fault (if any) the chaos plan drew for this attempt at claim
+/// time — drawn under the scheduler lock so fault decisions are
+/// independent of worker-thread interleaving.
+type ClaimedBatch = (usize, Vec<(Pending, Option<PlannedFault>)>);
+
+impl Pending {
+    fn first(seq: u64, cmd: Command) -> Self {
+        Pending {
+            seq,
+            attempt: 0,
+            avoid: None,
+            faulted: false,
+            cmd,
+        }
+    }
+}
+
 /// Scheduler-side state of one stream.
 pub(crate) struct StreamState {
-    queue: VecDeque<(u64, Command)>,
+    queue: VecDeque<Pending>,
     next_seq: u64,
     /// The stream's device buffer; taken by a worker while a batch runs.
     buffer: Option<Vec<u32>>,
@@ -79,6 +112,16 @@ pub(crate) struct PoolMetrics {
     graph_span: Arc<Histogram>,
     /// Modeled busy cycles placed per device, indexed by device id.
     device_busy: Vec<Arc<Counter>>,
+    /// Fault-recovery counters (all zero on fault-free pools).
+    retries: Arc<Counter>,
+    failovers: Arc<Counter>,
+    recovered: Arc<Counter>,
+    terminal_failures: Arc<Counter>,
+    timeouts: Arc<Counter>,
+    quarantines: Arc<Counter>,
+    /// Modeled backoff cycles charged per retry (retry-latency
+    /// percentiles come from here).
+    retry_backoff: Arc<Histogram>,
 }
 
 impl PoolMetrics {
@@ -94,6 +137,13 @@ impl PoolMetrics {
             device_busy: (0..devices)
                 .map(|d| registry.counter(metric::DEVICE_BUSY_CYCLES, &labels::device(d)))
                 .collect(),
+            retries: registry.counter(metric::RETRIES, ""),
+            failovers: registry.counter(metric::FAILOVERS, ""),
+            recovered: registry.counter(metric::RECOVERED, ""),
+            terminal_failures: registry.counter(metric::TERMINAL_FAILURES, ""),
+            timeouts: registry.counter(metric::TIMEOUTS, ""),
+            quarantines: registry.counter(metric::QUARANTINES, ""),
+            retry_backoff: registry.histogram(metric::RETRY_BACKOFF_CYCLES, ""),
             registry,
         }
     }
@@ -175,6 +225,19 @@ pub(crate) struct SchedState {
     /// Workers hold off claiming while set (deterministic-schedule
     /// testing: build a full backlog, then release it at once).
     paused: bool,
+    /// Per-device health, driven by the fault tracker below against
+    /// the recovery config's fault budget. Quarantined devices are
+    /// excluded from stream placement and graph replay.
+    device_health: Vec<DeviceHealth>,
+    /// Faults blamed on each device since its last reset.
+    device_faults: Vec<u64>,
+    /// Set by `reset_device` on the sticky-fault target: readmission
+    /// models a replaced part, so the sticky fault retires with it.
+    sticky_disabled: bool,
+    /// Devices quarantined since the last postmortem collection
+    /// (`Runtime` assembles a `postmortem("device-quarantined")`
+    /// bundle for each at the next synchronization point).
+    pending_quarantines: Vec<usize>,
 }
 
 impl SchedState {
@@ -206,6 +269,9 @@ pub(crate) struct Shared {
     /// [`RuntimeConfig::flight_capacity`] is zero — the off switch
     /// exists only to measure the disabled path).
     pub(crate) flight: Option<Arc<FlightRecorder>>,
+    /// Compiled fault-injection oracle (`Some` iff the pool was
+    /// configured with [`RuntimeConfig::with_chaos`]).
+    plan: Option<FaultPlan>,
     started: Instant,
 }
 
@@ -225,6 +291,11 @@ enum Done {
         wall: Duration,
         /// `CopyOut` payload to resolve at publish time.
         sink: Option<CopyDelivery>,
+        /// This success is a recovery from an earlier fault.
+        faulted: bool,
+        /// Device the faulted attempt was blamed on (failover target
+        /// exclusion at placement).
+        avoid: Option<usize>,
     },
     Launch {
         seq: u64,
@@ -236,12 +307,37 @@ enum Done {
         /// histograms (cloned only when tracing or metrics will read it).
         kernel: String,
         sink: Arc<crate::stream::Slot<Result<ExecStats, RuntimeError>>>,
+        /// This success is a recovery from an earlier fault.
+        faulted: bool,
+        /// Device the faulted attempt was blamed on (failover target
+        /// exclusion at placement).
+        avoid: Option<usize>,
     },
     Failed {
         seq: u64,
         kind: CommandKind,
         error: RuntimeError,
         cmd: Command,
+    },
+    /// A recoverable fault: injected by the chaos plan, or a real
+    /// watchdog timeout. `publish` decides retry (requeue with
+    /// backoff) vs terminal failure (attempts exhausted → stream
+    /// poison), updates the blamed device's fault tracker, and charges
+    /// `cycles` (the watchdog budget for hangs, zero otherwise) to its
+    /// compute engine.
+    Fault {
+        /// The faulted command, ready to requeue (attempt not yet
+        /// bumped; `faulted` already set).
+        pending: Pending,
+        kind: FaultKind,
+        /// False for a real watchdog timeout, true for chaos faults.
+        injected: bool,
+        /// Blamed device (plan-derived pseudo-dispatch target for
+        /// injected faults; the executing device for real timeouts).
+        device: usize,
+        error: RuntimeError,
+        /// Modeled cycles the fault occupied the blamed device.
+        cycles: u64,
     },
 }
 
@@ -255,6 +351,7 @@ impl Shared {
             .map(|p| Arc::new(Tracer::from_config(p)));
         let flight =
             (cfg.flight_capacity > 0).then(|| Arc::new(FlightRecorder::new(cfg.flight_capacity)));
+        let plan = cfg.chaos.as_ref().map(FaultPlan::new);
         Shared {
             cfg,
             state: Mutex::new(SchedState {
@@ -271,6 +368,10 @@ impl Shared {
                 capture: None,
                 capture_generation: 0,
                 paused: false,
+                device_health: vec![DeviceHealth::Healthy; d],
+                device_faults: vec![0; d],
+                sticky_disabled: false,
+                pending_quarantines: Vec::new(),
             }),
             work: Condvar::new(),
             idle: Condvar::new(),
@@ -282,6 +383,7 @@ impl Shared {
                 None
             },
             flight,
+            plan,
             started: Instant::now(),
         }
     }
@@ -460,6 +562,18 @@ impl Shared {
         session.tails.insert(stream, id);
     }
 
+    /// The error a poisoned stream reports for commands *after* the one
+    /// that actually failed: the sticky [`RuntimeError::StreamPoisoned`]
+    /// marker (the CUDA model — only the failing command carries the
+    /// root cause), except shutdown, which stays [`RuntimeError::Shutdown`]
+    /// so late-held handles remain attributable.
+    fn sticky_error(st: &StreamState, stream: usize) -> RuntimeError {
+        match st.poisoned.as_ref() {
+            Some(RuntimeError::Shutdown) => RuntimeError::Shutdown,
+            _ => RuntimeError::StreamPoisoned { stream },
+        }
+    }
+
     /// Enqueue a command onto a stream.
     pub(crate) fn enqueue(&self, stream: usize, cmd: Command) {
         let mut state = self.state.lock().unwrap();
@@ -479,11 +593,20 @@ impl Shared {
         let st = &mut state.streams[stream];
         let seq = st.next_seq;
         st.next_seq += 1;
-        if let Some(poison) = st.poisoned.clone() {
+        // A stream opened after shutdown has no sticky error yet, but
+        // the workers are gone — poison it here so its commands fail
+        // fast instead of queueing forever.
+        if st.poisoned.is_none() && self.shutdown.load(std::sync::atomic::Ordering::Relaxed) {
+            st.poisoned = Some(RuntimeError::Shutdown);
+        }
+        if st.poisoned.is_some() {
             // Poisoned streams fail everything immediately (the CUDA
-            // sticky-error model), still in order.
+            // sticky-error model), still in order. Only the command
+            // that failed carries the original error; everything after
+            // it sees the sticky marker until `Stream::reset`.
+            let sticky = Self::sticky_error(st, stream);
             let vdone = st.vdone;
-            cmd.resolve_err(&poison, vdone);
+            cmd.resolve_err(&sticky, vdone);
             state.stream_stats[stream].commands += 1;
             state.record_completion(CompletionRecord {
                 stream,
@@ -497,7 +620,7 @@ impl Shared {
             return;
         }
         let kind = cmd.kind();
-        st.queue.push_back((seq, cmd));
+        st.queue.push_back(Pending::first(seq, cmd));
         state.outstanding += 1;
         if self.metrics.is_some() {
             let depth = state.streams[stream].queue.len() as u64;
@@ -617,6 +740,16 @@ impl Shared {
                 st.vdone as f64,
             );
         }
+        for (d, h) in state.device_health.iter().enumerate() {
+            snap.push_gauge(
+                metric::DEVICE_HEALTH,
+                &labels::device(d),
+                h.severity() as f64,
+            );
+        }
+        for (d, &f) in state.device_faults.iter().enumerate() {
+            snap.push_counter(metric::DEVICE_FAULTS, &labels::device(d), f);
+        }
         snap.push_counter(metric::COMPLETIONS_DROPPED, "", state.completions_dropped);
         snap.push_counter(
             metric::TRACER_DROPPED,
@@ -636,13 +769,13 @@ impl Shared {
             if state.streams[sid].poisoned.is_none() {
                 state.streams[sid].poisoned = Some(RuntimeError::Shutdown);
             }
-            while let Some((seq, cmd)) = state.streams[sid].queue.pop_front() {
-                let kind = cmd.kind();
-                cmd.resolve_err(&RuntimeError::Shutdown, vdone);
+            while let Some(p) = state.streams[sid].queue.pop_front() {
+                let kind = p.cmd.kind();
+                p.cmd.resolve_err(&RuntimeError::Shutdown, vdone);
                 state.stream_stats[sid].commands += 1;
                 state.record_completion(CompletionRecord {
                     stream: sid,
-                    seq,
+                    seq: p.seq,
                     device: 0,
                     kind,
                     start: vdone,
@@ -652,6 +785,45 @@ impl Shared {
             }
         }
         self.idle.notify_all();
+    }
+
+    /// Clear a stream's sticky error so it accepts new work again
+    /// (CUDA's destroy-and-recreate recovery, folded into a reset).
+    pub(crate) fn reset_stream(&self, stream: usize) {
+        let mut state = self.state.lock().unwrap();
+        state.streams[stream].poisoned = None;
+    }
+
+    /// Readmit a device: back to `Healthy`, fault counter cleared.
+    /// When the device is the chaos plan's sticky-failure target, the
+    /// sticky fault retires with the reset — the model is a replaced
+    /// part, not a rebooted broken one, so the readmitted device
+    /// genuinely recovers.
+    pub(crate) fn reset_device(&self, device: usize) {
+        let mut state = self.state.lock().unwrap();
+        state.device_health[device] = DeviceHealth::Healthy;
+        state.device_faults[device] = 0;
+        if self
+            .plan
+            .as_ref()
+            .and_then(|p| p.sticky())
+            .is_some_and(|s| s.device == device)
+        {
+            state.sticky_disabled = true;
+        }
+        self.note(FlightEvent::DeviceReset { device });
+    }
+
+    /// Current per-device health states.
+    pub(crate) fn device_health(&self) -> Vec<DeviceHealth> {
+        self.state.lock().unwrap().device_health.clone()
+    }
+
+    /// Devices quarantined since the last call (the postmortem queue:
+    /// `Runtime` drains this at synchronization points and assembles a
+    /// bundle per device).
+    pub(crate) fn take_pending_quarantines(&self) -> Vec<usize> {
+        std::mem::take(&mut self.state.lock().unwrap().pending_quarantines)
     }
 
     /// Place one graph-replay command on the least-loaded engine of the
@@ -672,12 +844,14 @@ impl Shared {
     ) -> (usize, u64, u64) {
         let mut state = self.state.lock().unwrap();
         let compute = matches!(kind, CommandKind::Launch);
-        let engines = if compute {
-            &mut state.vcompute
-        } else {
-            &mut state.vcopy
-        };
-        let (p, start) = place(engines, ready, cycles);
+        let SchedState {
+            vcompute,
+            vcopy,
+            device_health,
+            ..
+        } = &mut *state;
+        let engines = if compute { vcompute } else { vcopy };
+        let (p, start) = place(engines, ready, cycles, device_health, None);
         let end = start + cycles;
         let ds = &mut state.device_stats[p];
         ds.placements += 1;
@@ -728,7 +902,7 @@ impl Shared {
     /// batch of executable commands if one is ready (any worker may
     /// claim any stream's batch — placement happens at publish).
     /// Runs under the scheduler lock.
-    fn claim(&self, state: &mut SchedState, d: usize) -> Option<(usize, Vec<(u64, Command)>)> {
+    fn claim(&self, state: &mut SchedState, d: usize) -> Option<ClaimedBatch> {
         let n = state.streams.len();
         loop {
             let mut progress = false;
@@ -742,12 +916,12 @@ impl Shared {
                 loop {
                     let resolved = {
                         let st = &mut state.streams[sid];
-                        match st.queue.front() {
-                            Some((_, Command::RecordEvent(e))) => {
+                        match st.queue.front().map(|p| &p.cmd) {
+                            Some(Command::RecordEvent(e)) => {
                                 e.signal(st.vdone);
                                 true
                             }
-                            Some((_, Command::WaitEvent(e))) => match e.signal_time() {
+                            Some(Command::WaitEvent(e)) => match e.signal_time() {
                                 Some(t) => {
                                     st.vdone = st.vdone.max(t);
                                     true
@@ -763,7 +937,7 @@ impl Shared {
                         break;
                     }
                     let st = &mut state.streams[sid];
-                    let (seq, cmd) = st.queue.pop_front().unwrap();
+                    let Pending { seq, cmd, .. } = st.queue.pop_front().unwrap();
                     let kind = cmd.kind();
                     let at = st.vdone;
                     state.stream_stats[sid].commands += 1;
@@ -794,23 +968,49 @@ impl Shared {
                     progress = true;
                 }
                 // Batch consecutive executable commands, stopping after a
-                // launch so co-resident streams interleave.
+                // launch so co-resident streams interleave. Fault
+                // decisions are drawn here, under the lock, so the
+                // sticky-device eligibility check sees a consistent
+                // health state (the decision itself is a pure hash of
+                // (seed, stream, seq, attempt) — claim order does not
+                // perturb it).
+                let sticky_active = self
+                    .plan
+                    .as_ref()
+                    .and_then(|plan| plan.sticky())
+                    .is_some_and(|s| {
+                        !state.sticky_disabled
+                            && state.device_health[s.device] != DeviceHealth::Quarantined
+                    });
                 let st = &mut state.streams[sid];
                 if matches!(
-                    st.queue.front(),
-                    Some((_, Command::CopyIn { .. }))
-                        | Some((_, Command::CopyOut { .. }))
-                        | Some((_, Command::Launch { .. }))
+                    st.queue.front().map(|p| &p.cmd),
+                    Some(Command::CopyIn { .. })
+                        | Some(Command::CopyOut { .. })
+                        | Some(Command::Launch { .. })
                 ) {
                     let mut batch = Vec::new();
                     while batch.len() < self.cfg.max_batch {
-                        let is_launch = match st.queue.front() {
-                            Some((_, Command::Launch { .. })) => true,
-                            Some((_, Command::CopyIn { .. }))
-                            | Some((_, Command::CopyOut { .. })) => false,
+                        let (is_launch, is_copy) = match st.queue.front().map(|p| &p.cmd) {
+                            Some(Command::Launch { .. }) => (true, false),
+                            Some(Command::CopyIn { .. }) | Some(Command::CopyOut { .. }) => {
+                                (false, true)
+                            }
                             _ => break,
                         };
-                        batch.push(st.queue.pop_front().unwrap());
+                        let p = st.queue.pop_front().unwrap();
+                        let fault = self.plan.as_ref().and_then(|plan| {
+                            plan.decide(
+                                sid as u64,
+                                p.seq,
+                                p.attempt as u64,
+                                is_copy,
+                                self.cfg.devices,
+                                p.avoid,
+                                sticky_active,
+                            )
+                        });
+                        batch.push((p, fault));
                         if is_launch {
                             break;
                         }
@@ -847,10 +1047,25 @@ impl Shared {
     /// affinity), advance the timeline in completion order, merge
     /// stats, resolve sinks, drain the stream if it was poisoned.
     /// `d` is the physical worker that executed the batch; it only
-    /// accounts for `batches`.
-    fn publish(&self, sid: usize, d: usize, done: Vec<Done>, buffer: Vec<u32>) {
+    /// accounts for `batches`. `requeue` is the unexecuted tail of a
+    /// batch cut short by a fault — it returns to the queue front, in
+    /// order, behind the retried command itself.
+    fn publish(
+        &self,
+        sid: usize,
+        d: usize,
+        done: Vec<Done>,
+        requeue: Vec<Pending>,
+        buffer: Vec<u32>,
+    ) {
         let mut state = self.state.lock().unwrap();
-        let count = done.len();
+        // Reborrow through the guard once so disjoint field borrows
+        // (engine clocks vs health mask) work below.
+        let state = &mut *state;
+        // Commands whose handle resolved (retried commands stay
+        // outstanding).
+        let mut resolved = 0usize;
+        let mut retry: Option<Pending> = None;
         for item in done {
             match item {
                 Done::Copy {
@@ -860,9 +1075,13 @@ impl Shared {
                     cycles,
                     wall,
                     sink,
+                    faulted,
+                    avoid,
                 } => {
+                    resolved += 1;
                     let ready = state.streams[sid].vdone;
-                    let (p, start) = place(&mut state.vcopy, ready, cycles);
+                    let (p, start) =
+                        place(&mut state.vcopy, ready, cycles, &state.device_health, avoid);
                     let end = start + cycles;
                     state.streams[sid].vdone = end;
                     let ss = &mut state.stream_stats[sid];
@@ -887,6 +1106,9 @@ impl Shared {
                     });
                     if let Some(m) = &self.metrics {
                         m.record_copy(p, cycles);
+                        if faulted {
+                            m.recovered.inc();
+                        }
                         if let Some(sm) = &state.streams[sid].metrics {
                             sm.copy_cycles.record(cycles);
                         }
@@ -919,10 +1141,19 @@ impl Shared {
                     wall,
                     kernel,
                     sink,
+                    faulted,
+                    avoid,
                 } => {
+                    resolved += 1;
                     let cycles = stats.cycles;
                     let ready = state.streams[sid].vdone;
-                    let (p, start) = place(&mut state.vcompute, ready, cycles);
+                    let (p, start) = place(
+                        &mut state.vcompute,
+                        ready,
+                        cycles,
+                        &state.device_health,
+                        avoid,
+                    );
                     let end = start + cycles;
                     state.streams[sid].vdone = end;
                     let ss = &mut state.stream_stats[sid];
@@ -958,6 +1189,9 @@ impl Shared {
                     if let Some(m) = &self.metrics {
                         m.record_launch(p, &stats);
                         m.record_kernel_cycles(&kernel, cycles);
+                        if faulted {
+                            m.recovered.inc();
+                        }
                         if let Some(sm) = &state.streams[sid].metrics {
                             sm.launch_cycles.record(cycles);
                         }
@@ -995,6 +1229,7 @@ impl Shared {
                     error,
                     cmd,
                 } => {
+                    resolved += 1;
                     let vdone = state.streams[sid].vdone;
                     // Record the flight event before resolving the
                     // handle: a waiter that wakes on the error and
@@ -1007,7 +1242,9 @@ impl Shared {
                         });
                     }
                     cmd.resolve_err(&error, vdone);
-                    state.streams[sid].poisoned = Some(error.clone());
+                    if state.streams[sid].poisoned.is_none() {
+                        state.streams[sid].poisoned = Some(error.clone());
+                    }
                     if state.first_error.is_none() {
                         state.first_error = Some(error);
                     }
@@ -1021,20 +1258,155 @@ impl Shared {
                         end: vdone,
                     });
                 }
+                Done::Fault {
+                    pending,
+                    kind,
+                    injected,
+                    device,
+                    error,
+                    cycles,
+                } => {
+                    // Charge the modeled fault time (the watchdog
+                    // budget for hangs, zero otherwise) to the blamed
+                    // device's compute engine and push the stream
+                    // frontier past it: a hang costs its full budget
+                    // on the virtual timeline.
+                    let ready = state.streams[sid].vdone;
+                    let start = state.vcompute[device].max(ready);
+                    let end = start + cycles;
+                    state.vcompute[device] = end;
+                    state.streams[sid].vdone = end;
+                    state.device_stats[device].busy_cycles += cycles;
+                    // Fault accounting and the health transition on the
+                    // blamed device.
+                    state.device_faults[device] += 1;
+                    let faults = state.device_faults[device];
+                    let was = state.device_health[device];
+                    let now = if faults >= self.cfg.recovery.quarantine_after {
+                        DeviceHealth::Quarantined
+                    } else if faults >= self.cfg.recovery.degrade_after {
+                        DeviceHealth::Degraded
+                    } else {
+                        was
+                    };
+                    if now != was {
+                        state.device_health[device] = now;
+                        if now == DeviceHealth::Quarantined {
+                            state.pending_quarantines.push(device);
+                            if let Some(m) = &self.metrics {
+                                m.quarantines.inc();
+                            }
+                            self.note(FlightEvent::Quarantine { device, faults });
+                        }
+                    }
+                    if let Some(m) = &self.metrics {
+                        if injected {
+                            m.registry
+                                .counter(metric::FAULTS_INJECTED, kind.label())
+                                .inc();
+                        }
+                        if matches!(kind, FaultKind::HungKernel) {
+                            m.timeouts.inc();
+                        }
+                    }
+                    let attempt = pending.attempt + 1;
+                    self.note(FlightEvent::Fault {
+                        stream: sid,
+                        device,
+                        attempt,
+                        family: kind.label().to_string(),
+                        injected,
+                    });
+                    if attempt < self.cfg.recovery.max_attempts {
+                        // Retry: charge the modeled exponential backoff
+                        // to the stream's timeline and requeue the
+                        // command at the front, steered away from the
+                        // blamed device.
+                        let backoff = self.cfg.recovery.backoff_cycles(attempt);
+                        state.streams[sid].vdone = end + backoff;
+                        if let Some(m) = &self.metrics {
+                            m.retries.inc();
+                            m.retry_backoff.record(backoff);
+                            if self.cfg.devices > 1 {
+                                m.failovers.inc();
+                            }
+                        }
+                        self.note(FlightEvent::Retry {
+                            stream: sid,
+                            device,
+                            attempt,
+                            backoff_cycles: backoff,
+                        });
+                        retry = Some(Pending {
+                            seq: pending.seq,
+                            attempt,
+                            avoid: Some(device),
+                            faulted: true,
+                            cmd: pending.cmd,
+                        });
+                    } else {
+                        // Attempts exhausted: the command fails with
+                        // its last fault's typed error and the stream
+                        // picks up the sticky poison.
+                        resolved += 1;
+                        if let Some(m) = &self.metrics {
+                            m.terminal_failures.inc();
+                        }
+                        let vdone = state.streams[sid].vdone;
+                        let cmd_kind = pending.cmd.kind();
+                        if self.flight.is_some() {
+                            self.note(FlightEvent::Failed {
+                                stream: sid,
+                                kind: flight_kind(cmd_kind),
+                                error: error.to_string(),
+                            });
+                        }
+                        pending.cmd.resolve_err(&error, vdone);
+                        if state.streams[sid].poisoned.is_none() {
+                            state.streams[sid].poisoned = Some(error.clone());
+                        }
+                        if state.first_error.is_none() {
+                            state.first_error = Some(error);
+                        }
+                        state.stream_stats[sid].commands += 1;
+                        state.record_completion(CompletionRecord {
+                            stream: sid,
+                            seq: pending.seq,
+                            device,
+                            kind: cmd_kind,
+                            start: vdone,
+                            end: vdone,
+                        });
+                    }
+                }
             }
         }
-        state.outstanding -= count;
+        state.outstanding -= resolved;
         state.device_stats[d].batches += 1;
-        // Poisoned streams fail their entire backlog immediately.
-        if let Some(poison) = state.streams[sid].poisoned.clone() {
+        // A fault cut the batch short: the unexecuted tail returns to
+        // the queue front in order, behind the retried command itself.
+        {
+            let st = &mut state.streams[sid];
+            for p in requeue.into_iter().rev() {
+                st.queue.push_front(p);
+            }
+            if let Some(p) = retry {
+                st.queue.push_front(p);
+            }
+        }
+        // Poisoned streams fail their entire backlog immediately with
+        // the sticky marker (the root cause already went to the command
+        // that failed).
+        if state.streams[sid].poisoned.is_some() {
+            let sticky = Self::sticky_error(&state.streams[sid], sid);
             let vdone = state.streams[sid].vdone;
-            while let Some((seq, cmd)) = state.streams[sid].queue.pop_front() {
-                let kind = cmd.kind();
-                cmd.resolve_err(&poison, vdone);
+            while let Some(p) = state.streams[sid].queue.pop_front() {
+                let kind = p.cmd.kind();
+                p.cmd.resolve_err(&sticky, vdone);
                 state.stream_stats[sid].commands += 1;
                 state.record_completion(CompletionRecord {
                     stream: sid,
-                    seq,
+                    seq: p.seq,
                     device: d,
                     kind,
                     start: vdone,
@@ -1056,7 +1428,7 @@ impl Shared {
             self.note(FlightEvent::Publish {
                 stream: sid,
                 device: d,
-                commands: count as u64,
+                commands: resolved as u64,
                 depth,
                 outstanding,
             });
@@ -1082,15 +1454,33 @@ pub(crate) fn flight_kind(kind: CommandKind) -> FlightKind {
 
 /// Least-loaded engine pick: the device whose engine can start this
 /// command earliest given its `ready` time, ties broken toward the
-/// lower device id. Advances the chosen engine's clock past the
-/// command and returns `(device, start)`.
-fn place(engines: &mut [u64], ready: u64, cycles: u64) -> (usize, u64) {
+/// lower device id. Quarantined devices and the retried command's
+/// blamed device (`avoid`) are excluded; when the exclusions ban every
+/// device (a one-device pool retrying, or everything quarantined), the
+/// pick falls back to the unfiltered rule rather than deadlock.
+/// Advances the chosen engine's clock past the command and returns
+/// `(device, start)`.
+fn place(
+    engines: &mut [u64],
+    ready: u64,
+    cycles: u64,
+    health: &[DeviceHealth],
+    avoid: Option<usize>,
+) -> (usize, u64) {
     let (start, p) = engines
         .iter()
         .enumerate()
+        .filter(|&(d, _)| health[d] != DeviceHealth::Quarantined && Some(d) != avoid)
         .map(|(d, &t)| (t.max(ready), d))
         .min()
-        .expect("pool has at least one device");
+        .unwrap_or_else(|| {
+            engines
+                .iter()
+                .enumerate()
+                .map(|(d, &t)| (t.max(ready), d))
+                .min()
+                .expect("pool has at least one device")
+        });
     engines[p] = start + cycles;
     (p, start)
 }
@@ -1119,10 +1509,24 @@ pub(crate) fn worker_loop(shared: Arc<Shared>, mut device: Device) {
             }
         };
 
-        // Execute outside the lock.
+        // Execute outside the lock. A fault (injected or a real
+        // watchdog timeout) stops the batch: the faulted command goes
+        // back through `publish` for its retry/terminal decision, and
+        // the unexecuted tail is returned untouched for requeueing
+        // (its stale fault decisions are dropped — they are redrawn,
+        // and redrawn identically, at the next claim).
         let mut done = Vec::with_capacity(batch.len());
+        let mut requeue: Vec<Pending> = Vec::new();
         let mut poison: Option<RuntimeError> = None;
-        for (seq, cmd) in batch {
+        let mut batch_iter = batch.into_iter();
+        while let Some((pending, fault)) = batch_iter.next() {
+            let Pending {
+                seq,
+                attempt,
+                avoid,
+                faulted,
+                cmd,
+            } = pending;
             if let Some(p) = &poison {
                 done.push(Done::Failed {
                     seq,
@@ -1131,6 +1535,48 @@ pub(crate) fn worker_loop(shared: Arc<Shared>, mut device: Device) {
                     cmd,
                 });
                 continue;
+            }
+            if let Some(f) = fault {
+                // Injected fault: the command never executes (no side
+                // effects), so its eventual retry is bit-exact with the
+                // fault-free history.
+                let error = match f.kind {
+                    FaultKind::TransientLaunch => RuntimeError::LaunchFault {
+                        kernel: kernel_name(&cmd),
+                        device: f.device,
+                        attempt: attempt + 1,
+                    },
+                    FaultKind::HungKernel => RuntimeError::Timeout {
+                        kernel: kernel_name(&cmd),
+                        device: f.device,
+                        budget_cycles: shared.cfg.recovery.watchdog_cycle_budget,
+                    },
+                    FaultKind::CopyFault => RuntimeError::CopyFault {
+                        device: f.device,
+                        attempt: attempt + 1,
+                    },
+                    FaultKind::DeviceFailure => RuntimeError::DeviceFailed { device: f.device },
+                };
+                let cycles = match f.kind {
+                    FaultKind::HungKernel => shared.cfg.recovery.watchdog_cycle_budget,
+                    _ => 0,
+                };
+                done.push(Done::Fault {
+                    pending: Pending {
+                        seq,
+                        attempt,
+                        avoid,
+                        faulted: true,
+                        cmd,
+                    },
+                    kind: f.kind,
+                    injected: true,
+                    device: f.device,
+                    error,
+                    cycles,
+                });
+                requeue.extend(batch_iter.by_ref().map(|(p, _)| p));
+                break;
             }
             let t0 = Instant::now();
             match cmd {
@@ -1144,7 +1590,7 @@ pub(crate) fn worker_loop(shared: Arc<Shared>, mut device: Device) {
                             len: data.len(),
                             memory_words: buffer.len(),
                         };
-                        poison = Some(e.clone());
+                        poison = Some(RuntimeError::StreamPoisoned { stream: sid });
                         done.push(Done::Failed {
                             seq,
                             kind: CommandKind::CopyIn,
@@ -1164,6 +1610,8 @@ pub(crate) fn worker_loop(shared: Arc<Shared>, mut device: Device) {
                         cycles: device.copy_cycles(data.len()),
                         wall: t0.elapsed(),
                         sink: None,
+                        faulted,
+                        avoid,
                     });
                 }
                 Command::CopyOut { src, len, sink } => {
@@ -1173,7 +1621,7 @@ pub(crate) fn worker_loop(shared: Arc<Shared>, mut device: Device) {
                             len,
                             memory_words: buffer.len(),
                         };
-                        poison = Some(e.clone());
+                        poison = Some(RuntimeError::StreamPoisoned { stream: sid });
                         done.push(Done::Failed {
                             seq,
                             kind: CommandKind::CopyOut,
@@ -1190,6 +1638,8 @@ pub(crate) fn worker_loop(shared: Arc<Shared>, mut device: Device) {
                         cycles: device.copy_cycles(len),
                         wall: t0.elapsed(),
                         sink: Some((sink, data)),
+                        faulted,
+                        avoid,
                     });
                 }
                 Command::Launch { spec, sink } => match device.run_launch(&spec, &mut buffer) {
@@ -1206,9 +1656,34 @@ pub(crate) fn worker_loop(shared: Arc<Shared>, mut device: Device) {
                             String::new()
                         },
                         sink,
+                        faulted,
+                        avoid,
                     }),
+                    Err(e @ RuntimeError::Timeout { .. }) => {
+                        // A real watchdog kill is retryable: the budget
+                        // check fires before write-back, so the buffer
+                        // is untouched.
+                        done.push(Done::Fault {
+                            pending: Pending {
+                                seq,
+                                attempt,
+                                avoid,
+                                faulted: true,
+                                cmd: Command::Launch { spec, sink },
+                            },
+                            kind: FaultKind::HungKernel,
+                            injected: false,
+                            device: d,
+                            error: e,
+                            cycles: shared.cfg.recovery.watchdog_cycle_budget,
+                        });
+                        requeue.extend(batch_iter.by_ref().map(|(p, _)| p));
+                        break;
+                    }
                     Err(e) => {
-                        poison = Some(e.clone());
+                        // Deterministic failures (bad program, bad
+                        // config) do not benefit from a retry.
+                        poison = Some(RuntimeError::StreamPoisoned { stream: sid });
                         done.push(Done::Failed {
                             seq,
                             kind: CommandKind::Launch,
@@ -1223,6 +1698,15 @@ pub(crate) fn worker_loop(shared: Arc<Shared>, mut device: Device) {
             }
         }
 
-        shared.publish(sid, d, done, buffer);
+        shared.publish(sid, d, done, requeue, buffer);
+    }
+}
+
+/// Kernel name of a launch command (empty for copies — only launch
+/// faults carry one).
+fn kernel_name(cmd: &Command) -> String {
+    match cmd {
+        Command::Launch { spec, .. } => spec.name.clone(),
+        _ => String::new(),
     }
 }

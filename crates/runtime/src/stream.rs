@@ -230,6 +230,16 @@ impl Stream {
         fence.wait();
     }
 
+    /// Clear the stream's sticky error (CUDA's destroy-and-recreate
+    /// recovery, folded into a reset): after a terminal failure every
+    /// queued and subsequent command resolves with
+    /// [`RuntimeError::StreamPoisoned`](crate::RuntimeError::StreamPoisoned)
+    /// until this is called. The failed commands stay failed — only
+    /// new work is accepted again.
+    pub fn reset(&self) {
+        self.shared.reset_stream(self.id);
+    }
+
     /// Begin capturing this stream: commands enqueued from now on are
     /// recorded into an execution graph instead of executing (their
     /// handles resolve with [`RuntimeError::Captured`]). The first

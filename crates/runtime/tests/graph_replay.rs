@@ -303,6 +303,46 @@ fn bounded_compile_cache_evicts_and_recounts() {
     assert_eq!(rt.compile_cache().len(), 2);
 }
 
+#[test]
+fn shutdown_during_replay_resolves_with_shutdown_not_a_hang() {
+    let x = int_vector(128, 1);
+    let y = int_vector(128, 2);
+    let p = Pipeline::saxpy_scale_sum(3, 2, &x, &y, 0);
+    let (graph, _) = pipeline_graph(&p);
+    let rt = Runtime::new(RuntimeConfig::with_devices(2));
+    let exec = rt.instantiate(graph).unwrap();
+    let warm = rt.replay(&exec).unwrap();
+    assert_eq!(warm.outputs[0].1, p.expected, "pre-shutdown oracle");
+
+    let s = rt.stream();
+    // Work queued before the shutdown may complete or may be drained;
+    // either way its handle must resolve rather than hang.
+    let before = s.launch(LaunchSpec::saxpy(3, &x, &y));
+    let err = std::thread::scope(|scope| {
+        let replayer = scope.spawn(|| loop {
+            match rt.replay(&exec) {
+                Ok(r) => assert_eq!(r.outputs[0].1, p.expected, "live replays stay bit-exact"),
+                Err(e) => return e,
+            }
+        });
+        rt.shutdown();
+        replayer.join().unwrap()
+    });
+    assert!(matches!(err, RuntimeError::Shutdown), "{err:?}");
+    match before.wait() {
+        Ok(_) | Err(RuntimeError::Shutdown) => {}
+        Err(other) => panic!("pre-shutdown launch resolved {other:?}"),
+    }
+    // Everything enqueued after the shutdown resolves Shutdown
+    // immediately — on old and new streams alike.
+    let after = s.launch(LaunchSpec::saxpy(3, &x, &y));
+    assert!(matches!(after.wait(), Err(RuntimeError::Shutdown)));
+    let fresh = rt.stream().copy_out(0, 4);
+    assert!(matches!(fresh.wait(), Err(RuntimeError::Shutdown)));
+    // And replay keeps refusing deterministically.
+    assert!(matches!(rt.replay(&exec), Err(RuntimeError::Shutdown)));
+}
+
 /// The eager twin of a replay: enqueue the graph's nodes on one stream
 /// in the replay's own (deterministic, topological) order.
 fn eager_twin(rt: &Runtime, graph: &simt_runtime::ExecGraph) -> Vec<(NodeId, Vec<u32>)> {
